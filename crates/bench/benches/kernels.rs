@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks of the reference kernels (the leaf
+//! accelerator's functional model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cf_isa::ConvParams;
+use cf_ops::kernels;
+use cf_tensor::{gen::DataGen, Shape};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = DataGen::new(1);
+    let a = g.uniform(Shape::new(vec![128, 128]), -1.0, 1.0);
+    let b = g.uniform(Shape::new(vec![128, 128]), -1.0, 1.0);
+    c.bench_function("matmul_128", |bench| {
+        bench.iter(|| kernels::matmul(black_box(&a), black_box(&b)).unwrap())
+    });
+
+    let x = g.uniform(Shape::new(vec![1, 32, 32, 16]), -1.0, 1.0);
+    let w = g.uniform(Shape::new(vec![3, 3, 16, 16]), -1.0, 1.0);
+    let p = ConvParams::same(1, 1);
+    c.bench_function("conv2d_32x32x16", |bench| {
+        bench.iter(|| kernels::conv2d(black_box(&x), black_box(&w), &p).unwrap())
+    });
+
+    let keys = g.uniform(Shape::new(vec![4096]), -10.0, 10.0);
+    c.bench_function("sort_4096", |bench| {
+        bench.iter(|| kernels::sort(black_box(&keys), None).unwrap())
+    });
+
+    let v1 = g.uniform(Shape::new(vec![65536]), -1.0, 1.0);
+    let v2 = g.uniform(Shape::new(vec![65536]), -1.0, 1.0);
+    c.bench_function("eltwise_add_64k", |bench| {
+        bench.iter(|| kernels::eltwise_add(black_box(&v1), black_box(&v2)).unwrap())
+    });
+
+    let xq = g.uniform(Shape::new(vec![64, 64]), -1.0, 1.0);
+    let yq = g.uniform(Shape::new(vec![256, 64]), -1.0, 1.0);
+    c.bench_function("euclidean_64x256x64", |bench| {
+        bench.iter(|| kernels::euclidean_sq(black_box(&xq), black_box(&yq)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks of the fractal machine itself: planning,
+//! performance simulation and functional execution throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cf_core::{Machine, MachineConfig};
+use cf_isa::{Opcode, ProgramBuilder};
+use cf_tensor::Memory;
+
+fn matmul_program(n: usize) -> cf_isa::Program {
+    let mut b = ProgramBuilder::new();
+    let a = b.alloc("a", vec![n, n]);
+    let w = b.alloc("w", vec![n, n]);
+    b.apply(Opcode::MatMul, [a, w]).unwrap();
+    b.build()
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let f1 = Machine::new(MachineConfig::cambricon_f1());
+    let p1k = matmul_program(1024);
+    c.bench_function("perf_sim_matmul_1024_f1", |bench| {
+        bench.iter(|| f1.simulate(black_box(&p1k)).unwrap())
+    });
+
+    let f100 = Machine::new(MachineConfig::cambricon_f100());
+    c.bench_function("perf_sim_matmul_1024_f100", |bench| {
+        bench.iter(|| f100.simulate(black_box(&p1k)).unwrap())
+    });
+
+    let vgg = cf_workloads::nets::build_program(&cf_workloads::nets::vgg16(), 4).unwrap();
+    c.bench_function("perf_sim_vgg16_b4_f1", |bench| {
+        bench.iter(|| f1.simulate(black_box(&vgg)).unwrap())
+    });
+
+    let tiny = Machine::new(MachineConfig::tiny(2, 2, 16 << 10));
+    let small = matmul_program(48);
+    c.bench_function("functional_exec_matmul_48_tiny", |bench| {
+        bench.iter(|| {
+            let mut mem = Memory::new(small.extern_elems() as usize);
+            tiny.run(black_box(&small), &mut mem).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulator
+}
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! §3.6 data-broadcasting ablation.
+fn main() {
+    println!("{}", cf_bench::experiments::ablations::run_broadcast());
+}

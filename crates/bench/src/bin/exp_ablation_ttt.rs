@@ -1,0 +1,4 @@
+//! §3.6 TTT ablation.
+fn main() {
+    println!("{}", cf_bench::experiments::ablations::run_ttt());
+}

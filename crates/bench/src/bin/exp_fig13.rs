@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig13 experiment (see DESIGN.md §5).
+fn main() {
+    println!("{}", cf_bench::experiments::fig13::run());
+}

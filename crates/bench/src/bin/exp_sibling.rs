@@ -1,0 +1,4 @@
+//! §8 future-work extension: sibling interconnect.
+fn main() {
+    println!("{}", cf_bench::experiments::sibling::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table4 experiment (see DESIGN.md §5).
+fn main() {
+    println!("{}", cf_bench::experiments::table4::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's traffic experiment (see DESIGN.md §5).
+fn main() {
+    println!("{}", cf_bench::experiments::traffic::run());
+}

@@ -1,0 +1,101 @@
+//! §3.6 ablations: TTT, pipeline concatenating, data broadcasting — on
+//! RESNET-152 over the five-level 2048-core machine the paper uses for
+//! these studies.
+
+use cf_core::{Machine, MachineConfig, OptFlags, PerfReport};
+use cf_workloads::nets;
+
+use crate::table::{pct, ratio, Table};
+
+fn resnet() -> cf_isa::Program {
+    // A large batch keeps every level's sequential decomposer busy enough
+    // that cross-cycle reuse (what the TTT saves) is exercised hard.
+    nets::build_program(&nets::resnet152(), 256).expect("resnet")
+}
+
+fn run_with(opts: OptFlags) -> PerfReport {
+    let cfg = MachineConfig::ablation_2048().with_opts(opts);
+    Machine::new(cfg).simulate(&resnet()).expect("simulation")
+}
+
+/// TTT ablation (paper: 3% → 62% of peak, a 20x gain, with ~93% root-
+/// bandwidth utilisation without it).
+pub fn run_ttt() -> String {
+    let on = run_with(OptFlags::default());
+    let off = run_with(OptFlags { ttt: false, ..Default::default() });
+    let root_bw = cf_core::MachineConfig::ablation_2048().root_bw_bytes();
+    let mut t = Table::new(
+        "TTT ablation — ResNet-152 on the 5-level 2048-core machine",
+        &["Config", "Time ms", "Peak fraction", "Root traffic GB", "Root BW used"],
+    );
+    for (name, r) in [("TTT off", &off), ("TTT on", &on)] {
+        t.row(&[
+            name.into(),
+            format!("{:.2}", r.makespan_seconds * 1e3),
+            pct(r.peak_fraction),
+            format!("{:.2}", r.stats.root_traffic_bytes() as f64 / 1e9),
+            pct(r.stats.root_traffic_bytes() as f64 / r.makespan_seconds / root_bw),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "Speedup {}; traffic reduction {} (paper: ~20x speedup, 3% -> 62% of peak, \
+         93.36% root-bandwidth utilisation without TTT).\n\
+         Note: this reproduction's no-TTT baseline still coalesces operands \
+         within a pipeline step, so it is far less pessimistic than the \
+         paper's; the mechanism (the no-TTT run saturates root bandwidth \
+         while the TTT run does not) reproduces, the 20x magnitude does not.\n",
+        ratio(off.makespan_seconds / on.makespan_seconds),
+        ratio(off.stats.root_traffic_bytes() as f64 / on.stats.root_traffic_bytes() as f64),
+    ));
+    out
+}
+
+/// Pipeline-concatenating ablation (paper: 93.11% of instructions
+/// pre-assignable, 13.0% overall gain).
+pub fn run_concat() -> String {
+    let on = run_with(OptFlags::default());
+    let off = run_with(OptFlags { concat: false, ..Default::default() });
+    let gain = off.makespan_seconds / on.makespan_seconds - 1.0;
+    // The paper's 93.11 % pre-assignable metric: the fraction of the
+    // machine's *sub-instruction* steps with no RAW dependence on their
+    // predecessor (layer-level instructions chain, but their batch/spatial
+    // pieces do not).
+    let program = resnet();
+    let cfg = cf_core::MachineConfig::ablation_2048();
+    let frac = cf_core::inspect::decomposition_report(&cfg, &program)
+        .map(|r| r.preassignable_fraction())
+        .unwrap_or(f64::NAN);
+    let graph = cf_isa::deps::DepGraph::build(&program);
+    format!(
+        "## Pipeline concatenating — ResNet-152\nwith: {:.2} ms, without: {:.2} ms -> {} gain (paper: 13.0%)\n\
+         pre-assignable sub-instruction steps: {} (paper: 93.11%); \
+         program-level dependence critical path {} of {} instructions\n",
+        on.makespan_seconds * 1e3,
+        off.makespan_seconds * 1e3,
+        pct(gain),
+        pct(frac),
+        graph.critical_path(),
+        program.instructions().len(),
+    )
+}
+
+/// Data-broadcasting ablation (paper: +19.0% performance, −24.2% local
+/// memory traffic).
+pub fn run_broadcast() -> String {
+    let on = run_with(OptFlags::default());
+    let off = run_with(OptFlags { broadcast: false, ..Default::default() });
+    let traffic = |r: &PerfReport| -> f64 {
+        r.stats.levels.iter().map(|l| l.dma_bytes).sum::<u64>() as f64
+    };
+    let gain = off.makespan_seconds / on.makespan_seconds - 1.0;
+    let saved = 1.0 - traffic(&on) / traffic(&off);
+    format!(
+        "## Data broadcasting — ResNet-152\nwith: {:.2} ms, without: {:.2} ms -> {} gain (paper: 19.0%); \
+         local traffic saved {} (paper: 24.2%)\n",
+        on.makespan_seconds * 1e3,
+        off.makespan_seconds * 1e3,
+        pct(gain),
+        pct(saved)
+    )
+}

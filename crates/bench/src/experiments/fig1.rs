@@ -1,0 +1,27 @@
+//! Figure 1: power efficiency of ML accelerators, 2012-2018.
+
+use cf_model::survey::{accelerator_efficiency, cagr};
+
+use crate::table::Table;
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let pts = accelerator_efficiency();
+    let mut t = Table::new(
+        "Figure 1 — accelerator power efficiency by year",
+        &["Year", "Accelerator", "Tops/W"],
+    );
+    for p in &pts {
+        t.row(&[p.year.to_string(), p.name.into(), format!("{:.3}", p.tops_per_w)]);
+    }
+    let first = pts.first().unwrap();
+    let last = pts.last().unwrap();
+    let growth = cagr((first.year, first.tops_per_w), (last.year, last.tops_per_w)) + 1.0;
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\nAnnual growth {:.2}x (paper: 3.2x); total improvement {:.0}x (paper: 1213x).\n",
+        growth,
+        last.tops_per_w / first.tops_per_w
+    ));
+    out
+}

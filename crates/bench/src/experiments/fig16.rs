@@ -1,0 +1,35 @@
+//! Figure 16: growth in NVIDIA GPU cores and memory bandwidth since 2009.
+
+use cf_model::survey::{cagr, gpu_generations};
+
+use crate::table::Table;
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let gens = gpu_generations();
+    let mut t = Table::new(
+        "Figure 16 — NVIDIA GPU generations",
+        &["Year", "GPU", "CUDA cores", "Bandwidth GB/s"],
+    );
+    for g in &gens {
+        t.row(&[
+            g.year.to_string(),
+            g.name.into(),
+            g.cores.to_string(),
+            format!("{:.0}", g.bw_gbps),
+        ]);
+    }
+    let y = |year: u32| gens.iter().find(|p| p.year == year).unwrap();
+    let early = cagr((2009, y(2009).cores as f64), (2013, y(2013).cores as f64));
+    let late = cagr((2013, y(2013).cores as f64), (2018, y(2018).cores as f64));
+    let bw = cagr((2009, y(2009).bw_gbps), (2018, y(2018).bw_gbps));
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\nCore growth {:.1}%/yr (2009-13, paper 67.6%), {:.1}%/yr (2013-18, paper 8.8%); \
+         bandwidth {:.1}%/yr (paper ~15%).\n",
+        100.0 * early,
+        100.0 * late,
+        100.0 * bw
+    ));
+    out
+}

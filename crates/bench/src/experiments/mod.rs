@@ -1,0 +1,18 @@
+//! One module per reproduced table/figure. Every `run()` returns a
+//! plain-text report with paper-reported values alongside measured ones.
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig10;
+pub mod fig13;
+pub mod fig15;
+pub mod fig16;
+pub mod sibling;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table6;
+pub mod table7;
+pub mod table8;
+pub mod traffic;

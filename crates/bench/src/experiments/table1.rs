@@ -1,0 +1,46 @@
+//! Table 1: decomposition of ML techniques into computing primitives.
+
+use cf_workloads::ml::MlSize;
+use cf_workloads::profile::{self, Primitive};
+
+use crate::table::{pct, Table};
+
+/// Paper-reported dominant shares for sanity rows.
+const PAPER: [(&str, &str, f64); 6] = [
+    ("CNN", "CONV", 0.947),
+    ("DNN", "MMM", 0.999),
+    ("k-Means", "IP", 0.908),
+    ("k-NN", "IP", 0.996),
+    ("SVM", "IP", 0.993),
+    ("LVQ", "ELTW", 0.598),
+];
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let rows = profile::table1(&MlSize::paper()).expect("profiling cannot fail");
+    let mut t = Table::new(
+        "Table 1 — primitive shares of each technique (measured on this implementation)",
+        &["Technique", "IP", "CONV", "POOL", "MMM", "ELTW", "SORT", "COUNT"],
+    );
+    for row in &rows {
+        let mut cells = vec![row.technique.clone()];
+        for p in Primitive::ALL {
+            let s = row.share(p);
+            cells.push(if s < 0.0005 { "-".into() } else { pct(s) });
+        }
+        t.row(&cells);
+    }
+    let mut out = t.render();
+    out.push('\n');
+    let mut cmp = Table::new(
+        "Dominant primitive vs paper",
+        &["Technique", "Primitive", "Paper", "Measured"],
+    );
+    for (tech, prim, paper) in PAPER {
+        let row = rows.iter().find(|r| r.technique == tech).unwrap();
+        let p = Primitive::ALL.iter().copied().find(|p| p.label() == prim).unwrap();
+        cmp.row(&[tech.into(), prim.into(), pct(paper), pct(row.share(p))]);
+    }
+    out.push_str(&cmp.render());
+    out
+}

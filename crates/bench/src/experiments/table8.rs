@@ -1,0 +1,77 @@
+//! Table 8: hardware-characteristics comparison across chips and cards.
+
+use cf_core::MachineConfig;
+use cf_model::{area, energy, gpu};
+
+use crate::table::Table;
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let f1 = MachineConfig::cambricon_f1();
+    let f100 = MachineConfig::cambricon_f100();
+    let f1_area = area::subtree_mm2(&f1, 1);
+    let f1_w = energy::subtree_w(&f1, 1);
+    let f100_area = area::subtree_mm2(&f100, 2);
+    let f100_w = energy::subtree_w(&f100, 2);
+    let f1_peak = f1.peak_ops() / 1e12;
+    let f100_chip_peak = f100.peak_ops() / 1e12 / 8.0; // per chip (8 chips)
+
+    let mut t = Table::new(
+        "Table 8 — chip comparison",
+        &["Chip", "ISA", "Tech", "Mem", "Peak Tops", "Area mm2", "Power W", "Tops/W", "Tops/mm2"],
+    );
+    let mut push_chip = |name: &str,
+                         isa: &str,
+                         tech: &str,
+                         mem: &str,
+                         peak: f64,
+                         area_v: Option<f64>,
+                         power: Option<f64>| {
+        t.row(&[
+            name.into(),
+            isa.into(),
+            tech.into(),
+            mem.into(),
+            format!("{peak:.1}"),
+            area_v.map(|a| format!("{a:.0}")).unwrap_or_else(|| "-".into()),
+            power.map(|p| format!("{p:.2}")).unwrap_or_else(|| "-".into()),
+            power.map(|p| format!("{:.2}", peak / p)).unwrap_or_else(|| "-".into()),
+            area_v.map(|a| format!("{:.2}", peak / a)).unwrap_or_else(|| "-".into()),
+        ]);
+    };
+    push_chip("Cam-F1", "FISA", "45nm", "16 MB eDRAM", f1_peak, Some(f1_area), Some(f1_w));
+    push_chip(
+        "Cam-F100",
+        "FISA",
+        "45nm",
+        "448 MB eDRAM",
+        f100_chip_peak,
+        Some(f100_area),
+        Some(f100_w),
+    );
+    for chip in [gpu::gtx_1080ti(), gpu::v100(), gpu::dadiannao(), gpu::tpu()] {
+        push_chip(
+            chip.name,
+            chip.isa,
+            &format!("{}nm", chip.tech_nm),
+            &format!("{:.1} MB {}", chip.mem_mib, chip.mem_type),
+            chip.peak_tops,
+            chip.area_mm2,
+            chip.power_w,
+        );
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\nPaper headline: Cam-F1 chip leads at 3.02 Tops/W and 0.51 Tops/mm2 \
+         (model: {:.2} Tops/W, {:.2} Tops/mm2).\n",
+        f1_peak / f1_w,
+        f1_peak / f1_area
+    ));
+    out.push_str(&format!(
+        "Cards: Cam-F1 {:.1} W vs 1080Ti 199.9 W (45.1% per paper); \
+         Cam-F100 card {:.1} W vs V100 248.3 W (67.3% per paper).\n",
+        energy::machine_peak_w(&f1),
+        2.0 * f100_w + 512.0 * energy::DRAM_W_PER_GBPS
+    ));
+    out
+}

@@ -1,0 +1,51 @@
+//! §7 scalability: DRAM-traffic reduction of Cambricon-F100 vs the GPU
+//! (paper: 73.4% — 98.8% less traffic).
+
+use cf_core::{Machine, MachineConfig};
+use cf_model::gpu::GpuSystem;
+use cf_ops::cost;
+
+use crate::table::{pct, Table};
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let machine = Machine::new(MachineConfig::cambricon_f100());
+    let dgx = GpuSystem::dgx1();
+    let mut t = Table::new(
+        "§7 — DRAM traffic: Cambricon-F100 vs GPU model",
+        &["Benchmark", "Flops", "CF root GB", "GPU DRAM GB", "Reduction"],
+    );
+    let mut out_lines = Vec::new();
+    for (name, program) in crate::experiments::fig15::benchmark_programs(true) {
+        let r = machine.simulate(&program).expect("simulation");
+        let flops: u64 = program.instructions().iter().map(cost::flops).sum();
+        let cf_gb = r.stats.root_traffic_bytes() as f64 / 1e9;
+        // GPU DRAM traffic = flops / measured GPU operational intensity.
+        let gpu_oi = dgx.workload_point(name).unwrap().oi;
+        let gpu_gb = flops as f64 / gpu_oi / 1e9;
+        let reduction = 1.0 - cf_gb / gpu_gb;
+        out_lines.push(reduction);
+        t.row(&[
+            name.into(),
+            format!("{:.2e}", flops as f64),
+            format!("{cf_gb:.2}"),
+            format!("{gpu_gb:.2}"),
+            pct(reduction),
+        ]);
+    }
+    let mut out = t.render();
+    let lo = out_lines.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = out_lines.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    out.push_str(&format!(
+        "Reduction range {} .. {} (paper: 73.4% .. 98.8%).\n\
+         The dense workloads (VGG-16, MATMUL) reproduce the paper's large \
+         reductions; on the iterative ML tasks Cambricon-F *loses* traffic \
+         to the GPU, exactly as the paper's §6 concedes (\"DGX-1 achieves \
+         up to 85x higher operation intensity\" there, because Cambricon-F \
+         writes intermediate results back to the root when TTT forwarding \
+         fails across control flow).\n",
+        pct(lo),
+        pct(hi)
+    ));
+    out
+}

@@ -1,0 +1,35 @@
+//! Experiment harness: regenerates every table and figure of the
+//! Cambricon-F paper's evaluation (see DESIGN.md §5 for the index).
+//!
+//! Each experiment lives in [`experiments`] and returns a plain-text
+//! report comparing paper-reported values with values measured on this
+//! reproduction. Run them all with `cargo bench` (the `experiments` bench
+//! target) or individually via `cargo run -p cf-bench --release --bin
+//! exp_<id>`.
+
+pub mod experiments;
+pub mod table;
+
+/// All experiments in DESIGN.md §5 order: `(id, title, runner)`.
+pub fn all_experiments() -> Vec<(&'static str, &'static str, fn() -> String)> {
+    use experiments::*;
+    vec![
+        ("table1", "Table 1: primitive decomposition of ML techniques", table1::run),
+        ("table2", "Table 2: computing-primitives analysis", table2::run),
+        ("table3", "Table 3: FISA instruction inventory", table3::run),
+        ("table4", "Table 4: power/performance of hierarchy designs", table4::run),
+        ("table6", "Table 6: Cambricon-F instance specifications", table6::run),
+        ("table7", "Table 7: layout characteristics", table7::run),
+        ("table8", "Table 8: hardware-characteristics comparison", table8::run),
+        ("fig1", "Figure 1: accelerator power efficiency 2012-2018", fig1::run),
+        ("fig10", "Figure 10: memory-bounded operational intensity", fig10::run),
+        ("fig13", "Figure 13: k-NN execution timelines", fig13::run),
+        ("fig15", "Figure 15: rooflines vs GPUs", fig15::run),
+        ("fig16", "Figure 16: GPU cores vs bandwidth growth", fig16::run),
+        ("ablation_ttt", "§3.6 ablation: tensor transposition table", ablations::run_ttt),
+        ("ablation_concat", "§3.6 ablation: pipeline concatenating", ablations::run_concat),
+        ("ablation_broadcast", "§3.6 ablation: data broadcasting", ablations::run_broadcast),
+        ("traffic", "§7: DRAM-traffic reduction vs GPU", traffic::run),
+        ("sibling", "§8 future work: sibling interconnect extension", sibling::run),
+    ]
+}

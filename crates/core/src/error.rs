@@ -1,0 +1,73 @@
+use std::fmt;
+
+use cf_isa::IsaError;
+use cf_ops::OpsError;
+use cf_tensor::TensorError;
+
+/// Errors from planning or executing on a fractal machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An instruction (or a decomposed piece) cannot be made to fit the
+    /// local memory of a node no matter how it is split.
+    CapacityExceeded {
+        /// Level at which planning failed.
+        level: usize,
+        /// Bytes the smallest achievable piece needs.
+        needed: u64,
+        /// Segment capacity available.
+        available: u64,
+    },
+    /// The machine configuration is unusable (zero fan-out at an inner
+    /// level, zero bandwidth, …).
+    BadConfig(String),
+    /// An underlying ISA error.
+    Isa(IsaError),
+    /// An underlying kernel/decomposition error.
+    Ops(OpsError),
+    /// An underlying tensor error.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::CapacityExceeded { level, needed, available } => write!(
+                f,
+                "instruction cannot fit level-{level} memory: needs {needed} B, segment holds {available} B"
+            ),
+            CoreError::BadConfig(s) => write!(f, "bad machine configuration: {s}"),
+            CoreError::Isa(e) => write!(f, "ISA error: {e}"),
+            CoreError::Ops(e) => write!(f, "ops error: {e}"),
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Isa(e) => Some(e),
+            CoreError::Ops(e) => Some(e),
+            CoreError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IsaError> for CoreError {
+    fn from(e: IsaError) -> Self {
+        CoreError::Isa(e)
+    }
+}
+
+impl From<OpsError> for CoreError {
+    fn from(e: OpsError) -> Self {
+        CoreError::Ops(e)
+    }
+}
+
+impl From<TensorError> for CoreError {
+    fn from(e: TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}

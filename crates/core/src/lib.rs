@@ -1,0 +1,60 @@
+//! The Cambricon-F fractal von Neumann machine (paper §3).
+//!
+//! A Cambricon-F machine is a tree of identical-looking nodes: each node has
+//! a controller, a local memory, several fractal functional units (FFUs —
+//! which are themselves Cambricon-F nodes) and local functional units
+//! (LFUs). The controller decomposes every incoming FISA instruction in
+//! three phases — sequential decomposition (SD), demotion (DD) and parallel
+//! decomposition (PD) — with a reduction controller (RC) scheduling the
+//! retrieving operator `g(·)` and a DMA controller moving regions between
+//! the node's memory and its parent's.
+//!
+//! Two execution modes share one planner ([`plan`]):
+//!
+//! * **functional** ([`exec`]) — really computes every tensor through the
+//!   full fractal decomposition, for correctness validation;
+//! * **performance** ([`perf`]) — times the same plans with a
+//!   resource-constrained five-stage pipeline model (ID/LD/EX/RD/WB) and
+//!   memoized recursion, fast enough for the paper's full-scale workloads.
+//!
+//! # Examples
+//!
+//! Run a program on the desktop-scale Cambricon-F1 and on the
+//! supercomputer-scale Cambricon-F100 — same binary, different machines
+//! (the paper's programming-productivity thesis):
+//!
+//! ```
+//! use cf_core::{Machine, MachineConfig};
+//! use cf_isa::{Opcode, ProgramBuilder};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let a = b.alloc("a", vec![64, 64]);
+//! let w = b.alloc("w", vec![64, 64]);
+//! let c = b.apply(Opcode::MatMul, [a, w])?;
+//! assert_eq!(b.shape(c[0]).dims(), &[64, 64]);
+//! let program = b.build();
+//!
+//! let f1 = Machine::new(MachineConfig::cambricon_f1());
+//! let f100 = Machine::new(MachineConfig::cambricon_f100());
+//! let r1 = f1.simulate(&program)?;
+//! let r100 = f100.simulate(&program)?;
+//! assert!(r1.makespan_seconds > 0.0 && r100.makespan_seconds > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod config;
+mod error;
+pub mod exec;
+pub mod inspect;
+mod machine;
+pub mod memory;
+pub mod perf;
+pub mod plan;
+pub mod stats;
+pub mod timeline;
+pub mod ttt;
+
+pub use config::{LeafSpec, LevelSpec, MachineConfig, OptFlags};
+pub use error::CoreError;
+pub use machine::{Machine, PerfReport};
+pub use stats::{LevelStats, Stats};

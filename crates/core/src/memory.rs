@@ -1,0 +1,234 @@
+//! The controller's memory management (paper §3.5, Figure 9).
+//!
+//! A node's local storage is divided into four spaces: three *recycled*
+//! segments rotated by the pipeline (an instruction reaching LD may reuse
+//! the segment of the instruction at WB — with five stages and the DMA
+//! shared between LD and WB, at most three instructions hold memory at
+//! once), and one *static* segment for sequential-decomposition data that
+//! lives across multiple FISA cycles, allocated double-ended by instruction
+//! parity to keep adjacent lifecycles from overlapping.
+//!
+//! Allocation is a bump pointer per stack ("memory space is always
+//! allocated in the list order, consistent with the time order that the
+//! Controller requests") and is never explicitly freed: recycled segments
+//! are simply re-filled by the instruction three cycles later.
+
+use crate::CoreError;
+
+/// Number of recycled segments (pipeline slots able to hold operand data
+/// simultaneously).
+pub const RECYCLED_SEGMENTS: usize = 3;
+
+/// Bump allocator over one node's local storage, laid out as
+/// `[recycled 0 | recycled 1 | recycled 2 | static-even → … ← static-odd]`.
+#[derive(Debug, Clone)]
+pub struct SegmentedAllocator {
+    seg_elems: u64,
+    static_elems: u64,
+    cursors: [u64; RECYCLED_SEGMENTS],
+    static_even: u64,
+    static_odd: u64,
+    high_water: u64,
+}
+
+impl SegmentedAllocator {
+    /// Divides `total_elems` of local storage into the four segments.
+    /// Each recycled segment gets a quarter; the static segment the rest.
+    pub fn new(total_elems: u64) -> Self {
+        let seg_elems = total_elems / 4;
+        SegmentedAllocator {
+            seg_elems,
+            static_elems: total_elems - RECYCLED_SEGMENTS as u64 * seg_elems,
+            cursors: [0; RECYCLED_SEGMENTS],
+            static_even: 0,
+            static_odd: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Capacity of one recycled segment in elements — the budget the
+    /// sequential decomposer must fit each sub-instruction into.
+    pub fn segment_elems(&self) -> u64 {
+        self.seg_elems
+    }
+
+    /// Capacity of the static segment in elements.
+    pub fn static_elems(&self) -> u64 {
+        self.static_elems
+    }
+
+    /// Begins pipeline slot `step` (the instruction entering LD), recycling
+    /// the segment of the instruction that left WB three cycles ago.
+    /// Returns the `[lo, hi)` element range of the segment being recycled,
+    /// so stale residency records over it can be invalidated.
+    pub fn begin_step(&mut self, step: usize) -> (u64, u64) {
+        let slot = step % RECYCLED_SEGMENTS;
+        self.cursors[slot] = 0;
+        (self.base(slot), self.base(slot) + self.seg_elems)
+    }
+
+    fn base(&self, slot: usize) -> u64 {
+        slot as u64 * self.seg_elems
+    }
+
+    /// Allocates `elems` in the recycled segment of pipeline slot `step`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CapacityExceeded`] when the segment is full —
+    /// which means the sequential decomposer under-split (a bug) or the
+    /// instruction is genuinely too large for this node.
+    pub fn alloc(&mut self, step: usize, elems: u64) -> Result<u64, CoreError> {
+        let slot = step % RECYCLED_SEGMENTS;
+        if self.cursors[slot] + elems > self.seg_elems {
+            return Err(CoreError::CapacityExceeded {
+                level: usize::MAX,
+                needed: (self.cursors[slot] + elems) * cf_tensor::ELEM_BYTES,
+                available: self.seg_elems * cf_tensor::ELEM_BYTES,
+            });
+        }
+        let offset = self.base(slot) + self.cursors[slot];
+        self.cursors[slot] += elems;
+        self.high_water = self.high_water.max(offset + elems);
+        Ok(offset)
+    }
+
+    /// Allocates `elems` in the static segment; `parity` selects the even
+    /// (grows from the low end) or odd (grows from the high end) stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::CapacityExceeded`] when the two stacks would
+    /// collide.
+    pub fn alloc_static(&mut self, parity: bool, elems: u64) -> Result<u64, CoreError> {
+        if self.static_even + self.static_odd + elems > self.static_elems {
+            return Err(CoreError::CapacityExceeded {
+                level: usize::MAX,
+                needed: (self.static_even + self.static_odd + elems) * cf_tensor::ELEM_BYTES,
+                available: self.static_elems * cf_tensor::ELEM_BYTES,
+            });
+        }
+        let static_base = RECYCLED_SEGMENTS as u64 * self.seg_elems;
+        let offset = if !parity {
+            let o = static_base + self.static_even;
+            self.static_even += elems;
+            o
+        } else {
+            self.static_odd += elems;
+            static_base + self.static_elems - self.static_odd
+        };
+        self.high_water = self.high_water.max(offset + elems);
+        Ok(offset)
+    }
+
+    /// Releases the static stack of one parity (the instruction of that
+    /// parity has fully retired).
+    pub fn reset_static(&mut self, parity: bool) {
+        if !parity {
+            self.static_even = 0;
+        } else {
+            self.static_odd = 0;
+        }
+    }
+
+    /// Current depth of one static stack — a marker for
+    /// [`SegmentedAllocator::release_static_to`].
+    pub fn static_mark(&self, parity: bool) -> u64 {
+        if !parity {
+            self.static_even
+        } else {
+            self.static_odd
+        }
+    }
+
+    /// Pops one static stack back to a previous marker. Sequential
+    /// decomposition groups release their partial buffers as soon as the
+    /// group's reduction has consumed them; groups nest, so release is
+    /// strictly LIFO.
+    pub fn release_static_to(&mut self, parity: bool, mark: u64) {
+        if !parity {
+            self.static_even = mark.min(self.static_even);
+        } else {
+            self.static_odd = mark.min(self.static_odd);
+        }
+    }
+
+    /// Elements still free in the static segment (both stacks).
+    pub fn static_remaining(&self) -> u64 {
+        self.static_elems - self.static_even - self.static_odd
+    }
+
+    /// Largest element address ever allocated plus one — how much backing
+    /// memory a functional run must actually materialise.
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycled_segments_rotate() {
+        let mut a = SegmentedAllocator::new(400);
+        assert_eq!(a.segment_elems(), 100);
+        a.begin_step(0);
+        let x = a.alloc(0, 60).unwrap();
+        assert_eq!(x, 0);
+        a.begin_step(1);
+        let y = a.alloc(1, 60).unwrap();
+        assert_eq!(y, 100);
+        a.begin_step(2);
+        let z = a.alloc(2, 60).unwrap();
+        assert_eq!(z, 200);
+        // Step 3 recycles segment 0.
+        a.begin_step(3);
+        let w = a.alloc(3, 60).unwrap();
+        assert_eq!(w, 0);
+    }
+
+    #[test]
+    fn segment_overflow_is_reported() {
+        let mut a = SegmentedAllocator::new(400);
+        a.begin_step(0);
+        a.alloc(0, 80).unwrap();
+        assert!(matches!(a.alloc(0, 30), Err(CoreError::CapacityExceeded { .. })));
+        // But the next slot is fresh.
+        a.begin_step(1);
+        assert!(a.alloc(1, 90).is_ok());
+    }
+
+    #[test]
+    fn static_stacks_are_double_ended() {
+        let mut a = SegmentedAllocator::new(400);
+        let even = a.alloc_static(false, 10).unwrap();
+        let odd = a.alloc_static(true, 10).unwrap();
+        assert_eq!(even, 300);
+        assert_eq!(odd, 390);
+        // They collide only when jointly exhausted.
+        assert!(a.alloc_static(false, 85).is_err());
+        a.reset_static(true);
+        assert!(a.alloc_static(false, 80).is_ok());
+    }
+
+    #[test]
+    fn within_step_allocations_are_ordered() {
+        // "Memory space is always allocated in the list order."
+        let mut a = SegmentedAllocator::new(4000);
+        a.begin_step(0);
+        let first = a.alloc(0, 7).unwrap();
+        let second = a.alloc(0, 9).unwrap();
+        assert!(second > first);
+        assert_eq!(second, first + 7);
+    }
+
+    #[test]
+    fn high_water_tracks_usage() {
+        let mut a = SegmentedAllocator::new(4000);
+        assert_eq!(a.high_water(), 0);
+        a.begin_step(2);
+        a.alloc(2, 10).unwrap();
+        assert_eq!(a.high_water(), 2 * 1000 + 10);
+    }
+}

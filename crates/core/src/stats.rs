@@ -1,0 +1,156 @@
+//! Simulation statistics: traffic, operations and busy time per level.
+//!
+//! These counters feed the roofline analysis (operational intensity =
+//! flops ÷ root traffic, Figure 15), the traffic-reduction discussion
+//! (§7), and the energy model in `cf-model` (which converts byte and op
+//! counts into joules).
+
+/// Counters for one level of the hierarchy (index 0 = root link, i.e. the
+/// traffic between the global memory and the level-1 nodes).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LevelStats {
+    /// FISA sub-instructions processed by nodes at this level.
+    pub insts: u64,
+    /// Bytes moved over the link from the parent level (DMA loads +
+    /// writebacks), after TTT elision.
+    pub dma_bytes: u64,
+    /// Bytes of loads elided by the Tensor Transposition Table.
+    pub elided_bytes: u64,
+    /// Bytes of parent-memory reads saved by data broadcasting.
+    pub broadcast_saved_bytes: u64,
+    /// Scalar operations executed on this level's LFUs.
+    pub lfu_ops: u64,
+    /// Bytes exchanged over sibling links (the §8 extension; zero on the
+    /// published H-tree machine).
+    pub sibling_bytes: u64,
+}
+
+impl LevelStats {
+    fn merge(&mut self, other: &LevelStats) {
+        self.insts += other.insts;
+        self.dma_bytes += other.dma_bytes;
+        self.elided_bytes += other.elided_bytes;
+        self.broadcast_saved_bytes += other.broadcast_saved_bytes;
+        self.lfu_ops += other.lfu_ops;
+        self.sibling_bytes += other.sibling_bytes;
+    }
+
+    fn scale(&mut self, k: u64) {
+        self.insts *= k;
+        self.dma_bytes *= k;
+        self.elided_bytes *= k;
+        self.broadcast_saved_bytes *= k;
+        self.lfu_ops *= k;
+        self.sibling_bytes *= k;
+    }
+}
+
+/// Aggregated counters for a (sub)tree simulation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Stats {
+    /// Per-level counters; index 0 is the level the subtree is rooted at.
+    pub levels: Vec<LevelStats>,
+    /// Useful arithmetic work (MAC ops on leaves).
+    pub mac_ops: u64,
+    /// Non-MAC work executed on leaf vector paths.
+    pub vec_ops: u64,
+}
+
+impl Stats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Accumulates a child-subtree's statistics one level down.
+    pub fn absorb_child(&mut self, child: &Stats) {
+        for (i, ls) in child.levels.iter().enumerate() {
+            if self.levels.len() <= i + 1 {
+                self.levels.resize(i + 2, LevelStats::default());
+            }
+            self.levels[i + 1].merge(ls);
+        }
+        self.mac_ops += child.mac_ops;
+        self.vec_ops += child.vec_ops;
+    }
+
+    /// Accumulates same-level statistics.
+    pub fn absorb(&mut self, other: &Stats) {
+        for (i, ls) in other.levels.iter().enumerate() {
+            if self.levels.len() <= i {
+                self.levels.resize(i + 1, LevelStats::default());
+            }
+            self.levels[i].merge(ls);
+        }
+        self.mac_ops += other.mac_ops;
+        self.vec_ops += other.vec_ops;
+    }
+
+    /// Multiplies every counter by `k` (for memoized repeated subtrees).
+    pub fn scaled(mut self, k: u64) -> Stats {
+        for ls in &mut self.levels {
+            ls.scale(k);
+        }
+        self.mac_ops *= k;
+        self.vec_ops *= k;
+        self
+    }
+
+    /// Counter record for the level rooted at this subtree.
+    pub fn root_level_mut(&mut self) -> &mut LevelStats {
+        if self.levels.is_empty() {
+            self.levels.push(LevelStats::default());
+        }
+        &mut self.levels[0]
+    }
+
+    /// Traffic over the root link in bytes (loads + writebacks of the
+    /// level-1 nodes) — the denominator of root operational intensity.
+    pub fn root_traffic_bytes(&self) -> u64 {
+        self.levels.get(1).map(|l| l.dma_bytes).unwrap_or(0)
+    }
+
+    /// Total useful work in scalar operations.
+    pub fn total_ops(&self) -> u64 {
+        self.mac_ops + self.vec_ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_child_shifts_levels() {
+        let mut child = Stats::new();
+        child.root_level_mut().dma_bytes = 100;
+        child.mac_ops = 7;
+        let mut parent = Stats::new();
+        parent.root_level_mut().dma_bytes = 10;
+        parent.absorb_child(&child);
+        assert_eq!(parent.levels[0].dma_bytes, 10);
+        assert_eq!(parent.levels[1].dma_bytes, 100);
+        assert_eq!(parent.mac_ops, 7);
+        assert_eq!(parent.root_traffic_bytes(), 100);
+    }
+
+    #[test]
+    fn scaled_multiplies_everything() {
+        let mut s = Stats::new();
+        s.root_level_mut().insts = 3;
+        s.vec_ops = 5;
+        let s2 = s.scaled(4);
+        assert_eq!(s2.levels[0].insts, 12);
+        assert_eq!(s2.vec_ops, 20);
+    }
+
+    #[test]
+    fn absorb_same_level() {
+        let mut a = Stats::new();
+        a.root_level_mut().lfu_ops = 2;
+        let mut b = Stats::new();
+        b.root_level_mut().lfu_ops = 3;
+        a.absorb(&b);
+        assert_eq!(a.levels[0].lfu_ops, 5);
+    }
+}

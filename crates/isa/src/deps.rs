@@ -1,0 +1,175 @@
+//! Program dataflow analysis.
+//!
+//! The pipeline-concatenating optimisation (§3.6) pre-assigns the next
+//! FISA cycle's sub-instructions *"except some instructions which can not
+//! be pre-assigned because of the possible data dependency violations"* —
+//! the paper measures 93.11 % of ResNet-152 instructions pre-assignable.
+//! This module computes exactly that: the RAW/WAR/WAW dependence structure
+//! of a program, the pre-assignable fraction, and the dependence-depth
+//! critical path.
+
+use crate::{Instruction, Program};
+
+/// Dependence kind between two instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Read-after-write: the later instruction consumes the earlier's
+    /// output (pipeline forwarding applies).
+    Raw,
+    /// Write-after-read or write-after-write on overlapping storage.
+    War,
+}
+
+/// One dependence edge `from → to` (instruction indices, `from < to`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Producer (or earlier accessor) index.
+    pub from: usize,
+    /// Consumer (or later writer) index.
+    pub to: usize,
+    /// Dependence kind.
+    pub kind: DepKind,
+}
+
+/// Dataflow analysis of a program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DepGraph {
+    /// All dependence edges, ordered by `(to, from)`.
+    pub edges: Vec<DepEdge>,
+    /// Per-instruction dependence depth (longest chain of RAW edges ending
+    /// at the instruction; 0 for sources).
+    pub raw_depth: Vec<usize>,
+}
+
+impl DepGraph {
+    /// Builds the dependence graph of `program`.
+    pub fn build(program: &Program) -> Self {
+        let insts = program.instructions();
+        let mut edges = Vec::new();
+        let mut raw_depth = vec![0usize; insts.len()];
+        for (j, later) in insts.iter().enumerate() {
+            for (i, earlier) in insts.iter().enumerate().take(j) {
+                if later.raw_depends_on(earlier) {
+                    edges.push(DepEdge { from: i, to: j, kind: DepKind::Raw });
+                    raw_depth[j] = raw_depth[j].max(raw_depth[i] + 1);
+                } else if later.output_conflicts_with(earlier) {
+                    edges.push(DepEdge { from: i, to: j, kind: DepKind::War });
+                }
+            }
+        }
+        DepGraph { edges, raw_depth }
+    }
+
+    /// Longest RAW chain in the program (the dependence critical path, in
+    /// instructions). An empty program has depth 0.
+    pub fn critical_path(&self) -> usize {
+        self.raw_depth.iter().copied().max().map(|d| d + 1).unwrap_or(0)
+    }
+
+    /// Whether instruction `j` can be pre-assigned one FISA cycle early
+    /// (§3.6: no dependence on its immediate predecessor).
+    pub fn pre_assignable(&self, j: usize) -> bool {
+        j == 0 || !self.edges.iter().any(|e| e.to == j && e.from + 1 == j)
+    }
+
+    /// Fraction of instructions that pipeline concatenating can
+    /// pre-assign — the paper's 93.11 % metric for ResNet-152.
+    pub fn pre_assignable_fraction(&self, n_insts: usize) -> f64 {
+        if n_insts == 0 {
+            return 1.0;
+        }
+        let ok = (0..n_insts).filter(|&j| self.pre_assignable(j)).count();
+        ok as f64 / n_insts as f64
+    }
+
+    /// Available instruction-level parallelism: instructions divided by the
+    /// critical path.
+    pub fn parallelism(&self, n_insts: usize) -> f64 {
+        let cp = self.critical_path().max(1);
+        n_insts as f64 / cp as f64
+    }
+}
+
+/// Convenience: whether two instructions are independent (no hazard either
+/// way) — they may execute concurrently on sibling FFUs.
+pub fn independent(a: &Instruction, b: &Instruction) -> bool {
+    !a.raw_depends_on(b)
+        && !b.raw_depends_on(a)
+        && !a.output_conflicts_with(b)
+        && !b.output_conflicts_with(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Opcode, ProgramBuilder};
+
+    #[test]
+    fn chain_has_full_depth() {
+        // x -> y -> z: every instruction depends on the previous one.
+        let mut b = ProgramBuilder::new();
+        let x = b.alloc("x", vec![8]);
+        let y = b.apply(Opcode::Act1D, [x]).unwrap();
+        let z = b.apply(Opcode::Act1D, [y[0]]).unwrap();
+        b.apply(Opcode::Act1D, [z[0]]).unwrap();
+        let p = b.build();
+        let g = DepGraph::build(&p);
+        assert_eq!(g.critical_path(), 3);
+        assert!((g.parallelism(p.instructions().len()) - 1.0).abs() < 1e-9);
+        assert!(!g.pre_assignable(1));
+        assert!(!g.pre_assignable(2));
+    }
+
+    #[test]
+    fn independent_instructions_are_fully_preassignable() {
+        let mut b = ProgramBuilder::new();
+        for i in 0..6 {
+            let x = b.alloc(format!("x{i}"), vec![16]);
+            let y = b.alloc(format!("y{i}"), vec![16]);
+            let z = b.alloc(format!("z{i}"), vec![16]);
+            b.emit(Opcode::Add1D, [x, y], [z]).unwrap();
+        }
+        let p = b.build();
+        let g = DepGraph::build(&p);
+        assert_eq!(g.critical_path(), 1);
+        assert_eq!(g.pre_assignable_fraction(6), 1.0);
+        assert!(g.edges.is_empty());
+        let insts = p.instructions();
+        assert!(independent(&insts[0], &insts[5]));
+    }
+
+    #[test]
+    fn war_detected_on_inplace_updates() {
+        let mut b = ProgramBuilder::new();
+        let x = b.alloc("x", vec![8]);
+        let y = b.alloc("y", vec![8]);
+        // y = x + y (reads y), then y = x * y (writes y again): WAR+RAW.
+        b.emit(Opcode::Add1D, [x, y], [y]).unwrap();
+        b.emit(Opcode::Mul1D, [x, y], [y]).unwrap();
+        let p = b.build();
+        let g = DepGraph::build(&p);
+        assert!(g.edges.iter().any(|e| e.kind == DepKind::Raw));
+        assert!(!g.pre_assignable(1));
+    }
+
+    #[test]
+    fn resnet_style_interleaving_is_mostly_preassignable() {
+        // Alternating independent streams: every other instruction touches
+        // a different buffer set, like double-buffered layers.
+        let mut b = ProgramBuilder::new();
+        let mut streams = Vec::new();
+        for i in 0..2 {
+            let x = b.alloc(format!("s{i}"), vec![64]);
+            streams.push(x);
+        }
+        for step in 0..10 {
+            let s = streams[step % 2];
+            b.emit(Opcode::Act1D, [s], [s]).unwrap();
+        }
+        let p = b.build();
+        let g = DepGraph::build(&p);
+        // Each instruction depends on the one two back, never the previous.
+        assert_eq!(g.pre_assignable_fraction(p.instructions().len()), 1.0);
+        assert_eq!(g.critical_path(), 5);
+    }
+}

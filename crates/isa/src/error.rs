@@ -1,0 +1,78 @@
+use std::fmt;
+
+use cf_tensor::TensorError;
+
+use crate::Opcode;
+
+/// Errors raised while constructing or validating FISA programs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IsaError {
+    /// A mnemonic did not name any FISA opcode.
+    UnknownOpcode(String),
+    /// The instruction has the wrong number of input operands.
+    BadInputArity {
+        /// The opcode being validated.
+        op: Opcode,
+        /// Accepted operand counts.
+        expected: &'static [usize],
+        /// Supplied operand count.
+        actual: usize,
+    },
+    /// The instruction has the wrong number of output operands.
+    BadOutputArity {
+        /// The opcode being validated.
+        op: Opcode,
+        /// Required operand count.
+        expected: usize,
+        /// Supplied operand count.
+        actual: usize,
+    },
+    /// Operand shapes are inconsistent with the opcode semantics.
+    BadOperandShape {
+        /// The opcode being validated.
+        op: Opcode,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// An underlying tensor/region operation failed.
+    Tensor(TensorError),
+    /// Assembly text could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the syntax problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::UnknownOpcode(s) => write!(f, "unknown opcode `{s}`"),
+            IsaError::BadInputArity { op, expected, actual } => {
+                write!(f, "{op} takes {expected:?} inputs, got {actual}")
+            }
+            IsaError::BadOutputArity { op, expected, actual } => {
+                write!(f, "{op} produces {expected} outputs, got {actual}")
+            }
+            IsaError::BadOperandShape { op, detail } => write!(f, "{op}: {detail}"),
+            IsaError::Tensor(e) => write!(f, "tensor error: {e}"),
+            IsaError::Parse { line, detail } => write!(f, "parse error at line {line}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for IsaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IsaError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for IsaError {
+    fn from(e: TensorError) -> Self {
+        IsaError::Tensor(e)
+    }
+}

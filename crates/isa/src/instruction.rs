@@ -1,0 +1,179 @@
+use cf_tensor::{Region, Shape};
+
+use crate::{infer_output_shapes, IsaError, Opcode, OpParams};
+
+/// A FISA instruction: the paper's `I ⟨O, P, G⟩` tuple.
+///
+/// All operand regions address the *enclosing* memory (the parent node's
+/// local storage, or the root external memory for top-level programs); FISA
+/// exposes no internal storage to the programmer (§4, "implicit data
+/// movement"). The granularity indicator `G` is carried by the operand
+/// shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instruction {
+    /// The operation `O`.
+    pub op: Opcode,
+    /// The attribute parameters `P`.
+    pub params: OpParams,
+    /// Input operand regions, in the order defined by the opcode signature.
+    pub inputs: Vec<Region>,
+    /// Output operand regions (one for most opcodes; two for key/payload
+    /// sorts and merges).
+    pub outputs: Vec<Region>,
+}
+
+impl Instruction {
+    /// Builds and validates an instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the shape-inference error when the operand shapes are not a
+    /// legal signature for `op`, or [`IsaError::BadOutputArity`] /
+    /// [`IsaError::BadOperandShape`] when outputs disagree with the
+    /// inferred result shapes.
+    pub fn new(
+        op: Opcode,
+        params: OpParams,
+        inputs: Vec<Region>,
+        outputs: Vec<Region>,
+    ) -> Result<Self, IsaError> {
+        let inst = Instruction { op, params, inputs, outputs };
+        inst.validate()?;
+        Ok(inst)
+    }
+
+    /// Re-checks the shape legality of the instruction (used after the
+    /// decomposers rewrite operand regions).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Instruction::new`].
+    pub fn validate(&self) -> Result<(), IsaError> {
+        let in_shapes: Vec<Shape> = self.inputs.iter().map(|r| r.shape().clone()).collect();
+        let expect = infer_output_shapes(self.op, &self.params, &in_shapes)?;
+        if expect.len() != self.outputs.len() {
+            return Err(IsaError::BadOutputArity {
+                op: self.op,
+                expected: expect.len(),
+                actual: self.outputs.len(),
+            });
+        }
+        for (i, (want, have)) in expect.iter().zip(&self.outputs).enumerate() {
+            if want != have.shape() {
+                return Err(IsaError::BadOperandShape {
+                    op: self.op,
+                    detail: format!(
+                        "output {i} has shape {}, semantics require {want}",
+                        have.shape()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The granularity indicator: total number of operand elements. The
+    /// partial order on granularities (paper §3.2) is the usual order on
+    /// this quantity for a fixed opcode.
+    pub fn granularity(&self) -> u64 {
+        self.inputs.iter().chain(&self.outputs).map(Region::numel).sum()
+    }
+
+    /// Total bytes of all operands — the footprint the sequential
+    /// decomposer compares against a node's memory segment capacity.
+    pub fn operand_bytes(&self) -> u64 {
+        self.inputs.iter().chain(&self.outputs).map(Region::bytes).sum()
+    }
+
+    /// Whether `self` must wait for `earlier` (read-after-write: one of our
+    /// inputs may overlap one of its outputs). The demotion decoder stalls
+    /// the pipeline on this condition (§3.3).
+    pub fn raw_depends_on(&self, earlier: &Instruction) -> bool {
+        self.inputs
+            .iter()
+            .any(|r| earlier.outputs.iter().any(|w| r.may_overlap(w)))
+    }
+
+    /// Whether `self` writes storage that `earlier` reads or writes
+    /// (WAR/WAW). Together with [`Instruction::raw_depends_on`] this decides
+    /// whether pipeline concatenating may pre-assign `self` (§3.6).
+    pub fn output_conflicts_with(&self, earlier: &Instruction) -> bool {
+        self.outputs.iter().any(|w| {
+            earlier.inputs.iter().any(|r| w.may_overlap(r))
+                || earlier.outputs.iter().any(|o| w.may_overlap(o))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_tensor::Region;
+
+    fn reg(offset: u64, dims: &[usize]) -> Region {
+        Region::contiguous(offset, Shape::new(dims.to_vec()))
+    }
+
+    #[test]
+    fn valid_matmul() {
+        let i = Instruction::new(
+            Opcode::MatMul,
+            OpParams::None,
+            vec![reg(0, &[2, 3]), reg(6, &[3, 4])],
+            vec![reg(18, &[2, 4])],
+        )
+        .unwrap();
+        assert_eq!(i.granularity(), 6 + 12 + 8);
+        assert_eq!(i.operand_bytes(), 26 * 4);
+    }
+
+    #[test]
+    fn wrong_output_shape_rejected() {
+        let e = Instruction::new(
+            Opcode::MatMul,
+            OpParams::None,
+            vec![reg(0, &[2, 3]), reg(6, &[3, 4])],
+            vec![reg(18, &[4, 2])],
+        );
+        assert!(matches!(e, Err(IsaError::BadOperandShape { .. })));
+    }
+
+    #[test]
+    fn wrong_output_count_rejected() {
+        let e = Instruction::new(
+            Opcode::Add1D,
+            OpParams::None,
+            vec![reg(0, &[4]), reg(4, &[4])],
+            vec![reg(8, &[4]), reg(12, &[4])],
+        );
+        assert!(matches!(e, Err(IsaError::BadOutputArity { .. })));
+    }
+
+    #[test]
+    fn raw_dependency_detection() {
+        let producer = Instruction::new(
+            Opcode::Add1D,
+            OpParams::None,
+            vec![reg(0, &[4]), reg(4, &[4])],
+            vec![reg(8, &[4])],
+        )
+        .unwrap();
+        let consumer = Instruction::new(
+            Opcode::HSum1D,
+            OpParams::None,
+            vec![reg(8, &[4])],
+            vec![reg(12, &[1])],
+        )
+        .unwrap();
+        let unrelated = Instruction::new(
+            Opcode::HSum1D,
+            OpParams::None,
+            vec![reg(0, &[4])],
+            vec![reg(13, &[1])],
+        )
+        .unwrap();
+        assert!(consumer.raw_depends_on(&producer));
+        assert!(!unrelated.raw_depends_on(&producer));
+        assert!(consumer.output_conflicts_with(&consumer));
+    }
+}

@@ -1,0 +1,46 @@
+//! FISA — the Fractal Instruction Set Architecture of Cambricon-F.
+//!
+//! A FISA instruction is the 3-tuple `⟨O, P, G⟩` of the paper (§3.2): an
+//! operation [`Opcode`] with attribute parameters [`OpParams`], a finite set
+//! of operands (input/output [`cf_tensor::Region`]s in the *enclosing*
+//! memory — FISA has no load/store and no architectural registers, §4), and
+//! a granularity indicator (the operand shapes).
+//!
+//! The same [`Program`] runs unmodified on every Cambricon-F instance —
+//! that is the paper's programming-productivity thesis — because programs
+//! mention only external memory and *complete* ML primitives; all
+//! decomposition is done by the machine (`cf-core`).
+//!
+//! # Examples
+//!
+//! Build the vector-add program of Figure 4(a):
+//!
+//! ```
+//! use cf_isa::{Opcode, ProgramBuilder};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let x = b.alloc("x", vec![1024]);
+//! let y = b.alloc("y", vec![1024]);
+//! let z = b.alloc("z", vec![1024]);
+//! b.emit(Opcode::Add1D, [x, y], [z])?;
+//! let program = b.build();
+//! assert_eq!(program.instructions().len(), 1);
+//! # Ok::<(), cf_isa::IsaError>(())
+//! ```
+
+pub mod deps;
+mod error;
+mod instruction;
+mod opcode;
+mod params;
+mod program;
+mod shape_infer;
+mod text;
+
+pub use error::IsaError;
+pub use instruction::Instruction;
+pub use opcode::{Opcode, OpcodeCategory};
+pub use params::{ActKind, ConvParams, CountParams, LrnParams, OpParams, Pad, PoolParams};
+pub use program::{Program, ProgramBuilder, TensorHandle};
+pub use shape_infer::infer_output_shapes;
+pub use text::{parse_program, render_program};

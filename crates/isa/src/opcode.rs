@@ -1,0 +1,202 @@
+use std::fmt;
+use std::str::FromStr;
+
+use crate::IsaError;
+
+/// The FISA operation inventory (paper Table 3).
+///
+/// Each opcode is a *complete* machine-learning primitive; the granularity
+/// is carried by the operand shapes, not the opcode. `Reduction`-category
+/// opcodes are the ones the paper says "will be considered as a reduction
+/// operation by Cambricon-F and tend to execute on LFUs" (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Opcode {
+    /// 2-D convolution: `in [N,H,W,Ci] ⊛ w [Kh,Kw,Ci,Co] → [N,Ho,Wo,Co]`.
+    Cv2D,
+    /// 3-D convolution: `in [N,D,H,W,Ci] ⊛ w [Kd,Kh,Kw,Ci,Co] → [N,Do,Ho,Wo,Co]`.
+    Cv3D,
+    /// 2-D max pooling: `in [N,H,W,C] → [N,Ho,Wo,C]`.
+    Max2D,
+    /// 2-D min pooling.
+    Min2D,
+    /// 2-D average pooling.
+    Avg2D,
+    /// Local response normalisation across channels (AlexNet-style).
+    Lrn,
+    /// Matrix multiplication: `A [M,K] × B [K,N] → [M,N]`.
+    MatMul,
+    /// Pairwise squared Euclidean distance: `X [n,d], Y [m,d] → [n,m]`.
+    ///
+    /// Defined on *squared* distances so that the dimension split is an
+    /// additive reduction — exactly the output-dependent fractal form the
+    /// paper assigns to distance computation.
+    Euclidian1D,
+    /// Merge sort of a key vector, optionally permuting a payload vector
+    /// alongside: `keys [n] (, payload [n]) → sorted [n] (, payload [n])`.
+    Sort1D,
+    /// Occurrence count: elements of `x [n]` equal to the parameter value
+    /// (within tolerance) → `[1]`.
+    Count1D,
+    /// Elementwise addition of equal-shaped tensors.
+    Add1D,
+    /// Elementwise subtraction.
+    Sub1D,
+    /// Elementwise multiplication.
+    Mul1D,
+    /// Elementwise unary activation (kind chosen by parameter).
+    Act1D,
+    /// Horizontal sum: `x [n] → [1]`.
+    HSum1D,
+    /// Horizontal product: `x [n] → [1]`.
+    HProd1D,
+    /// Merge of two sorted key vectors (with optional payloads):
+    /// `a [n], b [m] (, pa [n], pb [m]) → [n+m] (, payload [n+m])`.
+    Merge1D,
+}
+
+/// Table 3 groups for the instruction inventory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpcodeCategory {
+    /// Deep-learning primitives (convolution, pooling, LRN).
+    DeepLearning,
+    /// Linear-algebra primitives (matrix multiply, Euclidean distance).
+    LinearAlgebra,
+    /// Sorting.
+    Sort,
+    /// Counting.
+    Count,
+    /// Low-operational-intensity operations that tend to execute on LFUs.
+    Reduction,
+}
+
+impl Opcode {
+    /// Every opcode, in Table 3 order.
+    pub const ALL: [Opcode; 17] = [
+        Opcode::Cv2D,
+        Opcode::Cv3D,
+        Opcode::Max2D,
+        Opcode::Min2D,
+        Opcode::Avg2D,
+        Opcode::Lrn,
+        Opcode::MatMul,
+        Opcode::Euclidian1D,
+        Opcode::Sort1D,
+        Opcode::Count1D,
+        Opcode::Add1D,
+        Opcode::Sub1D,
+        Opcode::Mul1D,
+        Opcode::Act1D,
+        Opcode::HSum1D,
+        Opcode::HProd1D,
+        Opcode::Merge1D,
+    ];
+
+    /// The Table 3 category of the opcode.
+    pub fn category(self) -> OpcodeCategory {
+        match self {
+            Opcode::Cv2D | Opcode::Cv3D | Opcode::Max2D | Opcode::Min2D | Opcode::Avg2D
+            | Opcode::Lrn => OpcodeCategory::DeepLearning,
+            Opcode::MatMul | Opcode::Euclidian1D => OpcodeCategory::LinearAlgebra,
+            Opcode::Sort1D => OpcodeCategory::Sort,
+            Opcode::Count1D => OpcodeCategory::Count,
+            Opcode::Add1D | Opcode::Sub1D | Opcode::Mul1D | Opcode::Act1D | Opcode::HSum1D
+            | Opcode::HProd1D | Opcode::Merge1D => OpcodeCategory::Reduction,
+        }
+    }
+
+    /// Whether the controller prefers to run the whole instruction on the
+    /// node's LFU instead of fractally on FFUs (low operational intensity,
+    /// §3.2). The reduction controller may still commission it to FFUs when
+    /// the LFU is absent or predicted slower (§3.3).
+    pub fn prefers_lfu(self) -> bool {
+        self.category() == OpcodeCategory::Reduction
+    }
+
+    /// Canonical mnemonic, as printed in Table 3.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Cv2D => "Cv2D",
+            Opcode::Cv3D => "Cv3D",
+            Opcode::Max2D => "Max2D",
+            Opcode::Min2D => "Min2D",
+            Opcode::Avg2D => "Avg2D",
+            Opcode::Lrn => "Lrn",
+            Opcode::MatMul => "MatMul",
+            Opcode::Euclidian1D => "Euclidian1D",
+            Opcode::Sort1D => "Sort1D",
+            Opcode::Count1D => "Count1D",
+            Opcode::Add1D => "Add1D",
+            Opcode::Sub1D => "Sub1D",
+            Opcode::Mul1D => "Mul1D",
+            Opcode::Act1D => "Act1D",
+            Opcode::HSum1D => "HSum1D",
+            Opcode::HProd1D => "HProd1D",
+            Opcode::Merge1D => "Merge1D",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl FromStr for Opcode {
+    type Err = IsaError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Opcode::ALL
+            .iter()
+            .copied()
+            .find(|op| op.mnemonic().eq_ignore_ascii_case(s))
+            .ok_or_else(|| IsaError::UnknownOpcode(s.to_string()))
+    }
+}
+
+impl fmt::Display for OpcodeCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpcodeCategory::DeepLearning => "Deep Learning",
+            OpcodeCategory::LinearAlgebra => "Linear Algebra",
+            OpcodeCategory::Sort => "Sort",
+            OpcodeCategory::Count => "Count",
+            OpcodeCategory::Reduction => "Reduction",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonic_roundtrip() {
+        for op in Opcode::ALL {
+            assert_eq!(op.mnemonic().parse::<Opcode>().unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!("matmul".parse::<Opcode>().unwrap(), Opcode::MatMul);
+        assert!("Bogus".parse::<Opcode>().is_err());
+    }
+
+    #[test]
+    fn table3_categories() {
+        assert_eq!(Opcode::Cv2D.category(), OpcodeCategory::DeepLearning);
+        assert_eq!(Opcode::MatMul.category(), OpcodeCategory::LinearAlgebra);
+        assert_eq!(Opcode::Sort1D.category(), OpcodeCategory::Sort);
+        assert_eq!(Opcode::Count1D.category(), OpcodeCategory::Count);
+        assert_eq!(Opcode::Add1D.category(), OpcodeCategory::Reduction);
+        assert_eq!(Opcode::Merge1D.category(), OpcodeCategory::Reduction);
+    }
+
+    #[test]
+    fn reductions_prefer_lfu() {
+        assert!(Opcode::HSum1D.prefers_lfu());
+        assert!(!Opcode::Cv2D.prefers_lfu());
+    }
+}

@@ -1,0 +1,259 @@
+use std::fmt;
+
+/// Zero padding before/after one spatial axis.
+///
+/// User programs normally use symmetric padding, but the fractal
+/// decomposers produce *asymmetric* padding on spatial sub-instructions
+/// (only the border pieces keep the original padding), so padding is a
+/// `(before, after)` pair throughout the ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Pad {
+    /// Zeros prepended before the axis.
+    pub before: usize,
+    /// Zeros appended after the axis.
+    pub after: usize,
+}
+
+impl Pad {
+    /// Symmetric padding of `p` on both sides.
+    pub fn same(p: usize) -> Self {
+        Pad { before: p, after: p }
+    }
+
+    /// Total padding on the axis.
+    pub fn total(self) -> usize {
+        self.before + self.after
+    }
+}
+
+/// Convolution attributes (shared by [`crate::Opcode::Cv2D`] and
+/// [`crate::Opcode::Cv3D`]).
+///
+/// `pads` is indexed by spatial axis: `[h, w, _]` for 2-D (third entry
+/// unused and zero), `[d, h, w]` for 3-D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvParams {
+    /// Spatial stride (same on every spatial axis).
+    pub stride: usize,
+    /// Per-axis `(before, after)` zero padding.
+    pub pads: [Pad; 3],
+}
+
+impl ConvParams {
+    /// Symmetric padding `pad` on every spatial axis.
+    pub fn same(stride: usize, pad: usize) -> Self {
+        ConvParams { stride, pads: [Pad::same(pad); 3] }
+    }
+}
+
+impl Default for ConvParams {
+    fn default() -> Self {
+        ConvParams::same(1, 0)
+    }
+}
+
+/// Pooling attributes for `Max2D`/`Min2D`/`Avg2D`. `pads` is `[h, w]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolParams {
+    /// Pooling window height.
+    pub kh: usize,
+    /// Pooling window width.
+    pub kw: usize,
+    /// Window stride.
+    pub stride: usize,
+    /// Per-axis `(before, after)` zero padding.
+    pub pads: [Pad; 2],
+}
+
+impl PoolParams {
+    /// A square window of side `k` and stride `stride`, symmetric padding.
+    pub fn square(k: usize, stride: usize, pad: usize) -> Self {
+        PoolParams { kh: k, kw: k, stride, pads: [Pad::same(pad); 2] }
+    }
+}
+
+impl Default for PoolParams {
+    fn default() -> Self {
+        PoolParams::square(2, 2, 0)
+    }
+}
+
+/// Local-response-normalisation attributes (AlexNet §3.3 definition).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LrnParams {
+    /// Number of neighbouring channels in the window.
+    pub size: usize,
+    /// Scale.
+    pub alpha: f32,
+    /// Exponent.
+    pub beta: f32,
+    /// Bias.
+    pub k: f32,
+}
+
+impl Default for LrnParams {
+    fn default() -> Self {
+        LrnParams { size: 5, alpha: 1e-4, beta: 0.75, k: 2.0 }
+    }
+}
+
+/// Activation function selector for `Act1D`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ActKind {
+    /// Rectified linear unit.
+    #[default]
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl fmt::Display for ActKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ActKind::Relu => "relu",
+            ActKind::Sigmoid => "sigmoid",
+            ActKind::Tanh => "tanh",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Attributes for `Count1D`: count elements within `tol` of `value`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CountParams {
+    /// The value to count.
+    pub value: f32,
+    /// Absolute tolerance of the equality test.
+    pub tol: f32,
+}
+
+impl Default for CountParams {
+    fn default() -> Self {
+        CountParams { value: 0.0, tol: 1e-6 }
+    }
+}
+
+/// The attribute parameters `P` of a FISA instruction.
+///
+/// `None` is used by the many opcodes whose behaviour is fully determined by
+/// operand shapes (elementwise ops, `MatMul`, `Sort1D`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum OpParams {
+    /// No attributes.
+    #[default]
+    None,
+    /// Convolution attributes.
+    Conv(ConvParams),
+    /// Pooling attributes.
+    Pool(PoolParams),
+    /// LRN attributes.
+    Lrn(LrnParams),
+    /// Activation attributes.
+    Act(ActKind),
+    /// Count attributes.
+    Count(CountParams),
+}
+
+impl OpParams {
+    /// The convolution attributes, or defaults if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on parameters of a non-convolution kind other
+    /// than [`OpParams::None`]; that indicates a malformed instruction that
+    /// validation should have rejected.
+    pub fn conv(&self) -> ConvParams {
+        match self {
+            OpParams::Conv(p) => *p,
+            OpParams::None => ConvParams::default(),
+            other => panic!("expected convolution params, found {other:?}"),
+        }
+    }
+
+    /// The pooling attributes, or defaults if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-pooling parameter kind other than [`OpParams::None`].
+    pub fn pool(&self) -> PoolParams {
+        match self {
+            OpParams::Pool(p) => *p,
+            OpParams::None => PoolParams::default(),
+            other => panic!("expected pooling params, found {other:?}"),
+        }
+    }
+
+    /// The LRN attributes, or defaults if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-LRN parameter kind other than [`OpParams::None`].
+    pub fn lrn(&self) -> LrnParams {
+        match self {
+            OpParams::Lrn(p) => *p,
+            OpParams::None => LrnParams::default(),
+            other => panic!("expected LRN params, found {other:?}"),
+        }
+    }
+
+    /// The activation kind, or default (ReLU) if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-activation parameter kind other than
+    /// [`OpParams::None`].
+    pub fn act(&self) -> ActKind {
+        match self {
+            OpParams::Act(k) => *k,
+            OpParams::None => ActKind::default(),
+            other => panic!("expected activation params, found {other:?}"),
+        }
+    }
+
+    /// The count attributes, or defaults if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-count parameter kind other than [`OpParams::None`].
+    pub fn count(&self) -> CountParams {
+        match self {
+            OpParams::Count(p) => *p,
+            OpParams::None => CountParams::default(),
+            other => panic!("expected count params, found {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        assert_eq!(ConvParams::default().stride, 1);
+        assert_eq!(PoolParams::default().kh, 2);
+        assert_eq!(ActKind::default(), ActKind::Relu);
+    }
+
+    #[test]
+    fn accessors_accept_none() {
+        let p = OpParams::None;
+        assert_eq!(p.conv(), ConvParams::default());
+        assert_eq!(p.pool(), PoolParams::default());
+        assert_eq!(p.act(), ActKind::Relu);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected convolution params")]
+    fn mismatched_accessor_panics() {
+        let p = OpParams::Act(ActKind::Tanh);
+        let _ = p.conv();
+    }
+
+    #[test]
+    fn act_display() {
+        assert_eq!(ActKind::Sigmoid.to_string(), "sigmoid");
+    }
+}

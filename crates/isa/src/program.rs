@@ -1,0 +1,257 @@
+use cf_tensor::{Region, Shape};
+
+use crate::{infer_output_shapes, Instruction, IsaError, Opcode, OpParams};
+
+/// A handle to a named tensor in a program's external memory.
+///
+/// Handles are cheap copies; resolve them to [`Region`]s through the
+/// [`ProgramBuilder`] (or the finished [`Program`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TensorHandle(usize);
+
+/// A complete FISA program: an instruction sequence plus the external-memory
+/// layout of its named tensors.
+///
+/// Programs carry no hardware information whatsoever (§4 "hardware
+/// transparency"): the same `Program` value is executed by any machine
+/// configuration in `cf-core`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    instructions: Vec<Instruction>,
+    symbols: Vec<(String, Region)>,
+    extern_elems: u64,
+}
+
+impl Program {
+    /// The instruction sequence.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Named tensors in external memory, in declaration order.
+    pub fn symbols(&self) -> &[(String, Region)] {
+        &self.symbols
+    }
+
+    /// Looks up a named tensor's region.
+    pub fn symbol(&self, name: &str) -> Option<&Region> {
+        self.symbols.iter().find(|(n, _)| n == name).map(|(_, r)| r)
+    }
+
+    /// Number of `f32` elements of external memory the program requires.
+    pub fn extern_elems(&self) -> u64 {
+        self.extern_elems
+    }
+
+    /// Total useful arithmetic work of the program in scalar operations,
+    /// as estimated by `cost_fn` per instruction. (The cost model itself
+    /// lives in `cf-ops`; this is a convenience fold.)
+    pub fn total_cost(&self, mut cost_fn: impl FnMut(&Instruction) -> u64) -> u64 {
+        self.instructions.iter().map(&mut cost_fn).sum()
+    }
+}
+
+/// Incremental builder for [`Program`]s — the programmer-facing API used in
+/// the paper's Figure 11 style of inline FISA assembly.
+///
+/// # Examples
+///
+/// ```
+/// use cf_isa::{Opcode, ProgramBuilder};
+///
+/// let mut b = ProgramBuilder::new();
+/// let a = b.alloc("a", vec![8, 8]);
+/// let w = b.alloc("w", vec![8, 8]);
+/// // `apply` allocates outputs with the inferred shapes.
+/// let c = b.apply(Opcode::MatMul, [a, w])?;
+/// assert_eq!(b.shape(c[0]).dims(), &[8, 8]);
+/// # Ok::<(), cf_isa::IsaError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    instructions: Vec<Instruction>,
+    symbols: Vec<(String, Region)>,
+    cursor: u64,
+    temp_count: usize,
+}
+
+impl ProgramBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a tensor of `dims` in external memory and returns its
+    /// handle. Tensors are laid out contiguously in declaration order.
+    pub fn alloc(&mut self, name: impl Into<String>, dims: Vec<usize>) -> TensorHandle {
+        let shape = Shape::new(dims);
+        let region = Region::contiguous(self.cursor, shape);
+        self.cursor += region.numel();
+        self.symbols.push((name.into(), region));
+        TensorHandle(self.symbols.len() - 1)
+    }
+
+    /// The region a handle resolves to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle comes from a different builder.
+    pub fn region(&self, h: TensorHandle) -> &Region {
+        &self.symbols[h.0].1
+    }
+
+    /// The shape of a handle's tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle comes from a different builder.
+    pub fn shape(&self, h: TensorHandle) -> &Shape {
+        self.symbols[h.0].1.shape()
+    }
+
+    /// Emits an instruction with default parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from [`Instruction::new`].
+    pub fn emit(
+        &mut self,
+        op: Opcode,
+        inputs: impl IntoIterator<Item = TensorHandle>,
+        outputs: impl IntoIterator<Item = TensorHandle>,
+    ) -> Result<(), IsaError> {
+        self.emit_with(op, OpParams::None, inputs, outputs)
+    }
+
+    /// Emits an instruction with explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from [`Instruction::new`].
+    pub fn emit_with(
+        &mut self,
+        op: Opcode,
+        params: OpParams,
+        inputs: impl IntoIterator<Item = TensorHandle>,
+        outputs: impl IntoIterator<Item = TensorHandle>,
+    ) -> Result<(), IsaError> {
+        let inputs = inputs.into_iter().map(|h| self.region(h).clone()).collect();
+        let outputs = outputs.into_iter().map(|h| self.region(h).clone()).collect();
+        self.instructions.push(Instruction::new(op, params, inputs, outputs)?);
+        Ok(())
+    }
+
+    /// Emits an instruction whose output tensors are allocated
+    /// automatically (named `%tN`) with the inferred shapes, returning the
+    /// output handles. This mirrors how the paper's sample program chains
+    /// primitives without declaring intermediates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference and validation errors.
+    pub fn apply(
+        &mut self,
+        op: Opcode,
+        inputs: impl IntoIterator<Item = TensorHandle>,
+    ) -> Result<Vec<TensorHandle>, IsaError> {
+        self.apply_with(op, OpParams::None, inputs)
+    }
+
+    /// [`ProgramBuilder::apply`] with explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference and validation errors.
+    pub fn apply_with(
+        &mut self,
+        op: Opcode,
+        params: OpParams,
+        inputs: impl IntoIterator<Item = TensorHandle>,
+    ) -> Result<Vec<TensorHandle>, IsaError> {
+        let in_handles: Vec<TensorHandle> = inputs.into_iter().collect();
+        let in_shapes: Vec<Shape> =
+            in_handles.iter().map(|&h| self.shape(h).clone()).collect();
+        let out_shapes = infer_output_shapes(op, &params, &in_shapes)?;
+        let out_handles: Vec<TensorHandle> = out_shapes
+            .into_iter()
+            .map(|s| {
+                let name = format!("%t{}", self.temp_count);
+                self.temp_count += 1;
+                self.alloc(name, s.dims().to_vec())
+            })
+            .collect();
+        self.emit_with(op, params, in_handles, out_handles.clone())?;
+        Ok(out_handles)
+    }
+
+    /// Appends an already-validated instruction whose operands may be raw
+    /// regions rather than declared symbols. Used by the assembly parser
+    /// and by tests that need operand aliasing; the handle-based `emit`
+    /// family is the idiomatic path.
+    pub fn push_raw(&mut self, inst: Instruction) {
+        // Grow the external footprint to cover any raw regions.
+        for r in inst.inputs.iter().chain(&inst.outputs) {
+            self.cursor = self.cursor.max(r.end() + 1);
+        }
+        self.instructions.push(inst);
+    }
+
+    /// Finishes the program.
+    pub fn build(self) -> Program {
+        Program {
+            instructions: self.instructions,
+            symbols: self.symbols,
+            extern_elems: self.cursor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_contiguous_in_declaration_order() {
+        let mut b = ProgramBuilder::new();
+        let x = b.alloc("x", vec![10]);
+        let y = b.alloc("y", vec![4, 4]);
+        assert_eq!(b.region(x).offset(), 0);
+        assert_eq!(b.region(y).offset(), 10);
+        let p = b.build();
+        assert_eq!(p.extern_elems(), 26);
+        assert_eq!(p.symbol("y").unwrap().offset(), 10);
+        assert!(p.symbol("z").is_none());
+    }
+
+    #[test]
+    fn apply_allocates_inferred_outputs() {
+        let mut b = ProgramBuilder::new();
+        let a = b.alloc("a", vec![3, 5]);
+        let w = b.alloc("w", vec![5, 2]);
+        let outs = b.apply(Opcode::MatMul, [a, w]).unwrap();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(b.shape(outs[0]).dims(), &[3, 2]);
+        let p = b.build();
+        assert_eq!(p.instructions().len(), 1);
+        assert_eq!(p.symbols().len(), 3);
+    }
+
+    #[test]
+    fn emit_validates() {
+        let mut b = ProgramBuilder::new();
+        let a = b.alloc("a", vec![3]);
+        let c = b.alloc("c", vec![4]);
+        assert!(b.emit(Opcode::Add1D, [a, a], [c]).is_err());
+    }
+
+    #[test]
+    fn total_cost_folds() {
+        let mut b = ProgramBuilder::new();
+        let a = b.alloc("a", vec![8]);
+        let z = b.alloc("z", vec![8]);
+        b.emit(Opcode::Add1D, [a, a], [z]).unwrap();
+        b.emit(Opcode::Act1D, [z], [z]).unwrap();
+        let p = b.build();
+        assert_eq!(p.total_cost(|_| 3), 6);
+    }
+}

@@ -1,0 +1,275 @@
+//! Output-shape inference for every FISA opcode.
+//!
+//! Shape inference defines the *semantic signatures* of the ISA: the
+//! instruction validator, the program builder and the fractal decomposers
+//! all derive legality from these rules.
+
+use cf_tensor::Shape;
+
+use crate::{IsaError, Opcode, OpParams};
+
+fn bad(op: Opcode, detail: impl Into<String>) -> IsaError {
+    IsaError::BadOperandShape { op, detail: detail.into() }
+}
+
+fn arity(op: Opcode, inputs: &[Shape], expected: &'static [usize]) -> Result<(), IsaError> {
+    if expected.contains(&inputs.len()) {
+        Ok(())
+    } else {
+        Err(IsaError::BadInputArity { op, expected, actual: inputs.len() })
+    }
+}
+
+/// Output extent of one spatial convolution/pooling axis.
+///
+/// # Errors
+///
+/// Returns an error when the (padded) input is smaller than the kernel or
+/// the stride is zero.
+pub(crate) fn conv_out_extent(
+    op: Opcode,
+    input: usize,
+    kernel: usize,
+    stride: usize,
+    pad: crate::Pad,
+) -> Result<usize, IsaError> {
+    if stride == 0 {
+        return Err(bad(op, "stride must be positive"));
+    }
+    let padded = input + pad.total();
+    if padded < kernel {
+        return Err(bad(op, format!("kernel {kernel} exceeds padded input {padded}")));
+    }
+    Ok((padded - kernel) / stride + 1)
+}
+
+/// Infers the output shapes of an instruction from its opcode, parameters
+/// and input shapes.
+///
+/// # Errors
+///
+/// Returns [`IsaError::BadInputArity`] or [`IsaError::BadOperandShape`] when
+/// the inputs are not a legal signature for the opcode.
+pub fn infer_output_shapes(
+    op: Opcode,
+    params: &OpParams,
+    inputs: &[Shape],
+) -> Result<Vec<Shape>, IsaError> {
+    match op {
+        Opcode::Cv2D => {
+            arity(op, inputs, &[2])?;
+            let (x, w) = (&inputs[0], &inputs[1]);
+            if x.rank() != 4 || w.rank() != 4 {
+                return Err(bad(op, format!("need input [N,H,W,Ci] and weight [Kh,Kw,Ci,Co], got {x} and {w}")));
+            }
+            if x.dim(3) != w.dim(2) {
+                return Err(bad(op, format!("channel mismatch: input Ci={} weight Ci={}", x.dim(3), w.dim(2))));
+            }
+            let p = params.conv();
+            let ho = conv_out_extent(op, x.dim(1), w.dim(0), p.stride, p.pads[0])?;
+            let wo = conv_out_extent(op, x.dim(2), w.dim(1), p.stride, p.pads[1])?;
+            Ok(vec![Shape::new(vec![x.dim(0), ho, wo, w.dim(3)])])
+        }
+        Opcode::Cv3D => {
+            arity(op, inputs, &[2])?;
+            let (x, w) = (&inputs[0], &inputs[1]);
+            if x.rank() != 5 || w.rank() != 5 {
+                return Err(bad(op, format!("need input [N,D,H,W,Ci] and weight [Kd,Kh,Kw,Ci,Co], got {x} and {w}")));
+            }
+            if x.dim(4) != w.dim(3) {
+                return Err(bad(op, "channel mismatch"));
+            }
+            let p = params.conv();
+            let dd = conv_out_extent(op, x.dim(1), w.dim(0), p.stride, p.pads[0])?;
+            let ho = conv_out_extent(op, x.dim(2), w.dim(1), p.stride, p.pads[1])?;
+            let wo = conv_out_extent(op, x.dim(3), w.dim(2), p.stride, p.pads[2])?;
+            Ok(vec![Shape::new(vec![x.dim(0), dd, ho, wo, w.dim(4)])])
+        }
+        Opcode::Max2D | Opcode::Min2D | Opcode::Avg2D => {
+            arity(op, inputs, &[1])?;
+            let x = &inputs[0];
+            if x.rank() != 4 {
+                return Err(bad(op, format!("need input [N,H,W,C], got {x}")));
+            }
+            let p = params.pool();
+            let ho = conv_out_extent(op, x.dim(1), p.kh, p.stride, p.pads[0])?;
+            let wo = conv_out_extent(op, x.dim(2), p.kw, p.stride, p.pads[1])?;
+            Ok(vec![Shape::new(vec![x.dim(0), ho, wo, x.dim(3)])])
+        }
+        Opcode::Lrn => {
+            arity(op, inputs, &[1])?;
+            let x = &inputs[0];
+            if x.rank() != 4 {
+                return Err(bad(op, format!("need input [N,H,W,C], got {x}")));
+            }
+            Ok(vec![x.clone()])
+        }
+        Opcode::MatMul => {
+            arity(op, inputs, &[2])?;
+            let (a, b) = (&inputs[0], &inputs[1]);
+            if a.rank() != 2 || b.rank() != 2 {
+                return Err(bad(op, format!("need matrices, got {a} and {b}")));
+            }
+            if a.dim(1) != b.dim(0) {
+                return Err(bad(op, format!("inner dimensions differ: {} vs {}", a.dim(1), b.dim(0))));
+            }
+            Ok(vec![Shape::new(vec![a.dim(0), b.dim(1)])])
+        }
+        Opcode::Euclidian1D => {
+            arity(op, inputs, &[2])?;
+            let (x, y) = (&inputs[0], &inputs[1]);
+            if x.rank() != 2 || y.rank() != 2 {
+                return Err(bad(op, format!("need [n,d] and [m,d], got {x} and {y}")));
+            }
+            if x.dim(1) != y.dim(1) {
+                return Err(bad(op, "dimension (d) mismatch"));
+            }
+            Ok(vec![Shape::new(vec![x.dim(0), y.dim(0)])])
+        }
+        Opcode::Sort1D => {
+            arity(op, inputs, &[1, 2])?;
+            let k = &inputs[0];
+            if k.rank() != 1 {
+                return Err(bad(op, "keys must be rank-1"));
+            }
+            if inputs.len() == 2 && inputs[1] != *k {
+                return Err(bad(op, "payload must match key shape"));
+            }
+            Ok(inputs.to_vec())
+        }
+        Opcode::Merge1D => {
+            arity(op, inputs, &[2, 4])?;
+            let (a, b) = (&inputs[0], &inputs[1]);
+            if a.rank() != 1 || b.rank() != 1 {
+                return Err(bad(op, "merge inputs must be rank-1"));
+            }
+            let merged = Shape::new(vec![a.dim(0) + b.dim(0)]);
+            if inputs.len() == 4 {
+                if inputs[2] != *a || inputs[3] != *b {
+                    return Err(bad(op, "payloads must match key shapes"));
+                }
+                Ok(vec![merged.clone(), merged])
+            } else {
+                Ok(vec![merged])
+            }
+        }
+        Opcode::Count1D => {
+            arity(op, inputs, &[1])?;
+            Ok(vec![Shape::scalar()])
+        }
+        Opcode::Add1D | Opcode::Sub1D | Opcode::Mul1D => {
+            arity(op, inputs, &[2])?;
+            if inputs[0] != inputs[1] {
+                return Err(bad(
+                    op,
+                    format!("elementwise operands differ: {} vs {}", inputs[0], inputs[1]),
+                ));
+            }
+            Ok(vec![inputs[0].clone()])
+        }
+        Opcode::Act1D => {
+            arity(op, inputs, &[1])?;
+            Ok(vec![inputs[0].clone()])
+        }
+        Opcode::HSum1D | Opcode::HProd1D => {
+            arity(op, inputs, &[1])?;
+            Ok(vec![Shape::scalar()])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConvParams;
+
+    fn s(d: &[usize]) -> Shape {
+        Shape::new(d.to_vec())
+    }
+
+    #[test]
+    fn conv2d_shape() {
+        let out = infer_output_shapes(
+            Opcode::Cv2D,
+            &OpParams::Conv(ConvParams::same(2, 1)),
+            &[s(&[1, 8, 8, 3]), s(&[3, 3, 3, 16])],
+        )
+        .unwrap();
+        assert_eq!(out, vec![s(&[1, 4, 4, 16])]);
+    }
+
+    #[test]
+    fn conv2d_channel_mismatch() {
+        let e = infer_output_shapes(
+            Opcode::Cv2D,
+            &OpParams::None,
+            &[s(&[1, 8, 8, 3]), s(&[3, 3, 4, 16])],
+        );
+        assert!(matches!(e, Err(IsaError::BadOperandShape { .. })));
+    }
+
+    #[test]
+    fn matmul_shape() {
+        let out =
+            infer_output_shapes(Opcode::MatMul, &OpParams::None, &[s(&[4, 6]), s(&[6, 8])])
+                .unwrap();
+        assert_eq!(out, vec![s(&[4, 8])]);
+        assert!(infer_output_shapes(Opcode::MatMul, &OpParams::None, &[s(&[4, 6]), s(&[5, 8])])
+            .is_err());
+    }
+
+    #[test]
+    fn sort_with_payload() {
+        let out = infer_output_shapes(Opcode::Sort1D, &OpParams::None, &[s(&[9]), s(&[9])])
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(
+            infer_output_shapes(Opcode::Sort1D, &OpParams::None, &[s(&[9]), s(&[8])]).is_err()
+        );
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let out = infer_output_shapes(Opcode::Merge1D, &OpParams::None, &[s(&[3]), s(&[5])])
+            .unwrap();
+        assert_eq!(out, vec![s(&[8])]);
+    }
+
+    #[test]
+    fn horizontal_ops_scalar() {
+        for op in [Opcode::HSum1D, Opcode::HProd1D, Opcode::Count1D] {
+            let out = infer_output_shapes(op, &OpParams::None, &[s(&[100])]).unwrap();
+            assert_eq!(out, vec![Shape::scalar()]);
+        }
+    }
+
+    #[test]
+    fn eltwise_requires_same_shape() {
+        assert!(infer_output_shapes(Opcode::Add1D, &OpParams::None, &[s(&[4]), s(&[4, 1])])
+            .is_err());
+    }
+
+    #[test]
+    fn pooling_shape() {
+        let out = infer_output_shapes(Opcode::Max2D, &OpParams::None, &[s(&[2, 8, 8, 5])])
+            .unwrap();
+        assert_eq!(out, vec![s(&[2, 4, 4, 5])]);
+    }
+
+    #[test]
+    fn bad_arity_reported() {
+        let e = infer_output_shapes(Opcode::MatMul, &OpParams::None, &[s(&[4, 6])]);
+        assert!(matches!(e, Err(IsaError::BadInputArity { actual: 1, .. })));
+    }
+
+    #[test]
+    fn cv3d_shape() {
+        let out = infer_output_shapes(
+            Opcode::Cv3D,
+            &OpParams::None,
+            &[s(&[1, 4, 8, 8, 3]), s(&[2, 3, 3, 3, 7])],
+        )
+        .unwrap();
+        assert_eq!(out, vec![s(&[1, 3, 6, 6, 7])]);
+    }
+}

@@ -1,0 +1,395 @@
+//! Human-readable FISA assembly, in the spirit of the paper's Figure 11
+//! inline-assembly listing.
+//!
+//! Format, one item per line (`;` starts a comment):
+//!
+//! ```text
+//! .tensor samples [262144x512]
+//! .tensor dist    [256x262144]
+//! Euclidian1D queries, samples -> dist
+//! Sort1D{} @0:[16], labels -> sorted, voted
+//! Act1D{kind=relu} x -> y
+//! ```
+//!
+//! Operands are symbol names, or raw regions `@offset:[shape]` (optionally
+//! `@offset:[shape]:(strides)`).
+
+use std::fmt::Write as _;
+
+use cf_tensor::{Region, Shape};
+
+use crate::{
+    ActKind, ConvParams, CountParams, Instruction, IsaError, LrnParams, Opcode, OpParams,
+    PoolParams, Program, ProgramBuilder,
+};
+
+/// Renders a program to FISA assembly text.
+pub fn render_program(p: &Program) -> String {
+    let mut out = String::new();
+    for (name, region) in p.symbols() {
+        // Temporaries keep their %tN names; they are valid symbols too.
+        let _ = writeln!(out, ".tensor {name} {}", region.shape());
+    }
+    for inst in p.instructions() {
+        let _ = write!(out, "{}{}", inst.op.mnemonic(), render_params(&inst.params));
+        let fmt_ops = |ops: &[Region], out: &mut String| {
+            for (i, r) in ops.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                match p.symbols().iter().find(|(_, s)| s == r) {
+                    Some((name, _)) => out.push_str(name),
+                    None => {
+                        let _ = write!(out, "@{}:{}", r.offset(), r.shape());
+                        if !r.is_contiguous() {
+                            let _ = write!(
+                                out,
+                                ":({})",
+                                r.strides()
+                                    .iter()
+                                    .map(|s| s.to_string())
+                                    .collect::<Vec<_>>()
+                                    .join(",")
+                            );
+                        }
+                    }
+                }
+            }
+        };
+        out.push(' ');
+        fmt_ops(&inst.inputs, &mut out);
+        out.push_str(" -> ");
+        fmt_ops(&inst.outputs, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+fn render_params(p: &OpParams) -> String {
+    match p {
+        OpParams::None => String::new(),
+        OpParams::Conv(c) => format!("{{stride={},pads={}}}", c.stride, render_pads(&c.pads)),
+        OpParams::Pool(q) => format!(
+            "{{kh={},kw={},stride={},pads={}}}",
+            q.kh,
+            q.kw,
+            q.stride,
+            render_pads(&q.pads)
+        ),
+        OpParams::Lrn(l) => {
+            format!("{{size={},alpha={},beta={},k={}}}", l.size, l.alpha, l.beta, l.k)
+        }
+        OpParams::Act(k) => format!("{{kind={k}}}"),
+        OpParams::Count(c) => format!("{{value={},tol={}}}", c.value, c.tol),
+    }
+}
+
+fn render_pads(pads: &[crate::Pad]) -> String {
+    pads.iter().map(|p| format!("{}:{}", p.before, p.after)).collect::<Vec<_>>().join("/")
+}
+
+/// Parses `b0:a0/b1:a1[/b2:a2]` (asymmetric) or a single integer
+/// (symmetric on every axis).
+fn parse_pads<const N: usize>(
+    kv: &std::collections::HashMap<String, String>,
+    line: usize,
+) -> Result<[crate::Pad; N], IsaError> {
+    if let Some(v) = kv.get("pad") {
+        let p = v
+            .parse::<usize>()
+            .map_err(|_| IsaError::Parse { line, detail: format!("bad pad `{v}`") })?;
+        return Ok([crate::Pad::same(p); N]);
+    }
+    let Some(v) = kv.get("pads") else {
+        return Ok([crate::Pad::default(); N]);
+    };
+    let mut pads = [crate::Pad::default(); N];
+    for (i, item) in v.split('/').enumerate() {
+        if i >= N {
+            return Err(IsaError::Parse { line, detail: format!("too many pad axes in `{v}`") });
+        }
+        let (b, a) = item
+            .split_once(':')
+            .ok_or_else(|| IsaError::Parse { line, detail: format!("bad pad item `{item}`") })?;
+        pads[i] = crate::Pad {
+            before: b
+                .parse()
+                .map_err(|_| IsaError::Parse { line, detail: format!("bad pad `{b}`") })?,
+            after: a
+                .parse()
+                .map_err(|_| IsaError::Parse { line, detail: format!("bad pad `{a}`") })?,
+        };
+    }
+    Ok(pads)
+}
+
+fn parse_shape(s: &str, line: usize) -> Result<Shape, IsaError> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| IsaError::Parse { line, detail: format!("bad shape `{s}`") })?;
+    let dims = inner
+        .split('x')
+        .map(|d| {
+            d.trim()
+                .parse::<usize>()
+                .map_err(|_| IsaError::Parse { line, detail: format!("bad dimension `{d}`") })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    if dims.is_empty() || dims.iter().any(|&d| d == 0) {
+        return Err(IsaError::Parse { line, detail: format!("empty or zero shape `{s}`") });
+    }
+    Ok(Shape::new(dims))
+}
+
+fn parse_params(op: Opcode, body: &str, line: usize) -> Result<OpParams, IsaError> {
+    let mut kv = std::collections::HashMap::new();
+    for pair in body.split(',').filter(|p| !p.trim().is_empty()) {
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| IsaError::Parse { line, detail: format!("bad parameter `{pair}`") })?;
+        kv.insert(k.trim().to_string(), v.trim().to_string());
+    }
+    let get_usize = |kv: &std::collections::HashMap<String, String>, k: &str, d: usize| {
+        kv.get(k).map_or(Ok(d), |v| {
+            v.parse::<usize>()
+                .map_err(|_| IsaError::Parse { line, detail: format!("bad integer `{v}`") })
+        })
+    };
+    let get_f32 = |kv: &std::collections::HashMap<String, String>, k: &str, d: f32| {
+        kv.get(k).map_or(Ok(d), |v| {
+            v.parse::<f32>()
+                .map_err(|_| IsaError::Parse { line, detail: format!("bad number `{v}`") })
+        })
+    };
+    Ok(match op {
+        Opcode::Cv2D | Opcode::Cv3D => OpParams::Conv(ConvParams {
+            stride: get_usize(&kv, "stride", 1)?,
+            pads: parse_pads::<3>(&kv, line)?,
+        }),
+        Opcode::Max2D | Opcode::Min2D | Opcode::Avg2D => OpParams::Pool(PoolParams {
+            kh: get_usize(&kv, "kh", 2)?,
+            kw: get_usize(&kv, "kw", 2)?,
+            stride: get_usize(&kv, "stride", 2)?,
+            pads: parse_pads::<2>(&kv, line)?,
+        }),
+        Opcode::Lrn => OpParams::Lrn(LrnParams {
+            size: get_usize(&kv, "size", 5)?,
+            alpha: get_f32(&kv, "alpha", 1e-4)?,
+            beta: get_f32(&kv, "beta", 0.75)?,
+            k: get_f32(&kv, "k", 2.0)?,
+        }),
+        Opcode::Act1D => OpParams::Act(match kv.get("kind").map(String::as_str) {
+            None | Some("relu") => ActKind::Relu,
+            Some("sigmoid") => ActKind::Sigmoid,
+            Some("tanh") => ActKind::Tanh,
+            Some(other) => {
+                return Err(IsaError::Parse {
+                    line,
+                    detail: format!("unknown activation `{other}`"),
+                })
+            }
+        }),
+        Opcode::Count1D => OpParams::Count(CountParams {
+            value: get_f32(&kv, "value", 0.0)?,
+            tol: get_f32(&kv, "tol", 1e-6)?,
+        }),
+        _ if kv.is_empty() => OpParams::None,
+        _ => {
+            return Err(IsaError::Parse { line, detail: format!("{op} takes no parameters") })
+        }
+    })
+}
+
+/// Parses FISA assembly text back into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`IsaError::Parse`] with a line number for syntax problems and
+/// instruction-validation errors for semantic ones.
+pub fn parse_program(text: &str) -> Result<Program, IsaError> {
+    let mut builder = ProgramBuilder::new();
+    let mut handles = std::collections::HashMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let stmt = raw.split(';').next().unwrap_or("").trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix(".tensor") {
+            let mut parts = rest.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or_else(|| IsaError::Parse { line, detail: "missing tensor name".into() })?;
+            let shape = parse_shape(
+                parts.next().ok_or_else(|| IsaError::Parse {
+                    line,
+                    detail: "missing tensor shape".into(),
+                })?,
+                line,
+            )?;
+            let h = builder.alloc(name, shape.dims().to_vec());
+            handles.insert(name.to_string(), h);
+            continue;
+        }
+        // Instruction line: `Op{params} in, in -> out, out`.
+        let (lhs, rhs) = stmt.split_once("->").ok_or_else(|| IsaError::Parse {
+            line,
+            detail: "missing `->`".into(),
+        })?;
+        let lhs = lhs.trim();
+        let (head, ins) = match lhs.find(char::is_whitespace) {
+            Some(i) => (&lhs[..i], lhs[i..].trim()),
+            None => (lhs, ""),
+        };
+        let (mnemonic, params_body) = match head.find('{') {
+            Some(i) => {
+                let body = head[i..]
+                    .strip_prefix('{')
+                    .and_then(|t| t.strip_suffix('}'))
+                    .ok_or_else(|| IsaError::Parse { line, detail: "unclosed `{`".into() })?;
+                (&head[..i], body)
+            }
+            None => (head, ""),
+        };
+        let op: Opcode = mnemonic.parse()?;
+        let params = parse_params(op, params_body, line)?;
+        let parse_ops = |list: &str| -> Result<Vec<TensorOrRegion>, IsaError> {
+            list.split(',')
+                .map(str::trim)
+                .filter(|t| !t.is_empty())
+                .map(|tok| {
+                    if let Some(body) = tok.strip_prefix('@') {
+                        let mut segs = body.splitn(3, ':');
+                        let off = segs
+                            .next()
+                            .and_then(|s| s.parse::<u64>().ok())
+                            .ok_or_else(|| IsaError::Parse {
+                                line,
+                                detail: format!("bad region `{tok}`"),
+                            })?;
+                        let shape = parse_shape(
+                            segs.next().ok_or_else(|| IsaError::Parse {
+                                line,
+                                detail: format!("region `{tok}` missing shape"),
+                            })?,
+                            line,
+                        )?;
+                        let region = match segs.next() {
+                            None => Region::contiguous(off, shape),
+                            Some(s) => {
+                                let inner = s
+                                    .strip_prefix('(')
+                                    .and_then(|t| t.strip_suffix(')'))
+                                    .ok_or_else(|| IsaError::Parse {
+                                        line,
+                                        detail: format!("bad strides in `{tok}`"),
+                                    })?;
+                                let strides = inner
+                                    .split(',')
+                                    .map(|d| {
+                                        d.trim().parse::<u64>().map_err(|_| IsaError::Parse {
+                                            line,
+                                            detail: format!("bad stride `{d}`"),
+                                        })
+                                    })
+                                    .collect::<Result<Vec<_>, _>>()?;
+                                Region::strided(off, shape, strides)
+                            }
+                        };
+                        Ok(TensorOrRegion::Region(region))
+                    } else {
+                        Ok(TensorOrRegion::Name(tok.to_string()))
+                    }
+                })
+                .collect()
+        };
+        let resolve = |ops: Vec<TensorOrRegion>| -> Result<Vec<Region>, IsaError> {
+            ops.into_iter()
+                .map(|o| match o {
+                    TensorOrRegion::Region(r) => Ok(r),
+                    TensorOrRegion::Name(n) => handles
+                        .get(&n)
+                        .map(|&h| builder.region(h).clone())
+                        .ok_or_else(|| IsaError::Parse {
+                            line,
+                            detail: format!("unknown tensor `{n}`"),
+                        }),
+                })
+                .collect()
+        };
+        let inputs = resolve(parse_ops(ins)?)?;
+        let outputs = resolve(parse_ops(rhs.trim())?)?;
+        // Bypass the handle-based emit: operands may be raw regions.
+        let inst = Instruction::new(op, params, inputs, outputs)?;
+        builder_push(&mut builder, inst);
+    }
+    Ok(builder.build())
+}
+
+enum TensorOrRegion {
+    Name(String),
+    Region(Region),
+}
+
+// The builder API is handle-based; parsing needs to append an already-built
+// instruction. Kept as a free function so `ProgramBuilder`'s public surface
+// stays handle-only.
+fn builder_push(b: &mut ProgramBuilder, inst: Instruction) {
+    b.push_raw(inst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple_program() {
+        let mut b = ProgramBuilder::new();
+        let x = b.alloc("x", vec![64]);
+        let y = b.alloc("y", vec![64]);
+        let z = b.alloc("z", vec![64]);
+        b.emit(Opcode::Add1D, [x, y], [z]).unwrap();
+        b.emit_with(Opcode::Act1D, OpParams::Act(ActKind::Tanh), [z], [z]).unwrap();
+        let p = b.build();
+        let text = render_program(&p);
+        let q = parse_program(&text).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn roundtrip_with_params_and_regions() {
+        let text = "\
+; a convolution over raw regions
+.tensor img [1x8x8x3]
+.tensor w [3x3x3x4]
+Cv2D{stride=1,pad=1} img, w -> @204:[1x8x8x4]
+Count1D{value=2,tol=0.5} @0:[16] -> @500:[1]
+";
+        let p = parse_program(text).unwrap();
+        assert_eq!(p.instructions().len(), 2);
+        let r = parse_program(&render_program(&p)).unwrap();
+        assert_eq!(p.instructions(), r.instructions());
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let e = parse_program(".tensor x [4]\nBogus x -> x\n").unwrap_err();
+        match e {
+            IsaError::UnknownOpcode(s) => assert_eq!(s, "Bogus"),
+            other => panic!("unexpected error {other}"),
+        }
+        let e = parse_program("Add1D x, y ->\n").unwrap_err();
+        assert!(matches!(e, IsaError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn strided_region_roundtrip() {
+        let text = ".tensor o [1]\nHSum1D @2:[3]:(4) -> o\n";
+        let p = parse_program(text).unwrap();
+        let inst = &p.instructions()[0];
+        assert_eq!(inst.inputs[0].strides(), &[4]);
+        let q = parse_program(&render_program(&p)).unwrap();
+        assert_eq!(p.instructions(), q.instructions());
+    }
+}

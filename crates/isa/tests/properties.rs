@@ -1,0 +1,98 @@
+//! Property tests for FISA: assembly round-tripping and builder/validator
+//! consistency over randomly generated programs.
+
+use cf_isa::{
+    parse_program, render_program, ActKind, ConvParams, OpParams, Opcode, PoolParams,
+    ProgramBuilder,
+};
+use proptest::prelude::*;
+
+/// A strategy producing random (but valid) single-instruction programs.
+fn arb_program() -> impl Strategy<Value = cf_isa::Program> {
+    prop_oneof![
+        // MatMul
+        (1usize..20, 1usize..20, 1usize..20).prop_map(|(m, k, n)| {
+            let mut b = ProgramBuilder::new();
+            let a = b.alloc("a", vec![m, k]);
+            let w = b.alloc("w", vec![k, n]);
+            b.apply(Opcode::MatMul, [a, w]).unwrap();
+            b.build()
+        }),
+        // Conv2D with random stride/pad
+        (1usize..3, 4usize..10, 1usize..4, 1usize..4, 1usize..3, 0usize..2).prop_map(
+            |(n, hw, ci, co, s, p)| {
+                let mut b = ProgramBuilder::new();
+                let x = b.alloc("x", vec![n, hw, hw, ci]);
+                let w = b.alloc("w", vec![3, 3, ci, co]);
+                b.apply_with(
+                    Opcode::Cv2D,
+                    OpParams::Conv(ConvParams::same(s, p)),
+                    [x, w],
+                )
+                .unwrap();
+                b.build()
+            }
+        ),
+        // Pooling
+        (1usize..3, 4usize..12, 1usize..5).prop_map(|(n, hw, c)| {
+            let mut b = ProgramBuilder::new();
+            let x = b.alloc("x", vec![n, hw, hw, c]);
+            b.apply_with(
+                Opcode::Max2D,
+                OpParams::Pool(PoolParams::square(2, 2, 0)),
+                [x],
+            )
+            .unwrap();
+            b.build()
+        }),
+        // Elementwise chains
+        (1usize..200, 0usize..3).prop_map(|(n, kind)| {
+            let mut b = ProgramBuilder::new();
+            let x = b.alloc("x", vec![n]);
+            let y = b.alloc("y", vec![n]);
+            let op = [Opcode::Add1D, Opcode::Sub1D, Opcode::Mul1D][kind];
+            let z = b.apply(op, [x, y]).unwrap();
+            b.apply_with(Opcode::Act1D, OpParams::Act(ActKind::Tanh), [z[0]]).unwrap();
+            b.build()
+        }),
+        // Sort with payload
+        (1usize..100).prop_map(|n| {
+            let mut b = ProgramBuilder::new();
+            let k = b.alloc("k", vec![n]);
+            let v = b.alloc("v", vec![n]);
+            b.apply(Opcode::Sort1D, [k, v]).unwrap();
+            b.build()
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn assembly_roundtrip(program in arb_program()) {
+        let text = render_program(&program);
+        let back = parse_program(&text).unwrap();
+        prop_assert_eq!(program.instructions(), back.instructions());
+        // And rendering is a fixed point.
+        prop_assert_eq!(render_program(&back), text);
+    }
+
+    #[test]
+    fn every_instruction_revalidates(program in arb_program()) {
+        for inst in program.instructions() {
+            prop_assert!(inst.validate().is_ok());
+            prop_assert!(inst.granularity() > 0);
+            prop_assert!(inst.operand_bytes() >= inst.granularity());
+        }
+    }
+
+    #[test]
+    fn symbols_are_disjoint_and_inside_footprint(program in arb_program()) {
+        let symbols = program.symbols();
+        for (i, (_, a)) in symbols.iter().enumerate() {
+            prop_assert!(a.end() < program.extern_elems());
+            for (_, b) in symbols.iter().skip(i + 1) {
+                prop_assert!(!a.may_overlap(b), "symbols overlap");
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Parametric 45-nm area model, calibrated to the paper's Table 7 layout
+//! numbers (the Synopsys place-and-route substitute; DESIGN.md §1).
+//!
+//! Calibration anchors:
+//!
+//! * a leaf core is 0.4263 mm² (0.2016 mm² of eDRAM, the rest MAC matrix,
+//!   registers and control) at 0.465 Tops;
+//! * a Cambricon-F1 chip (one FMP: 32 cores + 8 MB eDRAM + controller) is
+//!   29.206 mm²;
+//! * a Cambricon-F100 chip (8 FMPs + 256 MB eDRAM + controller) is
+//!   415.1 mm².
+//!
+//! Solving those constraints gives ≈0.68 mm²/MB for large eDRAM arrays and
+//! ≈10 mm² of controller/interconnect per 32-way node.
+
+use cf_core::MachineConfig;
+
+/// Leaf-core area in mm² (Table 7, "Core").
+pub const CORE_MM2: f64 = 0.4263;
+
+/// Large-array eDRAM density in mm² per MiB at 45 nm.
+pub const EDRAM_MM2_PER_MIB: f64 = 0.68;
+
+/// Controller base area per node in mm².
+pub const NODE_BASE_MM2: f64 = 0.7;
+
+/// Interconnect/decoder area per child in mm².
+pub const NODE_PER_CHILD_MM2: f64 = 0.22;
+
+/// Area per LFU lane in mm².
+pub const LFU_LANE_MM2: f64 = 0.15;
+
+/// Area of one inner node (its local memory, controller, LFUs and wiring —
+/// excluding its children).
+pub fn node_mm2(mem_bytes: u64, fanout: usize, lfu_lanes: usize) -> f64 {
+    mem_bytes as f64 / (1 << 20) as f64 * EDRAM_MM2_PER_MIB
+        + NODE_BASE_MM2
+        + NODE_PER_CHILD_MM2 * fanout as f64
+        + LFU_LANE_MM2 * lfu_lanes as f64
+}
+
+/// Total silicon area of every level at or below `from_level` of a
+/// machine, in mm². Level 0 with a DRAM-class memory (≥ 1 GiB) contributes
+/// only its controller: commodity DRAM is off-die.
+pub fn subtree_mm2(cfg: &MachineConfig, from_level: usize) -> f64 {
+    let mut area = 0.0;
+    let mut nodes = 1.0;
+    for (i, level) in cfg.levels.iter().enumerate().skip(from_level) {
+        let mem_on_die = if level.mem_bytes >= (1 << 30) { 0 } else { level.mem_bytes };
+        area += nodes * node_mm2(mem_on_die, level.fanout, level.lfu_lanes);
+        nodes *= level.fanout as f64;
+        let _ = i;
+    }
+    area + nodes * CORE_MM2
+}
+
+/// Convenience: whole-machine silicon area.
+pub fn machine_mm2(cfg: &MachineConfig) -> f64 {
+    subtree_mm2(cfg, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f1_chip_area_matches_table7() {
+        // F1 silicon = the FMP level down (the 32 GB card DRAM is off-die).
+        let cfg = MachineConfig::cambricon_f1();
+        let area = subtree_mm2(&cfg, 1);
+        let paper = 29.206;
+        assert!(
+            (area - paper).abs() / paper < 0.10,
+            "F1 chip area {area:.1} mm² vs paper {paper}"
+        );
+    }
+
+    #[test]
+    fn f100_chip_area_matches_table7() {
+        // An F100 chip = the Chip level of the F100 hierarchy.
+        let cfg = MachineConfig::cambricon_f100();
+        let area = subtree_mm2(&cfg, 2);
+        let paper = 415.1;
+        assert!(
+            (area - paper).abs() / paper < 0.10,
+            "F100 chip area {area:.1} mm² vs paper {paper}"
+        );
+    }
+
+    #[test]
+    fn dram_levels_are_off_die() {
+        let cfg = MachineConfig::cambricon_f1();
+        let with_card = machine_mm2(&cfg);
+        let chip_only = subtree_mm2(&cfg, 1);
+        // The card level adds only its controller, not 32 GB of "eDRAM".
+        assert!(with_card - chip_only < 5.0);
+    }
+
+    #[test]
+    fn core_area_is_anchor() {
+        assert!((CORE_MM2 - 0.4263).abs() < 1e-9);
+    }
+}

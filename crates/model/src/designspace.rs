@@ -1,0 +1,334 @@
+//! Hierarchy design-space exploration (paper Table 4).
+//!
+//! The paper compares four Cambricon-F designs of identical capability
+//! (512 cores × 0.465 Tops ≈ 238 Tops) but different depth, sizing each
+//! node's memory with the MBOI rule `M ≈ MBOI_Ref⁻¹(peak/bandwidth)`.
+//!
+//! Sizing model (documented substitution, DESIGN.md §1): the reference
+//! MBOI curve is fitted to the paper's own two design points — an 8 MiB
+//! FMP sustains OI ≈ 29 and the flat design's node needs a multi-GiB
+//! memory for OI ≈ 465 — giving `MBOI_Ref(M) = 29 · (M / 8 MiB)^0.4`.
+//! Bandwidth demand of a child is its peak divided by the *matmul*
+//! theoretical MBOI of its own memory. Levels whose sized memory exceeds
+//! 256 MiB would be off-die DRAM — except a level that feeds leaf cores,
+//! which must stay on die: that is exactly what makes the flat design's
+//! area and power explode.
+
+use cf_core::perf::PerfSim;
+use cf_core::{CoreError, LevelSpec, MachineConfig};
+use cf_isa::Program;
+
+use crate::mboi::{self, MboiKernel};
+use crate::{area, energy};
+
+/// One hierarchy design: fan-outs per inner level (the root computing-card
+/// DRAM level is implicit). `[512]` is the flat design; `[2, 8, 32]` is
+/// "1-2-16-512".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Design {
+    /// Paper-style node-count name ("1-2-16-512").
+    pub name: String,
+    /// Fan-out of each inner level, top first.
+    pub fanouts: Vec<usize>,
+}
+
+impl Design {
+    /// A design from its fan-out list, named in the paper's node-count
+    /// style.
+    pub fn new(fanouts: Vec<usize>) -> Self {
+        let mut counts = vec![1u64];
+        for &f in &fanouts {
+            counts.push(counts.last().unwrap() * f as u64);
+        }
+        let name = counts.iter().map(|c| c.to_string()).collect::<Vec<_>>().join("-");
+        Design { name, fanouts }
+    }
+
+    /// Total leaf cores.
+    pub fn cores(&self) -> u64 {
+        self.fanouts.iter().map(|&f| f as u64).product()
+    }
+}
+
+/// The four designs of Table 4 (all 512 cores).
+pub fn table4_designs() -> Vec<Design> {
+    vec![
+        Design::new(vec![512]),
+        Design::new(vec![2, 8, 32]),
+        Design::new(vec![4, 4, 32]),
+        Design::new(vec![4, 4, 4, 8]),
+    ]
+}
+
+/// The reference MBOI curve fitted to the paper's design points, ops/byte.
+pub fn mboi_ref(mem_bytes: u64) -> f64 {
+    29.0 * (mem_bytes as f64 / (8u64 << 20) as f64).powf(0.4)
+}
+
+/// Inverse of [`mboi_ref`]: bytes of memory to sustain intensity `oi`.
+pub fn mboi_ref_inverse(oi: f64) -> u64 {
+    ((8u64 << 20) as f64 * (oi / 29.0).powf(2.5)).ceil() as u64
+}
+
+/// Builds the simulatable machine for a design: an implicit 32 GiB /
+/// 512 GB/s computing-card DRAM root above the design's inner levels,
+/// memories sized by the MBOI rule and bandwidths by child demand.
+pub fn build_config(design: &Design) -> MachineConfig {
+    let leaf = MachineConfig::paper_core();
+    let core_demand =
+        leaf.mac_ops / mboi::theoretical(MboiKernel::MatMul, leaf.mem_bytes).max(1.0);
+    let mut levels = vec![LevelSpec {
+        name: "Card".into(),
+        fanout: design.fanouts[0],
+        lfu_lanes: 0,
+        lfu_lane_ops: 1e9,
+        mem_bytes: 32 << 30,
+        bw_bytes: 512e9,
+        decode_s: 100e-9,
+        dma_latency_s: 200e-9,
+    }];
+    // Walk the design top-down computing subtree peaks.
+    for (i, &fanout) in design.fanouts.iter().enumerate() {
+        let subtree_cores: u64 = design.fanouts[i..].iter().map(|&f| f as u64).product();
+        let subtree_peak = subtree_cores as f64 * leaf.mac_ops;
+        // Feed bandwidth available from above (the card link, shared by
+        // the nodes of this level).
+        let feeders: u64 = design.fanouts[..i].iter().map(|&f| f as u64).product();
+        // Each level's nodes jointly enjoy the aggregate bandwidth of the
+        // level above, so the intensity burden divides among feeders.
+        let in_bw = 512e9 * feeders as f64;
+        let oi_req = subtree_peak * feeders as f64 / in_bw;
+        let feeds_leaves = i + 1 == design.fanouts.len();
+        // No practical node is built with less than 2 MiB of local store.
+        let mut mem = mboi_ref_inverse(oi_req).max(2 << 20);
+        if !feeds_leaves && mem > (64 << 20) {
+            // Off-die DRAM buffer (like the F100 computing card's 32 GiB).
+            mem = 32 << 30;
+        }
+        // Serve bandwidth: what the children will pull.
+        let child_fanout = design.fanouts.get(i + 1).copied();
+        let child_demand = match child_fanout {
+            Some(f) => {
+                let child_cores: u64 =
+                    design.fanouts[i + 1..].iter().map(|&x| x as u64).product();
+                let child_peak = child_cores as f64 * leaf.mac_ops;
+                let child_oi = subtree_oi(design, i + 1, &leaf);
+                let _ = f;
+                child_peak / child_oi.max(1.0)
+            }
+            None => core_demand,
+        };
+        let bw = (fanout as f64 * child_demand).max(512e9);
+        let next_fanout = design.fanouts.get(i + 1).copied().unwrap_or(0);
+        let _ = next_fanout;
+        levels.push(LevelSpec {
+            name: format!("D{i}"),
+            fanout,
+            lfu_lanes: 16.min(fanout),
+            lfu_lane_ops: 1e9,
+            mem_bytes: mem,
+            bw_bytes: bw,
+            decode_s: 50e-9,
+            dma_latency_s: 50e-9,
+        });
+    }
+    // The design's top level takes over the card's fan-out slot.
+    levels[0].fanout = 1;
+    MachineConfig {
+        name: design.name.clone(),
+        levels,
+        leaf,
+        opts: Default::default(),
+    }
+}
+
+fn subtree_oi(design: &Design, level: usize, leaf: &cf_core::LeafSpec) -> f64 {
+    if level >= design.fanouts.len() {
+        return mboi::theoretical(MboiKernel::MatMul, leaf.mem_bytes);
+    }
+    let subtree_cores: u64 = design.fanouts[level..].iter().map(|&f| f as u64).product();
+    let subtree_peak = subtree_cores as f64 * leaf.mac_ops;
+    let feeders: u64 = design.fanouts[..level].iter().map(|&f| f as u64).product();
+    let oi_req = subtree_peak / (512e9 / feeders as f64);
+    mboi_ref(mboi_ref_inverse(oi_req))
+}
+
+/// Evaluation of one design: the Table 4 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignReport {
+    /// Node-count name.
+    pub name: String,
+    /// Silicon power in watts (card DRAM excluded, as in the paper).
+    pub power_w: f64,
+    /// Attained performance in Tops/s (geometric mean over the programs).
+    pub perf_tops: f64,
+    /// Efficiency in Tops/J.
+    pub efficiency: f64,
+    /// Silicon area in mm².
+    pub area_mm2: f64,
+    /// Memory size of each inner level (top first), in bytes.
+    pub level_mem_bytes: Vec<u64>,
+}
+
+/// Silicon area of a design (all levels below the card; large-memory
+/// levels that feed only inner nodes would be off-die DRAM and count only
+/// their controller, but a level feeding leaf cores is always on die).
+pub fn design_area_mm2(design: &Design, cfg: &MachineConfig) -> f64 {
+    let mut total = 0.0;
+    let mut nodes = 1.0;
+    for (i, level) in cfg.levels.iter().enumerate().skip(1) {
+        let feeds_leaves = i + 1 == cfg.levels.len();
+        let on_die = feeds_leaves || level.mem_bytes < (256 << 20);
+        let mem = if on_die { level.mem_bytes } else { 0 };
+        total += nodes * area::node_mm2(mem, level.fanout, level.lfu_lanes);
+        nodes *= level.fanout as f64;
+    }
+    let _ = design;
+    total + nodes * area::CORE_MM2
+}
+
+/// Silicon power of a design in watts (card/off-die DRAM excluded, as in
+/// the paper's chip-power accounting). Very large on-die memories pay a
+/// DESTINY-style access-energy penalty that grows with array size.
+pub fn design_power_w(design: &Design, cfg: &MachineConfig) -> f64 {
+    let mut total = 0.0;
+    let mut nodes = 1.0;
+    let n_levels = cfg.levels.len();
+    for (i, level) in cfg.levels.iter().enumerate().skip(1) {
+        let feeds_leaves = i + 1 == n_levels;
+        let on_die = feeds_leaves || level.mem_bytes < (256 << 20);
+        if on_die {
+            // DESTINY-style wordline/bitline energy growth: multi-GiB
+            // monolithic eDRAM arrays pay dearly per access.
+            let size_factor =
+                (level.mem_bytes as f64 / (256u64 << 20) as f64).powf(0.75).max(1.0);
+            let base =
+                energy::node_w(level.mem_bytes, level.fanout, level.lfu_lanes, 0.0);
+            let bw_w = level.bw_bytes / 1e9 * energy::PER_GBPS_W * size_factor;
+            total += nodes * (base + bw_w);
+        } else {
+            // Off-die buffer: only the node's ports and LFUs are silicon.
+            total += nodes
+                * (level.fanout as f64 * energy::PER_CHILD_W
+                    + level.lfu_lanes as f64 * energy::LFU_LANE_W);
+        }
+        nodes *= level.fanout as f64;
+    }
+    let _ = design;
+    total + nodes * energy::CORE_W
+}
+
+/// Evaluates a design on a set of programs (Table 4 uses VGG-16,
+/// ResNet-152 and MATMUL; supplied by the caller so `cf-model` stays
+/// independent of the workload crate).
+///
+/// # Errors
+///
+/// Propagates simulator planning errors.
+pub fn evaluate(design: &Design, programs: &[Program]) -> Result<DesignReport, CoreError> {
+    let cfg = build_config(design);
+    let mut log_sum = 0.0;
+    for program in programs {
+        let sim = PerfSim::new(&cfg);
+        let out = sim.simulate(program)?;
+        let tops = out.stats.total_ops() as f64 / out.makespan / 1e12;
+        log_sum += tops.max(1e-6).ln();
+    }
+    let perf_tops = if programs.is_empty() {
+        0.0
+    } else {
+        (log_sum / programs.len() as f64).exp()
+    };
+    let power_w = design_power_w(design, &cfg);
+    Ok(DesignReport {
+        name: design.name.clone(),
+        power_w,
+        perf_tops,
+        efficiency: perf_tops / power_w,
+        area_mm2: design_area_mm2(design, &cfg),
+        level_mem_bytes: cfg.levels.iter().skip(1).map(|l| l.mem_bytes).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_isa::{Opcode, ProgramBuilder};
+
+    fn matmul_program(n: usize) -> Program {
+        let mut b = ProgramBuilder::new();
+        let a = b.alloc("a", vec![n, n]);
+        let w = b.alloc("w", vec![n, n]);
+        b.apply(Opcode::MatMul, [a, w]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<String> = table4_designs().into_iter().map(|d| d.name).collect();
+        assert_eq!(names, ["1-512", "1-2-16-512", "1-4-16-512", "1-4-16-64-512"]);
+        assert!(table4_designs().iter().all(|d| d.cores() == 512));
+    }
+
+    #[test]
+    fn flat_design_needs_huge_memory() {
+        let flat = build_config(&table4_designs()[0]);
+        let deep = build_config(&table4_designs()[1]);
+        // The flat node's MBOI-sized memory is GiB-class on-die; the deep
+        // design's leaf-feeding level stays MiB-class.
+        assert!(flat.levels[1].mem_bytes > (4u64 << 30));
+        assert!(deep.levels.last().unwrap().mem_bytes <= (64 << 20));
+    }
+
+    #[test]
+    fn flat_design_has_worst_area_and_efficiency() {
+        let designs = table4_designs();
+        let programs = vec![matmul_program(2048)];
+        let reports: Vec<DesignReport> =
+            designs.iter().map(|d| evaluate(d, &programs).unwrap()).collect();
+        let flat = &reports[0];
+        for deep in &reports[1..] {
+            assert!(
+                flat.area_mm2 > 5.0 * deep.area_mm2,
+                "flat {:.0} mm² vs {} {:.0} mm²",
+                flat.area_mm2,
+                deep.name,
+                deep.area_mm2
+            );
+            assert!(
+                deep.efficiency > 1.3 * flat.efficiency,
+                "{} {:.2} Tops/J vs flat {:.2}",
+                deep.name,
+                deep.efficiency,
+                flat.efficiency
+            );
+        }
+    }
+
+    #[test]
+    fn a_three_level_design_is_most_efficient() {
+        // Table 4's headline: the sweet spot is a shallow *hierarchical*
+        // design (the paper's best is 1-2-16-512 at 2.04 Tops/J); the
+        // flat and the deepest designs lose.
+        let designs = table4_designs();
+        let programs = vec![matmul_program(2048)];
+        let reports: Vec<DesignReport> =
+            designs.iter().map(|d| evaluate(d, &programs).unwrap()).collect();
+        let best = reports
+            .iter()
+            .max_by(|a, b| a.efficiency.total_cmp(&b.efficiency))
+            .unwrap();
+        assert!(
+            best.name == "1-2-16-512" || best.name == "1-4-16-512",
+            "best design was {} — expected a three-level hierarchy",
+            best.name
+        );
+    }
+
+    #[test]
+    fn mboi_ref_fit_points() {
+        assert!((mboi_ref(8 << 20) - 29.0).abs() < 0.1);
+        let m = mboi_ref_inverse(465.0);
+        assert!(m > (4u64 << 30) && m < (16u64 << 30), "flat memory {m}");
+    }
+}

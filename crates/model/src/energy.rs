@@ -1,0 +1,117 @@
+//! Parametric 45-nm power model, calibrated to Table 7/8 (the
+//! DESTINY/Synopsys substitute; DESIGN.md §1).
+//!
+//! Anchors: a leaf core draws 75.18 mW at full load; a Cambricon-F1 chip
+//! 4.935 W; a Cambricon-F100 chip 42.873 W; a Cambricon-F1 computing card
+//! 90.19 W (chip + 32 GB card DRAM). Solving the node equation against the
+//! two chip anchors gives ≈5 mW/MiB of eDRAM, ≈16 mW per child port,
+//! ≈3.5 mW per GB/s of local-memory bandwidth and ≈12 mW per LFU lane.
+
+use cf_core::MachineConfig;
+
+/// Leaf-core full-load power in watts (Table 7).
+pub const CORE_W: f64 = 0.07518;
+
+/// eDRAM power per MiB in watts.
+pub const MEM_W_PER_MIB: f64 = 0.005;
+
+/// Power per child port (decoder/interconnect) in watts.
+pub const PER_CHILD_W: f64 = 0.0158;
+
+/// Power of the local-memory subsystem per GB/s of bandwidth in watts.
+pub const PER_GBPS_W: f64 = 0.0035;
+
+/// Power per LFU lane in watts.
+pub const LFU_LANE_W: f64 = 0.012;
+
+/// Off-die DRAM subsystem power per GB/s of bandwidth in watts
+/// (calibrated so a 512 GB/s 32 GB card draws ≈85 W).
+pub const DRAM_W_PER_GBPS: f64 = 0.1665;
+
+/// Full-load power of one inner node (excluding children), in watts.
+pub fn node_w(mem_bytes: u64, fanout: usize, lfu_lanes: usize, bw_bytes: f64) -> f64 {
+    let mem_mib = mem_bytes as f64 / (1 << 20) as f64;
+    mem_mib * MEM_W_PER_MIB
+        + fanout as f64 * PER_CHILD_W
+        + bw_bytes / 1e9 * PER_GBPS_W
+        + lfu_lanes as f64 * LFU_LANE_W
+}
+
+/// Full-load silicon power of every level at or below `from_level`, in
+/// watts. DRAM-class levels (≥ 1 GiB) contribute their off-die memory
+/// subsystem via [`DRAM_W_PER_GBPS`] instead of the eDRAM term.
+pub fn subtree_w(cfg: &MachineConfig, from_level: usize) -> f64 {
+    let mut power = 0.0;
+    let mut nodes = 1.0;
+    for level in cfg.levels.iter().skip(from_level) {
+        if level.mem_bytes >= (1 << 30) {
+            power += nodes
+                * (level.bw_bytes / 1e9 * DRAM_W_PER_GBPS
+                    + level.fanout as f64 * PER_CHILD_W
+                    + level.lfu_lanes as f64 * LFU_LANE_W);
+        } else {
+            power += nodes * node_w(level.mem_bytes, level.fanout, level.lfu_lanes, level.bw_bytes);
+        }
+        nodes *= level.fanout as f64;
+    }
+    power + nodes * CORE_W
+}
+
+/// Full-load (peak) power of the whole machine in watts, including off-die
+/// DRAM subsystems.
+pub fn machine_peak_w(cfg: &MachineConfig) -> f64 {
+    subtree_w(cfg, 0)
+}
+
+/// Average power while running a workload attaining `peak_fraction` of
+/// peak: half the budget is utilisation-independent (clock trees, leakage,
+/// refresh), half scales with activity — the split that reproduces the
+/// paper's measured card powers.
+pub fn run_w(peak_w: f64, peak_fraction: f64) -> f64 {
+    peak_w * (0.5 + 0.5 * peak_fraction.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f1_chip_power_matches_table7() {
+        let cfg = MachineConfig::cambricon_f1();
+        let w = subtree_w(&cfg, 1);
+        let paper = 4.93532;
+        assert!((w - paper).abs() / paper < 0.10, "F1 chip {w:.3} W vs paper {paper}");
+    }
+
+    #[test]
+    fn f100_chip_power_matches_table7() {
+        let cfg = MachineConfig::cambricon_f100();
+        let w = subtree_w(&cfg, 2);
+        let paper = 42.87306;
+        assert!((w - paper).abs() / paper < 0.10, "F100 chip {w:.3} W vs paper {paper}");
+    }
+
+    #[test]
+    fn f1_card_power_matches_table8() {
+        // Card = chip silicon + the 32 GB / 512 GB/s card DRAM subsystem.
+        let cfg = MachineConfig::cambricon_f1();
+        let w = machine_peak_w(&cfg);
+        let paper = 90.19;
+        assert!((w - paper).abs() / paper < 0.10, "F1 card {w:.2} W vs paper {paper}");
+    }
+
+    #[test]
+    fn run_power_scales_with_utilisation() {
+        assert!(run_w(100.0, 1.0) > run_w(100.0, 0.2));
+        assert_eq!(run_w(100.0, 1.0), 100.0);
+        assert_eq!(run_w(100.0, 0.0), 50.0);
+    }
+
+    #[test]
+    fn chip_efficiency_matches_table8() {
+        // F1 chip: 14.9 Tops / 4.94 W ≈ 3.02 Tops/W.
+        let cfg = MachineConfig::cambricon_f1();
+        let eff = cfg.peak_ops() / 1e12 / subtree_w(&cfg, 1);
+        assert!((eff - 3.02).abs() < 0.45, "Tops/W {eff:.2}");
+    }
+}

@@ -1,0 +1,268 @@
+//! GPU and ASIC baselines (the physical-hardware substitute; DESIGN.md §1).
+//!
+//! The paper measures an NVIDIA GTX-1080Ti and a DGX-1 (8× V100) with
+//! nvprof/nvidia-smi. Without the hardware, each baseline is modelled as a
+//! roofline plus two mechanisms the paper's §6–7 analysis identifies:
+//!
+//! 1. an **operational-intensity ceiling** from the tiny programmable
+//!    local store (96 KB shared memory vs Cambricon-F's 8 MB FMP storage,
+//!    §6) — the same `√M` MBOI law as [`crate::mboi`];
+//! 2. a **per-workload efficiency factor** capturing control flow, kernel
+//!    launch overhead and batch-size limits, calibrated against the
+//!    attained-performance points the paper reports in Figure 15.
+//!
+//! The calibration constants are data taken *from the paper's own
+//! measurements*, so the comparison reproduces the published shape; they
+//! are not predictions of this model.
+
+/// Identifying characteristics of a comparison chip (Table 8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipSpec {
+    /// Chip name.
+    pub name: &'static str,
+    /// ISA style (Table 8 row 1).
+    pub isa: &'static str,
+    /// Process node in nm.
+    pub tech_nm: u32,
+    /// On-chip memory type.
+    pub mem_type: &'static str,
+    /// On-chip memory in MiB.
+    pub mem_mib: f64,
+    /// Peak throughput in Tops.
+    pub peak_tops: f64,
+    /// Die area in mm² (`None` if undisclosed).
+    pub area_mm2: Option<f64>,
+    /// Chip power in watts (`None` if undisclosed).
+    pub power_w: Option<f64>,
+    /// Card DRAM in GiB (`None` for chip-only rows).
+    pub dram_gib: Option<f64>,
+    /// Card power in watts.
+    pub card_power_w: Option<f64>,
+    /// Card memory bandwidth in GB/s.
+    pub mem_bw_gbps: f64,
+    /// Programmable per-core local store in KiB (shared memory for GPUs).
+    pub local_store_kib: f64,
+}
+
+/// GTX-1080Ti (Table 8 and §5 "GPUs").
+pub fn gtx_1080ti() -> ChipSpec {
+    ChipSpec {
+        name: "GTX-1080Ti",
+        isa: "SIMD",
+        tech_nm: 16,
+        mem_type: "SRAM",
+        mem_mib: 12.8,
+        peak_tops: 10.6,
+        area_mm2: Some(471.0),
+        power_w: None,
+        dram_gib: Some(11.0),
+        card_power_w: Some(199.9),
+        mem_bw_gbps: 484.0,
+        local_store_kib: 96.0,
+    }
+}
+
+/// Tesla V100-SXM2 (one of DGX-1's eight GPUs).
+pub fn v100() -> ChipSpec {
+    ChipSpec {
+        name: "V100",
+        isa: "SIMD",
+        tech_nm: 12,
+        mem_type: "SRAM",
+        mem_mib: 33.5,
+        peak_tops: 125.0,
+        area_mm2: Some(815.0),
+        power_w: None,
+        dram_gib: Some(16.0),
+        card_power_w: Some(248.32),
+        mem_bw_gbps: 900.0,
+        local_store_kib: 96.0,
+    }
+}
+
+/// DaDianNao (Table 8).
+pub fn dadiannao() -> ChipSpec {
+    ChipSpec {
+        name: "DaDN",
+        isa: "VLIW",
+        tech_nm: 28,
+        mem_type: "eDRAM",
+        mem_mib: 36.0,
+        peak_tops: 5.58,
+        area_mm2: Some(67.0),
+        power_w: Some(15.97),
+        dram_gib: None,
+        card_power_w: None,
+        mem_bw_gbps: 0.0,
+        local_store_kib: 0.0,
+    }
+}
+
+/// Google TPU-1 (Table 8).
+pub fn tpu() -> ChipSpec {
+    ChipSpec {
+        name: "TPU",
+        isa: "CISC",
+        tech_nm: 28,
+        mem_type: "SRAM",
+        mem_mib: 28.0,
+        peak_tops: 92.0,
+        area_mm2: Some(331.0),
+        power_w: Some(40.0),
+        dram_gib: Some(8.0),
+        card_power_w: None,
+        mem_bw_gbps: 34.0,
+        local_store_kib: 0.0,
+    }
+}
+
+/// A whole GPU system under comparison (one card, or the 8-GPU DGX-1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSystem {
+    /// System name.
+    pub name: &'static str,
+    /// Chip spec of each GPU.
+    pub chip: ChipSpec,
+    /// Number of GPUs.
+    pub count: usize,
+    /// Host-to-device bandwidth in GB/s (measured 84.24 for DGX-1, §5).
+    pub host_bw_gbps: f64,
+}
+
+impl GpuSystem {
+    /// The single-card 1080Ti system of Figure 15(a).
+    pub fn gtx_1080ti() -> Self {
+        GpuSystem { name: "GTX-1080Ti", chip: gtx_1080ti(), count: 1, host_bw_gbps: 15.8 }
+    }
+
+    /// The DGX-1 of Figure 15(b): 8 × V100.
+    pub fn dgx1() -> Self {
+        GpuSystem { name: "DGX-1", chip: v100(), count: 8, host_bw_gbps: 84.24 }
+    }
+
+    /// System peak in ops/s.
+    pub fn peak_ops(&self) -> f64 {
+        self.chip.peak_tops * 1e12 * self.count as f64
+    }
+
+    /// Aggregate graphics-memory bandwidth in bytes/s — the system
+    /// bottleneck per the paper's §6 ("the bottleneck of GPU system is
+    /// between graphic memories and chips").
+    pub fn mem_bw_bytes(&self) -> f64 {
+        self.chip.mem_bw_gbps * 1e9 * self.count as f64
+    }
+
+    /// Roofline of the system against graphics memory.
+    pub fn roofline(&self) -> crate::roofline::Roofline {
+        crate::roofline::Roofline::new(self.peak_ops(), self.mem_bw_bytes())
+    }
+
+    /// Average system power while running ML workloads (the paper's
+    /// measured card powers: 199.9 W for 1080Ti, 1986.5 W for 8 V100s).
+    pub fn run_power_w(&self) -> f64 {
+        match self.name {
+            "DGX-1" => 1986.5,
+            _ => self.chip.card_power_w.unwrap_or(200.0) * self.count as f64,
+        }
+    }
+}
+
+/// Per-workload behaviour of a GPU system: operational intensity against
+/// graphics memory and the fraction of the roofline bound attained.
+///
+/// Values are calibrated against the paper's Figure 15 / §6 measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuWorkloadPoint {
+    /// Operational intensity in ops/byte.
+    pub oi: f64,
+    /// Fraction of `min(peak, bw·oi)` attained.
+    pub efficiency: f64,
+}
+
+/// The benchmark names of Table 5, in canonical order.
+pub const BENCHMARKS: [&str; 7] =
+    ["VGG-16", "ResNet-152", "K-NN", "K-Means", "LVQ", "SVM", "MATMUL"];
+
+impl GpuSystem {
+    /// The calibrated workload point for one of the Table 5 benchmarks
+    /// (paper-measured). Returns `None` for unknown names.
+    pub fn workload_point(&self, benchmark: &str) -> Option<GpuWorkloadPoint> {
+        let p = match (self.name, benchmark) {
+            // GTX-1080Ti, Figure 15(a): ridge = 10.6e12/484e9 ≈ 21.9.
+            ("GTX-1080Ti", "VGG-16") => GpuWorkloadPoint { oi: 55.0, efficiency: 0.52 },
+            ("GTX-1080Ti", "ResNet-152") => GpuWorkloadPoint { oi: 35.0, efficiency: 0.42 },
+            ("GTX-1080Ti", "K-NN") => GpuWorkloadPoint { oi: 60.0, efficiency: 0.55 },
+            ("GTX-1080Ti", "K-Means") => GpuWorkloadPoint { oi: 9.0, efficiency: 0.12 },
+            ("GTX-1080Ti", "LVQ") => GpuWorkloadPoint { oi: 5.0, efficiency: 0.009 },
+            ("GTX-1080Ti", "SVM") => GpuWorkloadPoint { oi: 40.0, efficiency: 0.45 },
+            // The 32768-order matrices (12.9 GB) exceed the card's 11 GB
+            // DRAM, forcing PCIe staging — the paper's F1 advantage on
+            // MATMUL (1.42x) despite only 40.6% higher peak.
+            ("GTX-1080Ti", "MATMUL") => GpuWorkloadPoint { oi: 100.0, efficiency: 0.45 },
+            // DGX-1, Figure 15(b): ridge = 1000e12/7200e9 ≈ 139 — deep
+            // nets sit left of the ridge; the iterative ML kernels keep
+            // intermediates in HBM (up to 85× higher OI than F100, §6)
+            // but suffer from control flow.
+            // Efficiencies reflect the paper's end-to-end TensorFlow/
+            // TensorRT measurements across 8 GPUs ("DGX-1 has still shown
+            // a significant gap between attained performance and the
+            // roofline", §6): NCCL/host coordination, kernel-launch
+            // latency and fp32 classic-ML kernels keep the system far
+            // from its fp16 tensor-core roofline.
+            ("DGX-1", "VGG-16") => GpuWorkloadPoint { oi: 75.0, efficiency: 0.17 },
+            ("DGX-1", "ResNet-152") => GpuWorkloadPoint { oi: 50.0, efficiency: 0.097 },
+            ("DGX-1", "K-NN") => GpuWorkloadPoint { oi: 300.0, efficiency: 0.0086 },
+            ("DGX-1", "K-Means") => GpuWorkloadPoint { oi: 60.0, efficiency: 0.017 },
+            ("DGX-1", "LVQ") => GpuWorkloadPoint { oi: 40.0, efficiency: 0.0023 },
+            ("DGX-1", "SVM") => GpuWorkloadPoint { oi: 250.0, efficiency: 0.033 },
+            ("DGX-1", "MATMUL") => GpuWorkloadPoint { oi: 200.0, efficiency: 0.216 },
+            _ => return None,
+        };
+        Some(p)
+    }
+
+    /// Attained throughput on a benchmark in ops/s.
+    pub fn attained_ops(&self, benchmark: &str) -> Option<f64> {
+        let p = self.workload_point(benchmark)?;
+        Some(self.roofline().attainable(p.oi) * p.efficiency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table8_static_rows() {
+        assert_eq!(gtx_1080ti().area_mm2, Some(471.0));
+        assert_eq!(v100().peak_tops, 125.0);
+        assert_eq!(dadiannao().isa, "VLIW");
+        assert_eq!(tpu().power_w, Some(40.0));
+    }
+
+    #[test]
+    fn dgx_peak_is_one_petaop() {
+        let dgx = GpuSystem::dgx1();
+        assert!((dgx.peak_ops() - 1000e12).abs() < 1e9);
+        assert!((dgx.host_bw_gbps - 84.24).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_benchmark_has_points_on_both_systems() {
+        for sys in [GpuSystem::gtx_1080ti(), GpuSystem::dgx1()] {
+            for b in BENCHMARKS {
+                let a = sys.attained_ops(b).unwrap();
+                assert!(a > 0.0 && a <= sys.peak_ops());
+            }
+        }
+        assert!(GpuSystem::dgx1().attained_ops("nope").is_none());
+    }
+
+    #[test]
+    fn control_bound_kernels_are_slowest() {
+        let g = GpuSystem::gtx_1080ti();
+        let lvq = g.attained_ops("LVQ").unwrap();
+        let mm = g.attained_ops("MATMUL").unwrap();
+        assert!(mm / lvq > 50.0, "LVQ should be orders of magnitude slower");
+    }
+}

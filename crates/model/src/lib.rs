@@ -1,0 +1,22 @@
+//! Analytical models for the Cambricon-F evaluation.
+//!
+//! * [`roofline`] — the roofline performance model (Williams et al.) used
+//!   throughout Figure 15;
+//! * [`mboi`] — Memory-Bounded Operational Intensity (paper §3.6,
+//!   Figure 10): how operational intensity scales with local-memory size,
+//!   and the memory-sizing rule `M ≈ MBOI⁻¹(peak/bandwidth)`;
+//! * [`area`] / [`energy`] — parametric layout models calibrated against
+//!   the paper's published Table 7 numbers (the DESTINY/Synopsys
+//!   substitute, see DESIGN.md §1);
+//! * [`gpu`] — roofline-based baselines for GTX-1080Ti and DGX-1 plus the
+//!   DaDianNao/TPU comparison rows of Table 8;
+//! * [`survey`] — the historical data series behind Figures 1 and 16;
+//! * [`designspace`] — the Table 4 hierarchy exploration.
+
+pub mod area;
+pub mod designspace;
+pub mod energy;
+pub mod gpu;
+pub mod mboi;
+pub mod roofline;
+pub mod survey;

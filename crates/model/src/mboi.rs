@@ -1,0 +1,157 @@
+//! Memory-Bounded Operational Intensity (paper §3.6, Figure 10).
+//!
+//! `MBOI(M)` gives the operational intensity a node can sustain towards
+//! its parent when its local memory holds `M` bytes. For blocked
+//! operations it rises like `√M` (a t×t×t matrix tile holds `12 t²` bytes
+//! and performs `2 t³` ops); for streaming operations it is flat. The
+//! paper sizes every level by `M ≈ MBOI⁻¹(peak / bandwidth)`.
+
+use cf_core::perf::PerfSim;
+use cf_core::{CoreError, MachineConfig};
+use cf_isa::{Opcode, ProgramBuilder};
+
+/// Kernels whose MBOI curves Figure 10 shows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MboiKernel {
+    /// Dense matrix multiplication (blocked, `OI ∝ √M`).
+    MatMul,
+    /// 2-D convolution (blocked over features/spatial, `OI ∝ √M` with a
+    /// kernel-bounded cap).
+    Conv2D,
+    /// Elementwise/streaming operations (flat OI).
+    EltWise,
+}
+
+/// Theoretical `MBOI(M)` in ops/byte for a node with `mem_bytes` of local
+/// storage.
+pub fn theoretical(kernel: MboiKernel, mem_bytes: u64) -> f64 {
+    let m = mem_bytes as f64;
+    match kernel {
+        // Tile t×t×t: 3 t² f32 values resident, 2 t³ ops, 12 t² bytes moved.
+        MboiKernel::MatMul => {
+            let t = (m / 12.0).sqrt();
+            t / 6.0
+        }
+        // Convolution reuses both weights and overlapping activations;
+        // blocking follows the same square-root law at roughly half the
+        // matmul constant, capped by the total weight-reuse available
+        // (window size × channels ≈ 3·3·64 here).
+        MboiKernel::Conv2D => {
+            let t = (m / 12.0).sqrt();
+            (t / 12.0).min(2.0 * 3.0 * 3.0 * 64.0)
+        }
+        // One op per three 4-byte operands.
+        MboiKernel::EltWise => 1.0 / 12.0,
+    }
+}
+
+/// Inverse of the matmul MBOI: the memory needed to sustain intensity
+/// `oi` — the paper's node-sizing rule.
+pub fn inverse_matmul(oi: f64) -> u64 {
+    // oi = sqrt(M/12)/6  ⇒  M = 12 (6·oi)².
+    (12.0 * (6.0 * oi).powi(2)).ceil() as u64
+}
+
+/// Measures `MBOI(M)` on the simulator: a single FMP-style node with
+/// `mem_bytes` of local memory and `fanout` leaf cores runs a blocked
+/// kernel, and the intensity is its useful ops divided by the traffic it
+/// drew from its parent.
+///
+/// # Errors
+///
+/// Propagates simulator planning errors.
+pub fn measured(kernel: MboiKernel, mem_bytes: u64, fanout: usize) -> Result<f64, CoreError> {
+    let mut cfg = MachineConfig::tiny(2, fanout, mem_bytes);
+    // Root: a large card feeding the node under test.
+    cfg.levels[0].mem_bytes = 8 << 30;
+    cfg.levels[0].fanout = 1;
+    cfg.levels[0].bw_bytes = 512e9;
+    cfg.levels[1].mem_bytes = mem_bytes;
+    cfg.levels[1].lfu_lanes = 16;
+    cfg.leaf = MachineConfig::paper_core();
+
+    let mut b = ProgramBuilder::new();
+    // Work several times larger than the node memory, so blocking matters.
+    let side = (((mem_bytes as f64 / 4.0).sqrt() as usize).max(64) * 4).min(4096);
+    let program = match kernel {
+        MboiKernel::MatMul => {
+            let a = b.alloc("a", vec![side, side]);
+            let w = b.alloc("w", vec![side, side]);
+            b.apply(Opcode::MatMul, [a, w])?;
+            b.build()
+        }
+        MboiKernel::Conv2D => {
+            let hw = (side / 8).clamp(16, 128);
+            let x = b.alloc("x", vec![8, hw, hw, 64]);
+            let w = b.alloc("w", vec![3, 3, 64, 64]);
+            b.apply_with(
+                Opcode::Cv2D,
+                cf_isa::OpParams::Conv(cf_isa::ConvParams::same(1, 1)),
+                [x, w],
+            )?;
+            b.build()
+        }
+        MboiKernel::EltWise => {
+            let n = (mem_bytes as usize) * 4;
+            let x = b.alloc("x", vec![n]);
+            let y = b.alloc("y", vec![n]);
+            b.apply(Opcode::Add1D, [x, y])?;
+            b.build()
+        }
+    };
+    let sim = PerfSim::new(&cfg);
+    let out = sim.simulate(&program)?;
+    let traffic = out
+        .stats
+        .levels
+        .get(1)
+        .map(|l| l.dma_bytes)
+        .unwrap_or(0)
+        .max(1);
+    // Useful work includes LFU-routed elementwise operations.
+    let flops: u64 = program.instructions().iter().map(cf_ops::cost::flops).sum();
+    Ok(flops as f64 / traffic as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theoretical_matmul_rises_with_memory() {
+        let small = theoretical(MboiKernel::MatMul, 256 << 10);
+        let big = theoretical(MboiKernel::MatMul, 8 << 20);
+        assert!(big > small * 3.0, "√M law: {small} vs {big}");
+    }
+
+    #[test]
+    fn theoretical_eltwise_is_flat() {
+        assert_eq!(
+            theoretical(MboiKernel::EltWise, 1 << 10),
+            theoretical(MboiKernel::EltWise, 1 << 30)
+        );
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let m = inverse_matmul(50.0);
+        let oi = theoretical(MboiKernel::MatMul, m);
+        assert!((oi - 50.0).abs() / 50.0 < 0.05, "got {oi}");
+    }
+
+    #[test]
+    fn measured_matmul_rises_with_memory() {
+        let small = measured(MboiKernel::MatMul, 1 << 20, 8).unwrap();
+        let big = measured(MboiKernel::MatMul, 16 << 20, 8).unwrap();
+        assert!(
+            big > small * 1.5,
+            "measured MBOI should grow with memory: {small:.1} vs {big:.1}"
+        );
+    }
+
+    #[test]
+    fn measured_eltwise_is_low_and_flat() {
+        let a = measured(MboiKernel::EltWise, 1 << 20, 8).unwrap();
+        assert!(a < 1.0, "eltwise OI should be below 1 op/byte, got {a}");
+    }
+}

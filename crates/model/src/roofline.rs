@@ -1,0 +1,79 @@
+//! The roofline model (Williams, Waterman, Patterson, CACM 2009) — the
+//! analysis frame of the paper's Figure 15.
+
+/// A machine roofline: peak arithmetic throughput and memory bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Roofline {
+    /// Peak throughput in ops/s.
+    pub peak_ops: f64,
+    /// Memory bandwidth in bytes/s.
+    pub bw_bytes: f64,
+}
+
+impl Roofline {
+    /// A roofline from peak ops/s and bytes/s.
+    pub fn new(peak_ops: f64, bw_bytes: f64) -> Self {
+        Roofline { peak_ops, bw_bytes }
+    }
+
+    /// Attainable throughput at operational intensity `oi` (ops/byte).
+    pub fn attainable(&self, oi: f64) -> f64 {
+        (self.bw_bytes * oi).min(self.peak_ops)
+    }
+
+    /// The ridge point: the operational intensity beyond which the machine
+    /// is compute-bound.
+    pub fn ridge(&self) -> f64 {
+        self.peak_ops / self.bw_bytes
+    }
+
+    /// Whether a kernel of intensity `oi` is memory-bound on this machine.
+    pub fn is_memory_bound(&self, oi: f64) -> bool {
+        oi < self.ridge()
+    }
+}
+
+/// One measured kernel plotted on a roofline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflinePoint {
+    /// Label (benchmark name).
+    pub name: String,
+    /// Operational intensity in ops/byte.
+    pub oi: f64,
+    /// Attained throughput in ops/s.
+    pub attained_ops: f64,
+}
+
+impl RooflinePoint {
+    /// Fraction of the roofline bound actually attained at this intensity.
+    pub fn bound_fraction(&self, roof: &Roofline) -> f64 {
+        self.attained_ops / roof.attainable(self.oi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ridge_separates_regimes() {
+        let r = Roofline::new(10e12, 500e9);
+        assert!((r.ridge() - 20.0).abs() < 1e-9);
+        assert!(r.is_memory_bound(10.0));
+        assert!(!r.is_memory_bound(30.0));
+    }
+
+    #[test]
+    fn attainable_clamps_at_peak() {
+        let r = Roofline::new(10e12, 500e9);
+        assert_eq!(r.attainable(10.0), 5e12);
+        assert_eq!(r.attainable(1000.0), 10e12);
+    }
+
+    #[test]
+    fn bound_fraction() {
+        let r = Roofline::new(10e12, 500e9);
+        let p = RooflinePoint { name: "x".into(), oi: 40.0, attained_ops: 5e12 };
+        assert!((p.bound_fraction(&r) - 0.5).abs() < 1e-12);
+    }
+}

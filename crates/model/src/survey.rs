@@ -1,0 +1,106 @@
+//! Historical data series behind Figures 1 and 16.
+//!
+//! Figure 1 plots the most power-efficient ML accelerator published in
+//! each year 2012–2018 (3.2× annual growth, ~1213× total). Figure 16
+//! plots NVIDIA GPU core counts versus memory bandwidth since 2009,
+//! showing core growth collapsing from 67.6 %/yr (2009-2013) to 8.8 %/yr
+//! while bandwidth plods along at ~15 %/yr. Values are reconstructed from
+//! the paper's citations and its stated growth rates.
+
+/// One accelerator efficiency point of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccelPoint {
+    /// Publication year.
+    pub year: u32,
+    /// Accelerator name.
+    pub name: &'static str,
+    /// Power efficiency in Tops/W.
+    pub tops_per_w: f64,
+}
+
+/// The Figure 1 series (best accelerator per year).
+pub fn accelerator_efficiency() -> Vec<AccelPoint> {
+    vec![
+        AccelPoint { year: 2012, name: "NeuFlow", tops_per_w: 0.023 },
+        AccelPoint { year: 2013, name: "Quality-Programmable VP", tops_per_w: 0.064 },
+        AccelPoint { year: 2014, name: "DianNao", tops_per_w: 0.0932 },
+        AccelPoint { year: 2015, name: "ShiDianNao", tops_per_w: 0.606 },
+        AccelPoint { year: 2016, name: "Eyeriss", tops_per_w: 1.35 },
+        AccelPoint { year: 2017, name: "Envision", tops_per_w: 10.0 },
+        AccelPoint { year: 2018, name: "Conv-RAM", tops_per_w: 28.1 },
+    ]
+}
+
+/// One GPU generation of Figure 16.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuGeneration {
+    /// Launch year.
+    pub year: u32,
+    /// Product name.
+    pub name: &'static str,
+    /// CUDA core count.
+    pub cores: u32,
+    /// Memory bandwidth in GB/s.
+    pub bw_gbps: f64,
+}
+
+/// The Figure 16 series (flagship GeForce/Titan per year).
+pub fn gpu_generations() -> Vec<GpuGeneration> {
+    vec![
+        GpuGeneration { year: 2009, name: "GTX 285", cores: 240, bw_gbps: 159.0 },
+        GpuGeneration { year: 2010, name: "GTX 480", cores: 480, bw_gbps: 177.4 },
+        GpuGeneration { year: 2011, name: "GTX 580", cores: 512, bw_gbps: 192.4 },
+        GpuGeneration { year: 2012, name: "GTX 680", cores: 1536, bw_gbps: 192.2 },
+        GpuGeneration { year: 2013, name: "GTX 780 Ti", cores: 2880, bw_gbps: 336.0 },
+        GpuGeneration { year: 2014, name: "GTX 980", cores: 2048, bw_gbps: 224.0 },
+        GpuGeneration { year: 2015, name: "GTX Titan X", cores: 3072, bw_gbps: 336.5 },
+        GpuGeneration { year: 2016, name: "GTX 1080", cores: 2560, bw_gbps: 320.0 },
+        GpuGeneration { year: 2017, name: "GTX 1080 Ti", cores: 3584, bw_gbps: 484.0 },
+        GpuGeneration { year: 2018, name: "RTX 2080 Ti", cores: 4352, bw_gbps: 616.0 },
+    ]
+}
+
+/// Compound annual growth rate between two points `(year, value)`.
+pub fn cagr(from: (u32, f64), to: (u32, f64)) -> f64 {
+    let years = (to.0 - from.0) as f64;
+    (to.1 / from.1).powf(1.0 / years) - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_growth_matches_paper() {
+        let pts = accelerator_efficiency();
+        let first = pts.first().unwrap();
+        let last = pts.last().unwrap();
+        let total = last.tops_per_w / first.tops_per_w;
+        // "1213x improvement compared with those in 2012".
+        assert!((total - 1213.0).abs() / 1213.0 < 0.05, "total improvement {total:.0}x");
+        let rate = cagr((first.year, first.tops_per_w), (last.year, last.tops_per_w));
+        // "increasing at a dramatic speed, i.e., 3.2x each year".
+        assert!((rate + 1.0 - 3.27).abs() < 0.15, "annual growth {:.2}x", rate + 1.0);
+    }
+
+    #[test]
+    fn figure1_is_monotone() {
+        let pts = accelerator_efficiency();
+        assert!(pts.windows(2).all(|w| w[1].tops_per_w > w[0].tops_per_w));
+    }
+
+    #[test]
+    fn figure16_growth_rates_match_paper() {
+        let g = gpu_generations();
+        let y = |year: u32| g.iter().find(|p| p.year == year).unwrap();
+        // Cores 2009→2013: "67.6% per year" (we land in that regime).
+        let early = cagr((2009, y(2009).cores as f64), (2013, y(2013).cores as f64));
+        assert!(early > 0.5, "early core growth {early:.2}");
+        // Cores 2013→2018: "8.8% per year for last 5 years".
+        let late = cagr((2013, y(2013).cores as f64), (2018, y(2018).cores as f64));
+        assert!((late - 0.088).abs() < 0.03, "late core growth {late:.3}");
+        // Bandwidth over the decade: "about 15% annually".
+        let bw = cagr((2009, y(2009).bw_gbps), (2018, y(2018).bw_gbps));
+        assert!((bw - 0.15).abs() < 0.03, "bandwidth growth {bw:.3}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Operation and traffic counts per instruction.
+//!
+//! Three quantities drive the whole performance methodology:
+//!
+//! * [`flops`] — scalar arithmetic operations (multiply-accumulate counted
+//!   as 2), the numerator of operational intensity and of Table 1's
+//!   primitive-time decomposition;
+//! * [`mac_ops`] — the subset of work that runs on a leaf core's MAC
+//!   matrix (the paper's 16×16 MAC array);
+//! * [`io_bytes`] — operand traffic, the denominator of operational
+//!   intensity.
+
+use cf_isa::{Instruction, Opcode};
+use cf_tensor::Region;
+
+/// Scalar arithmetic operations performed by the instruction
+/// (multiply+accumulate = 2 ops; comparisons count as 1).
+pub fn flops(inst: &Instruction) -> u64 {
+    let in0 = || inst.inputs[0].shape();
+    match inst.op {
+        Opcode::Cv2D | Opcode::Cv3D => {
+            let w = inst.inputs[1].shape();
+            let out = inst.outputs[0].shape();
+            // For every output element: Kd·Kh·Kw·Ci MACs.
+            let window: u64 =
+                w.dims()[..w.rank() - 1].iter().map(|&d| d as u64).product();
+            2 * out.numel() * window
+        }
+        Opcode::Max2D | Opcode::Min2D | Opcode::Avg2D => {
+            let p = inst.params.pool();
+            inst.outputs[0].shape().numel() * (p.kh * p.kw) as u64
+        }
+        Opcode::Lrn => {
+            let p = inst.params.lrn();
+            // Per element: `size` squares+adds, plus divide and power (~4).
+            in0().numel() * (2 * p.size as u64 + 4)
+        }
+        Opcode::MatMul => {
+            let a = inst.inputs[0].shape();
+            let b = inst.inputs[1].shape();
+            2 * a.dim(0) as u64 * a.dim(1) as u64 * b.dim(1) as u64
+        }
+        Opcode::Euclidian1D => {
+            let x = inst.inputs[0].shape();
+            let y = inst.inputs[1].shape();
+            // sub, square(mul), add per dimension pair ≈ 3 ops, but the MAC
+            // formulation (‖x‖²+‖y‖²−2x·y) is 2 ops: count 2 like MatMul.
+            2 * x.dim(0) as u64 * x.dim(1) as u64 * y.dim(0) as u64
+        }
+        Opcode::Sort1D => {
+            let n = in0().numel();
+            n * n.max(2).ilog2() as u64
+        }
+        Opcode::Merge1D => {
+            inst.inputs[0].shape().numel() + inst.inputs[1].shape().numel()
+        }
+        Opcode::Count1D => in0().numel(),
+        Opcode::Add1D | Opcode::Sub1D | Opcode::Mul1D => in0().numel(),
+        // Transcendental activations are a handful of ops each.
+        Opcode::Act1D => in0().numel() * 2,
+        Opcode::HSum1D | Opcode::HProd1D => in0().numel(),
+    }
+}
+
+/// Work executed on a leaf core's MAC matrix (everything expressible as
+/// dense multiply-accumulate). Non-MAC primitives return 0 and run on the
+/// core's vector/scalar path instead.
+pub fn mac_ops(inst: &Instruction) -> u64 {
+    match inst.op {
+        Opcode::Cv2D | Opcode::Cv3D | Opcode::MatMul | Opcode::Euclidian1D => flops(inst),
+        _ => 0,
+    }
+}
+
+/// Bytes read and written by the instruction: `(input, output)`.
+pub fn io_bytes(inst: &Instruction) -> (u64, u64) {
+    let i = inst.inputs.iter().map(Region::bytes).sum();
+    let o = inst.outputs.iter().map(Region::bytes).sum();
+    (i, o)
+}
+
+/// Operational intensity of the instruction in flops per byte of operand
+/// traffic — the x-axis of the roofline model (Figure 15).
+pub fn operational_intensity(inst: &Instruction) -> f64 {
+    let (i, o) = io_bytes(inst);
+    flops(inst) as f64 / (i + o).max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_isa::{ConvParams, OpParams};
+    use cf_tensor::{Region, Shape};
+
+    fn reg(offset: u64, dims: &[usize]) -> Region {
+        Region::contiguous(offset, Shape::new(dims.to_vec()))
+    }
+
+    #[test]
+    fn matmul_flops() {
+        let inst = Instruction::new(
+            Opcode::MatMul,
+            OpParams::None,
+            vec![reg(0, &[4, 5]), reg(20, &[5, 6])],
+            vec![reg(50, &[4, 6])],
+        )
+        .unwrap();
+        assert_eq!(flops(&inst), 2 * 4 * 5 * 6);
+        assert_eq!(mac_ops(&inst), flops(&inst));
+        assert_eq!(io_bytes(&inst), ((20 + 30) * 4, 24 * 4));
+    }
+
+    #[test]
+    fn conv_flops() {
+        let inst = Instruction::new(
+            Opcode::Cv2D,
+            OpParams::Conv(ConvParams::same(1, 0)),
+            vec![reg(0, &[1, 5, 5, 3]), reg(75, &[3, 3, 3, 2])],
+            vec![reg(129, &[1, 3, 3, 2])],
+        )
+        .unwrap();
+        assert_eq!(flops(&inst), 2 * (3 * 3 * 2) * (3 * 3 * 3));
+    }
+
+    #[test]
+    fn eltwise_flops_and_oi() {
+        let inst = Instruction::new(
+            Opcode::Add1D,
+            OpParams::None,
+            vec![reg(0, &[256]), reg(256, &[256])],
+            vec![reg(512, &[256])],
+        )
+        .unwrap();
+        assert_eq!(flops(&inst), 256);
+        assert_eq!(mac_ops(&inst), 0);
+        // 256 ops / 3·256·4 bytes = 1/12.
+        assert!((operational_intensity(&inst) - 1.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sort_flops_nlogn() {
+        let inst = Instruction::new(
+            Opcode::Sort1D,
+            OpParams::None,
+            vec![reg(0, &[1024])],
+            vec![reg(1024, &[1024])],
+        )
+        .unwrap();
+        assert_eq!(flops(&inst), 1024 * 10);
+    }
+}

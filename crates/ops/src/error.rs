@@ -1,0 +1,58 @@
+use std::fmt;
+
+use cf_isa::IsaError;
+use cf_tensor::TensorError;
+
+/// Errors from kernel dispatch and fractal decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpsError {
+    /// The instruction is semantically malformed.
+    Isa(IsaError),
+    /// Region/memory access failed.
+    Tensor(TensorError),
+    /// A split was requested along an axis the opcode does not expose.
+    NoSuchAxis {
+        /// Requested axis index.
+        axis: usize,
+        /// Opcode mnemonic.
+        op: &'static str,
+    },
+    /// The opcode cannot be decomposed at all (e.g. `Merge1D`, which is a
+    /// streaming local operation).
+    NotDecomposable(&'static str),
+}
+
+impl fmt::Display for OpsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpsError::Isa(e) => write!(f, "ISA error: {e}"),
+            OpsError::Tensor(e) => write!(f, "tensor error: {e}"),
+            OpsError::NoSuchAxis { axis, op } => {
+                write!(f, "{op} has no split axis {axis}")
+            }
+            OpsError::NotDecomposable(op) => write!(f, "{op} cannot be fractally decomposed"),
+        }
+    }
+}
+
+impl std::error::Error for OpsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OpsError::Isa(e) => Some(e),
+            OpsError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IsaError> for OpsError {
+    fn from(e: IsaError) -> Self {
+        OpsError::Isa(e)
+    }
+}
+
+impl From<TensorError> for OpsError {
+    fn from(e: TensorError) -> Self {
+        OpsError::Tensor(e)
+    }
+}

@@ -1,0 +1,152 @@
+//! Flat (non-fractal) instruction execution over a single [`Memory`].
+//!
+//! This is both the functional model of a *leaf accelerator* — which
+//! "finishes the most part of the computation" (paper §3.1) — and the
+//! reference executor that the fractal machine's results are compared
+//! against in tests.
+
+use cf_isa::{Instruction, Opcode, Program};
+use cf_tensor::{Memory, Tensor};
+
+use crate::{kernels, OpsError};
+
+/// Executes one instruction directly: gather inputs, run the reference
+/// kernel, scatter outputs.
+///
+/// # Errors
+///
+/// Propagates region/shape errors and kernel-dispatch errors.
+pub fn execute_instruction(inst: &Instruction, mem: &mut Memory) -> Result<(), OpsError> {
+    let inputs: Vec<Tensor> = inst
+        .inputs
+        .iter()
+        .map(|r| mem.read_region(r))
+        .collect::<Result<_, _>>()?;
+    let outputs = evaluate(inst, &inputs)?;
+    debug_assert_eq!(outputs.len(), inst.outputs.len());
+    for (region, tensor) in inst.outputs.iter().zip(&outputs) {
+        mem.write_region(region, tensor)?;
+    }
+    Ok(())
+}
+
+/// Pure evaluation of an instruction on already-gathered input tensors.
+///
+/// # Errors
+///
+/// Returns kernel shape errors; arity is assumed validated by
+/// [`Instruction::new`].
+pub fn evaluate(inst: &Instruction, inputs: &[Tensor]) -> Result<Vec<Tensor>, OpsError> {
+    Ok(match inst.op {
+        Opcode::Cv2D => vec![kernels::conv2d(&inputs[0], &inputs[1], &inst.params.conv())?],
+        Opcode::Cv3D => vec![kernels::conv3d(&inputs[0], &inputs[1], &inst.params.conv())?],
+        Opcode::Max2D => {
+            vec![kernels::pool2d(&inputs[0], &inst.params.pool(), kernels::PoolMode::Max)?]
+        }
+        Opcode::Min2D => {
+            vec![kernels::pool2d(&inputs[0], &inst.params.pool(), kernels::PoolMode::Min)?]
+        }
+        Opcode::Avg2D => {
+            vec![kernels::pool2d(&inputs[0], &inst.params.pool(), kernels::PoolMode::Avg)?]
+        }
+        Opcode::Lrn => vec![kernels::lrn(&inputs[0], &inst.params.lrn())?],
+        Opcode::MatMul => vec![kernels::matmul(&inputs[0], &inputs[1])?],
+        Opcode::Euclidian1D => vec![kernels::euclidean_sq(&inputs[0], &inputs[1])?],
+        Opcode::Sort1D => {
+            let (k, p) = kernels::sort(&inputs[0], inputs.get(1))?;
+            match p {
+                Some(p) => vec![k, p],
+                None => vec![k],
+            }
+        }
+        Opcode::Merge1D => {
+            let (k, p) =
+                kernels::merge(&inputs[0], &inputs[1], inputs.get(2), inputs.get(3))?;
+            match p {
+                Some(p) => vec![k, p],
+                None => vec![k],
+            }
+        }
+        Opcode::Count1D => vec![kernels::count(&inputs[0], &inst.params.count())],
+        Opcode::Add1D => vec![kernels::eltwise_add(&inputs[0], &inputs[1])?],
+        Opcode::Sub1D => vec![kernels::eltwise_sub(&inputs[0], &inputs[1])?],
+        Opcode::Mul1D => vec![kernels::eltwise_mul(&inputs[0], &inputs[1])?],
+        Opcode::Act1D => vec![kernels::activate(&inputs[0], inst.params.act())],
+        Opcode::HSum1D => vec![kernels::hsum(&inputs[0])],
+        Opcode::HProd1D => vec![kernels::hprod(&inputs[0])],
+    })
+}
+
+/// Executes a whole program in order on `mem` (which must be at least
+/// [`Program::extern_elems`] long).
+///
+/// # Errors
+///
+/// Stops at and returns the first failing instruction's error.
+pub fn execute_program(program: &Program, mem: &mut Memory) -> Result<(), OpsError> {
+    for inst in program.instructions() {
+        execute_instruction(inst, mem)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_isa::{OpParams, ProgramBuilder};
+    use cf_tensor::Shape;
+
+    #[test]
+    fn run_small_program() {
+        let mut b = ProgramBuilder::new();
+        let x = b.alloc("x", vec![4]);
+        let y = b.alloc("y", vec![4]);
+        let z = b.alloc("z", vec![4]);
+        let s = b.alloc("s", vec![1]);
+        b.emit(Opcode::Add1D, [x, y], [z]).unwrap();
+        b.emit(Opcode::HSum1D, [z], [s]).unwrap();
+        let p = b.build();
+
+        let mut mem = Memory::new(p.extern_elems() as usize);
+        mem.write_contiguous(0, &Tensor::from_vec(Shape::new(vec![4]), vec![1., 2., 3., 4.]))
+            .unwrap();
+        mem.write_contiguous(4, &Tensor::from_vec(Shape::new(vec![4]), vec![10., 20., 30., 40.]))
+            .unwrap();
+        execute_program(&p, &mut mem).unwrap();
+        assert_eq!(&mem.as_slice()[8..12], &[11., 22., 33., 44.]);
+        assert_eq!(mem.as_slice()[12], 110.0);
+    }
+
+    #[test]
+    fn sort_instruction_with_payload() {
+        let mut b = ProgramBuilder::new();
+        let k = b.alloc("k", vec![4]);
+        let v = b.alloc("v", vec![4]);
+        let ks = b.alloc("ks", vec![4]);
+        let vs = b.alloc("vs", vec![4]);
+        b.emit(Opcode::Sort1D, [k, v], [ks, vs]).unwrap();
+        let p = b.build();
+        let mut mem = Memory::new(p.extern_elems() as usize);
+        mem.write_contiguous(0, &Tensor::from_vec(Shape::new(vec![4]), vec![4., 1., 3., 2.]))
+            .unwrap();
+        mem.write_contiguous(4, &Tensor::from_vec(Shape::new(vec![4]), vec![40., 10., 30., 20.]))
+            .unwrap();
+        execute_program(&p, &mut mem).unwrap();
+        assert_eq!(&mem.as_slice()[8..12], &[1., 2., 3., 4.]);
+        assert_eq!(&mem.as_slice()[12..16], &[10., 20., 30., 40.]);
+    }
+
+    #[test]
+    fn evaluate_matches_kernels() {
+        let inst = Instruction::new(
+            Opcode::Act1D,
+            OpParams::None,
+            vec![cf_tensor::Region::contiguous(0, Shape::new(vec![2]))],
+            vec![cf_tensor::Region::contiguous(2, Shape::new(vec![2]))],
+        )
+        .unwrap();
+        let out = evaluate(&inst, &[Tensor::from_vec(Shape::new(vec![2]), vec![-2.0, 2.0])])
+            .unwrap();
+        assert_eq!(out[0].data(), &[0.0, 2.0]);
+    }
+}

@@ -1,0 +1,982 @@
+//! Fractal-operation theory (paper §2) made executable.
+//!
+//! An operation `f(X)` is *fractal* when `f(X) = g(f(X_A), f(X_B), …)` for
+//! some retrieving operator `g(·)`. This module knows, for every FISA
+//! opcode, along which axes the operation decomposes, what dependency class
+//! each axis has, what `g(·)` is, and what data redundancy an
+//! independent-style execution of an input-dependent split incurs
+//! (Table 2) — and performs the actual region arithmetic of a split.
+//!
+//! Both decomposers of the Cambricon-F controller are built on
+//! [`apply_split`]: the sequential decomposer splits until sub-instructions
+//! fit local memory, and the parallel decomposer splits across FFUs.
+
+use cf_isa::{Instruction, Opcode, OpParams, Pad, PoolParams};
+#[cfg(test)]
+use cf_isa::ConvParams;
+use cf_tensor::{Region, Shape};
+
+use crate::OpsError;
+
+/// Dependency class of a decomposition (paper §2.2, Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dependency {
+    /// Pieces touch disjoint inputs and outputs.
+    Independent,
+    /// Pieces need overlapping/replicated inputs but write disjoint outputs.
+    InputDependent,
+    /// Piece results must be combined by a retrieving operator `g(·)`.
+    OutputDependent,
+}
+
+impl std::fmt::Display for Dependency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Dependency::Independent => "Independent",
+            Dependency::InputDependent => "Input",
+            Dependency::OutputDependent => "Output",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The retrieving operator `g(·)` of an output-dependent decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceKind {
+    /// Elementwise sum of partials.
+    Add,
+    /// Elementwise product of partials.
+    Mul,
+    /// k-way merge of sorted runs (left-biased, payload-carrying).
+    Merge,
+}
+
+impl std::fmt::Display for ReduceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ReduceKind::Add => "Add",
+            ReduceKind::Mul => "Mul",
+            ReduceKind::Merge => "Merge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One decomposition axis an instruction offers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AxisInfo {
+    /// Stable index to pass to [`apply_split`].
+    pub index: usize,
+    /// Human-readable axis name (used in Table 2 and diagnostics).
+    pub label: &'static str,
+    /// Dependency class of splitting along this axis.
+    pub dependency: Dependency,
+    /// The retrieving operator, for output-dependent axes.
+    pub reduce: Option<ReduceKind>,
+    /// Data replicated to every piece when executed independently
+    /// (Table 2 "Data Redundancy" column).
+    pub redundancy: &'static str,
+    /// Extent available for splitting (1 ⇒ the axis cannot be split).
+    pub extent: usize,
+}
+
+/// A piece of an output-dependent split: a full sub-operation whose outputs
+/// are *partials* that `g(·)` later combines. The caller (the machine's
+/// memory manager) allocates the partial buffers and calls
+/// [`PartialPiece::into_instruction`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialPiece {
+    /// Opcode of the piece (same as the parent for every FISA primitive).
+    pub op: Opcode,
+    /// Parameters of the piece.
+    pub params: OpParams,
+    /// Input region slices (in the parent instruction's address space).
+    pub inputs: Vec<Region>,
+    /// Shapes of the partial outputs this piece produces.
+    pub partial_shapes: Vec<Shape>,
+}
+
+impl PartialPiece {
+    /// Materialises the piece as an instruction writing to `outputs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors if `outputs` do not match
+    /// [`PartialPiece::partial_shapes`].
+    pub fn into_instruction(self, outputs: Vec<Region>) -> Result<Instruction, OpsError> {
+        Ok(Instruction::new(self.op, self.params, self.inputs, outputs)?)
+    }
+}
+
+/// Result of splitting an instruction along one axis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SplitOutcome {
+    /// Independent / input-dependent split: the sub-instructions jointly
+    /// write disjoint slices of the original outputs, so assembling is
+    /// `g(x) = x`.
+    Direct(Vec<Instruction>),
+    /// Output-dependent split: pieces produce partials combined by `kind`.
+    Reduce {
+        /// The sub-operation pieces.
+        pieces: Vec<PartialPiece>,
+        /// The retrieving operator `g(·)`.
+        kind: ReduceKind,
+    },
+}
+
+impl SplitOutcome {
+    /// Number of pieces.
+    pub fn len(&self) -> usize {
+        match self {
+            SplitOutcome::Direct(v) => v.len(),
+            SplitOutcome::Reduce { pieces, .. } => pieces.len(),
+        }
+    }
+
+    /// Whether the split produced no pieces (never happens for `parts ≥ 1`).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Lists the decomposition axes of an instruction, in the opcode's
+/// preference-neutral canonical order.
+pub fn split_axes(inst: &Instruction) -> Vec<AxisInfo> {
+    use Dependency::*;
+    let dim = |r: &Region, i: usize| r.shape().dim(i);
+    let mut axes = Vec::new();
+    let mut push = |label, dependency, reduce, redundancy, extent| {
+        axes.push(AxisInfo {
+            index: axes.len(),
+            label,
+            dependency,
+            reduce,
+            redundancy,
+            extent,
+        });
+    };
+    match inst.op {
+        Opcode::Cv2D => {
+            let (x, o) = (&inst.inputs[0], &inst.outputs[0]);
+            push("batch", InputDependent, None, "Weight", dim(x, 0));
+            push("spatial-h", InputDependent, None, "Weight, Overlapped", dim(o, 1));
+            push("spatial-w", InputDependent, None, "Weight, Overlapped", dim(o, 2));
+            push("out-feature", InputDependent, None, "Input", dim(o, 3));
+            push("in-feature", OutputDependent, Some(ReduceKind::Add), "-", dim(x, 3));
+        }
+        Opcode::Cv3D => {
+            let (x, o) = (&inst.inputs[0], &inst.outputs[0]);
+            push("batch", InputDependent, None, "Weight", dim(x, 0));
+            push("spatial-d", InputDependent, None, "Weight, Overlapped", dim(o, 1));
+            push("spatial-h", InputDependent, None, "Weight, Overlapped", dim(o, 2));
+            push("spatial-w", InputDependent, None, "Weight, Overlapped", dim(o, 3));
+            push("out-feature", InputDependent, None, "Input", dim(o, 4));
+            push("in-feature", OutputDependent, Some(ReduceKind::Add), "-", dim(x, 4));
+        }
+        Opcode::Max2D | Opcode::Min2D | Opcode::Avg2D => {
+            let (x, o) = (&inst.inputs[0], &inst.outputs[0]);
+            push("batch", Independent, None, "-", dim(x, 0));
+            push("feature", Independent, None, "-", dim(x, 3));
+            push("spatial-h", InputDependent, None, "Overlapped", dim(o, 1));
+            push("spatial-w", InputDependent, None, "Overlapped", dim(o, 2));
+        }
+        Opcode::Lrn => {
+            let x = &inst.inputs[0];
+            push("batch", Independent, None, "-", dim(x, 0));
+            push("spatial-h", Independent, None, "-", dim(x, 1));
+            push("spatial-w", Independent, None, "-", dim(x, 2));
+        }
+        Opcode::MatMul => {
+            let (a, b) = (&inst.inputs[0], &inst.inputs[1]);
+            push("left-rows", InputDependent, None, "Right Matrix", dim(a, 0));
+            push("right-cols", InputDependent, None, "Left Matrix", dim(b, 1));
+            push("inner", OutputDependent, Some(ReduceKind::Add), "-", dim(a, 1));
+        }
+        Opcode::Euclidian1D => {
+            let (x, y) = (&inst.inputs[0], &inst.inputs[1]);
+            push("left", InputDependent, None, "Right Operand", dim(x, 0));
+            push("right", InputDependent, None, "Left Operand", dim(y, 0));
+            push("dim", OutputDependent, Some(ReduceKind::Add), "-", dim(x, 1));
+        }
+        Opcode::Sort1D => {
+            push(
+                "segment",
+                OutputDependent,
+                Some(ReduceKind::Merge),
+                "-",
+                dim(&inst.inputs[0], 0),
+            );
+        }
+        Opcode::Count1D => {
+            push(
+                "segment",
+                OutputDependent,
+                Some(ReduceKind::Add),
+                "-",
+                dim(&inst.inputs[0], 0),
+            );
+        }
+        Opcode::Add1D | Opcode::Sub1D | Opcode::Mul1D | Opcode::Act1D => {
+            // Elementwise: any axis splits independently. Expose each
+            // dimension, labelled by position.
+            static LABELS: [&str; 6] = ["dim-0", "dim-1", "dim-2", "dim-3", "dim-4", "dim-5"];
+            let x = &inst.inputs[0];
+            for i in 0..x.shape().rank().min(LABELS.len()) {
+                push(LABELS[i], Independent, None, "-", dim(x, i));
+            }
+        }
+        Opcode::HSum1D => {
+            push(
+                "segment",
+                OutputDependent,
+                Some(ReduceKind::Add),
+                "-",
+                dim(&inst.inputs[0], 0),
+            );
+        }
+        Opcode::HProd1D => {
+            push(
+                "segment",
+                OutputDependent,
+                Some(ReduceKind::Mul),
+                "-",
+                dim(&inst.inputs[0], 0),
+            );
+        }
+        Opcode::Merge1D => {
+            // Streaming local operation; not fractally decomposed.
+        }
+    }
+    axes
+}
+
+/// Input slice and per-piece padding for one spatial axis of a
+/// convolution/pooling split: output rows `[out_start, out_start+out_len)`
+/// read input rows `[in_start, in_start+in_len)` with piece padding `pad`.
+fn spatial_slice(
+    in_extent: usize,
+    kernel: usize,
+    stride: usize,
+    pad: Pad,
+    out_start: usize,
+    out_len: usize,
+) -> (usize, usize, Pad) {
+    let lo = out_start as isize * stride as isize - pad.before as isize;
+    let hi =
+        (out_start + out_len - 1) as isize * stride as isize - pad.before as isize + kernel as isize;
+    let in_lo = lo.max(0) as usize;
+    let in_hi = (hi.min(in_extent as isize)).max(0) as usize;
+    let before = (-lo).max(0) as usize;
+    let after = (hi - in_extent as isize).max(0) as usize;
+    (in_lo, in_hi.saturating_sub(in_lo), Pad { before, after })
+}
+
+fn slice_pair(
+    inst: &Instruction,
+    in_idx: usize,
+    in_axis: usize,
+    out_axis: usize,
+    parts: usize,
+) -> Result<Vec<Instruction>, OpsError> {
+    // Split one input and the output(s) along matching axes; other inputs
+    // are replicated whole.
+    let extents = inst.outputs[0].shape().split_axis_extents(out_axis, parts)?;
+    extents
+        .into_iter()
+        .map(|(start, len)| {
+            let mut inputs = inst.inputs.clone();
+            inputs[in_idx] = inputs[in_idx].slice(in_axis, start, len)?;
+            let outputs = inst
+                .outputs
+                .iter()
+                .map(|o| o.slice(out_axis, start, len))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Instruction::new(inst.op, inst.params, inputs, outputs)?)
+        })
+        .collect()
+}
+
+/// Splits `inst` into at most `parts` sub-operations along axis
+/// `axis_index` (an index into [`split_axes`]).
+///
+/// # Errors
+///
+/// Returns [`OpsError::NoSuchAxis`] for an invalid axis,
+/// [`OpsError::NotDecomposable`] for `Merge1D`, and region/validation
+/// errors if the split arithmetic produces illegal slices (which indicates
+/// a bug in the caller's axis choice, e.g. splitting a spatial axis finer
+/// than the kernel allows).
+pub fn apply_split(
+    inst: &Instruction,
+    axis_index: usize,
+    parts: usize,
+) -> Result<SplitOutcome, OpsError> {
+    if inst.op == Opcode::Merge1D {
+        return Err(OpsError::NotDecomposable("Merge1D"));
+    }
+    let axes = split_axes(inst);
+    let axis = *axes
+        .get(axis_index)
+        .ok_or(OpsError::NoSuchAxis { axis: axis_index, op: inst.op.mnemonic() })?;
+
+    match (inst.op, axis.label) {
+        // ---- Convolutions ---------------------------------------------
+        (Opcode::Cv2D | Opcode::Cv3D, "batch") => {
+            Ok(SplitOutcome::Direct(slice_pair(inst, 0, 0, 0, parts)?))
+        }
+        (Opcode::Cv2D | Opcode::Cv3D, lbl @ ("spatial-d" | "spatial-h" | "spatial-w")) => {
+            // Spatial axis s (0-based among spatial axes).
+            let s_axis = match (inst.op, lbl) {
+                (Opcode::Cv3D, "spatial-d") => 0,
+                (Opcode::Cv2D, "spatial-h") | (Opcode::Cv3D, "spatial-h") => {
+                    if inst.op == Opcode::Cv2D {
+                        0
+                    } else {
+                        1
+                    }
+                }
+                _ => {
+                    if inst.op == Opcode::Cv2D {
+                        1
+                    } else {
+                        2
+                    }
+                }
+            };
+            let tensor_axis = s_axis + 1; // NHWC / NDHWC
+            let p = inst.params.conv();
+            let kernel = inst.inputs[1].shape().dim(s_axis);
+            let in_extent = inst.inputs[0].shape().dim(tensor_axis);
+            let extents = inst.outputs[0].shape().split_axis_extents(tensor_axis, parts)?;
+            let mut out = Vec::with_capacity(extents.len());
+            for (os, ol) in extents {
+                let (in_lo, in_len, pad) =
+                    spatial_slice(in_extent, kernel, p.stride, p.pads[s_axis], os, ol);
+                let mut piece_params = p;
+                piece_params.pads[s_axis] = pad;
+                let mut inputs = inst.inputs.clone();
+                inputs[0] = inputs[0].slice(tensor_axis, in_lo, in_len)?;
+                let outputs = inst
+                    .outputs
+                    .iter()
+                    .map(|o| o.slice(tensor_axis, os, ol))
+                    .collect::<Result<Vec<_>, _>>()?;
+                out.push(Instruction::new(
+                    inst.op,
+                    OpParams::Conv(piece_params),
+                    inputs,
+                    outputs,
+                )?);
+            }
+            Ok(SplitOutcome::Direct(out))
+        }
+        (Opcode::Cv2D, "out-feature") => Ok(SplitOutcome::Direct(slice_pair(inst, 1, 3, 3, parts)?)),
+        (Opcode::Cv3D, "out-feature") => Ok(SplitOutcome::Direct(slice_pair(inst, 1, 4, 4, parts)?)),
+        (Opcode::Cv2D | Opcode::Cv3D, "in-feature") => {
+            let (x_axis, w_axis) = if inst.op == Opcode::Cv2D { (3, 2) } else { (4, 3) };
+            let extents = inst.inputs[0].shape().split_axis_extents(x_axis, parts)?;
+            let pieces = extents
+                .into_iter()
+                .map(|(start, len)| {
+                    Ok(PartialPiece {
+                        op: inst.op,
+                        params: inst.params,
+                        inputs: vec![
+                            inst.inputs[0].slice(x_axis, start, len)?,
+                            inst.inputs[1].slice(w_axis, start, len)?,
+                        ],
+                        partial_shapes: vec![inst.outputs[0].shape().clone()],
+                    })
+                })
+                .collect::<Result<Vec<_>, OpsError>>()?;
+            Ok(SplitOutcome::Reduce { pieces, kind: ReduceKind::Add })
+        }
+
+        // ---- Pooling ---------------------------------------------------
+        (Opcode::Max2D | Opcode::Min2D | Opcode::Avg2D, "batch") => {
+            Ok(SplitOutcome::Direct(slice_pair(inst, 0, 0, 0, parts)?))
+        }
+        (Opcode::Max2D | Opcode::Min2D | Opcode::Avg2D, "feature") => {
+            Ok(SplitOutcome::Direct(slice_pair(inst, 0, 3, 3, parts)?))
+        }
+        (Opcode::Max2D | Opcode::Min2D | Opcode::Avg2D, lbl @ ("spatial-h" | "spatial-w")) => {
+            let s_axis = if lbl == "spatial-h" { 0 } else { 1 };
+            let tensor_axis = s_axis + 1;
+            let p = inst.params.pool();
+            let kernel = if s_axis == 0 { p.kh } else { p.kw };
+            let in_extent = inst.inputs[0].shape().dim(tensor_axis);
+            let extents = inst.outputs[0].shape().split_axis_extents(tensor_axis, parts)?;
+            let mut out = Vec::with_capacity(extents.len());
+            for (os, ol) in extents {
+                let (in_lo, in_len, pad) =
+                    spatial_slice(in_extent, kernel, p.stride, p.pads[s_axis], os, ol);
+                let mut piece_params: PoolParams = p;
+                piece_params.pads[s_axis] = pad;
+                let inputs = vec![inst.inputs[0].slice(tensor_axis, in_lo, in_len)?];
+                let outputs = vec![inst.outputs[0].slice(tensor_axis, os, ol)?];
+                out.push(Instruction::new(
+                    inst.op,
+                    OpParams::Pool(piece_params),
+                    inputs,
+                    outputs,
+                )?);
+            }
+            Ok(SplitOutcome::Direct(out))
+        }
+
+        // ---- LRN ---------------------------------------------------------
+        (Opcode::Lrn, "batch") => Ok(SplitOutcome::Direct(slice_pair(inst, 0, 0, 0, parts)?)),
+        (Opcode::Lrn, "spatial-h") => Ok(SplitOutcome::Direct(slice_pair(inst, 0, 1, 1, parts)?)),
+        (Opcode::Lrn, "spatial-w") => Ok(SplitOutcome::Direct(slice_pair(inst, 0, 2, 2, parts)?)),
+
+        // ---- Linear algebra ---------------------------------------------
+        (Opcode::MatMul, "left-rows") => Ok(SplitOutcome::Direct(slice_pair(inst, 0, 0, 0, parts)?)),
+        (Opcode::MatMul, "right-cols") => {
+            Ok(SplitOutcome::Direct(slice_pair(inst, 1, 1, 1, parts)?))
+        }
+        (Opcode::MatMul, "inner") => {
+            let extents = inst.inputs[0].shape().split_axis_extents(1, parts)?;
+            let pieces = extents
+                .into_iter()
+                .map(|(start, len)| {
+                    Ok(PartialPiece {
+                        op: inst.op,
+                        params: inst.params,
+                        inputs: vec![
+                            inst.inputs[0].slice(1, start, len)?,
+                            inst.inputs[1].slice(0, start, len)?,
+                        ],
+                        partial_shapes: vec![inst.outputs[0].shape().clone()],
+                    })
+                })
+                .collect::<Result<Vec<_>, OpsError>>()?;
+            Ok(SplitOutcome::Reduce { pieces, kind: ReduceKind::Add })
+        }
+        (Opcode::Euclidian1D, "left") => Ok(SplitOutcome::Direct(slice_pair(inst, 0, 0, 0, parts)?)),
+        (Opcode::Euclidian1D, "right") => {
+            Ok(SplitOutcome::Direct(slice_pair(inst, 1, 0, 1, parts)?))
+        }
+        (Opcode::Euclidian1D, "dim") => {
+            let extents = inst.inputs[0].shape().split_axis_extents(1, parts)?;
+            let pieces = extents
+                .into_iter()
+                .map(|(start, len)| {
+                    Ok(PartialPiece {
+                        op: inst.op,
+                        params: inst.params,
+                        inputs: vec![
+                            inst.inputs[0].slice(1, start, len)?,
+                            inst.inputs[1].slice(1, start, len)?,
+                        ],
+                        partial_shapes: vec![inst.outputs[0].shape().clone()],
+                    })
+                })
+                .collect::<Result<Vec<_>, OpsError>>()?;
+            Ok(SplitOutcome::Reduce { pieces, kind: ReduceKind::Add })
+        }
+
+        // ---- Sort / count / horizontal ------------------------------------
+        (Opcode::Sort1D, "segment") => {
+            let extents = inst.inputs[0].shape().split_axis_extents(0, parts)?;
+            let pieces = extents
+                .into_iter()
+                .map(|(start, len)| {
+                    let inputs = inst
+                        .inputs
+                        .iter()
+                        .map(|r| r.slice(0, start, len))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let partial_shapes =
+                        inputs.iter().map(|r| r.shape().clone()).collect();
+                    Ok(PartialPiece { op: inst.op, params: inst.params, inputs, partial_shapes })
+                })
+                .collect::<Result<Vec<_>, OpsError>>()?;
+            Ok(SplitOutcome::Reduce { pieces, kind: ReduceKind::Merge })
+        }
+        (Opcode::Count1D | Opcode::HSum1D | Opcode::HProd1D, "segment") => {
+            let kind = match inst.op {
+                Opcode::HProd1D => ReduceKind::Mul,
+                _ => ReduceKind::Add,
+            };
+            let extents = inst.inputs[0].shape().split_axis_extents(0, parts)?;
+            let pieces = extents
+                .into_iter()
+                .map(|(start, len)| {
+                    Ok(PartialPiece {
+                        op: inst.op,
+                        params: inst.params,
+                        inputs: vec![inst.inputs[0].slice(0, start, len)?],
+                        partial_shapes: vec![Shape::scalar()],
+                    })
+                })
+                .collect::<Result<Vec<_>, OpsError>>()?;
+            Ok(SplitOutcome::Reduce { pieces, kind })
+        }
+
+        // ---- Elementwise ---------------------------------------------------
+        (Opcode::Add1D | Opcode::Sub1D | Opcode::Mul1D | Opcode::Act1D, lbl) => {
+            let tensor_axis: usize = lbl
+                .strip_prefix("dim-")
+                .and_then(|d| d.parse().ok())
+                .ok_or(OpsError::NoSuchAxis { axis: axis_index, op: inst.op.mnemonic() })?;
+            let extents = inst.outputs[0].shape().split_axis_extents(tensor_axis, parts)?;
+            let out = extents
+                .into_iter()
+                .map(|(start, len)| {
+                    let inputs = inst
+                        .inputs
+                        .iter()
+                        .map(|r| r.slice(tensor_axis, start, len))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let outputs = inst
+                        .outputs
+                        .iter()
+                        .map(|r| r.slice(tensor_axis, start, len))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok(Instruction::new(inst.op, inst.params, inputs, outputs)?)
+                })
+                .collect::<Result<Vec<_>, OpsError>>()?;
+            Ok(SplitOutcome::Direct(out))
+        }
+
+        _ => Err(OpsError::NoSuchAxis { axis: axis_index, op: inst.op.mnemonic() }),
+    }
+}
+
+/// Extra bytes moved by a split relative to executing the instruction
+/// whole: replicated/overlapping inputs plus partial-output buffers. The
+/// decomposition chooser minimises this.
+pub fn split_overhead_bytes(inst: &Instruction, outcome: &SplitOutcome) -> u64 {
+    let base: u64 = inst.operand_bytes();
+    match outcome {
+        SplitOutcome::Direct(parts) => {
+            let total: u64 = parts.iter().map(Instruction::operand_bytes).sum();
+            total.saturating_sub(base)
+        }
+        SplitOutcome::Reduce { pieces, .. } => {
+            let inputs: u64 = pieces
+                .iter()
+                .flat_map(|p| p.inputs.iter())
+                .map(Region::bytes)
+                .sum();
+            let partials: u64 = pieces
+                .iter()
+                .flat_map(|p| p.partial_shapes.iter())
+                .map(Shape::bytes)
+                .sum();
+            let base_in: u64 = inst.inputs.iter().map(Region::bytes).sum();
+            // Partials are written once and read once by g(·).
+            (inputs + 2 * partials).saturating_sub(base_in)
+        }
+    }
+}
+
+/// Picks the axis whose `parts`-way split moves the fewest extra bytes,
+/// returning `(axis, outcome)`. Returns `None` when no axis can be split
+/// (all extents 1, or the opcode is not decomposable).
+pub fn choose_split(inst: &Instruction, parts: usize) -> Option<(AxisInfo, SplitOutcome)> {
+    let mut best: Option<(u64, AxisInfo, SplitOutcome)> = None;
+    for axis in split_axes(inst) {
+        if axis.extent < 2 {
+            continue;
+        }
+        let Ok(outcome) = apply_split(inst, axis.index, parts) else {
+            continue;
+        };
+        if outcome.len() < 2 {
+            continue;
+        }
+        let cost = split_overhead_bytes(inst, &outcome);
+        let better = match &best {
+            None => true,
+            Some((c, ..)) => cost < *c,
+        };
+        if better {
+            best = Some((cost, axis, outcome));
+        }
+    }
+    best.map(|(_, a, o)| (a, o))
+}
+
+/// One row of the paper's Table 2 ("Computing primitives analysis").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table2Row {
+    /// Primitive name as printed in the paper.
+    pub primitive: &'static str,
+    /// Decomposition label as printed in the paper.
+    pub decomposition: &'static str,
+    /// Dependency class.
+    pub dependency: Dependency,
+    /// `g(·)`.
+    pub reduce: Option<ReduceKind>,
+    /// Data-redundancy column.
+    pub redundancy: &'static str,
+}
+
+/// The paper's Table 2, derived from this module's axis metadata. `IP`
+/// (inner production) is `Euclidian1D`/`MatMul`-style length-wise
+/// reduction; `ELTW` stands for all elementwise opcodes.
+pub fn table2() -> Vec<Table2Row> {
+    use Dependency::*;
+    vec![
+        Table2Row { primitive: "IP", decomposition: "Length-Wise", dependency: OutputDependent, reduce: Some(ReduceKind::Add), redundancy: "-" },
+        Table2Row { primitive: "CONV", decomposition: "Feature-Wise", dependency: OutputDependent, reduce: Some(ReduceKind::Add), redundancy: "-" },
+        Table2Row { primitive: "CONV", decomposition: "Batch-Wise", dependency: InputDependent, reduce: None, redundancy: "Weight" },
+        Table2Row { primitive: "CONV", decomposition: "Spatial", dependency: InputDependent, reduce: None, redundancy: "Weight, Overlapped" },
+        Table2Row { primitive: "POOL", decomposition: "Feature-Wise", dependency: Independent, reduce: None, redundancy: "-" },
+        Table2Row { primitive: "POOL", decomposition: "Spatial", dependency: InputDependent, reduce: None, redundancy: "Overlapped" },
+        Table2Row { primitive: "MMM", decomposition: "Left, Vertical", dependency: OutputDependent, reduce: Some(ReduceKind::Add), redundancy: "-" },
+        Table2Row { primitive: "MMM", decomposition: "Right, Vertical", dependency: InputDependent, reduce: None, redundancy: "Left Matrix" },
+        Table2Row { primitive: "ELTW", decomposition: "Any", dependency: Independent, reduce: None, redundancy: "-" },
+        Table2Row { primitive: "SORT", decomposition: "Any", dependency: OutputDependent, reduce: Some(ReduceKind::Merge), redundancy: "-" },
+        Table2Row { primitive: "COUNT", decomposition: "Any", dependency: OutputDependent, reduce: Some(ReduceKind::Add), redundancy: "-" },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_tensor::Memory;
+
+    use crate::exec::execute_instruction;
+
+    fn reg(offset: u64, dims: &[usize]) -> Region {
+        Region::contiguous(offset, Shape::new(dims.to_vec()))
+    }
+
+    /// Runs `inst` both directly and via a `parts`-way split along every
+    /// available axis, asserting identical (or ε-close) results.
+    fn check_all_axes(inst: &Instruction, mem: &Memory, parts: usize, tol: f32) {
+        let mut direct = mem.clone();
+        execute_instruction(inst, &mut direct).unwrap();
+        for axis in split_axes(inst) {
+            if axis.extent < 2 {
+                continue;
+            }
+            let mut fractal = mem.clone();
+            match apply_split(inst, axis.index, parts).unwrap() {
+                SplitOutcome::Direct(pieces) => {
+                    for p in &pieces {
+                        execute_instruction(p, &mut fractal).unwrap();
+                    }
+                }
+                SplitOutcome::Reduce { pieces, kind } => {
+                    // Allocate partials past the end of the program data.
+                    let mut scratch = fractal.len() as u64;
+                    let mut partial_insts = Vec::new();
+                    let mut partial_regions: Vec<Vec<Region>> = Vec::new();
+                    let mut extra = 0u64;
+                    for piece in &pieces {
+                        let regions: Vec<Region> = piece
+                            .partial_shapes
+                            .iter()
+                            .map(|s| {
+                                let r = Region::contiguous(scratch + extra, s.clone());
+                                extra += s.numel();
+                                r
+                            })
+                            .collect();
+                        partial_regions.push(regions.clone());
+                        partial_insts.push(piece.clone().into_instruction(regions).unwrap());
+                    }
+                    let mut grown = Memory::new(fractal.len() + extra as usize);
+                    grown.as_mut_slice()[..fractal.len()].copy_from_slice(fractal.as_slice());
+                    for p in &partial_insts {
+                        execute_instruction(p, &mut grown).unwrap();
+                    }
+                    // Apply g(·).
+                    match kind {
+                        ReduceKind::Add | ReduceKind::Mul => {
+                            let shape = inst.outputs[0].shape().clone();
+                            let mut acc = grown.read_region(&partial_regions[0][0]).unwrap();
+                            for regs in &partial_regions[1..] {
+                                let t = grown.read_region(&regs[0]).unwrap();
+                                acc = if kind == ReduceKind::Add {
+                                    crate::kernels::eltwise_add(&acc, &t).unwrap()
+                                } else {
+                                    crate::kernels::eltwise_mul(&acc, &t).unwrap()
+                                };
+                            }
+                            let acc = acc.reshape(shape).unwrap();
+                            grown.write_region(&inst.outputs[0], &acc).unwrap();
+                        }
+                        ReduceKind::Merge => {
+                            let with_payload = partial_regions[0].len() == 2;
+                            let mut keys = grown.read_region(&partial_regions[0][0]).unwrap();
+                            let mut pay = with_payload
+                                .then(|| grown.read_region(&partial_regions[0][1]).unwrap());
+                            for regs in &partial_regions[1..] {
+                                let k2 = grown.read_region(&regs[0]).unwrap();
+                                let p2 = with_payload
+                                    .then(|| grown.read_region(&regs[1]).unwrap());
+                                let (k, p) = crate::kernels::merge(
+                                    &keys,
+                                    &k2,
+                                    pay.as_ref(),
+                                    p2.as_ref(),
+                                )
+                                .unwrap();
+                                keys = k;
+                                pay = p;
+                            }
+                            grown.write_region(&inst.outputs[0], &keys).unwrap();
+                            if let Some(pay) = pay {
+                                grown.write_region(&inst.outputs[1], &pay).unwrap();
+                            }
+                        }
+                    }
+                    // Copy back visible part.
+                    let n = fractal.len();
+                    fractal.as_mut_slice().copy_from_slice(&grown.as_slice()[..n]);
+                }
+            }
+            // Compare only the output regions: scratch layouts differ.
+            for out in &inst.outputs {
+                let a = direct.read_region(out).unwrap();
+                let b = fractal.read_region(out).unwrap();
+                assert!(
+                    a.approx_eq(&b, tol),
+                    "axis `{}` of {} diverged (max diff {})",
+                    axis.label,
+                    inst.op,
+                    a.max_abs_diff(&b).unwrap()
+                );
+            }
+        }
+    }
+
+    fn filled_memory(n: usize, seed: u64) -> Memory {
+        let mut mem = Memory::new(n);
+        let t = cf_tensor::gen::DataGen::new(seed).uniform(Shape::new(vec![n]), -2.0, 2.0);
+        mem.as_mut_slice().copy_from_slice(t.data());
+        mem
+    }
+
+    #[test]
+    fn conv2d_all_axes_match_direct() {
+        // x[2,6,6,4] w[3,3,4,5] -> o[2,6,6,5], stride 1 pad 1.
+        let inst = Instruction::new(
+            Opcode::Cv2D,
+            OpParams::Conv(ConvParams::same(1, 1)),
+            vec![reg(0, &[2, 6, 6, 4]), reg(288, &[3, 3, 4, 5])],
+            vec![reg(468, &[2, 6, 6, 5])],
+        )
+        .unwrap();
+        let mem = filled_memory(828, 11);
+        check_all_axes(&inst, &mem, 3, 1e-4);
+    }
+
+    #[test]
+    fn conv2d_strided_spatial_split() {
+        let inst = Instruction::new(
+            Opcode::Cv2D,
+            OpParams::Conv(ConvParams::same(2, 1)),
+            vec![reg(0, &[1, 9, 9, 2]), reg(162, &[3, 3, 2, 3])],
+            vec![reg(216, &[1, 5, 5, 3])],
+        )
+        .unwrap();
+        let mem = filled_memory(291, 12);
+        check_all_axes(&inst, &mem, 2, 1e-4);
+    }
+
+    #[test]
+    fn cv3d_all_axes_match_direct() {
+        let inst = Instruction::new(
+            Opcode::Cv3D,
+            OpParams::Conv(ConvParams::same(1, 1)),
+            vec![reg(0, &[1, 4, 4, 4, 2]), reg(128, &[3, 3, 3, 2, 3])],
+            vec![reg(290, &[1, 4, 4, 4, 3])],
+        )
+        .unwrap();
+        let mem = filled_memory(482, 13);
+        check_all_axes(&inst, &mem, 2, 1e-4);
+    }
+
+    #[test]
+    fn pooling_all_axes_match_direct() {
+        for op in [Opcode::Max2D, Opcode::Min2D, Opcode::Avg2D] {
+            let inst = Instruction::new(
+                op,
+                OpParams::Pool(PoolParams::square(3, 2, 1)),
+                vec![reg(0, &[2, 7, 7, 3])],
+                vec![reg(294, &[2, 4, 4, 3])],
+            )
+            .unwrap();
+            let mem = filled_memory(390, 14);
+            check_all_axes(&inst, &mem, 2, 1e-5);
+        }
+    }
+
+    #[test]
+    fn lrn_axes_match_direct() {
+        let inst = Instruction::new(
+            Opcode::Lrn,
+            OpParams::None,
+            vec![reg(0, &[2, 4, 4, 8])],
+            vec![reg(256, &[2, 4, 4, 8])],
+        )
+        .unwrap();
+        let mem = filled_memory(512, 15);
+        check_all_axes(&inst, &mem, 2, 1e-5);
+    }
+
+    #[test]
+    fn matmul_all_axes_match_direct() {
+        let inst = Instruction::new(
+            Opcode::MatMul,
+            OpParams::None,
+            vec![reg(0, &[6, 8]), reg(48, &[8, 5])],
+            vec![reg(88, &[6, 5])],
+        )
+        .unwrap();
+        let mem = filled_memory(118, 16);
+        check_all_axes(&inst, &mem, 3, 1e-4);
+    }
+
+    #[test]
+    fn euclidean_all_axes_match_direct() {
+        let inst = Instruction::new(
+            Opcode::Euclidian1D,
+            OpParams::None,
+            vec![reg(0, &[5, 6]), reg(30, &[4, 6])],
+            vec![reg(54, &[5, 4])],
+        )
+        .unwrap();
+        let mem = filled_memory(74, 17);
+        check_all_axes(&inst, &mem, 2, 1e-4);
+    }
+
+    #[test]
+    fn sort_with_payload_matches_direct() {
+        let inst = Instruction::new(
+            Opcode::Sort1D,
+            OpParams::None,
+            vec![reg(0, &[16]), reg(16, &[16])],
+            vec![reg(32, &[16]), reg(48, &[16])],
+        )
+        .unwrap();
+        let mem = filled_memory(64, 18);
+        check_all_axes(&inst, &mem, 4, 0.0);
+    }
+
+    #[test]
+    fn horizontal_and_count_match_direct() {
+        for op in [Opcode::HSum1D, Opcode::HProd1D, Opcode::Count1D] {
+            let inst = Instruction::new(
+                op,
+                OpParams::None,
+                vec![reg(0, &[13])],
+                vec![reg(13, &[1])],
+            )
+            .unwrap();
+            // Keep values near 1 so HProd stays in float range.
+            let mut mem = Memory::new(14);
+            let t = cf_tensor::gen::DataGen::new(19).uniform(Shape::new(vec![14]), 0.5, 1.5);
+            mem.as_mut_slice().copy_from_slice(t.data());
+            check_all_axes(&inst, &mem, 3, 1e-4);
+        }
+    }
+
+    #[test]
+    fn eltwise_all_axes_match_direct() {
+        for op in [Opcode::Add1D, Opcode::Sub1D, Opcode::Mul1D] {
+            let inst = Instruction::new(
+                op,
+                OpParams::None,
+                vec![reg(0, &[4, 6]), reg(24, &[4, 6])],
+                vec![reg(48, &[4, 6])],
+            )
+            .unwrap();
+            let mem = filled_memory(72, 20);
+            check_all_axes(&inst, &mem, 3, 0.0);
+        }
+    }
+
+    #[test]
+    fn merge_is_not_decomposable() {
+        let inst = Instruction::new(
+            Opcode::Merge1D,
+            OpParams::None,
+            vec![reg(0, &[4]), reg(4, &[4])],
+            vec![reg(8, &[8])],
+        )
+        .unwrap();
+        assert!(split_axes(&inst).is_empty());
+        assert!(matches!(apply_split(&inst, 0, 2), Err(OpsError::NotDecomposable(_))));
+    }
+
+    #[test]
+    fn choose_split_prefers_independent_axes() {
+        // Pooling: batch/feature splits are overhead-free, spatial overlaps.
+        let inst = Instruction::new(
+            Opcode::Max2D,
+            OpParams::Pool(PoolParams::square(3, 1, 0)),
+            vec![reg(0, &[4, 8, 8, 4])],
+            vec![reg(1024, &[4, 6, 6, 4])],
+        )
+        .unwrap();
+        let (axis, _) = choose_split(&inst, 4).unwrap();
+        assert_eq!(axis.dependency, Dependency::Independent);
+    }
+
+    #[test]
+    fn choose_split_matmul_avoids_reduction_when_possible() {
+        let inst = Instruction::new(
+            Opcode::MatMul,
+            OpParams::None,
+            vec![reg(0, &[64, 8]), reg(512, &[8, 64])],
+            vec![reg(1024, &[64, 64])],
+        )
+        .unwrap();
+        let (axis, _) = choose_split(&inst, 4).unwrap();
+        assert_ne!(axis.dependency, Dependency::OutputDependent);
+    }
+
+    #[test]
+    fn choose_split_none_for_scalar_work() {
+        let inst = Instruction::new(
+            Opcode::HSum1D,
+            OpParams::None,
+            vec![reg(0, &[1])],
+            vec![reg(1, &[1])],
+        )
+        .unwrap();
+        assert!(choose_split(&inst, 4).is_none());
+    }
+
+    #[test]
+    fn table2_is_consistent_with_axis_metadata() {
+        // CONV rows.
+        let conv = Instruction::new(
+            Opcode::Cv2D,
+            OpParams::Conv(ConvParams::same(1, 0)),
+            vec![reg(0, &[2, 5, 5, 3]), reg(150, &[3, 3, 3, 4])],
+            vec![reg(258, &[2, 3, 3, 4])],
+        )
+        .unwrap();
+        let axes = split_axes(&conv);
+        let feature = axes.iter().find(|a| a.label == "in-feature").unwrap();
+        assert_eq!(feature.dependency, Dependency::OutputDependent);
+        assert_eq!(feature.reduce, Some(ReduceKind::Add));
+        let batch = axes.iter().find(|a| a.label == "batch").unwrap();
+        assert_eq!(batch.redundancy, "Weight");
+        // Cross-check against the static table.
+        let t2 = table2();
+        assert!(t2.iter().any(|r| r.primitive == "CONV"
+            && r.decomposition == "Batch-Wise"
+            && r.redundancy == "Weight"));
+        assert_eq!(t2.len(), 11);
+    }
+
+    #[test]
+    fn spatial_slice_edges() {
+        // 6-wide input, kernel 3, stride 1, pad 1 → output 6. First half
+        // of the output needs rows 0..4 with pad_before 1.
+        let (lo, len, pad) = spatial_slice(6, 3, 1, Pad::same(1), 0, 3);
+        assert_eq!((lo, len), (0, 4));
+        assert_eq!(pad, Pad { before: 1, after: 0 });
+        let (lo, len, pad) = spatial_slice(6, 3, 1, Pad::same(1), 3, 3);
+        assert_eq!((lo, len), (2, 4));
+        assert_eq!(pad, Pad { before: 0, after: 1 });
+    }
+}

@@ -1,0 +1,623 @@
+//! Reference implementations of every FISA primitive.
+//!
+//! These kernels are deliberately written for clarity and correctness, not
+//! speed: they are the ground truth for the fractal machine's functional
+//! mode and the functional model of a leaf accelerator. All of them operate
+//! on dense [`Tensor`]s; region gather/scatter is the caller's business
+//! (see [`crate::exec`]).
+
+use cf_isa::{ActKind, ConvParams, CountParams, IsaError, LrnParams, Opcode, PoolParams};
+use cf_tensor::{Shape, Tensor};
+
+use crate::OpsError;
+
+fn bad(op: Opcode, detail: impl Into<String>) -> OpsError {
+    OpsError::Isa(IsaError::BadOperandShape { op, detail: detail.into() })
+}
+
+/// 2-D convolution, NHWC layout: `x [N,H,W,Ci] ⊛ w [Kh,Kw,Ci,Co] →
+/// [N,Ho,Wo,Co]`, zero padding per [`ConvParams::pads`]`[0..2]`.
+///
+/// # Errors
+///
+/// Returns an error if operand ranks/channels disagree or the kernel
+/// exceeds the padded input.
+pub fn conv2d(x: &Tensor, w: &Tensor, p: &ConvParams) -> Result<Tensor, OpsError> {
+    let out_shape = cf_isa::infer_output_shapes(
+        Opcode::Cv2D,
+        &cf_isa::OpParams::Conv(*p),
+        &[x.shape().clone(), w.shape().clone()],
+    )?
+    .remove(0);
+    let (n, h, wi, ci) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2), x.shape().dim(3));
+    let (kh, kw, co) = (w.shape().dim(0), w.shape().dim(1), w.shape().dim(3));
+    let (ho, wo) = (out_shape.dim(1), out_shape.dim(2));
+    let mut out = Tensor::zeros(out_shape);
+    let (pt, pl) = (p.pads[0].before as isize, p.pads[1].before as isize);
+    for b in 0..n {
+        for oy in 0..ho {
+            for ox in 0..wo {
+                for oc in 0..co {
+                    let mut acc = 0.0f32;
+                    for ky in 0..kh {
+                        let iy = oy as isize * p.stride as isize + ky as isize - pt;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = ox as isize * p.stride as isize + kx as isize - pl;
+                            if ix < 0 || ix >= wi as isize {
+                                continue;
+                            }
+                            for ic in 0..ci {
+                                acc += x.get(&[b, iy as usize, ix as usize, ic])
+                                    * w.get(&[ky, kx, ic, oc]);
+                            }
+                        }
+                    }
+                    out.set(&[b, oy, ox, oc], acc);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// 3-D convolution, NDHWC layout: `x [N,D,H,W,Ci] ⊛ w [Kd,Kh,Kw,Ci,Co] →
+/// [N,Do,Ho,Wo,Co]`.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d`].
+pub fn conv3d(x: &Tensor, w: &Tensor, p: &ConvParams) -> Result<Tensor, OpsError> {
+    let out_shape = cf_isa::infer_output_shapes(
+        Opcode::Cv3D,
+        &cf_isa::OpParams::Conv(*p),
+        &[x.shape().clone(), w.shape().clone()],
+    )?
+    .remove(0);
+    let (n, d, h, wi, ci) =
+        (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2), x.shape().dim(3), x.shape().dim(4));
+    let (kd, kh, kw, co) =
+        (w.shape().dim(0), w.shape().dim(1), w.shape().dim(2), w.shape().dim(4));
+    let (dd, ho, wo) = (out_shape.dim(1), out_shape.dim(2), out_shape.dim(3));
+    let mut out = Tensor::zeros(out_shape);
+    let (pd, pt, pl) =
+        (p.pads[0].before as isize, p.pads[1].before as isize, p.pads[2].before as isize);
+    let s = p.stride as isize;
+    for b in 0..n {
+        for od in 0..dd {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    for oc in 0..co {
+                        let mut acc = 0.0f32;
+                        for kz in 0..kd {
+                            let iz = od as isize * s + kz as isize - pd;
+                            if iz < 0 || iz >= d as isize {
+                                continue;
+                            }
+                            for ky in 0..kh {
+                                let iy = oy as isize * s + ky as isize - pt;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..kw {
+                                    let ix = ox as isize * s + kx as isize - pl;
+                                    if ix < 0 || ix >= wi as isize {
+                                        continue;
+                                    }
+                                    for ic in 0..ci {
+                                        acc += x.get(&[
+                                            b,
+                                            iz as usize,
+                                            iy as usize,
+                                            ix as usize,
+                                            ic,
+                                        ]) * w.get(&[kz, ky, kx, ic, oc]);
+                                    }
+                                }
+                            }
+                        }
+                        out.set(&[b, od, oy, ox, oc], acc);
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Pooling mode selector shared by `Max2D`/`Min2D`/`Avg2D`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolMode {
+    /// Window maximum.
+    Max,
+    /// Window minimum.
+    Min,
+    /// Window mean (over the window size, padding counted as absent).
+    Avg,
+}
+
+/// 2-D pooling over NHWC input.
+///
+/// Average pooling divides by the number of *valid* (non-padding) elements
+/// in the window, so spatial fractal splits remain exact.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-4 input or a window exceeding the padded
+/// input.
+pub fn pool2d(x: &Tensor, p: &PoolParams, mode: PoolMode) -> Result<Tensor, OpsError> {
+    let op = match mode {
+        PoolMode::Max => Opcode::Max2D,
+        PoolMode::Min => Opcode::Min2D,
+        PoolMode::Avg => Opcode::Avg2D,
+    };
+    let out_shape = cf_isa::infer_output_shapes(
+        op,
+        &cf_isa::OpParams::Pool(*p),
+        &[x.shape().clone()],
+    )?
+    .remove(0);
+    let (n, h, wi, c) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2), x.shape().dim(3));
+    let (ho, wo) = (out_shape.dim(1), out_shape.dim(2));
+    let mut out = Tensor::zeros(out_shape);
+    let (pt, pl) = (p.pads[0].before as isize, p.pads[1].before as isize);
+    for b in 0..n {
+        for oy in 0..ho {
+            for ox in 0..wo {
+                for ch in 0..c {
+                    let mut acc: Option<f32> = None;
+                    let mut count = 0usize;
+                    for ky in 0..p.kh {
+                        let iy = oy as isize * p.stride as isize + ky as isize - pt;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..p.kw {
+                            let ix = ox as isize * p.stride as isize + kx as isize - pl;
+                            if ix < 0 || ix >= wi as isize {
+                                continue;
+                            }
+                            let v = x.get(&[b, iy as usize, ix as usize, ch]);
+                            count += 1;
+                            acc = Some(match (acc, mode) {
+                                (None, _) => v,
+                                (Some(a), PoolMode::Max) => a.max(v),
+                                (Some(a), PoolMode::Min) => a.min(v),
+                                (Some(a), PoolMode::Avg) => a + v,
+                            });
+                        }
+                    }
+                    let v = match (acc, mode) {
+                        (Some(a), PoolMode::Avg) => a / count as f32,
+                        (Some(a), _) => a,
+                        // A window entirely inside the padding: define as 0.
+                        (None, _) => 0.0,
+                    };
+                    out.set(&[b, oy, ox, ch], v);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Local response normalisation across channels (AlexNet formulation):
+/// `y = x / (k + α/size · Σ x²)^β` over a window of `size` channels.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-4 input.
+pub fn lrn(x: &Tensor, p: &LrnParams) -> Result<Tensor, OpsError> {
+    if x.shape().rank() != 4 {
+        return Err(bad(Opcode::Lrn, "need [N,H,W,C]"));
+    }
+    let (n, h, w, c) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2), x.shape().dim(3));
+    let half = p.size / 2;
+    let mut out = Tensor::zeros(x.shape().clone());
+    for b in 0..n {
+        for y in 0..h {
+            for xx in 0..w {
+                for ch in 0..c {
+                    let lo = ch.saturating_sub(half);
+                    let hi = (ch + half).min(c - 1);
+                    let mut sum = 0.0f32;
+                    for j in lo..=hi {
+                        let v = x.get(&[b, y, xx, j]);
+                        sum += v * v;
+                    }
+                    let denom = (p.k + p.alpha / p.size as f32 * sum).powf(p.beta);
+                    out.set(&[b, y, xx, ch], x.get(&[b, y, xx, ch]) / denom);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Matrix multiplication `A [M,K] × B [K,N] → [M,N]` (ikj loop order).
+///
+/// # Errors
+///
+/// Returns an error when inner dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, OpsError> {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 || a.shape().dim(1) != b.shape().dim(0) {
+        return Err(bad(Opcode::MatMul, format!("bad shapes {} x {}", a.shape(), b.shape())));
+    }
+    let (m, k, n) = (a.shape().dim(0), a.shape().dim(1), b.shape().dim(1));
+    let mut out = vec![0.0f32; m * n];
+    let (ad, bd) = (a.data(), b.data());
+    for i in 0..m {
+        for l in 0..k {
+            let av = ad[i * k + l];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[l * n..(l + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for j in 0..n {
+                orow[j] += av * brow[j];
+            }
+        }
+    }
+    Ok(Tensor::from_vec(Shape::new(vec![m, n]), out))
+}
+
+/// Pairwise **squared** Euclidean distance `X [n,d], Y [m,d] → [n,m]`.
+///
+/// Squared distances make the `d`-split an additive reduction, which is the
+/// output-dependent fractal form the paper assigns to distance computation;
+/// consumers that need true distances compose with `Act1D`/host math.
+///
+/// # Errors
+///
+/// Returns an error when the `d` dimensions disagree.
+pub fn euclidean_sq(x: &Tensor, y: &Tensor) -> Result<Tensor, OpsError> {
+    if x.shape().rank() != 2 || y.shape().rank() != 2 || x.shape().dim(1) != y.shape().dim(1) {
+        return Err(bad(
+            Opcode::Euclidian1D,
+            format!("bad shapes {} vs {}", x.shape(), y.shape()),
+        ));
+    }
+    let (n, d, m) = (x.shape().dim(0), x.shape().dim(1), y.shape().dim(0));
+    let mut out = vec![0.0f32; n * m];
+    for i in 0..n {
+        let xi = &x.data()[i * d..(i + 1) * d];
+        for j in 0..m {
+            let yj = &y.data()[j * d..(j + 1) * d];
+            let mut acc = 0.0f32;
+            for l in 0..d {
+                let diff = xi[l] - yj[l];
+                acc += diff * diff;
+            }
+            out[i * m + j] = acc;
+        }
+    }
+    Ok(Tensor::from_vec(Shape::new(vec![n, m]), out))
+}
+
+/// Stable ascending merge sort of `keys`, permuting `payload` alongside when
+/// present. Returns `(sorted_keys, permuted_payload)`.
+///
+/// # Errors
+///
+/// Returns an error when the payload shape differs from the key shape.
+pub fn sort(keys: &Tensor, payload: Option<&Tensor>) -> Result<(Tensor, Option<Tensor>), OpsError> {
+    if let Some(p) = payload {
+        if p.shape() != keys.shape() {
+            return Err(bad(Opcode::Sort1D, "payload shape mismatch"));
+        }
+    }
+    let mut idx: Vec<usize> = (0..keys.data().len()).collect();
+    idx.sort_by(|&a, &b| keys.data()[a].total_cmp(&keys.data()[b]));
+    let sorted = Tensor::from_vec(
+        keys.shape().clone(),
+        idx.iter().map(|&i| keys.data()[i]).collect(),
+    );
+    let perm = payload.map(|p| {
+        Tensor::from_vec(p.shape().clone(), idx.iter().map(|&i| p.data()[i]).collect())
+    });
+    Ok((sorted, perm))
+}
+
+/// Left-biased merge of two ascending runs (with optional payloads carried
+/// alongside). Left bias (ties taken from `a`) keeps hierarchical sorting
+/// bit-identical to the stable flat sort.
+///
+/// # Errors
+///
+/// Returns an error when payload shapes differ from key shapes or only one
+/// payload is supplied.
+pub fn merge(
+    a: &Tensor,
+    b: &Tensor,
+    pa: Option<&Tensor>,
+    pb: Option<&Tensor>,
+) -> Result<(Tensor, Option<Tensor>), OpsError> {
+    if pa.is_some() != pb.is_some() {
+        return Err(bad(Opcode::Merge1D, "both payloads or neither"));
+    }
+    if let (Some(pa), Some(pb)) = (pa, pb) {
+        if pa.shape() != a.shape() || pb.shape() != b.shape() {
+            return Err(bad(Opcode::Merge1D, "payload shape mismatch"));
+        }
+    }
+    let (na, nb) = (a.data().len(), b.data().len());
+    let mut keys = Vec::with_capacity(na + nb);
+    let mut pay = pa.map(|_| Vec::with_capacity(na + nb));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < na || j < nb {
+        let take_a = j >= nb || (i < na && a.data()[i] <= b.data()[j]);
+        if take_a {
+            keys.push(a.data()[i]);
+            if let (Some(v), Some(pa)) = (pay.as_mut(), pa) {
+                v.push(pa.data()[i]);
+            }
+            i += 1;
+        } else {
+            keys.push(b.data()[j]);
+            if let (Some(v), Some(pb)) = (pay.as_mut(), pb) {
+                v.push(pb.data()[j]);
+            }
+            j += 1;
+        }
+    }
+    let shape = Shape::new(vec![na + nb]);
+    Ok((
+        Tensor::from_vec(shape.clone(), keys),
+        pay.map(|v| Tensor::from_vec(shape, v)),
+    ))
+}
+
+/// Counts elements of `x` within `p.tol` of `p.value`; returns a scalar
+/// tensor.
+pub fn count(x: &Tensor, p: &CountParams) -> Tensor {
+    let c = x.data().iter().filter(|&&v| (v - p.value).abs() <= p.tol).count();
+    Tensor::scalar(c as f32)
+}
+
+/// Elementwise addition of equal-shaped tensors.
+///
+/// # Errors
+///
+/// Returns an error on shape mismatch.
+pub fn eltwise_add(x: &Tensor, y: &Tensor) -> Result<Tensor, OpsError> {
+    eltwise(Opcode::Add1D, x, y, |a, b| a + b)
+}
+
+/// Elementwise subtraction.
+///
+/// # Errors
+///
+/// Returns an error on shape mismatch.
+pub fn eltwise_sub(x: &Tensor, y: &Tensor) -> Result<Tensor, OpsError> {
+    eltwise(Opcode::Sub1D, x, y, |a, b| a - b)
+}
+
+/// Elementwise multiplication.
+///
+/// # Errors
+///
+/// Returns an error on shape mismatch.
+pub fn eltwise_mul(x: &Tensor, y: &Tensor) -> Result<Tensor, OpsError> {
+    eltwise(Opcode::Mul1D, x, y, |a, b| a * b)
+}
+
+fn eltwise(
+    op: Opcode,
+    x: &Tensor,
+    y: &Tensor,
+    f: impl Fn(f32, f32) -> f32,
+) -> Result<Tensor, OpsError> {
+    if x.shape() != y.shape() {
+        return Err(bad(op, format!("shape mismatch {} vs {}", x.shape(), y.shape())));
+    }
+    let data = x.data().iter().zip(y.data()).map(|(&a, &b)| f(a, b)).collect();
+    Ok(Tensor::from_vec(x.shape().clone(), data))
+}
+
+/// Elementwise activation.
+pub fn activate(x: &Tensor, kind: ActKind) -> Tensor {
+    let f = |v: f32| match kind {
+        ActKind::Relu => v.max(0.0),
+        ActKind::Sigmoid => 1.0 / (1.0 + (-v).exp()),
+        ActKind::Tanh => v.tanh(),
+    };
+    Tensor::from_vec(x.shape().clone(), x.data().iter().map(|&v| f(v)).collect())
+}
+
+/// Horizontal sum `x → [1]`.
+pub fn hsum(x: &Tensor) -> Tensor {
+    Tensor::scalar(x.data().iter().sum())
+}
+
+/// Horizontal product `x → [1]`.
+pub fn hprod(x: &Tensor) -> Tensor {
+    Tensor::scalar(x.data().iter().product())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_isa::Pad;
+    use cf_tensor::gen::DataGen;
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        // A 1x1 kernel with weight 1 reproduces the input channel.
+        let x = Tensor::from_fn(Shape::new(vec![1, 3, 3, 1]), |i| (i[1] * 3 + i[2]) as f32);
+        let w = Tensor::filled(Shape::new(vec![1, 1, 1, 1]), 1.0);
+        let y = conv2d(&x, &w, &ConvParams::default()).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv2d_hand_computed() {
+        // 2x2 input, 2x2 all-ones kernel, no pad: single output = sum.
+        let x = Tensor::from_vec(Shape::new(vec![1, 2, 2, 1]), vec![1., 2., 3., 4.]);
+        let w = Tensor::filled(Shape::new(vec![2, 2, 1, 1]), 1.0);
+        let y = conv2d(&x, &w, &ConvParams::default()).unwrap();
+        assert_eq!(y.data(), &[10.0]);
+    }
+
+    #[test]
+    fn conv2d_padding_and_stride() {
+        let x = Tensor::filled(Shape::new(vec![1, 3, 3, 1]), 1.0);
+        let w = Tensor::filled(Shape::new(vec![3, 3, 1, 1]), 1.0);
+        let y = conv2d(&x, &w, &ConvParams::same(2, 1)).unwrap();
+        // Output 2x2; corner windows see 4 valid elements, etc.
+        assert_eq!(y.shape().dims(), &[1, 2, 2, 1]);
+        assert_eq!(y.data(), &[4.0, 4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn conv2d_asymmetric_pad() {
+        let x = Tensor::from_vec(Shape::new(vec![1, 1, 2, 1]), vec![5., 7.]);
+        let w = Tensor::filled(Shape::new(vec![1, 2, 1, 1]), 1.0);
+        let p = ConvParams {
+            stride: 1,
+            pads: [Pad::default(), Pad { before: 1, after: 0 }, Pad::default()],
+        };
+        let y = conv2d(&x, &w, &p).unwrap();
+        // Padded row: [0, 5, 7] → windows [0+5, 5+7].
+        assert_eq!(y.data(), &[5.0, 12.0]);
+    }
+
+    #[test]
+    fn conv3d_reduces_to_2d_when_depth_one() {
+        let mut g = DataGen::new(5);
+        let x2 = g.uniform(Shape::new(vec![2, 4, 4, 3]), -1.0, 1.0);
+        let w2 = g.uniform(Shape::new(vec![3, 3, 3, 2]), -1.0, 1.0);
+        let p = ConvParams::same(1, 0);
+        let y2 = conv2d(&x2, &w2, &p).unwrap();
+        let x3 = x2.clone().reshape(Shape::new(vec![2, 1, 4, 4, 3])).unwrap();
+        let w3 = w2.clone().reshape(Shape::new(vec![1, 3, 3, 3, 2])).unwrap();
+        let y3 = conv3d(&x3, &w3, &p).unwrap();
+        assert_eq!(y3.data(), y2.data());
+    }
+
+    #[test]
+    fn pooling_modes() {
+        let x = Tensor::from_vec(Shape::new(vec![1, 2, 2, 1]), vec![1., 2., 3., 4.]);
+        let p = PoolParams::square(2, 2, 0);
+        assert_eq!(pool2d(&x, &p, PoolMode::Max).unwrap().data(), &[4.0]);
+        assert_eq!(pool2d(&x, &p, PoolMode::Min).unwrap().data(), &[1.0]);
+        assert_eq!(pool2d(&x, &p, PoolMode::Avg).unwrap().data(), &[2.5]);
+    }
+
+    #[test]
+    fn avg_pool_ignores_padding() {
+        let x = Tensor::from_vec(Shape::new(vec![1, 1, 2, 1]), vec![2., 4.]);
+        let p = PoolParams { kh: 1, kw: 2, stride: 2, pads: [Pad::default(), Pad::same(1)] };
+        let y = pool2d(&x, &p, PoolMode::Avg).unwrap();
+        // Windows: [pad,2] → 2.0 (1 valid), [4,pad] → 4.0.
+        assert_eq!(y.data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn matmul_hand_computed() {
+        let a = Tensor::from_vec(Shape::new(vec![2, 2]), vec![1., 2., 3., 4.]);
+        let b = Tensor::from_vec(Shape::new(vec![2, 2]), vec![5., 6., 7., 8.]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut g = DataGen::new(2);
+        let a = g.uniform(Shape::new(vec![4, 4]), -1.0, 1.0);
+        let id = Tensor::from_fn(Shape::new(vec![4, 4]), |i| if i[0] == i[1] { 1.0 } else { 0.0 });
+        assert_eq!(matmul(&a, &id).unwrap().data(), a.data());
+    }
+
+    #[test]
+    fn euclidean_sq_hand_computed() {
+        let x = Tensor::from_vec(Shape::new(vec![1, 2]), vec![0., 0.]);
+        let y = Tensor::from_vec(Shape::new(vec![2, 2]), vec![3., 4., 1., 0.]);
+        let d = euclidean_sq(&x, &y).unwrap();
+        assert_eq!(d.data(), &[25.0, 1.0]);
+    }
+
+    #[test]
+    fn sort_with_payload_is_stable() {
+        let keys = Tensor::from_vec(Shape::new(vec![5]), vec![3., 1., 3., 0., 1.]);
+        let pay = Tensor::from_vec(Shape::new(vec![5]), vec![10., 11., 12., 13., 14.]);
+        let (k, p) = sort(&keys, Some(&pay)).unwrap();
+        assert_eq!(k.data(), &[0., 1., 1., 3., 3.]);
+        assert_eq!(p.unwrap().data(), &[13., 11., 14., 10., 12.]);
+    }
+
+    #[test]
+    fn merge_left_biased() {
+        let a = Tensor::from_vec(Shape::new(vec![2]), vec![1., 3.]);
+        let b = Tensor::from_vec(Shape::new(vec![3]), vec![1., 2., 4.]);
+        let pa = Tensor::from_vec(Shape::new(vec![2]), vec![100., 101.]);
+        let pb = Tensor::from_vec(Shape::new(vec![3]), vec![200., 201., 202.]);
+        let (k, p) = merge(&a, &b, Some(&pa), Some(&pb)).unwrap();
+        assert_eq!(k.data(), &[1., 1., 2., 3., 4.]);
+        assert_eq!(p.unwrap().data(), &[100., 200., 201., 101., 202.]);
+    }
+
+    #[test]
+    fn merge_equals_sort_of_concat() {
+        let mut g = DataGen::new(3);
+        let a0 = g.uniform(Shape::new(vec![17]), -5.0, 5.0);
+        let b0 = g.uniform(Shape::new(vec![9]), -5.0, 5.0);
+        let (a, _) = sort(&a0, None).unwrap();
+        let (b, _) = sort(&b0, None).unwrap();
+        let (m, _) = merge(&a, &b, None, None).unwrap();
+        let mut concat = a0.data().to_vec();
+        concat.extend_from_slice(b0.data());
+        let (expect, _) =
+            sort(&Tensor::from_vec(Shape::new(vec![26]), concat), None).unwrap();
+        assert_eq!(m.data(), expect.data());
+    }
+
+    #[test]
+    fn count_with_tolerance() {
+        let x = Tensor::from_vec(Shape::new(vec![4]), vec![1.0, 1.05, 2.0, 0.99]);
+        let c = count(&x, &CountParams { value: 1.0, tol: 0.02 });
+        assert_eq!(c.data(), &[2.0]);
+    }
+
+    #[test]
+    fn eltwise_and_horizontal() {
+        let x = Tensor::from_vec(Shape::new(vec![3]), vec![1., 2., 3.]);
+        let y = Tensor::from_vec(Shape::new(vec![3]), vec![4., 5., 6.]);
+        assert_eq!(eltwise_add(&x, &y).unwrap().data(), &[5., 7., 9.]);
+        assert_eq!(eltwise_sub(&x, &y).unwrap().data(), &[-3., -3., -3.]);
+        assert_eq!(eltwise_mul(&x, &y).unwrap().data(), &[4., 10., 18.]);
+        assert_eq!(hsum(&x).data(), &[6.0]);
+        assert_eq!(hprod(&x).data(), &[6.0]);
+    }
+
+    #[test]
+    fn activations() {
+        let x = Tensor::from_vec(Shape::new(vec![2]), vec![-1.0, 1.0]);
+        assert_eq!(activate(&x, ActKind::Relu).data(), &[0.0, 1.0]);
+        let s = activate(&x, ActKind::Sigmoid);
+        assert!((s.data()[0] - 0.26894).abs() < 1e-4);
+        let t = activate(&x, ActKind::Tanh);
+        assert!((t.data()[1] - 0.76159).abs() < 1e-4);
+    }
+
+    #[test]
+    fn lrn_normalises() {
+        let x = Tensor::filled(Shape::new(vec![1, 1, 1, 4]), 2.0);
+        let p = LrnParams { size: 5, alpha: 1.0, beta: 1.0, k: 0.0 };
+        let y = lrn(&x, &p).unwrap();
+        // Channel 0 window covers channels 0..=2: sum sq = 12, denom = 12/5.
+        assert!((y.get(&[0, 0, 0, 0]) - 2.0 / (12.0 / 5.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shape_errors_reported() {
+        let a = Tensor::zeros(Shape::new(vec![2, 3]));
+        let b = Tensor::zeros(Shape::new(vec![2, 3]));
+        assert!(matmul(&a, &b).is_err());
+        let c = Tensor::zeros(Shape::new(vec![2, 4]));
+        assert!(euclidean_sq(&a, &c).is_err());
+        assert!(eltwise_add(&a, &c).is_err());
+    }
+}

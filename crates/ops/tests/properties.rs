@@ -1,0 +1,219 @@
+//! The fractal-operation property (paper eq. 1), property-tested: for any
+//! primitive, any decomposition axis and any piece count,
+//! decompose-and-execute must equal direct execution.
+
+use cf_isa::{ConvParams, Instruction, Opcode, OpParams, PoolParams};
+use cf_ops::exec::execute_instruction;
+use cf_ops::fractal::{apply_split, split_axes, ReduceKind, SplitOutcome};
+use cf_ops::kernels;
+use cf_tensor::{gen::DataGen, Memory, Region, Shape};
+use proptest::prelude::*;
+
+fn reg(offset: u64, dims: &[usize]) -> Region {
+    Region::contiguous(offset, Shape::new(dims.to_vec()))
+}
+
+/// Executes `inst` via a `parts`-way split along `axis`, materialising
+/// partials past the end of the memory, and compares against direct
+/// execution. (Same harness as the unit tests, generalised for proptest.)
+fn check_axis(inst: &Instruction, mem: &Memory, axis: usize, parts: usize, tol: f32) {
+    let mut direct = mem.clone();
+    execute_instruction(inst, &mut direct).unwrap();
+    let mut fractal = mem.clone();
+    match apply_split(inst, axis, parts).unwrap() {
+        SplitOutcome::Direct(pieces) => {
+            for p in &pieces {
+                execute_instruction(p, &mut fractal).unwrap();
+            }
+        }
+        SplitOutcome::Reduce { pieces, kind } => {
+            let mut scratch = fractal.len() as u64;
+            let mut insts = Vec::new();
+            let mut regions_all = Vec::new();
+            for piece in &pieces {
+                let regions: Vec<Region> = piece
+                    .partial_shapes
+                    .iter()
+                    .map(|s| {
+                        let r = Region::contiguous(scratch, s.clone());
+                        scratch += s.numel();
+                        r
+                    })
+                    .collect();
+                regions_all.push(regions.clone());
+                insts.push(piece.clone().into_instruction(regions).unwrap());
+            }
+            let mut grown = Memory::new(scratch as usize);
+            grown.as_mut_slice()[..fractal.len()].copy_from_slice(fractal.as_slice());
+            for p in &insts {
+                execute_instruction(p, &mut grown).unwrap();
+            }
+            match kind {
+                ReduceKind::Add | ReduceKind::Mul => {
+                    let mut acc = grown.read_region(&regions_all[0][0]).unwrap();
+                    for regions in &regions_all[1..] {
+                        let t = grown.read_region(&regions[0]).unwrap();
+                        acc = if kind == ReduceKind::Add {
+                            kernels::eltwise_add(&acc, &t).unwrap()
+                        } else {
+                            kernels::eltwise_mul(&acc, &t).unwrap()
+                        };
+                    }
+                    let acc = acc.reshape(inst.outputs[0].shape().clone()).unwrap();
+                    grown.write_region(&inst.outputs[0], &acc).unwrap();
+                }
+                ReduceKind::Merge => {
+                    let with_payload = regions_all[0].len() == 2;
+                    let mut keys = grown.read_region(&regions_all[0][0]).unwrap();
+                    let mut pay =
+                        with_payload.then(|| grown.read_region(&regions_all[0][1]).unwrap());
+                    for regions in &regions_all[1..] {
+                        let k2 = grown.read_region(&regions[0]).unwrap();
+                        let p2 = with_payload.then(|| grown.read_region(&regions[1]).unwrap());
+                        let (k, p) = kernels::merge(&keys, &k2, pay.as_ref(), p2.as_ref()).unwrap();
+                        keys = k;
+                        pay = p;
+                    }
+                    grown.write_region(&inst.outputs[0], &keys).unwrap();
+                    if let Some(pay) = pay {
+                        grown.write_region(&inst.outputs[1], &pay).unwrap();
+                    }
+                }
+            }
+            let n = fractal.len();
+            fractal.as_mut_slice().copy_from_slice(&grown.as_slice()[..n]);
+        }
+    }
+    for out in &inst.outputs {
+        let a = direct.read_region(out).unwrap();
+        let b = fractal.read_region(out).unwrap();
+        assert!(
+            a.approx_eq(&b, tol),
+            "axis {axis} x{parts} of {} diverged by {:?}",
+            inst.op,
+            a.max_abs_diff(&b)
+        );
+    }
+}
+
+fn filled(n: usize, seed: u64) -> Memory {
+    let mut mem = Memory::new(n);
+    let t = DataGen::new(seed).uniform(Shape::new(vec![n]), -1.5, 1.5);
+    mem.as_mut_slice().copy_from_slice(t.data());
+    mem
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn matmul_every_axis(
+        m in 1usize..14, k in 1usize..14, n in 1usize..14,
+        parts in 2usize..5, seed in 0u64..1000,
+    ) {
+        let inst = Instruction::new(
+            Opcode::MatMul,
+            OpParams::None,
+            vec![reg(0, &[m, k]), reg((m * k) as u64, &[k, n])],
+            vec![reg((m * k + k * n) as u64, &[m, n])],
+        ).unwrap();
+        let mem = filled(m * k + k * n + m * n, seed);
+        for axis in split_axes(&inst) {
+            if axis.extent >= 2 {
+                check_axis(&inst, &mem, axis.index, parts, 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_every_axis(
+        nb in 1usize..3, hw in 3usize..8, ci in 1usize..4, co in 1usize..4,
+        stride in 1usize..3, pad in 0usize..2,
+        parts in 2usize..4, seed in 0u64..1000,
+    ) {
+        let padded = hw + 2 * pad;
+        prop_assume!(padded >= 3);
+        let ho = (padded - 3) / stride + 1;
+        let x = reg(0, &[nb, hw, hw, ci]);
+        let w = reg(x.numel(), &[3, 3, ci, co]);
+        let o = reg(x.numel() + w.numel(), &[nb, ho, ho, co]);
+        let total = (x.numel() + w.numel() + o.numel()) as usize;
+        let inst = Instruction::new(
+            Opcode::Cv2D,
+            OpParams::Conv(ConvParams::same(stride, pad)),
+            vec![x, w],
+            vec![o],
+        ).unwrap();
+        let mem = filled(total, seed);
+        for axis in split_axes(&inst) {
+            if axis.extent >= 2 {
+                check_axis(&inst, &mem, axis.index, parts, 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn pooling_every_axis(
+        nb in 1usize..3, hw in 4usize..10, c in 1usize..4,
+        k in 2usize..4, parts in 2usize..4, seed in 0u64..1000, mode in 0usize..3,
+    ) {
+        prop_assume!(hw >= k);
+        let op = [Opcode::Max2D, Opcode::Min2D, Opcode::Avg2D][mode];
+        let ho = (hw - k) / k + 1;
+        let x = reg(0, &[nb, hw, hw, c]);
+        let o = reg(x.numel(), &[nb, ho, ho, c]);
+        let total = (x.numel() + o.numel()) as usize;
+        let inst = Instruction::new(
+            op,
+            OpParams::Pool(PoolParams::square(k, k, 0)),
+            vec![x],
+            vec![o],
+        ).unwrap();
+        let mem = filled(total, seed);
+        for axis in split_axes(&inst) {
+            if axis.extent >= 2 {
+                check_axis(&inst, &mem, axis.index, parts, 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn sort_and_reductions_every_axis(
+        n in 2usize..120, parts in 2usize..6, seed in 0u64..1000,
+    ) {
+        for op in [Opcode::Sort1D, Opcode::Count1D, Opcode::HSum1D] {
+            let outs = match op {
+                Opcode::Sort1D => vec![reg(n as u64, &[n])],
+                _ => vec![reg(n as u64, &[1])],
+            };
+            let inst =
+                Instruction::new(op, OpParams::None, vec![reg(0, &[n])], outs).unwrap();
+            let mem = filled(2 * n + 1, seed);
+            for axis in split_axes(&inst) {
+                if axis.extent >= 2 {
+                    check_axis(&inst, &mem, axis.index, parts, 1e-3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn euclidean_every_axis(
+        n in 1usize..10, m in 1usize..10, d in 1usize..10,
+        parts in 2usize..4, seed in 0u64..1000,
+    ) {
+        let x = reg(0, &[n, d]);
+        let y = reg(x.numel(), &[m, d]);
+        let o = reg(x.numel() + y.numel(), &[n, m]);
+        let total = (x.numel() + y.numel() + o.numel()) as usize;
+        let inst =
+            Instruction::new(Opcode::Euclidian1D, OpParams::None, vec![x, y], vec![o])
+                .unwrap();
+        let mem = filled(total, seed);
+        for axis in split_axes(&inst) {
+            if axis.extent >= 2 {
+                check_axis(&inst, &mem, axis.index, parts, 1e-3);
+            }
+        }
+    }
+}

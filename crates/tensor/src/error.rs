@@ -1,0 +1,53 @@
+use std::fmt;
+
+/// Errors produced by tensor/region/memory operations.
+///
+/// These surface programming errors in decomposition logic (out-of-bounds
+/// regions, shape mismatches) rather than user-facing failures, but they are
+/// returned as `Result`s so the fractal machine can report *where* a
+/// decomposition went wrong instead of aborting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// A region refers to addresses outside the memory it is applied to.
+    RegionOutOfBounds {
+        /// Last element address (inclusive) the region touches.
+        end: u64,
+        /// Size of the memory in elements.
+        len: u64,
+    },
+    /// Two shapes that must match do not.
+    ShapeMismatch {
+        /// Shape of the left/expected operand.
+        expected: Vec<usize>,
+        /// Shape of the right/actual operand.
+        actual: Vec<usize>,
+    },
+    /// An axis index is not valid for the shape it is applied to.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// Rank of the shape.
+        rank: usize,
+    },
+    /// A split was requested into zero parts, or a slice of zero length.
+    EmptySplit,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::RegionOutOfBounds { end, len } => {
+                write!(f, "region touches element {end} but memory holds {len} elements")
+            }
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected:?}, got {actual:?}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank-{rank} shape")
+            }
+            TensorError::EmptySplit => write!(f, "split into zero parts requested"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

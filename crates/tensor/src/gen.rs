@@ -1,0 +1,129 @@
+//! Seeded synthetic-data generators.
+//!
+//! The paper evaluates on ImageNet and on "a randomly generated data set …
+//! 262 thousand 512-dimension samples within 128 categories". Neither actual
+//! pixels nor the authors' random draws affect machine behaviour — only
+//! shapes and value ranges do — so this module provides deterministic,
+//! seeded generators as the dataset substitute (see DESIGN.md §1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Shape, Tensor};
+
+/// A seeded stream of synthetic tensors.
+///
+/// # Examples
+///
+/// ```
+/// use cf_tensor::gen::DataGen;
+/// use cf_tensor::Shape;
+///
+/// let mut g = DataGen::new(42);
+/// let a = g.uniform(Shape::new(vec![4, 4]), -1.0, 1.0);
+/// let b = DataGen::new(42).uniform(Shape::new(vec![4, 4]), -1.0, 1.0);
+/// assert_eq!(a, b); // same seed, same data
+/// ```
+#[derive(Debug)]
+pub struct DataGen {
+    rng: StdRng,
+}
+
+impl DataGen {
+    /// A generator with a fixed seed (deterministic across runs/platforms).
+    pub fn new(seed: u64) -> Self {
+        DataGen { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Uniform random tensor in `[lo, hi)`.
+    pub fn uniform(&mut self, shape: Shape, lo: f32, hi: f32) -> Tensor {
+        let n = shape.numel() as usize;
+        let data = (0..n).map(|_| self.rng.gen_range(lo..hi)).collect();
+        Tensor::from_vec(shape, data)
+    }
+
+    /// Approximately normal tensor (Irwin–Hall sum of 12 uniforms), mean
+    /// `mean`, standard deviation `std`. Avoids pulling in a distributions
+    /// crate while staying close enough to Gaussian for ML-style data.
+    pub fn normal(&mut self, shape: Shape, mean: f32, std: f32) -> Tensor {
+        let n = shape.numel() as usize;
+        let data = (0..n)
+            .map(|_| {
+                let s: f32 = (0..12).map(|_| self.rng.gen_range(0.0f32..1.0)).sum();
+                mean + (s - 6.0) * std
+            })
+            .collect();
+        Tensor::from_vec(shape, data)
+    }
+
+    /// Integer-valued labels in `[0, classes)` stored as `f32`, as FISA has
+    /// a single scalar type.
+    pub fn labels(&mut self, n: usize, classes: usize) -> Tensor {
+        let data = (0..n).map(|_| self.rng.gen_range(0..classes) as f32).collect();
+        Tensor::from_vec(Shape::new(vec![n]), data)
+    }
+
+    /// A clustered sample set mimicking the paper's ML benchmark data:
+    /// `n` samples of dimension `d` drawn around `k` random centroids.
+    /// Returns `(samples[n, d], labels[n])`.
+    pub fn clustered(&mut self, n: usize, d: usize, k: usize) -> (Tensor, Tensor) {
+        let centroids = self.uniform(Shape::new(vec![k, d]), -4.0, 4.0);
+        let mut samples = Vec::with_capacity(n * d);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let c = self.rng.gen_range(0..k);
+            labels.push(c as f32);
+            for j in 0..d {
+                let jitter: f32 = self.rng.gen_range(-0.5..0.5);
+                samples.push(centroids.get(&[c, j]) + jitter);
+            }
+        }
+        (
+            Tensor::from_vec(Shape::new(vec![n, d]), samples),
+            Tensor::from_vec(Shape::new(vec![n]), labels),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let a = DataGen::new(7).normal(Shape::new(vec![16]), 0.0, 1.0);
+        let b = DataGen::new(7).normal(Shape::new(vec![16]), 0.0, 1.0);
+        assert_eq!(a, b);
+        let c = DataGen::new(8).normal(Shape::new(vec![16]), 0.0, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let t = DataGen::new(1).uniform(Shape::new(vec![256]), 2.0, 3.0);
+        assert!(t.data().iter().all(|&x| (2.0..3.0).contains(&x)));
+    }
+
+    #[test]
+    fn labels_in_range() {
+        let t = DataGen::new(1).labels(128, 5);
+        assert!(t.data().iter().all(|&x| x >= 0.0 && x < 5.0 && x.fract() == 0.0));
+    }
+
+    #[test]
+    fn clustered_shapes() {
+        let (x, y) = DataGen::new(3).clustered(32, 8, 4);
+        assert_eq!(x.shape().dims(), &[32, 8]);
+        assert_eq!(y.shape().dims(), &[32]);
+        assert!(y.data().iter().all(|&l| l < 4.0));
+    }
+
+    #[test]
+    fn normal_moments_plausible() {
+        let t = DataGen::new(9).normal(Shape::new(vec![4096]), 1.0, 2.0);
+        let mean: f32 = t.data().iter().sum::<f32>() / 4096.0;
+        assert!((mean - 1.0).abs() < 0.2, "mean {mean}");
+        let var: f32 = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 4096.0;
+        assert!((var.sqrt() - 2.0).abs() < 0.3, "std {}", var.sqrt());
+    }
+}

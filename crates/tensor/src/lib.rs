@@ -1,0 +1,41 @@
+//! Tensor substrate for the Cambricon-F reproduction.
+//!
+//! This crate provides the data-layer primitives every other crate builds on:
+//!
+//! * [`Shape`] — dimension lists with split/slice arithmetic used by the
+//!   fractal decomposers,
+//! * [`Region`] — a strided view into a linear memory, the unit of DMA
+//!   transfer between levels of a fractal machine,
+//! * [`Memory`] — a flat `f32` memory modelling one node's local storage (or
+//!   the root external memory),
+//! * [`Tensor`] — an owned dense tensor used by reference kernels,
+//! * [`gen`] — seeded synthetic-data generators standing in for the paper's
+//!   datasets (ImageNet pixels are irrelevant to machine behaviour; shapes
+//!   and operation mix are what matter).
+//!
+//! # Examples
+//!
+//! ```
+//! use cf_tensor::{Shape, Tensor};
+//!
+//! let t = Tensor::from_fn(Shape::new(vec![2, 3]), |idx| (idx[0] * 3 + idx[1]) as f32);
+//! assert_eq!(t.get(&[1, 2]), 5.0);
+//! assert_eq!(t.shape().numel(), 6);
+//! ```
+
+mod error;
+pub mod gen;
+mod memory;
+mod region;
+mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use memory::Memory;
+pub use region::Region;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Size of one element in bytes. The whole reproduction works in `f32`,
+/// matching the paper's use of a single scalar type across FISA operands.
+pub const ELEM_BYTES: u64 = 4;

@@ -1,0 +1,211 @@
+use crate::{Region, Shape, Tensor, TensorError};
+
+/// A flat `f32` memory modelling one storage component of a fractal machine:
+/// the root external memory, a node's local storage, or a leaf accelerator's
+/// scratchpad.
+///
+/// All FISA operands resolve to [`Region`]s of some `Memory`; the DMA
+/// controller moves regions between a node's `Memory` and its parent's.
+///
+/// # Examples
+///
+/// ```
+/// use cf_tensor::{Memory, Region, Shape, Tensor};
+///
+/// let mut mem = Memory::new(64);
+/// let region = Region::contiguous(8, Shape::new(vec![2, 2]));
+/// mem.write_region(&region, &Tensor::from_vec(Shape::new(vec![2, 2]), vec![1.0, 2.0, 3.0, 4.0]))?;
+/// let back = mem.read_region(&region)?;
+/// assert_eq!(back.data(), &[1.0, 2.0, 3.0, 4.0]);
+/// # Ok::<(), cf_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Memory {
+    data: Vec<f32>,
+}
+
+impl Memory {
+    /// Creates a zero-filled memory of `len` elements.
+    pub fn new(len: usize) -> Self {
+        Memory { data: vec![0.0; len] }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the memory holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw view of the backing store.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw view of the backing store.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    fn check(&self, region: &Region) -> Result<(), TensorError> {
+        let end = region.end();
+        if end >= self.data.len() as u64 {
+            return Err(TensorError::RegionOutOfBounds { end, len: self.data.len() as u64 });
+        }
+        Ok(())
+    }
+
+    /// Gathers a region into an owned dense [`Tensor`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RegionOutOfBounds`] if the region exceeds the
+    /// memory.
+    pub fn read_region(&self, region: &Region) -> Result<Tensor, TensorError> {
+        self.check(region)?;
+        let mut out = Vec::with_capacity(region.numel() as usize);
+        region.for_each_run(|addr, len| {
+            out.extend_from_slice(&self.data[addr as usize..addr as usize + len]);
+        });
+        Ok(Tensor::from_vec(region.shape().clone(), out))
+    }
+
+    /// Scatters a dense tensor into a region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RegionOutOfBounds`] if the region exceeds the
+    /// memory and [`TensorError::ShapeMismatch`] if the tensor shape differs
+    /// from the region shape.
+    pub fn write_region(&mut self, region: &Region, tensor: &Tensor) -> Result<(), TensorError> {
+        self.check(region)?;
+        if tensor.shape() != region.shape() {
+            return Err(TensorError::ShapeMismatch {
+                expected: region.shape().dims().to_vec(),
+                actual: tensor.shape().dims().to_vec(),
+            });
+        }
+        let src = tensor.data();
+        let mut cursor = 0usize;
+        region.for_each_run(|addr, len| {
+            self.data[addr as usize..addr as usize + len]
+                .copy_from_slice(&src[cursor..cursor + len]);
+            cursor += len;
+        });
+        Ok(())
+    }
+
+    /// Copies `src_region` of `src` into `dst_region` of `self` — the
+    /// functional model of one DMA transfer. Shapes must match; layouts may
+    /// differ (DMA performs the gather/scatter).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bounds and shape errors from
+    /// [`Memory::read_region`]/[`Memory::write_region`].
+    pub fn copy_from(
+        &mut self,
+        dst_region: &Region,
+        src: &Memory,
+        src_region: &Region,
+    ) -> Result<(), TensorError> {
+        let t = src.read_region(src_region)?;
+        // Reshape is legal whenever element counts agree: DMA treats the
+        // transfer as a linear stream.
+        let t = if t.shape() == dst_region.shape() {
+            t
+        } else if t.shape().numel() == dst_region.shape().numel() {
+            Tensor::from_vec(dst_region.shape().clone(), t.into_vec())
+        } else {
+            return Err(TensorError::ShapeMismatch {
+                expected: dst_region.shape().dims().to_vec(),
+                actual: t.shape().dims().to_vec(),
+            });
+        };
+        self.write_region(dst_region, &t)
+    }
+
+    /// Convenience: read a contiguous row-major tensor at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RegionOutOfBounds`] if the block exceeds the
+    /// memory.
+    pub fn read_contiguous(&self, offset: u64, shape: Shape) -> Result<Tensor, TensorError> {
+        self.read_region(&Region::contiguous(offset, shape))
+    }
+
+    /// Convenience: write a tensor contiguously (row-major) at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RegionOutOfBounds`] if the block exceeds the
+    /// memory.
+    pub fn write_contiguous(&mut self, offset: u64, tensor: &Tensor) -> Result<(), TensorError> {
+        self.write_region(&Region::contiguous(offset, tensor.shape().clone()), tensor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_contiguous() {
+        let mut mem = Memory::new(32);
+        let t = Tensor::from_vec(Shape::new(vec![3, 2]), vec![1., 2., 3., 4., 5., 6.]);
+        mem.write_contiguous(4, &t).unwrap();
+        assert_eq!(mem.read_contiguous(4, Shape::new(vec![3, 2])).unwrap(), t);
+        // Neighbouring elements untouched.
+        assert_eq!(mem.as_slice()[3], 0.0);
+        assert_eq!(mem.as_slice()[10], 0.0);
+    }
+
+    #[test]
+    fn strided_write_scatter() {
+        let mut mem = Memory::new(12);
+        // Write a column into a 3x4 row-major matrix at offset 0.
+        let col = Region::contiguous(0, Shape::new(vec![3, 4])).slice(1, 2, 1).unwrap();
+        mem.write_region(&col, &Tensor::from_vec(Shape::new(vec![3, 1]), vec![7., 8., 9.]))
+            .unwrap();
+        assert_eq!(mem.as_slice()[2], 7.0);
+        assert_eq!(mem.as_slice()[6], 8.0);
+        assert_eq!(mem.as_slice()[10], 9.0);
+    }
+
+    #[test]
+    fn copy_between_memories_with_layout_change() {
+        let mut a = Memory::new(16);
+        let mut b = Memory::new(16);
+        let t = Tensor::from_vec(Shape::new(vec![2, 2]), vec![1., 2., 3., 4.]);
+        a.write_contiguous(0, &t).unwrap();
+        // Copy the 2x2 into b as a flat vector of 4.
+        b.copy_from(
+            &Region::contiguous(8, Shape::new(vec![4])),
+            &a,
+            &Region::contiguous(0, Shape::new(vec![2, 2])),
+        )
+        .unwrap();
+        assert_eq!(&b.as_slice()[8..12], &[1., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mem = Memory::new(4);
+        assert!(mem.read_contiguous(2, Shape::new(vec![4])).is_err());
+        let mut mem = Memory::new(4);
+        let t = Tensor::from_vec(Shape::new(vec![4]), vec![0.; 4]);
+        assert!(mem.write_contiguous(1, &t).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut mem = Memory::new(8);
+        let t = Tensor::from_vec(Shape::new(vec![2]), vec![1., 2.]);
+        let r = Region::contiguous(0, Shape::new(vec![3]));
+        assert!(matches!(mem.write_region(&r, &t), Err(TensorError::ShapeMismatch { .. })));
+    }
+}

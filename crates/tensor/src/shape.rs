@@ -1,0 +1,251 @@
+use std::fmt;
+
+use crate::TensorError;
+
+/// A tensor shape: an ordered list of dimension extents.
+///
+/// Shapes are the *granularity indicators* of FISA instructions (the `G` of
+/// the paper's `⟨O, P, G⟩` tuple): the fractal decomposers work purely on
+/// shapes, halving and slicing them until sub-instructions fit a node's
+/// local memory.
+///
+/// # Examples
+///
+/// ```
+/// use cf_tensor::Shape;
+///
+/// let s = Shape::new(vec![4, 6]);
+/// assert_eq!(s.numel(), 24);
+/// let parts = s.split_axis(1, 4).unwrap();
+/// // ceil-sized chunks: 6 elements in chunks of 2 need only 3 pieces.
+/// assert_eq!(parts.iter().map(|p| p.dim(1)).collect::<Vec<_>>(), vec![2, 2, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from its dimension extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero; zero-sized tensors never occur in
+    /// FISA programs and allowing them would complicate split arithmetic.
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(dims.iter().all(|&d| d > 0), "zero-sized dimension in shape {dims:?}");
+        Shape(dims)
+    }
+
+    /// Shape of a scalar (rank-1, one element). FISA models scalars as
+    /// single-element vectors so every operand is a tensor.
+    pub fn scalar() -> Self {
+        Shape(vec![1])
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Extent of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> u64 {
+        self.0.iter().map(|&d| d as u64).product()
+    }
+
+    /// Total size in bytes at `f32` precision.
+    pub fn bytes(&self) -> u64 {
+        self.numel() * crate::ELEM_BYTES
+    }
+
+    /// Row-major (C-order) strides, in elements.
+    pub fn row_major_strides(&self) -> Vec<u64> {
+        let mut strides = vec![1u64; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1] as u64;
+        }
+        strides
+    }
+
+    /// Returns a copy with dimension `axis` replaced by `extent`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis` is invalid, and
+    /// [`TensorError::EmptySplit`] if `extent` is zero.
+    pub fn with_dim(&self, axis: usize, extent: usize) -> Result<Shape, TensorError> {
+        if axis >= self.rank() {
+            return Err(TensorError::AxisOutOfRange { axis, rank: self.rank() });
+        }
+        if extent == 0 {
+            return Err(TensorError::EmptySplit);
+        }
+        let mut dims = self.0.clone();
+        dims[axis] = extent;
+        Ok(Shape(dims))
+    }
+
+    /// Splits dimension `axis` into `parts` near-equal contiguous pieces
+    /// (ceil-sized first), returning the piece shapes. Pieces that would be
+    /// empty are omitted, so fewer than `parts` shapes may be returned.
+    ///
+    /// This is the arithmetic behind both the sequential decomposer (split
+    /// until a sub-instruction fits local memory) and the parallel
+    /// decomposer (split across FFUs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] for an invalid axis and
+    /// [`TensorError::EmptySplit`] when `parts == 0`.
+    pub fn split_axis(&self, axis: usize, parts: usize) -> Result<Vec<Shape>, TensorError> {
+        Ok(self
+            .split_axis_extents(axis, parts)?
+            .into_iter()
+            .map(|(_, len)| {
+                let mut dims = self.0.clone();
+                dims[axis] = len;
+                Shape(dims)
+            })
+            .collect())
+    }
+
+    /// Like [`Shape::split_axis`] but returns `(start, len)` pairs along the
+    /// axis instead of full shapes, which is what region slicing needs.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Shape::split_axis`].
+    pub fn split_axis_extents(
+        &self,
+        axis: usize,
+        parts: usize,
+    ) -> Result<Vec<(usize, usize)>, TensorError> {
+        if axis >= self.rank() {
+            return Err(TensorError::AxisOutOfRange { axis, rank: self.rank() });
+        }
+        if parts == 0 {
+            return Err(TensorError::EmptySplit);
+        }
+        let extent = self.0[axis];
+        let chunk = extent.div_ceil(parts);
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < extent {
+            let len = chunk.min(extent - start);
+            out.push((start, len));
+            start += len;
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl AsRef<[usize]> for Shape {
+    fn as_ref(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_bytes() {
+        let s = Shape::new(vec![3, 4, 5]);
+        assert_eq!(s.numel(), 60);
+        assert_eq!(s.bytes(), 240);
+        assert_eq!(s.rank(), 3);
+    }
+
+    #[test]
+    fn scalar_is_one_element() {
+        assert_eq!(Shape::scalar().numel(), 1);
+    }
+
+    #[test]
+    fn row_major_strides_match_manual() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.row_major_strides(), vec![12, 4, 1]);
+        let s1 = Shape::new(vec![7]);
+        assert_eq!(s1.row_major_strides(), vec![1]);
+    }
+
+    #[test]
+    fn split_axis_even() {
+        let s = Shape::new(vec![8, 2]);
+        let parts = s.split_axis(0, 4).unwrap();
+        assert_eq!(parts.len(), 4);
+        assert!(parts.iter().all(|p| p.dims() == [2, 2]));
+    }
+
+    #[test]
+    fn split_axis_uneven_covers_everything() {
+        let s = Shape::new(vec![7]);
+        let parts = s.split_axis_extents(0, 3).unwrap();
+        assert_eq!(parts, vec![(0, 3), (3, 3), (6, 1)]);
+        let total: usize = parts.iter().map(|&(_, l)| l).sum();
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn split_more_parts_than_extent_drops_empties() {
+        let s = Shape::new(vec![2]);
+        let parts = s.split_axis(0, 5).unwrap();
+        assert_eq!(parts.len(), 2);
+    }
+
+    #[test]
+    fn split_bad_axis_errors() {
+        let s = Shape::new(vec![2]);
+        assert!(matches!(s.split_axis(3, 2), Err(TensorError::AxisOutOfRange { .. })));
+        assert!(matches!(s.split_axis(0, 0), Err(TensorError::EmptySplit)));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized dimension")]
+    fn zero_dim_panics() {
+        let _ = Shape::new(vec![2, 0]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(vec![2, 3]).to_string(), "[2x3]");
+    }
+}

@@ -1,0 +1,234 @@
+use std::fmt;
+
+use crate::{Shape, TensorError};
+
+/// An owned dense row-major `f32` tensor.
+///
+/// `Tensor` is the value type of the functional layer: reference kernels in
+/// `cf-ops` consume and produce tensors, and the fractal machine's
+/// functional executor gathers operand [`crate::Region`]s into tensors
+/// before invoking kernels.
+///
+/// # Examples
+///
+/// ```
+/// use cf_tensor::{Shape, Tensor};
+///
+/// let a = Tensor::filled(Shape::new(vec![2, 2]), 1.5);
+/// assert_eq!(a.get(&[0, 1]), 1.5);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Builds a tensor from a shape and matching row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal `shape.numel()`.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len() as u64,
+            shape.numel(),
+            "data length {} does not match shape {shape}",
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// A tensor with every element set to `value`.
+    pub fn filled(shape: Shape, value: f32) -> Self {
+        let n = shape.numel() as usize;
+        Tensor { shape, data: vec![value; n] }
+    }
+
+    /// A zero tensor.
+    pub fn zeros(shape: Shape) -> Self {
+        Tensor::filled(shape, 0.0)
+    }
+
+    /// Builds a tensor by evaluating `f` at every multi-index, in row-major
+    /// order.
+    pub fn from_fn(shape: Shape, mut f: impl FnMut(&[usize]) -> f32) -> Self {
+        let n = shape.numel() as usize;
+        let mut data = Vec::with_capacity(n);
+        let mut idx = vec![0usize; shape.rank()];
+        for _ in 0..n {
+            data.push(f(&idx));
+            for axis in (0..shape.rank()).rev() {
+                idx[axis] += 1;
+                if idx[axis] < shape.dim(axis) {
+                    break;
+                }
+                idx[axis] = 0;
+            }
+        }
+        Tensor { shape, data }
+    }
+
+    /// A rank-1 single-element tensor holding `value`.
+    pub fn scalar(value: f32) -> Self {
+        Tensor::from_vec(Shape::scalar(), vec![value])
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Row-major element data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable row-major element data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Linear (row-major) offset of a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has the wrong rank or is out of bounds.
+    pub fn linear_index(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.shape.rank(), "index rank mismatch");
+        let strides = self.shape.row_major_strides();
+        idx.iter()
+            .zip(&strides)
+            .zip(self.shape.dims())
+            .map(|((&i, &s), &d)| {
+                assert!(i < d, "index {i} out of bounds for dim {d}");
+                i as u64 * s
+            })
+            .sum::<u64>() as usize
+    }
+
+    /// Element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn get(&self, idx: &[usize]) -> f32 {
+        self.data[self.linear_index(idx)]
+    }
+
+    /// Sets the element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn set(&mut self, idx: &[usize], value: f32) {
+        let i = self.linear_index(idx);
+        self.data[i] = value;
+    }
+
+    /// Reinterprets the data under a new shape with the same element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when element counts differ.
+    pub fn reshape(self, shape: Shape) -> Result<Tensor, TensorError> {
+        if shape.numel() != self.shape.numel() {
+            return Err(TensorError::ShapeMismatch {
+                expected: shape.dims().to_vec(),
+                actual: self.shape.dims().to_vec(),
+            });
+        }
+        Ok(Tensor { shape, data: self.data })
+    }
+
+    /// Maximum absolute difference to another tensor of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                expected: self.shape.dims().to_vec(),
+                actual: other.shape.dims().to_vec(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max))
+    }
+
+    /// `true` when every element differs from `other` by at most `tol`.
+    ///
+    /// Fractal execution reassociates floating-point reductions, so
+    /// integration tests compare with a small tolerance instead of bit
+    /// equality.
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape && self.max_abs_diff(other).map(|d| d <= tol).unwrap_or(false)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let preview: Vec<f32> = self.data.iter().take(8).copied().collect();
+        let ellipsis = if self.data.len() > 8 { ", …" } else { "" };
+        write!(f, "Tensor{} {preview:?}{ellipsis}", self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_row_major_order() {
+        let t = Tensor::from_fn(Shape::new(vec![2, 3]), |i| (i[0] * 10 + i[1]) as f32);
+        assert_eq!(t.data(), &[0., 1., 2., 10., 11., 12.]);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros(Shape::new(vec![3, 3]));
+        t.set(&[2, 1], 4.5);
+        assert_eq!(t.get(&[2, 1]), 4.5);
+        assert_eq!(t.get(&[1, 2]), 0.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(Shape::new(vec![2, 2]), vec![1., 2., 3., 4.]);
+        let r = t.reshape(Shape::new(vec![4])).unwrap();
+        assert_eq!(r.data(), &[1., 2., 3., 4.]);
+        assert!(r.clone().reshape(Shape::new(vec![5])).is_err());
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = Tensor::from_vec(Shape::new(vec![2]), vec![1.0, 2.0]);
+        let b = Tensor::from_vec(Shape::new(vec![2]), vec![1.0005, 2.0]);
+        assert!(a.approx_eq(&b, 1e-3));
+        assert!(!a.approx_eq(&b, 1e-5));
+        let c = Tensor::from_vec(Shape::new(vec![1, 2]), vec![1.0, 2.0]);
+        assert!(!a.approx_eq(&c, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn bad_from_vec_panics() {
+        let _ = Tensor::from_vec(Shape::new(vec![3]), vec![1.0]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let t = Tensor::scalar(1.0);
+        assert!(!format!("{t:?}").is_empty());
+    }
+}

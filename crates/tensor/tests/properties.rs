@@ -1,0 +1,129 @@
+//! Property tests for the tensor substrate: region algebra and memory
+//! gather/scatter must be exact for arbitrary shapes and slicing.
+
+use cf_tensor::{gen::DataGen, Memory, Region, Shape, Tensor};
+use proptest::prelude::*;
+
+fn arb_shape() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..9, 1..4)
+}
+
+proptest! {
+    #[test]
+    fn split_axis_partitions_exactly(dims in arb_shape(), axis_sel in 0usize..4, parts in 1usize..9) {
+        let shape = Shape::new(dims.clone());
+        let axis = axis_sel % shape.rank();
+        let pieces = shape.split_axis_extents(axis, parts).unwrap();
+        // Contiguous, disjoint, complete cover of the axis.
+        let mut cursor = 0;
+        for (start, len) in &pieces {
+            prop_assert_eq!(*start, cursor);
+            prop_assert!(*len > 0);
+            cursor += len;
+        }
+        prop_assert_eq!(cursor, shape.dim(axis));
+    }
+
+    #[test]
+    fn region_runs_cover_numel(dims in arb_shape(), offset in 0u64..50) {
+        let region = Region::contiguous(offset, Shape::new(dims));
+        let mut total = 0u64;
+        let mut min_addr = u64::MAX;
+        let mut max_addr = 0u64;
+        region.for_each_run(|addr, len| {
+            total += len as u64;
+            min_addr = min_addr.min(addr);
+            max_addr = max_addr.max(addr + len as u64 - 1);
+        });
+        prop_assert_eq!(total, region.numel());
+        prop_assert_eq!(min_addr, region.offset());
+        prop_assert_eq!(max_addr, region.end());
+    }
+
+    #[test]
+    fn sliced_region_roundtrips_through_memory(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        seed in 0u64..500,
+    ) {
+        let shape = Shape::new(vec![rows, cols]);
+        let base = Region::contiguous(3, shape.clone());
+        let mut mem = Memory::new(3 + rows * cols + 8);
+        let t = DataGen::new(seed).uniform(shape, -5.0, 5.0);
+        mem.write_region(&base, &t).unwrap();
+        // Any row/column slice reads back the corresponding elements.
+        for r in 0..rows {
+            let row = base.slice(0, r, 1).unwrap();
+            let data = mem.read_region(&row).unwrap();
+            for c in 0..cols {
+                prop_assert_eq!(data.get(&[0, c]), t.get(&[r, c]));
+            }
+        }
+        for c in 0..cols {
+            let col = base.slice(1, c, 1).unwrap();
+            let data = mem.read_region(&col).unwrap();
+            for r in 0..rows {
+                prop_assert_eq!(data.get(&[r, 0]), t.get(&[r, c]));
+            }
+        }
+    }
+
+    #[test]
+    fn split_regions_reassemble_the_tensor(
+        rows in 2usize..10,
+        cols in 2usize..10,
+        parts in 2usize..5,
+        axis in 0usize..2,
+        seed in 0u64..500,
+    ) {
+        let shape = Shape::new(vec![rows, cols]);
+        let base = Region::contiguous(0, shape.clone());
+        let mut mem = Memory::new(rows * cols);
+        let t = DataGen::new(seed).uniform(shape.clone(), -1.0, 1.0);
+        mem.write_region(&base, &t).unwrap();
+        let whole = mem.read_region(&base).unwrap();
+        // Reading every piece and re-scattering reproduces the whole.
+        let mut copy = Memory::new(rows * cols);
+        for piece in base.split_axis(axis, parts).unwrap() {
+            let part = mem.read_region(&piece).unwrap();
+            copy.write_region(&piece, &part).unwrap();
+        }
+        prop_assert_eq!(copy.read_region(&base).unwrap(), whole);
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_reflexive(
+        o1 in 0u64..60, n1 in 1usize..20,
+        o2 in 0u64..60, n2 in 1usize..20,
+    ) {
+        let a = Region::contiguous(o1, Shape::new(vec![n1]));
+        let b = Region::contiguous(o2, Shape::new(vec![n2]));
+        prop_assert!(a.may_overlap(&a));
+        prop_assert_eq!(a.may_overlap(&b), b.may_overlap(&a));
+    }
+
+    #[test]
+    fn tensor_reshape_preserves_data(dims in arb_shape(), seed in 0u64..500) {
+        let shape = Shape::new(dims);
+        let n = shape.numel() as usize;
+        let t = DataGen::new(seed).uniform(shape, -2.0, 2.0);
+        let flat = t.clone().reshape(Shape::new(vec![n])).unwrap();
+        prop_assert_eq!(flat.data(), t.data());
+    }
+}
+
+#[test]
+fn memory_copy_between_disjoint_layouts() {
+    // Transpose-style copy via a strided region.
+    let mut src = Memory::new(12);
+    let t = Tensor::from_fn(Shape::new(vec![3, 4]), |i| (i[0] * 4 + i[1]) as f32);
+    src.write_contiguous(0, &t).unwrap();
+    // View the matrix transposed: shape [4,3], strides [1,4].
+    let transposed = Region::strided(0, Shape::new(vec![4, 3]), vec![1, 4]);
+    let tt = src.read_region(&transposed).unwrap();
+    for i in 0..4 {
+        for j in 0..3 {
+            assert_eq!(tt.get(&[i, j]), t.get(&[j, i]));
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! The paper's benchmark suite (Table 5) as FISA programs.
+//!
+//! * [`nets`] — layer-exact VGG-16, ResNet-152, AlexNet and a 3-layer MLP,
+//!   compiled to FISA programs at any batch size;
+//! * [`ml`] — K-NN, K-Means, LVQ and SVM over the paper's synthetic
+//!   dataset (262 144 samples × 512 dimensions × 128 categories), plus the
+//!   32768² MATMUL;
+//! * [`profile`] — the Table 1 primitive-cost decomposition.
+//!
+//! # Examples
+//!
+//! ```
+//! use cf_workloads::nets;
+//!
+//! let vgg = nets::vgg16();
+//! // "1.38e8 params" (Table 5).
+//! assert!((vgg.param_count() as f64 - 1.38e8).abs() / 1.38e8 < 0.01);
+//! let program = nets::build_program(&vgg, 1).unwrap();
+//! assert!(!program.instructions().is_empty());
+//! ```
+
+pub mod ml;
+pub mod nets;
+pub mod profile;

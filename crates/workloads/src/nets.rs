@@ -1,0 +1,453 @@
+//! Deep-network definitions with layer-exact shapes, compiled to FISA.
+//!
+//! The networks carry the paper's Table 5 characteristics: VGG-16 with
+//! 1.38·10⁸ parameters and 3.09·10¹⁰ ops/image, ResNet-152 with 6.03·10⁷
+//! parameters and 2.26·10¹⁰ ops/image (at 224×224 ImageNet shapes), plus
+//! AlexNet and the 3-layer MLP used for Table 1.
+
+use cf_isa::{ConvParams, IsaError, Opcode, OpParams, PoolParams, Program, ProgramBuilder, TensorHandle};
+
+/// One network layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Layer {
+    /// Convolution: `k×k` kernel, stride, padding, output channels,
+    /// followed by ReLU.
+    Conv {
+        /// Kernel side.
+        k: usize,
+        /// Stride.
+        s: usize,
+        /// Padding.
+        p: usize,
+        /// Output channels.
+        out_c: usize,
+    },
+    /// Max pooling with a square window.
+    MaxPool {
+        /// Window side.
+        k: usize,
+        /// Stride.
+        s: usize,
+    },
+    /// Average pooling with a square window.
+    AvgPool {
+        /// Window side.
+        k: usize,
+        /// Stride.
+        s: usize,
+    },
+    /// Local response normalisation (AlexNet).
+    Lrn,
+    /// Fully connected layer (flattens input), followed by ReLU except on
+    /// the last layer.
+    Fc {
+        /// Output features.
+        out: usize,
+    },
+    /// Start of a residual block: remember the current activation.
+    ResSave,
+    /// End of a residual block: add the saved activation (shapes must
+    /// match), then ReLU.
+    ResAdd,
+}
+
+/// A network: input shape plus a layer list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetDef {
+    /// Network name.
+    pub name: &'static str,
+    /// Input `(height, width, channels)`.
+    pub input: (usize, usize, usize),
+    /// Layers in order.
+    pub layers: Vec<Layer>,
+}
+
+impl NetDef {
+    /// Total learnable parameters (weights only; biases are omitted in
+    /// this reproduction, <0.1 % of parameters).
+    pub fn param_count(&self) -> u64 {
+        let (mut h, mut w, mut c) = self.input;
+        let mut params = 0u64;
+        for layer in &self.layers {
+            match *layer {
+                Layer::Conv { k, s, p, out_c } => {
+                    params += (k * k * c * out_c) as u64;
+                    h = (h + 2 * p - k) / s + 1;
+                    w = (w + 2 * p - k) / s + 1;
+                    c = out_c;
+                }
+                Layer::MaxPool { k, s } | Layer::AvgPool { k, s } => {
+                    h = (h - k) / s + 1;
+                    w = (w - k) / s + 1;
+                }
+                Layer::Fc { out } => {
+                    params += (h * w * c * out) as u64;
+                    h = 1;
+                    w = 1;
+                    c = out;
+                }
+                Layer::Lrn | Layer::ResSave | Layer::ResAdd => {}
+            }
+        }
+        params
+    }
+
+    /// Arithmetic operations per image (MACs × 2 for conv/FC).
+    pub fn ops_per_image(&self) -> u64 {
+        let (mut h, mut w, mut c) = self.input;
+        let mut ops = 0u64;
+        for layer in &self.layers {
+            match *layer {
+                Layer::Conv { k, s, p, out_c } => {
+                    let ho = (h + 2 * p - k) / s + 1;
+                    let wo = (w + 2 * p - k) / s + 1;
+                    ops += 2 * (ho * wo * out_c * k * k * c) as u64;
+                    h = ho;
+                    w = wo;
+                    c = out_c;
+                }
+                Layer::MaxPool { k, s } | Layer::AvgPool { k, s } => {
+                    let ho = (h - k) / s + 1;
+                    let wo = (w - k) / s + 1;
+                    ops += (ho * wo * c * k * k) as u64;
+                    h = ho;
+                    w = wo;
+                }
+                Layer::Fc { out } => {
+                    ops += 2 * (h * w * c * out) as u64;
+                    h = 1;
+                    w = 1;
+                    c = out;
+                }
+                Layer::Lrn => ops += (h * w * c * 14) as u64,
+                Layer::ResSave => {}
+                Layer::ResAdd => ops += (h * w * c) as u64,
+            }
+        }
+        ops
+    }
+}
+
+/// VGG-16 (Simonyan & Zisserman): 13 conv + 5 pools + 3 FC,
+/// 1.38·10⁸ parameters.
+pub fn vgg16() -> NetDef {
+    let mut layers = Vec::new();
+    let blocks: [(usize, usize); 5] = [(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)];
+    for (convs, ch) in blocks {
+        for _ in 0..convs {
+            layers.push(Layer::Conv { k: 3, s: 1, p: 1, out_c: ch });
+        }
+        layers.push(Layer::MaxPool { k: 2, s: 2 });
+    }
+    layers.push(Layer::Fc { out: 4096 });
+    layers.push(Layer::Fc { out: 4096 });
+    layers.push(Layer::Fc { out: 1000 });
+    NetDef { name: "VGG-16", input: (224, 224, 3), layers }
+}
+
+/// ResNet-152 (He et al.): bottleneck blocks `[3, 8, 36, 3]`,
+/// 6.0·10⁷ parameters. Projection shortcuts are folded into the main path
+/// (the residual add uses the pre-block activation only when shapes
+/// match, as in identity blocks).
+pub fn resnet152() -> NetDef {
+    let mut layers = vec![
+        Layer::Conv { k: 7, s: 2, p: 3, out_c: 64 },
+        Layer::MaxPool { k: 2, s: 2 },
+    ];
+    let stages: [(usize, usize); 4] = [(3, 64), (8, 128), (36, 256), (3, 512)];
+    for (si, (blocks, width)) in stages.iter().enumerate() {
+        for b in 0..*blocks {
+            let stride = if si > 0 && b == 0 { 2 } else { 1 };
+            let identity = b > 0;
+            if identity {
+                layers.push(Layer::ResSave);
+            }
+            layers.push(Layer::Conv { k: 1, s: stride, p: 0, out_c: *width });
+            layers.push(Layer::Conv { k: 3, s: 1, p: 1, out_c: *width });
+            layers.push(Layer::Conv { k: 1, s: 1, p: 0, out_c: width * 4 });
+            if identity {
+                layers.push(Layer::ResAdd);
+            }
+        }
+    }
+    layers.push(Layer::AvgPool { k: 7, s: 7 });
+    layers.push(Layer::Fc { out: 1000 });
+    NetDef { name: "ResNet-152", input: (224, 224, 3), layers }
+}
+
+/// AlexNet (Krizhevsky et al.), the Table 1 CNN.
+pub fn alexnet() -> NetDef {
+    NetDef {
+        name: "AlexNet",
+        input: (227, 227, 3),
+        layers: vec![
+            Layer::Conv { k: 11, s: 4, p: 0, out_c: 96 },
+            Layer::Lrn,
+            Layer::MaxPool { k: 3, s: 2 },
+            Layer::Conv { k: 5, s: 1, p: 2, out_c: 256 },
+            Layer::Lrn,
+            Layer::MaxPool { k: 3, s: 2 },
+            Layer::Conv { k: 3, s: 1, p: 1, out_c: 384 },
+            Layer::Conv { k: 3, s: 1, p: 1, out_c: 384 },
+            Layer::Conv { k: 3, s: 1, p: 1, out_c: 256 },
+            Layer::MaxPool { k: 3, s: 2 },
+            Layer::Fc { out: 4096 },
+            Layer::Fc { out: 4096 },
+            Layer::Fc { out: 1000 },
+        ],
+    }
+}
+
+/// The 3-layer MLP used as the Table 1 DNN.
+pub fn mlp3() -> NetDef {
+    NetDef {
+        name: "MLP-3",
+        input: (1, 1, 784),
+        layers: vec![
+            Layer::Fc { out: 2048 },
+            Layer::Fc { out: 2048 },
+            Layer::Fc { out: 10 },
+        ],
+    }
+}
+
+/// Compiles a network into a FISA inference program at the given batch
+/// size. Convolutions run as `Cv2D`+`Act1D`, FC layers as
+/// `MatMul`+`Act1D`, pooling as `Max2D`/`Avg2D`, residual adds as `Add1D`.
+///
+/// # Errors
+///
+/// Propagates shape-inference errors (which would indicate an inconsistent
+/// layer list).
+pub fn build_program(net: &NetDef, batch: usize) -> Result<Program, IsaError> {
+    let mut b = ProgramBuilder::new();
+    let (h, w, c) = net.input;
+    let mut act = b.alloc("input", vec![batch, h, w, c]);
+    let mut saved: Option<TensorHandle> = None;
+    let mut flat: Option<TensorHandle> = None;
+    for (i, layer) in net.layers.iter().enumerate() {
+        match *layer {
+            Layer::Conv { k, s, p, out_c } => {
+                let c_in = b.shape(act).dim(3);
+                let wt = b.alloc(format!("w{i}"), vec![k, k, c_in, out_c]);
+                let conv = b.apply_with(
+                    Opcode::Cv2D,
+                    OpParams::Conv(ConvParams::same(s, p)),
+                    [act, wt],
+                )?;
+                let relu = b.apply(Opcode::Act1D, [conv[0]])?;
+                act = relu[0];
+            }
+            Layer::MaxPool { k, s } => {
+                let out =
+                    b.apply_with(Opcode::Max2D, OpParams::Pool(PoolParams::square(k, s, 0)), [act])?;
+                act = out[0];
+            }
+            Layer::AvgPool { k, s } => {
+                let out =
+                    b.apply_with(Opcode::Avg2D, OpParams::Pool(PoolParams::square(k, s, 0)), [act])?;
+                act = out[0];
+            }
+            Layer::Lrn => {
+                let out = b.apply(Opcode::Lrn, [act])?;
+                act = out[0];
+            }
+            Layer::Fc { out } => {
+                // Flatten once: afterwards activations are [batch, features].
+                let features: usize = if flat.is_none() {
+                    let s = b.shape(act);
+                    s.dims()[1..].iter().product()
+                } else {
+                    b.shape(act).dim(1)
+                };
+                let input2d = match flat {
+                    Some(_) => act,
+                    None => {
+                        // Reinterpret the NHWC activation as [batch, f]: the
+                        // data is already contiguous, so emit a fresh 2-D
+                        // alias tensor and a copying Act1D is unnecessary —
+                        // we just rebuild the handle via a raw instruction
+                        // target below. Simplest correct route: an Act1D
+                        // identity into a 2-D tensor is avoided by using
+                        // MatMul's operand validation on a new alias.
+                        let alias = b.alloc(format!("flat{i}"), vec![batch, features]);
+                        // Copy activation into the alias (elementwise add
+                        // with a zero tensor would be wasteful; use Act1D
+                        // ReLU — activations are already post-ReLU, so ReLU
+                        // is the identity on them).
+                        let src = b.region(act).clone();
+                        let dst = b.region(alias).clone();
+                        let inst = cf_isa::Instruction::new(
+                            Opcode::Act1D,
+                            OpParams::Act(cf_isa::ActKind::Relu),
+                            vec![cf_tensor::Region::contiguous(
+                                src.offset(),
+                                cf_tensor::Shape::new(vec![batch, features]),
+                            )],
+                            vec![dst],
+                        )?;
+                        b.push_raw(inst);
+                        alias
+                    }
+                };
+                let wt = b.alloc(format!("w{i}"), vec![features, out]);
+                let mm = b.apply(Opcode::MatMul, [input2d, wt])?;
+                let is_last = i + 1 == net.layers.len();
+                act = if is_last {
+                    mm[0]
+                } else {
+                    b.apply(Opcode::Act1D, [mm[0]])?[0]
+                };
+                flat = Some(act);
+            }
+            Layer::ResSave => saved = Some(act),
+            Layer::ResAdd => {
+                let skip = saved.take().expect("ResAdd without ResSave");
+                let sum = b.apply(Opcode::Add1D, [act, skip])?;
+                act = b.apply(Opcode::Act1D, [sum[0]])?[0];
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// A small 3-D convolutional video-analysis network (the paper motivates
+/// video analysis in §1 and provides `Cv3D` in Table 3): two Cv3D layers
+/// with ReLU over a clip of `frames` frames.
+///
+/// # Errors
+///
+/// Propagates shape-inference errors.
+pub fn video3d_program(
+    batch: usize,
+    frames: usize,
+    hw: usize,
+) -> Result<Program, IsaError> {
+    let mut b = ProgramBuilder::new();
+    let clip = b.alloc("clip", vec![batch, frames, hw, hw, 3]);
+    let w1 = b.alloc("w1", vec![3, 3, 3, 3, 16]);
+    let c1 = b.apply_with(
+        Opcode::Cv3D,
+        OpParams::Conv(ConvParams::same(1, 1)),
+        [clip, w1],
+    )?;
+    let r1 = b.apply(Opcode::Act1D, [c1[0]])?;
+    let w2 = b.alloc("w2", vec![3, 3, 3, 16, 32]);
+    let c2 = b.apply_with(
+        Opcode::Cv3D,
+        OpParams::Conv(ConvParams::same(1, 1)),
+        [r1[0], w2],
+    )?;
+    b.apply(Opcode::Act1D, [c2[0]])?;
+    Ok(b.build())
+}
+
+/// The 32768-order square MATMUL benchmark (Table 5), scaled by `order`
+/// for tests.
+pub fn matmul_program(order: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let a = b.alloc("a", vec![order, order]);
+    let w = b.alloc("w", vec![order, order]);
+    b.apply(Opcode::MatMul, [a, w]).expect("square matmul is always valid");
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_matches_table5() {
+        let net = vgg16();
+        let params = net.param_count();
+        assert!(
+            (params as f64 - 1.38e8).abs() / 1.38e8 < 0.01,
+            "VGG-16 params {params}"
+        );
+        let ops = net.ops_per_image();
+        assert!(
+            (ops as f64 - 3.09e10).abs() / 3.09e10 < 0.02,
+            "VGG-16 ops/image {ops}"
+        );
+    }
+
+    #[test]
+    fn resnet152_matches_table5() {
+        let net = resnet152();
+        let params = net.param_count();
+        assert!(
+            (params as f64 - 6.03e7).abs() / 6.03e7 < 0.07,
+            "ResNet-152 params {params}"
+        );
+        let ops = net.ops_per_image();
+        assert!(
+            (ops as f64 - 2.26e10).abs() / 2.26e10 < 0.07,
+            "ResNet-152 ops/image {ops}"
+        );
+    }
+
+    #[test]
+    fn alexnet_conv_dominates() {
+        // Table 1: CONV is ~94.7 % of AlexNet.
+        let net = alexnet();
+        let (mut h, mut w, mut c) = net.input;
+        let mut conv = 0u64;
+        let mut fc = 0u64;
+        for layer in &net.layers {
+            match *layer {
+                Layer::Conv { k, s, p, out_c } => {
+                    let ho = (h + 2 * p - k) / s + 1;
+                    let wo = (w + 2 * p - k) / s + 1;
+                    conv += 2 * (ho * wo * out_c * k * k * c) as u64;
+                    h = ho;
+                    w = wo;
+                    c = out_c;
+                }
+                Layer::MaxPool { k, s } | Layer::AvgPool { k, s } => {
+                    h = (h - k) / s + 1;
+                    w = (w - k) / s + 1;
+                }
+                Layer::Fc { out } => {
+                    fc += 2 * (h * w * c * out) as u64;
+                    h = 1;
+                    w = 1;
+                    c = out;
+                }
+                _ => {}
+            }
+        }
+        let frac = conv as f64 / (conv + fc) as f64;
+        assert!((frac - 0.947).abs() < 0.02, "conv fraction {frac:.3}");
+    }
+
+    #[test]
+    fn programs_build_at_small_batch() {
+        for net in [vgg16(), resnet152(), alexnet(), mlp3()] {
+            let p = build_program(&net, 1).unwrap();
+            assert!(!p.instructions().is_empty(), "{} empty", net.name);
+        }
+    }
+
+    #[test]
+    fn resnet_has_residual_adds() {
+        let p = build_program(&resnet152(), 1).unwrap();
+        let adds =
+            p.instructions().iter().filter(|i| i.op == Opcode::Add1D).count();
+        // 50 blocks total, 46 identity blocks carry adds.
+        assert!(adds >= 40, "only {adds} residual adds");
+    }
+
+    #[test]
+    fn video3d_builds_and_uses_cv3d() {
+        let p = video3d_program(1, 4, 8).unwrap();
+        let cv3d = p.instructions().iter().filter(|i| i.op == Opcode::Cv3D).count();
+        assert_eq!(cv3d, 2);
+    }
+
+    #[test]
+    fn matmul_program_shape() {
+        let p = matmul_program(128);
+        assert_eq!(p.instructions().len(), 1);
+        assert_eq!(p.extern_elems(), 3 * 128 * 128);
+    }
+}

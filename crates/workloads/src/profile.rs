@@ -1,0 +1,173 @@
+//! The Table 1 primitive-cost decomposition.
+//!
+//! The paper profiles CPU execution time of six ML techniques and buckets
+//! it into seven primitives. This reproduction decomposes the *same
+//! workloads* analytically (operation counts over the full-size
+//! definitions — deterministic, unlike wall-clock profiling; DESIGN.md §1)
+//! by classifying every instruction of the FISA implementation.
+
+use cf_isa::{Opcode, Program};
+use cf_ops::cost;
+
+use crate::{ml, nets};
+
+/// The seven primitive buckets of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Primitive {
+    /// Inner production (vector·vector distance/dot kernels).
+    Ip,
+    /// Convolution.
+    Conv,
+    /// Pooling.
+    Pool,
+    /// Matrix multiplying matrix.
+    Mmm,
+    /// Elementwise operations.
+    Eltw,
+    /// Sorting (and merging).
+    Sort,
+    /// Counting.
+    Count,
+}
+
+impl Primitive {
+    /// All buckets in Table 1 column order.
+    pub const ALL: [Primitive; 7] = [
+        Primitive::Ip,
+        Primitive::Conv,
+        Primitive::Pool,
+        Primitive::Mmm,
+        Primitive::Eltw,
+        Primitive::Sort,
+        Primitive::Count,
+    ];
+
+    /// Column header as printed in Table 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            Primitive::Ip => "IP",
+            Primitive::Conv => "CONV",
+            Primitive::Pool => "POOL",
+            Primitive::Mmm => "MMM",
+            Primitive::Eltw => "ELTW",
+            Primitive::Sort => "SORT",
+            Primitive::Count => "COUNT",
+        }
+    }
+
+    /// The bucket an opcode belongs to.
+    pub fn of(op: Opcode) -> Primitive {
+        match op {
+            Opcode::Euclidian1D => Primitive::Ip,
+            Opcode::Cv2D | Opcode::Cv3D => Primitive::Conv,
+            Opcode::Max2D | Opcode::Min2D | Opcode::Avg2D => Primitive::Pool,
+            Opcode::MatMul => Primitive::Mmm,
+            Opcode::Add1D
+            | Opcode::Sub1D
+            | Opcode::Mul1D
+            | Opcode::Act1D
+            | Opcode::Lrn
+            | Opcode::HSum1D
+            | Opcode::HProd1D => Primitive::Eltw,
+            Opcode::Sort1D | Opcode::Merge1D => Primitive::Sort,
+            Opcode::Count1D => Primitive::Count,
+        }
+    }
+}
+
+/// A Table 1 row: per-primitive share of a technique's operations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRow {
+    /// Technique name.
+    pub technique: String,
+    /// Fraction of total operations per bucket (sums to 1).
+    pub shares: [f64; 7],
+}
+
+impl ProfileRow {
+    /// Share of one bucket.
+    pub fn share(&self, p: Primitive) -> f64 {
+        self.shares[Primitive::ALL.iter().position(|&q| q == p).unwrap()]
+    }
+}
+
+/// Decomposes a program's operations into the primitive buckets.
+pub fn profile_program(name: &str, program: &Program) -> ProfileRow {
+    let mut ops = [0u64; 7];
+    for inst in program.instructions() {
+        let bucket = Primitive::ALL
+            .iter()
+            .position(|&p| p == Primitive::of(inst.op))
+            .unwrap();
+        ops[bucket] += cost::flops(inst);
+    }
+    let total: u64 = ops.iter().sum::<u64>().max(1);
+    let mut shares = [0.0; 7];
+    for (s, &o) in shares.iter_mut().zip(&ops) {
+        *s = o as f64 / total as f64;
+    }
+    ProfileRow { technique: name.to_string(), shares }
+}
+
+/// The six Table 1 techniques, profiled at the given size (use
+/// [`ml::MlSize::paper`] for the paper's sizes; smaller in tests).
+///
+/// # Errors
+///
+/// Propagates program-construction errors.
+pub fn table1(size: &ml::MlSize) -> Result<Vec<ProfileRow>, cf_isa::IsaError> {
+    let knn_k = 16;
+    Ok(vec![
+        profile_program("CNN", &nets::build_program(&nets::alexnet(), 1)?),
+        profile_program("DNN", &nets::build_program(&nets::mlp3(), 64)?),
+        profile_program("k-Means", &ml::kmeans_program(size)?),
+        profile_program("k-NN", &ml::knn_program(size, knn_k)?),
+        profile_program("SVM", &ml::svm_program(size)?),
+        profile_program("LVQ", &ml::lvq_program(size)?),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn size() -> ml::MlSize {
+        ml::MlSize { samples: 8192, dims: 128, classes: 128, queries: 32, iters: 2 }
+    }
+
+    #[test]
+    fn cnn_is_conv_dominated() {
+        let rows = table1(&size()).unwrap();
+        let cnn = &rows[0];
+        // Table 1: CONV 94.7x %.
+        assert!(cnn.share(Primitive::Conv) > 0.90, "{:?}", cnn.shares);
+        assert!(cnn.share(Primitive::Mmm) > 0.02 && cnn.share(Primitive::Mmm) < 0.08);
+    }
+
+    #[test]
+    fn dnn_is_mmm_dominated() {
+        let rows = table1(&size()).unwrap();
+        let dnn = &rows[1];
+        assert!(dnn.share(Primitive::Mmm) > 0.99, "{:?}", dnn.shares);
+    }
+
+    #[test]
+    fn ml_rows_match_paper_shape() {
+        let rows = table1(&size()).unwrap();
+        let get = |name: &str| rows.iter().find(|r| r.technique == name).unwrap();
+        assert!(get("k-Means").share(Primitive::Ip) > 0.80);
+        assert!(get("k-NN").share(Primitive::Ip) > 0.95);
+        assert!(get("SVM").share(Primitive::Ip) > 0.95);
+        let lvq = get("LVQ");
+        assert!(lvq.share(Primitive::Eltw) > 0.5, "{:?}", lvq.shares);
+        assert!(lvq.share(Primitive::Ip) > 0.3);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        for row in table1(&size()).unwrap() {
+            let total: f64 = row.shares.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "{}: {total}", row.technique);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Explore the hierarchy design space (paper Table 4): equal-capability
+//! Cambricon-F designs of different depth, sized by the MBOI rule and
+//! evaluated with the simulator and the area/energy models.
+//!
+//! Run with `cargo run --release --example design_space`.
+
+use cambricon_f::model::designspace::{evaluate, table4_designs, Design};
+use cambricon_f::workloads::nets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let programs = vec![
+        nets::build_program(&nets::vgg16(), 4)?,
+        nets::matmul_program(4096),
+    ];
+    println!("{:<16} {:>10} {:>10} {:>9} {:>10}", "design", "perf Tops", "power W", "Tops/J", "area mm2");
+    for design in table4_designs() {
+        let r = evaluate(&design, &programs)?;
+        println!(
+            "{:<16} {:>10.1} {:>10.1} {:>9.2} {:>10.0}",
+            r.name, r.perf_tops, r.power_w, r.efficiency, r.area_mm2
+        );
+    }
+    // And one custom design: a shallow 2-level, 64-core accelerator.
+    let custom = Design::new(vec![2, 32]);
+    let r = evaluate(&custom, &programs)?;
+    println!(
+        "{:<16} {:>10.1} {:>10.1} {:>9.2} {:>10.0}   (custom)",
+        r.name, r.perf_tops, r.power_w, r.efficiency, r.area_mm2
+    );
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Cloud-to-end portability with a 3-D video network: the same Cv3D
+//! program runs on the embedded (phone-class) instance, the desktop
+//! Cambricon-F1 and the Cambricon-F100 supercomputer — and is functionally
+//! verified on a tiny machine first.
+//!
+//! Run with `cargo run --release --example embedded_video`.
+
+use cambricon_f::core::{Machine, MachineConfig};
+use cambricon_f::tensor::{gen::DataGen, Memory, Shape};
+use cambricon_f::workloads::nets::video3d_program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Functional check on a miniature clip and machine.
+    let small = video3d_program(1, 4, 8)?;
+    let mut mem = Memory::new(small.extern_elems() as usize);
+    let data = DataGen::new(3).uniform(
+        Shape::new(vec![small.extern_elems() as usize]),
+        -0.5,
+        0.5,
+    );
+    mem.as_mut_slice().copy_from_slice(data.data());
+    let mut flat = mem.clone();
+    cambricon_f::ops::exec::execute_program(&small, &mut flat)?;
+    Machine::new(MachineConfig::tiny(2, 2, 32 << 10)).run(&small, &mut mem)?;
+    let region = &small.symbols().last().unwrap().1;
+    let a = flat.read_region(region)?;
+    let b = mem.read_region(region)?;
+    assert!(a.approx_eq(&b, 1e-3), "fractal Cv3D diverged");
+    println!("Cv3D network functionally verified against flat execution ✓\n");
+
+    // The same video workload, phone → desktop → supercomputer.
+    let clip = video3d_program(8, 16, 112)?;
+    for cfg in [
+        MachineConfig::cambricon_f_embedded(),
+        MachineConfig::cambricon_f1(),
+        MachineConfig::cambricon_f100(),
+    ] {
+        let name = cfg.name.clone();
+        let report = Machine::new(cfg).simulate(&clip)?;
+        println!(
+            "{name:<22} {:>9.3} ms  {:>7.2} Tops  ({:>5.1}% of peak)",
+            report.makespan_seconds * 1e3,
+            report.attained_ops / 1e12,
+            report.peak_fraction * 100.0
+        );
+    }
+    println!("\nSame binary, three machine scales — zero porting (the paper's thesis).");
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! ResNet-152 inference (Table 5) on both Cambricon-F instances, with the
+//! per-level traffic statistics that drive the paper's analysis.
+//!
+//! Run with `cargo run --release --example resnet_inference`.
+
+use cambricon_f::core::{Machine, MachineConfig};
+use cambricon_f::workloads::nets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = nets::resnet152();
+    println!(
+        "{}: {:.2e} params, {:.2e} ops/image (paper: 6.03e7 / 2.26e10)",
+        net.name,
+        net.param_count() as f64,
+        net.ops_per_image() as f64
+    );
+    for (cfg, batch) in [
+        (MachineConfig::cambricon_f1(), 16usize),
+        (MachineConfig::cambricon_f100(), 64),
+    ] {
+        let program = nets::build_program(&net, batch)?;
+        let name = cfg.name.clone();
+        let machine = Machine::new(cfg);
+        let report = machine.simulate(&program)?;
+        println!(
+            "\n{name} (batch {batch}): {:.2} ms → {:.0} images/s, {:.2} Tops ({:.1}% of peak)",
+            report.makespan_seconds * 1e3,
+            batch as f64 / report.makespan_seconds,
+            report.attained_ops / 1e12,
+            report.peak_fraction * 100.0,
+        );
+        for (i, l) in report.stats.levels.iter().enumerate() {
+            println!(
+                "  level {i}: {:>9} sub-instructions, {:>8.2} GB link traffic, {:>7.2} GB elided by TTT",
+                l.insts,
+                l.dma_bytes as f64 / 1e9,
+                l.elided_bytes as f64 / 1e9
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,123 @@
+//! `cfrun` — run a FISA assembly program on a simulated Cambricon-F
+//! machine.
+//!
+//! ```text
+//! cfrun <program.cfasm> [--machine f1|f100|embedded|tiny] [--exec] [--timeline N]
+//! ```
+//!
+//! By default the program is performance-simulated; `--exec` additionally
+//! executes it functionally (inputs seeded) and prints the output symbols;
+//! `--timeline N` prints an N-level Gantt chart.
+
+use std::process::ExitCode;
+
+use cambricon_f::core::{Machine, MachineConfig};
+use cambricon_f::isa::parse_program;
+use cambricon_f::tensor::{gen::DataGen, Memory, Shape};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cfrun <program.cfasm> [--machine f1|f100|embedded|tiny] [--exec] [--timeline N]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else { return usage() };
+    let mut machine_name = "f1".to_string();
+    let mut do_exec = false;
+    let mut timeline_depth: Option<usize> = None;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--machine" => match it.next() {
+                Some(m) => machine_name = m.clone(),
+                None => return usage(),
+            },
+            "--exec" => do_exec = true,
+            "--timeline" => match it.next().and_then(|d| d.parse().ok()) {
+                Some(d) => timeline_depth = Some(d),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let cfg = match machine_name.as_str() {
+        "f1" => MachineConfig::cambricon_f1(),
+        "f100" => MachineConfig::cambricon_f100(),
+        "embedded" => MachineConfig::cambricon_f_embedded(),
+        "tiny" => MachineConfig::tiny(2, 2, 64 << 10),
+        other => {
+            eprintln!("unknown machine `{other}`");
+            return usage();
+        }
+    };
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match parse_program(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{path}: {} instructions, {} KiB external data, machine {}",
+        program.instructions().len(),
+        program.extern_elems() * 4 / 1024,
+        cfg.name
+    );
+
+    let machine = Machine::new(cfg);
+    match machine.simulate(&program) {
+        Ok(report) => {
+            println!(
+                "simulated: {:.3} ms | {:.3} Tops attained ({:.1}% of peak) | root intensity {:.1} ops/B | root traffic {:.3} MB",
+                report.makespan_seconds * 1e3,
+                report.attained_ops / 1e12,
+                report.peak_fraction * 100.0,
+                report.root_intensity,
+                report.stats.root_traffic_bytes() as f64 / 1e6,
+            );
+        }
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(depth) = timeline_depth {
+        match machine.timeline(&program, depth) {
+            Ok(tl) => print!("{}", tl.render_ascii(depth + 1, 100)),
+            Err(e) => eprintln!("timeline failed: {e}"),
+        }
+    }
+
+    if do_exec {
+        let mut mem = Memory::new(program.extern_elems() as usize);
+        let data = DataGen::new(0xCAFE).uniform(
+            Shape::new(vec![program.extern_elems() as usize]),
+            -1.0,
+            1.0,
+        );
+        mem.as_mut_slice().copy_from_slice(data.data());
+        if let Err(e) = machine.run(&program, &mut mem) {
+            eprintln!("functional execution failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        for (name, region) in program.symbols().iter().rev().take(3).rev() {
+            let t = mem.read_region(region).expect("read back");
+            let preview: Vec<String> =
+                t.data().iter().take(6).map(|v| format!("{v:.4}")).collect();
+            println!("{name} {} = [{}…]", region.shape(), preview.join(", "));
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,47 @@
+//! **cambricon-f** — a from-scratch Rust reproduction of *Cambricon-F:
+//! Machine Learning Computers with Fractal von Neumann Architecture*
+//! (Zhao et al., ISCA 2019).
+//!
+//! This façade crate re-exports the workspace:
+//!
+//! * [`tensor`] — shapes, strided regions, memories ([`cf_tensor`])
+//! * [`isa`] — FISA, the fractal instruction set ([`cf_isa`])
+//! * [`ops`] — reference kernels + fractal decomposition theory ([`cf_ops`])
+//! * [`core`] — the fractal machine: controller, pipeline, simulator
+//!   ([`cf_core`])
+//! * [`model`] — roofline/MBOI/area/energy/GPU models ([`cf_model`])
+//! * [`workloads`] — the paper's benchmark suite ([`cf_workloads`])
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cambricon_f::core::{Machine, MachineConfig};
+//! use cambricon_f::isa::{Opcode, ProgramBuilder};
+//! use cambricon_f::tensor::Memory;
+//!
+//! // Write one sequential program…
+//! let mut b = ProgramBuilder::new();
+//! let x = b.alloc("x", vec![64, 64]);
+//! let w = b.alloc("w", vec![64, 64]);
+//! b.apply(Opcode::MatMul, [x, w])?;
+//! let program = b.build();
+//!
+//! // …and run the same binary on machines of any scale.
+//! for cfg in [MachineConfig::cambricon_f1(), MachineConfig::cambricon_f100()] {
+//!     let report = Machine::new(cfg).simulate(&program)?;
+//!     assert!(report.makespan_seconds > 0.0);
+//! }
+//!
+//! // Functionally, fractal execution is exact.
+//! let machine = Machine::new(MachineConfig::tiny(2, 2, 16 << 10));
+//! let mut mem = Memory::new(program.extern_elems() as usize);
+//! machine.run(&program, &mut mem)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use cf_core as core;
+pub use cf_isa as isa;
+pub use cf_model as model;
+pub use cf_ops as ops;
+pub use cf_tensor as tensor;
+pub use cf_workloads as workloads;

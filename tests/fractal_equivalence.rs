@@ -1,0 +1,172 @@
+//! Cross-crate integration: fractal execution on arbitrary machines must
+//! be (ε-)equivalent to flat reference execution — the paper's equation
+//! (1), end to end, including property-based coverage over random shapes
+//! and hierarchies.
+
+use cambricon_f::core::{Machine, MachineConfig};
+use cambricon_f::isa::{Opcode, OpParams, Program, ProgramBuilder};
+use cambricon_f::tensor::{gen::DataGen, Memory, Shape};
+use proptest::prelude::*;
+
+fn seeded_memory(program: &Program, seed: u64, lo: f32, hi: f32) -> Memory {
+    let mut mem = Memory::new(program.extern_elems() as usize);
+    let t = DataGen::new(seed).uniform(
+        Shape::new(vec![program.extern_elems() as usize]),
+        lo,
+        hi,
+    );
+    mem.as_mut_slice().copy_from_slice(t.data());
+    mem
+}
+
+fn assert_equivalent(program: &Program, cfg: &MachineConfig, seed: u64, tol: f32) {
+    let mut flat = seeded_memory(program, seed, -1.0, 1.0);
+    cambricon_f::ops::exec::execute_program(program, &mut flat).expect("flat execution");
+    let mut fractal = seeded_memory(program, seed, -1.0, 1.0);
+    Machine::new(cfg.clone()).run(program, &mut fractal).expect("fractal execution");
+    for (name, region) in program.symbols() {
+        let a = flat.read_region(region).unwrap();
+        let b = fractal.read_region(region).unwrap();
+        assert!(
+            a.approx_eq(&b, tol),
+            "symbol `{name}` diverged on {} (max diff {:?})",
+            cfg.name,
+            a.max_abs_diff(&b)
+        );
+    }
+}
+
+#[test]
+fn small_cnn_on_every_machine_shape() {
+    let mut b = ProgramBuilder::new();
+    let x = b.alloc("x", vec![2, 10, 10, 3]);
+    let w1 = b.alloc("w1", vec![3, 3, 3, 8]);
+    let c = b
+        .apply_with(
+            Opcode::Cv2D,
+            OpParams::Conv(cambricon_f::isa::ConvParams::same(1, 1)),
+            [x, w1],
+        )
+        .unwrap();
+    let r = b.apply(Opcode::Act1D, [c[0]]).unwrap();
+    let p = b.apply(Opcode::Max2D, [r[0]]).unwrap();
+    let w2 = b.alloc("w2", vec![200, 10]);
+    // Flatten via a raw 2-D aliased matmul input.
+    let flat_in = b.alloc("flat", vec![2, 200]);
+    let src = b.region(p[0]).clone();
+    let dst = b.region(flat_in).clone();
+    b.push_raw(
+        cambricon_f::isa::Instruction::new(
+            Opcode::Act1D,
+            OpParams::None,
+            vec![cambricon_f::tensor::Region::contiguous(
+                src.offset(),
+                Shape::new(vec![2, 200]),
+            )],
+            vec![dst],
+        )
+        .unwrap(),
+    );
+    b.apply(Opcode::MatMul, [flat_in, w2]).unwrap();
+    let program = b.build();
+
+    for cfg in [
+        MachineConfig::tiny(1, 2, 8 << 10),
+        MachineConfig::tiny(1, 7, 8 << 10),
+        MachineConfig::tiny(2, 3, 8 << 10),
+        MachineConfig::tiny(3, 2, 8 << 10),
+    ] {
+        assert_equivalent(&program, &cfg, 11, 1e-3);
+    }
+}
+
+#[test]
+fn optimisation_flags_never_change_results() {
+    use cambricon_f::core::OptFlags;
+    let mut b = ProgramBuilder::new();
+    let a = b.alloc("a", vec![40, 24]);
+    let w = b.alloc("w", vec![24, 32]);
+    let h = b.apply(Opcode::MatMul, [a, w]).unwrap();
+    b.apply(Opcode::Act1D, [h[0]]).unwrap();
+    let program = b.build();
+    for opts in [
+        OptFlags::default(),
+        OptFlags::none(),
+        OptFlags { ttt: true, concat: false, broadcast: false, ..Default::default() },
+        OptFlags { ttt: false, concat: true, broadcast: true, ..Default::default() },
+    ] {
+        let cfg = MachineConfig::tiny(2, 2, 8 << 10).with_opts(opts);
+        assert_equivalent(&program, &cfg, 5, 1e-3);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn matmul_fractal_equivalence(
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..40,
+        depth in 1usize..3,
+        fanout in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let mut b = ProgramBuilder::new();
+        let a = b.alloc("a", vec![m, k]);
+        let w = b.alloc("w", vec![k, n]);
+        b.apply(Opcode::MatMul, [a, w]).unwrap();
+        let program = b.build();
+        assert_equivalent(
+            &program,
+            &MachineConfig::tiny(depth, fanout, 6 << 10),
+            seed,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn sort_with_payload_fractal_equivalence(
+        n in 1usize..400,
+        fanout in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut b = ProgramBuilder::new();
+        let keys = b.alloc("k", vec![n]);
+        let vals = b.alloc("v", vec![n]);
+        let sk = b.alloc("sk", vec![n]);
+        let sv = b.alloc("sv", vec![n]);
+        b.emit(Opcode::Sort1D, [keys, vals], [sk, sv]).unwrap();
+        let program = b.build();
+        // Sorting is permutation-exact: zero tolerance.
+        assert_equivalent(&program, &MachineConfig::tiny(1, fanout, 4 << 10), seed, 0.0);
+    }
+
+    #[test]
+    fn eltwise_and_horizontal_fractal_equivalence(
+        n in 1usize..3000,
+        seed in 0u64..1000,
+    ) {
+        let mut b = ProgramBuilder::new();
+        let x = b.alloc("x", vec![n]);
+        let y = b.alloc("y", vec![n]);
+        let z = b.apply(Opcode::Mul1D, [x, y]).unwrap();
+        b.apply(Opcode::HSum1D, [z[0]]).unwrap();
+        let program = b.build();
+        assert_equivalent(&program, &MachineConfig::tiny(2, 2, 4 << 10), seed, 0.05);
+    }
+
+    #[test]
+    fn pooling_fractal_equivalence(
+        nb in 1usize..4,
+        hw in 4usize..12,
+        c in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut b = ProgramBuilder::new();
+        let x = b.alloc("x", vec![nb, hw, hw, c]);
+        b.apply(Opcode::Max2D, [x]).unwrap();
+        let program = b.build();
+        assert_equivalent(&program, &MachineConfig::tiny(2, 3, 4 << 10), seed, 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Cross-crate integration: sanity invariants of the performance model
+//! and the paper-shape claims that the experiment harness relies on.
+
+use cambricon_f::core::{Machine, MachineConfig, OptFlags};
+use cambricon_f::isa::{Opcode, Program, ProgramBuilder};
+use cambricon_f::model::gpu::GpuSystem;
+use cambricon_f::workloads::{ml, nets};
+
+fn matmul(n: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let a = b.alloc("a", vec![n, n]);
+    let w = b.alloc("w", vec![n, n]);
+    b.apply(Opcode::MatMul, [a, w]).unwrap();
+    b.build()
+}
+
+#[test]
+fn attained_performance_never_exceeds_peak() {
+    for cfg in [MachineConfig::cambricon_f1(), MachineConfig::cambricon_f100()] {
+        let machine = Machine::new(cfg);
+        for program in [matmul(512), matmul(2048)] {
+            let r = machine.simulate(&program).unwrap();
+            assert!(r.peak_fraction <= 1.0 + 1e-9, "{}", r.peak_fraction);
+            assert!(r.steady_seconds <= r.makespan_seconds + 1e-12);
+        }
+    }
+}
+
+#[test]
+fn optimisations_never_hurt() {
+    let program = matmul(2048);
+    let base = Machine::new(MachineConfig::cambricon_f1().with_opts(OptFlags::none()))
+        .simulate(&program)
+        .unwrap();
+    let full = Machine::new(MachineConfig::cambricon_f1())
+        .simulate(&program)
+        .unwrap();
+    assert!(
+        full.makespan_seconds <= base.makespan_seconds * 1.001,
+        "optimisations slowed matmul: {} vs {}",
+        full.makespan_seconds,
+        base.makespan_seconds
+    );
+    assert!(full.stats.root_traffic_bytes() <= base.stats.root_traffic_bytes());
+}
+
+#[test]
+fn f1_beats_1080ti_on_the_dl_benchmarks() {
+    // The Figure 15(a) headline, on the two deep networks (fast to
+    // simulate; the full seven-benchmark suite runs in the bench harness).
+    let machine = Machine::new(MachineConfig::cambricon_f1());
+    let gpu = GpuSystem::gtx_1080ti();
+    for (name, program) in [
+        ("VGG-16", nets::build_program(&nets::vgg16(), 16).unwrap()),
+        ("ResNet-152", nets::build_program(&nets::resnet152(), 16).unwrap()),
+    ] {
+        let cf = machine.simulate(&program).unwrap().attained_ops;
+        let gp = gpu.attained_ops(name).unwrap();
+        assert!(
+            cf > 1.4 * gp,
+            "{name}: Cambricon-F1 {:.2} Tops vs 1080Ti {:.2} Tops",
+            cf / 1e12,
+            gp / 1e12
+        );
+    }
+}
+
+#[test]
+fn f1_reaches_the_ridge_point_on_vgg() {
+    // §6: "The operational intensity of all seven benchmarks on
+    // Cambricon-F1 has reached the ridge point of the roofline."
+    let cfg = MachineConfig::cambricon_f1();
+    let ridge = cfg.peak_ops() / cfg.root_bw_bytes();
+    let r = Machine::new(cfg)
+        .simulate(&nets::build_program(&nets::vgg16(), 16).unwrap())
+        .unwrap();
+    assert!(
+        r.root_intensity >= ridge,
+        "VGG-16 OI {:.1} below the ridge {ridge:.1}",
+        r.root_intensity
+    );
+}
+
+#[test]
+fn control_bound_ml_hurts_f100_more_than_f1() {
+    // §6: the small-granularity benchmarks perform *relatively* worse on
+    // the bigger machine (control latency cannot be hidden).
+    let size = ml::MlSize { samples: 65536, dims: 512, classes: 128, queries: 64, iters: 1 };
+    let program = ml::lvq_benchmark_program(&size).unwrap();
+    let f1 = Machine::new(MachineConfig::cambricon_f1()).simulate(&program).unwrap();
+    let f100 = Machine::new(MachineConfig::cambricon_f100()).simulate(&program).unwrap();
+    assert!(
+        f100.peak_fraction < f1.peak_fraction,
+        "LVQ peak fraction should drop on F100: {} vs {}",
+        f100.peak_fraction,
+        f1.peak_fraction
+    );
+}
+
+#[test]
+fn deeper_hierarchies_add_no_work_only_latency() {
+    // Adding a level never changes the useful MAC count.
+    let program = matmul(1024);
+    let shallow = Machine::new(MachineConfig::tiny(1, 4, 4 << 20))
+        .simulate(&program)
+        .unwrap();
+    let deep = Machine::new(MachineConfig::tiny(3, 4, 4 << 20))
+        .simulate(&program)
+        .unwrap();
+    assert_eq!(shallow.stats.mac_ops, deep.stats.mac_ops);
+    assert_eq!(shallow.stats.mac_ops, 2 * 1024u64.pow(3));
+}
+
+#[test]
+fn same_program_text_runs_on_both_instances() {
+    // Programming-productivity headline: serialise the program to FISA
+    // assembly, parse it back, and run the identical text on both
+    // machines.
+    let program = matmul(256);
+    let text = cambricon_f::isa::render_program(&program);
+    let reparsed = cambricon_f::isa::parse_program(&text).unwrap();
+    assert_eq!(program.instructions(), reparsed.instructions());
+    for cfg in [MachineConfig::cambricon_f1(), MachineConfig::cambricon_f100()] {
+        assert!(Machine::new(cfg).simulate(&reparsed).unwrap().makespan_seconds > 0.0);
+    }
+}
+
+#[test]
+fn timeline_is_consistent_with_simulation() {
+    let program = nets::build_program(&nets::mlp3(), 32).unwrap();
+    let machine = Machine::new(MachineConfig::cambricon_f1());
+    let report = machine.simulate(&program).unwrap();
+    let timeline = machine.timeline(&program, 2).unwrap();
+    // The timeline's makespan is derived from the same pipeline schedule.
+    let ratio = timeline.makespan / report.makespan_seconds;
+    assert!((0.5..=2.0).contains(&ratio), "timeline {ratio} off simulation");
+}
