@@ -1,0 +1,194 @@
+//! Offline stand-in for the crates.io `criterion` crate (0.5 API subset).
+//!
+//! The build container has no registry access, so this workspace vendors a
+//! small wall-clock benchmark harness with the same surface the repo's
+//! benches use: [`Criterion::bench_function`], [`Bencher::iter`], the
+//! [`criterion_group!`]/[`criterion_main!`] macros and the
+//! `sample_size`/`measurement_time` builders. Per benchmark it prints the
+//! minimum, median and mean sample time — no HTML reports, no statistical
+//! regression testing.
+//!
+//! Set `CF_BENCH_SAMPLES` to override every group's sample count (handy in
+//! CI, where `CF_BENCH_SAMPLES=3` keeps `cargo bench` fast).
+//!
+//! # Examples
+//!
+//! ```
+//! use criterion::{black_box, Criterion};
+//!
+//! let mut c = Criterion::default().sample_size(5);
+//! c.bench_function("sum_1k", |b| {
+//!     b.iter(|| (0..1000u64).map(black_box).sum::<u64>())
+//! });
+//! ```
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver: times closures and prints a summary line each.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, measurement_time: Duration::from_secs(2) }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total time spent measuring one benchmark; sampling stops
+    /// early once the cap is exceeded.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; this harness takes no CLI args.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let samples = match std::env::var("CF_BENCH_SAMPLES") {
+            Ok(v) => v.parse().unwrap_or(self.sample_size).max(1),
+            Err(_) => self.sample_size,
+        };
+        let mut bencher = Bencher { samples: Vec::with_capacity(samples) };
+        // Warm-up run (also primes caches the way criterion's warm-up does).
+        f(&mut bencher);
+        bencher.samples.clear();
+        let started = Instant::now();
+        while bencher.samples.len() < samples && started.elapsed() < self.measurement_time {
+            f(&mut bencher);
+        }
+        bencher.report(name);
+    }
+}
+
+/// Hands the benchmark body to the timing loop.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one sample of `f` (criterion's `iter`). Each call to the
+    /// routine is one sample; the driver invokes the enclosing closure
+    /// until it has enough samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        let out = f();
+        self.samples.push(t0.elapsed());
+        drop(black_box(out));
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:40} no samples");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!(
+            "{name:40} min {:>12} | median {:>12} | mean {:>12} | {} samples",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            sorted.len(),
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, in either criterion dialect:
+/// `criterion_group!(name, target_a, target_b)` or the
+/// `name = ..; config = ..; targets = ..` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3).measurement_time(Duration::from_secs(1));
+        let mut runs = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            runs += 1;
+        });
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_millis(2500)), "2.500 s");
+    }
+
+    criterion_group!(demo_group, demo_bench);
+
+    fn demo_bench(c: &mut Criterion) {
+        c.bench_function("demo", |b| b.iter(|| black_box(2 * 2)));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        std::env::set_var("CF_BENCH_SAMPLES", "2");
+        demo_group();
+        std::env::remove_var("CF_BENCH_SAMPLES");
+    }
+}

@@ -1,0 +1,173 @@
+//! Offline stand-in for the crates.io `rand` crate (0.8 API subset).
+//!
+//! The build container has no registry access, so this workspace vendors
+//! the few pieces of `rand` it actually uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`] and [`Rng::gen_range`] over integer and
+//! float ranges. The generator is SplitMix64 — deterministic across runs
+//! and platforms, which is all the synthetic-data generators in
+//! `cf-tensor::gen` require (values only need to be reproducible, not
+//! cryptographic).
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut a = StdRng::seed_from_u64(7);
+//! let mut b = StdRng::seed_from_u64(7);
+//! let xa: f32 = a.gen_range(-1.0f32..1.0);
+//! let xb: f32 = b.gen_range(-1.0f32..1.0);
+//! assert_eq!(xa, xb);
+//! assert!((-1.0..1.0).contains(&xa));
+//! ```
+
+use std::ops::Range;
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// A generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every bit source.
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open, as in real `rand`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Ranges that can be sampled uniformly, producing a `T`. Generic over the
+/// output (rather than using an associated type) so that a literal like
+/// `-0.5..0.5` adopts the binding's float width, exactly as with real
+/// `rand`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample using `rng`'s bits.
+    fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+/// A uniform `f64` in `[0, 1)` from 53 random bits.
+fn unit_f64<G: RngCore + ?Sized>(rng: &mut G) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u = unit_f64(rng);
+                let v = (self.start as f64 + (self.end as f64 - self.start as f64) * u) as $t;
+                // `as`-rounding can land exactly on the excluded upper
+                // bound; fold that measure-zero case back to the start.
+                if v >= self.end { self.start } else { v }
+            }
+        }
+    )*};
+}
+impl_float_range!(f32, f64);
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64. Unlike the real
+    /// `StdRng` it is *not* cryptographically secure, but it is fast,
+    /// deterministic across platforms, and statistically fine for
+    /// synthetic benchmark data.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014).
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f32 = r.gen_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&x), "{x}");
+            let n = r.gen_range(0usize..7);
+            assert!(n < 7);
+            let m = r.gen_range(5u64..6);
+            assert_eq!(m, 5);
+            let i = r.gen_range(-3i32..4);
+            assert!((-3..4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn values_cover_the_range() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..200 {
+            seen[r.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+}

@@ -85,9 +85,8 @@ pub fn run_concat() -> String {
 pub fn run_broadcast() -> String {
     let on = run_with(OptFlags::default());
     let off = run_with(OptFlags { broadcast: false, ..Default::default() });
-    let traffic = |r: &PerfReport| -> f64 {
-        r.stats.levels.iter().map(|l| l.dma_bytes).sum::<u64>() as f64
-    };
+    let traffic =
+        |r: &PerfReport| -> f64 { r.stats.levels.iter().map(|l| l.dma_bytes).sum::<u64>() as f64 };
     let gain = off.makespan_seconds / on.makespan_seconds - 1.0;
     let saved = 1.0 - traffic(&on) / traffic(&off);
     format!(

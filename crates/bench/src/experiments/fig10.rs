@@ -8,7 +8,15 @@ use crate::table::Table;
 pub fn run() -> String {
     let mut t = Table::new(
         "Figure 10 — MBOI(M) on one node (ops/byte)",
-        &["Memory", "MatMul theory", "MatMul measured", "Conv theory", "Conv measured", "EltW theory", "EltW measured"],
+        &[
+            "Memory",
+            "MatMul theory",
+            "MatMul measured",
+            "Conv theory",
+            "Conv measured",
+            "EltW theory",
+            "EltW measured",
+        ],
     );
     for shift in [18u32, 20, 22, 24] {
         let m = 1u64 << shift;

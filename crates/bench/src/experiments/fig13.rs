@@ -14,10 +14,9 @@ pub fn run() -> String {
     let size = MlSize { samples: 65_536, dims: 512, classes: 32, queries: 16, iters: 1 };
     let program = knn_program(&size, 16).expect("knn");
     let mut out = String::new();
-    for (cfg, depth) in [
-        (MachineConfig::cambricon_f1(), 2usize),
-        (MachineConfig::cambricon_f100(), 3usize),
-    ] {
+    for (cfg, depth) in
+        [(MachineConfig::cambricon_f1(), 2usize), (MachineConfig::cambricon_f100(), 3usize)]
+    {
         let machine = Machine::new(cfg.clone());
         let tl = machine.timeline(&program, depth).expect("timeline");
         out.push_str(&format!(
@@ -38,7 +37,7 @@ pub fn run() -> String {
     // Figure 12 companion: the same task at different granularities.
     let cfg = MachineConfig::cambricon_f1();
     if let Ok(report) = cf_core::inspect::decomposition_report(&cfg, &program) {
-        out.push_str("\n");
+        out.push('\n');
         out.push_str(&report.render(&cfg));
     }
     out.push_str(

@@ -92,18 +92,8 @@ fn compare(cfg: &MachineConfig, gpu: &GpuSystem, big: bool, paper_mean: f64) -> 
 
 /// Runs the experiment.
 pub fn run() -> String {
-    let mut out = compare(
-        &MachineConfig::cambricon_f1(),
-        &GpuSystem::gtx_1080ti(),
-        false,
-        5.14,
-    );
+    let mut out = compare(&MachineConfig::cambricon_f1(), &GpuSystem::gtx_1080ti(), false, 5.14);
     out.push('\n');
-    out.push_str(&compare(
-        &MachineConfig::cambricon_f100(),
-        &GpuSystem::dgx1(),
-        true,
-        2.82,
-    ));
+    out.push_str(&compare(&MachineConfig::cambricon_f100(), &GpuSystem::dgx1(), true, 2.82));
     out
 }

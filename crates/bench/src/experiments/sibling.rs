@@ -50,11 +50,10 @@ pub fn run() -> String {
         let base = Machine::new(MachineConfig::cambricon_f100())
             .simulate(program)
             .expect("baseline simulation");
-        let ext = Machine::new(
-            MachineConfig::cambricon_f100().with_opts(OptFlags::with_sibling_links()),
-        )
-        .simulate(program)
-        .expect("extension simulation");
+        let ext =
+            Machine::new(MachineConfig::cambricon_f100().with_opts(OptFlags::with_sibling_links()))
+                .simulate(program)
+                .expect("extension simulation");
         let sib: u64 = ext.stats.levels.iter().map(|l| l.sibling_bytes).sum();
         t.row(&[
             (*name).into(),

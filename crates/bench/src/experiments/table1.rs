@@ -32,10 +32,8 @@ pub fn run() -> String {
     }
     let mut out = t.render();
     out.push('\n');
-    let mut cmp = Table::new(
-        "Dominant primitive vs paper",
-        &["Technique", "Primitive", "Paper", "Measured"],
-    );
+    let mut cmp =
+        Table::new("Dominant primitive vs paper", &["Technique", "Primitive", "Paper", "Measured"]);
     for (tech, prim, paper) in PAPER {
         let row = rows.iter().find(|r| r.technique == tech).unwrap();
         let p = Primitive::ALL.iter().copied().find(|p| p.label() == prim).unwrap();

@@ -2,7 +2,7 @@
 //! operators, data redundancy) — cross-checked against the live axis
 //! metadata of `cf-ops`.
 
-use cf_isa::{ConvParams, Instruction, Opcode, OpParams};
+use cf_isa::{ConvParams, Instruction, OpParams, Opcode};
 use cf_ops::fractal::{split_axes, table2, Dependency};
 use cf_tensor::{Region, Shape};
 

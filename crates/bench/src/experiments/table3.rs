@@ -6,10 +6,7 @@ use crate::table::Table;
 
 /// Runs the experiment.
 pub fn run() -> String {
-    let mut t = Table::new(
-        "Table 3 — FISA instructions",
-        &["Type", "Name", "Prefers LFU"],
-    );
+    let mut t = Table::new("Table 3 — FISA instructions", &["Type", "Name", "Prefers LFU"]);
     for op in Opcode::ALL {
         t.row(&[
             op.category().to_string(),
@@ -18,6 +15,9 @@ pub fn run() -> String {
         ]);
     }
     let mut out = t.render();
-    out.push_str(&format!("\n{} instructions across 5 categories (paper Table 3 lists the same inventory).\n", Opcode::ALL.len()));
+    out.push_str(&format!(
+        "\n{} instructions across 5 categories (paper Table 3 lists the same inventory).\n",
+        Opcode::ALL.len()
+    ));
     out
 }

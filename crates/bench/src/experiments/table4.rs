@@ -24,7 +24,13 @@ pub fn run() -> String {
     ];
     let mut t = Table::new(
         "Table 4 — hierarchy designs (paper | measured)",
-        &["Hierarchy", "Power W (paper|model)", "Perf Tops (paper|sim)", "Tops/J (paper|model)", "Area mm2 (paper|model)"],
+        &[
+            "Hierarchy",
+            "Power W (paper|model)",
+            "Perf Tops (paper|sim)",
+            "Tops/J (paper|model)",
+            "Area mm2 (paper|model)",
+        ],
     );
     for (design, paper) in table4_designs().iter().zip(PAPER) {
         let r = evaluate(design, &programs).expect("design evaluation");

@@ -10,8 +10,11 @@
 pub mod experiments;
 pub mod table;
 
-/// All experiments in DESIGN.md §5 order: `(id, title, runner)`.
-pub fn all_experiments() -> Vec<(&'static str, &'static str, fn() -> String)> {
+/// One experiment: `(id, title, runner)`.
+pub type Experiment = (&'static str, &'static str, fn() -> String);
+
+/// All experiments in DESIGN.md §5 order.
+pub fn all_experiments() -> Vec<Experiment> {
     use experiments::*;
     vec![
         ("table1", "Table 1: primitive decomposition of ML techniques", table1::run),

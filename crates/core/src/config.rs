@@ -1,5 +1,7 @@
 //! Machine configurations (paper Table 6) and optimisation switches.
 
+use cf_tensor::fingerprint::StableHasher;
+
 /// One inner level of a fractal machine: a node kind with its controller,
 /// local memory, LFUs and fan-out to the next level.
 #[derive(Debug, Clone, PartialEq)]
@@ -395,6 +397,42 @@ impl MachineConfig {
         self.opts = opts;
         self
     }
+
+    /// A stable 64-bit fingerprint of the machine's *structure*: every
+    /// level's geometry, throughput and latency figures, the leaf spec and
+    /// the optimisation switches.
+    ///
+    /// The display [`name`](MachineConfig::name) is deliberately excluded:
+    /// two configurations that differ only in name plan and simulate
+    /// identically, so they share one entry in `cf-runtime`'s plan/report
+    /// cache. The hash is FNV-1a over a canonical field encoding (`f64`s
+    /// by bit pattern) and is stable across processes, platforms and Rust
+    /// releases — see [`cf_tensor::fingerprint`].
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_usize(self.levels.len());
+        for level in &self.levels {
+            // Level names are structural: they only label Table-6 rows.
+            h.write_usize(level.fanout);
+            h.write_usize(level.lfu_lanes);
+            h.write_f64(level.lfu_lane_ops);
+            h.write_u64(level.mem_bytes);
+            h.write_f64(level.bw_bytes);
+            h.write_f64(level.decode_s);
+            h.write_f64(level.dma_latency_s);
+        }
+        h.write_f64(self.leaf.mac_ops);
+        h.write_f64(self.leaf.vec_ops);
+        h.write_u64(self.leaf.mem_bytes);
+        h.write_f64(self.leaf.bw_bytes);
+        h.write_f64(self.leaf.decode_s);
+        h.write_f64(self.leaf.dma_latency_s);
+        h.write_bool(self.opts.ttt);
+        h.write_bool(self.opts.concat);
+        h.write_bool(self.opts.broadcast);
+        h.write_bool(self.opts.sibling_links);
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -440,6 +478,27 @@ mod tests {
         assert_eq!(c.core_count(), 4);
         assert!(c.peak_ops() < 2.5e12);
         assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn fingerprint_is_structural() {
+        let f1 = MachineConfig::cambricon_f1();
+        // Deterministic and clone-stable.
+        assert_eq!(f1.fingerprint(), f1.clone().fingerprint());
+        // The display name does not participate.
+        let mut renamed = f1.clone();
+        renamed.name = "Cambricon-F1-as-deployed".into();
+        assert_eq!(renamed.fingerprint(), f1.fingerprint());
+        // Any structural field does.
+        let mut wider = f1.clone();
+        wider.levels[1].fanout += 1;
+        assert_ne!(wider.fingerprint(), f1.fingerprint());
+        let mut slower = f1.clone();
+        slower.leaf.mac_ops *= 0.5;
+        assert_ne!(slower.fingerprint(), f1.fingerprint());
+        assert_ne!(f1.clone().with_opts(OptFlags::none()).fingerprint(), f1.fingerprint());
+        // Distinct machines are distinct.
+        assert_ne!(MachineConfig::cambricon_f100().fingerprint(), f1.fingerprint());
     }
 
     #[test]

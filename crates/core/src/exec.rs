@@ -126,8 +126,7 @@ fn apply_reduce(
             let mut keys = partials[0][0].clone();
             let mut payload = with_payload.then(|| partials[0][1].clone());
             for p in &partials[1..] {
-                let (k, pl) =
-                    kernels::merge(&keys, &p[0], payload.as_ref(), p.get(1))?;
+                let (k, pl) = kernels::merge(&keys, &p[0], payload.as_ref(), p.get(1))?;
                 keys = k;
                 payload = pl;
             }
@@ -165,8 +164,11 @@ mod tests {
     /// input symbol.
     fn seeded_memory(program: &Program, seed: u64) -> Memory {
         let mut mem = Memory::new(program.extern_elems() as usize);
-        let t = DataGen::new(seed)
-            .uniform(Shape::new(vec![program.extern_elems() as usize]), -1.5, 1.5);
+        let t = DataGen::new(seed).uniform(
+            Shape::new(vec![program.extern_elems() as usize]),
+            -1.5,
+            1.5,
+        );
         mem.as_mut_slice().copy_from_slice(t.data());
         mem
     }
@@ -287,12 +289,8 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let x = b.alloc("x", vec![6, 8, 8, 3]);
         let w = b.alloc("w", vec![3, 3, 3, 5]);
-        b.apply_with(
-            Opcode::Cv2D,
-            cf_isa::OpParams::Conv(cf_isa::ConvParams::same(1, 1)),
-            [x, w],
-        )
-        .unwrap();
+        b.apply_with(Opcode::Cv2D, cf_isa::OpParams::Conv(cf_isa::ConvParams::same(1, 1)), [x, w])
+            .unwrap();
         let p = b.build();
         let on = MachineConfig::tiny(2, 2, 8 << 10);
         let off = MachineConfig::tiny(2, 2, 8 << 10).with_opts(crate::OptFlags::none());

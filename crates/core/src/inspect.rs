@@ -73,13 +73,8 @@ impl DecompositionReport {
         let mut out = String::new();
         out.push_str(&format!("decomposition on {}:\n", cfg.name));
         for (i, l) in self.levels.iter().enumerate() {
-            let name = if i < cfg.levels.len() {
-                cfg.levels[i].name.as_str()
-            } else {
-                "Core"
-            };
-            let ops: Vec<String> =
-                l.child_ops.iter().map(|(op, n)| format!("{op}×{n}")).collect();
+            let name = if i < cfg.levels.len() { cfg.levels[i].name.as_str() } else { "Core" };
+            let ops: Vec<String> = l.child_ops.iter().map(|(op, n)| format!("{op}×{n}")).collect();
             out.push_str(&format!(
                 "  L{i} {name:<7} steps {:>9}  ld {:>10} B  wb {:>10} B  g(·) {:>6}  local {:>7}  issues [{}]\n",
                 l.steps,
@@ -225,10 +220,7 @@ mod tests {
         let report = decomposition_report(&cfg, &matmul_program(1024)).unwrap();
         let g1 = report.mean_granularity_into(1);
         let g2 = report.mean_granularity_into(2);
-        assert!(
-            g1 > g2,
-            "FMP step granularity {g1} should exceed core step granularity {g2}"
-        );
+        assert!(g1 > g2, "FMP step granularity {g1} should exceed core step granularity {g2}");
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub struct Machine {
 }
 
 /// Result of a performance simulation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PerfReport {
     /// End-to-end execution time in seconds.
     pub makespan_seconds: f64,

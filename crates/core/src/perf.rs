@@ -141,8 +141,7 @@ impl<'a> PerfSim<'a> {
     ///
     /// Propagates planning errors.
     pub fn simulate(&self, program: &Program) -> Result<NodeOutcome, CoreError> {
-        let plan =
-            self.planner.plan_root(program.instructions(), program.extern_elems())?;
+        let plan = self.planner.plan_root(program.instructions(), program.extern_elems())?;
         self.time_plan(0, &plan, &[], &[], None)
     }
 
@@ -163,8 +162,7 @@ impl<'a> PerfSim<'a> {
             return Ok(Rc::clone(hit));
         }
         let plan = self.planner.plan_instruction(level, inst, false)?;
-        let outcome =
-            Rc::new(self.time_plan(level, &plan, resident, shared, Some(inst))?);
+        let outcome = Rc::new(self.time_plan(level, &plan, resident, shared, Some(inst))?);
         self.cache.borrow_mut().insert(key, Rc::clone(&outcome));
         Ok(outcome)
     }
@@ -216,7 +214,8 @@ impl<'a> PerfSim<'a> {
         } else {
             let parent = &cfg.levels[level - 1];
             let per_child = parent.bw_bytes / parent.fanout.max(1) as f64;
-            let lat = if is_leaf { cfg.leaf.dma_latency_s } else { cfg.levels[level].dma_latency_s };
+            let lat =
+                if is_leaf { cfg.leaf.dma_latency_s } else { cfg.levels[level].dma_latency_s };
             (per_child, parent.bw_bytes, lat)
         };
         let decode = if is_leaf { cfg.leaf.decode_s } else { cfg.levels[level].decode_s };
@@ -365,8 +364,7 @@ impl<'a> PerfSim<'a> {
         // --- WB ---------------------------------------------------------------
         let store_bytes: u64 =
             step.stores.iter().map(|s| s.bytes()).sum::<u64>() + reduce_parent_bytes;
-        t.wb = store_bytes as f64 / link_bw
-            + if store_bytes > 0 { dma_lat } else { 0.0 };
+        t.wb = store_bytes as f64 / link_bw + if store_bytes > 0 { dma_lat } else { 0.0 };
 
         // --- stats -------------------------------------------------------------
         let own = stats.root_level_mut();
@@ -386,8 +384,7 @@ impl<'a> PerfSim<'a> {
         shared: &[u32],
         incoming: Option<&Instruction>,
     ) -> Result<NodeOutcome, CoreError> {
-        let (times, stats) =
-            self.stage_times_of_plan(level, plan, resident, shared, incoming)?;
+        let (times, stats) = self.stage_times_of_plan(level, plan, resident, shared, incoming)?;
         let (schedule, makespan) = schedule_pipeline(plan, &times, self.cfg().opts.concat);
         let _ = schedule;
         let steady = steady_of(&times);
@@ -559,10 +556,8 @@ mod tests {
     fn ttt_ablation_increases_traffic() {
         let p = matmul_program(1024, 1024, 1024);
         let on = MachineConfig::cambricon_f1();
-        let off = MachineConfig::cambricon_f1().with_opts(crate::OptFlags {
-            ttt: false,
-            ..Default::default()
-        });
+        let off = MachineConfig::cambricon_f1()
+            .with_opts(crate::OptFlags { ttt: false, ..Default::default() });
         let s_on = PerfSim::new(&on).simulate(&p).unwrap();
         let s_off = PerfSim::new(&off).simulate(&p).unwrap();
         let t_on = s_on.stats.root_traffic_bytes();
@@ -577,25 +572,17 @@ mod tests {
         // Batched conv: weights are broadcast-shared among FFUs.
         let x = b.alloc("x", vec![32, 14, 14, 64]);
         let w = b.alloc("w", vec![3, 3, 64, 64]);
-        b.apply_with(
-            Opcode::Cv2D,
-            cf_isa::OpParams::Conv(cf_isa::ConvParams::same(1, 1)),
-            [x, w],
-        )
-        .unwrap();
+        b.apply_with(Opcode::Cv2D, cf_isa::OpParams::Conv(cf_isa::ConvParams::same(1, 1)), [x, w])
+            .unwrap();
         let p = b.build();
         let on = MachineConfig::cambricon_f1();
-        let off = MachineConfig::cambricon_f1().with_opts(crate::OptFlags {
-            broadcast: false,
-            ..Default::default()
-        });
+        let off = MachineConfig::cambricon_f1()
+            .with_opts(crate::OptFlags { broadcast: false, ..Default::default() });
         let s_on = PerfSim::new(&on).simulate(&p).unwrap();
         let s_off = PerfSim::new(&off).simulate(&p).unwrap();
-        let saved: u64 =
-            s_on.stats.levels.iter().map(|l| l.broadcast_saved_bytes).sum();
+        let saved: u64 = s_on.stats.levels.iter().map(|l| l.broadcast_saved_bytes).sum();
         assert!(saved > 0, "broadcasting should save parent-memory reads");
-        let traffic =
-            |s: &NodeOutcome| s.stats.levels.iter().map(|l| l.dma_bytes).sum::<u64>();
+        let traffic = |s: &NodeOutcome| s.stats.levels.iter().map(|l| l.dma_bytes).sum::<u64>();
         assert!(traffic(&s_off) > traffic(&s_on));
     }
 
@@ -603,10 +590,8 @@ mod tests {
     fn concat_ablation_never_speeds_up() {
         let p = matmul_program(1024, 1024, 1024);
         let on = MachineConfig::cambricon_f1();
-        let off = MachineConfig::cambricon_f1().with_opts(crate::OptFlags {
-            concat: false,
-            ..Default::default()
-        });
+        let off = MachineConfig::cambricon_f1()
+            .with_opts(crate::OptFlags { concat: false, ..Default::default() });
         let t_on = PerfSim::new(&on).simulate(&p).unwrap().makespan;
         let t_off = PerfSim::new(&off).simulate(&p).unwrap().makespan;
         assert!(t_off >= t_on * 0.999, "concat off ({t_off}) should not beat on ({t_on})");
@@ -621,8 +606,7 @@ mod tests {
         let y = b.alloc("y", vec![1 << 20]);
         b.emit(Opcode::Sort1D, [x], [y]).unwrap();
         let p = b.build();
-        let base =
-            PerfSim::new_owned_cfg_for_tests(MachineConfig::cambricon_f100(), &p);
+        let base = PerfSim::new_owned_cfg_for_tests(MachineConfig::cambricon_f100(), &p);
         let ext = PerfSim::new_owned_cfg_for_tests(
             MachineConfig::cambricon_f100().with_opts(crate::OptFlags::with_sibling_links()),
             &p,
@@ -647,10 +631,11 @@ mod tests {
             steps: vec![Step::default(), Step::default(), Step::default()],
             local_elems: 0,
         };
-        let times = vec![
-            StageTimes { id: 1.0, ld: 2.0, ex_full: 5.0, ex_steady: 3.0, rd: 1.0, wb: 2.0 };
-            3
-        ];
+        let times =
+            vec![
+                StageTimes { id: 1.0, ld: 2.0, ex_full: 5.0, ex_steady: 3.0, rd: 1.0, wb: 2.0 };
+                3
+            ];
         let (sched, makespan) = schedule_pipeline(&plan, &times, true);
         for w in sched.windows(2) {
             assert!(w[1].ld.0 >= w[0].ld.0);

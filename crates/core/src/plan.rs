@@ -161,8 +161,10 @@ impl<'a> Planner<'a> {
 
     /// Peak MAC throughput of the subtree rooted at `level` (one node).
     pub fn subtree_peak_ops(&self, level: usize) -> f64 {
-        let cores: u64 =
-            self.cfg.levels[level.min(self.cfg.levels.len())..].iter().map(|l| l.fanout as u64).product();
+        let cores: u64 = self.cfg.levels[level.min(self.cfg.levels.len())..]
+            .iter()
+            .map(|l| l.fanout as u64)
+            .product();
         cores.max(1) as f64 * self.cfg.leaf.mac_ops
     }
 
@@ -177,11 +179,9 @@ impl<'a> Planner<'a> {
             return 0;
         }
         match self.parallel_split(inst, fanout) {
-            Some(SplitOutcome::Reduce { pieces, .. }) => pieces
-                .iter()
-                .flat_map(|p| p.partial_shapes.iter())
-                .map(Shape::bytes)
-                .sum(),
+            Some(SplitOutcome::Reduce { pieces, .. }) => {
+                pieces.iter().flat_map(|p| p.partial_shapes.iter()).map(Shape::bytes).sum()
+            }
             _ => 0,
         }
     }
@@ -206,6 +206,7 @@ impl<'a> Planner<'a> {
     /// Sequential decomposition: split `sd` until each piece fits one
     /// recycled segment, appending pieces (and SD-level reductions) to
     /// `out` in execution order.
+    #[allow(clippy::too_many_arguments)]
     fn sd_rec(
         &self,
         level: usize,
@@ -241,11 +242,7 @@ impl<'a> Planner<'a> {
         // partials exceed the remaining static segment.
         let static_avail = alloc.static_remaining() * ELEM_BYTES;
         let Some(outcome) = self.choose_sd_split(level, &sd.inst, static_avail) else {
-            return Err(CoreError::CapacityExceeded {
-                level,
-                needed: footprint,
-                available: cap,
-            });
+            return Err(CoreError::CapacityExceeded { level, needed: footprint, available: cap });
         };
         match outcome {
             SplitOutcome::Direct(pieces) => {
@@ -279,10 +276,7 @@ impl<'a> Planner<'a> {
                         alloc.alloc_static(parity, out_elems)? + base,
                         out_shape.clone(),
                     ),
-                    Region::contiguous(
-                        alloc.alloc_static(parity, out_elems)? + base,
-                        out_shape,
-                    ),
+                    Region::contiguous(alloc.alloc_static(parity, out_elems)? + base, out_shape),
                 ];
                 let n_pieces = pieces.len();
                 for (i, piece) in pieces.into_iter().enumerate() {
@@ -340,16 +334,11 @@ impl<'a> Planner<'a> {
                         .collect::<Result<Vec<_>, CoreError>>()?;
                     partial_regions.push(regions);
                 }
-                let total_partial_elems: u64 = partial_regions
-                    .iter()
-                    .flat_map(|v| v.iter())
-                    .map(Region::numel)
-                    .sum();
+                let total_partial_elems: u64 =
+                    partial_regions.iter().flat_map(|v| v.iter()).map(Region::numel).sum();
                 let ops = match kind {
                     ReduceKind::Add | ReduceKind::Mul => total_partial_elems,
-                    ReduceKind::Merge => {
-                        total_partial_elems * (pieces.len().max(2)).ilog2() as u64
-                    }
+                    ReduceKind::Merge => total_partial_elems * (pieces.len().max(2)).ilog2() as u64,
                 };
                 let outputs = sd.inst.outputs.clone();
                 let out_space = sd.output_space.clone();
@@ -439,11 +428,8 @@ impl<'a> Planner<'a> {
             }
             let mut score = split_overhead_bytes(inst, &outcome) as f64;
             if let SplitOutcome::Reduce { pieces, kind } = &outcome {
-                let partial_bytes: u64 = pieces
-                    .iter()
-                    .flat_map(|q| q.partial_shapes.iter())
-                    .map(Shape::bytes)
-                    .sum();
+                let partial_bytes: u64 =
+                    pieces.iter().flat_map(|q| q.partial_shapes.iter()).map(Shape::bytes).sum();
                 // Accumulating reductions need 3× the output block in the
                 // static segment regardless of piece count; merges need
                 // every partial at once.
@@ -486,25 +472,16 @@ impl<'a> Planner<'a> {
                         }
                     }
                 } else {
-                    total += pieces
-                        .iter()
-                        .flat_map(|q| q.inputs.iter())
-                        .map(Region::bytes)
-                        .sum::<u64>();
+                    total +=
+                        pieces.iter().flat_map(|q| q.inputs.iter()).map(Region::bytes).sum::<u64>();
                 }
                 total.saturating_sub(base)
             }
             SplitOutcome::Reduce { pieces, .. } => {
-                let inputs: u64 = pieces
-                    .iter()
-                    .flat_map(|q| q.inputs.iter())
-                    .map(Region::bytes)
-                    .sum();
-                let partials: u64 = pieces
-                    .iter()
-                    .flat_map(|q| q.partial_shapes.iter())
-                    .map(Shape::bytes)
-                    .sum();
+                let inputs: u64 =
+                    pieces.iter().flat_map(|q| q.inputs.iter()).map(Region::bytes).sum();
+                let partials: u64 =
+                    pieces.iter().flat_map(|q| q.partial_shapes.iter()).map(Shape::bytes).sum();
                 (inputs + 2 * partials).saturating_sub(base)
             }
         }
@@ -612,7 +589,15 @@ impl<'a> Planner<'a> {
         let mem_elems = self.cfg.mem_bytes_at(level) / ELEM_BYTES;
         let mut alloc = SegmentedAllocator::new(mem_elems);
         let mut items = Vec::new();
-        self.sd_rec(level, SdInst::all_parent(inst.clone()), &mut alloc, 0, parity, &mut items, false)?;
+        self.sd_rec(
+            level,
+            SdInst::all_parent(inst.clone()),
+            &mut alloc,
+            0,
+            parity,
+            &mut items,
+            false,
+        )?;
         self.build_steps(level, items, alloc, 0)
     }
 
@@ -705,8 +690,7 @@ impl<'a> Planner<'a> {
                                     }
                                 }
                                 let off = alloc.alloc(idx, region.numel())?;
-                                let local =
-                                    Region::contiguous(off + base, region.shape().clone());
+                                let local = Region::contiguous(off + base, region.shape().clone());
                                 loads.push(DmaOp { parent: region.clone(), local: local.clone() });
                                 local_inputs.push(local);
                             }
@@ -719,8 +703,7 @@ impl<'a> Planner<'a> {
                             Space::Local => local_outputs.push(region.clone()),
                             Space::Parent => {
                                 let off = alloc.alloc(idx, region.numel())?;
-                                let local =
-                                    Region::contiguous(off + base, region.shape().clone());
+                                let local = Region::contiguous(off + base, region.shape().clone());
                                 stores.push(DmaOp { parent: region.clone(), local: local.clone() });
                                 local_outputs.push(local);
                             }
@@ -729,9 +712,9 @@ impl<'a> Planner<'a> {
                     // RAW dependency: a surviving load reads what the
                     // previous step writes back.
                     if let Some(prev) = steps.last() {
-                        step.raw_dep_prev = loads.iter().any(|l| {
-                            prev.stores.iter().any(|s| l.parent.may_overlap(&s.parent))
-                        });
+                        step.raw_dep_prev = loads
+                            .iter()
+                            .any(|l| prev.stores.iter().any(|s| l.parent.may_overlap(&s.parent)));
                     }
                     // TTT bookkeeping (lookup happened above; now advance).
                     ttt.begin_cycle(idx as u64);
@@ -742,12 +725,8 @@ impl<'a> Planner<'a> {
                         ttt.invalidate_overlapping(&s.parent);
                         ttt.record(s.parent.clone(), s.local.clone());
                     }
-                    let local_inst = Instruction::new(
-                        sd.inst.op,
-                        sd.inst.params,
-                        local_inputs,
-                        local_outputs,
-                    )?;
+                    let local_inst =
+                        Instruction::new(sd.inst.op, sd.inst.params, local_inputs, local_outputs)?;
                     step.loads = loads;
                     step.stores = stores;
                     step.elided_bytes = elided;
@@ -758,7 +737,8 @@ impl<'a> Planner<'a> {
                     } else {
                         match self.parallel_split(&local_inst, fanout.max(1)) {
                             Some(SplitOutcome::Direct(pieces)) => {
-                                step.child_insts = annotate_pieces(pieces, &steps, opts.ttt, child_resident_cap);
+                                step.child_insts =
+                                    annotate_pieces(pieces, &steps, opts.ttt, child_resident_cap);
                             }
                             Some(SplitOutcome::Reduce { pieces, kind }) => {
                                 let mut partials = Vec::with_capacity(pieces.len());
@@ -775,11 +755,8 @@ impl<'a> Planner<'a> {
                                     insts.push(piece.into_instruction(regions.clone())?);
                                     partials.push(regions);
                                 }
-                                let total: u64 = partials
-                                    .iter()
-                                    .flat_map(|v| v.iter())
-                                    .map(Region::numel)
-                                    .sum();
+                                let total: u64 =
+                                    partials.iter().flat_map(|v| v.iter()).map(Region::numel).sum();
                                 let out_elems: u64 =
                                     local_inst.outputs.iter().map(Region::numel).sum();
                                 let ops = match kind {
@@ -798,7 +775,8 @@ impl<'a> Planner<'a> {
                                     on_lfu: self.reduce_on_lfu(level, ops),
                                     ops,
                                 });
-                                step.child_insts = annotate_pieces(insts, &steps, opts.ttt, child_resident_cap);
+                                step.child_insts =
+                                    annotate_pieces(insts, &steps, opts.ttt, child_resident_cap);
                             }
                             None => {
                                 // Unsplittable (granularity 1 or fan-out 1):
@@ -974,8 +952,7 @@ mod tests {
         let elided_off: u64 = plan_off.steps.iter().map(|s| s.elided_bytes).sum();
         assert_eq!(elided_off, 0);
         // And more bytes are loaded.
-        let loads_on: u64 =
-            plan.steps.iter().flat_map(|s| s.loads.iter()).map(DmaOp::bytes).sum();
+        let loads_on: u64 = plan.steps.iter().flat_map(|s| s.loads.iter()).map(DmaOp::bytes).sum();
         let loads_off: u64 =
             plan_off.steps.iter().flat_map(|s| s.loads.iter()).map(DmaOp::bytes).sum();
         assert!(loads_off > loads_on);

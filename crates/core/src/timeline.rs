@@ -53,11 +53,8 @@ impl Timeline {
         if self.makespan <= 0.0 {
             return 0.0;
         }
-        let busy: f64 = self
-            .level_events(level)
-            .filter(|e| e.kind == kind)
-            .map(|e| e.end - e.start)
-            .sum();
+        let busy: f64 =
+            self.level_events(level).filter(|e| e.kind == kind).map(|e| e.end - e.start).sum();
         (busy / self.makespan).max(0.0)
     }
 
@@ -99,12 +96,8 @@ impl Recorder {
             return;
         }
         // Coalesce with the most recent event of the same (level, kind).
-        if let Some(last) = self
-            .events
-            .iter_mut()
-            .rev()
-            .take(16)
-            .find(|e| e.level == level && e.kind == kind)
+        if let Some(last) =
+            self.events.iter_mut().rev().take(16).find(|e| e.level == level && e.kind == kind)
         {
             if start - last.end <= self.coalesce && start >= last.start {
                 last.end = last.end.max(end);
@@ -132,11 +125,8 @@ pub fn extract_timeline(
 ) -> Result<Timeline, CoreError> {
     let sim = PerfSim::new(cfg);
     let root_outcome = sim.simulate(program)?;
-    let mut rec = Recorder {
-        events: Vec::new(),
-        coalesce: root_outcome.makespan / 2000.0,
-        max_events,
-    };
+    let mut rec =
+        Recorder { events: Vec::new(), coalesce: root_outcome.makespan / 2000.0, max_events };
     let plan = sim.planner().plan_root(program.instructions(), program.extern_elems())?;
     let makespan = walk(&sim, 0, &plan, &[], &[], None, 0.0, max_depth, &mut rec)?;
     let mut events = rec.events;
@@ -147,7 +137,11 @@ pub fn extract_timeline(
         e.end = e.end.min(makespan);
     }
     events.retain(|e| e.end > e.start);
-    events.sort_by(|a, b| (a.level, a.start.total_cmp(&b.start)).partial_cmp(&(b.level, b.start.total_cmp(&a.start))).unwrap_or(std::cmp::Ordering::Equal));
+    events.sort_by(|a, b| {
+        (a.level, a.start.total_cmp(&b.start))
+            .partial_cmp(&(b.level, b.start.total_cmp(&a.start)))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     Ok(Timeline { events, makespan })
 }
 
@@ -175,11 +169,10 @@ fn walk(
             rec.push(level, EventKind::Compute, t0 + s.ex.0, t0 + s.ex.1);
         }
         if !step.child_insts.is_empty() {
-            if level + 1 <= max_depth && rec.events.len() < rec.max_events {
+            if level < max_depth && rec.events.len() < rec.max_events {
                 // Recurse into the first child as the representative.
                 let child = &step.child_insts[0];
-                let child_plan =
-                    sim.planner().plan_instruction(level + 1, &child.inst, false)?;
+                let child_plan = sim.planner().plan_instruction(level + 1, &child.inst, false)?;
                 walk(
                     sim,
                     level + 1,

@@ -50,11 +50,7 @@ impl Ttt {
     /// a live copy. Only exact region matches forward (same offset, shape
     /// and strides) — partial overlap cannot be rebound by the DD.
     pub fn lookup(&self, parent: &Region) -> Option<&Region> {
-        self.banks
-            .iter()
-            .flat_map(|b| b.iter())
-            .find(|e| &e.parent == parent)
-            .map(|e| &e.local)
+        self.banks.iter().flat_map(|b| b.iter()).find(|e| &e.parent == parent).map(|e| &e.local)
     }
 
     /// Records that `parent` is now resident at `local` (either loaded or

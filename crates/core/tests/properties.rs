@@ -24,15 +24,13 @@ proptest! {
             alloc.begin_step(step);
             live.retain(|(s, _, _)| step < RECYCLED_SEGMENTS || *s > step - RECYCLED_SEGMENTS);
             for &sz in chunk {
-                match alloc.alloc(step, sz) {
-                    Ok(off) => {
-                        let (lo, hi) = (off, off + sz);
-                        for &(_, l, h) in &live {
-                            prop_assert!(hi <= l || lo >= h, "overlap: [{lo},{hi}) vs [{l},{h})");
-                        }
-                        live.push((step, lo, hi));
+                // Err means the segment is full — fine.
+                if let Ok(off) = alloc.alloc(step, sz) {
+                    let (lo, hi) = (off, off + sz);
+                    for &(_, l, h) in &live {
+                        prop_assert!(hi <= l || lo >= h, "overlap: [{lo},{hi}) vs [{l},{h})");
                     }
-                    Err(_) => {} // segment full — fine
+                    live.push((step, lo, hi));
                 }
             }
         }

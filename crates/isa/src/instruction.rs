@@ -1,6 +1,6 @@
 use cf_tensor::{Region, Shape};
 
-use crate::{infer_output_shapes, IsaError, Opcode, OpParams};
+use crate::{infer_output_shapes, IsaError, OpParams, Opcode};
 
 /// A FISA instruction: the paper's `I ⟨O, P, G⟩` tuple.
 ///
@@ -89,9 +89,7 @@ impl Instruction {
     /// inputs may overlap one of its outputs). The demotion decoder stalls
     /// the pipeline on this condition (§3.3).
     pub fn raw_depends_on(&self, earlier: &Instruction) -> bool {
-        self.inputs
-            .iter()
-            .any(|r| earlier.outputs.iter().any(|w| r.may_overlap(w)))
+        self.inputs.iter().any(|r| earlier.outputs.iter().any(|w| r.may_overlap(w)))
     }
 
     /// Whether `self` writes storage that `earlier` reads or writes

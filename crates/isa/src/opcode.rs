@@ -94,13 +94,22 @@ impl Opcode {
     /// The Table 3 category of the opcode.
     pub fn category(self) -> OpcodeCategory {
         match self {
-            Opcode::Cv2D | Opcode::Cv3D | Opcode::Max2D | Opcode::Min2D | Opcode::Avg2D
+            Opcode::Cv2D
+            | Opcode::Cv3D
+            | Opcode::Max2D
+            | Opcode::Min2D
+            | Opcode::Avg2D
             | Opcode::Lrn => OpcodeCategory::DeepLearning,
             Opcode::MatMul | Opcode::Euclidian1D => OpcodeCategory::LinearAlgebra,
             Opcode::Sort1D => OpcodeCategory::Sort,
             Opcode::Count1D => OpcodeCategory::Count,
-            Opcode::Add1D | Opcode::Sub1D | Opcode::Mul1D | Opcode::Act1D | Opcode::HSum1D
-            | Opcode::HProd1D | Opcode::Merge1D => OpcodeCategory::Reduction,
+            Opcode::Add1D
+            | Opcode::Sub1D
+            | Opcode::Mul1D
+            | Opcode::Act1D
+            | Opcode::HSum1D
+            | Opcode::HProd1D
+            | Opcode::Merge1D => OpcodeCategory::Reduction,
         }
     }
 

@@ -1,6 +1,7 @@
+use cf_tensor::fingerprint::{StableHash, StableHasher};
 use cf_tensor::{Region, Shape};
 
-use crate::{infer_output_shapes, Instruction, IsaError, Opcode, OpParams};
+use crate::{infer_output_shapes, Instruction, IsaError, OpParams, Opcode};
 
 /// A handle to a named tensor in a program's external memory.
 ///
@@ -43,11 +44,88 @@ impl Program {
         self.extern_elems
     }
 
+    /// A stable 64-bit content hash of the program: instructions (opcode,
+    /// parameters, operand regions), symbol table and external footprint.
+    ///
+    /// Two `Program` values compare equal **iff** planning and execution
+    /// treat them identically, and the hash is a pure function of that
+    /// content — stable across processes, platforms and Rust releases
+    /// (FNV-1a; see [`cf_tensor::fingerprint`]). `cf-runtime` uses it as
+    /// the program half of its plan/report cache key.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_usize(self.instructions.len());
+        for inst in &self.instructions {
+            hash_instruction(inst, &mut h);
+        }
+        h.write_usize(self.symbols.len());
+        for (name, region) in &self.symbols {
+            h.write_str(name);
+            region.stable_hash(&mut h);
+        }
+        h.write_u64(self.extern_elems);
+        h.finish()
+    }
+
     /// Total useful arithmetic work of the program in scalar operations,
     /// as estimated by `cost_fn` per instruction. (The cost model itself
     /// lives in `cf-ops`; this is a convenience fold.)
     pub fn total_cost(&self, mut cost_fn: impl FnMut(&Instruction) -> u64) -> u64 {
         self.instructions.iter().map(&mut cost_fn).sum()
+    }
+}
+
+fn hash_instruction(inst: &Instruction, h: &mut StableHasher) {
+    // The opcode's debug name is its canonical spelling (unit variants).
+    h.write_str(&format!("{:?}", inst.op));
+    hash_params(&inst.params, h);
+    h.write_usize(inst.inputs.len());
+    for r in &inst.inputs {
+        r.stable_hash(h);
+    }
+    h.write_usize(inst.outputs.len());
+    for r in &inst.outputs {
+        r.stable_hash(h);
+    }
+}
+
+fn hash_params(params: &OpParams, h: &mut StableHasher) {
+    match params {
+        OpParams::None => h.write_u8(0),
+        OpParams::Conv(p) => {
+            h.write_u8(1);
+            h.write_usize(p.stride);
+            for pad in &p.pads {
+                h.write_usize(pad.before);
+                h.write_usize(pad.after);
+            }
+        }
+        OpParams::Pool(p) => {
+            h.write_u8(2);
+            h.write_usize(p.kh);
+            h.write_usize(p.kw);
+            h.write_usize(p.stride);
+            for pad in &p.pads {
+                h.write_usize(pad.before);
+                h.write_usize(pad.after);
+            }
+        }
+        OpParams::Lrn(p) => {
+            h.write_u8(3);
+            h.write_usize(p.size);
+            h.write_f32(p.alpha);
+            h.write_f32(p.beta);
+            h.write_f32(p.k);
+        }
+        OpParams::Act(k) => {
+            h.write_u8(4);
+            h.write_str(&format!("{k:?}"));
+        }
+        OpParams::Count(p) => {
+            h.write_u8(5);
+            h.write_f32(p.value);
+            h.write_f32(p.tol);
+        }
     }
 }
 
@@ -169,8 +247,7 @@ impl ProgramBuilder {
         inputs: impl IntoIterator<Item = TensorHandle>,
     ) -> Result<Vec<TensorHandle>, IsaError> {
         let in_handles: Vec<TensorHandle> = inputs.into_iter().collect();
-        let in_shapes: Vec<Shape> =
-            in_handles.iter().map(|&h| self.shape(h).clone()).collect();
+        let in_shapes: Vec<Shape> = in_handles.iter().map(|&h| self.shape(h).clone()).collect();
         let out_shapes = infer_output_shapes(op, &params, &in_shapes)?;
         let out_handles: Vec<TensorHandle> = out_shapes
             .into_iter()
@@ -242,6 +319,42 @@ mod tests {
         let a = b.alloc("a", vec![3]);
         let c = b.alloc("c", vec![4]);
         assert!(b.emit(Opcode::Add1D, [a, a], [c]).is_err());
+    }
+
+    #[test]
+    fn content_hash_tracks_program_identity() {
+        let build = |act: bool| {
+            let mut b = ProgramBuilder::new();
+            let a = b.alloc("a", vec![8, 8]);
+            let w = b.alloc("w", vec![8, 8]);
+            let c = b.apply(Opcode::MatMul, [a, w]).unwrap();
+            if act {
+                b.apply(Opcode::Act1D, [c[0]]).unwrap();
+            }
+            b.build()
+        };
+        // Equal content ⇒ equal hash, in the same and across builders.
+        assert_eq!(build(true).content_hash(), build(true).content_hash());
+        // Different instruction streams ⇒ different hash.
+        assert_ne!(build(true).content_hash(), build(false).content_hash());
+        // A parameter change alone changes the hash.
+        let with_act = |kind| {
+            let mut b = ProgramBuilder::new();
+            let x = b.alloc("x", vec![16]);
+            b.emit_with(Opcode::Act1D, OpParams::Act(kind), [x], [x]).unwrap();
+            b.build()
+        };
+        assert_ne!(
+            with_act(crate::ActKind::Relu).content_hash(),
+            with_act(crate::ActKind::Tanh).content_hash()
+        );
+        // A symbol rename alone changes the hash (names are part of the
+        // program's observable output surface).
+        let mut b = ProgramBuilder::new();
+        let x = b.alloc("renamed", vec![8, 8]);
+        let w = b.alloc("w", vec![8, 8]);
+        b.apply(Opcode::MatMul, [x, w]).unwrap();
+        assert_ne!(b.build().content_hash(), build(false).content_hash());
     }
 
     #[test]

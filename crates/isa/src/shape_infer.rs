@@ -6,7 +6,7 @@
 
 use cf_tensor::Shape;
 
-use crate::{IsaError, Opcode, OpParams};
+use crate::{IsaError, OpParams, Opcode};
 
 fn bad(op: Opcode, detail: impl Into<String>) -> IsaError {
     IsaError::BadOperandShape { op, detail: detail.into() }
@@ -60,10 +60,16 @@ pub fn infer_output_shapes(
             arity(op, inputs, &[2])?;
             let (x, w) = (&inputs[0], &inputs[1]);
             if x.rank() != 4 || w.rank() != 4 {
-                return Err(bad(op, format!("need input [N,H,W,Ci] and weight [Kh,Kw,Ci,Co], got {x} and {w}")));
+                return Err(bad(
+                    op,
+                    format!("need input [N,H,W,Ci] and weight [Kh,Kw,Ci,Co], got {x} and {w}"),
+                ));
             }
             if x.dim(3) != w.dim(2) {
-                return Err(bad(op, format!("channel mismatch: input Ci={} weight Ci={}", x.dim(3), w.dim(2))));
+                return Err(bad(
+                    op,
+                    format!("channel mismatch: input Ci={} weight Ci={}", x.dim(3), w.dim(2)),
+                ));
             }
             let p = params.conv();
             let ho = conv_out_extent(op, x.dim(1), w.dim(0), p.stride, p.pads[0])?;
@@ -74,7 +80,10 @@ pub fn infer_output_shapes(
             arity(op, inputs, &[2])?;
             let (x, w) = (&inputs[0], &inputs[1]);
             if x.rank() != 5 || w.rank() != 5 {
-                return Err(bad(op, format!("need input [N,D,H,W,Ci] and weight [Kd,Kh,Kw,Ci,Co], got {x} and {w}")));
+                return Err(bad(
+                    op,
+                    format!("need input [N,D,H,W,Ci] and weight [Kd,Kh,Kw,Ci,Co], got {x} and {w}"),
+                ));
             }
             if x.dim(4) != w.dim(3) {
                 return Err(bad(op, "channel mismatch"));
@@ -111,7 +120,10 @@ pub fn infer_output_shapes(
                 return Err(bad(op, format!("need matrices, got {a} and {b}")));
             }
             if a.dim(1) != b.dim(0) {
-                return Err(bad(op, format!("inner dimensions differ: {} vs {}", a.dim(1), b.dim(0))));
+                return Err(bad(
+                    op,
+                    format!("inner dimensions differ: {} vs {}", a.dim(1), b.dim(0)),
+                ));
             }
             Ok(vec![Shape::new(vec![a.dim(0), b.dim(1)])])
         }
@@ -210,9 +222,8 @@ mod tests {
 
     #[test]
     fn matmul_shape() {
-        let out =
-            infer_output_shapes(Opcode::MatMul, &OpParams::None, &[s(&[4, 6]), s(&[6, 8])])
-                .unwrap();
+        let out = infer_output_shapes(Opcode::MatMul, &OpParams::None, &[s(&[4, 6]), s(&[6, 8])])
+            .unwrap();
         assert_eq!(out, vec![s(&[4, 8])]);
         assert!(infer_output_shapes(Opcode::MatMul, &OpParams::None, &[s(&[4, 6]), s(&[5, 8])])
             .is_err());
@@ -220,18 +231,16 @@ mod tests {
 
     #[test]
     fn sort_with_payload() {
-        let out = infer_output_shapes(Opcode::Sort1D, &OpParams::None, &[s(&[9]), s(&[9])])
-            .unwrap();
+        let out =
+            infer_output_shapes(Opcode::Sort1D, &OpParams::None, &[s(&[9]), s(&[9])]).unwrap();
         assert_eq!(out.len(), 2);
-        assert!(
-            infer_output_shapes(Opcode::Sort1D, &OpParams::None, &[s(&[9]), s(&[8])]).is_err()
-        );
+        assert!(infer_output_shapes(Opcode::Sort1D, &OpParams::None, &[s(&[9]), s(&[8])]).is_err());
     }
 
     #[test]
     fn merge_concatenates() {
-        let out = infer_output_shapes(Opcode::Merge1D, &OpParams::None, &[s(&[3]), s(&[5])])
-            .unwrap();
+        let out =
+            infer_output_shapes(Opcode::Merge1D, &OpParams::None, &[s(&[3]), s(&[5])]).unwrap();
         assert_eq!(out, vec![s(&[8])]);
     }
 
@@ -245,14 +254,14 @@ mod tests {
 
     #[test]
     fn eltwise_requires_same_shape() {
-        assert!(infer_output_shapes(Opcode::Add1D, &OpParams::None, &[s(&[4]), s(&[4, 1])])
-            .is_err());
+        assert!(
+            infer_output_shapes(Opcode::Add1D, &OpParams::None, &[s(&[4]), s(&[4, 1])]).is_err()
+        );
     }
 
     #[test]
     fn pooling_shape() {
-        let out = infer_output_shapes(Opcode::Max2D, &OpParams::None, &[s(&[2, 8, 8, 5])])
-            .unwrap();
+        let out = infer_output_shapes(Opcode::Max2D, &OpParams::None, &[s(&[2, 8, 8, 5])]).unwrap();
         assert_eq!(out, vec![s(&[2, 4, 4, 5])]);
     }
 

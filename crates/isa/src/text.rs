@@ -19,7 +19,7 @@ use std::fmt::Write as _;
 use cf_tensor::{Region, Shape};
 
 use crate::{
-    ActKind, ConvParams, CountParams, Instruction, IsaError, LrnParams, Opcode, OpParams,
+    ActKind, ConvParams, CountParams, Instruction, IsaError, LrnParams, OpParams, Opcode,
     PoolParams, Program, ProgramBuilder,
 };
 
@@ -69,13 +69,9 @@ fn render_params(p: &OpParams) -> String {
     match p {
         OpParams::None => String::new(),
         OpParams::Conv(c) => format!("{{stride={},pads={}}}", c.stride, render_pads(&c.pads)),
-        OpParams::Pool(q) => format!(
-            "{{kh={},kw={},stride={},pads={}}}",
-            q.kh,
-            q.kw,
-            q.stride,
-            render_pads(&q.pads)
-        ),
+        OpParams::Pool(q) => {
+            format!("{{kh={},kw={},stride={},pads={}}}", q.kh, q.kw, q.stride, render_pads(&q.pads))
+        }
         OpParams::Lrn(l) => {
             format!("{{size={},alpha={},beta={},k={}}}", l.size, l.alpha, l.beta, l.k)
         }
@@ -136,7 +132,7 @@ fn parse_shape(s: &str, line: usize) -> Result<Shape, IsaError> {
                 .map_err(|_| IsaError::Parse { line, detail: format!("bad dimension `{d}`") })
         })
         .collect::<Result<Vec<_>, _>>()?;
-    if dims.is_empty() || dims.iter().any(|&d| d == 0) {
+    if dims.is_empty() || dims.contains(&0) {
         return Err(IsaError::Parse { line, detail: format!("empty or zero shape `{s}`") });
     }
     Ok(Shape::new(dims))
@@ -195,9 +191,7 @@ fn parse_params(op: Opcode, body: &str, line: usize) -> Result<OpParams, IsaErro
             tol: get_f32(&kv, "tol", 1e-6)?,
         }),
         _ if kv.is_empty() => OpParams::None,
-        _ => {
-            return Err(IsaError::Parse { line, detail: format!("{op} takes no parameters") })
-        }
+        _ => return Err(IsaError::Parse { line, detail: format!("{op} takes no parameters") }),
     })
 }
 
@@ -233,10 +227,9 @@ pub fn parse_program(text: &str) -> Result<Program, IsaError> {
             continue;
         }
         // Instruction line: `Op{params} in, in -> out, out`.
-        let (lhs, rhs) = stmt.split_once("->").ok_or_else(|| IsaError::Parse {
-            line,
-            detail: "missing `->`".into(),
-        })?;
+        let (lhs, rhs) = stmt
+            .split_once("->")
+            .ok_or_else(|| IsaError::Parse { line, detail: "missing `->`".into() })?;
         let lhs = lhs.trim();
         let (head, ins) = match lhs.find(char::is_whitespace) {
             Some(i) => (&lhs[..i], lhs[i..].trim()),
@@ -261,12 +254,9 @@ pub fn parse_program(text: &str) -> Result<Program, IsaError> {
                 .map(|tok| {
                     if let Some(body) = tok.strip_prefix('@') {
                         let mut segs = body.splitn(3, ':');
-                        let off = segs
-                            .next()
-                            .and_then(|s| s.parse::<u64>().ok())
-                            .ok_or_else(|| IsaError::Parse {
-                                line,
-                                detail: format!("bad region `{tok}`"),
+                        let off =
+                            segs.next().and_then(|s| s.parse::<u64>().ok()).ok_or_else(|| {
+                                IsaError::Parse { line, detail: format!("bad region `{tok}`") }
                             })?;
                         let shape = parse_shape(
                             segs.next().ok_or_else(|| IsaError::Parse {
@@ -282,9 +272,9 @@ pub fn parse_program(text: &str) -> Result<Program, IsaError> {
                                     .strip_prefix('(')
                                     .and_then(|t| t.strip_suffix(')'))
                                     .ok_or_else(|| IsaError::Parse {
-                                        line,
-                                        detail: format!("bad strides in `{tok}`"),
-                                    })?;
+                                    line,
+                                    detail: format!("bad strides in `{tok}`"),
+                                })?;
                                 let strides = inner
                                     .split(',')
                                     .map(|d| {
@@ -308,13 +298,11 @@ pub fn parse_program(text: &str) -> Result<Program, IsaError> {
             ops.into_iter()
                 .map(|o| match o {
                     TensorOrRegion::Region(r) => Ok(r),
-                    TensorOrRegion::Name(n) => handles
-                        .get(&n)
-                        .map(|&h| builder.region(h).clone())
-                        .ok_or_else(|| IsaError::Parse {
-                            line,
-                            detail: format!("unknown tensor `{n}`"),
-                        }),
+                    TensorOrRegion::Name(n) => {
+                        handles.get(&n).map(|&h| builder.region(h).clone()).ok_or_else(|| {
+                            IsaError::Parse { line, detail: format!("unknown tensor `{n}`") }
+                        })
+                    }
                 })
                 .collect()
         };

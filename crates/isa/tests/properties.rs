@@ -24,12 +24,7 @@ fn arb_program() -> impl Strategy<Value = cf_isa::Program> {
                 let mut b = ProgramBuilder::new();
                 let x = b.alloc("x", vec![n, hw, hw, ci]);
                 let w = b.alloc("w", vec![3, 3, ci, co]);
-                b.apply_with(
-                    Opcode::Cv2D,
-                    OpParams::Conv(ConvParams::same(s, p)),
-                    [x, w],
-                )
-                .unwrap();
+                b.apply_with(Opcode::Cv2D, OpParams::Conv(ConvParams::same(s, p)), [x, w]).unwrap();
                 b.build()
             }
         ),
@@ -37,12 +32,7 @@ fn arb_program() -> impl Strategy<Value = cf_isa::Program> {
         (1usize..3, 4usize..12, 1usize..5).prop_map(|(n, hw, c)| {
             let mut b = ProgramBuilder::new();
             let x = b.alloc("x", vec![n, hw, hw, c]);
-            b.apply_with(
-                Opcode::Max2D,
-                OpParams::Pool(PoolParams::square(2, 2, 0)),
-                [x],
-            )
-            .unwrap();
+            b.apply_with(Opcode::Max2D, OpParams::Pool(PoolParams::square(2, 2, 0)), [x]).unwrap();
             b.build()
         }),
         // Elementwise chains

@@ -69,10 +69,7 @@ mod tests {
         let cfg = MachineConfig::cambricon_f1();
         let area = subtree_mm2(&cfg, 1);
         let paper = 29.206;
-        assert!(
-            (area - paper).abs() / paper < 0.10,
-            "F1 chip area {area:.1} mm² vs paper {paper}"
-        );
+        assert!((area - paper).abs() / paper < 0.10, "F1 chip area {area:.1} mm² vs paper {paper}");
     }
 
     #[test]

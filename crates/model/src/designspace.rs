@@ -75,8 +75,7 @@ pub fn mboi_ref_inverse(oi: f64) -> u64 {
 /// memories sized by the MBOI rule and bandwidths by child demand.
 pub fn build_config(design: &Design) -> MachineConfig {
     let leaf = MachineConfig::paper_core();
-    let core_demand =
-        leaf.mac_ops / mboi::theoretical(MboiKernel::MatMul, leaf.mem_bytes).max(1.0);
+    let core_demand = leaf.mac_ops / mboi::theoretical(MboiKernel::MatMul, leaf.mem_bytes).max(1.0);
     let mut levels = vec![LevelSpec {
         name: "Card".into(),
         fanout: design.fanouts[0],
@@ -109,8 +108,7 @@ pub fn build_config(design: &Design) -> MachineConfig {
         let child_fanout = design.fanouts.get(i + 1).copied();
         let child_demand = match child_fanout {
             Some(f) => {
-                let child_cores: u64 =
-                    design.fanouts[i + 1..].iter().map(|&x| x as u64).product();
+                let child_cores: u64 = design.fanouts[i + 1..].iter().map(|&x| x as u64).product();
                 let child_peak = child_cores as f64 * leaf.mac_ops;
                 let child_oi = subtree_oi(design, i + 1, &leaf);
                 let _ = f;
@@ -134,12 +132,7 @@ pub fn build_config(design: &Design) -> MachineConfig {
     }
     // The design's top level takes over the card's fan-out slot.
     levels[0].fanout = 1;
-    MachineConfig {
-        name: design.name.clone(),
-        levels,
-        leaf,
-        opts: Default::default(),
-    }
+    MachineConfig { name: design.name.clone(), levels, leaf, opts: Default::default() }
 }
 
 fn subtree_oi(design: &Design, level: usize, leaf: &cf_core::LeafSpec) -> f64 {
@@ -200,10 +193,8 @@ pub fn design_power_w(design: &Design, cfg: &MachineConfig) -> f64 {
         if on_die {
             // DESTINY-style wordline/bitline energy growth: multi-GiB
             // monolithic eDRAM arrays pay dearly per access.
-            let size_factor =
-                (level.mem_bytes as f64 / (256u64 << 20) as f64).powf(0.75).max(1.0);
-            let base =
-                energy::node_w(level.mem_bytes, level.fanout, level.lfu_lanes, 0.0);
+            let size_factor = (level.mem_bytes as f64 / (256u64 << 20) as f64).powf(0.75).max(1.0);
+            let base = energy::node_w(level.mem_bytes, level.fanout, level.lfu_lanes, 0.0);
             let bw_w = level.bw_bytes / 1e9 * energy::PER_GBPS_W * size_factor;
             total += nodes * (base + bw_w);
         } else {
@@ -234,11 +225,7 @@ pub fn evaluate(design: &Design, programs: &[Program]) -> Result<DesignReport, C
         let tops = out.stats.total_ops() as f64 / out.makespan / 1e12;
         log_sum += tops.max(1e-6).ln();
     }
-    let perf_tops = if programs.is_empty() {
-        0.0
-    } else {
-        (log_sum / programs.len() as f64).exp()
-    };
+    let perf_tops = if programs.is_empty() { 0.0 } else { (log_sum / programs.len() as f64).exp() };
     let power_w = design_power_w(design, &cfg);
     Ok(DesignReport {
         name: design.name.clone(),
@@ -314,10 +301,7 @@ mod tests {
         let programs = vec![matmul_program(2048)];
         let reports: Vec<DesignReport> =
             designs.iter().map(|d| evaluate(d, &programs).unwrap()).collect();
-        let best = reports
-            .iter()
-            .max_by(|a, b| a.efficiency.total_cmp(&b.efficiency))
-            .unwrap();
+        let best = reports.iter().max_by(|a, b| a.efficiency.total_cmp(&b.efficiency)).unwrap();
         assert!(
             best.name == "1-2-16-512" || best.name == "1-4-16-512",
             "best design was {} — expected a three-level hierarchy",

@@ -101,13 +101,7 @@ pub fn measured(kernel: MboiKernel, mem_bytes: u64, fanout: usize) -> Result<f64
     };
     let sim = PerfSim::new(&cfg);
     let out = sim.simulate(&program)?;
-    let traffic = out
-        .stats
-        .levels
-        .get(1)
-        .map(|l| l.dma_bytes)
-        .unwrap_or(0)
-        .max(1);
+    let traffic = out.stats.levels.get(1).map(|l| l.dma_bytes).unwrap_or(0).max(1);
     // Useful work includes LFU-routed elementwise operations.
     let flops: u64 = program.instructions().iter().map(cf_ops::cost::flops).sum();
     Ok(flops as f64 / traffic as f64)
@@ -143,10 +137,7 @@ mod tests {
     fn measured_matmul_rises_with_memory() {
         let small = measured(MboiKernel::MatMul, 1 << 20, 8).unwrap();
         let big = measured(MboiKernel::MatMul, 16 << 20, 8).unwrap();
-        assert!(
-            big > small * 1.5,
-            "measured MBOI should grow with memory: {small:.1} vs {big:.1}"
-        );
+        assert!(big > small * 1.5, "measured MBOI should grow with memory: {small:.1} vs {big:.1}");
     }
 
     #[test]

@@ -22,8 +22,7 @@ pub fn flops(inst: &Instruction) -> u64 {
             let w = inst.inputs[1].shape();
             let out = inst.outputs[0].shape();
             // For every output element: Kd·Kh·Kw·Ci MACs.
-            let window: u64 =
-                w.dims()[..w.rank() - 1].iter().map(|&d| d as u64).product();
+            let window: u64 = w.dims()[..w.rank() - 1].iter().map(|&d| d as u64).product();
             2 * out.numel() * window
         }
         Opcode::Max2D | Opcode::Min2D | Opcode::Avg2D => {
@@ -51,9 +50,7 @@ pub fn flops(inst: &Instruction) -> u64 {
             let n = in0().numel();
             n * n.max(2).ilog2() as u64
         }
-        Opcode::Merge1D => {
-            inst.inputs[0].shape().numel() + inst.inputs[1].shape().numel()
-        }
+        Opcode::Merge1D => inst.inputs[0].shape().numel() + inst.inputs[1].shape().numel(),
         Opcode::Count1D => in0().numel(),
         Opcode::Add1D | Opcode::Sub1D | Opcode::Mul1D => in0().numel(),
         // Transcendental activations are a handful of ops each.

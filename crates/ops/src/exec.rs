@@ -17,11 +17,8 @@ use crate::{kernels, OpsError};
 ///
 /// Propagates region/shape errors and kernel-dispatch errors.
 pub fn execute_instruction(inst: &Instruction, mem: &mut Memory) -> Result<(), OpsError> {
-    let inputs: Vec<Tensor> = inst
-        .inputs
-        .iter()
-        .map(|r| mem.read_region(r))
-        .collect::<Result<_, _>>()?;
+    let inputs: Vec<Tensor> =
+        inst.inputs.iter().map(|r| mem.read_region(r)).collect::<Result<_, _>>()?;
     let outputs = evaluate(inst, &inputs)?;
     debug_assert_eq!(outputs.len(), inst.outputs.len());
     for (region, tensor) in inst.outputs.iter().zip(&outputs) {
@@ -60,8 +57,7 @@ pub fn evaluate(inst: &Instruction, inputs: &[Tensor]) -> Result<Vec<Tensor>, Op
             }
         }
         Opcode::Merge1D => {
-            let (k, p) =
-                kernels::merge(&inputs[0], &inputs[1], inputs.get(2), inputs.get(3))?;
+            let (k, p) = kernels::merge(&inputs[0], &inputs[1], inputs.get(2), inputs.get(3))?;
             match p {
                 Some(p) => vec![k, p],
                 None => vec![k],
@@ -145,8 +141,8 @@ mod tests {
             vec![cf_tensor::Region::contiguous(2, Shape::new(vec![2]))],
         )
         .unwrap();
-        let out = evaluate(&inst, &[Tensor::from_vec(Shape::new(vec![2]), vec![-2.0, 2.0])])
-            .unwrap();
+        let out =
+            evaluate(&inst, &[Tensor::from_vec(Shape::new(vec![2]), vec![-2.0, 2.0])]).unwrap();
         assert_eq!(out[0].data(), &[0.0, 2.0]);
     }
 }

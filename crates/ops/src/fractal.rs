@@ -11,9 +11,9 @@
 //! [`apply_split`]: the sequential decomposer splits until sub-instructions
 //! fit local memory, and the parallel decomposer splits across FFUs.
 
-use cf_isa::{Instruction, Opcode, OpParams, Pad, PoolParams};
 #[cfg(test)]
 use cf_isa::ConvParams;
+use cf_isa::{Instruction, OpParams, Opcode, Pad, PoolParams};
 use cf_tensor::{Region, Shape};
 
 use crate::OpsError;
@@ -146,14 +146,7 @@ pub fn split_axes(inst: &Instruction) -> Vec<AxisInfo> {
     let dim = |r: &Region, i: usize| r.shape().dim(i);
     let mut axes = Vec::new();
     let mut push = |label, dependency, reduce, redundancy, extent| {
-        axes.push(AxisInfo {
-            index: axes.len(),
-            label,
-            dependency,
-            reduce,
-            redundancy,
-            extent,
-        });
+        axes.push(AxisInfo { index: axes.len(), label, dependency, reduce, redundancy, extent });
     };
     match inst.op {
         Opcode::Cv2D => {
@@ -199,49 +192,25 @@ pub fn split_axes(inst: &Instruction) -> Vec<AxisInfo> {
             push("dim", OutputDependent, Some(ReduceKind::Add), "-", dim(x, 1));
         }
         Opcode::Sort1D => {
-            push(
-                "segment",
-                OutputDependent,
-                Some(ReduceKind::Merge),
-                "-",
-                dim(&inst.inputs[0], 0),
-            );
+            push("segment", OutputDependent, Some(ReduceKind::Merge), "-", dim(&inst.inputs[0], 0));
         }
         Opcode::Count1D => {
-            push(
-                "segment",
-                OutputDependent,
-                Some(ReduceKind::Add),
-                "-",
-                dim(&inst.inputs[0], 0),
-            );
+            push("segment", OutputDependent, Some(ReduceKind::Add), "-", dim(&inst.inputs[0], 0));
         }
         Opcode::Add1D | Opcode::Sub1D | Opcode::Mul1D | Opcode::Act1D => {
             // Elementwise: any axis splits independently. Expose each
             // dimension, labelled by position.
             static LABELS: [&str; 6] = ["dim-0", "dim-1", "dim-2", "dim-3", "dim-4", "dim-5"];
             let x = &inst.inputs[0];
-            for i in 0..x.shape().rank().min(LABELS.len()) {
-                push(LABELS[i], Independent, None, "-", dim(x, i));
+            for (i, label) in LABELS.iter().enumerate().take(x.shape().rank()) {
+                push(label, Independent, None, "-", dim(x, i));
             }
         }
         Opcode::HSum1D => {
-            push(
-                "segment",
-                OutputDependent,
-                Some(ReduceKind::Add),
-                "-",
-                dim(&inst.inputs[0], 0),
-            );
+            push("segment", OutputDependent, Some(ReduceKind::Add), "-", dim(&inst.inputs[0], 0));
         }
         Opcode::HProd1D => {
-            push(
-                "segment",
-                OutputDependent,
-                Some(ReduceKind::Mul),
-                "-",
-                dim(&inst.inputs[0], 0),
-            );
+            push("segment", OutputDependent, Some(ReduceKind::Mul), "-", dim(&inst.inputs[0], 0));
         }
         Opcode::Merge1D => {
             // Streaming local operation; not fractally decomposed.
@@ -262,8 +231,8 @@ fn spatial_slice(
     out_len: usize,
 ) -> (usize, usize, Pad) {
     let lo = out_start as isize * stride as isize - pad.before as isize;
-    let hi =
-        (out_start + out_len - 1) as isize * stride as isize - pad.before as isize + kernel as isize;
+    let hi = (out_start + out_len - 1) as isize * stride as isize - pad.before as isize
+        + kernel as isize;
     let in_lo = lo.max(0) as usize;
     let in_hi = (hi.min(in_extent as isize)).max(0) as usize;
     let before = (-lo).max(0) as usize;
@@ -361,17 +330,16 @@ pub fn apply_split(
                     .iter()
                     .map(|o| o.slice(tensor_axis, os, ol))
                     .collect::<Result<Vec<_>, _>>()?;
-                out.push(Instruction::new(
-                    inst.op,
-                    OpParams::Conv(piece_params),
-                    inputs,
-                    outputs,
-                )?);
+                out.push(Instruction::new(inst.op, OpParams::Conv(piece_params), inputs, outputs)?);
             }
             Ok(SplitOutcome::Direct(out))
         }
-        (Opcode::Cv2D, "out-feature") => Ok(SplitOutcome::Direct(slice_pair(inst, 1, 3, 3, parts)?)),
-        (Opcode::Cv3D, "out-feature") => Ok(SplitOutcome::Direct(slice_pair(inst, 1, 4, 4, parts)?)),
+        (Opcode::Cv2D, "out-feature") => {
+            Ok(SplitOutcome::Direct(slice_pair(inst, 1, 3, 3, parts)?))
+        }
+        (Opcode::Cv3D, "out-feature") => {
+            Ok(SplitOutcome::Direct(slice_pair(inst, 1, 4, 4, parts)?))
+        }
         (Opcode::Cv2D | Opcode::Cv3D, "in-feature") => {
             let (x_axis, w_axis) = if inst.op == Opcode::Cv2D { (3, 2) } else { (4, 3) };
             let extents = inst.inputs[0].shape().split_axis_extents(x_axis, parts)?;
@@ -414,12 +382,7 @@ pub fn apply_split(
                 piece_params.pads[s_axis] = pad;
                 let inputs = vec![inst.inputs[0].slice(tensor_axis, in_lo, in_len)?];
                 let outputs = vec![inst.outputs[0].slice(tensor_axis, os, ol)?];
-                out.push(Instruction::new(
-                    inst.op,
-                    OpParams::Pool(piece_params),
-                    inputs,
-                    outputs,
-                )?);
+                out.push(Instruction::new(inst.op, OpParams::Pool(piece_params), inputs, outputs)?);
             }
             Ok(SplitOutcome::Direct(out))
         }
@@ -430,7 +393,9 @@ pub fn apply_split(
         (Opcode::Lrn, "spatial-w") => Ok(SplitOutcome::Direct(slice_pair(inst, 0, 2, 2, parts)?)),
 
         // ---- Linear algebra ---------------------------------------------
-        (Opcode::MatMul, "left-rows") => Ok(SplitOutcome::Direct(slice_pair(inst, 0, 0, 0, parts)?)),
+        (Opcode::MatMul, "left-rows") => {
+            Ok(SplitOutcome::Direct(slice_pair(inst, 0, 0, 0, parts)?))
+        }
         (Opcode::MatMul, "right-cols") => {
             Ok(SplitOutcome::Direct(slice_pair(inst, 1, 1, 1, parts)?))
         }
@@ -452,7 +417,9 @@ pub fn apply_split(
                 .collect::<Result<Vec<_>, OpsError>>()?;
             Ok(SplitOutcome::Reduce { pieces, kind: ReduceKind::Add })
         }
-        (Opcode::Euclidian1D, "left") => Ok(SplitOutcome::Direct(slice_pair(inst, 0, 0, 0, parts)?)),
+        (Opcode::Euclidian1D, "left") => {
+            Ok(SplitOutcome::Direct(slice_pair(inst, 0, 0, 0, parts)?))
+        }
         (Opcode::Euclidian1D, "right") => {
             Ok(SplitOutcome::Direct(slice_pair(inst, 1, 0, 1, parts)?))
         }
@@ -486,8 +453,7 @@ pub fn apply_split(
                         .iter()
                         .map(|r| r.slice(0, start, len))
                         .collect::<Result<Vec<_>, _>>()?;
-                    let partial_shapes =
-                        inputs.iter().map(|r| r.shape().clone()).collect();
+                    let partial_shapes = inputs.iter().map(|r| r.shape().clone()).collect();
                     Ok(PartialPiece { op: inst.op, params: inst.params, inputs, partial_shapes })
                 })
                 .collect::<Result<Vec<_>, OpsError>>()?;
@@ -554,16 +520,9 @@ pub fn split_overhead_bytes(inst: &Instruction, outcome: &SplitOutcome) -> u64 {
             total.saturating_sub(base)
         }
         SplitOutcome::Reduce { pieces, .. } => {
-            let inputs: u64 = pieces
-                .iter()
-                .flat_map(|p| p.inputs.iter())
-                .map(Region::bytes)
-                .sum();
-            let partials: u64 = pieces
-                .iter()
-                .flat_map(|p| p.partial_shapes.iter())
-                .map(Shape::bytes)
-                .sum();
+            let inputs: u64 = pieces.iter().flat_map(|p| p.inputs.iter()).map(Region::bytes).sum();
+            let partials: u64 =
+                pieces.iter().flat_map(|p| p.partial_shapes.iter()).map(Shape::bytes).sum();
             let base_in: u64 = inst.inputs.iter().map(Region::bytes).sum();
             // Partials are written once and read once by g(·).
             (inputs + 2 * partials).saturating_sub(base_in)
@@ -619,17 +578,83 @@ pub struct Table2Row {
 pub fn table2() -> Vec<Table2Row> {
     use Dependency::*;
     vec![
-        Table2Row { primitive: "IP", decomposition: "Length-Wise", dependency: OutputDependent, reduce: Some(ReduceKind::Add), redundancy: "-" },
-        Table2Row { primitive: "CONV", decomposition: "Feature-Wise", dependency: OutputDependent, reduce: Some(ReduceKind::Add), redundancy: "-" },
-        Table2Row { primitive: "CONV", decomposition: "Batch-Wise", dependency: InputDependent, reduce: None, redundancy: "Weight" },
-        Table2Row { primitive: "CONV", decomposition: "Spatial", dependency: InputDependent, reduce: None, redundancy: "Weight, Overlapped" },
-        Table2Row { primitive: "POOL", decomposition: "Feature-Wise", dependency: Independent, reduce: None, redundancy: "-" },
-        Table2Row { primitive: "POOL", decomposition: "Spatial", dependency: InputDependent, reduce: None, redundancy: "Overlapped" },
-        Table2Row { primitive: "MMM", decomposition: "Left, Vertical", dependency: OutputDependent, reduce: Some(ReduceKind::Add), redundancy: "-" },
-        Table2Row { primitive: "MMM", decomposition: "Right, Vertical", dependency: InputDependent, reduce: None, redundancy: "Left Matrix" },
-        Table2Row { primitive: "ELTW", decomposition: "Any", dependency: Independent, reduce: None, redundancy: "-" },
-        Table2Row { primitive: "SORT", decomposition: "Any", dependency: OutputDependent, reduce: Some(ReduceKind::Merge), redundancy: "-" },
-        Table2Row { primitive: "COUNT", decomposition: "Any", dependency: OutputDependent, reduce: Some(ReduceKind::Add), redundancy: "-" },
+        Table2Row {
+            primitive: "IP",
+            decomposition: "Length-Wise",
+            dependency: OutputDependent,
+            reduce: Some(ReduceKind::Add),
+            redundancy: "-",
+        },
+        Table2Row {
+            primitive: "CONV",
+            decomposition: "Feature-Wise",
+            dependency: OutputDependent,
+            reduce: Some(ReduceKind::Add),
+            redundancy: "-",
+        },
+        Table2Row {
+            primitive: "CONV",
+            decomposition: "Batch-Wise",
+            dependency: InputDependent,
+            reduce: None,
+            redundancy: "Weight",
+        },
+        Table2Row {
+            primitive: "CONV",
+            decomposition: "Spatial",
+            dependency: InputDependent,
+            reduce: None,
+            redundancy: "Weight, Overlapped",
+        },
+        Table2Row {
+            primitive: "POOL",
+            decomposition: "Feature-Wise",
+            dependency: Independent,
+            reduce: None,
+            redundancy: "-",
+        },
+        Table2Row {
+            primitive: "POOL",
+            decomposition: "Spatial",
+            dependency: InputDependent,
+            reduce: None,
+            redundancy: "Overlapped",
+        },
+        Table2Row {
+            primitive: "MMM",
+            decomposition: "Left, Vertical",
+            dependency: OutputDependent,
+            reduce: Some(ReduceKind::Add),
+            redundancy: "-",
+        },
+        Table2Row {
+            primitive: "MMM",
+            decomposition: "Right, Vertical",
+            dependency: InputDependent,
+            reduce: None,
+            redundancy: "Left Matrix",
+        },
+        Table2Row {
+            primitive: "ELTW",
+            decomposition: "Any",
+            dependency: Independent,
+            reduce: None,
+            redundancy: "-",
+        },
+        Table2Row {
+            primitive: "SORT",
+            decomposition: "Any",
+            dependency: OutputDependent,
+            reduce: Some(ReduceKind::Merge),
+            redundancy: "-",
+        },
+        Table2Row {
+            primitive: "COUNT",
+            decomposition: "Any",
+            dependency: OutputDependent,
+            reduce: Some(ReduceKind::Add),
+            redundancy: "-",
+        },
     ]
 }
 
@@ -662,7 +687,7 @@ mod tests {
                 }
                 SplitOutcome::Reduce { pieces, kind } => {
                     // Allocate partials past the end of the program data.
-                    let mut scratch = fractal.len() as u64;
+                    let scratch = fractal.len() as u64;
                     let mut partial_insts = Vec::new();
                     let mut partial_regions: Vec<Vec<Region>> = Vec::new();
                     let mut extra = 0u64;
@@ -707,15 +732,10 @@ mod tests {
                                 .then(|| grown.read_region(&partial_regions[0][1]).unwrap());
                             for regs in &partial_regions[1..] {
                                 let k2 = grown.read_region(&regs[0]).unwrap();
-                                let p2 = with_payload
-                                    .then(|| grown.read_region(&regs[1]).unwrap());
-                                let (k, p) = crate::kernels::merge(
-                                    &keys,
-                                    &k2,
-                                    pay.as_ref(),
-                                    p2.as_ref(),
-                                )
-                                .unwrap();
+                                let p2 = with_payload.then(|| grown.read_region(&regs[1]).unwrap());
+                                let (k, p) =
+                                    crate::kernels::merge(&keys, &k2, pay.as_ref(), p2.as_ref())
+                                        .unwrap();
                                 keys = k;
                                 pay = p;
                             }
@@ -862,13 +882,9 @@ mod tests {
     #[test]
     fn horizontal_and_count_match_direct() {
         for op in [Opcode::HSum1D, Opcode::HProd1D, Opcode::Count1D] {
-            let inst = Instruction::new(
-                op,
-                OpParams::None,
-                vec![reg(0, &[13])],
-                vec![reg(13, &[1])],
-            )
-            .unwrap();
+            let inst =
+                Instruction::new(op, OpParams::None, vec![reg(0, &[13])], vec![reg(13, &[1])])
+                    .unwrap();
             // Keep values near 1 so HProd stays in float range.
             let mut mem = Memory::new(14);
             let t = cf_tensor::gen::DataGen::new(19).uniform(Shape::new(vec![14]), 0.5, 1.5);

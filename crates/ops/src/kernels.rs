@@ -78,8 +78,7 @@ pub fn conv3d(x: &Tensor, w: &Tensor, p: &ConvParams) -> Result<Tensor, OpsError
     .remove(0);
     let (n, d, h, wi, ci) =
         (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2), x.shape().dim(3), x.shape().dim(4));
-    let (kd, kh, kw, co) =
-        (w.shape().dim(0), w.shape().dim(1), w.shape().dim(2), w.shape().dim(4));
+    let (kd, kh, kw, co) = (w.shape().dim(0), w.shape().dim(1), w.shape().dim(2), w.shape().dim(4));
     let (dd, ho, wo) = (out_shape.dim(1), out_shape.dim(2), out_shape.dim(3));
     let mut out = Tensor::zeros(out_shape);
     let (pd, pt, pl) =
@@ -107,13 +106,9 @@ pub fn conv3d(x: &Tensor, w: &Tensor, p: &ConvParams) -> Result<Tensor, OpsError
                                         continue;
                                     }
                                     for ic in 0..ci {
-                                        acc += x.get(&[
-                                            b,
-                                            iz as usize,
-                                            iy as usize,
-                                            ix as usize,
-                                            ic,
-                                        ]) * w.get(&[kz, ky, kx, ic, oc]);
+                                        acc +=
+                                            x.get(&[b, iz as usize, iy as usize, ix as usize, ic])
+                                                * w.get(&[kz, ky, kx, ic, oc]);
                                     }
                                 }
                             }
@@ -153,12 +148,9 @@ pub fn pool2d(x: &Tensor, p: &PoolParams, mode: PoolMode) -> Result<Tensor, OpsE
         PoolMode::Min => Opcode::Min2D,
         PoolMode::Avg => Opcode::Avg2D,
     };
-    let out_shape = cf_isa::infer_output_shapes(
-        op,
-        &cf_isa::OpParams::Pool(*p),
-        &[x.shape().clone()],
-    )?
-    .remove(0);
+    let out_shape =
+        cf_isa::infer_output_shapes(op, &cf_isa::OpParams::Pool(*p), &[x.shape().clone()])?
+            .remove(0);
     let (n, h, wi, c) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2), x.shape().dim(3));
     let (ho, wo) = (out_shape.dim(1), out_shape.dim(2));
     let mut out = Tensor::zeros(out_shape);
@@ -275,10 +267,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, OpsError> {
 /// Returns an error when the `d` dimensions disagree.
 pub fn euclidean_sq(x: &Tensor, y: &Tensor) -> Result<Tensor, OpsError> {
     if x.shape().rank() != 2 || y.shape().rank() != 2 || x.shape().dim(1) != y.shape().dim(1) {
-        return Err(bad(
-            Opcode::Euclidian1D,
-            format!("bad shapes {} vs {}", x.shape(), y.shape()),
-        ));
+        return Err(bad(Opcode::Euclidian1D, format!("bad shapes {} vs {}", x.shape(), y.shape())));
     }
     let (n, d, m) = (x.shape().dim(0), x.shape().dim(1), y.shape().dim(0));
     let mut out = vec![0.0f32; n * m];
@@ -311,13 +300,10 @@ pub fn sort(keys: &Tensor, payload: Option<&Tensor>) -> Result<(Tensor, Option<T
     }
     let mut idx: Vec<usize> = (0..keys.data().len()).collect();
     idx.sort_by(|&a, &b| keys.data()[a].total_cmp(&keys.data()[b]));
-    let sorted = Tensor::from_vec(
-        keys.shape().clone(),
-        idx.iter().map(|&i| keys.data()[i]).collect(),
-    );
-    let perm = payload.map(|p| {
-        Tensor::from_vec(p.shape().clone(), idx.iter().map(|&i| p.data()[i]).collect())
-    });
+    let sorted =
+        Tensor::from_vec(keys.shape().clone(), idx.iter().map(|&i| keys.data()[i]).collect());
+    let perm = payload
+        .map(|p| Tensor::from_vec(p.shape().clone(), idx.iter().map(|&i| p.data()[i]).collect()));
     Ok((sorted, perm))
 }
 
@@ -364,10 +350,7 @@ pub fn merge(
         }
     }
     let shape = Shape::new(vec![na + nb]);
-    Ok((
-        Tensor::from_vec(shape.clone(), keys),
-        pay.map(|v| Tensor::from_vec(shape, v)),
-    ))
+    Ok((Tensor::from_vec(shape.clone(), keys), pay.map(|v| Tensor::from_vec(shape, v))))
 }
 
 /// Counts elements of `x` within `p.tol` of `p.value`; returns a scalar
@@ -569,8 +552,7 @@ mod tests {
         let (m, _) = merge(&a, &b, None, None).unwrap();
         let mut concat = a0.data().to_vec();
         concat.extend_from_slice(b0.data());
-        let (expect, _) =
-            sort(&Tensor::from_vec(Shape::new(vec![26]), concat), None).unwrap();
+        let (expect, _) = sort(&Tensor::from_vec(Shape::new(vec![26]), concat), None).unwrap();
         assert_eq!(m.data(), expect.data());
     }
 

@@ -2,7 +2,7 @@
 //! primitive, any decomposition axis and any piece count,
 //! decompose-and-execute must equal direct execution.
 
-use cf_isa::{ConvParams, Instruction, Opcode, OpParams, PoolParams};
+use cf_isa::{ConvParams, Instruction, OpParams, Opcode, PoolParams};
 use cf_ops::exec::execute_instruction;
 use cf_ops::fractal::{apply_split, split_axes, ReduceKind, SplitOutcome};
 use cf_ops::kernels;

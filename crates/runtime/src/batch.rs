@@ -1,0 +1,121 @@
+//! Batch helpers: running design-space sweeps and labelled job suites
+//! (such as the paper-experiment harness) through the pool.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cf_model::designspace::{self, Design, DesignReport};
+
+use crate::job::{JobError, JobHandle};
+use crate::scheduler::Runtime;
+
+/// One labelled batch job's outcome.
+#[derive(Debug)]
+pub struct BatchOutcome<T> {
+    /// The label the job was submitted under.
+    pub label: String,
+    /// Wall-clock seconds the job body took on its worker.
+    pub seconds: f64,
+    /// The job's result.
+    pub result: Result<T, JobError>,
+}
+
+/// Submits every `(label, body)` pair to the pool and joins them in
+/// submission order, timing each body on its worker.
+///
+/// This is how the experiment suite (`exp_all`) fans out: all jobs are
+/// queued up front so the pool keeps every worker busy, and results come
+/// back in the deterministic submission order regardless of which worker
+/// finished first.
+pub fn run_batch<T, F>(runtime: &Runtime, jobs: Vec<(String, F)>) -> Vec<BatchOutcome<T>>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let handles: Vec<(String, JobHandle<(T, f64)>)> = jobs
+        .into_iter()
+        .map(|(label, body)| {
+            let handle = runtime.submit_task(move || {
+                let t0 = Instant::now();
+                let value = body();
+                (value, t0.elapsed().as_secs_f64())
+            });
+            (label, handle)
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|(label, handle)| match handle.join() {
+            Ok((value, seconds)) => BatchOutcome { label, seconds, result: Ok(value) },
+            Err(e) => BatchOutcome { label, seconds: 0.0, result: Err(e) },
+        })
+        .collect()
+}
+
+/// Evaluates every design in `designs` concurrently (Table 4 sweep),
+/// returning reports in input order.
+///
+/// The programs are shared across jobs behind an `Arc`; design evaluation
+/// itself goes straight to the planner (design reports carry power/area,
+/// not just timing, so they are not [`PlanCache`](crate::PlanCache)
+/// entries).
+pub fn sweep_designs(
+    runtime: &Runtime,
+    designs: Vec<Design>,
+    programs: Arc<Vec<cf_isa::Program>>,
+) -> Vec<Result<DesignReport, JobError>> {
+    let handles: Vec<JobHandle<Result<DesignReport, cf_core::CoreError>>> = designs
+        .into_iter()
+        .map(|design| {
+            let programs = Arc::clone(&programs);
+            runtime.submit_task(move || designspace::evaluate(&design, &programs))
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().and_then(|r| r.map_err(JobError::Sim))).collect()
+}
+
+/// Joins a vector of handles in order.
+pub fn join_all<T>(handles: Vec<JobHandle<T>>) -> Vec<Result<T, JobError>> {
+    handles.into_iter().map(JobHandle::join).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RuntimeConfig;
+    use cf_isa::{Opcode, ProgramBuilder};
+
+    #[test]
+    fn run_batch_preserves_order_and_times() {
+        let rt = Runtime::new(RuntimeConfig { workers: 2, ..Default::default() });
+        let jobs: Vec<(String, Box<dyn FnOnce() -> u32 + Send>)> = (0u32..6)
+            .map(|i| {
+                (format!("job{i}"), Box::new(move || i * i) as Box<dyn FnOnce() -> u32 + Send>)
+            })
+            .collect();
+        let outcomes = run_batch(&rt, jobs);
+        assert_eq!(outcomes.len(), 6);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.label, format!("job{i}"));
+            assert_eq!(*o.result.as_ref().unwrap(), (i * i) as u32);
+            assert!(o.seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn sweep_designs_matches_direct_evaluation() {
+        let rt = Runtime::new(RuntimeConfig { workers: 2, ..Default::default() });
+        let mut b = ProgramBuilder::new();
+        let a = b.alloc("a", vec![512, 512]);
+        let w = b.alloc("w", vec![512, 512]);
+        b.apply(Opcode::MatMul, [a, w]).unwrap();
+        let programs = Arc::new(vec![b.build()]);
+        let designs = designspace::table4_designs();
+
+        let concurrent = sweep_designs(&rt, designs.clone(), Arc::clone(&programs));
+        for (design, got) in designs.iter().zip(&concurrent) {
+            let want = designspace::evaluate(design, &programs).unwrap();
+            assert_eq!(got.as_ref().unwrap(), &want);
+        }
+    }
+}

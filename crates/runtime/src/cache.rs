@@ -1,0 +1,197 @@
+//! The plan/report cache: an LRU over finished [`PerfReport`]s keyed by
+//! `(machine fingerprint, program content hash)`.
+//!
+//! Performance simulation is a pure function of machine structure and
+//! program content — the planner consults only shapes, capacities and
+//! latencies, never data values or wall-clock state — so a cached report
+//! is *exactly* the report a cold run would produce. Repeated simulation
+//! of the same workload (the dominant pattern in design sweeps and in
+//! serving) therefore skips the planner and pipeline model entirely.
+//!
+//! Functional-execution jobs are **not** cached here: their output depends
+//! on the contents of external memory, which is not part of the key (see
+//! DESIGN.md §6).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use cf_core::{MachineConfig, PerfReport};
+use cf_isa::Program;
+use std::sync::Arc;
+
+/// Cache key: machine-structure fingerprint plus program content hash,
+/// both stable across processes (see [`cf_tensor::fingerprint`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`MachineConfig::fingerprint`] of the target machine.
+    pub machine: u64,
+    /// [`Program::content_hash`] of the workload.
+    pub program: u64,
+}
+
+impl CacheKey {
+    /// The key for simulating `program` on `machine`.
+    pub fn new(machine: &MachineConfig, program: &Program) -> Self {
+        CacheKey { machine: machine.fingerprint(), program: program.content_hash() }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: Arc<PerfReport>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+}
+
+/// A thread-safe LRU report cache.
+///
+/// Eviction scans for the least-recently-used entry, which is O(capacity);
+/// capacities are small (hundreds of distinct (machine, program) pairs at
+/// most in any realistic sweep), so the scan is cheaper than maintaining
+/// an intrusive recency list under a lock.
+#[derive(Debug)]
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` reports. Capacity 0 disables
+    /// caching (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache { inner: Mutex::new(Inner::default()), capacity }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of cached reports.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a report, refreshing its recency on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<PerfReport>> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.value)
+        })
+    }
+
+    /// Inserts (or refreshes) a report, evicting the least-recently-used
+    /// entry if the cache is full.
+    pub fn insert(&self, key: CacheKey, value: Arc<PerfReport>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            if let Some(victim) = inner.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| *k)
+            {
+                inner.map.remove(&victim);
+            }
+        }
+        inner.map.insert(key, Entry { value, last_used: tick });
+    }
+
+    /// Drops every cached report.
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cf_core::Machine;
+    use cf_isa::{Opcode, ProgramBuilder};
+
+    fn matmul(n: usize) -> Program {
+        let mut b = ProgramBuilder::new();
+        let a = b.alloc("a", vec![n, n]);
+        let w = b.alloc("w", vec![n, n]);
+        b.apply(Opcode::MatMul, [a, w]).unwrap();
+        b.build()
+    }
+
+    fn report(n: usize) -> Arc<PerfReport> {
+        Arc::new(Machine::new(MachineConfig::cambricon_f1()).simulate(&matmul(n)).unwrap())
+    }
+
+    fn key(n: u64) -> CacheKey {
+        CacheKey { machine: 1, program: n }
+    }
+
+    #[test]
+    fn hit_returns_same_arc() {
+        let cache = PlanCache::new(4);
+        let r = report(64);
+        let cfg = MachineConfig::cambricon_f1();
+        let k = CacheKey::new(&cfg, &matmul(64));
+        assert!(cache.get(&k).is_none());
+        cache.insert(k, Arc::clone(&r));
+        let hit = cache.get(&k).unwrap();
+        assert!(Arc::ptr_eq(&hit, &r));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = PlanCache::new(2);
+        let r = report(32);
+        cache.insert(key(1), Arc::clone(&r));
+        cache.insert(key(2), Arc::clone(&r));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(key(3), Arc::clone(&r));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(2)).is_none());
+        assert!(cache.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_evicting() {
+        let cache = PlanCache::new(2);
+        let r = report(32);
+        cache.insert(key(1), Arc::clone(&r));
+        cache.insert(key(2), Arc::clone(&r));
+        cache.insert(key(2), Arc::clone(&r));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(1)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = PlanCache::new(0);
+        cache.insert(key(1), report(32));
+        assert!(cache.is_empty());
+        assert!(cache.get(&key(1)).is_none());
+    }
+
+    #[test]
+    fn distinct_machines_distinct_keys() {
+        let p = matmul(64);
+        let a = CacheKey::new(&MachineConfig::cambricon_f1(), &p);
+        let b = CacheKey::new(&MachineConfig::cambricon_f100(), &p);
+        assert_ne!(a, b);
+        let c = CacheKey::new(&MachineConfig::cambricon_f1(), &matmul(64));
+        assert_eq!(a, c);
+    }
+}

@@ -1,0 +1,220 @@
+//! Jobs and their handles: the future-like half of the scheduler.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use cf_core::CoreError;
+
+/// Why a job did not produce a value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobError {
+    /// The job was cancelled via [`JobHandle::cancel`] before it started.
+    Cancelled,
+    /// The job's deadline passed while it was still queued.
+    DeadlineExceeded {
+        /// How far past the deadline the worker found the job.
+        late_by: Duration,
+    },
+    /// The runtime shut down before the job could run.
+    Shutdown,
+    /// The submission queue was full (`try_submit` only).
+    QueueFull,
+    /// The simulator/executor reported an error.
+    Sim(CoreError),
+    /// The job body panicked; the payload's `Display` if it had one.
+    Panicked(String),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Cancelled => write!(f, "job cancelled before it started"),
+            JobError::DeadlineExceeded { late_by } => {
+                write!(f, "job deadline exceeded ({late_by:.2?} late)")
+            }
+            JobError::Shutdown => write!(f, "runtime shut down before the job ran"),
+            JobError::QueueFull => write!(f, "submission queue full"),
+            JobError::Sim(e) => write!(f, "simulation error: {e}"),
+            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for JobError {
+    fn from(e: CoreError) -> Self {
+        JobError::Sim(e)
+    }
+}
+
+pub(crate) struct Shared<T> {
+    pub(crate) state: Mutex<Option<Result<T, JobError>>>,
+    pub(crate) done: Condvar,
+    /// Shared with the scheduler's queue entry so workers can observe
+    /// cancellation without knowing `T`.
+    pub(crate) cancelled: Arc<AtomicBool>,
+    pub(crate) id: u64,
+}
+
+impl<T> Shared<T> {
+    pub(crate) fn complete(&self, result: Result<T, JobError>) {
+        let mut state = self.state.lock().unwrap();
+        if state.is_none() {
+            *state = Some(result);
+            self.done.notify_all();
+        }
+    }
+}
+
+/// A handle to one submitted job — a blocking future.
+///
+/// The result is retrieved exactly once with [`join`](JobHandle::join)
+/// (or [`join_timeout`](JobHandle::join_timeout)); dropping the handle
+/// detaches the job, which still runs to completion.
+pub struct JobHandle<T> {
+    pub(crate) shared: Arc<Shared<T>>,
+}
+
+impl<T> fmt::Debug for JobHandle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.shared.id)
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
+impl<T> JobHandle<T> {
+    pub(crate) fn new(id: u64) -> (Self, Arc<Shared<T>>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(None),
+            done: Condvar::new(),
+            cancelled: Arc::new(AtomicBool::new(false)),
+            id,
+        });
+        (JobHandle { shared: Arc::clone(&shared) }, shared)
+    }
+
+    /// The runtime-unique job id (submission order).
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    /// Whether a result is already available.
+    pub fn is_done(&self) -> bool {
+        self.shared.state.lock().unwrap().is_some()
+    }
+
+    /// Requests cancellation. Queued jobs resolve to
+    /// [`JobError::Cancelled`]; a job already running completes normally
+    /// (the simulator has no safe preemption points).
+    pub fn cancel(&self) {
+        self.shared.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`cancel`](JobHandle::cancel) was called.
+    pub fn is_cancelled(&self) -> bool {
+        self.shared.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the job resolves and returns its result.
+    pub fn join(self) -> Result<T, JobError> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(result) = state.take() {
+                return result;
+            }
+            state = self.shared.done.wait(state).unwrap();
+        }
+    }
+
+    /// Blocks up to `timeout` for the result; `Err(self)` gives the handle
+    /// back on timeout so the caller can keep waiting or cancel.
+    pub fn join_timeout(self, timeout: Duration) -> Result<Result<T, JobError>, Self> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(result) = state.take() {
+                return Ok(result);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                drop(state);
+                return Err(self);
+            }
+            let (guard, _timeout_result) =
+                self.shared.done.wait_timeout(state, deadline - now).unwrap();
+            state = guard;
+        }
+    }
+}
+
+/// Submission options: deadline and cache behaviour.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobOptions {
+    /// Resolve to [`JobError::DeadlineExceeded`] if the job has not
+    /// *started* within this duration of submission. `None` means no
+    /// deadline.
+    pub deadline: Option<Duration>,
+    /// Skip the plan/report cache for this job (both lookup and fill).
+    pub bypass_cache: bool,
+}
+
+impl JobOptions {
+    /// Options with a start deadline.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        JobOptions { deadline: Some(deadline), ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn join_receives_result_across_threads() {
+        let (handle, shared) = JobHandle::<u32>::new(7);
+        assert_eq!(handle.id(), 7);
+        assert!(!handle.is_done());
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            shared.complete(Ok(99));
+        });
+        assert_eq!(handle.join().unwrap(), 99);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn join_timeout_returns_handle_then_result() {
+        let (handle, shared) = JobHandle::<u32>::new(0);
+        let handle = handle.join_timeout(Duration::from_millis(10)).unwrap_err();
+        shared.complete(Err(JobError::Cancelled));
+        assert_eq!(handle.join(), Err(JobError::Cancelled));
+    }
+
+    #[test]
+    fn first_completion_wins() {
+        let (handle, shared) = JobHandle::<u32>::new(0);
+        shared.complete(Ok(1));
+        shared.complete(Ok(2));
+        assert_eq!(handle.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = JobError::DeadlineExceeded { late_by: Duration::from_millis(5) };
+        assert!(e.to_string().contains("deadline"));
+        assert!(JobError::Panicked("boom".into()).to_string().contains("boom"));
+    }
+}

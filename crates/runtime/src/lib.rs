@@ -1,0 +1,58 @@
+//! `cf-runtime` — a concurrent simulation-service runtime for the
+//! Cambricon-F reproduction.
+//!
+//! The simulator crates (`cf-core`, `cf-model`) are synchronous,
+//! single-job libraries. This crate turns them into a *service*:
+//!
+//! * [`Runtime`] — a bounded submission queue feeding a `std::thread`
+//!   worker pool; every submission returns a [`JobHandle`] with
+//!   deadlines, cancellation and graceful shutdown.
+//! * [`PlanCache`] — an LRU over finished [`PerfReport`]s keyed by
+//!   `(machine fingerprint, program content hash)`, so repeated
+//!   simulations of the same workload skip the fractal planner and
+//!   pipeline model entirely. Simulation is a pure function of machine
+//!   structure and program content, which is what makes the cache exact;
+//!   functional execution is not (it reads memory contents) and bypasses
+//!   the cache — see DESIGN.md §6.
+//! * [`batch`] — fan-out helpers for design-space sweeps
+//!   ([`batch::sweep_designs`]) and labelled job suites
+//!   ([`batch::run_batch`], used by the experiment harness).
+//! * [`manifest`] — the `cfserve` job-manifest grammar and builtin
+//!   workload registry.
+//! * [`RuntimeStats`] — lock-free counters (submissions, completions,
+//!   cache hits, queue wait, per-worker busy time) snapshotted on demand.
+//!
+//! # Example
+//!
+//! ```
+//! use cf_runtime::{Runtime, RuntimeConfig};
+//! use cf_core::MachineConfig;
+//! use cf_workloads::nets;
+//! use std::sync::Arc;
+//!
+//! let runtime = Runtime::new(RuntimeConfig { workers: 2, ..Default::default() });
+//! let program = Arc::new(nets::matmul_program(128));
+//!
+//! // Submit the same workload twice: the second run is a cache hit and
+//! // returns the identical report.
+//! let a = runtime.submit_simulate(MachineConfig::cambricon_f1(), Arc::clone(&program));
+//! let b = runtime.submit_simulate(MachineConfig::cambricon_f1(), program);
+//! let (a, b) = (a.join().unwrap(), b.join().unwrap());
+//! assert_eq!(a.report, b.report);
+//! ```
+//!
+//! [`PerfReport`]: cf_core::PerfReport
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+pub mod job;
+pub mod manifest;
+pub mod scheduler;
+pub mod stats;
+
+pub use cache::{CacheKey, PlanCache};
+pub use job::{JobError, JobHandle, JobOptions};
+pub use scheduler::{ExecResult, Runtime, RuntimeConfig, SimResult};
+pub use stats::{RuntimeStats, StatsSnapshot, WorkerSnapshot};

@@ -1,0 +1,542 @@
+//! The job scheduler: a bounded submission queue feeding a fixed pool of
+//! `std::thread` workers.
+//!
+//! Design:
+//!
+//! * **Bounded queue** — [`Runtime::submit_task`] and friends block while
+//!   the queue is at capacity (backpressure); `try_*` variants return
+//!   [`JobError::QueueFull`] instead.
+//! * **Handles** — every submission returns a [`JobHandle`], a blocking
+//!   future with cancellation. Cancellation is cooperative at job
+//!   granularity: queued jobs resolve to [`JobError::Cancelled`], a job
+//!   already on a worker runs to completion.
+//! * **Deadlines** — a job may carry a *start* deadline
+//!   ([`JobOptions::deadline`]); a worker that picks an expired job up
+//!   resolves it to [`JobError::DeadlineExceeded`] without running it.
+//! * **Graceful shutdown** — [`Runtime::shutdown`] (and `Drop`) closes the
+//!   queue, lets the workers drain every queued job, then joins them;
+//!   [`Runtime::shutdown_now`] resolves still-queued jobs to
+//!   [`JobError::Shutdown`] instead of running them.
+//! * **Caching** — simulation jobs consult the shared [`PlanCache`] keyed
+//!   by `(machine fingerprint, program hash)`; functional-execution jobs
+//!   bypass it by construction (their results depend on memory contents,
+//!   which the key does not cover).
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Instant;
+
+use cf_core::{Machine, MachineConfig, PerfReport};
+use cf_isa::Program;
+use cf_tensor::gen::DataGen;
+use cf_tensor::{Memory, Shape};
+
+use crate::cache::{CacheKey, PlanCache};
+use crate::job::{JobError, JobHandle, JobOptions};
+use crate::stats::RuntimeStats;
+
+/// Construction parameters for a [`Runtime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Maximum queued (not yet started) jobs before submission blocks.
+    pub queue_capacity: usize,
+    /// Plan/report cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            queue_capacity: 1024,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// What a worker decided to do with a dequeued job.
+enum Disposition {
+    Run,
+    Cancelled,
+    Expired { late_by: std::time::Duration },
+    Shutdown,
+}
+
+struct QueuedJob {
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    cancelled: Arc<AtomicBool>,
+    /// Completes the handle according to the disposition; returns whether
+    /// the body ran and succeeded (`None` when the body did not run).
+    run: Box<dyn FnOnce(Disposition) -> Option<bool> + Send>,
+}
+
+struct QueueState {
+    jobs: VecDeque<QueuedJob>,
+    closed: bool,
+}
+
+/// Single-flight marker: the first job to miss on a key becomes the
+/// *leader* and simulates; concurrent same-key jobs wait here for the
+/// cache fill instead of duplicating the planner run.
+#[derive(Default)]
+struct Inflight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+struct PoolInner {
+    queue: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    queue_capacity: usize,
+    cache: PlanCache,
+    inflight: Mutex<HashMap<CacheKey, Arc<Inflight>>>,
+    stats: RuntimeStats,
+    next_id: AtomicU64,
+}
+
+/// Outcome of a cached simulation job.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// The performance report (shared with the cache on hits and fills).
+    pub report: Arc<PerfReport>,
+    /// Whether the report came out of the plan/report cache.
+    pub cache_hit: bool,
+    /// The cache key the job used.
+    pub key: CacheKey,
+}
+
+/// Outcome of a functional-execution job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecResult {
+    /// Final external memory after the program ran (seeded inputs
+    /// included), element for element.
+    pub memory: Vec<f32>,
+}
+
+/// The concurrent simulation-service runtime: worker pool + bounded queue
+/// + plan/report cache + stats registry.
+///
+/// # Examples
+///
+/// ```
+/// use cf_runtime::{Runtime, RuntimeConfig};
+/// use cf_core::MachineConfig;
+/// use cf_isa::{Opcode, ProgramBuilder};
+/// use std::sync::Arc;
+///
+/// let runtime = Runtime::new(RuntimeConfig { workers: 2, ..Default::default() });
+/// let mut b = ProgramBuilder::new();
+/// let a = b.alloc("a", vec![64, 64]);
+/// let w = b.alloc("w", vec![64, 64]);
+/// b.apply(Opcode::MatMul, [a, w])?;
+/// let program = Arc::new(b.build());
+///
+/// let cold =
+///     runtime.submit_simulate(MachineConfig::cambricon_f1(), Arc::clone(&program)).join()?;
+/// let warm = runtime.submit_simulate(MachineConfig::cambricon_f1(), program).join()?;
+/// assert_eq!(cold.report, warm.report);
+/// assert!(warm.cache_hit);
+/// assert_eq!(runtime.stats().snapshot().cache_hits, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Runtime {
+    inner: Arc<PoolInner>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("workers", &self.workers.len())
+            .field("queue_capacity", &self.inner.queue_capacity)
+            .field("cache_capacity", &self.inner.cache.capacity())
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// Builds the pool and starts its workers.
+    pub fn new(config: RuntimeConfig) -> Self {
+        let workers = config.workers.max(1);
+        let inner = Arc::new(PoolInner {
+            queue: Mutex::new(QueueState { jobs: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            queue_capacity: config.queue_capacity.max(1),
+            cache: PlanCache::new(config.cache_capacity),
+            inflight: Mutex::new(HashMap::new()),
+            stats: RuntimeStats::new(workers),
+            next_id: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                thread::Builder::new()
+                    .name(format!("cf-runtime-worker-{i}"))
+                    .spawn(move || worker_loop(&inner, i))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Runtime { inner, workers: handles }
+    }
+
+    /// A runtime with `workers` threads and default queue/cache sizing.
+    pub fn with_workers(workers: usize) -> Self {
+        Runtime::new(RuntimeConfig { workers, ..Default::default() })
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The live counters registry.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.inner.stats
+    }
+
+    /// The shared plan/report cache.
+    pub fn cache(&self) -> &PlanCache {
+        &self.inner.cache
+    }
+
+    /// Submits an arbitrary closure job (blocking while the queue is
+    /// full). Used for batch sweeps and the experiment harness.
+    pub fn submit_task<T, F>(&self, f: F) -> JobHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.submit_with(JobOptions::default(), move || Ok(f()), true)
+    }
+
+    /// [`submit_task`](Runtime::submit_task) with explicit options.
+    pub fn submit_task_opts<T, F>(&self, opts: JobOptions, f: F) -> JobHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.submit_with(opts, move || Ok(f()), true)
+    }
+
+    /// Non-blocking [`submit_task`](Runtime::submit_task): fails with
+    /// [`JobError::QueueFull`] instead of waiting for queue space.
+    pub fn try_submit_task<T, F>(&self, f: F) -> Result<JobHandle<T>, JobError>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (handle, accepted) = self.submit_inner(JobOptions::default(), move || Ok(f()), false);
+        if accepted {
+            Ok(handle)
+        } else {
+            Err(JobError::QueueFull)
+        }
+    }
+
+    /// Submits a cached performance simulation of `program` on `machine`.
+    pub fn submit_simulate(
+        &self,
+        machine: MachineConfig,
+        program: Arc<Program>,
+    ) -> JobHandle<SimResult> {
+        self.submit_simulate_opts(JobOptions::default(), machine, program)
+    }
+
+    /// [`submit_simulate`](Runtime::submit_simulate) with explicit options
+    /// (deadline, cache bypass).
+    pub fn submit_simulate_opts(
+        &self,
+        opts: JobOptions,
+        machine: MachineConfig,
+        program: Arc<Program>,
+    ) -> JobHandle<SimResult> {
+        let inner = Arc::clone(&self.inner);
+        let bypass = opts.bypass_cache;
+        self.submit_with(
+            opts,
+            move || {
+                let key = CacheKey::new(&machine, &program);
+                if bypass || inner.cache.capacity() == 0 {
+                    let report =
+                        Arc::new(Machine::new(machine).simulate(&program).map_err(JobError::Sim)?);
+                    return Ok(SimResult { report, cache_hit: false, key });
+                }
+                loop {
+                    if let Some(report) = inner.cache.get(&key) {
+                        inner.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(SimResult { report, cache_hit: true, key });
+                    }
+                    // Single-flight: the first job to miss on this key
+                    // becomes the leader; concurrent same-key jobs wait
+                    // for its cache fill instead of re-running the
+                    // planner.
+                    let waiter = {
+                        let mut inflight = inner.inflight.lock().unwrap();
+                        match inflight.get(&key) {
+                            Some(w) => Some(Arc::clone(w)),
+                            None => {
+                                inflight.insert(key, Arc::new(Inflight::default()));
+                                None
+                            }
+                        }
+                    };
+                    let Some(waiter) = waiter else {
+                        // Leader. Re-check the cache first: a previous
+                        // leader may have filled it between this job's
+                        // miss and its registration.
+                        if let Some(report) = inner.cache.get(&key) {
+                            if let Some(w) = inner.inflight.lock().unwrap().remove(&key) {
+                                *w.done.lock().unwrap() = true;
+                                w.cv.notify_all();
+                            }
+                            inner.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                            return Ok(SimResult { report, cache_hit: true, key });
+                        }
+                        // Simulate, fill, release the waiters.
+                        let simulated = Machine::new(machine.clone()).simulate(&program);
+                        let outcome = match simulated {
+                            Ok(report) => {
+                                let report = Arc::new(report);
+                                inner.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+                                inner.cache.insert(key, Arc::clone(&report));
+                                Ok(SimResult { report, cache_hit: false, key })
+                            }
+                            Err(e) => Err(JobError::Sim(e)),
+                        };
+                        if let Some(w) = inner.inflight.lock().unwrap().remove(&key) {
+                            *w.done.lock().unwrap() = true;
+                            w.cv.notify_all();
+                        }
+                        return outcome;
+                    };
+                    let mut done = waiter.done.lock().unwrap();
+                    while !*done {
+                        done = waiter.cv.wait(done).unwrap();
+                    }
+                    // Loop to re-check the cache: if the leader failed,
+                    // this job takes over as the next leader.
+                }
+            },
+            true,
+        )
+    }
+
+    /// Submits a functional execution of `program` on `machine`, inputs
+    /// seeded from `seed` exactly as `cfrun --exec` seeds them.
+    ///
+    /// Functional jobs **bypass the report cache**: their output is the
+    /// transformed memory, which depends on the seeded input data — not
+    /// covered by the `(machine, program)` cache key (see DESIGN.md §6).
+    pub fn submit_exec(
+        &self,
+        machine: MachineConfig,
+        program: Arc<Program>,
+        seed: u64,
+    ) -> JobHandle<ExecResult> {
+        self.submit_exec_opts(JobOptions::default(), machine, program, seed)
+    }
+
+    /// [`submit_exec`](Runtime::submit_exec) with explicit options.
+    pub fn submit_exec_opts(
+        &self,
+        opts: JobOptions,
+        machine: MachineConfig,
+        program: Arc<Program>,
+        seed: u64,
+    ) -> JobHandle<ExecResult> {
+        self.submit_with(
+            opts,
+            move || {
+                let elems = program.extern_elems() as usize;
+                let mut mem = Memory::new(elems);
+                let data = DataGen::new(seed).uniform(Shape::new(vec![elems]), -1.0, 1.0);
+                mem.as_mut_slice().copy_from_slice(data.data());
+                Machine::new(machine).run(&program, &mut mem).map_err(JobError::Sim)?;
+                Ok(ExecResult { memory: mem.as_mut_slice().to_vec() })
+            },
+            true,
+        )
+    }
+
+    /// Submits a batch of simulations, returning the handles in order.
+    pub fn simulate_batch(
+        &self,
+        jobs: impl IntoIterator<Item = (MachineConfig, Arc<Program>)>,
+    ) -> Vec<JobHandle<SimResult>> {
+        jobs.into_iter().map(|(m, p)| self.submit_simulate(m, p)).collect()
+    }
+
+    /// Closes the queue, drains every queued job, then joins the workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl(false);
+    }
+
+    /// Closes the queue, resolves still-queued jobs to
+    /// [`JobError::Shutdown`] without running them, then joins the
+    /// workers (the job each worker is currently running still finishes).
+    pub fn shutdown_now(mut self) {
+        self.shutdown_impl(true);
+    }
+
+    fn shutdown_impl(&mut self, discard_queued: bool) {
+        {
+            let mut q = self.inner.queue.lock().unwrap();
+            q.closed = true;
+            if discard_queued {
+                for job in q.jobs.drain(..) {
+                    (job.run)(Disposition::Shutdown);
+                }
+            }
+            self.inner.not_empty.notify_all();
+            self.inner.not_full.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// The blocking submission path (waits for queue space).
+    fn submit_with<T, F>(&self, opts: JobOptions, body: F, block_when_full: bool) -> JobHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> Result<T, JobError> + Send + 'static,
+    {
+        self.submit_inner(opts, body, block_when_full).0
+    }
+
+    /// The generic submission path. With `block_when_full` the call waits
+    /// for queue space; otherwise a full queue returns `false` in the
+    /// second slot (the handle is completed with [`JobError::QueueFull`]).
+    fn submit_inner<T, F>(
+        &self,
+        opts: JobOptions,
+        body: F,
+        block_when_full: bool,
+    ) -> (JobHandle<T>, bool)
+    where
+        T: Send + 'static,
+        F: FnOnce() -> Result<T, JobError> + Send + 'static,
+    {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let (handle, shared) = JobHandle::<T>::new(id);
+        // The queue entry shares the handle's cancel flag so workers can
+        // observe cancellation without knowing `T`.
+        let cancelled = Arc::clone(&shared.cancelled);
+
+        let now = Instant::now();
+        let deadline = opts.deadline.map(|d| now + d);
+        let run = {
+            let shared = Arc::clone(&shared);
+            Box::new(move |disposition: Disposition| match disposition {
+                Disposition::Run => {
+                    let outcome = catch_unwind(AssertUnwindSafe(body));
+                    let (ok, result) = match outcome {
+                        Ok(Ok(value)) => (true, Ok(value)),
+                        Ok(Err(e)) => (false, Err(e)),
+                        Err(payload) => (false, Err(JobError::Panicked(panic_message(&*payload)))),
+                    };
+                    shared.complete(result);
+                    Some(ok)
+                }
+                Disposition::Cancelled => {
+                    shared.complete(Err(JobError::Cancelled));
+                    None
+                }
+                Disposition::Expired { late_by } => {
+                    shared.complete(Err(JobError::DeadlineExceeded { late_by }));
+                    None
+                }
+                Disposition::Shutdown => {
+                    shared.complete(Err(JobError::Shutdown));
+                    None
+                }
+            }) as Box<dyn FnOnce(Disposition) -> Option<bool> + Send>
+        };
+        let job = QueuedJob { enqueued: now, deadline, cancelled, run };
+
+        let mut q = self.inner.queue.lock().unwrap();
+        while !q.closed && q.jobs.len() >= self.inner.queue_capacity {
+            if !block_when_full {
+                drop(q);
+                shared.complete(Err(JobError::QueueFull));
+                return (handle, false);
+            }
+            q = self.inner.not_full.wait(q).unwrap();
+        }
+        if q.closed {
+            drop(q);
+            shared.complete(Err(JobError::Shutdown));
+            return (handle, false);
+        }
+        q.jobs.push_back(job);
+        drop(q);
+        self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.not_empty.notify_one();
+        (handle, true)
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown_impl(false);
+    }
+}
+
+fn worker_loop(inner: &PoolInner, worker_index: usize) {
+    loop {
+        let job = {
+            let mut q = inner.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break Some(job);
+                }
+                if q.closed {
+                    break None;
+                }
+                q = inner.not_empty.wait(q).unwrap();
+            }
+        };
+        let Some(job) = job else { return };
+        inner.not_full.notify_one();
+        inner
+            .stats
+            .queue_wait_nanos
+            .fetch_add(job.enqueued.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+        if job.cancelled.load(Ordering::SeqCst) {
+            (job.run)(Disposition::Cancelled);
+            inner.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        if let Some(deadline) = job.deadline {
+            let now = Instant::now();
+            if now > deadline {
+                (job.run)(Disposition::Expired { late_by: now - deadline });
+                inner.stats.expired.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+        }
+        let t0 = Instant::now();
+        if let Some(ok) = (job.run)(Disposition::Run) {
+            inner.stats.record_run(worker_index, t0.elapsed(), ok);
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

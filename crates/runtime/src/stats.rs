@@ -1,0 +1,198 @@
+//! The `RuntimeStats` registry: lock-free counters describing what the
+//! runtime has done so far, readable at any time from any thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Per-worker counters (one slot per pool thread).
+#[derive(Debug, Default)]
+pub struct WorkerStats {
+    /// Jobs this worker ran to completion (ok or error).
+    pub jobs: AtomicU64,
+    /// Nanoseconds this worker spent executing job bodies.
+    pub busy_nanos: AtomicU64,
+}
+
+/// Aggregate counters for one [`Runtime`](crate::Runtime) instance.
+///
+/// All counters are monotonically increasing atomics; [`snapshot`] folds
+/// them into a plain value for reporting.
+///
+/// [`snapshot`]: RuntimeStats::snapshot
+#[derive(Debug)]
+pub struct RuntimeStats {
+    /// Jobs accepted into the queue.
+    pub submitted: AtomicU64,
+    /// Jobs that ran and produced `Ok`.
+    pub completed: AtomicU64,
+    /// Jobs that ran and produced `Err` (including panicked bodies).
+    pub failed: AtomicU64,
+    /// Jobs cancelled before they started.
+    pub cancelled: AtomicU64,
+    /// Jobs whose deadline passed before a worker picked them up.
+    pub expired: AtomicU64,
+    /// Simulation jobs answered from the plan/report cache.
+    pub cache_hits: AtomicU64,
+    /// Simulation jobs that had to run the planner.
+    pub cache_misses: AtomicU64,
+    /// Total nanoseconds jobs waited in the queue before starting.
+    pub queue_wait_nanos: AtomicU64,
+    /// Per-worker slots, fixed at pool construction.
+    pub workers: Vec<WorkerStats>,
+    started: Instant,
+}
+
+impl RuntimeStats {
+    /// A zeroed registry for a pool of `workers` threads.
+    pub fn new(workers: usize) -> Self {
+        RuntimeStats {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            queue_wait_nanos: AtomicU64::new(0),
+            workers: (0..workers).map(|_| WorkerStats::default()).collect(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records one finished job body on worker `worker`.
+    pub(crate) fn record_run(&self, worker: usize, busy: Duration, ok: bool) {
+        let w = &self.workers[worker];
+        w.jobs.fetch_add(1, Ordering::Relaxed);
+        w.busy_nanos.fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+        if ok {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let per_worker: Vec<WorkerSnapshot> = self
+            .workers
+            .iter()
+            .map(|w| WorkerSnapshot {
+                jobs: w.jobs.load(Ordering::Relaxed),
+                busy: Duration::from_nanos(w.busy_nanos.load(Ordering::Relaxed)),
+            })
+            .collect();
+        StatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            queue_wait: Duration::from_nanos(self.queue_wait_nanos.load(Ordering::Relaxed)),
+            uptime: self.started.elapsed(),
+            per_worker,
+        }
+    }
+}
+
+/// Plain-value view of [`RuntimeStats`]; see [`RuntimeStats::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs finished with `Ok`.
+    pub completed: u64,
+    /// Jobs finished with `Err`.
+    pub failed: u64,
+    /// Jobs cancelled before starting.
+    pub cancelled: u64,
+    /// Jobs that missed their deadline in the queue.
+    pub expired: u64,
+    /// Plan/report cache hits.
+    pub cache_hits: u64,
+    /// Plan/report cache misses.
+    pub cache_misses: u64,
+    /// Cumulative queue waiting time across jobs.
+    pub queue_wait: Duration,
+    /// Time since the runtime started.
+    pub uptime: Duration,
+    /// Per-worker job/busy counters.
+    pub per_worker: Vec<WorkerSnapshot>,
+}
+
+/// One worker's share of a [`StatsSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSnapshot {
+    /// Jobs the worker ran.
+    pub jobs: u64,
+    /// Time the worker spent in job bodies.
+    pub busy: Duration,
+}
+
+impl StatsSnapshot {
+    /// Jobs that reached a terminal state.
+    pub fn finished(&self) -> u64 {
+        self.completed + self.failed + self.cancelled + self.expired
+    }
+
+    /// Completed jobs per second of runtime uptime.
+    pub fn throughput_jobs_per_sec(&self) -> f64 {
+        let secs = self.uptime.as_secs_f64();
+        if secs > 0.0 {
+            self.completed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Cache hits as a fraction of all cache-eligible jobs (0 when none
+    /// ran yet).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total > 0 {
+            self.cache_hits as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Aggregate busy time across workers.
+    pub fn total_busy(&self) -> Duration {
+        self.per_worker.iter().map(|w| w.busy).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_derived_metrics() {
+        let stats = RuntimeStats::new(2);
+        stats.submitted.fetch_add(4, Ordering::Relaxed);
+        stats.record_run(0, Duration::from_millis(10), true);
+        stats.record_run(1, Duration::from_millis(30), true);
+        stats.record_run(1, Duration::from_millis(5), false);
+        stats.cache_hits.fetch_add(3, Ordering::Relaxed);
+        stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+        let snap = stats.snapshot();
+        assert_eq!(snap.submitted, 4);
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.finished(), 3);
+        assert_eq!(snap.per_worker.len(), 2);
+        assert_eq!(snap.per_worker[1].jobs, 2);
+        assert!((snap.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(snap.total_busy(), Duration::from_millis(45));
+        assert!(snap.throughput_jobs_per_sec() >= 0.0);
+    }
+
+    #[test]
+    fn empty_rates_are_zero() {
+        let snap = RuntimeStats::new(1).snapshot();
+        assert_eq!(snap.cache_hit_rate(), 0.0);
+        assert_eq!(snap.finished(), 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Stable content hashing for cache keys.
+//!
+//! `cf-runtime` keys its plan/report cache on `(machine fingerprint,
+//! program hash)`. Rust's `std::hash::DefaultHasher` is explicitly *not*
+//! stable across releases, so cache keys that may outlive a process (or be
+//! compared across builds, e.g. in persisted run manifests) use this
+//! fixed algorithm instead: FNV-1a over a canonical byte encoding, with
+//! `f64` fields hashed by their IEEE-754 bit patterns.
+//!
+//! # Examples
+//!
+//! ```
+//! use cf_tensor::fingerprint::StableHasher;
+//!
+//! let mut a = StableHasher::new();
+//! a.write_u64(7);
+//! a.write_f64(0.5);
+//! let mut b = StableHasher::new();
+//! b.write_u64(7);
+//! b.write_f64(0.5);
+//! assert_eq!(a.finish(), b.finish());
+//! ```
+
+use crate::{Region, Shape};
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// A 64-bit FNV-1a hasher with a fixed, documented algorithm.
+///
+/// Unlike `std::hash::Hasher` implementations, the output is guaranteed
+/// stable across Rust releases, platforms and processes, making it safe to
+/// use in cache keys and persisted artifacts.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Feeds a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `usize` widened to `u64` (so 32- and 64-bit hosts agree).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds an `f64` by its IEEE-754 bit pattern. (`-0.0` and `0.0` hash
+    /// differently; configuration values are written literally, so the
+    /// distinction never arises in practice.)
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Feeds an `f32` by its IEEE-754 bit pattern.
+    pub fn write_f32(&mut self, v: f32) {
+        self.write_bytes(&v.to_bits().to_le_bytes());
+    }
+
+    /// Feeds a string, length-prefixed so concatenations cannot collide.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Feeds a `bool` as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(v as u8);
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Types with a canonical stable hash encoding.
+pub trait StableHash {
+    /// Feeds `self`'s canonical encoding into `h`.
+    fn stable_hash(&self, h: &mut StableHasher);
+}
+
+impl StableHash for Shape {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_usize(self.rank());
+        for &d in self.dims() {
+            h.write_usize(d);
+        }
+    }
+}
+
+impl StableHash for Region {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u64(self.offset());
+        self.shape().stable_hash(h);
+        h.write_usize(self.strides().len());
+        for &s in self.strides() {
+            h.write_u64(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vectors() {
+        // FNV-1a reference values.
+        let mut h = StableHasher::new();
+        h.write_bytes(b"");
+        assert_eq!(h.finish(), 0xCBF2_9CE4_8422_2325);
+        let mut h = StableHasher::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xAF63_DC4C_8601_EC8C);
+    }
+
+    #[test]
+    fn length_prefix_prevents_concat_collisions() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn region_hash_distinguishes_layout() {
+        let contiguous = Region::contiguous(0, Shape::new(vec![4, 4]));
+        let strided = Region::strided(0, Shape::new(vec![4, 4]), vec![8, 1]);
+        let (mut ha, mut hb) = (StableHasher::new(), StableHasher::new());
+        contiguous.stable_hash(&mut ha);
+        strided.stable_hash(&mut hb);
+        assert_ne!(ha.finish(), hb.finish());
+
+        let mut hc = StableHasher::new();
+        Region::contiguous(0, Shape::new(vec![4, 4])).stable_hash(&mut hc);
+        assert_eq!(ha.finish(), hc.finish());
+    }
+}

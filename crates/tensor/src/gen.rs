@@ -107,7 +107,7 @@ mod tests {
     #[test]
     fn labels_in_range() {
         let t = DataGen::new(1).labels(128, 5);
-        assert!(t.data().iter().all(|&x| x >= 0.0 && x < 5.0 && x.fract() == 0.0));
+        assert!(t.data().iter().all(|&x| (0.0..5.0).contains(&x) && x.fract() == 0.0));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! ```
 
 mod error;
+pub mod fingerprint;
 pub mod gen;
 mod memory;
 mod region;

@@ -158,12 +158,7 @@ impl Tensor {
                 actual: other.shape.dims().to_vec(),
             });
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max))
+        Ok(self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max))
     }
 
     /// `true` when every element differs from `other` by at most `tol`.

@@ -11,9 +11,7 @@
 //! determine machine behaviour) with the control step approximated by
 //! equivalent-cost elementwise passes — see DESIGN.md §1.
 
-use cf_isa::{
-    CountParams, Instruction, IsaError, Opcode, OpParams, Program, ProgramBuilder,
-};
+use cf_isa::{CountParams, Instruction, IsaError, OpParams, Opcode, Program, ProgramBuilder};
 use cf_tensor::{Region, Shape};
 
 /// Problem sizes for the ML benchmarks.
@@ -79,14 +77,8 @@ pub fn knn_program_with_candidates(
     let votes = b.alloc("votes", vec![s.queries, s.classes]);
     // Two double-buffered sort outputs so consecutive queries can overlap
     // in the FISA pipeline.
-    let sorted_d = [
-        b.alloc("%sd0", vec![s.samples]),
-        b.alloc("%sd1", vec![s.samples]),
-    ];
-    let sorted_l = [
-        b.alloc("%sl0", vec![s.samples]),
-        b.alloc("%sl1", vec![s.samples]),
-    ];
+    let sorted_d = [b.alloc("%sd0", vec![s.samples]), b.alloc("%sd1", vec![s.samples])];
+    let sorted_l = [b.alloc("%sl0", vec![s.samples]), b.alloc("%sl1", vec![s.samples])];
     let dist_region = b.region(dist[0]).clone();
     let labels_region = b.region(labels).clone();
     let votes_region = b.region(votes).clone();
@@ -105,8 +97,7 @@ pub fn knn_program_with_candidates(
         let topk = sl.slice(0, 0, k)?;
         for c in 0..candidates.min(s.classes) {
             let vote_cell = votes_region.slice(0, q, 1)?.slice(1, c, 1)?;
-            let vote_cell =
-                Region::contiguous(vote_cell.offset(), Shape::scalar());
+            let vote_cell = Region::contiguous(vote_cell.offset(), Shape::scalar());
             b.push_raw(Instruction::new(
                 Opcode::Count1D,
                 OpParams::Count(CountParams { value: c as f32, tol: 0.1 }),
@@ -252,17 +243,10 @@ pub fn svm_program(s: &MlSize) -> Result<Program, IsaError> {
         b.push_raw(Instruction::new(
             Opcode::Act1D,
             OpParams::Act(cf_isa::ActKind::Relu),
-            vec![Region::contiguous(
-                src.offset(),
-                Shape::new(vec![1, s.samples, m, 1]),
-            )],
+            vec![Region::contiguous(src.offset(), Shape::new(vec![1, s.samples, m, 1]))],
             vec![dst],
         )?);
-        b.apply_with(
-            Opcode::Max2D,
-            OpParams::Pool(cf_isa::PoolParams::square(2, 2, 0)),
-            [k4],
-        )?;
+        b.apply_with(Opcode::Max2D, OpParams::Pool(cf_isa::PoolParams::square(2, 2, 0)), [k4])?;
     }
     Ok(b.build())
 }
@@ -431,13 +415,9 @@ mod tests {
 
         let votes = mem.read_region(program.symbol("votes").unwrap()).unwrap();
         let expect = knn_reference(refs.data(), labels.data(), queries.data(), &s, k);
-        for q in 0..s.queries {
-            for c in 0..s.classes {
-                assert_eq!(
-                    votes.get(&[q, c]) as u32,
-                    expect[q][c],
-                    "vote mismatch at query {q} class {c}"
-                );
+        for (q, row) in expect.iter().enumerate().take(s.queries) {
+            for (c, &want) in row.iter().enumerate().take(s.classes) {
+                assert_eq!(votes.get(&[q, c]) as u32, want, "vote mismatch at query {q} class {c}");
             }
         }
         // Every query casts exactly k votes.
@@ -450,11 +430,9 @@ mod tests {
     #[test]
     fn iterative_programs_execute_functionally() {
         let s = MlSize::small();
-        for program in [
-            kmeans_program(&s).unwrap(),
-            lvq_program(&s).unwrap(),
-            svm_program(&s).unwrap(),
-        ] {
+        for program in
+            [kmeans_program(&s).unwrap(), lvq_program(&s).unwrap(), svm_program(&s).unwrap()]
+        {
             let mut mem = Memory::new(program.extern_elems() as usize);
             let t = DataGen::new(5).uniform(
                 Shape::new(vec![program.extern_elems() as usize]),

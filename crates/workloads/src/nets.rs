@@ -5,7 +5,9 @@
 //! parameters and 2.26·10¹⁰ ops/image (at 224×224 ImageNet shapes), plus
 //! AlexNet and the 3-layer MLP used for Table 1.
 
-use cf_isa::{ConvParams, IsaError, Opcode, OpParams, PoolParams, Program, ProgramBuilder, TensorHandle};
+use cf_isa::{
+    ConvParams, IsaError, OpParams, Opcode, PoolParams, Program, ProgramBuilder, TensorHandle,
+};
 
 /// One network layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -150,10 +152,8 @@ pub fn vgg16() -> NetDef {
 /// (the residual add uses the pre-block activation only when shapes
 /// match, as in identity blocks).
 pub fn resnet152() -> NetDef {
-    let mut layers = vec![
-        Layer::Conv { k: 7, s: 2, p: 3, out_c: 64 },
-        Layer::MaxPool { k: 2, s: 2 },
-    ];
+    let mut layers =
+        vec![Layer::Conv { k: 7, s: 2, p: 3, out_c: 64 }, Layer::MaxPool { k: 2, s: 2 }];
     let stages: [(usize, usize); 4] = [(3, 64), (8, 128), (36, 256), (3, 512)];
     for (si, (blocks, width)) in stages.iter().enumerate() {
         for b in 0..*blocks {
@@ -203,11 +203,7 @@ pub fn mlp3() -> NetDef {
     NetDef {
         name: "MLP-3",
         input: (1, 1, 784),
-        layers: vec![
-            Layer::Fc { out: 2048 },
-            Layer::Fc { out: 2048 },
-            Layer::Fc { out: 10 },
-        ],
+        layers: vec![Layer::Fc { out: 2048 }, Layer::Fc { out: 2048 }, Layer::Fc { out: 10 }],
     }
 }
 
@@ -230,22 +226,25 @@ pub fn build_program(net: &NetDef, batch: usize) -> Result<Program, IsaError> {
             Layer::Conv { k, s, p, out_c } => {
                 let c_in = b.shape(act).dim(3);
                 let wt = b.alloc(format!("w{i}"), vec![k, k, c_in, out_c]);
-                let conv = b.apply_with(
-                    Opcode::Cv2D,
-                    OpParams::Conv(ConvParams::same(s, p)),
-                    [act, wt],
-                )?;
+                let conv =
+                    b.apply_with(Opcode::Cv2D, OpParams::Conv(ConvParams::same(s, p)), [act, wt])?;
                 let relu = b.apply(Opcode::Act1D, [conv[0]])?;
                 act = relu[0];
             }
             Layer::MaxPool { k, s } => {
-                let out =
-                    b.apply_with(Opcode::Max2D, OpParams::Pool(PoolParams::square(k, s, 0)), [act])?;
+                let out = b.apply_with(
+                    Opcode::Max2D,
+                    OpParams::Pool(PoolParams::square(k, s, 0)),
+                    [act],
+                )?;
                 act = out[0];
             }
             Layer::AvgPool { k, s } => {
-                let out =
-                    b.apply_with(Opcode::Avg2D, OpParams::Pool(PoolParams::square(k, s, 0)), [act])?;
+                let out = b.apply_with(
+                    Opcode::Avg2D,
+                    OpParams::Pool(PoolParams::square(k, s, 0)),
+                    [act],
+                )?;
                 act = out[0];
             }
             Layer::Lrn => {
@@ -293,11 +292,7 @@ pub fn build_program(net: &NetDef, batch: usize) -> Result<Program, IsaError> {
                 let wt = b.alloc(format!("w{i}"), vec![features, out]);
                 let mm = b.apply(Opcode::MatMul, [input2d, wt])?;
                 let is_last = i + 1 == net.layers.len();
-                act = if is_last {
-                    mm[0]
-                } else {
-                    b.apply(Opcode::Act1D, [mm[0]])?[0]
-                };
+                act = if is_last { mm[0] } else { b.apply(Opcode::Act1D, [mm[0]])?[0] };
                 flat = Some(act);
             }
             Layer::ResSave => saved = Some(act),
@@ -318,26 +313,14 @@ pub fn build_program(net: &NetDef, batch: usize) -> Result<Program, IsaError> {
 /// # Errors
 ///
 /// Propagates shape-inference errors.
-pub fn video3d_program(
-    batch: usize,
-    frames: usize,
-    hw: usize,
-) -> Result<Program, IsaError> {
+pub fn video3d_program(batch: usize, frames: usize, hw: usize) -> Result<Program, IsaError> {
     let mut b = ProgramBuilder::new();
     let clip = b.alloc("clip", vec![batch, frames, hw, hw, 3]);
     let w1 = b.alloc("w1", vec![3, 3, 3, 3, 16]);
-    let c1 = b.apply_with(
-        Opcode::Cv3D,
-        OpParams::Conv(ConvParams::same(1, 1)),
-        [clip, w1],
-    )?;
+    let c1 = b.apply_with(Opcode::Cv3D, OpParams::Conv(ConvParams::same(1, 1)), [clip, w1])?;
     let r1 = b.apply(Opcode::Act1D, [c1[0]])?;
     let w2 = b.alloc("w2", vec![3, 3, 3, 16, 32]);
-    let c2 = b.apply_with(
-        Opcode::Cv3D,
-        OpParams::Conv(ConvParams::same(1, 1)),
-        [r1[0], w2],
-    )?;
+    let c2 = b.apply_with(Opcode::Cv3D, OpParams::Conv(ConvParams::same(1, 1)), [r1[0], w2])?;
     b.apply(Opcode::Act1D, [c2[0]])?;
     Ok(b.build())
 }
@@ -360,30 +343,18 @@ mod tests {
     fn vgg16_matches_table5() {
         let net = vgg16();
         let params = net.param_count();
-        assert!(
-            (params as f64 - 1.38e8).abs() / 1.38e8 < 0.01,
-            "VGG-16 params {params}"
-        );
+        assert!((params as f64 - 1.38e8).abs() / 1.38e8 < 0.01, "VGG-16 params {params}");
         let ops = net.ops_per_image();
-        assert!(
-            (ops as f64 - 3.09e10).abs() / 3.09e10 < 0.02,
-            "VGG-16 ops/image {ops}"
-        );
+        assert!((ops as f64 - 3.09e10).abs() / 3.09e10 < 0.02, "VGG-16 ops/image {ops}");
     }
 
     #[test]
     fn resnet152_matches_table5() {
         let net = resnet152();
         let params = net.param_count();
-        assert!(
-            (params as f64 - 6.03e7).abs() / 6.03e7 < 0.07,
-            "ResNet-152 params {params}"
-        );
+        assert!((params as f64 - 6.03e7).abs() / 6.03e7 < 0.07, "ResNet-152 params {params}");
         let ops = net.ops_per_image();
-        assert!(
-            (ops as f64 - 2.26e10).abs() / 2.26e10 < 0.07,
-            "ResNet-152 ops/image {ops}"
-        );
+        assert!((ops as f64 - 2.26e10).abs() / 2.26e10 < 0.07, "ResNet-152 ops/image {ops}");
     }
 
     #[test]
@@ -431,8 +402,7 @@ mod tests {
     #[test]
     fn resnet_has_residual_adds() {
         let p = build_program(&resnet152(), 1).unwrap();
-        let adds =
-            p.instructions().iter().filter(|i| i.op == Opcode::Add1D).count();
+        let adds = p.instructions().iter().filter(|i| i.op == Opcode::Add1D).count();
         // 50 blocks total, 46 identity blocks carry adds.
         assert!(adds >= 40, "only {adds} residual adds");
     }

@@ -95,10 +95,7 @@ impl ProfileRow {
 pub fn profile_program(name: &str, program: &Program) -> ProfileRow {
     let mut ops = [0u64; 7];
     for inst in program.instructions() {
-        let bucket = Primitive::ALL
-            .iter()
-            .position(|&p| p == Primitive::of(inst.op))
-            .unwrap();
+        let bucket = Primitive::ALL.iter().position(|&p| p == Primitive::of(inst.op)).unwrap();
         ops[bucket] += cost::flops(inst);
     }
     let total: u64 = ops.iter().sum::<u64>().max(1);

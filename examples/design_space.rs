@@ -8,11 +8,11 @@ use cambricon_f::model::designspace::{evaluate, table4_designs, Design};
 use cambricon_f::workloads::nets;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let programs = vec![
-        nets::build_program(&nets::vgg16(), 4)?,
-        nets::matmul_program(4096),
-    ];
-    println!("{:<16} {:>10} {:>10} {:>9} {:>10}", "design", "perf Tops", "power W", "Tops/J", "area mm2");
+    let programs = vec![nets::build_program(&nets::vgg16(), 4)?, nets::matmul_program(4096)];
+    println!(
+        "{:<16} {:>10} {:>10} {:>9} {:>10}",
+        "design", "perf Tops", "power W", "Tops/J", "area mm2"
+    );
     for design in table4_designs() {
         let r = evaluate(&design, &programs)?;
         println!(

@@ -13,11 +13,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Functional check on a miniature clip and machine.
     let small = video3d_program(1, 4, 8)?;
     let mut mem = Memory::new(small.extern_elems() as usize);
-    let data = DataGen::new(3).uniform(
-        Shape::new(vec![small.extern_elems() as usize]),
-        -0.5,
-        0.5,
-    );
+    let data = DataGen::new(3).uniform(Shape::new(vec![small.extern_elems() as usize]), -0.5, 0.5);
     mem.as_mut_slice().copy_from_slice(data.data());
     let mut flat = mem.clone();
     cambricon_f::ops::exec::execute_program(&small, &mut flat)?;

@@ -28,11 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     machine.run(&program, &mut mem)?;
     let votes = mem.read_region(program.symbol("votes").unwrap())?;
     let expect = knn_reference(refs.data(), labels.data(), queries.data(), &small, k);
-    for q in 0..small.queries {
+    for (q, votes_expect) in expect.iter().enumerate().take(small.queries) {
         let predicted = (0..small.classes)
             .max_by(|&a, &b| votes.get(&[q, a]).total_cmp(&votes.get(&[q, b])))
             .unwrap();
-        let native = (0..small.classes).max_by_key(|&c| expect[q][c]).unwrap();
+        let native = (0..small.classes).max_by_key(|&c| votes_expect[c]).unwrap();
         println!("query {q}: fractal machine votes class {predicted}, native reference {native}");
         assert_eq!(predicted, native);
     }

@@ -36,11 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let name = cfg.name.clone();
         let machine = Machine::new(cfg);
         let mut mem = Memory::new(program.extern_elems() as usize);
-        let data = DataGen::new(7).uniform(
-            Shape::new(vec![program.extern_elems() as usize]),
-            -0.5,
-            0.5,
-        );
+        let data =
+            DataGen::new(7).uniform(Shape::new(vec![program.extern_elems() as usize]), -0.5, 0.5);
         mem.as_mut_slice().copy_from_slice(data.data());
         machine.run(&program, &mut mem)?;
         let out = mem.read_region(&program.symbols().last().unwrap().1)?;

@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let h = b.apply(Opcode::Act1D, [h[0]])?;
     let y = b.apply(Opcode::MatMul, [h[0], w2])?;
     let program = b.build();
-    println!("program: {} instructions, {} external elements", program.instructions().len(), program.extern_elems());
+    println!(
+        "program: {} instructions, {} external elements",
+        program.instructions().len(),
+        program.extern_elems()
+    );
 
     // Functional execution on a deliberately tiny machine — the fractal
     // decomposers must split everything, and the result is still exact.

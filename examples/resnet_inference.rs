@@ -14,10 +14,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         net.param_count() as f64,
         net.ops_per_image() as f64
     );
-    for (cfg, batch) in [
-        (MachineConfig::cambricon_f1(), 16usize),
-        (MachineConfig::cambricon_f100(), 64),
-    ] {
+    for (cfg, batch) in
+        [(MachineConfig::cambricon_f1(), 16usize), (MachineConfig::cambricon_f100(), 64)]
+    {
         let program = nets::build_program(&net, batch)?;
         let name = cfg.name.clone();
         let machine = Machine::new(cfg);

@@ -11,8 +11,9 @@
 
 use std::process::ExitCode;
 
-use cambricon_f::core::{Machine, MachineConfig};
+use cambricon_f::core::Machine;
 use cambricon_f::isa::parse_program;
+use cambricon_f::runtime::manifest::{machine_by_name, MACHINE_NAMES};
 use cambricon_f::tensor::{gen::DataGen, Memory, Shape};
 
 fn usage() -> ExitCode {
@@ -43,15 +44,12 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
-    let cfg = match machine_name.as_str() {
-        "f1" => MachineConfig::cambricon_f1(),
-        "f100" => MachineConfig::cambricon_f100(),
-        "embedded" => MachineConfig::cambricon_f_embedded(),
-        "tiny" => MachineConfig::tiny(2, 2, 64 << 10),
-        other => {
-            eprintln!("unknown machine `{other}`");
-            return usage();
-        }
+    let Some(cfg) = machine_by_name(&machine_name) else {
+        eprintln!(
+            "cfrun: unknown machine `{machine_name}` — valid machines are {}",
+            MACHINE_NAMES.join(", ")
+        );
+        return ExitCode::from(2);
     };
 
     let text = match std::fs::read_to_string(path) {
@@ -114,8 +112,7 @@ fn main() -> ExitCode {
         }
         for (name, region) in program.symbols().iter().rev().take(3).rev() {
             let t = mem.read_region(region).expect("read back");
-            let preview: Vec<String> =
-                t.data().iter().take(6).map(|v| format!("{v:.4}")).collect();
+            let preview: Vec<String> = t.data().iter().take(6).map(|v| format!("{v:.4}")).collect();
             println!("{name} {} = [{}…]", region.shape(), preview.join(", "));
         }
     }

@@ -1,0 +1,216 @@
+//! `cfserve` — serve a manifest of simulation jobs through the
+//! cf-runtime pool, streaming JSON-lines results.
+//!
+//! ```text
+//! cfserve <manifest> [--workers N] [--cache-capacity N] [--no-cache]
+//! ```
+//!
+//! The manifest grammar is documented in `cf_runtime::manifest` (one job
+//! per line: `workload=vgg16 machine=f1 repeat=4 …`). Every job becomes
+//! one JSON object on stdout, **in manifest order**, carrying only
+//! deterministic fields — so two serves of the same manifest produce
+//! byte-identical stdout regardless of worker count or cache settings.
+//! Wall-clock timing and the runtime-stats summary go to stderr.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use cambricon_f::runtime::manifest::{self, JobKind, JobSpec};
+use cambricon_f::runtime::{JobError, JobHandle, Runtime, RuntimeConfig};
+use cambricon_f::tensor::fingerprint::StableHasher;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cfserve <manifest> [--workers N] [--cache-capacity N] [--no-cache]");
+    eprintln!("manifest lines: workload=<name>|program=<file.cfasm> \\");
+    eprintln!("    [machine=f1|f100|embedded|tiny] [mode=simulate|exec] [seed=N]");
+    eprintln!("    [batch=N] [order=N] [size=small|paper] [repeat=N] [label=TAG]");
+    ExitCode::from(2)
+}
+
+/// Escapes a string for a JSON value position.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+enum Outcome {
+    Sim(JobHandle<cambricon_f::runtime::SimResult>),
+    Exec(JobHandle<cambricon_f::runtime::ExecResult>),
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(manifest_path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return usage();
+    };
+    let mut workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut cache_capacity = 256usize;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => workers = n,
+                None => return usage(),
+            },
+            "--cache-capacity" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cache_capacity = n,
+                None => return usage(),
+            },
+            "--no-cache" => cache_capacity = 0,
+            _ => return usage(),
+        }
+    }
+
+    let text = match std::fs::read_to_string(manifest_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cfserve: cannot read {manifest_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let specs = match manifest::parse_manifest(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cfserve: {manifest_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if specs.is_empty() {
+        eprintln!("cfserve: {manifest_path}: no jobs");
+        return ExitCode::from(2);
+    }
+
+    // Resolve every program up front (shared across repeats via Arc) so
+    // resolution errors abort before any job runs.
+    let mut resolved: Vec<(JobSpec, Arc<cambricon_f::isa::Program>)> = Vec::new();
+    for spec in specs {
+        match manifest::resolve_program(&spec.source) {
+            Ok(p) => resolved.push((spec, Arc::new(p))),
+            Err(e) => {
+                eprintln!("cfserve: {manifest_path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let runtime = Runtime::new(RuntimeConfig { workers, cache_capacity, ..Default::default() });
+    let t0 = Instant::now();
+
+    // Submit everything first (the pool interleaves freely), then join in
+    // submission order so stdout is deterministic.
+    let mut jobs: Vec<(usize, String, String, &'static str, Outcome)> = Vec::new();
+    for (spec, program) in &resolved {
+        for _ in 0..spec.repeat {
+            let index = jobs.len();
+            let outcome = match spec.kind {
+                JobKind::Simulate => {
+                    let cfg = manifest::machine_by_name(&spec.machine)
+                        .expect("machine validated at parse time");
+                    Outcome::Sim(runtime.submit_simulate(cfg, Arc::clone(program)))
+                }
+                JobKind::Exec { seed } => {
+                    let cfg = manifest::machine_by_name(&spec.machine)
+                        .expect("machine validated at parse time");
+                    Outcome::Exec(runtime.submit_exec(cfg, Arc::clone(program), seed))
+                }
+            };
+            let mode = match spec.kind {
+                JobKind::Simulate => "simulate",
+                JobKind::Exec { .. } => "exec",
+            };
+            jobs.push((index, spec.label.clone(), spec.machine.clone(), mode, outcome));
+        }
+    }
+    let submitted = jobs.len();
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut failures = 0usize;
+    for (index, label, machine, mode, outcome) in jobs {
+        let head = format!(
+            "{{\"job\":{index},\"label\":{},\"machine\":{},\"mode\":{}",
+            json_str(&label),
+            json_str(&machine),
+            json_str(mode),
+        );
+        let line = match outcome {
+            Outcome::Sim(handle) => match handle.join() {
+                Ok(sim) => {
+                    let r = &sim.report;
+                    format!(
+                        "{head},\"ok\":true,\"makespan_s\":{:?},\"steady_s\":{:?},\"attained_tops\":{:?},\"peak_fraction\":{:?},\"root_intensity\":{:?}}}",
+                        r.makespan_seconds,
+                        r.steady_seconds,
+                        r.attained_ops / 1e12,
+                        r.peak_fraction,
+                        r.root_intensity,
+                    )
+                }
+                Err(e) => job_error_line(&head, &e, &mut failures),
+            },
+            Outcome::Exec(handle) => match handle.join() {
+                Ok(exec) => {
+                    let mut h = StableHasher::new();
+                    for v in &exec.memory {
+                        h.write_f32(*v);
+                    }
+                    format!(
+                        "{head},\"ok\":true,\"elems\":{},\"memory_hash\":\"{:016x}\"}}",
+                        exec.memory.len(),
+                        h.finish(),
+                    )
+                }
+                Err(e) => job_error_line(&head, &e, &mut failures),
+            },
+        };
+        if writeln!(out, "{line}").is_err() {
+            return ExitCode::FAILURE;
+        }
+    }
+    drop(out);
+
+    let wall = t0.elapsed();
+    let snap = runtime.stats().snapshot();
+    eprintln!(
+        "cfserve: {submitted} jobs in {:.3}s on {workers} worker(s) | cache {} hits / {} misses ({:.0}% hit rate) | mean queue wait {:.3}ms",
+        wall.as_secs_f64(),
+        snap.cache_hits,
+        snap.cache_misses,
+        snap.cache_hit_rate() * 100.0,
+        if submitted > 0 {
+            snap.queue_wait.as_secs_f64() * 1e3 / submitted as f64
+        } else {
+            0.0
+        },
+    );
+    for (i, w) in snap.per_worker.iter().enumerate() {
+        eprintln!("cfserve:   worker {i}: {} job(s), {:.3}s busy", w.jobs, w.busy.as_secs_f64());
+    }
+    runtime.shutdown();
+
+    if failures > 0 {
+        eprintln!("cfserve: {failures} job(s) failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn job_error_line(head: &str, e: &JobError, failures: &mut usize) -> String {
+    *failures += 1;
+    format!("{head},\"ok\":false,\"error\":{}}}", json_str(&e.to_string()))
+}

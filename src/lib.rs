@@ -11,6 +11,8 @@
 //!   ([`cf_core`])
 //! * [`model`] — roofline/MBOI/area/energy/GPU models ([`cf_model`])
 //! * [`workloads`] — the paper's benchmark suite ([`cf_workloads`])
+//! * [`runtime`] — concurrent simulation service: scheduler, plan cache,
+//!   batch sweeps ([`cf_runtime`])
 //!
 //! # Quickstart
 //!
@@ -43,5 +45,6 @@ pub use cf_core as core;
 pub use cf_isa as isa;
 pub use cf_model as model;
 pub use cf_ops as ops;
+pub use cf_runtime as runtime;
 pub use cf_tensor as tensor;
 pub use cf_workloads as workloads;

@@ -4,17 +4,13 @@
 //! and hierarchies.
 
 use cambricon_f::core::{Machine, MachineConfig};
-use cambricon_f::isa::{Opcode, OpParams, Program, ProgramBuilder};
+use cambricon_f::isa::{OpParams, Opcode, Program, ProgramBuilder};
 use cambricon_f::tensor::{gen::DataGen, Memory, Shape};
 use proptest::prelude::*;
 
 fn seeded_memory(program: &Program, seed: u64, lo: f32, hi: f32) -> Memory {
     let mut mem = Memory::new(program.extern_elems() as usize);
-    let t = DataGen::new(seed).uniform(
-        Shape::new(vec![program.extern_elems() as usize]),
-        lo,
-        hi,
-    );
+    let t = DataGen::new(seed).uniform(Shape::new(vec![program.extern_elems() as usize]), lo, hi);
     mem.as_mut_slice().copy_from_slice(t.data());
     mem
 }
@@ -42,11 +38,7 @@ fn small_cnn_on_every_machine_shape() {
     let x = b.alloc("x", vec![2, 10, 10, 3]);
     let w1 = b.alloc("w1", vec![3, 3, 3, 8]);
     let c = b
-        .apply_with(
-            Opcode::Cv2D,
-            OpParams::Conv(cambricon_f::isa::ConvParams::same(1, 1)),
-            [x, w1],
-        )
+        .apply_with(Opcode::Cv2D, OpParams::Conv(cambricon_f::isa::ConvParams::same(1, 1)), [x, w1])
         .unwrap();
     let r = b.apply(Opcode::Act1D, [c[0]]).unwrap();
     let p = b.apply(Opcode::Max2D, [r[0]]).unwrap();
@@ -59,10 +51,7 @@ fn small_cnn_on_every_machine_shape() {
         cambricon_f::isa::Instruction::new(
             Opcode::Act1D,
             OpParams::None,
-            vec![cambricon_f::tensor::Region::contiguous(
-                src.offset(),
-                Shape::new(vec![2, 200]),
-            )],
+            vec![cambricon_f::tensor::Region::contiguous(src.offset(), Shape::new(vec![2, 200]))],
             vec![dst],
         )
         .unwrap(),

@@ -32,9 +32,7 @@ fn optimisations_never_hurt() {
     let base = Machine::new(MachineConfig::cambricon_f1().with_opts(OptFlags::none()))
         .simulate(&program)
         .unwrap();
-    let full = Machine::new(MachineConfig::cambricon_f1())
-        .simulate(&program)
-        .unwrap();
+    let full = Machine::new(MachineConfig::cambricon_f1()).simulate(&program).unwrap();
     assert!(
         full.makespan_seconds <= base.makespan_seconds * 1.001,
         "optimisations slowed matmul: {} vs {}",
@@ -71,9 +69,7 @@ fn f1_reaches_the_ridge_point_on_vgg() {
     // Cambricon-F1 has reached the ridge point of the roofline."
     let cfg = MachineConfig::cambricon_f1();
     let ridge = cfg.peak_ops() / cfg.root_bw_bytes();
-    let r = Machine::new(cfg)
-        .simulate(&nets::build_program(&nets::vgg16(), 16).unwrap())
-        .unwrap();
+    let r = Machine::new(cfg).simulate(&nets::build_program(&nets::vgg16(), 16).unwrap()).unwrap();
     assert!(
         r.root_intensity >= ridge,
         "VGG-16 OI {:.1} below the ridge {ridge:.1}",
@@ -101,12 +97,8 @@ fn control_bound_ml_hurts_f100_more_than_f1() {
 fn deeper_hierarchies_add_no_work_only_latency() {
     // Adding a level never changes the useful MAC count.
     let program = matmul(1024);
-    let shallow = Machine::new(MachineConfig::tiny(1, 4, 4 << 20))
-        .simulate(&program)
-        .unwrap();
-    let deep = Machine::new(MachineConfig::tiny(3, 4, 4 << 20))
-        .simulate(&program)
-        .unwrap();
+    let shallow = Machine::new(MachineConfig::tiny(1, 4, 4 << 20)).simulate(&program).unwrap();
+    let deep = Machine::new(MachineConfig::tiny(3, 4, 4 << 20)).simulate(&program).unwrap();
     assert_eq!(shallow.stats.mac_ops, deep.stats.mac_ops);
     assert_eq!(shallow.stats.mac_ops, 2 * 1024u64.pow(3));
 }
