@@ -26,6 +26,25 @@ pub enum CoreError {
     Ops(OpsError),
     /// An underlying tensor error.
     Tensor(TensorError),
+    /// A transient memory/DMA fault (injected via
+    /// [`DmaFaultHook`](crate::fault::DmaFaultHook)). Retrying the run is
+    /// expected to succeed and to produce bit-identical results.
+    TransientFault {
+        /// The DMA transfer index within the run at which the fault hit.
+        op: u64,
+    },
+    /// An internal invariant did not hold (a planner/executor bug surfaced
+    /// as an error instead of a panic so the service layer can degrade
+    /// gracefully).
+    Internal(String),
+}
+
+impl CoreError {
+    /// Whether a retry of the same operation may succeed (only transient
+    /// faults qualify; every other error is deterministic).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CoreError::TransientFault { .. })
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -39,6 +58,10 @@ impl fmt::Display for CoreError {
             CoreError::Isa(e) => write!(f, "ISA error: {e}"),
             CoreError::Ops(e) => write!(f, "ops error: {e}"),
             CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CoreError::TransientFault { op } => {
+                write!(f, "transient memory/DMA fault at transfer {op} (retryable)")
+            }
+            CoreError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
 }

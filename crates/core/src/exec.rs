@@ -16,6 +16,7 @@ use cf_ops::fractal::ReduceKind;
 use cf_ops::kernels;
 use cf_tensor::{Memory, Tensor};
 
+use crate::fault::{DmaFaultHook, FaultSession};
 use crate::plan::{NodePlan, Planner, ReduceStep, Space, Step};
 use crate::{CoreError, MachineConfig};
 
@@ -33,6 +34,24 @@ pub fn run_program(
     program: &Program,
     global: &mut Memory,
 ) -> Result<(), CoreError> {
+    run_program_hooked(cfg, program, global, None)
+}
+
+/// [`run_program`] with an optional DMA fault hook: every load/store the
+/// fractal plan performs is numbered in plan order and offered to the hook
+/// before the copy happens (see [`crate::fault`]).
+///
+/// # Errors
+///
+/// Propagates planning and kernel errors, plus
+/// [`CoreError::TransientFault`] for transfers the hook fails.
+pub fn run_program_hooked(
+    cfg: &MachineConfig,
+    program: &Program,
+    global: &mut Memory,
+    hook: Option<&dyn DmaFaultHook>,
+) -> Result<(), CoreError> {
+    let session = FaultSession::new(hook);
     let planner = Planner::new(cfg);
     let plan = planner.plan_root(program.instructions(), program.extern_elems())?;
     if (global.len() as u64) < plan.local_elems {
@@ -41,7 +60,7 @@ pub fn run_program(
         *global = grown;
     }
     for step in &plan.steps {
-        exec_step(&planner, 0, step, None, global)?;
+        exec_step(&planner, 0, step, None, global, &session)?;
     }
     Ok(())
 }
@@ -53,14 +72,17 @@ fn exec_plan(
     level: usize,
     plan: &NodePlan,
     parent: &mut Memory,
+    session: &FaultSession<'_>,
 ) -> Result<(), CoreError> {
     let mut local = Memory::new(plan.local_elems as usize);
     for step in &plan.steps {
         for l in &step.loads {
+            session.dma()?;
             local.copy_from(&l.local, parent, &l.parent)?;
         }
-        exec_step(planner, level, step, Some(parent), &mut local)?;
+        exec_step(planner, level, step, Some(parent), &mut local, session)?;
         for s in &step.stores {
+            session.dma()?;
             parent.copy_from(&s.parent, &local, &s.local)?;
         }
     }
@@ -75,6 +97,7 @@ fn exec_step(
     step: &Step,
     parent: Option<&mut Memory>,
     local: &mut Memory,
+    session: &FaultSession<'_>,
 ) -> Result<(), CoreError> {
     if let Some(inst) = &step.streaming_exec {
         // Streaming ops address the incoming (parent) space directly.
@@ -89,7 +112,7 @@ fn exec_step(
     }
     for child in &step.child_insts {
         let child_plan = planner.plan_instruction(level + 1, &child.inst, false)?;
-        exec_plan(planner, level + 1, &child_plan, local)?;
+        exec_plan(planner, level + 1, &child_plan, local, session)?;
     }
     if let Some(reduce) = &step.reduce {
         apply_reduce(reduce, parent, local)?;
@@ -109,24 +132,32 @@ fn apply_reduce(
         .iter()
         .map(|regions| regions.iter().map(|reg| local.read_region(reg)).collect())
         .collect::<Result<_, _>>()?;
+    // A reduce step with no partials (or a partial with no tensors) is a
+    // planner bug; surface it as a typed error rather than an index panic
+    // so the service layer can fail just this job.
+    let malformed = || CoreError::Internal("reduce step carries no partials".to_string());
+    let first = partials.first().ok_or_else(malformed)?;
+    let first_tensor = first.first().ok_or_else(malformed)?;
     let combined: Vec<Tensor> = match r.kind {
         ReduceKind::Add | ReduceKind::Mul => {
-            let mut acc = partials[0][0].clone();
+            let mut acc = first_tensor.clone();
             for p in &partials[1..] {
+                let operand = p.first().ok_or_else(malformed)?;
                 acc = if r.kind == ReduceKind::Add {
-                    kernels::eltwise_add(&acc, &p[0])?
+                    kernels::eltwise_add(&acc, operand)?
                 } else {
-                    kernels::eltwise_mul(&acc, &p[0])?
+                    kernels::eltwise_mul(&acc, operand)?
                 };
             }
             vec![acc]
         }
         ReduceKind::Merge => {
-            let with_payload = partials[0].len() == 2;
-            let mut keys = partials[0][0].clone();
-            let mut payload = with_payload.then(|| partials[0][1].clone());
+            let with_payload = first.len() == 2;
+            let mut keys = first_tensor.clone();
+            let mut payload = with_payload.then(|| first[1].clone());
             for p in &partials[1..] {
-                let (k, pl) = kernels::merge(&keys, &p[0], payload.as_ref(), p.get(1))?;
+                let head = p.first().ok_or_else(malformed)?;
+                let (k, pl) = kernels::merge(&keys, head, payload.as_ref(), p.get(1))?;
                 keys = k;
                 payload = pl;
             }

@@ -1,0 +1,80 @@
+//! Deterministic fault hooks for the simulator core.
+//!
+//! The functional executor ([`crate::exec`]) performs real DMA transfers
+//! between per-node memories. A [`DmaFaultHook`] lets a harness (the
+//! `cf-runtime` fault-injection layer, or a test) fail individual
+//! transfers with a *transient* error — the software analogue of a bit
+//! flip on the wire or a dropped burst — without the core knowing who is
+//! injecting or why.
+//!
+//! Determinism: the executor numbers DMA operations in plan order
+//! (single-threaded per run), so a hook that decides purely from the op
+//! index — e.g. by hashing `(seed, op)` — produces the same fault at the
+//! same transfer on every run. Injected faults surface as
+//! [`CoreError::TransientFault`], which callers may retry; a clean retry
+//! of the same program is bit-identical to a fault-free run because the
+//! fault fires *before* the copy touches memory.
+
+use crate::CoreError;
+
+/// Decides whether a given DMA transfer of one functional run faults.
+///
+/// `op` is the zero-based index of the transfer within the run (loads and
+/// stores count alike, in plan order). Return `true` to inject a
+/// [`CoreError::TransientFault`] at that transfer.
+pub trait DmaFaultHook: Send + Sync {
+    /// Whether transfer number `op` should fail transiently.
+    fn fires(&self, op: u64) -> bool;
+}
+
+/// Per-run fault session: the hook plus the run-local DMA op counter.
+pub(crate) struct FaultSession<'a> {
+    hook: Option<&'a dyn DmaFaultHook>,
+    ops: std::cell::Cell<u64>,
+}
+
+impl<'a> FaultSession<'a> {
+    pub(crate) fn new(hook: Option<&'a dyn DmaFaultHook>) -> Self {
+        FaultSession { hook, ops: std::cell::Cell::new(0) }
+    }
+
+    /// Counts one DMA transfer; errors if the hook injects a fault on it.
+    pub(crate) fn dma(&self) -> Result<(), CoreError> {
+        let op = self.ops.get();
+        self.ops.set(op + 1);
+        match self.hook {
+            Some(hook) if hook.fires(op) => Err(CoreError::TransientFault { op }),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct EveryNth(u64);
+    impl DmaFaultHook for EveryNth {
+        fn fires(&self, op: u64) -> bool {
+            self.0 != 0 && op % self.0 == 0
+        }
+    }
+
+    #[test]
+    fn session_counts_ops_and_injects() {
+        let hook = EveryNth(3);
+        let s = FaultSession::new(Some(&hook));
+        assert!(matches!(s.dma(), Err(CoreError::TransientFault { op: 0 })));
+        assert!(s.dma().is_ok());
+        assert!(s.dma().is_ok());
+        assert!(matches!(s.dma(), Err(CoreError::TransientFault { op: 3 })));
+    }
+
+    #[test]
+    fn no_hook_never_faults() {
+        let s = FaultSession::new(None);
+        for _ in 0..100 {
+            assert!(s.dma().is_ok());
+        }
+    }
+}

@@ -45,6 +45,7 @@
 mod config;
 mod error;
 pub mod exec;
+pub mod fault;
 pub mod inspect;
 mod machine;
 pub mod memory;

@@ -30,9 +30,19 @@ use crate::{CoreError, MachineConfig};
 /// assert!(report.makespan_seconds > 0.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Machine {
     config: MachineConfig,
+    fault_hook: Option<std::sync::Arc<dyn crate::fault::DmaFaultHook>>,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("config", &self.config)
+            .field("fault_hook", &self.fault_hook.as_ref().map(|_| "…"))
+            .finish()
+    }
 }
 
 /// Result of a performance simulation.
@@ -55,7 +65,15 @@ pub struct PerfReport {
 impl Machine {
     /// A machine with the given configuration.
     pub fn new(config: MachineConfig) -> Self {
-        Machine { config }
+        Machine { config, fault_hook: None }
+    }
+
+    /// Attaches a DMA fault hook consulted on every functional-execution
+    /// transfer (see [`crate::fault`]); performance simulation is
+    /// unaffected.
+    pub fn with_fault_hook(mut self, hook: std::sync::Arc<dyn crate::fault::DmaFaultHook>) -> Self {
+        self.fault_hook = Some(hook);
+        self
     }
 
     /// The machine's configuration.
@@ -68,9 +86,11 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Propagates planning and kernel errors.
+    /// Propagates planning and kernel errors, plus
+    /// [`CoreError::TransientFault`] for transfers an attached fault hook
+    /// fails.
     pub fn run(&self, program: &Program, mem: &mut Memory) -> Result<(), CoreError> {
-        crate::exec::run_program(&self.config, program, mem)
+        crate::exec::run_program_hooked(&self.config, program, mem, self.fault_hook.as_deref())
     }
 
     /// Simulates `program` and reports timing, utilisation and traffic.

@@ -257,6 +257,7 @@ impl<'a> Planner<'a> {
             }
             SplitOutcome::Reduce { pieces, kind }
                 if matches!(kind, ReduceKind::Add | ReduceKind::Mul)
+                    && !pieces.is_empty()
                     && pieces.iter().all(|p| p.partial_shapes.len() == 1) =>
             {
                 // Additive/multiplicative reductions ACCUMULATE: one static

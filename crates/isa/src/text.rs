@@ -135,6 +135,15 @@ fn parse_shape(s: &str, line: usize) -> Result<Shape, IsaError> {
     if dims.is_empty() || dims.contains(&0) {
         return Err(IsaError::Parse { line, detail: format!("empty or zero shape `{s}`") });
     }
+    // Reject element counts that would overflow downstream size maths
+    // (offsets, byte counts) instead of wrapping.
+    let mut numel: u64 = 1;
+    for &d in &dims {
+        numel = numel
+            .checked_mul(d as u64)
+            .filter(|&n| n <= u64::MAX / 8)
+            .ok_or_else(|| IsaError::Parse { line, detail: format!("shape `{s}` overflows") })?;
+    }
     Ok(Shape::new(dims))
 }
 
@@ -284,6 +293,16 @@ pub fn parse_program(text: &str) -> Result<Program, IsaError> {
                                         })
                                     })
                                     .collect::<Result<Vec<_>, _>>()?;
+                                if strides.len() != shape.rank() {
+                                    return Err(IsaError::Parse {
+                                        line,
+                                        detail: format!(
+                                            "region `{tok}` has {} strides for rank {}",
+                                            strides.len(),
+                                            shape.rank()
+                                        ),
+                                    });
+                                }
                                 Region::strided(off, shape, strides)
                             }
                         };
@@ -379,5 +398,23 @@ Count1D{value=2,tol=0.5} @0:[16] -> @500:[1]
         assert_eq!(inst.inputs[0].strides(), &[4]);
         let q = parse_program(&render_program(&p)).unwrap();
         assert_eq!(p.instructions(), q.instructions());
+    }
+
+    #[test]
+    fn stride_rank_mismatch_is_an_error_not_a_panic() {
+        let e = parse_program(".tensor o [1]\nHSum1D @0:[4x4]:(4) -> o\n").unwrap_err();
+        match e {
+            IsaError::Parse { line, detail } => {
+                assert_eq!(line, 2);
+                assert!(detail.contains("strides"), "{detail}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn overflowing_shape_is_an_error_not_a_panic() {
+        let e = parse_program(".tensor x [9999999999999x9999999999999]\n").unwrap_err();
+        assert!(matches!(e, IsaError::Parse { line: 1, .. }), "{e}");
     }
 }

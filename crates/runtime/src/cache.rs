@@ -19,6 +19,9 @@ use cf_core::{MachineConfig, PerfReport};
 use cf_isa::Program;
 use std::sync::Arc;
 
+use crate::fault::fnv1a;
+use crate::sync;
+
 /// Cache key: machine-structure fingerprint plus program content hash,
 /// both stable across processes (see [`cf_tensor::fingerprint`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -36,9 +39,31 @@ impl CacheKey {
     }
 }
 
+/// FNV-1a content checksum of a report, stored next to every cache entry
+/// and re-verified on each hit so corrupted entries are detected instead
+/// of served.
+pub fn report_checksum(report: &PerfReport) -> u64 {
+    // `Debug` for floats round-trips exactly, so the rendering is a
+    // faithful (if verbose) content encoding.
+    fnv1a(format!("{report:?}").as_bytes())
+}
+
+/// What a verifying lookup found.
+#[derive(Debug)]
+pub enum CacheLookup {
+    /// A verified entry.
+    Hit(Arc<PerfReport>),
+    /// No entry under the key.
+    Miss,
+    /// The entry's checksum did not match its content; it has been
+    /// evicted and the caller should recompute.
+    Corrupt,
+}
+
 #[derive(Debug)]
 struct Entry {
     value: Arc<PerfReport>,
+    checksum: u64,
     last_used: u64,
 }
 
@@ -74,7 +99,7 @@ impl PlanCache {
 
     /// Number of cached reports.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().map.len()
+        sync::lock(&self.inner).map.len()
     }
 
     /// Whether the cache is empty.
@@ -82,24 +107,49 @@ impl PlanCache {
         self.len() == 0
     }
 
-    /// Looks up a report, refreshing its recency on a hit.
+    /// Looks up a report, refreshing its recency on a hit; corrupt
+    /// entries read as misses (see [`get_verified`](PlanCache::get_verified)).
     pub fn get(&self, key: &CacheKey) -> Option<Arc<PerfReport>> {
-        let mut inner = self.inner.lock().unwrap();
+        match self.get_verified(key) {
+            CacheLookup::Hit(report) => Some(report),
+            CacheLookup::Miss | CacheLookup::Corrupt => None,
+        }
+    }
+
+    /// Looks up a report and re-verifies its content checksum. A mismatch
+    /// evicts the entry and reports [`CacheLookup::Corrupt`] so the
+    /// caller can count the detection and recompute.
+    pub fn get_verified(&self, key: &CacheKey) -> CacheLookup {
+        let mut inner = sync::lock(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
-        inner.map.get_mut(key).map(|e| {
-            e.last_used = tick;
-            Arc::clone(&e.value)
-        })
+        let Some(e) = inner.map.get_mut(key) else {
+            return CacheLookup::Miss;
+        };
+        if report_checksum(&e.value) != e.checksum {
+            inner.map.remove(key);
+            return CacheLookup::Corrupt;
+        }
+        e.last_used = tick;
+        CacheLookup::Hit(Arc::clone(&e.value))
     }
 
     /// Inserts (or refreshes) a report, evicting the least-recently-used
     /// entry if the cache is full.
     pub fn insert(&self, key: CacheKey, value: Arc<PerfReport>) {
+        let checksum = report_checksum(&value);
+        self.insert_with_checksum(key, value, checksum);
+    }
+
+    /// [`insert`](PlanCache::insert) with an explicit stored checksum —
+    /// the fault-injection layer passes a wrong one to model a corrupted
+    /// fill that the next [`get_verified`](PlanCache::get_verified) must
+    /// catch.
+    pub fn insert_with_checksum(&self, key: CacheKey, value: Arc<PerfReport>, checksum: u64) {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = sync::lock(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
@@ -108,12 +158,12 @@ impl PlanCache {
                 inner.map.remove(&victim);
             }
         }
-        inner.map.insert(key, Entry { value, last_used: tick });
+        inner.map.insert(key, Entry { value, checksum, last_used: tick });
     }
 
     /// Drops every cached report.
     pub fn clear(&self) {
-        self.inner.lock().unwrap().map.clear();
+        sync::lock(&self.inner).map.clear();
     }
 }
 
@@ -183,6 +233,28 @@ mod tests {
         cache.insert(key(1), report(32));
         assert!(cache.is_empty());
         assert!(cache.get(&key(1)).is_none());
+    }
+
+    #[test]
+    fn corrupt_entry_detected_then_healed_by_reinsert() {
+        let cache = PlanCache::new(4);
+        let r = report(32);
+        cache.insert_with_checksum(key(1), Arc::clone(&r), 0xBAD);
+        assert!(matches!(cache.get_verified(&key(1)), CacheLookup::Corrupt));
+        // The corrupt entry was evicted: further lookups are plain misses.
+        assert!(matches!(cache.get_verified(&key(1)), CacheLookup::Miss));
+        assert!(cache.get(&key(1)).is_none());
+        // A clean re-insert heals the key.
+        cache.insert(key(1), r);
+        assert!(cache.get(&key(1)).is_some());
+    }
+
+    #[test]
+    fn checksum_is_content_stable() {
+        let a = report(48);
+        let b = report(48);
+        assert_eq!(report_checksum(&a), report_checksum(&b));
+        assert_ne!(report_checksum(&a), report_checksum(&report(64)));
     }
 
     #[test]

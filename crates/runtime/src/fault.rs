@@ -1,0 +1,310 @@
+//! cf-fault: deterministic, seeded fault injection for the simulation
+//! service.
+//!
+//! A [`FaultPlan`] decides, purely from a hash of `(seed, site, token,
+//! attempt, op)`, whether a given fault site fires. Decisions are
+//! **stateless**: they depend only on the plan's seed and the identity of
+//! the decision point, never on wall-clock time, thread interleaving or
+//! how many faults fired before. That is what makes chaos runs
+//! reproducible — the same manifest under the same seed panics the same
+//! jobs at the same attempts on every run, regardless of worker count.
+//!
+//! Sites (see [`FaultSite`]):
+//!
+//! * **WorkerPanic** — the job body panics on a worker (keyed by job
+//!   token and attempt, so a retried attempt draws a fresh decision);
+//! * **JobLatency** — the job body sleeps an extra [`FaultSpec::latency`]
+//!   before running (timing-only; never changes results);
+//! * **CacheCorrupt** — the plan-cache entry filled under a key is
+//!   corrupted (keyed by the *cache key*, so a poisoned workload
+//!   reproduces exactly; detected by the cache's FNV checksum and
+//!   recomputed);
+//! * **DeadlineExpiry** — the job behaves as if its deadline passed
+//!   (retryable, since a fault-free rerun would have made it);
+//! * **MemFault** — a DMA transfer inside the functional executor fails
+//!   transiently (keyed per transfer, threaded through
+//!   [`cf_core::fault::DmaFaultHook`]);
+//! * **WorkerKill** — the worker loop itself panics *after* completing a
+//!   job, exercising the supervisor's respawn path.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Panic inside the job body.
+    WorkerPanic,
+    /// Artificial latency before the job body.
+    JobLatency,
+    /// Corrupt the plan-cache fill for a key.
+    CacheCorrupt,
+    /// Pretend the job's deadline expired.
+    DeadlineExpiry,
+    /// Fail one DMA transfer inside `cf-core` functional execution.
+    MemFault,
+    /// Panic the worker loop after a job completes (respawn test).
+    WorkerKill,
+}
+
+impl FaultSite {
+    fn tag(self) -> u64 {
+        match self {
+            FaultSite::WorkerPanic => 0x01,
+            FaultSite::JobLatency => 0x02,
+            FaultSite::CacheCorrupt => 0x03,
+            FaultSite::DeadlineExpiry => 0x04,
+            FaultSite::MemFault => 0x05,
+            FaultSite::WorkerKill => 0x06,
+        }
+    }
+}
+
+/// Per-site injection rates (each a probability in `[0, 1]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Rate of injected job-body panics (per attempt).
+    pub panic_rate: f64,
+    /// Rate of injected artificial latency (per attempt).
+    pub latency_rate: f64,
+    /// How long an injected latency fault sleeps.
+    pub latency: Duration,
+    /// Rate of corrupted cache fills (per cache key).
+    pub corrupt_rate: f64,
+    /// Rate of injected deadline expiries (per attempt).
+    pub expire_rate: f64,
+    /// Rate of transient DMA faults (per transfer — keep small).
+    pub mem_rate: f64,
+    /// Rate of worker-loop kills (per completed job).
+    pub kill_rate: f64,
+}
+
+impl FaultSpec {
+    /// All rates zero: a plan that never fires.
+    pub fn none() -> Self {
+        FaultSpec {
+            panic_rate: 0.0,
+            latency_rate: 0.0,
+            latency: Duration::from_millis(1),
+            corrupt_rate: 0.0,
+            expire_rate: 0.0,
+            mem_rate: 0.0,
+            kill_rate: 0.0,
+        }
+    }
+
+    /// The chaos-test mix from the acceptance criteria: 10 % worker
+    /// panics, 5 % cache corruption.
+    pub fn chaos() -> Self {
+        FaultSpec { panic_rate: 0.10, corrupt_rate: 0.05, ..FaultSpec::none() }
+    }
+
+    /// Parses a `--fault-spec` string: comma-separated `site=rate` pairs,
+    /// e.g. `panic=0.1,corrupt=0.05,latency=0.02,mem=0.001,expire=0.01,kill=0.005`.
+    /// `latency_ms=N` sets the injected latency duration.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the unparseable pair.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut spec = FaultSpec::none();
+        for pair in text.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) =
+                pair.split_once('=').ok_or_else(|| format!("bad fault-spec item `{pair}`"))?;
+            let bad = |_| format!("bad fault-spec value `{value}` for `{key}`");
+            match key {
+                "panic" => spec.panic_rate = value.parse().map_err(bad)?,
+                "latency" => spec.latency_rate = value.parse().map_err(bad)?,
+                "latency_ms" => {
+                    let ms: u64 = value
+                        .parse()
+                        .map_err(|_| format!("bad fault-spec value `{value}` for `{key}`"))?;
+                    spec.latency = Duration::from_millis(ms);
+                }
+                "corrupt" => spec.corrupt_rate = value.parse().map_err(bad)?,
+                "expire" => spec.expire_rate = value.parse().map_err(bad)?,
+                "mem" => spec.mem_rate = value.parse().map_err(bad)?,
+                "kill" => spec.kill_rate = value.parse().map_err(bad)?,
+                other => return Err(format!("unknown fault site `{other}`")),
+            }
+        }
+        for (name, rate) in [
+            ("panic", spec.panic_rate),
+            ("latency", spec.latency_rate),
+            ("corrupt", spec.corrupt_rate),
+            ("expire", spec.expire_rate),
+            ("mem", spec.mem_rate),
+            ("kill", spec.kill_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("fault rate `{name}` must be in [0, 1], got {rate}"));
+            }
+        }
+        Ok(spec)
+    }
+
+    fn rate(&self, site: FaultSite) -> f64 {
+        match site {
+            FaultSite::WorkerPanic => self.panic_rate,
+            FaultSite::JobLatency => self.latency_rate,
+            FaultSite::CacheCorrupt => self.corrupt_rate,
+            FaultSite::DeadlineExpiry => self.expire_rate,
+            FaultSite::MemFault => self.mem_rate,
+            FaultSite::WorkerKill => self.kill_rate,
+        }
+    }
+}
+
+/// A seeded, stateless fault decider (see the module docs for the
+/// determinism argument).
+#[derive(Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    spec: FaultSpec,
+}
+
+impl fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultPlan").field("seed", &self.seed).field("spec", &self.spec).finish()
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects per `spec`, decided by hashing against `seed`.
+    pub fn new(seed: u64, spec: FaultSpec) -> Self {
+        FaultPlan { seed, spec }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The per-site rates.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Whether `site` fires for decision point `(token, attempt, op)`.
+    ///
+    /// `token` identifies the job (its submission id) or, for
+    /// [`FaultSite::CacheCorrupt`], the cache key; `attempt` is the retry
+    /// attempt (0-based); `op` numbers sub-decisions inside one attempt
+    /// (the DMA transfer index for [`FaultSite::MemFault`], 0 elsewhere).
+    pub fn fires_at(&self, site: FaultSite, token: u64, attempt: u32, op: u64) -> bool {
+        let rate = self.spec.rate(site);
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        let h = mix(mix(mix(mix(self.seed, site.tag()), token), u64::from(attempt)), op);
+        // Map the hash to [0, 1) with 53 bits of precision.
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        unit < rate
+    }
+
+    /// [`fires_at`](FaultPlan::fires_at) with `op = 0` — the common
+    /// per-attempt decision.
+    pub fn fires(&self, site: FaultSite, token: u64, attempt: u32) -> bool {
+        self.fires_at(site, token, attempt, 0)
+    }
+
+    /// Deterministic jitter in `[0, 1)` for backoff randomisation, keyed
+    /// like a fault decision so retried attempts spread out reproducibly.
+    pub fn jitter(&self, token: u64, attempt: u32) -> f64 {
+        let h = mix(mix(mix(self.seed, 0x6A), token), u64::from(attempt));
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// SplitMix64-style finalizing mix: uniformly scrambles `state ⊕ value`.
+fn mix(state: u64, value: u64) -> u64 {
+    let mut z = state ^ value.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a byte slice — the content checksum the plan cache stores
+/// next to every entry (corrupt hits fail the comparison and fall back to
+/// recomputation).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::new(7, FaultSpec::chaos());
+        let b = FaultPlan::new(7, FaultSpec::chaos());
+        let c = FaultPlan::new(8, FaultSpec::chaos());
+        let mut diverged = false;
+        for token in 0..200 {
+            for attempt in 0..3 {
+                let d = a.fires(FaultSite::WorkerPanic, token, attempt);
+                assert_eq!(d, b.fires(FaultSite::WorkerPanic, token, attempt));
+                diverged |= d != c.fires(FaultSite::WorkerPanic, token, attempt);
+            }
+        }
+        assert!(diverged, "different seeds never diverged across 600 decisions");
+    }
+
+    #[test]
+    fn rate_is_respected_empirically() {
+        let plan = FaultPlan::new(42, FaultSpec::chaos());
+        let fired = (0..10_000).filter(|&t| plan.fires(FaultSite::WorkerPanic, t, 0)).count();
+        // 10 % nominal; allow generous slack, this is a hash not an RNG test.
+        assert!((700..=1300).contains(&fired), "fired {fired}/10000 at nominal 10%");
+    }
+
+    #[test]
+    fn zero_and_full_rates_short_circuit() {
+        let none = FaultPlan::new(1, FaultSpec::none());
+        assert!(!none.fires(FaultSite::MemFault, 0, 0));
+        let mut all = FaultSpec::none();
+        all.panic_rate = 1.0;
+        let all = FaultPlan::new(1, all);
+        assert!(all.fires(FaultSite::WorkerPanic, 123, 4));
+    }
+
+    #[test]
+    fn spec_parses_and_rejects() {
+        let spec = FaultSpec::parse("panic=0.1, corrupt=0.05,latency=0.2,latency_ms=7").unwrap();
+        assert_eq!(spec.panic_rate, 0.1);
+        assert_eq!(spec.corrupt_rate, 0.05);
+        assert_eq!(spec.latency_rate, 0.2);
+        assert_eq!(spec.latency, Duration::from_millis(7));
+        assert!(FaultSpec::parse("bogus=1").is_err());
+        assert!(FaultSpec::parse("panic=2.0").is_err());
+        assert!(FaultSpec::parse("panic").is_err());
+        assert_eq!(FaultSpec::parse("").unwrap(), FaultSpec::none());
+    }
+
+    #[test]
+    fn fnv1a_matches_known_vectors() {
+        // Standard FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn jitter_is_in_unit_range() {
+        let plan = FaultPlan::new(9, FaultSpec::none());
+        for t in 0..100 {
+            let j = plan.jitter(t, (t % 5) as u32);
+            assert!((0.0..1.0).contains(&j));
+        }
+    }
+}

@@ -21,10 +21,26 @@ pub enum JobError {
     Shutdown,
     /// The submission queue was full (`try_submit` only).
     QueueFull,
+    /// The circuit breaker is open: the job was shed without running (see
+    /// [`supervisor`](crate::supervisor)).
+    CircuitOpen,
     /// The simulator/executor reported an error.
     Sim(CoreError),
     /// The job body panicked; the payload's `Display` if it had one.
     Panicked(String),
+}
+
+impl JobError {
+    /// Whether a retry of the same job might succeed: panics and
+    /// transient simulator faults are worth retrying, everything else is
+    /// deterministic or a policy decision.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            JobError::Panicked(_) => true,
+            JobError::Sim(e) => e.is_transient(),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for JobError {
@@ -36,6 +52,9 @@ impl fmt::Display for JobError {
             }
             JobError::Shutdown => write!(f, "runtime shut down before the job ran"),
             JobError::QueueFull => write!(f, "submission queue full"),
+            JobError::CircuitOpen => {
+                write!(f, "circuit breaker open: job shed without running")
+            }
             JobError::Sim(e) => write!(f, "simulation error: {e}"),
             JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
         }
@@ -68,7 +87,7 @@ pub(crate) struct Shared<T> {
 
 impl<T> Shared<T> {
     pub(crate) fn complete(&self, result: Result<T, JobError>) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = crate::sync::lock(&self.state);
         if state.is_none() {
             *state = Some(result);
             self.done.notify_all();
@@ -112,7 +131,7 @@ impl<T> JobHandle<T> {
 
     /// Whether a result is already available.
     pub fn is_done(&self) -> bool {
-        self.shared.state.lock().unwrap().is_some()
+        crate::sync::lock(&self.shared.state).is_some()
     }
 
     /// Requests cancellation. Queued jobs resolve to
@@ -129,12 +148,12 @@ impl<T> JobHandle<T> {
 
     /// Blocks until the job resolves and returns its result.
     pub fn join(self) -> Result<T, JobError> {
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = crate::sync::lock(&self.shared.state);
         loop {
             if let Some(result) = state.take() {
                 return result;
             }
-            state = self.shared.done.wait(state).unwrap();
+            state = crate::sync::wait(&self.shared.done, state);
         }
     }
 
@@ -142,7 +161,7 @@ impl<T> JobHandle<T> {
     /// back on timeout so the caller can keep waiting or cancel.
     pub fn join_timeout(self, timeout: Duration) -> Result<Result<T, JobError>, Self> {
         let deadline = Instant::now() + timeout;
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = crate::sync::lock(&self.shared.state);
         loop {
             if let Some(result) = state.take() {
                 return Ok(result);
@@ -152,9 +171,7 @@ impl<T> JobHandle<T> {
                 drop(state);
                 return Err(self);
             }
-            let (guard, _timeout_result) =
-                self.shared.done.wait_timeout(state, deadline - now).unwrap();
-            state = guard;
+            state = crate::sync::wait_timeout(&self.shared.done, state, deadline - now);
         }
     }
 }

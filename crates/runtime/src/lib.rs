@@ -19,8 +19,17 @@
 //!   ([`batch::run_batch`], used by the experiment harness).
 //! * [`manifest`] — the `cfserve` job-manifest grammar and builtin
 //!   workload registry.
+//! * [`serve`] — the manifest-serving engine shared by the `cfserve`
+//!   binary and the chaos tests: resolve, submit, join in submission
+//!   order, render deterministic JSON records.
 //! * [`RuntimeStats`] — lock-free counters (submissions, completions,
-//!   cache hits, queue wait, per-worker busy time) snapshotted on demand.
+//!   cache hits, retries, injected faults, queue wait, per-worker busy
+//!   time) snapshotted on demand.
+//! * [`fault`] / [`supervisor`] — the resilience layer: a seeded,
+//!   deterministic [`FaultPlan`] injecting panics, latency, cache
+//!   corruption, deadline expiries and DMA faults; retry-with-backoff
+//!   under a budget; a consecutive-failure [`CircuitBreaker`]; worker
+//!   respawn on panic. See DESIGN.md §7.
 //!
 //! # Example
 //!
@@ -47,12 +56,19 @@
 
 pub mod batch;
 pub mod cache;
+pub mod fault;
 pub mod job;
 pub mod manifest;
 pub mod scheduler;
+pub mod serve;
 pub mod stats;
+pub mod supervisor;
+pub(crate) mod sync;
 
-pub use cache::{CacheKey, PlanCache};
+pub use cache::{report_checksum, CacheKey, CacheLookup, PlanCache};
+pub use fault::{FaultPlan, FaultSite, FaultSpec};
 pub use job::{JobError, JobHandle, JobOptions};
 pub use scheduler::{ExecResult, Runtime, RuntimeConfig, SimResult};
+pub use serve::{JobOutput, JobRecord, ServeOptions, ServeReport};
 pub use stats::{RuntimeStats, StatsSnapshot, WorkerSnapshot};
+pub use supervisor::{next_retry, BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};

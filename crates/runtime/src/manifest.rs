@@ -133,6 +133,26 @@ pub enum ManifestError {
         /// The underlying message.
         message: String,
     },
+    /// A grammar error annotated with the offending line's content
+    /// (what [`parse_manifest`] reports).
+    BadLine {
+        /// Manifest line (1-based).
+        line: usize,
+        /// The line as written (comments stripped, trimmed).
+        content: String,
+        /// The underlying grammar error.
+        reason: Box<ManifestError>,
+    },
+}
+
+impl ManifestError {
+    /// The underlying grammar error, unwrapping [`ManifestError::BadLine`].
+    pub fn reason(&self) -> &ManifestError {
+        match self {
+            ManifestError::BadLine { reason, .. } => reason,
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for ManifestError {
@@ -160,6 +180,9 @@ impl fmt::Display for ManifestError {
             ManifestError::Program { source, message } => {
                 write!(f, "program `{source}`: {message}")
             }
+            ManifestError::BadLine { content, reason, .. } => {
+                write!(f, "{reason} in line `{content}`")
+            }
         }
     }
 }
@@ -170,7 +193,9 @@ impl std::error::Error for ManifestError {}
 ///
 /// # Errors
 ///
-/// Returns the first grammar error with its line number.
+/// Returns the first grammar error, wrapped in
+/// [`ManifestError::BadLine`] so the message carries both the 1-based
+/// line number and the offending line's content.
 pub fn parse_manifest(text: &str) -> Result<Vec<JobSpec>, ManifestError> {
     let mut jobs = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
@@ -179,7 +204,12 @@ pub fn parse_manifest(text: &str) -> Result<Vec<JobSpec>, ManifestError> {
         if line.is_empty() {
             continue;
         }
-        jobs.push(parse_line(line, line_no)?);
+        let spec = parse_line(line, line_no).map_err(|reason| ManifestError::BadLine {
+            line: line_no,
+            content: line.to_string(),
+            reason: Box::new(reason),
+        })?;
+        jobs.push(spec);
     }
     Ok(jobs)
 }
@@ -342,7 +372,7 @@ mod tests {
     #[test]
     fn unknown_machine_lists_valid_names() {
         let err = parse_manifest("workload=matmul machine=f2\n").unwrap_err();
-        assert_eq!(err, ManifestError::UnknownMachine { name: "f2".into(), line: 1 });
+        assert_eq!(err.reason(), &ManifestError::UnknownMachine { name: "f2".into(), line: 1 });
         let msg = err.to_string();
         assert!(msg.contains("f1, f100, embedded, tiny"), "{msg}");
     }
@@ -350,25 +380,39 @@ mod tests {
     #[test]
     fn grammar_errors_carry_line_numbers() {
         assert_eq!(
-            parse_manifest("workload=matmul\nbogus\n").unwrap_err(),
-            ManifestError::UnknownKey { key: "bogus".into(), line: 2 }
+            parse_manifest("workload=matmul\nbogus\n").unwrap_err().reason(),
+            &ManifestError::UnknownKey { key: "bogus".into(), line: 2 }
         );
         assert_eq!(
-            parse_manifest("workload=matmul repeat=x\n").unwrap_err(),
-            ManifestError::BadValue { key: "repeat".into(), value: "x".into(), line: 1 }
+            parse_manifest("workload=matmul repeat=x\n").unwrap_err().reason(),
+            &ManifestError::BadValue { key: "repeat".into(), value: "x".into(), line: 1 }
         );
         assert_eq!(
-            parse_manifest("machine=f1\n").unwrap_err(),
-            ManifestError::BadSource { line: 1 }
+            parse_manifest("machine=f1\n").unwrap_err().reason(),
+            &ManifestError::BadSource { line: 1 }
         );
         assert_eq!(
-            parse_manifest("workload=matmul program=x.cfasm\n").unwrap_err(),
-            ManifestError::BadSource { line: 1 }
+            parse_manifest("workload=matmul program=x.cfasm\n").unwrap_err().reason(),
+            &ManifestError::BadSource { line: 1 }
         );
         assert_eq!(
-            parse_manifest("workload=nope\n").unwrap_err(),
-            ManifestError::UnknownWorkload { name: "nope".into(), line: 1 }
+            parse_manifest("workload=nope\n").unwrap_err().reason(),
+            &ManifestError::UnknownWorkload { name: "nope".into(), line: 1 }
         );
+    }
+
+    #[test]
+    fn grammar_errors_carry_line_content() {
+        let err = parse_manifest("workload=matmul\nworkload=matmul repeat=x # oops\n").unwrap_err();
+        let ManifestError::BadLine { line, content, .. } = &err else {
+            panic!("expected BadLine, got {err:?}");
+        };
+        assert_eq!(*line, 2);
+        // Content is the line as parsed: comment stripped, trimmed.
+        assert_eq!(content, "workload=matmul repeat=x");
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("workload=matmul repeat=x"), "{msg}");
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! The job scheduler: a bounded submission queue feeding a fixed pool of
-//! `std::thread` workers.
+//! `std::thread` workers, supervised for resilience.
 //!
 //! Design:
 //!
@@ -18,9 +18,19 @@
 //!   [`Runtime::shutdown_now`] resolves still-queued jobs to
 //!   [`JobError::Shutdown`] instead of running them.
 //! * **Caching** — simulation jobs consult the shared [`PlanCache`] keyed
-//!   by `(machine fingerprint, program hash)`; functional-execution jobs
-//!   bypass it by construction (their results depend on memory contents,
-//!   which the key does not cover).
+//!   by `(machine fingerprint, program hash)`; every entry carries an FNV
+//!   content checksum re-verified on hit, and a corrupt hit falls back to
+//!   recomputation (counted in [`RuntimeStats`]). Functional-execution
+//!   jobs bypass the cache by construction (their results depend on
+//!   memory contents, which the key does not cover).
+//! * **Supervision** — simulation/execution jobs (idempotent by
+//!   construction) run under the [`supervisor`](crate::supervisor):
+//!   transient failures retry with exponential backoff inside a budget, a
+//!   circuit breaker sheds load under sustained failure, and a worker
+//!   whose loop panics is respawned so the pool never shrinks. A seeded
+//!   [`FaultPlan`] can deterministically inject panics, latency, cache
+//!   corruption, deadline expiries and DMA faults at every one of those
+//!   seams (see [`fault`](crate::fault)).
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -34,9 +44,12 @@ use cf_isa::Program;
 use cf_tensor::gen::DataGen;
 use cf_tensor::{Memory, Shape};
 
-use crate::cache::{CacheKey, PlanCache};
+use crate::cache::{CacheKey, CacheLookup, PlanCache};
+use crate::fault::{FaultPlan, FaultSite};
 use crate::job::{JobError, JobHandle, JobOptions};
 use crate::stats::RuntimeStats;
+use crate::supervisor::{panic_message, BreakerConfig, CircuitBreaker, RetryPolicy, Supervisor};
+use crate::sync;
 
 /// Construction parameters for a [`Runtime`].
 #[derive(Debug, Clone)]
@@ -47,6 +60,12 @@ pub struct RuntimeConfig {
     pub queue_capacity: usize,
     /// Plan/report cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
+    /// Retry policy for supervised (simulate/exec) jobs.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker thresholds (disabled by default).
+    pub breaker: BreakerConfig,
+    /// Deterministic fault-injection plan (`None` = no injection).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for RuntimeConfig {
@@ -55,6 +74,9 @@ impl Default for RuntimeConfig {
             workers: thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             queue_capacity: 1024,
             cache_capacity: 256,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            fault_plan: None,
         }
     }
 }
@@ -68,6 +90,8 @@ enum Disposition {
 }
 
 struct QueuedJob {
+    /// The job's submission id — the token fault/jitter decisions key on.
+    id: u64,
     enqueued: Instant,
     deadline: Option<Instant>,
     cancelled: Arc<AtomicBool>,
@@ -90,6 +114,23 @@ struct Inflight {
     cv: Condvar,
 }
 
+/// Removes the inflight marker and releases its waiters even if the
+/// leader's simulation panics (without this, an unwinding leader would
+/// strand every waiter forever).
+struct InflightGuard<'a> {
+    inner: &'a PoolInner,
+    key: CacheKey,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(w) = sync::lock(&self.inner.inflight).remove(&self.key) {
+            *sync::lock(&w.done) = true;
+            w.cv.notify_all();
+        }
+    }
+}
+
 struct PoolInner {
     queue: Mutex<QueueState>,
     not_empty: Condvar,
@@ -98,6 +139,7 @@ struct PoolInner {
     cache: PlanCache,
     inflight: Mutex<HashMap<CacheKey, Arc<Inflight>>>,
     stats: RuntimeStats,
+    supervisor: Supervisor,
     next_id: AtomicU64,
 }
 
@@ -120,8 +162,28 @@ pub struct ExecResult {
     pub memory: Vec<f32>,
 }
 
+/// Per-attempt DMA fault hook for functional-execution jobs: decides per
+/// transfer from `(seed, MemFault, token, attempt, op)`, so a retried
+/// attempt draws fresh decisions.
+struct MemFaultHook {
+    inner: Arc<PoolInner>,
+    token: u64,
+    attempt: u32,
+}
+
+impl cf_core::fault::DmaFaultHook for MemFaultHook {
+    fn fires(&self, op: u64) -> bool {
+        let Some(plan) = &self.inner.supervisor.plan else { return false };
+        let fire = plan.fires_at(FaultSite::MemFault, self.token, self.attempt, op);
+        if fire {
+            self.inner.stats.faults_injected.fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+}
+
 /// The concurrent simulation-service runtime: worker pool + bounded queue
-/// + plan/report cache + stats registry.
+/// + plan/report cache + supervision + stats registry.
 ///
 /// # Examples
 ///
@@ -173,6 +235,11 @@ impl Runtime {
             cache: PlanCache::new(config.cache_capacity),
             inflight: Mutex::new(HashMap::new()),
             stats: RuntimeStats::new(workers),
+            supervisor: Supervisor {
+                policy: config.retry,
+                breaker: CircuitBreaker::new(config.breaker),
+                plan: config.fault_plan,
+            },
             next_id: AtomicU64::new(0),
         });
         let handles = (0..workers)
@@ -180,8 +247,8 @@ impl Runtime {
                 let inner = Arc::clone(&inner);
                 thread::Builder::new()
                     .name(format!("cf-runtime-worker-{i}"))
-                    .spawn(move || worker_loop(&inner, i))
-                    .expect("spawn worker thread")
+                    .spawn(move || worker_entry(&inner, i))
+                    .unwrap_or_else(|e| panic!("failed to spawn cf-runtime worker {i}: {e}"))
             })
             .collect();
         Runtime { inner, workers: handles }
@@ -209,6 +276,9 @@ impl Runtime {
 
     /// Submits an arbitrary closure job (blocking while the queue is
     /// full). Used for batch sweeps and the experiment harness.
+    ///
+    /// Task jobs are **not** supervised: the runtime cannot know they are
+    /// idempotent, so they get no retries and no fault injection.
     pub fn submit_task<T, F>(&self, f: F) -> JobHandle<T>
     where
         T: Send + 'static,
@@ -260,73 +330,9 @@ impl Runtime {
     ) -> JobHandle<SimResult> {
         let inner = Arc::clone(&self.inner);
         let bypass = opts.bypass_cache;
-        self.submit_with(
-            opts,
-            move || {
-                let key = CacheKey::new(&machine, &program);
-                if bypass || inner.cache.capacity() == 0 {
-                    let report =
-                        Arc::new(Machine::new(machine).simulate(&program).map_err(JobError::Sim)?);
-                    return Ok(SimResult { report, cache_hit: false, key });
-                }
-                loop {
-                    if let Some(report) = inner.cache.get(&key) {
-                        inner.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-                        return Ok(SimResult { report, cache_hit: true, key });
-                    }
-                    // Single-flight: the first job to miss on this key
-                    // becomes the leader; concurrent same-key jobs wait
-                    // for its cache fill instead of re-running the
-                    // planner.
-                    let waiter = {
-                        let mut inflight = inner.inflight.lock().unwrap();
-                        match inflight.get(&key) {
-                            Some(w) => Some(Arc::clone(w)),
-                            None => {
-                                inflight.insert(key, Arc::new(Inflight::default()));
-                                None
-                            }
-                        }
-                    };
-                    let Some(waiter) = waiter else {
-                        // Leader. Re-check the cache first: a previous
-                        // leader may have filled it between this job's
-                        // miss and its registration.
-                        if let Some(report) = inner.cache.get(&key) {
-                            if let Some(w) = inner.inflight.lock().unwrap().remove(&key) {
-                                *w.done.lock().unwrap() = true;
-                                w.cv.notify_all();
-                            }
-                            inner.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-                            return Ok(SimResult { report, cache_hit: true, key });
-                        }
-                        // Simulate, fill, release the waiters.
-                        let simulated = Machine::new(machine.clone()).simulate(&program);
-                        let outcome = match simulated {
-                            Ok(report) => {
-                                let report = Arc::new(report);
-                                inner.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
-                                inner.cache.insert(key, Arc::clone(&report));
-                                Ok(SimResult { report, cache_hit: false, key })
-                            }
-                            Err(e) => Err(JobError::Sim(e)),
-                        };
-                        if let Some(w) = inner.inflight.lock().unwrap().remove(&key) {
-                            *w.done.lock().unwrap() = true;
-                            w.cv.notify_all();
-                        }
-                        return outcome;
-                    };
-                    let mut done = waiter.done.lock().unwrap();
-                    while !*done {
-                        done = waiter.cv.wait(done).unwrap();
-                    }
-                    // Loop to re-check the cache: if the leader failed,
-                    // this job takes over as the next leader.
-                }
-            },
-            true,
-        )
+        self.submit_supervised(opts, move |id, _attempt| {
+            simulate_once(&inner, &machine, &program, bypass, id)
+        })
     }
 
     /// Submits a functional execution of `program` on `machine`, inputs
@@ -352,18 +358,23 @@ impl Runtime {
         program: Arc<Program>,
         seed: u64,
     ) -> JobHandle<ExecResult> {
-        self.submit_with(
-            opts,
-            move || {
-                let elems = program.extern_elems() as usize;
-                let mut mem = Memory::new(elems);
-                let data = DataGen::new(seed).uniform(Shape::new(vec![elems]), -1.0, 1.0);
-                mem.as_mut_slice().copy_from_slice(data.data());
-                Machine::new(machine).run(&program, &mut mem).map_err(JobError::Sim)?;
-                Ok(ExecResult { memory: mem.as_mut_slice().to_vec() })
-            },
-            true,
-        )
+        let inner = Arc::clone(&self.inner);
+        self.submit_supervised(opts, move |id, attempt| {
+            let elems = program.extern_elems() as usize;
+            let mut mem = Memory::new(elems);
+            let data = DataGen::new(seed).uniform(Shape::new(vec![elems]), -1.0, 1.0);
+            mem.as_mut_slice().copy_from_slice(data.data());
+            let mut m = Machine::new(machine.clone());
+            if inner.supervisor.plan.is_some() {
+                m = m.with_fault_hook(Arc::new(MemFaultHook {
+                    inner: Arc::clone(&inner),
+                    token: id,
+                    attempt,
+                }));
+            }
+            m.run(&program, &mut mem).map_err(JobError::Sim)?;
+            Ok(ExecResult { memory: mem.as_mut_slice().to_vec() })
+        })
     }
 
     /// Submits a batch of simulations, returning the handles in order.
@@ -388,7 +399,7 @@ impl Runtime {
 
     fn shutdown_impl(&mut self, discard_queued: bool) {
         {
-            let mut q = self.inner.queue.lock().unwrap();
+            let mut q = sync::lock(&self.inner.queue);
             q.closed = true;
             if discard_queued {
                 for job in q.jobs.drain(..) {
@@ -403,6 +414,20 @@ impl Runtime {
         }
     }
 
+    /// Wraps an idempotent per-attempt body in the supervisor (retry,
+    /// breaker, fault injection) and submits it.
+    fn submit_supervised<T, F>(&self, opts: JobOptions, attempt_body: F) -> JobHandle<T>
+    where
+        T: Send + 'static,
+        F: Fn(u64, u32) -> Result<T, JobError> + Send + 'static,
+    {
+        let inner = Arc::clone(&self.inner);
+        self.submit_with_id(opts, true, move |id| {
+            inner.supervisor.supervise(&inner.stats, id, |attempt| attempt_body(id, attempt))
+        })
+        .0
+    }
+
     /// The blocking submission path (waits for queue space).
     fn submit_with<T, F>(&self, opts: JobOptions, body: F, block_when_full: bool) -> JobHandle<T>
     where
@@ -412,9 +437,6 @@ impl Runtime {
         self.submit_inner(opts, body, block_when_full).0
     }
 
-    /// The generic submission path. With `block_when_full` the call waits
-    /// for queue space; otherwise a full queue returns `false` in the
-    /// second slot (the handle is completed with [`JobError::QueueFull`]).
     fn submit_inner<T, F>(
         &self,
         opts: JobOptions,
@@ -424,6 +446,24 @@ impl Runtime {
     where
         T: Send + 'static,
         F: FnOnce() -> Result<T, JobError> + Send + 'static,
+    {
+        self.submit_with_id(opts, block_when_full, move |_| body())
+    }
+
+    /// The generic submission path; the body receives the job's
+    /// submission id (the supervision/fault token). With
+    /// `block_when_full` the call waits for queue space; otherwise a full
+    /// queue returns `false` in the second slot (the handle is completed
+    /// with [`JobError::QueueFull`]).
+    fn submit_with_id<T, F>(
+        &self,
+        opts: JobOptions,
+        block_when_full: bool,
+        body: F,
+    ) -> (JobHandle<T>, bool)
+    where
+        T: Send + 'static,
+        F: FnOnce(u64) -> Result<T, JobError> + Send + 'static,
     {
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         let (handle, shared) = JobHandle::<T>::new(id);
@@ -437,7 +477,7 @@ impl Runtime {
             let shared = Arc::clone(&shared);
             Box::new(move |disposition: Disposition| match disposition {
                 Disposition::Run => {
-                    let outcome = catch_unwind(AssertUnwindSafe(body));
+                    let outcome = catch_unwind(AssertUnwindSafe(move || body(id)));
                     let (ok, result) = match outcome {
                         Ok(Ok(value)) => (true, Ok(value)),
                         Ok(Err(e)) => (false, Err(e)),
@@ -460,16 +500,16 @@ impl Runtime {
                 }
             }) as Box<dyn FnOnce(Disposition) -> Option<bool> + Send>
         };
-        let job = QueuedJob { enqueued: now, deadline, cancelled, run };
+        let job = QueuedJob { id, enqueued: now, deadline, cancelled, run };
 
-        let mut q = self.inner.queue.lock().unwrap();
+        let mut q = sync::lock(&self.inner.queue);
         while !q.closed && q.jobs.len() >= self.inner.queue_capacity {
             if !block_when_full {
                 drop(q);
                 shared.complete(Err(JobError::QueueFull));
                 return (handle, false);
             }
-            q = self.inner.not_full.wait(q).unwrap();
+            q = sync::wait(&self.inner.not_full, q);
         }
         if q.closed {
             drop(q);
@@ -490,10 +530,108 @@ impl Drop for Runtime {
     }
 }
 
+/// One simulation attempt: cache lookup (checksum-verified), single-flight
+/// leadership, planner run and cache fill, with deterministic
+/// corruption injection on the fill when a fault plan says so.
+fn simulate_once(
+    inner: &PoolInner,
+    machine: &MachineConfig,
+    program: &Program,
+    bypass: bool,
+    _job_id: u64,
+) -> Result<SimResult, JobError> {
+    let key = CacheKey::new(machine, program);
+    if bypass || inner.cache.capacity() == 0 {
+        let report =
+            Arc::new(Machine::new(machine.clone()).simulate(program).map_err(JobError::Sim)?);
+        return Ok(SimResult { report, cache_hit: false, key });
+    }
+    loop {
+        match inner.cache.get_verified(&key) {
+            CacheLookup::Hit(report) => {
+                inner.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(SimResult { report, cache_hit: true, key });
+            }
+            CacheLookup::Corrupt => {
+                // Checksum mismatch: the entry has been evicted; fall
+                // through and recompute (the next loop iteration misses).
+                inner.stats.cache_corruptions.fetch_add(1, Ordering::Relaxed);
+            }
+            CacheLookup::Miss => {}
+        }
+        // Single-flight: the first job to miss on this key becomes the
+        // leader; concurrent same-key jobs wait for its cache fill
+        // instead of re-running the planner.
+        let waiter = {
+            let mut inflight = sync::lock(&inner.inflight);
+            match inflight.get(&key) {
+                Some(w) => Some(Arc::clone(w)),
+                None => {
+                    inflight.insert(key, Arc::new(Inflight::default()));
+                    None
+                }
+            }
+        };
+        let Some(waiter) = waiter else {
+            // Leader. The guard releases waiters even if the planner
+            // panics below.
+            let _guard = InflightGuard { inner, key };
+            // Re-check the cache first: a previous leader may have filled
+            // it between this job's miss and its registration.
+            if let CacheLookup::Hit(report) = inner.cache.get_verified(&key) {
+                inner.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(SimResult { report, cache_hit: true, key });
+            }
+            // Simulate, fill, release the waiters (guard drop).
+            let report =
+                Arc::new(Machine::new(machine.clone()).simulate(program).map_err(JobError::Sim)?);
+            inner.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+            fill_cache(inner, key, &report);
+            return Ok(SimResult { report, cache_hit: false, key });
+        };
+        let mut done = sync::lock(&waiter.done);
+        while !*done {
+            done = sync::wait(&waiter.cv, done);
+        }
+        // Loop to re-check the cache: if the leader failed, this job
+        // takes over as the next leader.
+    }
+}
+
+/// Fills the cache for `key`, corrupting the stored checksum when the
+/// fault plan fires for this key (keyed by cache key, not job, so a
+/// poisoned workload reproduces exactly under a given seed).
+fn fill_cache(inner: &PoolInner, key: CacheKey, report: &Arc<PerfReport>) {
+    let corrupt = inner.supervisor.plan.as_ref().is_some_and(|plan| {
+        plan.fires(FaultSite::CacheCorrupt, key.machine ^ key.program.rotate_left(32), 0)
+    });
+    if corrupt {
+        inner.stats.faults_injected.fetch_add(1, Ordering::Relaxed);
+        let checksum = crate::cache::report_checksum(report) ^ 0xDEAD_BEEF_DEAD_BEEF;
+        inner.cache.insert_with_checksum(key, Arc::clone(report), checksum);
+    } else {
+        inner.cache.insert(key, Arc::clone(report));
+    }
+}
+
+/// Worker thread entry: runs [`worker_loop`] behind an unwind barrier and
+/// respawns it (same OS thread, fresh loop) if it ever panics, so the
+/// pool never shrinks permanently.
+fn worker_entry(inner: &PoolInner, worker_index: usize) {
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| worker_loop(inner, worker_index))) {
+            Ok(()) => return, // clean shutdown
+            Err(_) => {
+                inner.stats.worker_respawns.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
 fn worker_loop(inner: &PoolInner, worker_index: usize) {
     loop {
         let job = {
-            let mut q = inner.queue.lock().unwrap();
+            let mut q = sync::lock(&inner.queue);
             loop {
                 if let Some(job) = q.jobs.pop_front() {
                     break Some(job);
@@ -501,7 +639,7 @@ fn worker_loop(inner: &PoolInner, worker_index: usize) {
                 if q.closed {
                     break None;
                 }
-                q = inner.not_empty.wait(q).unwrap();
+                q = sync::wait(&inner.not_empty, q);
             }
         };
         let Some(job) = job else { return };
@@ -524,19 +662,25 @@ fn worker_loop(inner: &PoolInner, worker_index: usize) {
                 continue;
             }
         }
+        let id = job.id;
         let t0 = Instant::now();
         if let Some(ok) = (job.run)(Disposition::Run) {
             inner.stats.record_run(worker_index, t0.elapsed(), ok);
         }
+        // Worker-kill injection: panic the loop *after* the job handle
+        // resolved, exercising the respawn path without stranding
+        // joiners. Deterministic per job id.
+        if let Some(plan) = &inner.supervisor.plan {
+            if plan.fires(FaultSite::WorkerKill, id, 0) {
+                inner.stats.faults_injected.fetch_add(1, Ordering::Relaxed);
+                resume_unwind_quietly();
+            }
+        }
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
+/// Unwinds the worker loop without going through `panic!` (no panic-hook
+/// message on stderr; the respawn barrier in [`worker_entry`] catches it).
+fn resume_unwind_quietly() -> ! {
+    std::panic::resume_unwind(Box::new("injected worker kill"))
 }

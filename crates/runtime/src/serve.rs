@@ -1,0 +1,329 @@
+//! The manifest-serving engine behind the `cfserve` binary.
+//!
+//! Lives in the library (rather than the binary) so the chaos tests can
+//! drive the *exact* production path — parse, resolve, submit, join in
+//! submission order, render JSON — and assert byte-identical output
+//! between fault-free and fault-injected runs.
+//!
+//! Output determinism: every [`JobRecord`] carries only fields that are
+//! pure functions of the manifest (no wall-clock, no cache-hit flags, no
+//! worker identities), so [`render_record_json`] of the same manifest is
+//! byte-identical across worker counts, cache settings and — because
+//! supervised retries and checksum-verified cache fills mask transient
+//! faults — across seeded fault plans whose faults all heal.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cf_tensor::fingerprint::StableHasher;
+
+use crate::fault::FaultPlan;
+use crate::job::{JobError, JobHandle};
+use crate::manifest::{self, JobKind, JobSpec, ManifestError};
+use crate::scheduler::{ExecResult, Runtime, RuntimeConfig, SimResult};
+use crate::stats::StatsSnapshot;
+use crate::supervisor::{BreakerConfig, RetryPolicy};
+
+/// How to run a manifest.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Plan/report cache capacity (0 disables caching).
+    pub cache_capacity: usize,
+    /// Retry policy for the supervised jobs.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker thresholds (disabled by default).
+    pub breaker: BreakerConfig,
+    /// Deterministic fault-injection plan (`None` = no injection).
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            cache_capacity: 256,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            fault_plan: None,
+        }
+    }
+}
+
+/// The deterministic payload of a finished job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutput {
+    /// A performance simulation's headline numbers.
+    Sim {
+        /// End-to-end modelled seconds.
+        makespan_s: f64,
+        /// Steady-state modelled seconds.
+        steady_s: f64,
+        /// Attained tera-ops/s.
+        attained_tops: f64,
+        /// Fraction of machine peak attained.
+        peak_fraction: f64,
+        /// Root-level operational intensity.
+        root_intensity: f64,
+    },
+    /// A functional execution's memory digest.
+    Exec {
+        /// External-memory elements.
+        elems: usize,
+        /// Stable content hash of the final memory.
+        memory_hash: u64,
+    },
+}
+
+/// One job's result, in submission (= manifest) order.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Submission index (0-based, manifest order).
+    pub index: usize,
+    /// The spec's output tag.
+    pub label: String,
+    /// The spec's machine name.
+    pub machine: String,
+    /// `"simulate"` or `"exec"`.
+    pub mode: &'static str,
+    /// The payload, or why the job ultimately failed.
+    pub outcome: Result<JobOutput, JobError>,
+}
+
+/// Everything a serve run produced.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Per-job records in submission order.
+    pub records: Vec<JobRecord>,
+    /// Runtime counters at the end of the run.
+    pub stats: StatsSnapshot,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time from first submission to last join.
+    pub wall: Duration,
+}
+
+impl ServeReport {
+    /// Jobs whose outcome is an error.
+    pub fn failures(&self) -> usize {
+        self.records.iter().filter(|r| r.outcome.is_err()).count()
+    }
+
+    /// The failed records (submission order).
+    pub fn failed_records(&self) -> impl Iterator<Item = &JobRecord> {
+        self.records.iter().filter(|r| r.outcome.is_err())
+    }
+}
+
+enum Pending {
+    Sim(JobHandle<SimResult>),
+    Exec(JobHandle<ExecResult>),
+}
+
+/// Parses `text` and runs every job it describes.
+///
+/// # Errors
+///
+/// Grammar, machine-resolution and program-resolution errors — all
+/// *validation* failures, surfaced before any job runs. Individual job
+/// failures do **not** error here: they become `Err` outcomes in the
+/// report (graceful degradation).
+pub fn serve_manifest(text: &str, opts: &ServeOptions) -> Result<ServeReport, ManifestError> {
+    let specs = manifest::parse_manifest(text)?;
+    serve_specs(&specs, opts)
+}
+
+/// [`serve_manifest`] for already-parsed specs.
+///
+/// # Errors
+///
+/// Machine- and program-resolution failures.
+pub fn serve_specs(specs: &[JobSpec], opts: &ServeOptions) -> Result<ServeReport, ManifestError> {
+    // Resolve every program and machine up front (shared across repeats
+    // via Arc) so validation errors abort before any job runs.
+    let mut resolved = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let program = Arc::new(manifest::resolve_program(&spec.source)?);
+        let machine = manifest::machine_by_name(&spec.machine).ok_or_else(|| {
+            // Parsing already validated the name; this guards direct
+            // `serve_specs` callers handing in unvalidated specs.
+            ManifestError::UnknownMachine { name: spec.machine.clone(), line: 0 }
+        })?;
+        resolved.push((spec, machine, program));
+    }
+
+    let runtime = Runtime::new(RuntimeConfig {
+        workers: opts.workers,
+        cache_capacity: opts.cache_capacity,
+        retry: opts.retry.clone(),
+        breaker: opts.breaker.clone(),
+        fault_plan: opts.fault_plan.clone(),
+        ..Default::default()
+    });
+    let workers = runtime.worker_count();
+    let t0 = Instant::now();
+
+    // Submit everything first (the pool interleaves freely), then join in
+    // submission order so the record list — and any stdout rendered from
+    // it — is deterministic.
+    let mut pending: Vec<(String, String, &'static str, Pending)> = Vec::new();
+    for (spec, machine, program) in &resolved {
+        for _ in 0..spec.repeat {
+            let (mode, handle) = match spec.kind {
+                JobKind::Simulate => (
+                    "simulate",
+                    Pending::Sim(runtime.submit_simulate(machine.clone(), Arc::clone(program))),
+                ),
+                JobKind::Exec { seed } => (
+                    "exec",
+                    Pending::Exec(runtime.submit_exec(machine.clone(), Arc::clone(program), seed)),
+                ),
+            };
+            pending.push((spec.label.clone(), spec.machine.clone(), mode, handle));
+        }
+    }
+
+    let records = pending
+        .into_iter()
+        .enumerate()
+        .map(|(index, (label, machine, mode, handle))| {
+            let outcome = match handle {
+                Pending::Sim(h) => h.join().map(|sim| {
+                    let r = &sim.report;
+                    JobOutput::Sim {
+                        makespan_s: r.makespan_seconds,
+                        steady_s: r.steady_seconds,
+                        attained_tops: r.attained_ops / 1e12,
+                        peak_fraction: r.peak_fraction,
+                        root_intensity: r.root_intensity,
+                    }
+                }),
+                Pending::Exec(h) => h.join().map(|exec| {
+                    let mut hasher = StableHasher::new();
+                    for v in &exec.memory {
+                        hasher.write_f32(*v);
+                    }
+                    JobOutput::Exec { elems: exec.memory.len(), memory_hash: hasher.finish() }
+                }),
+            };
+            JobRecord { index, label, machine, mode, outcome }
+        })
+        .collect();
+
+    let wall = t0.elapsed();
+    let stats = runtime.stats().snapshot();
+    runtime.shutdown();
+    Ok(ServeReport { records, stats, workers, wall })
+}
+
+/// Escapes a string for a JSON value position.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders one record as the JSON-lines object `cfserve` prints.
+///
+/// Carries only deterministic fields; float formatting uses `{:?}`, which
+/// round-trips exactly.
+pub fn render_record_json(record: &JobRecord) -> String {
+    let head = format!(
+        "{{\"job\":{},\"label\":{},\"machine\":{},\"mode\":{}",
+        record.index,
+        json_str(&record.label),
+        json_str(&record.machine),
+        json_str(record.mode),
+    );
+    match &record.outcome {
+        Ok(JobOutput::Sim {
+            makespan_s,
+            steady_s,
+            attained_tops,
+            peak_fraction,
+            root_intensity,
+        }) => {
+            format!(
+                "{head},\"ok\":true,\"makespan_s\":{makespan_s:?},\"steady_s\":{steady_s:?},\"attained_tops\":{attained_tops:?},\"peak_fraction\":{peak_fraction:?},\"root_intensity\":{root_intensity:?}}}"
+            )
+        }
+        Ok(JobOutput::Exec { elems, memory_hash }) => {
+            format!("{head},\"ok\":true,\"elems\":{elems},\"memory_hash\":\"{memory_hash:016x}\"}}")
+        }
+        Err(e) => format!("{head},\"ok\":false,\"error\":{}}}", json_str(&e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> ServeOptions {
+        ServeOptions { workers: 2, ..Default::default() }
+    }
+
+    #[test]
+    fn serves_a_small_manifest_in_order() {
+        let text = "workload=matmul order=64 repeat=2\nworkload=matmul order=64 mode=exec seed=3 label=x\n";
+        let report = serve_manifest(text, &quick_opts()).unwrap();
+        assert_eq!(report.records.len(), 3);
+        assert_eq!(report.failures(), 0);
+        assert_eq!(report.records[0].mode, "simulate");
+        assert_eq!(report.records[2].mode, "exec");
+        assert_eq!(report.records[2].label, "x");
+        for (i, r) in report.records.iter().enumerate() {
+            assert_eq!(r.index, i);
+        }
+        // The repeat is answered by the cache.
+        assert!(report.stats.cache_hits >= 1);
+    }
+
+    #[test]
+    fn validation_errors_surface_before_running() {
+        let err = serve_manifest("program=/no/such/file.cfasm\n", &quick_opts()).unwrap_err();
+        assert!(matches!(err, ManifestError::Program { .. }), "{err}");
+    }
+
+    #[test]
+    fn rendered_json_escapes_and_errors() {
+        let record = JobRecord {
+            index: 1,
+            label: "a\"b".into(),
+            machine: "f1".into(),
+            mode: "simulate",
+            outcome: Err(JobError::Panicked("boom".into())),
+        };
+        let line = render_record_json(&record);
+        assert!(line.contains("\"label\":\"a\\\"b\""), "{line}");
+        assert!(line.contains("\"ok\":false"), "{line}");
+        assert!(line.contains("boom"), "{line}");
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+
+    #[test]
+    fn two_runs_render_byte_identical() {
+        let text = "workload=matmul order=96 repeat=3\n";
+        let a = serve_manifest(text, &quick_opts()).unwrap();
+        let b = serve_manifest(
+            text,
+            &ServeOptions { workers: 1, cache_capacity: 0, ..Default::default() },
+        )
+        .unwrap();
+        let ra: Vec<String> = a.records.iter().map(render_record_json).collect();
+        let rb: Vec<String> = b.records.iter().map(render_record_json).collect();
+        assert_eq!(ra, rb);
+    }
+}

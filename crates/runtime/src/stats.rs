@@ -35,6 +35,16 @@ pub struct RuntimeStats {
     pub cache_hits: AtomicU64,
     /// Simulation jobs that had to run the planner.
     pub cache_misses: AtomicU64,
+    /// Cache hits whose checksum failed (entry dropped, job recomputed).
+    pub cache_corruptions: AtomicU64,
+    /// Supervised attempts that were retried after a transient failure.
+    pub retries: AtomicU64,
+    /// Jobs shed by the open circuit breaker.
+    pub shed: AtomicU64,
+    /// Faults the [`FaultPlan`](crate::FaultPlan) injected.
+    pub faults_injected: AtomicU64,
+    /// Worker loops respawned after an escaped panic.
+    pub worker_respawns: AtomicU64,
     /// Total nanoseconds jobs waited in the queue before starting.
     pub queue_wait_nanos: AtomicU64,
     /// Per-worker slots, fixed at pool construction.
@@ -53,6 +63,11 @@ impl RuntimeStats {
             expired: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            cache_corruptions: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
             queue_wait_nanos: AtomicU64::new(0),
             workers: (0..workers).map(|_| WorkerStats::default()).collect(),
             started: Instant::now(),
@@ -89,6 +104,11 @@ impl RuntimeStats {
             expired: self.expired.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_corruptions: self.cache_corruptions.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
             queue_wait: Duration::from_nanos(self.queue_wait_nanos.load(Ordering::Relaxed)),
             uptime: self.started.elapsed(),
             per_worker,
@@ -113,6 +133,16 @@ pub struct StatsSnapshot {
     pub cache_hits: u64,
     /// Plan/report cache misses.
     pub cache_misses: u64,
+    /// Checksum-detected corrupt cache hits (recomputed).
+    pub cache_corruptions: u64,
+    /// Retried supervised attempts.
+    pub retries: u64,
+    /// Jobs shed by the open circuit breaker.
+    pub shed: u64,
+    /// Faults injected by the fault plan.
+    pub faults_injected: u64,
+    /// Worker loops respawned after an escaped panic.
+    pub worker_respawns: u64,
     /// Cumulative queue waiting time across jobs.
     pub queue_wait: Duration,
     /// Time since the runtime started.

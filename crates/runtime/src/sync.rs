@@ -1,0 +1,31 @@
+//! Poison-recovering lock helpers.
+//!
+//! The runtime survives panicking job bodies by design (workers respawn,
+//! supervised jobs retry), so a poisoned mutex does not indicate broken
+//! shared state here — every critical section leaves the guarded data
+//! consistent before any operation that can unwind. These helpers recover
+//! the guard from a poisoned lock instead of propagating the poison as a
+//! second panic.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Locks `m`, recovering from poisoning.
+pub(crate) fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Waits on `cv`, recovering the guard from poisoning.
+pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
+
+/// Waits on `cv` up to `timeout`, recovering the guard from poisoning.
+/// The timed-out flag is dropped — callers re-check their own deadlines.
+pub(crate) fn wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> MutexGuard<'a, T> {
+    cv.wait_timeout(guard, timeout).map(|(g, _)| g).unwrap_or_else(|e| e.into_inner().0)
+}

@@ -1,0 +1,120 @@
+//! Chaos test: the example service manifest (`assets/serve.jobs`, 19
+//! jobs) runs under a seeded fault plan injecting worker panics and
+//! cache corruption, and must produce **byte-identical** stdout records
+//! to the fault-free run with every job succeeding — retries mask the
+//! panics, checksum verification masks the corruption.
+
+use std::time::Duration;
+
+use cf_runtime::manifest::{self, JobKind, JobSpec};
+use cf_runtime::serve::{render_record_json, serve_manifest, ServeOptions};
+use cf_runtime::{CacheKey, FaultPlan, FaultSite, FaultSpec, RetryPolicy};
+
+/// The repo's example manifest, program paths made absolute so the test
+/// is independent of the working directory.
+fn manifest_text() -> String {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = format!("{root}/assets/serve.jobs");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    text.replace("program=assets/", &format!("program={root}/assets/"))
+}
+
+/// Deterministically finds a seed whose fault plan (10 % panics, 5 %
+/// cache corruption) is *predicted* to inject at least one worker panic
+/// and corrupt at least one repeated cache key, while leaving every job
+/// able to succeed within a 4-retry budget. The prediction uses the same
+/// pure `fires` decisions the runtime consults, so the run must match it.
+fn chaos_seed(specs: &[JobSpec]) -> (u64, u64) {
+    let mut repeated_key_tokens = Vec::new();
+    let mut jobs = 0u64;
+    for spec in specs {
+        if spec.repeat >= 2 && spec.kind == JobKind::Simulate {
+            let program =
+                manifest::resolve_program(&spec.source).unwrap_or_else(|e| panic!("resolve: {e}"));
+            let cfg = manifest::machine_by_name(&spec.machine)
+                .unwrap_or_else(|| panic!("machine {}", spec.machine));
+            let key = CacheKey::new(&cfg, &program);
+            // The token the scheduler keys cache-corruption decisions on.
+            repeated_key_tokens.push(key.machine ^ key.program.rotate_left(32));
+        }
+        jobs += spec.repeat as u64;
+    }
+    assert!(!repeated_key_tokens.is_empty(), "manifest has no repeated simulate specs");
+    for seed in 0..10_000u64 {
+        let plan = FaultPlan::new(seed, FaultSpec::chaos());
+        let panics = (0..jobs).any(|id| plan.fires(FaultSite::WorkerPanic, id, 0));
+        let corrupts =
+            repeated_key_tokens.iter().any(|&t| plan.fires(FaultSite::CacheCorrupt, t, 0));
+        let survivable =
+            (0..jobs).all(|id| (0..=4).any(|a| !plan.fires(FaultSite::WorkerPanic, id, a)));
+        if panics && corrupts && survivable {
+            return (seed, jobs);
+        }
+    }
+    panic!("no suitable chaos seed in 0..10000");
+}
+
+#[test]
+fn chaos_run_is_byte_identical_to_fault_free_run() {
+    let text = manifest_text();
+    let specs = manifest::parse_manifest(&text).unwrap_or_else(|e| panic!("parse: {e}"));
+    let (seed, jobs) = chaos_seed(&specs);
+    assert_eq!(jobs, 19, "assets/serve.jobs should expand to 19 jobs");
+
+    let clean_opts = ServeOptions { workers: 4, ..Default::default() };
+    let chaos_opts = ServeOptions {
+        workers: 4,
+        retry: RetryPolicy {
+            max_retries: 4,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            total_deadline: None,
+        },
+        fault_plan: Some(FaultPlan::new(seed, FaultSpec::chaos())),
+        ..Default::default()
+    };
+
+    let clean = serve_manifest(&text, &clean_opts).unwrap_or_else(|e| panic!("clean run: {e}"));
+    let chaos = serve_manifest(&text, &chaos_opts).unwrap_or_else(|e| panic!("chaos run: {e}"));
+
+    assert_eq!(clean.records.len() as u64, jobs);
+    assert_eq!(clean.failures(), 0, "fault-free run must succeed");
+    assert_eq!(chaos.failures(), 0, "every chaos job must succeed after retries");
+
+    let clean_out: Vec<String> = clean.records.iter().map(render_record_json).collect();
+    let chaos_out: Vec<String> = chaos.records.iter().map(render_record_json).collect();
+    assert_eq!(clean_out, chaos_out, "chaos stdout must be byte-identical (seed {seed})");
+
+    // The faults really happened and were masked, not skipped.
+    assert_eq!(clean.stats.faults_injected, 0);
+    assert!(chaos.stats.faults_injected >= 1, "no faults injected (seed {seed})");
+    assert!(chaos.stats.retries >= 1, "no retries recorded (seed {seed})");
+    assert!(chaos.stats.cache_corruptions >= 1, "no corruption detected (seed {seed})");
+}
+
+#[test]
+fn chaos_run_reproduces_exactly_with_same_seed() {
+    let text = manifest_text();
+    let specs = manifest::parse_manifest(&text).unwrap_or_else(|e| panic!("parse: {e}"));
+    let (seed, _) = chaos_seed(&specs);
+    let opts = |workers| ServeOptions {
+        workers,
+        retry: RetryPolicy {
+            max_retries: 4,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            total_deadline: None,
+        },
+        fault_plan: Some(FaultPlan::new(seed, FaultSpec::chaos())),
+        ..Default::default()
+    };
+    // Same seed, different worker counts: decisions are keyed on stable
+    // tokens, never thread identity, so the fault mix is identical.
+    let a = serve_manifest(&text, &opts(4)).unwrap_or_else(|e| panic!("run a: {e}"));
+    let b = serve_manifest(&text, &opts(1)).unwrap_or_else(|e| panic!("run b: {e}"));
+    let ra: Vec<String> = a.records.iter().map(render_record_json).collect();
+    let rb: Vec<String> = b.records.iter().map(render_record_json).collect();
+    assert_eq!(ra, rb);
+    assert_eq!(a.stats.faults_injected, b.stats.faults_injected);
+    assert_eq!(a.stats.cache_corruptions, b.stats.cache_corruptions);
+}

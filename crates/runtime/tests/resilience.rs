@@ -1,0 +1,136 @@
+//! Property tests for the resilience layer: the retry schedule never
+//! exceeds its budget or total deadline, and the circuit breaker's state
+//! machine matches its specification under arbitrary event sequences.
+
+use std::time::{Duration, Instant};
+
+use cf_runtime::{next_retry, BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
+use proptest::prelude::*;
+
+proptest! {
+    /// Driving `next_retry` to exhaustion accepts at most `max_retries`
+    /// retries, every backoff respects `max_backoff`, and the cumulative
+    /// schedule never crosses `total_deadline`.
+    #[test]
+    fn retry_schedule_respects_budget_and_deadline(
+        max_retries in 0u32..8,
+        base_ms in 1u64..25,
+        max_ms in 25u64..250,
+        deadline_ms in 0u64..500,
+        jitter in 0.0f64..1.0,
+    ) {
+        let policy = RetryPolicy {
+            max_retries,
+            base_backoff: Duration::from_millis(base_ms),
+            max_backoff: Duration::from_millis(max_ms),
+            total_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+        };
+        let mut elapsed = Duration::ZERO;
+        let mut retries = 0u32;
+        let mut failures = 1u32;
+        while let Some(backoff) = next_retry(&policy, failures, elapsed, jitter) {
+            prop_assert!(backoff <= policy.max_backoff,
+                "backoff {backoff:?} exceeds max {:?}", policy.max_backoff);
+            elapsed += backoff;
+            if let Some(deadline) = policy.total_deadline {
+                prop_assert!(elapsed <= deadline,
+                    "schedule {elapsed:?} crossed deadline {deadline:?}");
+            }
+            retries += 1;
+            failures += 1;
+            prop_assert!(retries <= max_retries, "{retries} retries > budget {max_retries}");
+        }
+        prop_assert!(retries <= max_retries);
+    }
+
+    /// Jittered backoffs stay within `[½·nominal, nominal]` of the
+    /// unjittered schedule.
+    #[test]
+    fn jitter_only_shrinks_backoff(
+        failures in 1u32..12,
+        base_ms in 1u64..25,
+        jitter in 0.0f64..1.0,
+    ) {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_millis(base_ms),
+            ..RetryPolicy::retries(12)
+        };
+        let nominal = policy.backoff(failures, 1.0);
+        let jittered = policy.backoff(failures, jitter);
+        prop_assert!(jittered <= nominal);
+        // Allow a rounding nanosecond on the lower bound.
+        prop_assert!(jittered + Duration::from_nanos(1) >= nominal / 2,
+            "{jittered:?} below half of {nominal:?}");
+    }
+
+    /// The breaker tracks a reference model of its own specification —
+    /// Closed counts consecutive failures, threshold opens it, the open
+    /// interval sheds, the first post-interval caller probes half-open,
+    /// a failed probe re-opens for a fresh interval, success closes.
+    #[test]
+    fn breaker_matches_reference_model(
+        threshold in 1u32..5,
+        events in prop::collection::vec((0u64..300, 0u32..3), 1..60),
+    ) {
+        #[derive(Clone, Copy, PartialEq, Debug)]
+        enum Model {
+            Closed { fails: u32 },
+            Open { until_ms: u64 },
+            HalfOpen,
+        }
+        let open_for = Duration::from_millis(100);
+        let breaker = CircuitBreaker::new(BreakerConfig { failure_threshold: threshold, open_for });
+        let t0 = Instant::now();
+        let mut model = Model::Closed { fails: 0 };
+        let mut now_ms = 0u64;
+        for (advance, action) in events {
+            now_ms += advance;
+            let now = t0 + Duration::from_millis(now_ms);
+            match action {
+                // allow_at
+                0 => {
+                    let expected = match model {
+                        Model::Closed { .. } => true,
+                        Model::HalfOpen => false,
+                        Model::Open { until_ms } => {
+                            if now_ms >= until_ms {
+                                model = Model::HalfOpen;
+                                true
+                            } else {
+                                false
+                            }
+                        }
+                    };
+                    prop_assert_eq!(breaker.allow_at(now), expected, "at {}ms", now_ms);
+                }
+                // record_success
+                1 => {
+                    breaker.record_success();
+                    model = Model::Closed { fails: 0 };
+                }
+                // record_failure_at
+                _ => {
+                    breaker.record_failure_at(now);
+                    model = match model {
+                        Model::HalfOpen => Model::Open { until_ms: now_ms + 100 },
+                        Model::Closed { fails } if fails + 1 >= threshold => {
+                            Model::Open { until_ms: now_ms + 100 }
+                        }
+                        Model::Closed { fails } => Model::Closed { fails: fails + 1 },
+                        // An open breaker keeps counting (the scheduler
+                        // only records terminal outcomes of admitted
+                        // jobs, but the API tolerates it): count ≥
+                        // threshold, so it re-opens afresh.
+                        Model::Open { .. } => Model::Open { until_ms: now_ms + 100 },
+                    };
+                }
+            }
+            let expected_state = match model {
+                Model::Closed { .. } => BreakerState::Closed,
+                Model::Open { .. } => BreakerState::Open,
+                Model::HalfOpen => BreakerState::HalfOpen,
+            };
+            prop_assert_eq!(breaker.state(), expected_state, "at {}ms", now_ms);
+        }
+    }
+}

@@ -12,7 +12,12 @@ use cf_runtime::{JobError, JobOptions, Runtime, RuntimeConfig};
 use cf_workloads::nets;
 
 fn small_runtime(workers: usize) -> Runtime {
-    Runtime::new(RuntimeConfig { workers, queue_capacity: 64, cache_capacity: 32 })
+    Runtime::new(RuntimeConfig {
+        workers,
+        queue_capacity: 64,
+        cache_capacity: 32,
+        ..Default::default()
+    })
 }
 
 /// The repeated-workload mix the acceptance criterion exercises: a few
@@ -190,7 +195,12 @@ fn submit_after_shutdown_resolves_to_shutdown_error() {
 
 #[test]
 fn bounded_queue_rejects_when_full() {
-    let rt = Runtime::new(RuntimeConfig { workers: 1, queue_capacity: 2, cache_capacity: 0 });
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 1,
+        queue_capacity: 2,
+        cache_capacity: 0,
+        ..Default::default()
+    });
     // Fill the worker and the queue.
     let _running = rt.submit_task(|| std::thread::sleep(Duration::from_millis(150)));
     std::thread::sleep(Duration::from_millis(20)); // let the worker take it

@@ -8,6 +8,10 @@
 //! By default the program is performance-simulated; `--exec` additionally
 //! executes it functionally (inputs seeded) and prints the output symbols;
 //! `--timeline N` prints an N-level Gantt chart.
+//!
+//! Exit codes: `0` success, `2` bad arguments (including an unknown
+//! machine name), `3` the program failed to load or parse, `4` the
+//! simulation or execution itself failed.
 
 use std::process::ExitCode;
 
@@ -16,11 +20,15 @@ use cambricon_f::isa::parse_program;
 use cambricon_f::runtime::manifest::{machine_by_name, MACHINE_NAMES};
 use cambricon_f::tensor::{gen::DataGen, Memory, Shape};
 
+const EXIT_BAD_ARGS: u8 = 2;
+const EXIT_VALIDATION: u8 = 3;
+const EXIT_JOB_FAILED: u8 = 4;
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cfrun <program.cfasm> [--machine f1|f100|embedded|tiny] [--exec] [--timeline N]"
     );
-    ExitCode::FAILURE
+    ExitCode::from(EXIT_BAD_ARGS)
 }
 
 fn main() -> ExitCode {
@@ -49,21 +57,21 @@ fn main() -> ExitCode {
             "cfrun: unknown machine `{machine_name}` — valid machines are {}",
             MACHINE_NAMES.join(", ")
         );
-        return ExitCode::from(2);
+        return ExitCode::from(EXIT_BAD_ARGS);
     };
 
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            return ExitCode::FAILURE;
+            eprintln!("cfrun: cannot read {path}: {e}");
+            return ExitCode::from(EXIT_VALIDATION);
         }
     };
     let program = match parse_program(&text) {
         Ok(p) => p,
         Err(e) => {
-            eprintln!("parse error: {e}");
-            return ExitCode::FAILURE;
+            eprintln!("cfrun: {path}: parse error: {e}");
+            return ExitCode::from(EXIT_VALIDATION);
         }
     };
     println!(
@@ -86,15 +94,15 @@ fn main() -> ExitCode {
             );
         }
         Err(e) => {
-            eprintln!("simulation failed: {e}");
-            return ExitCode::FAILURE;
+            eprintln!("cfrun: simulation failed: {e}");
+            return ExitCode::from(EXIT_JOB_FAILED);
         }
     }
 
     if let Some(depth) = timeline_depth {
         match machine.timeline(&program, depth) {
             Ok(tl) => print!("{}", tl.render_ascii(depth + 1, 100)),
-            Err(e) => eprintln!("timeline failed: {e}"),
+            Err(e) => eprintln!("cfrun: timeline failed: {e}"),
         }
     }
 
@@ -107,11 +115,17 @@ fn main() -> ExitCode {
         );
         mem.as_mut_slice().copy_from_slice(data.data());
         if let Err(e) = machine.run(&program, &mut mem) {
-            eprintln!("functional execution failed: {e}");
-            return ExitCode::FAILURE;
+            eprintln!("cfrun: functional execution failed: {e}");
+            return ExitCode::from(EXIT_JOB_FAILED);
         }
         for (name, region) in program.symbols().iter().rev().take(3).rev() {
-            let t = mem.read_region(region).expect("read back");
+            let t = match mem.read_region(region) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cfrun: cannot read back symbol `{name}`: {e}");
+                    return ExitCode::from(EXIT_JOB_FAILED);
+                }
+            };
             let preview: Vec<String> = t.data().iter().take(6).map(|v| format!("{v:.4}")).collect();
             println!("{name} {} = [{}…]", region.shape(), preview.join(", "));
         }

@@ -3,54 +3,45 @@
 //!
 //! ```text
 //! cfserve <manifest> [--workers N] [--cache-capacity N] [--no-cache]
+//!         [--retries N] [--fault-seed S] [--fault-spec SPEC]
 //! ```
 //!
 //! The manifest grammar is documented in `cf_runtime::manifest` (one job
 //! per line: `workload=vgg16 machine=f1 repeat=4 …`). Every job becomes
 //! one JSON object on stdout, **in manifest order**, carrying only
 //! deterministic fields — so two serves of the same manifest produce
-//! byte-identical stdout regardless of worker count or cache settings.
-//! Wall-clock timing and the runtime-stats summary go to stderr.
+//! byte-identical stdout regardless of worker count, cache settings or
+//! (when retries mask them) injected faults. Wall-clock timing, the
+//! runtime-stats summary and the failure summary go to stderr.
+//!
+//! Exit codes: `0` all jobs succeeded, `2` bad arguments, `3` manifest
+//! validation failed (nothing ran), `4` at least one job ultimately
+//! failed (after retries).
 
 use std::io::Write as _;
 use std::process::ExitCode;
-use std::sync::Arc;
 use std::time::Instant;
 
-use cambricon_f::runtime::manifest::{self, JobKind, JobSpec};
-use cambricon_f::runtime::{JobError, JobHandle, Runtime, RuntimeConfig};
-use cambricon_f::tensor::fingerprint::StableHasher;
+use cambricon_f::runtime::serve::{render_record_json, serve_manifest, ServeOptions};
+use cambricon_f::runtime::{FaultPlan, FaultSpec, RetryPolicy};
+
+const EXIT_BAD_ARGS: u8 = 2;
+const EXIT_VALIDATION: u8 = 3;
+const EXIT_JOB_FAILED: u8 = 4;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cfserve <manifest> [--workers N] [--cache-capacity N] [--no-cache]");
+    eprintln!(
+        "usage: cfserve <manifest> [--workers N] [--cache-capacity N] [--no-cache] \\\n\
+         \x20              [--retries N] [--fault-seed S] [--fault-spec SPEC]"
+    );
     eprintln!("manifest lines: workload=<name>|program=<file.cfasm> \\");
     eprintln!("    [machine=f1|f100|embedded|tiny] [mode=simulate|exec] [seed=N]");
     eprintln!("    [batch=N] [order=N] [size=small|paper] [repeat=N] [label=TAG]");
-    ExitCode::from(2)
-}
-
-/// Escapes a string for a JSON value position.
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-enum Outcome {
-    Sim(JobHandle<cambricon_f::runtime::SimResult>),
-    Exec(JobHandle<cambricon_f::runtime::ExecResult>),
+    eprintln!("fault spec: comma-separated site=rate pairs, e.g.");
+    eprintln!(
+        "    panic=0.1,corrupt=0.05,latency=0.02,latency_ms=5,expire=0.01,mem=0.001,kill=0.005"
+    );
+    ExitCode::from(EXIT_BAD_ARGS)
 }
 
 fn main() -> ExitCode {
@@ -58,137 +49,82 @@ fn main() -> ExitCode {
     let Some(manifest_path) = args.first().filter(|a| !a.starts_with("--")) else {
         return usage();
     };
-    let mut workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let mut cache_capacity = 256usize;
+    let mut opts = ServeOptions::default();
+    let mut fault_seed: Option<u64> = None;
+    let mut fault_spec: Option<FaultSpec> = None;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--workers" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(n) => workers = n,
+                Some(n) => opts.workers = n,
                 None => return usage(),
             },
             "--cache-capacity" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(n) => cache_capacity = n,
+                Some(n) => opts.cache_capacity = n,
                 None => return usage(),
             },
-            "--no-cache" => cache_capacity = 0,
+            "--no-cache" => opts.cache_capacity = 0,
+            "--retries" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.retry = RetryPolicy::retries(n),
+                None => return usage(),
+            },
+            "--fault-seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => fault_seed = Some(s),
+                None => return usage(),
+            },
+            "--fault-spec" => match it.next().map(|v| FaultSpec::parse(v)) {
+                Some(Ok(spec)) => fault_spec = Some(spec),
+                Some(Err(e)) => {
+                    eprintln!("cfserve: --fault-spec: {e}");
+                    return ExitCode::from(EXIT_BAD_ARGS);
+                }
+                None => return usage(),
+            },
             _ => return usage(),
         }
+    }
+    if fault_seed.is_some() || fault_spec.is_some() {
+        let spec = fault_spec.unwrap_or_else(FaultSpec::chaos);
+        opts.fault_plan = Some(FaultPlan::new(fault_seed.unwrap_or(0), spec));
     }
 
     let text = match std::fs::read_to_string(manifest_path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("cfserve: cannot read {manifest_path}: {e}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_VALIDATION);
         }
     };
-    let specs = match manifest::parse_manifest(&text) {
-        Ok(s) => s,
+    if text.lines().all(|l| l.split('#').next().unwrap_or("").trim().is_empty()) {
+        eprintln!("cfserve: {manifest_path}: no jobs");
+        return ExitCode::from(EXIT_VALIDATION);
+    }
+
+    let t0 = Instant::now();
+    let report = match serve_manifest(&text, &opts) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("cfserve: {manifest_path}: {e}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_VALIDATION);
         }
     };
-    if specs.is_empty() {
-        eprintln!("cfserve: {manifest_path}: no jobs");
-        return ExitCode::from(2);
-    }
-
-    // Resolve every program up front (shared across repeats via Arc) so
-    // resolution errors abort before any job runs.
-    let mut resolved: Vec<(JobSpec, Arc<cambricon_f::isa::Program>)> = Vec::new();
-    for spec in specs {
-        match manifest::resolve_program(&spec.source) {
-            Ok(p) => resolved.push((spec, Arc::new(p))),
-            Err(e) => {
-                eprintln!("cfserve: {manifest_path}: {e}");
-                return ExitCode::from(2);
-            }
-        }
-    }
-
-    let runtime = Runtime::new(RuntimeConfig { workers, cache_capacity, ..Default::default() });
-    let t0 = Instant::now();
-
-    // Submit everything first (the pool interleaves freely), then join in
-    // submission order so stdout is deterministic.
-    let mut jobs: Vec<(usize, String, String, &'static str, Outcome)> = Vec::new();
-    for (spec, program) in &resolved {
-        for _ in 0..spec.repeat {
-            let index = jobs.len();
-            let outcome = match spec.kind {
-                JobKind::Simulate => {
-                    let cfg = manifest::machine_by_name(&spec.machine)
-                        .expect("machine validated at parse time");
-                    Outcome::Sim(runtime.submit_simulate(cfg, Arc::clone(program)))
-                }
-                JobKind::Exec { seed } => {
-                    let cfg = manifest::machine_by_name(&spec.machine)
-                        .expect("machine validated at parse time");
-                    Outcome::Exec(runtime.submit_exec(cfg, Arc::clone(program), seed))
-                }
-            };
-            let mode = match spec.kind {
-                JobKind::Simulate => "simulate",
-                JobKind::Exec { .. } => "exec",
-            };
-            jobs.push((index, spec.label.clone(), spec.machine.clone(), mode, outcome));
-        }
-    }
-    let submitted = jobs.len();
 
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    let mut failures = 0usize;
-    for (index, label, machine, mode, outcome) in jobs {
-        let head = format!(
-            "{{\"job\":{index},\"label\":{},\"machine\":{},\"mode\":{}",
-            json_str(&label),
-            json_str(&machine),
-            json_str(mode),
-        );
-        let line = match outcome {
-            Outcome::Sim(handle) => match handle.join() {
-                Ok(sim) => {
-                    let r = &sim.report;
-                    format!(
-                        "{head},\"ok\":true,\"makespan_s\":{:?},\"steady_s\":{:?},\"attained_tops\":{:?},\"peak_fraction\":{:?},\"root_intensity\":{:?}}}",
-                        r.makespan_seconds,
-                        r.steady_seconds,
-                        r.attained_ops / 1e12,
-                        r.peak_fraction,
-                        r.root_intensity,
-                    )
-                }
-                Err(e) => job_error_line(&head, &e, &mut failures),
-            },
-            Outcome::Exec(handle) => match handle.join() {
-                Ok(exec) => {
-                    let mut h = StableHasher::new();
-                    for v in &exec.memory {
-                        h.write_f32(*v);
-                    }
-                    format!(
-                        "{head},\"ok\":true,\"elems\":{},\"memory_hash\":\"{:016x}\"}}",
-                        exec.memory.len(),
-                        h.finish(),
-                    )
-                }
-                Err(e) => job_error_line(&head, &e, &mut failures),
-            },
-        };
-        if writeln!(out, "{line}").is_err() {
-            return ExitCode::FAILURE;
+    for record in &report.records {
+        if writeln!(out, "{}", render_record_json(record)).is_err() {
+            return ExitCode::from(EXIT_JOB_FAILED);
         }
     }
     drop(out);
 
     let wall = t0.elapsed();
-    let snap = runtime.stats().snapshot();
+    let snap = &report.stats;
+    let submitted = report.records.len();
     eprintln!(
-        "cfserve: {submitted} jobs in {:.3}s on {workers} worker(s) | cache {} hits / {} misses ({:.0}% hit rate) | mean queue wait {:.3}ms",
+        "cfserve: {submitted} jobs in {:.3}s on {} worker(s) | cache {} hits / {} misses ({:.0}% hit rate) | mean queue wait {:.3}ms",
         wall.as_secs_f64(),
+        report.workers,
         snap.cache_hits,
         snap.cache_misses,
         snap.cache_hit_rate() * 100.0,
@@ -198,19 +134,25 @@ fn main() -> ExitCode {
             0.0
         },
     );
+    eprintln!(
+        "cfserve: resilience | {} retries, {} corrupt cache hits healed, {} faults injected, {} worker respawns, {} shed",
+        snap.retries, snap.cache_corruptions, snap.faults_injected, snap.worker_respawns, snap.shed,
+    );
     for (i, w) in snap.per_worker.iter().enumerate() {
         eprintln!("cfserve:   worker {i}: {} job(s), {:.3}s busy", w.jobs, w.busy.as_secs_f64());
     }
-    runtime.shutdown();
 
+    let failures = report.failures();
     if failures > 0 {
-        eprintln!("cfserve: {failures} job(s) failed");
-        return ExitCode::FAILURE;
+        eprintln!("cfserve: {failures} job(s) failed:");
+        for r in report.failed_records() {
+            let err = match &r.outcome {
+                Err(e) => e.to_string(),
+                Ok(_) => continue,
+            };
+            eprintln!("cfserve:   job {} ({}): {err}", r.index, r.label);
+        }
+        return ExitCode::from(EXIT_JOB_FAILED);
     }
     ExitCode::SUCCESS
-}
-
-fn job_error_line(head: &str, e: &JobError, failures: &mut usize) -> String {
-    *failures += 1;
-    format!("{head},\"ok\":false,\"error\":{}}}", json_str(&e.to_string()))
 }
