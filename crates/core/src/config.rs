@@ -433,6 +433,13 @@ impl MachineConfig {
         h.write_bool(self.opts.sibling_links);
         h.finish()
     }
+
+    /// [`fingerprint`](MachineConfig::fingerprint) as the canonical
+    /// 16-digit lowercase-hex string used wherever the fingerprint
+    /// crosses a process boundary (serve journals, reports, logs).
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:016x}", self.fingerprint())
+    }
 }
 
 #[cfg(test)]

@@ -56,7 +56,7 @@ mod tests {
     struct EveryNth(u64);
     impl DmaFaultHook for EveryNth {
         fn fires(&self, op: u64) -> bool {
-            self.0 != 0 && op % self.0 == 0
+            self.0 != 0 && op.is_multiple_of(self.0)
         }
     }
 

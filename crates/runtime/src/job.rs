@@ -24,6 +24,21 @@ pub enum JobError {
     /// The circuit breaker is open: the job was shed without running (see
     /// [`supervisor`](crate::supervisor)).
     CircuitOpen,
+    /// Admission control rejected the job at submit time: the runtime is
+    /// over its [`LoadPolicy`](crate::LoadPolicy) capacity. Carries the
+    /// queue-depth context observed at rejection.
+    Shed {
+        /// Which limit tripped: `"in-flight"` or `"queued-bytes"`.
+        limit: &'static str,
+        /// Accepted-but-unfinished jobs at rejection time.
+        in_flight: usize,
+        /// Estimated bytes queued at rejection time.
+        queued_bytes: usize,
+    },
+    /// A terminal failure replayed verbatim from a serve journal; the
+    /// string is the original error's rendering (so a resumed report is
+    /// byte-identical to the uninterrupted one).
+    Journaled(String),
     /// The simulator/executor reported an error.
     Sim(CoreError),
     /// The job body panicked; the payload's `Display` if it had one.
@@ -38,6 +53,9 @@ impl JobError {
         match self {
             JobError::Panicked(_) => true,
             JobError::Sim(e) => e.is_transient(),
+            // Load shedding is a point-in-time capacity decision: the
+            // same submission can succeed once in-flight work drains.
+            JobError::Shed { .. } => true,
             _ => false,
         }
     }
@@ -55,6 +73,12 @@ impl fmt::Display for JobError {
             JobError::CircuitOpen => {
                 write!(f, "circuit breaker open: job shed without running")
             }
+            JobError::Shed { limit, in_flight, queued_bytes } => write!(
+                f,
+                "job shed: {limit} limit reached ({in_flight} in flight, {queued_bytes} bytes queued)"
+            ),
+            // Verbatim: the journaled string is the original rendering.
+            JobError::Journaled(msg) => write!(f, "{msg}"),
             JobError::Sim(e) => write!(f, "simulation error: {e}"),
             JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
         }
@@ -185,6 +209,12 @@ pub struct JobOptions {
     pub deadline: Option<Duration>,
     /// Skip the plan/report cache for this job (both lookup and fill).
     pub bypass_cache: bool,
+    /// Estimated working-set bytes, charged against
+    /// [`LoadPolicy::max_queued_bytes`](crate::LoadPolicy::max_queued_bytes)
+    /// while the job is queued. 0 means "derive a default": the
+    /// simulate/exec submit paths fill in the program's external-memory
+    /// footprint.
+    pub cost_bytes: usize,
 }
 
 impl JobOptions {

@@ -1,0 +1,745 @@
+//! Crash-consistent write-ahead journal for serve runs.
+//!
+//! A journal is a JSONL file: one [`RunHeader`] line followed by one
+//! [`JobEntry`] line per finished job, appended **in submission order**
+//! and fsync'd record-by-record, so the file is always a valid prefix of
+//! the run plus at most one torn trailing line. Every line carries an
+//! FNV-1a content checksum (the same [`fnv1a`] the plan cache uses), so
+//! a torn or corrupted tail is *detected and truncated* on resume rather
+//! than silently replayed:
+//!
+//! ```text
+//! {"crc":"7d61…","rec":{"type":"header","version":1,"manifest":"ab…",…}}
+//! {"crc":"90ff…","rec":{"type":"job","job":0,"label":"vgg16",…,"ok":true,…}}
+//! ```
+//!
+//! **Resume invariants.** A journal binds to one exact run: the header
+//! records a fingerprint of the fully-expanded job list (labels, machine
+//! fingerprints, program content hashes, modes, exec seeds), the combined
+//! machine fingerprints, the fault seed and a fingerprint of the fault
+//! spec. [`Journal::resume`] re-derives the same header from the current
+//! manifest and refuses — with a [`JournalError::Mismatch`] naming the
+//! first differing field — to replay records onto a different run, so a
+//! resumed report is guaranteed to merge outputs that the interrupted run
+//! itself produced. Records are keyed by job index; a record whose index
+//! is out of range or repeated marks the end of the trustworthy prefix
+//! (the tail after it is truncated like a torn line).
+//!
+//! The writer controls the exact byte layout, so the parser is a strict
+//! sequential scanner: *any* deviation — a flipped byte, a missing brace,
+//! an unknown field — fails the line, and the checksum catches the
+//! (astronomically unlikely) flips the grammar would accept.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::fault::fnv1a;
+use crate::serve::{json_str, JobOutput};
+
+/// Journal format version; bumped on any layout change.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// The first record of every journal: the identity of the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunHeader {
+    /// [`JOURNAL_VERSION`] at write time.
+    pub version: u32,
+    /// Fingerprint of the fully-expanded job list (see the module docs).
+    pub manifest: u64,
+    /// Combined fingerprint of every job's machine structure.
+    pub machines: u64,
+    /// The fault plan's seed (`None` when no faults are injected).
+    pub fault_seed: Option<u64>,
+    /// Fingerprint of the fault spec's rates (0 when no plan).
+    pub fault_spec: u64,
+    /// Total jobs the run will produce.
+    pub jobs: u64,
+}
+
+/// One finished job, as journaled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobEntry {
+    /// Submission index (0-based, manifest order).
+    pub index: u64,
+    /// The spec's output tag.
+    pub label: String,
+    /// The spec's machine name.
+    pub machine: String,
+    /// `"simulate"` or `"exec"`.
+    pub mode: &'static str,
+    /// The deterministic payload, or the terminal failure message.
+    pub outcome: Result<JobOutput, String>,
+}
+
+/// Any journal line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// The run-identity header (always line 1).
+    Header(RunHeader),
+    /// A finished job.
+    Job(JobEntry),
+}
+
+/// Why a single journal line did not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// The `{"crc":"…","rec":…}` envelope is malformed or incomplete.
+    Framing(&'static str),
+    /// The stored checksum does not match the record's content.
+    Checksum {
+        /// The checksum the line carries.
+        stored: u64,
+        /// The checksum its content hashes to.
+        computed: u64,
+    },
+    /// The envelope is intact but the record grammar is not.
+    Grammar(&'static str),
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::Framing(what) => write!(f, "bad record framing: {what}"),
+            RecordError::Checksum { stored, computed } => {
+                write!(f, "checksum mismatch: line says {stored:016x}, content is {computed:016x}")
+            }
+            RecordError::Grammar(what) => write!(f, "bad record grammar: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// Why a journal could not be created, resumed or appended to.
+#[derive(Debug)]
+pub enum JournalError {
+    /// An I/O failure on the journal file.
+    Io {
+        /// The journal path.
+        path: String,
+        /// The OS error message.
+        message: String,
+    },
+    /// The journal's first line is not a valid header record.
+    NoHeader {
+        /// The journal path.
+        path: String,
+        /// Why the line failed.
+        reason: RecordError,
+    },
+    /// The journal belongs to a different run; resume refused.
+    Mismatch {
+        /// The first header field that differs.
+        field: &'static str,
+        /// The journaled value.
+        journal: String,
+        /// The current run's value.
+        current: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { path, message } => write!(f, "journal {path}: {message}"),
+            JournalError::NoHeader { path, reason } => {
+                write!(f, "journal {path}: no valid header record ({reason})")
+            }
+            JournalError::Mismatch { field, journal, current } => write!(
+                f,
+                "journal mismatch on {field}: journal has {journal}, current run has {current} \
+                 (refusing to resume onto a different run)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+fn io_err(path: &Path, e: &std::io::Error) -> JournalError {
+    JournalError::Io { path: path.display().to_string(), message: e.to_string() }
+}
+
+/// Encodes one record as its journal line (no trailing newline).
+pub fn encode_record(record: &Record) -> String {
+    let rec = match record {
+        Record::Header(h) => {
+            let seed = match h.fault_seed {
+                Some(s) => format!("\"{s:016x}\""),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"type\":\"header\",\"version\":{},\"manifest\":\"{:016x}\",\"machines\":\"{:016x}\",\"fault_seed\":{seed},\"fault_spec\":\"{:016x}\",\"jobs\":{}}}",
+                h.version, h.manifest, h.machines, h.fault_spec, h.jobs,
+            )
+        }
+        Record::Job(j) => {
+            let head = format!(
+                "{{\"type\":\"job\",\"job\":{},\"label\":{},\"machine\":{},\"mode\":{}",
+                j.index,
+                json_str(&j.label),
+                json_str(&j.machine),
+                json_str(j.mode),
+            );
+            match &j.outcome {
+                Ok(JobOutput::Sim {
+                    makespan_s,
+                    steady_s,
+                    attained_tops,
+                    peak_fraction,
+                    root_intensity,
+                }) => format!(
+                    "{head},\"ok\":true,\"sim\":{{\"makespan_s\":{makespan_s:?},\"steady_s\":{steady_s:?},\"attained_tops\":{attained_tops:?},\"peak_fraction\":{peak_fraction:?},\"root_intensity\":{root_intensity:?}}}}}"
+                ),
+                Ok(JobOutput::Exec { elems, memory_hash }) => format!(
+                    "{head},\"ok\":true,\"exec\":{{\"elems\":{elems},\"memory_hash\":\"{memory_hash:016x}\"}}}}"
+                ),
+                Err(message) => format!("{head},\"ok\":false,\"error\":{}}}", json_str(message)),
+            }
+        }
+    };
+    format!("{{\"crc\":\"{:016x}\",\"rec\":{rec}}}", fnv1a(rec.as_bytes()))
+}
+
+/// Parses one journal line (without its newline), verifying the checksum.
+///
+/// # Errors
+///
+/// [`RecordError::Framing`] for a malformed envelope,
+/// [`RecordError::Checksum`] when the content does not hash to the stored
+/// checksum, [`RecordError::Grammar`] for a record body the scanner does
+/// not recognise.
+pub fn parse_record(line: &str) -> Result<Record, RecordError> {
+    let rest = line.strip_prefix("{\"crc\":\"").ok_or(RecordError::Framing("no crc prefix"))?;
+    if rest.len() < 16 || !rest.is_char_boundary(16) {
+        return Err(RecordError::Framing("truncated crc"));
+    }
+    let (crc_hex, rest) = rest.split_at(16);
+    let stored =
+        u64::from_str_radix(crc_hex, 16).map_err(|_| RecordError::Framing("non-hex crc"))?;
+    let rec = rest
+        .strip_prefix("\",\"rec\":")
+        .and_then(|r| r.strip_suffix('}'))
+        .ok_or(RecordError::Framing("no rec envelope"))?;
+    let computed = fnv1a(rec.as_bytes());
+    if computed != stored {
+        return Err(RecordError::Checksum { stored, computed });
+    }
+    parse_rec_body(rec)
+}
+
+fn parse_rec_body(rec: &str) -> Result<Record, RecordError> {
+    let mut c = Cursor { s: rec };
+    c.lit("{\"type\":\"")?;
+    if c.eat("header\",") {
+        c.lit("\"version\":")?;
+        let version = c.u64()? as u32;
+        c.lit(",\"manifest\":\"")?;
+        let manifest = c.hex16()?;
+        c.lit("\",\"machines\":\"")?;
+        let machines = c.hex16()?;
+        c.lit("\",\"fault_seed\":")?;
+        let fault_seed = if c.eat("null") {
+            None
+        } else {
+            c.lit("\"")?;
+            let s = c.hex16()?;
+            c.lit("\"")?;
+            Some(s)
+        };
+        c.lit(",\"fault_spec\":\"")?;
+        let fault_spec = c.hex16()?;
+        c.lit("\",\"jobs\":")?;
+        let jobs = c.u64()?;
+        c.lit("}")?;
+        c.end()?;
+        Ok(Record::Header(RunHeader { version, manifest, machines, fault_seed, fault_spec, jobs }))
+    } else if c.eat("job\",") {
+        c.lit("\"job\":")?;
+        let index = c.u64()?;
+        c.lit(",\"label\":")?;
+        let label = c.string()?;
+        c.lit(",\"machine\":")?;
+        let machine = c.string()?;
+        c.lit(",\"mode\":")?;
+        let mode = match c.string()?.as_str() {
+            "simulate" => "simulate",
+            "exec" => "exec",
+            _ => return Err(RecordError::Grammar("unknown mode")),
+        };
+        c.lit(",\"ok\":")?;
+        let outcome = if c.eat("true,") {
+            if c.eat("\"sim\":{\"makespan_s\":") {
+                let makespan_s = c.f64()?;
+                c.lit(",\"steady_s\":")?;
+                let steady_s = c.f64()?;
+                c.lit(",\"attained_tops\":")?;
+                let attained_tops = c.f64()?;
+                c.lit(",\"peak_fraction\":")?;
+                let peak_fraction = c.f64()?;
+                c.lit(",\"root_intensity\":")?;
+                let root_intensity = c.f64()?;
+                c.lit("}")?;
+                Ok(JobOutput::Sim {
+                    makespan_s,
+                    steady_s,
+                    attained_tops,
+                    peak_fraction,
+                    root_intensity,
+                })
+            } else if c.eat("\"exec\":{\"elems\":") {
+                let elems = c.u64()? as usize;
+                c.lit(",\"memory_hash\":\"")?;
+                let memory_hash = c.hex16()?;
+                c.lit("\"}")?;
+                Ok(JobOutput::Exec { elems, memory_hash })
+            } else {
+                return Err(RecordError::Grammar("unknown ok payload"));
+            }
+        } else if c.eat("false,\"error\":") {
+            Err(c.string()?)
+        } else {
+            return Err(RecordError::Grammar("bad ok flag"));
+        };
+        c.lit("}")?;
+        c.end()?;
+        Ok(Record::Job(JobEntry { index, label, machine, mode, outcome }))
+    } else {
+        Err(RecordError::Grammar("unknown record type"))
+    }
+}
+
+/// A strict sequential scanner over one record body: the writer fixes the
+/// field order, so anything that does not match is corruption.
+struct Cursor<'a> {
+    s: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn lit(&mut self, lit: &str) -> Result<(), RecordError> {
+        self.s = self.s.strip_prefix(lit).ok_or(RecordError::Grammar("missing literal"))?;
+        Ok(())
+    }
+
+    /// Consumes `lit` if present; reports whether it did.
+    fn eat(&mut self, lit: &str) -> bool {
+        match self.s.strip_prefix(lit) {
+            Some(rest) => {
+                self.s = rest;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn end(&self) -> Result<(), RecordError> {
+        if self.s.is_empty() {
+            Ok(())
+        } else {
+            Err(RecordError::Grammar("trailing bytes"))
+        }
+    }
+
+    fn u64(&mut self) -> Result<u64, RecordError> {
+        let digits = self.s.len() - self.s.trim_start_matches(|c: char| c.is_ascii_digit()).len();
+        if digits == 0 {
+            return Err(RecordError::Grammar("expected digits"));
+        }
+        let (num, rest) = self.s.split_at(digits);
+        self.s = rest;
+        num.parse().map_err(|_| RecordError::Grammar("integer overflow"))
+    }
+
+    fn hex16(&mut self) -> Result<u64, RecordError> {
+        if self.s.len() < 16 || !self.s.is_char_boundary(16) {
+            return Err(RecordError::Grammar("truncated hex field"));
+        }
+        let (hex, rest) = self.s.split_at(16);
+        self.s = rest;
+        u64::from_str_radix(hex, 16).map_err(|_| RecordError::Grammar("non-hex field"))
+    }
+
+    /// A float formatted with `{:?}` (round-trips exactly), delimited by
+    /// the next `,` or `}`.
+    fn f64(&mut self) -> Result<f64, RecordError> {
+        let len = self.s.find([',', '}']).unwrap_or(self.s.len());
+        let (num, rest) = self.s.split_at(len);
+        self.s = rest;
+        num.parse().map_err(|_| RecordError::Grammar("bad float"))
+    }
+
+    /// A quoted JSON string with the escapes [`json_str`] produces.
+    fn string(&mut self) -> Result<String, RecordError> {
+        self.lit("\"")?;
+        let mut out = String::new();
+        let mut chars = self.s.char_indices();
+        loop {
+            let (i, ch) = chars.next().ok_or(RecordError::Grammar("unterminated string"))?;
+            match ch {
+                '"' => {
+                    self.s = &self.s[i + 1..];
+                    return Ok(out);
+                }
+                '\\' => {
+                    let (_, esc) = chars.next().ok_or(RecordError::Grammar("dangling escape"))?;
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let (_, h) =
+                                    chars.next().ok_or(RecordError::Grammar("short \\u"))?;
+                                let digit = h
+                                    .to_digit(16)
+                                    .ok_or(RecordError::Grammar("non-hex \\u digit"))?;
+                                code = code * 16 + digit;
+                            }
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or(RecordError::Grammar("bad \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(RecordError::Grammar("unknown escape")),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+}
+
+/// What [`Journal::resume`] recovered from an existing journal.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The journaled jobs, in journal (= submission) order.
+    pub entries: Vec<JobEntry>,
+    /// Bytes of torn/corrupt tail that were truncated away (0 for a
+    /// cleanly-closed journal).
+    pub truncated_bytes: u64,
+}
+
+/// An open, append-only journal file (see the module docs).
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    bytes: u64,
+}
+
+impl Journal {
+    /// Creates (or truncates) a journal at `path` and durably writes the
+    /// run header.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on any filesystem failure.
+    pub fn create(path: &Path, header: &RunHeader) -> Result<Journal, JournalError> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| io_err(path, &e))?;
+        let mut journal = Journal { file, path: path.to_path_buf(), bytes: 0 };
+        journal.append_line(&encode_record(&Record::Header(header.clone())))?;
+        Ok(journal)
+    }
+
+    /// Opens an existing journal for resumption: verifies its header
+    /// against `header` (the identity of the *current* run), recovers the
+    /// valid record prefix, truncates any torn or corrupt tail in place,
+    /// and re-opens for appending.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on filesystem failures,
+    /// [`JournalError::NoHeader`] when line 1 is unreadable, and
+    /// [`JournalError::Mismatch`] when the journal belongs to a different
+    /// manifest, machine set, fault seed/spec or job count.
+    pub fn resume(path: &Path, header: &RunHeader) -> Result<(Journal, Recovery), JournalError> {
+        let mut bytes = Vec::new();
+        File::open(path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| io_err(path, &e))?;
+
+        let (records, valid_len) = scan_valid_prefix(&bytes, header.jobs);
+        let mut records = records.into_iter();
+        let journaled = match records.next() {
+            Some(Record::Header(h)) => h,
+            _ => {
+                let reason = first_line_error(&bytes);
+                return Err(JournalError::NoHeader { path: path.display().to_string(), reason });
+            }
+        };
+        check_header(&journaled, header)?;
+        let entries: Vec<JobEntry> = records
+            .map(|r| match r {
+                Record::Job(e) => e,
+                // scan_valid_prefix admits a header only at line 1.
+                Record::Header(_) => unreachable!("header past line 1 survived the scan"),
+            })
+            .collect();
+
+        let truncated_bytes = bytes.len() as u64 - valid_len;
+        let file =
+            OpenOptions::new().write(true).read(true).open(path).map_err(|e| io_err(path, &e))?;
+        file.set_len(valid_len).map_err(|e| io_err(path, &e))?;
+        file.sync_data().map_err(|e| io_err(path, &e))?;
+        let mut journal = Journal { file, path: path.to_path_buf(), bytes: 0 };
+        journal.seek_end(valid_len)?;
+        Ok((journal, Recovery { entries, truncated_bytes }))
+    }
+
+    fn seek_end(&mut self, len: u64) -> Result<(), JournalError> {
+        use std::io::{Seek, SeekFrom};
+        self.file.seek(SeekFrom::Start(len)).map_err(|e| io_err(&self.path, &e))?;
+        Ok(())
+    }
+
+    /// Durably appends one finished job (write + fsync).
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on any filesystem failure.
+    pub fn append(&mut self, entry: &JobEntry) -> Result<(), JournalError> {
+        self.append_line(&encode_record(&Record::Job(entry.clone())))
+    }
+
+    fn append_line(&mut self, line: &str) -> Result<(), JournalError> {
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.write_all(b"\n"))
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| io_err(&self.path, &e))?;
+        self.bytes += line.len() as u64 + 1;
+        Ok(())
+    }
+
+    /// Bytes this handle has appended (header included for fresh
+    /// journals; 0 right after a resume).
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Field-by-field header comparison; the error names the first mismatch.
+fn check_header(journaled: &RunHeader, current: &RunHeader) -> Result<(), JournalError> {
+    let mismatch = |field, journal: String, now: String| {
+        Err(JournalError::Mismatch { field, journal, current: now })
+    };
+    if journaled.version != current.version {
+        return mismatch(
+            "journal version",
+            journaled.version.to_string(),
+            current.version.to_string(),
+        );
+    }
+    if journaled.manifest != current.manifest {
+        return mismatch(
+            "manifest fingerprint",
+            format!("{:016x}", journaled.manifest),
+            format!("{:016x}", current.manifest),
+        );
+    }
+    if journaled.machines != current.machines {
+        return mismatch(
+            "machine fingerprints",
+            format!("{:016x}", journaled.machines),
+            format!("{:016x}", current.machines),
+        );
+    }
+    if journaled.fault_seed != current.fault_seed {
+        let show = |s: Option<u64>| s.map_or("none".to_string(), |v| v.to_string());
+        return mismatch("fault_seed", show(journaled.fault_seed), show(current.fault_seed));
+    }
+    if journaled.fault_spec != current.fault_spec {
+        return mismatch(
+            "fault spec",
+            format!("{:016x}", journaled.fault_spec),
+            format!("{:016x}", current.fault_spec),
+        );
+    }
+    if journaled.jobs != current.jobs {
+        return mismatch("job count", journaled.jobs.to_string(), current.jobs.to_string());
+    }
+    Ok(())
+}
+
+/// Why the first line failed, for [`JournalError::NoHeader`] reporting.
+fn first_line_error(bytes: &[u8]) -> RecordError {
+    let line_bytes = bytes.split(|&b| b == b'\n').next().unwrap_or(&[]);
+    match std::str::from_utf8(line_bytes) {
+        Ok(line) => parse_record(line).err().unwrap_or(RecordError::Grammar("not a header")),
+        Err(_) => RecordError::Framing("not UTF-8"),
+    }
+}
+
+/// Scans the longest valid record prefix of a journal image: complete,
+/// checksum-verified lines with a header first and in-contract job
+/// records after (index `< jobs`, no repeats). Returns the records and
+/// the byte length of the valid prefix — everything past it (a torn
+/// final line after a crash, or a corrupted tail) is to be truncated.
+pub fn scan_valid_prefix(bytes: &[u8], jobs: u64) -> (Vec<Record>, u64) {
+    let mut records = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut valid_len = 0u64;
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let Some(nl) = bytes[pos..].iter().position(|&b| b == b'\n') else {
+            break; // torn trailing line: no terminator
+        };
+        let line_bytes = &bytes[pos..pos + nl];
+        let Ok(line) = std::str::from_utf8(line_bytes) else { break };
+        let Ok(record) = parse_record(line) else { break };
+        let in_contract = match (&record, records.is_empty()) {
+            (Record::Header(_), true) => true,
+            (Record::Job(e), false) => e.index < jobs && seen.insert(e.index),
+            _ => false,
+        };
+        if !in_contract {
+            break;
+        }
+        records.push(record);
+        pos += nl + 1;
+        valid_len = pos as u64;
+    }
+    (records, valid_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> RunHeader {
+        RunHeader {
+            version: JOURNAL_VERSION,
+            manifest: 0xAB12,
+            machines: 0xCD34,
+            fault_seed: Some(7),
+            fault_spec: 0xEF56,
+            jobs: 3,
+        }
+    }
+
+    fn sim_entry(index: u64) -> JobEntry {
+        JobEntry {
+            index,
+            label: "vgg\"16\\x".into(),
+            machine: "f1".into(),
+            mode: "simulate",
+            outcome: Ok(JobOutput::Sim {
+                makespan_s: 0.001_234_567_89,
+                steady_s: 9.87e-4,
+                attained_tops: 1.5,
+                peak_fraction: 0.25,
+                root_intensity: 31.75,
+            }),
+        }
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let exec = JobEntry {
+            index: 2,
+            label: "kmeans".into(),
+            machine: "tiny".into(),
+            mode: "exec",
+            outcome: Ok(JobOutput::Exec { elems: 4096, memory_hash: 0xDEAD_BEEF }),
+        };
+        let failed = JobEntry {
+            index: 1,
+            label: "x\ty".into(),
+            machine: "f100".into(),
+            mode: "exec",
+            outcome: Err("job panicked: \"boom\"\n".into()),
+        };
+        for record in [
+            Record::Header(header()),
+            Record::Header(RunHeader { fault_seed: None, ..header() }),
+            Record::Job(sim_entry(0)),
+            Record::Job(exec),
+            Record::Job(failed),
+        ] {
+            let line = encode_record(&record);
+            assert_eq!(parse_record(&line).unwrap(), record, "{line}");
+        }
+    }
+
+    #[test]
+    fn corruption_and_truncation_are_detected() {
+        let line = encode_record(&Record::Job(sim_entry(0)));
+        // Flip one content byte: checksum must catch it.
+        let mut corrupt = line.clone().into_bytes();
+        let target = corrupt.len() - 5;
+        corrupt[target] ^= 0x01;
+        let corrupt = String::from_utf8(corrupt).unwrap();
+        assert!(parse_record(&corrupt).is_err(), "{corrupt}");
+        // Any proper prefix must fail too (framing or checksum).
+        for cut in 0..line.len() {
+            assert!(parse_record(&line[..cut]).is_err(), "prefix {cut} parsed");
+        }
+    }
+
+    #[test]
+    fn scan_stops_at_torn_line_and_bad_records() {
+        let h = encode_record(&Record::Header(header()));
+        let j0 = encode_record(&Record::Job(sim_entry(0)));
+        let j1 = encode_record(&Record::Job(sim_entry(1)));
+        let clean = format!("{h}\n{j0}\n{j1}\n");
+        let (records, len) = scan_valid_prefix(clean.as_bytes(), 3);
+        assert_eq!(records.len(), 3);
+        assert_eq!(len, clean.len() as u64);
+
+        // Torn final line: drop the last 7 bytes (and its newline).
+        let torn = &clean[..clean.len() - 8];
+        let (records, len) = scan_valid_prefix(torn.as_bytes(), 3);
+        assert_eq!(records.len(), 2);
+        assert_eq!(len, (h.len() + 1 + j0.len() + 1) as u64);
+
+        // A duplicate or out-of-range index ends the trustworthy prefix.
+        let dup = format!("{h}\n{j0}\n{j0}\n");
+        let (records, _) = scan_valid_prefix(dup.as_bytes(), 3);
+        assert_eq!(records.len(), 2);
+        let wild = encode_record(&Record::Job(sim_entry(99)));
+        let out_of_range = format!("{h}\n{wild}\n");
+        let (records, len) = scan_valid_prefix(out_of_range.as_bytes(), 3);
+        assert_eq!(records.len(), 1);
+        assert_eq!(len, (h.len() + 1) as u64);
+
+        // A header is only in contract at line 1.
+        let double_header = format!("{h}\n{h}\n");
+        let (records, _) = scan_valid_prefix(double_header.as_bytes(), 3);
+        assert_eq!(records.len(), 1);
+    }
+
+    #[test]
+    fn header_mismatch_names_the_field() {
+        let base = header();
+        let cases = [
+            (RunHeader { manifest: 1, ..base.clone() }, "manifest fingerprint"),
+            (RunHeader { machines: 1, ..base.clone() }, "machine fingerprints"),
+            (RunHeader { fault_seed: None, ..base.clone() }, "fault_seed"),
+            (RunHeader { fault_spec: 1, ..base.clone() }, "fault spec"),
+            (RunHeader { jobs: 99, ..base.clone() }, "job count"),
+            (RunHeader { version: 2, ..base.clone() }, "journal version"),
+        ];
+        for (other, field) in cases {
+            match check_header(&other, &base) {
+                Err(JournalError::Mismatch { field: f, .. }) => assert_eq!(f, field),
+                other => panic!("expected mismatch on {field}, got {other:?}"),
+            }
+        }
+        assert!(check_header(&base, &base).is_ok());
+    }
+}

@@ -22,6 +22,12 @@
 //! * [`serve`] — the manifest-serving engine shared by the `cfserve`
 //!   binary and the chaos tests: resolve, submit, join in submission
 //!   order, render deterministic JSON records.
+//! * [`journal`] — a crash-consistent write-ahead journal for serve
+//!   runs: fsync'd, checksummed JSONL records that let
+//!   `cfserve --journal run.wal --resume` skip already-completed jobs
+//!   and merge their recorded outputs byte-identically. Paired with
+//!   [`LoadPolicy`] admission control (immediate [`JobError::Shed`]
+//!   instead of unbounded queueing). See DESIGN.md §7.
 //! * [`RuntimeStats`] — lock-free counters (submissions, completions,
 //!   cache hits, retries, injected faults, queue wait, per-worker busy
 //!   time) snapshotted on demand.
@@ -58,6 +64,7 @@ pub mod batch;
 pub mod cache;
 pub mod fault;
 pub mod job;
+pub mod journal;
 pub mod manifest;
 pub mod scheduler;
 pub mod serve;
@@ -68,7 +75,8 @@ pub(crate) mod sync;
 pub use cache::{report_checksum, CacheKey, CacheLookup, PlanCache};
 pub use fault::{FaultPlan, FaultSite, FaultSpec};
 pub use job::{JobError, JobHandle, JobOptions};
-pub use scheduler::{ExecResult, Runtime, RuntimeConfig, SimResult};
-pub use serve::{JobOutput, JobRecord, ServeOptions, ServeReport};
+pub use journal::{JobEntry, Journal, JournalError, Record, RecordError, RunHeader};
+pub use scheduler::{ExecResult, LoadPolicy, Runtime, RuntimeConfig, SimResult};
+pub use serve::{JobOutput, JobRecord, JournalOptions, ServeError, ServeOptions, ServeReport};
 pub use stats::{RuntimeStats, StatsSnapshot, WorkerSnapshot};
 pub use supervisor::{next_retry, BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};

@@ -133,6 +133,16 @@ pub enum ManifestError {
         /// The underlying message.
         message: String,
     },
+    /// Two jobs share a label: labels key journal/resume records and
+    /// per-job reporting, so they must be unique per manifest.
+    DuplicateLabel {
+        /// The repeated label.
+        label: String,
+        /// Manifest line of the second occurrence (1-based).
+        line: usize,
+        /// Manifest line that first used the label (1-based).
+        previous: usize,
+    },
     /// A grammar error annotated with the offending line's content
     /// (what [`parse_manifest`] reports).
     BadLine {
@@ -180,6 +190,11 @@ impl fmt::Display for ManifestError {
             ManifestError::Program { source, message } => {
                 write!(f, "program `{source}`: {message}")
             }
+            ManifestError::DuplicateLabel { label, line, previous } => write!(
+                f,
+                "line {line}: duplicate label `{label}` (first used on line {previous}); \
+                 labels key journal/resume records and must be unique"
+            ),
             ManifestError::BadLine { content, reason, .. } => {
                 write!(f, "{reason} in line `{content}`")
             }
@@ -198,6 +213,8 @@ impl std::error::Error for ManifestError {}
 /// line number and the offending line's content.
 pub fn parse_manifest(text: &str) -> Result<Vec<JobSpec>, ManifestError> {
     let mut jobs = Vec::new();
+    let mut label_lines: std::collections::HashMap<String, usize> =
+        std::collections::HashMap::new();
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -209,6 +226,20 @@ pub fn parse_manifest(text: &str) -> Result<Vec<JobSpec>, ManifestError> {
             content: line.to_string(),
             reason: Box::new(reason),
         })?;
+        // Labels key journal/resume records and per-job reporting; a
+        // duplicate would make those keys ambiguous.
+        if let Some(&previous) = label_lines.get(&spec.label) {
+            return Err(ManifestError::BadLine {
+                line: line_no,
+                content: line.to_string(),
+                reason: Box::new(ManifestError::DuplicateLabel {
+                    label: spec.label.clone(),
+                    line: line_no,
+                    previous,
+                }),
+            });
+        }
+        label_lines.insert(spec.label.clone(), line_no);
         jobs.push(spec);
     }
     Ok(jobs)
@@ -413,6 +444,26 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("line 2"), "{msg}");
         assert!(msg.contains("workload=matmul repeat=x"), "{msg}");
+    }
+
+    #[test]
+    fn duplicate_labels_are_rejected_with_both_lines() {
+        // Same default label (the workload name) on lines 1 and 3.
+        let err = parse_manifest("workload=matmul order=64\n# gap\nworkload=matmul order=128\n")
+            .unwrap_err();
+        assert_eq!(
+            err.reason(),
+            &ManifestError::DuplicateLabel { label: "matmul".into(), line: 3, previous: 1 }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("line 3") && msg.contains("line 1"), "{msg}");
+        assert!(msg.contains("duplicate label `matmul`"), "{msg}");
+
+        // Distinct labels on the same workload are fine.
+        let jobs =
+            parse_manifest("workload=matmul order=64\nworkload=matmul order=128 label=big\n")
+                .unwrap();
+        assert_eq!(jobs.len(), 2);
     }
 
     #[test]

@@ -37,7 +37,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cf_core::{Machine, MachineConfig, PerfReport};
 use cf_isa::Program;
@@ -66,6 +66,8 @@ pub struct RuntimeConfig {
     pub breaker: BreakerConfig,
     /// Deterministic fault-injection plan (`None` = no injection).
     pub fault_plan: Option<FaultPlan>,
+    /// Admission-control limits (unlimited by default).
+    pub load: LoadPolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -77,7 +79,42 @@ impl Default for RuntimeConfig {
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
             fault_plan: None,
+            load: LoadPolicy::default(),
         }
+    }
+}
+
+/// Admission-control limits enforced at `submit_*` time.
+///
+/// Unlike the bounded queue — which exerts *backpressure* by blocking
+/// the submitter — an over-capacity submission under a `LoadPolicy` is
+/// rejected **immediately** as [`JobError::Shed`] with queue-depth
+/// context, so a caller that cannot afford to block (or to let memory
+/// grow with queued work) learns about the overload right away and
+/// decides for itself whether to back off, retry or fail.
+///
+/// The admission check reads the gauges without holding the queue lock,
+/// so under concurrent submitters the limits are enforced approximately
+/// (a handful of jobs can race past a freshly-reached limit); they are
+/// exact for a single submitting thread, which is how the serve engine
+/// drives the pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadPolicy {
+    /// Maximum accepted-but-unfinished jobs (0 = unlimited).
+    pub max_in_flight: usize,
+    /// Maximum estimated bytes of queued work, per
+    /// [`JobOptions::cost_bytes`] (0 = unlimited).
+    pub max_queued_bytes: usize,
+    /// Run-level deadline budget: every job's start deadline is clamped
+    /// to "runtime construction + budget", so a run that overstays its
+    /// budget expires its remaining queued jobs instead of running them.
+    pub deadline_budget: Option<Duration>,
+}
+
+impl LoadPolicy {
+    /// A policy bounding only the number of in-flight jobs.
+    pub fn max_in_flight(n: usize) -> Self {
+        LoadPolicy { max_in_flight: n, ..Default::default() }
     }
 }
 
@@ -94,6 +131,8 @@ struct QueuedJob {
     id: u64,
     enqueued: Instant,
     deadline: Option<Instant>,
+    /// Bytes charged against the queued-bytes gauge while queued.
+    cost: usize,
     cancelled: Arc<AtomicBool>,
     /// Completes the handle according to the disposition; returns whether
     /// the body ran and succeeded (`None` when the body did not run).
@@ -136,6 +175,13 @@ struct PoolInner {
     not_empty: Condvar,
     not_full: Condvar,
     queue_capacity: usize,
+    load: LoadPolicy,
+    /// Jobs accepted into the queue and not yet terminal.
+    in_flight: AtomicU64,
+    /// Estimated bytes of work sitting in the queue (not yet started).
+    queued_bytes: AtomicU64,
+    /// Construction time — the origin of the run-level deadline budget.
+    started: Instant,
     cache: PlanCache,
     inflight: Mutex<HashMap<CacheKey, Arc<Inflight>>>,
     stats: RuntimeStats,
@@ -232,6 +278,10 @@ impl Runtime {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             queue_capacity: config.queue_capacity.max(1),
+            load: config.load,
+            in_flight: AtomicU64::new(0),
+            queued_bytes: AtomicU64::new(0),
+            started: Instant::now(),
             cache: PlanCache::new(config.cache_capacity),
             inflight: Mutex::new(HashMap::new()),
             stats: RuntimeStats::new(workers),
@@ -274,6 +324,21 @@ impl Runtime {
         &self.inner.cache
     }
 
+    /// The admission-control policy this pool enforces.
+    pub fn load_policy(&self) -> LoadPolicy {
+        self.inner.load
+    }
+
+    /// Accepted-but-unfinished jobs right now (the in-flight gauge).
+    pub fn in_flight(&self) -> usize {
+        self.inner.in_flight.load(Ordering::Relaxed) as usize
+    }
+
+    /// Estimated bytes of queued, not-yet-started work right now.
+    pub fn queued_bytes(&self) -> usize {
+        self.inner.queued_bytes.load(Ordering::Relaxed) as usize
+    }
+
     /// Submits an arbitrary closure job (blocking while the queue is
     /// full). Used for batch sweeps and the experiment harness.
     ///
@@ -303,12 +368,8 @@ impl Runtime {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
-        let (handle, accepted) = self.submit_inner(JobOptions::default(), move || Ok(f()), false);
-        if accepted {
-            Ok(handle)
-        } else {
-            Err(JobError::QueueFull)
-        }
+        let (handle, admitted) = self.submit_inner(JobOptions::default(), move || Ok(f()), false);
+        admitted.map(|()| handle)
     }
 
     /// Submits a cached performance simulation of `program` on `machine`.
@@ -328,6 +389,21 @@ impl Runtime {
         machine: MachineConfig,
         program: Arc<Program>,
     ) -> JobHandle<SimResult> {
+        self.submit_simulate_checked(opts, machine, program).0
+    }
+
+    /// [`submit_simulate_opts`](Runtime::submit_simulate_opts), also
+    /// reporting whether admission control accepted the job: `Err` means
+    /// the job never entered the queue (the handle is already resolved to
+    /// the same error). Blocks for queue space like the plain submit;
+    /// only [`LoadPolicy`] rejections surface here.
+    pub fn submit_simulate_checked(
+        &self,
+        opts: JobOptions,
+        machine: MachineConfig,
+        program: Arc<Program>,
+    ) -> (JobHandle<SimResult>, Result<(), JobError>) {
+        let opts = self.charge_default_cost(opts, &program);
         let inner = Arc::clone(&self.inner);
         let bypass = opts.bypass_cache;
         self.submit_supervised(opts, move |id, _attempt| {
@@ -358,6 +434,20 @@ impl Runtime {
         program: Arc<Program>,
         seed: u64,
     ) -> JobHandle<ExecResult> {
+        self.submit_exec_checked(opts, machine, program, seed).0
+    }
+
+    /// [`submit_exec_opts`](Runtime::submit_exec_opts) with the same
+    /// admission-control reporting as
+    /// [`submit_simulate_checked`](Runtime::submit_simulate_checked).
+    pub fn submit_exec_checked(
+        &self,
+        opts: JobOptions,
+        machine: MachineConfig,
+        program: Arc<Program>,
+        seed: u64,
+    ) -> (JobHandle<ExecResult>, Result<(), JobError>) {
+        let opts = self.charge_default_cost(opts, &program);
         let inner = Arc::clone(&self.inner);
         self.submit_supervised(opts, move |id, attempt| {
             let elems = program.extern_elems() as usize;
@@ -403,7 +493,9 @@ impl Runtime {
             q.closed = true;
             if discard_queued {
                 for job in q.jobs.drain(..) {
+                    self.inner.queued_bytes.fetch_sub(job.cost as u64, Ordering::Relaxed);
                     (job.run)(Disposition::Shutdown);
+                    self.inner.in_flight.fetch_sub(1, Ordering::Relaxed);
                 }
             }
             self.inner.not_empty.notify_all();
@@ -414,9 +506,22 @@ impl Runtime {
         }
     }
 
+    /// Fills [`JobOptions::cost_bytes`] with the program's external
+    /// memory footprint when the caller did not estimate it.
+    fn charge_default_cost(&self, mut opts: JobOptions, program: &Program) -> JobOptions {
+        if opts.cost_bytes == 0 {
+            opts.cost_bytes = program.extern_elems() as usize * std::mem::size_of::<f32>();
+        }
+        opts
+    }
+
     /// Wraps an idempotent per-attempt body in the supervisor (retry,
     /// breaker, fault injection) and submits it.
-    fn submit_supervised<T, F>(&self, opts: JobOptions, attempt_body: F) -> JobHandle<T>
+    fn submit_supervised<T, F>(
+        &self,
+        opts: JobOptions,
+        attempt_body: F,
+    ) -> (JobHandle<T>, Result<(), JobError>)
     where
         T: Send + 'static,
         F: Fn(u64, u32) -> Result<T, JobError> + Send + 'static,
@@ -425,7 +530,6 @@ impl Runtime {
         self.submit_with_id(opts, true, move |id| {
             inner.supervisor.supervise(&inner.stats, id, |attempt| attempt_body(id, attempt))
         })
-        .0
     }
 
     /// The blocking submission path (waits for queue space).
@@ -442,7 +546,7 @@ impl Runtime {
         opts: JobOptions,
         body: F,
         block_when_full: bool,
-    ) -> (JobHandle<T>, bool)
+    ) -> (JobHandle<T>, Result<(), JobError>)
     where
         T: Send + 'static,
         F: FnOnce() -> Result<T, JobError> + Send + 'static,
@@ -450,17 +554,37 @@ impl Runtime {
         self.submit_with_id(opts, block_when_full, move |_| body())
     }
 
+    /// Checks the [`LoadPolicy`] gauges; `Err` is the shed error to
+    /// resolve the handle with.
+    fn admit(&self, cost: usize) -> Result<(), JobError> {
+        let load = &self.inner.load;
+        if load.max_in_flight == 0 && load.max_queued_bytes == 0 {
+            return Ok(());
+        }
+        let in_flight = self.inner.in_flight.load(Ordering::Relaxed) as usize;
+        let queued_bytes = self.inner.queued_bytes.load(Ordering::Relaxed) as usize;
+        let limit = if load.max_in_flight > 0 && in_flight >= load.max_in_flight {
+            "in-flight"
+        } else if load.max_queued_bytes > 0 && queued_bytes + cost > load.max_queued_bytes {
+            "queued-bytes"
+        } else {
+            return Ok(());
+        };
+        Err(JobError::Shed { limit, in_flight, queued_bytes })
+    }
+
     /// The generic submission path; the body receives the job's
     /// submission id (the supervision/fault token). With
     /// `block_when_full` the call waits for queue space; otherwise a full
-    /// queue returns `false` in the second slot (the handle is completed
-    /// with [`JobError::QueueFull`]).
+    /// queue returns `Err(QueueFull)` in the second slot. In every `Err`
+    /// case (shed, queue full, shutdown) the handle is already resolved
+    /// to the same error, so plain submitters can ignore the second slot.
     fn submit_with_id<T, F>(
         &self,
         opts: JobOptions,
         block_when_full: bool,
         body: F,
-    ) -> (JobHandle<T>, bool)
+    ) -> (JobHandle<T>, Result<(), JobError>)
     where
         T: Send + 'static,
         F: FnOnce(u64) -> Result<T, JobError> + Send + 'static,
@@ -471,8 +595,21 @@ impl Runtime {
         // observe cancellation without knowing `T`.
         let cancelled = Arc::clone(&shared.cancelled);
 
+        // Admission control: shed *before* blocking on queue space — an
+        // overloaded pool answers immediately, it does not stall callers.
+        if let Err(shed) = self.admit(opts.cost_bytes) {
+            self.inner.stats.shed_jobs.fetch_add(1, Ordering::Relaxed);
+            shared.complete(Err(shed.clone()));
+            return (handle, Err(shed));
+        }
+
         let now = Instant::now();
-        let deadline = opts.deadline.map(|d| now + d);
+        let mut deadline = opts.deadline.map(|d| now + d);
+        // Clamp to the run-level deadline budget, if any.
+        if let Some(budget) = self.inner.load.deadline_budget {
+            let run_deadline = self.inner.started + budget;
+            deadline = Some(deadline.map_or(run_deadline, |d| d.min(run_deadline)));
+        }
         let run = {
             let shared = Arc::clone(&shared);
             Box::new(move |disposition: Disposition| match disposition {
@@ -500,27 +637,30 @@ impl Runtime {
                 }
             }) as Box<dyn FnOnce(Disposition) -> Option<bool> + Send>
         };
-        let job = QueuedJob { id, enqueued: now, deadline, cancelled, run };
+        let cost = opts.cost_bytes;
+        let job = QueuedJob { id, enqueued: now, deadline, cost, cancelled, run };
 
         let mut q = sync::lock(&self.inner.queue);
         while !q.closed && q.jobs.len() >= self.inner.queue_capacity {
             if !block_when_full {
                 drop(q);
                 shared.complete(Err(JobError::QueueFull));
-                return (handle, false);
+                return (handle, Err(JobError::QueueFull));
             }
             q = sync::wait(&self.inner.not_full, q);
         }
         if q.closed {
             drop(q);
             shared.complete(Err(JobError::Shutdown));
-            return (handle, false);
+            return (handle, Err(JobError::Shutdown));
         }
         q.jobs.push_back(job);
         drop(q);
+        self.inner.in_flight.fetch_add(1, Ordering::Relaxed);
+        self.inner.queued_bytes.fetch_add(cost as u64, Ordering::Relaxed);
         self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
         self.inner.not_empty.notify_one();
-        (handle, true)
+        (handle, Ok(()))
     }
 }
 
@@ -644,6 +784,7 @@ fn worker_loop(inner: &PoolInner, worker_index: usize) {
         };
         let Some(job) = job else { return };
         inner.not_full.notify_one();
+        inner.queued_bytes.fetch_sub(job.cost as u64, Ordering::Relaxed);
         inner
             .stats
             .queue_wait_nanos
@@ -651,6 +792,7 @@ fn worker_loop(inner: &PoolInner, worker_index: usize) {
 
         if job.cancelled.load(Ordering::SeqCst) {
             (job.run)(Disposition::Cancelled);
+            inner.in_flight.fetch_sub(1, Ordering::Relaxed);
             inner.stats.cancelled.fetch_add(1, Ordering::Relaxed);
             continue;
         }
@@ -658,13 +800,16 @@ fn worker_loop(inner: &PoolInner, worker_index: usize) {
             let now = Instant::now();
             if now > deadline {
                 (job.run)(Disposition::Expired { late_by: now - deadline });
+                inner.in_flight.fetch_sub(1, Ordering::Relaxed);
                 inner.stats.expired.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
         }
         let id = job.id;
         let t0 = Instant::now();
-        if let Some(ok) = (job.run)(Disposition::Run) {
+        let ran = (job.run)(Disposition::Run);
+        inner.in_flight.fetch_sub(1, Ordering::Relaxed);
+        if let Some(ok) = ran {
             inner.stats.record_run(worker_index, t0.elapsed(), ok);
         }
         // Worker-kill injection: panic the loop *after* the job handle

@@ -12,17 +12,34 @@
 //! supervised retries and checksum-verified cache fills mask transient
 //! faults — across seeded fault plans whose faults all heal.
 
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use cf_core::MachineConfig;
+use cf_isa::Program;
 use cf_tensor::fingerprint::StableHasher;
 
-use crate::fault::FaultPlan;
-use crate::job::{JobError, JobHandle};
+use crate::cache::CacheKey;
+use crate::fault::{fnv1a, FaultPlan};
+use crate::job::{JobError, JobHandle, JobOptions};
+use crate::journal::{JobEntry, Journal, JournalError, RunHeader, JOURNAL_VERSION};
 use crate::manifest::{self, JobKind, JobSpec, ManifestError};
-use crate::scheduler::{ExecResult, Runtime, RuntimeConfig, SimResult};
+use crate::scheduler::{ExecResult, LoadPolicy, Runtime, RuntimeConfig, SimResult};
 use crate::stats::StatsSnapshot;
-use crate::supervisor::{BreakerConfig, RetryPolicy};
+use crate::supervisor::{next_retry, BreakerConfig, RetryPolicy};
+
+/// Where to journal a serve run, and whether to resume from it.
+#[derive(Debug, Clone)]
+pub struct JournalOptions {
+    /// The journal file (created/truncated unless resuming).
+    pub path: PathBuf,
+    /// Resume: verify the journal's header against the current run, skip
+    /// jobs it already records and replay their outcomes.
+    pub resume: bool,
+}
 
 /// How to run a manifest.
 #[derive(Debug, Clone)]
@@ -37,6 +54,14 @@ pub struct ServeOptions {
     pub breaker: BreakerConfig,
     /// Deterministic fault-injection plan (`None` = no injection).
     pub fault_plan: Option<FaultPlan>,
+    /// Write-ahead journal for crash-consistent resume (`None` = off).
+    pub journal: Option<JournalOptions>,
+    /// Admission-control limits forwarded to the runtime.
+    pub load: LoadPolicy,
+    /// Crash drill: abort the run (as `ServeError::Aborted`) after this
+    /// many jobs have settled, leaving the journal exactly as a process
+    /// crash at that point would. Test/ops hook; `None` in production.
+    pub abort_after_jobs: Option<usize>,
 }
 
 impl Default for ServeOptions {
@@ -47,7 +72,60 @@ impl Default for ServeOptions {
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
             fault_plan: None,
+            journal: None,
+            load: LoadPolicy::default(),
+            abort_after_jobs: None,
         }
+    }
+}
+
+/// Why a serve run did not produce a report.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The manifest failed validation (nothing ran).
+    Manifest(ManifestError),
+    /// The journal could not be created, resumed or appended to.
+    Journal(JournalError),
+    /// The configured [`ServeOptions::abort_after_jobs`] crash drill
+    /// fired.
+    Aborted {
+        /// Jobs settled (and journaled, when a journal is on) before the
+        /// abort.
+        journaled: usize,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Manifest(e) => write!(f, "{e}"),
+            ServeError::Journal(e) => write!(f, "{e}"),
+            ServeError::Aborted { journaled } => {
+                write!(f, "run aborted by crash drill after {journaled} job(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Manifest(e) => Some(e),
+            ServeError::Journal(e) => Some(e),
+            ServeError::Aborted { .. } => None,
+        }
+    }
+}
+
+impl From<ManifestError> for ServeError {
+    fn from(e: ManifestError) -> Self {
+        ServeError::Manifest(e)
+    }
+}
+
+impl From<JournalError> for ServeError {
+    fn from(e: JournalError) -> Self {
+        ServeError::Journal(e)
     }
 }
 
@@ -121,15 +199,127 @@ enum Pending {
     Exec(JobHandle<ExecResult>),
 }
 
+/// One fully-resolved job of the expanded (repeat-flattened) run.
+struct FlatJob {
+    label: String,
+    machine_name: String,
+    mode: &'static str,
+    machine: MachineConfig,
+    program: Arc<Program>,
+    kind: JobKind,
+}
+
+/// Derives the run-identity header the journal binds to: a fingerprint
+/// of the expanded job list (labels, machine fingerprints, program
+/// content hashes, modes, exec seeds), the machine set, and the fault
+/// plan. Everything a job's deterministic output depends on.
+fn compute_run_header(flat: &[FlatJob], opts: &ServeOptions) -> RunHeader {
+    let mut manifest_src = String::new();
+    let mut machines_src = String::new();
+    for (i, job) in flat.iter().enumerate() {
+        let key = CacheKey::new(&job.machine, &job.program);
+        let seed = match job.kind {
+            JobKind::Exec { seed } => seed.to_string(),
+            JobKind::Simulate => "-".to_string(),
+        };
+        manifest_src.push_str(&format!(
+            "{i}|{}|{}|{:016x}|{:016x}|{}|{seed}\n",
+            job.label, job.machine_name, key.machine, key.program, job.mode,
+        ));
+        machines_src.push_str(&job.machine.fingerprint_hex());
+        machines_src.push('\n');
+    }
+    let (fault_seed, fault_spec) = match &opts.fault_plan {
+        Some(plan) => (Some(plan.seed()), fnv1a(format!("{:?}", plan.spec()).as_bytes())),
+        None => (None, 0),
+    };
+    RunHeader {
+        version: JOURNAL_VERSION,
+        manifest: fnv1a(manifest_src.as_bytes()),
+        machines: fnv1a(machines_src.as_bytes()),
+        fault_seed,
+        fault_spec,
+        jobs: flat.len() as u64,
+    }
+}
+
+/// Joins one pending handle into the deterministic job output.
+fn join_pending(pending: Pending) -> Result<JobOutput, JobError> {
+    match pending {
+        Pending::Sim(h) => h.join().map(|sim| {
+            let r = &sim.report;
+            JobOutput::Sim {
+                makespan_s: r.makespan_seconds,
+                steady_s: r.steady_seconds,
+                attained_tops: r.attained_ops / 1e12,
+                peak_fraction: r.peak_fraction,
+                root_intensity: r.root_intensity,
+            }
+        }),
+        Pending::Exec(h) => h.join().map(|exec| {
+            let mut hasher = StableHasher::new();
+            for v in &exec.memory {
+                hasher.write_f32(*v);
+            }
+            JobOutput::Exec { elems: exec.memory.len(), memory_hash: hasher.finish() }
+        }),
+    }
+}
+
+/// The mutable per-run state the settle path threads through: outcomes
+/// by index, the journal, and the crash-drill countdown.
+struct RunState<'a> {
+    flat: &'a [FlatJob],
+    outcomes: Vec<Option<Result<JobOutput, JobError>>>,
+    journal: Option<Journal>,
+    abort_after: Option<usize>,
+    settled_fresh: usize,
+}
+
+impl RunState<'_> {
+    /// Joins and records one freshly-run job, journaling it durably
+    /// before the outcome becomes visible in the report (write-ahead
+    /// order), then fires the crash drill if its countdown reached zero.
+    fn settle(&mut self, index: usize, pending: Pending) -> Result<(), ServeError> {
+        let outcome = join_pending(pending);
+        self.record(index, outcome)
+    }
+
+    fn record(
+        &mut self,
+        index: usize,
+        outcome: Result<JobOutput, JobError>,
+    ) -> Result<(), ServeError> {
+        if let Some(journal) = &mut self.journal {
+            let job = &self.flat[index];
+            journal.append(&JobEntry {
+                index: index as u64,
+                label: job.label.clone(),
+                machine: job.machine_name.clone(),
+                mode: job.mode,
+                outcome: outcome.clone().map_err(|e| e.to_string()),
+            })?;
+        }
+        self.outcomes[index] = Some(outcome);
+        self.settled_fresh += 1;
+        if self.abort_after.is_some_and(|n| self.settled_fresh >= n) {
+            return Err(ServeError::Aborted { journaled: self.settled_fresh });
+        }
+        Ok(())
+    }
+}
+
 /// Parses `text` and runs every job it describes.
 ///
 /// # Errors
 ///
 /// Grammar, machine-resolution and program-resolution errors — all
-/// *validation* failures, surfaced before any job runs. Individual job
-/// failures do **not** error here: they become `Err` outcomes in the
-/// report (graceful degradation).
-pub fn serve_manifest(text: &str, opts: &ServeOptions) -> Result<ServeReport, ManifestError> {
+/// *validation* failures, surfaced before any job runs — plus journal
+/// create/resume failures (including [`JournalError::Mismatch`] when
+/// resuming onto a different run). Individual job failures do **not**
+/// error here: they become `Err` outcomes in the report (graceful
+/// degradation).
+pub fn serve_manifest(text: &str, opts: &ServeOptions) -> Result<ServeReport, ServeError> {
     let specs = manifest::parse_manifest(text)?;
     serve_specs(&specs, opts)
 }
@@ -138,11 +328,12 @@ pub fn serve_manifest(text: &str, opts: &ServeOptions) -> Result<ServeReport, Ma
 ///
 /// # Errors
 ///
-/// Machine- and program-resolution failures.
-pub fn serve_specs(specs: &[JobSpec], opts: &ServeOptions) -> Result<ServeReport, ManifestError> {
+/// Machine-/program-resolution and journal failures; see
+/// [`serve_manifest`].
+pub fn serve_specs(specs: &[JobSpec], opts: &ServeOptions) -> Result<ServeReport, ServeError> {
     // Resolve every program and machine up front (shared across repeats
     // via Arc) so validation errors abort before any job runs.
-    let mut resolved = Vec::with_capacity(specs.len());
+    let mut flat: Vec<FlatJob> = Vec::new();
     for spec in specs {
         let program = Arc::new(manifest::resolve_program(&spec.source)?);
         let machine = manifest::machine_by_name(&spec.machine).ok_or_else(|| {
@@ -150,8 +341,37 @@ pub fn serve_specs(specs: &[JobSpec], opts: &ServeOptions) -> Result<ServeReport
             // `serve_specs` callers handing in unvalidated specs.
             ManifestError::UnknownMachine { name: spec.machine.clone(), line: 0 }
         })?;
-        resolved.push((spec, machine, program));
+        let mode = match spec.kind {
+            JobKind::Simulate => "simulate",
+            JobKind::Exec { .. } => "exec",
+        };
+        for _ in 0..spec.repeat {
+            flat.push(FlatJob {
+                label: spec.label.clone(),
+                machine_name: spec.machine.clone(),
+                mode,
+                machine: machine.clone(),
+                program: Arc::clone(&program),
+                kind: spec.kind,
+            });
+        }
     }
+
+    // Journal setup before any job runs: a resume that fails header
+    // verification must abort without submitting anything.
+    let header = compute_run_header(&flat, opts);
+    let mut replayed: HashMap<u64, JobEntry> = HashMap::new();
+    let journal = match &opts.journal {
+        Some(j) if j.resume => {
+            let (journal, recovery) = Journal::resume(&j.path, &header)?;
+            for entry in recovery.entries {
+                replayed.insert(entry.index, entry);
+            }
+            Some(journal)
+        }
+        Some(j) => Some(Journal::create(&j.path, &header)?),
+        None => None,
+    };
 
     let runtime = Runtime::new(RuntimeConfig {
         workers: opts.workers,
@@ -159,61 +379,114 @@ pub fn serve_specs(specs: &[JobSpec], opts: &ServeOptions) -> Result<ServeReport
         retry: opts.retry.clone(),
         breaker: opts.breaker.clone(),
         fault_plan: opts.fault_plan.clone(),
+        load: opts.load,
         ..Default::default()
     });
     let workers = runtime.worker_count();
     let t0 = Instant::now();
 
-    // Submit everything first (the pool interleaves freely), then join in
-    // submission order so the record list — and any stdout rendered from
-    // it — is deterministic.
-    let mut pending: Vec<(String, String, &'static str, Pending)> = Vec::new();
-    for (spec, machine, program) in &resolved {
-        for _ in 0..spec.repeat {
-            let (mode, handle) = match spec.kind {
-                JobKind::Simulate => (
-                    "simulate",
-                    Pending::Sim(runtime.submit_simulate(machine.clone(), Arc::clone(program))),
-                ),
-                JobKind::Exec { seed } => (
-                    "exec",
-                    Pending::Exec(runtime.submit_exec(machine.clone(), Arc::clone(program), seed)),
-                ),
+    let resumed = replayed.len() as u64;
+    let mut state = RunState {
+        flat: &flat,
+        outcomes: (0..flat.len()).map(|_| None).collect(),
+        journal,
+        abort_after: opts.abort_after_jobs,
+        settled_fresh: 0,
+    };
+
+    // Submit in manifest order and join in submission order, so both the
+    // record list and the journal are deterministic. Replayed jobs are
+    // answered from the journal without resubmitting; admission-control
+    // sheds are absorbed by settling the oldest pending job (which frees
+    // capacity) or, with nothing pending, by backing off inside the retry
+    // budget — a job whose sheds outlast the budget fails terminally.
+    let mut pending: VecDeque<(usize, Pending)> = VecDeque::new();
+    for (index, job) in flat.iter().enumerate() {
+        if let Some(entry) = replayed.remove(&(index as u64)) {
+            state.outcomes[index] = Some(match entry.outcome {
+                Ok(output) => Ok(output),
+                Err(message) => Err(JobError::Journaled(message)),
+            });
+            continue;
+        }
+        let mut shed_failures = 0u32;
+        let first_try = Instant::now();
+        loop {
+            let (handle, admitted) = match job.kind {
+                JobKind::Simulate => {
+                    let (h, a) = runtime.submit_simulate_checked(
+                        JobOptions::default(),
+                        job.machine.clone(),
+                        Arc::clone(&job.program),
+                    );
+                    (Pending::Sim(h), a)
+                }
+                JobKind::Exec { seed } => {
+                    let (h, a) = runtime.submit_exec_checked(
+                        JobOptions::default(),
+                        job.machine.clone(),
+                        Arc::clone(&job.program),
+                        seed,
+                    );
+                    (Pending::Exec(h), a)
+                }
             };
-            pending.push((spec.label.clone(), spec.machine.clone(), mode, handle));
+            match admitted {
+                Ok(()) => {
+                    pending.push_back((index, handle));
+                    break;
+                }
+                Err(shed @ JobError::Shed { .. }) => {
+                    if let Some((settled_index, settled)) = pending.pop_front() {
+                        // Settling the oldest in-flight job frees
+                        // capacity; resubmit right after.
+                        state.settle(settled_index, settled)?;
+                    } else {
+                        shed_failures += 1;
+                        match next_retry(&opts.retry, shed_failures, first_try.elapsed(), 1.0) {
+                            Some(delay) => std::thread::sleep(delay),
+                            None => {
+                                // Out of retry budget: the shed is this
+                                // job's terminal outcome.
+                                state.record(index, Err(shed))?;
+                                break;
+                            }
+                        }
+                    }
+                }
+                Err(other) => {
+                    state.record(index, Err(other))?;
+                    break;
+                }
+            }
         }
     }
-
-    let records = pending
-        .into_iter()
-        .enumerate()
-        .map(|(index, (label, machine, mode, handle))| {
-            let outcome = match handle {
-                Pending::Sim(h) => h.join().map(|sim| {
-                    let r = &sim.report;
-                    JobOutput::Sim {
-                        makespan_s: r.makespan_seconds,
-                        steady_s: r.steady_seconds,
-                        attained_tops: r.attained_ops / 1e12,
-                        peak_fraction: r.peak_fraction,
-                        root_intensity: r.root_intensity,
-                    }
-                }),
-                Pending::Exec(h) => h.join().map(|exec| {
-                    let mut hasher = StableHasher::new();
-                    for v in &exec.memory {
-                        hasher.write_f32(*v);
-                    }
-                    JobOutput::Exec { elems: exec.memory.len(), memory_hash: hasher.finish() }
-                }),
-            };
-            JobRecord { index, label, machine, mode, outcome }
-        })
-        .collect();
+    while let Some((index, handle)) = pending.pop_front() {
+        state.settle(index, handle)?;
+    }
 
     let wall = t0.elapsed();
+    runtime.stats().resumed_jobs.fetch_add(resumed, Ordering::Relaxed);
+    if let Some(journal) = &state.journal {
+        runtime.stats().journal_bytes.fetch_add(journal.bytes_appended(), Ordering::Relaxed);
+    }
     let stats = runtime.stats().snapshot();
     runtime.shutdown();
+
+    let records = state
+        .outcomes
+        .into_iter()
+        .enumerate()
+        .map(|(index, outcome)| JobRecord {
+            index,
+            label: flat[index].label.clone(),
+            machine: flat[index].machine_name.clone(),
+            mode: flat[index].mode,
+            // Every index was either replayed, settled or recorded as a
+            // terminal shed above; `None` cannot survive to here.
+            outcome: outcome.map_or(Err(JobError::Shutdown), |o| o),
+        })
+        .collect();
     Ok(ServeReport { records, stats, workers, wall })
 }
 
@@ -294,7 +567,7 @@ mod tests {
     #[test]
     fn validation_errors_surface_before_running() {
         let err = serve_manifest("program=/no/such/file.cfasm\n", &quick_opts()).unwrap_err();
-        assert!(matches!(err, ManifestError::Program { .. }), "{err}");
+        assert!(matches!(err, ServeError::Manifest(ManifestError::Program { .. })), "{err}");
     }
 
     #[test]

@@ -41,6 +41,13 @@ pub struct RuntimeStats {
     pub retries: AtomicU64,
     /// Jobs shed by the open circuit breaker.
     pub shed: AtomicU64,
+    /// Submissions rejected by [`LoadPolicy`](crate::LoadPolicy)
+    /// admission control.
+    pub shed_jobs: AtomicU64,
+    /// Jobs answered from a resume journal instead of re-running.
+    pub resumed_jobs: AtomicU64,
+    /// Bytes appended to the serve journal this run.
+    pub journal_bytes: AtomicU64,
     /// Faults the [`FaultPlan`](crate::FaultPlan) injected.
     pub faults_injected: AtomicU64,
     /// Worker loops respawned after an escaped panic.
@@ -66,6 +73,9 @@ impl RuntimeStats {
             cache_corruptions: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            shed_jobs: AtomicU64::new(0),
+            resumed_jobs: AtomicU64::new(0),
+            journal_bytes: AtomicU64::new(0),
             faults_injected: AtomicU64::new(0),
             worker_respawns: AtomicU64::new(0),
             queue_wait_nanos: AtomicU64::new(0),
@@ -107,6 +117,9 @@ impl RuntimeStats {
             cache_corruptions: self.cache_corruptions.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
+            shed_jobs: self.shed_jobs.load(Ordering::Relaxed),
+            resumed_jobs: self.resumed_jobs.load(Ordering::Relaxed),
+            journal_bytes: self.journal_bytes.load(Ordering::Relaxed),
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
             worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
             queue_wait: Duration::from_nanos(self.queue_wait_nanos.load(Ordering::Relaxed)),
@@ -139,6 +152,12 @@ pub struct StatsSnapshot {
     pub retries: u64,
     /// Jobs shed by the open circuit breaker.
     pub shed: u64,
+    /// Submissions rejected by admission control.
+    pub shed_jobs: u64,
+    /// Jobs answered from a resume journal.
+    pub resumed_jobs: u64,
+    /// Bytes appended to the serve journal this run.
+    pub journal_bytes: u64,
     /// Faults injected by the fault plan.
     pub faults_injected: u64,
     /// Worker loops respawned after an escaped panic.
@@ -191,6 +210,39 @@ impl StatsSnapshot {
     pub fn total_busy(&self) -> Duration {
         self.per_worker.iter().map(|w| w.busy).sum()
     }
+
+    /// Renders the snapshot as one JSON object (for `--stats-json`).
+    ///
+    /// Durations are seconds as JSON numbers; `shed_breaker` is the
+    /// circuit-breaker shed count, `shed_jobs` the admission-control one.
+    pub fn render_json(&self) -> String {
+        let workers: Vec<String> = self
+            .per_worker
+            .iter()
+            .map(|w| format!("{{\"jobs\":{},\"busy_s\":{:?}}}", w.jobs, w.busy.as_secs_f64()))
+            .collect();
+        format!(
+            "{{\"submitted\":{},\"completed\":{},\"failed\":{},\"cancelled\":{},\"expired\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_corruptions\":{},\"retries\":{},\"shed_breaker\":{},\"shed_jobs\":{},\"resumed_jobs\":{},\"journal_bytes\":{},\"faults_injected\":{},\"worker_respawns\":{},\"queue_wait_s\":{:?},\"uptime_s\":{:?},\"workers\":[{}]}}",
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.cancelled,
+            self.expired,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_corruptions,
+            self.retries,
+            self.shed,
+            self.shed_jobs,
+            self.resumed_jobs,
+            self.journal_bytes,
+            self.faults_injected,
+            self.worker_respawns,
+            self.queue_wait.as_secs_f64(),
+            self.uptime.as_secs_f64(),
+            workers.join(","),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +269,20 @@ mod tests {
         assert!((snap.cache_hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(snap.total_busy(), Duration::from_millis(45));
         assert!(snap.throughput_jobs_per_sec() >= 0.0);
+    }
+
+    #[test]
+    fn render_json_is_one_object_with_new_counters() {
+        let stats = RuntimeStats::new(1);
+        stats.shed_jobs.fetch_add(2, Ordering::Relaxed);
+        stats.resumed_jobs.fetch_add(3, Ordering::Relaxed);
+        stats.journal_bytes.fetch_add(512, Ordering::Relaxed);
+        let json = stats.snapshot().render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"shed_jobs\":2"), "{json}");
+        assert!(json.contains("\"resumed_jobs\":3"), "{json}");
+        assert!(json.contains("\"journal_bytes\":512"), "{json}");
+        assert!(json.contains("\"workers\":[{"), "{json}");
     }
 
     #[test]

@@ -3,17 +3,22 @@
 //!
 //! ```text
 //! cfrun <program.cfasm> [--machine f1|f100|embedded|tiny] [--exec] [--timeline N]
+//!       [--deadline-budget MS]
 //! ```
 //!
 //! By default the program is performance-simulated; `--exec` additionally
 //! executes it functionally (inputs seeded) and prints the output symbols;
-//! `--timeline N` prints an N-level Gantt chart.
+//! `--timeline N` prints an N-level Gantt chart. `--deadline-budget MS`
+//! bounds the whole run by a wall-clock budget: each phase (simulate,
+//! timeline, exec) only starts while budget remains, so an overstaying
+//! run degrades to the phases it completed instead of running away.
 //!
 //! Exit codes: `0` success, `2` bad arguments (including an unknown
 //! machine name), `3` the program failed to load or parse, `4` the
-//! simulation or execution itself failed.
+//! simulation or execution itself failed or the deadline budget ran out.
 
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 use cambricon_f::core::Machine;
 use cambricon_f::isa::parse_program;
@@ -26,9 +31,27 @@ const EXIT_JOB_FAILED: u8 = 4;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cfrun <program.cfasm> [--machine f1|f100|embedded|tiny] [--exec] [--timeline N]"
+        "usage: cfrun <program.cfasm> [--machine f1|f100|embedded|tiny] [--exec] [--timeline N] \\\n\
+         \x20            [--deadline-budget MS]"
     );
     ExitCode::from(EXIT_BAD_ARGS)
+}
+
+/// Whether budget remains to start `phase`; prints the skip message when
+/// it ran out.
+fn budget_left(t0: Instant, budget: Option<Duration>, phase: &str) -> bool {
+    match budget {
+        None => true,
+        Some(b) if t0.elapsed() < b => true,
+        Some(b) => {
+            eprintln!(
+                "cfrun: deadline budget of {:.0} ms exhausted before {phase} ({:.0} ms elapsed)",
+                b.as_secs_f64() * 1e3,
+                t0.elapsed().as_secs_f64() * 1e3,
+            );
+            false
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -37,6 +60,7 @@ fn main() -> ExitCode {
     let mut machine_name = "f1".to_string();
     let mut do_exec = false;
     let mut timeline_depth: Option<usize> = None;
+    let mut deadline_budget: Option<Duration> = None;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -47,6 +71,10 @@ fn main() -> ExitCode {
             "--exec" => do_exec = true,
             "--timeline" => match it.next().and_then(|d| d.parse().ok()) {
                 Some(d) => timeline_depth = Some(d),
+                None => return usage(),
+            },
+            "--deadline-budget" => match it.next().and_then(|d| d.parse::<u64>().ok()) {
+                Some(ms) => deadline_budget = Some(Duration::from_millis(ms)),
                 None => return usage(),
             },
             _ => return usage(),
@@ -81,7 +109,11 @@ fn main() -> ExitCode {
         cfg.name
     );
 
+    let t0 = Instant::now();
     let machine = Machine::new(cfg);
+    if !budget_left(t0, deadline_budget, "simulation") {
+        return ExitCode::from(EXIT_JOB_FAILED);
+    }
     match machine.simulate(&program) {
         Ok(report) => {
             println!(
@@ -100,6 +132,9 @@ fn main() -> ExitCode {
     }
 
     if let Some(depth) = timeline_depth {
+        if !budget_left(t0, deadline_budget, "timeline") {
+            return ExitCode::from(EXIT_JOB_FAILED);
+        }
         match machine.timeline(&program, depth) {
             Ok(tl) => print!("{}", tl.render_ascii(depth + 1, 100)),
             Err(e) => eprintln!("cfrun: timeline failed: {e}"),
@@ -107,6 +142,9 @@ fn main() -> ExitCode {
     }
 
     if do_exec {
+        if !budget_left(t0, deadline_budget, "functional execution") {
+            return ExitCode::from(EXIT_JOB_FAILED);
+        }
         let mut mem = Memory::new(program.extern_elems() as usize);
         let data = DataGen::new(0xCAFE).uniform(
             Shape::new(vec![program.extern_elems() as usize]),

@@ -4,6 +4,8 @@
 //! ```text
 //! cfserve <manifest> [--workers N] [--cache-capacity N] [--no-cache]
 //!         [--retries N] [--fault-seed S] [--fault-spec SPEC]
+//!         [--journal PATH] [--resume] [--max-inflight N]
+//!         [--stats-json PATH]
 //! ```
 //!
 //! The manifest grammar is documented in `cf_runtime::manifest` (one job
@@ -14,15 +16,26 @@
 //! (when retries mask them) injected faults. Wall-clock timing, the
 //! runtime-stats summary and the failure summary go to stderr.
 //!
+//! `--journal PATH` write-ahead journals every finished job (fsync'd,
+//! checksummed JSONL); after a crash, the same command line plus
+//! `--resume` skips the journaled jobs and merges their recorded
+//! outputs, producing stdout byte-identical to an uninterrupted run.
+//! `--max-inflight N` sheds over-capacity submissions immediately
+//! instead of queueing them unboundedly. `--stats-json PATH` dumps the
+//! final runtime counters as one JSON object.
+//!
 //! Exit codes: `0` all jobs succeeded, `2` bad arguments, `3` manifest
-//! validation failed (nothing ran), `4` at least one job ultimately
-//! failed (after retries).
+//! or journal validation failed — including resume onto a different
+//! manifest or fault seed — (nothing ran), `4` at least one job
+//! ultimately failed (after retries).
 
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use cambricon_f::runtime::serve::{render_record_json, serve_manifest, ServeOptions};
+use cambricon_f::runtime::serve::{
+    render_record_json, serve_manifest, JournalOptions, ServeOptions,
+};
 use cambricon_f::runtime::{FaultPlan, FaultSpec, RetryPolicy};
 
 const EXIT_BAD_ARGS: u8 = 2;
@@ -32,7 +45,8 @@ const EXIT_JOB_FAILED: u8 = 4;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cfserve <manifest> [--workers N] [--cache-capacity N] [--no-cache] \\\n\
-         \x20              [--retries N] [--fault-seed S] [--fault-spec SPEC]"
+         \x20              [--retries N] [--fault-seed S] [--fault-spec SPEC] \\\n\
+         \x20              [--journal PATH] [--resume] [--max-inflight N] [--stats-json PATH]"
     );
     eprintln!("manifest lines: workload=<name>|program=<file.cfasm> \\");
     eprintln!("    [machine=f1|f100|embedded|tiny] [mode=simulate|exec] [seed=N]");
@@ -52,9 +66,25 @@ fn main() -> ExitCode {
     let mut opts = ServeOptions::default();
     let mut fault_seed: Option<u64> = None;
     let mut fault_spec: Option<FaultSpec> = None;
+    let mut journal_path: Option<String> = None;
+    let mut resume = false;
+    let mut stats_json: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--journal" => match it.next() {
+                Some(p) => journal_path = Some(p.clone()),
+                None => return usage(),
+            },
+            "--resume" => resume = true,
+            "--max-inflight" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.load.max_in_flight = n,
+                None => return usage(),
+            },
+            "--stats-json" => match it.next() {
+                Some(p) => stats_json = Some(p.clone()),
+                None => return usage(),
+            },
             "--workers" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => opts.workers = n,
                 None => return usage(),
@@ -86,6 +116,14 @@ fn main() -> ExitCode {
     if fault_seed.is_some() || fault_spec.is_some() {
         let spec = fault_spec.unwrap_or_else(FaultSpec::chaos);
         opts.fault_plan = Some(FaultPlan::new(fault_seed.unwrap_or(0), spec));
+    }
+    match journal_path {
+        Some(path) => opts.journal = Some(JournalOptions { path: path.into(), resume }),
+        None if resume => {
+            eprintln!("cfserve: --resume requires --journal PATH");
+            return usage();
+        }
+        None => {}
     }
 
     let text = match std::fs::read_to_string(manifest_path) {
@@ -138,8 +176,21 @@ fn main() -> ExitCode {
         "cfserve: resilience | {} retries, {} corrupt cache hits healed, {} faults injected, {} worker respawns, {} shed",
         snap.retries, snap.cache_corruptions, snap.faults_injected, snap.worker_respawns, snap.shed,
     );
+    if snap.shed_jobs > 0 || snap.resumed_jobs > 0 || snap.journal_bytes > 0 {
+        eprintln!(
+            "cfserve: durability | {} resumed from journal, {} journal bytes written, {} submissions shed",
+            snap.resumed_jobs, snap.journal_bytes, snap.shed_jobs,
+        );
+    }
     for (i, w) in snap.per_worker.iter().enumerate() {
         eprintln!("cfserve:   worker {i}: {} job(s), {:.3}s busy", w.jobs, w.busy.as_secs_f64());
+    }
+
+    if let Some(path) = &stats_json {
+        if let Err(e) = std::fs::write(path, snap.render_json() + "\n") {
+            eprintln!("cfserve: cannot write {path}: {e}");
+            return ExitCode::from(EXIT_JOB_FAILED);
+        }
     }
 
     let failures = report.failures();
