@@ -1,0 +1,265 @@
+//! `bench_gate` — the CI performance gate over the cf-runtime service
+//! layer.
+//!
+//! Measures three headline numbers, writes them to `BENCH_runtime.json`
+//! (the artifact CI uploads) and compares the cache-effectiveness
+//! number against a committed baseline:
+//!
+//! * `cached_speedup` — mean uncached simulate latency over mean cached
+//!   simulate latency for the same `(machine, program)` key. This is
+//!   the number the plan cache exists to produce, so it is the gated
+//!   one: the gate **fails when it regresses more than 20%** below the
+//!   committed baseline (`current < 0.8 × baseline`).
+//! * `serve_jobs_per_s` — the 19-job `assets/serve.jobs` manifest
+//!   through `serve_manifest`, end to end (informational).
+//! * `replay_records_per_s` — `scan_valid_prefix` over a synthetic
+//!   5000-record journal image (informational).
+//!
+//! ```text
+//! bench_gate [--out PATH] [--baseline PATH] [--write-baseline]
+//! ```
+//!
+//! The baseline lives at `crates/bench/baselines/runtime.json` and is
+//! deliberately conservative (about half of what a developer laptop
+//! measures) so shared CI runners don't flake; `--write-baseline`
+//! regenerates it from the current measurement with the same headroom.
+//!
+//! Exit codes: `0` pass, `1` gate failure or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cf_core::MachineConfig;
+use cf_runtime::journal::{encode_record, scan_valid_prefix, JOURNAL_VERSION};
+use cf_runtime::serve::serve_manifest;
+use cf_runtime::{
+    JobEntry, JobOptions, JobOutput, Record, RunHeader, Runtime, RuntimeConfig, ServeOptions,
+};
+use cf_workloads::nets;
+
+/// Cached-simulate iterations (cheap: microseconds each).
+const CACHED_ITERS: u32 = 200;
+/// Uncached-simulate iterations (each runs the full planner + model).
+const UNCACHED_ITERS: u32 = 8;
+/// Synthetic journal records for the replay-rate measurement.
+const REPLAY_RECORDS: u64 = 5000;
+/// Gate threshold: fail when cached_speedup < this fraction of baseline.
+const GATE_FRACTION: f64 = 0.8;
+/// Headroom applied by `--write-baseline` (baseline = measured / 2).
+const BASELINE_HEADROOM: f64 = 0.5;
+
+fn repo_root() -> PathBuf {
+    // crates/bench/ -> crates/ -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+/// Extracts `"key":<number>` from a flat JSON object — enough for our
+/// own baseline file, no dependency needed.
+fn json_f64(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = text.find(&needle)? + needle.len();
+    let rest = &text[start..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+fn measure_cached_speedup() -> (f64, f64, f64) {
+    let program = Arc::new(nets::matmul_program(512));
+    let runtime = Runtime::new(RuntimeConfig { workers: 1, ..Default::default() });
+    // Warm: the first submit fills the cache.
+    runtime
+        .submit_simulate(MachineConfig::cambricon_f1(), Arc::clone(&program))
+        .join()
+        .expect("warmup simulate");
+
+    let t0 = Instant::now();
+    for _ in 0..CACHED_ITERS {
+        runtime
+            .submit_simulate(MachineConfig::cambricon_f1(), Arc::clone(&program))
+            .join()
+            .expect("cached simulate");
+    }
+    let cached = t0.elapsed() / CACHED_ITERS;
+
+    let opts = JobOptions { bypass_cache: true, ..Default::default() };
+    let t0 = Instant::now();
+    for _ in 0..UNCACHED_ITERS {
+        runtime
+            .submit_simulate_opts(opts, MachineConfig::cambricon_f1(), Arc::clone(&program))
+            .join()
+            .expect("uncached simulate");
+    }
+    let uncached = t0.elapsed() / UNCACHED_ITERS;
+    (uncached.as_secs_f64() / cached.as_secs_f64(), cached.as_secs_f64(), uncached.as_secs_f64())
+}
+
+fn measure_serve_throughput() -> Result<f64, String> {
+    let root = repo_root();
+    let manifest_path = root.join("assets").join("serve.jobs");
+    let text = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+    // The manifest references programs relative to the repo root; the
+    // gate may run from anywhere, so absolutize them.
+    let text = text.replace("program=assets/", &format!("program={}/assets/", root.display()));
+    let opts = ServeOptions { workers: 4, ..Default::default() };
+    let t0 = Instant::now();
+    let report = serve_manifest(&text, &opts).map_err(|e| format!("serve failed: {e}"))?;
+    let wall = t0.elapsed();
+    if report.failures() > 0 {
+        return Err(format!("{} serve job(s) failed", report.failures()));
+    }
+    Ok(report.records.len() as f64 / wall.as_secs_f64())
+}
+
+fn measure_replay_rate() -> f64 {
+    let header = RunHeader {
+        version: JOURNAL_VERSION,
+        manifest: 0x1234_5678_9abc_def0,
+        machines: 0x0fed_cba9_8765_4321,
+        fault_seed: None,
+        fault_spec: 0,
+        jobs: REPLAY_RECORDS,
+    };
+    let mut image = String::new();
+    image.push_str(&encode_record(&Record::Header(header)));
+    image.push('\n');
+    for index in 0..REPLAY_RECORDS {
+        let entry = JobEntry {
+            index,
+            label: format!("job{index}"),
+            machine: "f1".to_string(),
+            mode: "simulate",
+            outcome: Ok(JobOutput::Sim {
+                makespan_s: 0.001 + index as f64 * 1e-9,
+                steady_s: 0.0009,
+                attained_tops: 12.5,
+                peak_fraction: 0.85,
+                root_intensity: 40.0,
+            }),
+        };
+        image.push_str(&encode_record(&Record::Job(entry)));
+        image.push('\n');
+    }
+    let bytes = image.as_bytes();
+    let t0 = Instant::now();
+    let (records, valid) = scan_valid_prefix(bytes, REPLAY_RECORDS);
+    let wall = t0.elapsed().max(Duration::from_nanos(1));
+    assert_eq!(records.len() as u64, REPLAY_RECORDS + 1, "scan lost records");
+    assert_eq!(valid, bytes.len() as u64, "scan truncated a clean image");
+    records.len() as f64 / wall.as_secs_f64()
+}
+
+fn render_json(speedup: f64, cached_s: f64, uncached_s: f64, serve: f64, replay: f64) -> String {
+    format!(
+        "{{\"cached_speedup\":{speedup:.2},\"cached_us\":{:.2},\"uncached_us\":{:.2},\"serve_jobs_per_s\":{serve:.2},\"replay_records_per_s\":{replay:.0}}}\n",
+        cached_s * 1e6,
+        uncached_s * 1e6,
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = PathBuf::from("BENCH_runtime.json");
+    let mut baseline =
+        repo_root().join("crates").join("bench").join("baselines").join("runtime.json");
+    let mut write_baseline = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = PathBuf::from(p),
+                None => {
+                    eprintln!("bench_gate: --out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline = PathBuf::from(p),
+                None => {
+                    eprintln!("bench_gate: --baseline needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--write-baseline" => write_baseline = true,
+            _ => {
+                eprintln!("usage: bench_gate [--out PATH] [--baseline PATH] [--write-baseline]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (speedup, cached_s, uncached_s) = measure_cached_speedup();
+    eprintln!(
+        "bench_gate: cached {:.1}µs, uncached {:.1}µs -> speedup {speedup:.1}x",
+        cached_s * 1e6,
+        uncached_s * 1e6,
+    );
+    let serve = match measure_serve_throughput() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("bench_gate: serve throughput {serve:.1} jobs/s");
+    let replay = measure_replay_rate();
+    eprintln!("bench_gate: journal replay {replay:.0} records/s");
+
+    let json = render_json(speedup, cached_s, uncached_s, serve, replay);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("bench_gate: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("bench_gate: wrote {}", out.display());
+
+    if write_baseline {
+        let json = render_json(
+            speedup * BASELINE_HEADROOM,
+            cached_s / BASELINE_HEADROOM,
+            uncached_s * BASELINE_HEADROOM,
+            serve * BASELINE_HEADROOM,
+            replay * BASELINE_HEADROOM,
+        );
+        if let Some(dir) = baseline.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("bench_gate: cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = std::fs::write(&baseline, &json) {
+            eprintln!("bench_gate: cannot write {}: {e}", baseline.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bench_gate: baseline rewritten at {}", baseline.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let text = match std::fs::read_to_string(&baseline) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read baseline {}: {e}", baseline.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(base_speedup) = json_f64(&text, "cached_speedup") else {
+        eprintln!("bench_gate: baseline {} has no cached_speedup", baseline.display());
+        return ExitCode::FAILURE;
+    };
+    let floor = base_speedup * GATE_FRACTION;
+    if speedup < floor {
+        eprintln!(
+            "bench_gate: FAIL — cached_speedup {speedup:.1}x is below {floor:.1}x \
+             (baseline {base_speedup:.1}x, gate at {:.0}%)",
+            GATE_FRACTION * 100.0,
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "bench_gate: PASS — cached_speedup {speedup:.1}x >= {floor:.1}x \
+         (baseline {base_speedup:.1}x, gate at {:.0}%)",
+        GATE_FRACTION * 100.0,
+    );
+    ExitCode::SUCCESS
+}

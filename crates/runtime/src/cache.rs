@@ -20,6 +20,7 @@ use cf_isa::Program;
 use std::sync::Arc;
 
 use crate::fault::fnv1a;
+use crate::obs::{SpanKind, Stage, Tracer};
 use crate::sync;
 
 /// Cache key: machine-structure fingerprint plus program content hash,
@@ -36,6 +37,12 @@ impl CacheKey {
     /// The key for simulating `program` on `machine`.
     pub fn new(machine: &MachineConfig, program: &Program) -> Self {
         CacheKey { machine: machine.fingerprint(), program: program.content_hash() }
+    }
+
+    /// A single-`u64` digest of the key, used as the span token for
+    /// cache trace events.
+    pub fn digest(&self) -> u64 {
+        self.machine ^ self.program.rotate_left(32)
     }
 }
 
@@ -83,13 +90,20 @@ struct Inner {
 pub struct PlanCache {
     inner: Mutex<Inner>,
     capacity: usize,
+    tracer: Arc<Tracer>,
 }
 
 impl PlanCache {
     /// A cache holding at most `capacity` reports. Capacity 0 disables
     /// caching (every lookup misses, inserts are dropped).
     pub fn new(capacity: usize) -> Self {
-        PlanCache { inner: Mutex::new(Inner::default()), capacity }
+        PlanCache::with_tracer(capacity, Arc::new(Tracer::disabled()))
+    }
+
+    /// [`new`](PlanCache::new) with a shared tracer: verifying lookups
+    /// emit hit/miss/corrupt span events and lookup-latency samples.
+    pub fn with_tracer(capacity: usize, tracer: Arc<Tracer>) -> Self {
+        PlanCache { inner: Mutex::new(Inner::default()), capacity, tracer }
     }
 
     /// The configured capacity.
@@ -120,6 +134,22 @@ impl PlanCache {
     /// evicts the entry and reports [`CacheLookup::Corrupt`] so the
     /// caller can count the detection and recompute.
     pub fn get_verified(&self, key: &CacheKey) -> CacheLookup {
+        let t0 = std::time::Instant::now();
+        let lookup = self.lookup(key);
+        if self.tracer.enabled() {
+            let elapsed = t0.elapsed();
+            self.tracer.observe(Stage::CacheLookup, elapsed);
+            let kind = match &lookup {
+                CacheLookup::Hit(_) => SpanKind::CacheHit,
+                CacheLookup::Miss => SpanKind::CacheMiss,
+                CacheLookup::Corrupt => SpanKind::CacheCorrupt,
+            };
+            self.tracer.record(kind, key.digest(), Some(elapsed), String::new);
+        }
+        lookup
+    }
+
+    fn lookup(&self, key: &CacheKey) -> CacheLookup {
         let mut inner = sync::lock(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;

@@ -129,6 +129,16 @@ pub enum JournalError {
         /// Why the line failed.
         reason: RecordError,
     },
+    /// The file ends inside the run-identity header: the very first
+    /// append was torn by a crash before its newline reached disk, so
+    /// the journal never recorded which run it belongs to.
+    TruncatedHeader {
+        /// The journal path.
+        path: String,
+        /// Where the file ends, in bytes from the start (= the file
+        /// length, since the torn header is the only content).
+        offset: u64,
+    },
     /// The journal belongs to a different run; resume refused.
     Mismatch {
         /// The first header field that differs.
@@ -147,6 +157,12 @@ impl fmt::Display for JournalError {
             JournalError::NoHeader { path, reason } => {
                 write!(f, "journal {path}: no valid header record ({reason})")
             }
+            JournalError::TruncatedHeader { path, offset } => write!(
+                f,
+                "journal {path}: truncated run-identity header (file ends mid-line at byte \
+                 offset {offset}; the header never became durable, so there is nothing to \
+                 resume — delete the journal or re-run without --resume)"
+            ),
             JournalError::Mismatch { field, journal, current } => write!(
                 f,
                 "journal mismatch on {field}: journal has {journal}, current run has {current} \
@@ -414,14 +430,68 @@ impl<'a> Cursor<'a> {
     }
 }
 
+/// What one journal compaction did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// On-disk bytes before the rewrite.
+    pub bytes_before: u64,
+    /// On-disk bytes after the rewrite.
+    pub bytes_after: u64,
+    /// Records dropped by the rewrite (failed entries, which get a
+    /// fresh chance on resume, plus any out-of-contract lines).
+    pub dropped: u64,
+}
+
+impl CompactionStats {
+    /// Bytes the rewrite gave back.
+    pub fn reclaimed(&self) -> u64 {
+        self.bytes_before.saturating_sub(self.bytes_after)
+    }
+}
+
+/// Rewrites a journal image to its compacted form: the canonical
+/// re-encoding of the run-identity header plus every *successful* job
+/// entry of the valid prefix, in order. Failed entries are dropped — on
+/// resume those jobs re-run instead of replaying the recorded failure —
+/// and so is any torn or out-of-contract tail. Idempotent: compacting a
+/// compacted image returns it byte-identically.
+pub fn compact_image(bytes: &[u8], jobs: u64) -> (Vec<u8>, CompactionStats) {
+    let (records, valid_len) = scan_valid_prefix(bytes, jobs);
+    let mut out = Vec::with_capacity(valid_len as usize);
+    let mut dropped = 0u64;
+    for record in &records {
+        let keep = match record {
+            Record::Header(_) => true,
+            Record::Job(e) => e.outcome.is_ok(),
+        };
+        if keep {
+            out.extend_from_slice(encode_record(record).as_bytes());
+            out.push(b'\n');
+        } else {
+            dropped += 1;
+        }
+    }
+    let stats = CompactionStats {
+        bytes_before: bytes.len() as u64,
+        bytes_after: out.len() as u64,
+        dropped,
+    };
+    (out, stats)
+}
+
 /// What [`Journal::resume`] recovered from an existing journal.
 #[derive(Debug)]
 pub struct Recovery {
-    /// The journaled jobs, in journal (= submission) order.
+    /// The journaled jobs, in journal (= submission) order. When resume
+    /// compacted the journal, failed entries are dropped from here too
+    /// (the file no longer records them, so those jobs re-run).
     pub entries: Vec<JobEntry>,
     /// Bytes of torn/corrupt tail that were truncated away (0 for a
     /// cleanly-closed journal).
     pub truncated_bytes: u64,
+    /// The resume-time compaction, when
+    /// [`Journal::resume_opts`]'s threshold triggered one.
+    pub compaction: Option<CompactionStats>,
 }
 
 /// An open, append-only journal file (see the module docs).
@@ -430,6 +500,13 @@ pub struct Journal {
     file: File,
     path: PathBuf,
     bytes: u64,
+    /// Total jobs of the run (from the header); the scan contract for
+    /// compaction rewrites.
+    jobs: u64,
+    /// Current on-disk length.
+    file_bytes: u64,
+    /// Bytes held by failed-entry lines — what compaction can give back.
+    reclaimable: u64,
 }
 
 impl Journal {
@@ -446,7 +523,14 @@ impl Journal {
             .truncate(true)
             .open(path)
             .map_err(|e| io_err(path, &e))?;
-        let mut journal = Journal { file, path: path.to_path_buf(), bytes: 0 };
+        let mut journal = Journal {
+            file,
+            path: path.to_path_buf(),
+            bytes: 0,
+            jobs: header.jobs,
+            file_bytes: 0,
+            reclaimable: 0,
+        };
         journal.append_line(&encode_record(&Record::Header(header.clone())))?;
         Ok(journal)
     }
@@ -463,10 +547,37 @@ impl Journal {
     /// [`JournalError::Mismatch`] when the journal belongs to a different
     /// manifest, machine set, fault seed/spec or job count.
     pub fn resume(path: &Path, header: &RunHeader) -> Result<(Journal, Recovery), JournalError> {
+        Journal::resume_opts(path, header, 0)
+    }
+
+    /// [`resume`](Journal::resume) with a compaction threshold: after
+    /// recovery, a journal whose on-disk size is at least
+    /// `compact_threshold` bytes (0 disables) is rewritten via
+    /// [`compact_image`], dropping failed entries (those jobs re-run)
+    /// and reporting the rewrite in [`Recovery::compaction`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`resume`](Journal::resume) reports, plus
+    /// [`JournalError::TruncatedHeader`] when the file is non-empty but
+    /// ends inside its first line — a crash tore the run-identity header
+    /// itself, so there is no run to verify against.
+    pub fn resume_opts(
+        path: &Path,
+        header: &RunHeader,
+        compact_threshold: u64,
+    ) -> Result<(Journal, Recovery), JournalError> {
         let mut bytes = Vec::new();
         File::open(path)
             .and_then(|mut f| f.read_to_end(&mut bytes))
             .map_err(|e| io_err(path, &e))?;
+
+        if !bytes.is_empty() && !bytes.contains(&b'\n') {
+            return Err(JournalError::TruncatedHeader {
+                path: path.display().to_string(),
+                offset: bytes.len() as u64,
+            });
+        }
 
         let (records, valid_len) = scan_valid_prefix(&bytes, header.jobs);
         let mut records = records.into_iter();
@@ -491,9 +602,93 @@ impl Journal {
             OpenOptions::new().write(true).read(true).open(path).map_err(|e| io_err(path, &e))?;
         file.set_len(valid_len).map_err(|e| io_err(path, &e))?;
         file.sync_data().map_err(|e| io_err(path, &e))?;
-        let mut journal = Journal { file, path: path.to_path_buf(), bytes: 0 };
+        let reclaimable = entries
+            .iter()
+            .filter(|e| e.outcome.is_err())
+            // Journaled lines are canonical (we wrote them), so the
+            // re-encoding is exactly the on-disk line.
+            .map(|e| encode_record(&Record::Job(e.clone())).len() as u64 + 1)
+            .sum();
+        let mut journal = Journal {
+            file,
+            path: path.to_path_buf(),
+            bytes: 0,
+            jobs: header.jobs,
+            file_bytes: valid_len,
+            reclaimable,
+        };
         journal.seek_end(valid_len)?;
-        Ok((journal, Recovery { entries, truncated_bytes }))
+        let mut entries = entries;
+        let compaction = if compact_threshold > 0 && journal.file_bytes >= compact_threshold {
+            let stats = journal.compact()?;
+            // The file no longer records the failed entries: drop them
+            // from the recovery too, so the resumed run re-runs them
+            // (and journals their fresh outcomes) instead of replaying
+            // failures the journal has forgotten.
+            entries.retain(|e| e.outcome.is_ok());
+            Some(stats)
+        } else {
+            None
+        };
+        Ok((journal, Recovery { entries, truncated_bytes, compaction }))
+    }
+
+    /// Rewrites the journal in place to its compacted form (see
+    /// [`compact_image`]): the rewrite goes to a temporary file that is
+    /// fsync'd and atomically renamed over the journal, so a crash
+    /// during compaction leaves either the old or the new file — never a
+    /// mix.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on any filesystem failure.
+    pub fn compact(&mut self) -> Result<CompactionStats, JournalError> {
+        let mut bytes = Vec::new();
+        File::open(&self.path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| io_err(&self.path, &e))?;
+        let (image, stats) = compact_image(&bytes, self.jobs);
+        let mut tmp_name = self.path.as_os_str().to_owned();
+        tmp_name.push(".compact");
+        let tmp = PathBuf::from(tmp_name);
+        {
+            let mut f = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)
+                .map_err(|e| io_err(&tmp, &e))?;
+            f.write_all(&image).and_then(|()| f.sync_data()).map_err(|e| io_err(&tmp, &e))?;
+        }
+        std::fs::rename(&tmp, &self.path).map_err(|e| io_err(&self.path, &e))?;
+        self.file = OpenOptions::new()
+            .write(true)
+            .read(true)
+            .open(&self.path)
+            .map_err(|e| io_err(&self.path, &e))?;
+        self.file.sync_data().map_err(|e| io_err(&self.path, &e))?;
+        self.file_bytes = image.len() as u64;
+        self.reclaimable = 0;
+        self.seek_end(self.file_bytes)?;
+        Ok(stats)
+    }
+
+    /// [`compact`](Journal::compact) guarded by a size threshold: only
+    /// rewrites when the file has reached `threshold` bytes (0 disables)
+    /// *and* there are reclaimable (failed-entry) bytes to give back, so
+    /// an append-heavy run does not rewrite the file on every record.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on any filesystem failure.
+    pub fn maybe_compact(
+        &mut self,
+        threshold: u64,
+    ) -> Result<Option<CompactionStats>, JournalError> {
+        if threshold == 0 || self.file_bytes < threshold || self.reclaimable == 0 {
+            return Ok(None);
+        }
+        self.compact().map(Some)
     }
 
     fn seek_end(&mut self, len: u64) -> Result<(), JournalError> {
@@ -508,7 +703,12 @@ impl Journal {
     ///
     /// [`JournalError::Io`] on any filesystem failure.
     pub fn append(&mut self, entry: &JobEntry) -> Result<(), JournalError> {
-        self.append_line(&encode_record(&Record::Job(entry.clone())))
+        let line = encode_record(&Record::Job(entry.clone()));
+        self.append_line(&line)?;
+        if entry.outcome.is_err() {
+            self.reclaimable += line.len() as u64 + 1;
+        }
+        Ok(())
     }
 
     fn append_line(&mut self, line: &str) -> Result<(), JournalError> {
@@ -518,6 +718,7 @@ impl Journal {
             .and_then(|()| self.file.sync_data())
             .map_err(|e| io_err(&self.path, &e))?;
         self.bytes += line.len() as u64 + 1;
+        self.file_bytes += line.len() as u64 + 1;
         Ok(())
     }
 
@@ -525,6 +726,17 @@ impl Journal {
     /// journals; 0 right after a resume).
     pub fn bytes_appended(&self) -> u64 {
         self.bytes
+    }
+
+    /// Current on-disk length of the journal file.
+    pub fn file_len(&self) -> u64 {
+        self.file_bytes
+    }
+
+    /// Bytes currently held by failed-entry lines — what a compaction
+    /// would reclaim.
+    pub fn reclaimable_bytes(&self) -> u64 {
+        self.reclaimable
     }
 
     /// The journal's path.
@@ -721,6 +933,128 @@ mod tests {
         let double_header = format!("{h}\n{h}\n");
         let (records, _) = scan_valid_prefix(double_header.as_bytes(), 3);
         assert_eq!(records.len(), 1);
+    }
+
+    fn failed_entry(index: u64) -> JobEntry {
+        JobEntry {
+            index,
+            label: "x".into(),
+            machine: "f1".into(),
+            mode: "simulate",
+            outcome: Err("job panicked: boom".into()),
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("cf-journal-unit-{tag}-{}.wal", std::process::id()))
+    }
+
+    #[test]
+    fn compact_image_drops_failures_and_is_idempotent() {
+        let mut image = Vec::new();
+        for r in [
+            Record::Header(header()),
+            Record::Job(sim_entry(0)),
+            Record::Job(failed_entry(1)),
+            Record::Job(sim_entry(2)),
+        ] {
+            image.extend_from_slice(encode_record(&r).as_bytes());
+            image.push(b'\n');
+        }
+        // A torn tail is dropped by the rewrite too.
+        image.extend_from_slice(b"{\"crc\":\"00");
+
+        let (compacted, stats) = compact_image(&image, 3);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.bytes_before, image.len() as u64);
+        assert!(stats.bytes_after < stats.bytes_before);
+        assert_eq!(stats.reclaimed(), stats.bytes_before - stats.bytes_after);
+
+        let (records, len) = scan_valid_prefix(&compacted, 3);
+        assert_eq!(len as usize, compacted.len());
+        assert_eq!(records.len(), 3);
+        assert!(matches!(&records[0], Record::Header(h) if *h == header()));
+        assert!(matches!(&records[1], Record::Job(e) if e.index == 0 && e.outcome.is_ok()));
+        assert!(matches!(&records[2], Record::Job(e) if e.index == 2 && e.outcome.is_ok()));
+
+        let (again, stats2) = compact_image(&compacted, 3);
+        assert_eq!(again, compacted);
+        assert_eq!(stats2.dropped, 0);
+        assert_eq!(stats2.reclaimed(), 0);
+    }
+
+    #[test]
+    fn truncated_header_is_reported_with_offset() {
+        let path = temp_path("trunc-header");
+        let line = encode_record(&Record::Header(header()));
+        let cut = line.len() / 2;
+        std::fs::write(&path, &line.as_bytes()[..cut]).unwrap();
+        let err = Journal::resume(&path, &header()).unwrap_err();
+        match &err {
+            JournalError::TruncatedHeader { offset, .. } => assert_eq!(*offset, cut as u64),
+            other => panic!("expected TruncatedHeader, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("truncated run-identity header"), "{msg}");
+        assert!(msg.contains(&format!("byte offset {cut}")), "{msg}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn on_disk_compaction_reclaims_failed_entries() {
+        let path = temp_path("compact");
+        let h = header();
+        let mut journal = Journal::create(&path, &h).unwrap();
+        journal.append(&sim_entry(0)).unwrap();
+        journal.append(&failed_entry(1)).unwrap();
+        let before = journal.file_len();
+        assert_eq!(before, std::fs::metadata(&path).unwrap().len());
+        assert!(journal.reclaimable_bytes() > 0);
+
+        // Below the threshold: no rewrite.
+        assert_eq!(journal.maybe_compact(u64::MAX).unwrap(), None);
+        // At/above the threshold with reclaimable bytes: rewrite.
+        let stats = journal.maybe_compact(1).unwrap().unwrap();
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(journal.file_len(), stats.bytes_after);
+        assert_eq!(journal.file_len(), std::fs::metadata(&path).unwrap().len());
+        assert_eq!(journal.reclaimable_bytes(), 0);
+        // Nothing left to reclaim: no further rewrite.
+        assert_eq!(journal.maybe_compact(1).unwrap(), None);
+
+        // The compacted journal stays appendable and resumable; the
+        // dropped failure's index is free to be re-journaled.
+        journal.append(&sim_entry(1)).unwrap();
+        drop(journal);
+        let (_journal, recovery) = Journal::resume(&path, &h).unwrap();
+        assert_eq!(recovery.entries.len(), 2);
+        assert!(recovery.entries.iter().all(|e| e.outcome.is_ok()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_opts_compacts_past_threshold_and_drops_failures() {
+        let path = temp_path("resume-compact");
+        let h = header();
+        let mut journal = Journal::create(&path, &h).unwrap();
+        journal.append(&sim_entry(0)).unwrap();
+        journal.append(&failed_entry(1)).unwrap();
+        drop(journal);
+
+        // Threshold larger than the file: no compaction on resume.
+        let (journal, recovery) = Journal::resume_opts(&path, &h, u64::MAX).unwrap();
+        assert!(recovery.compaction.is_none());
+        assert_eq!(recovery.entries.len(), 2);
+        drop(journal);
+
+        // Threshold of 1 byte: compaction fires, failures drop.
+        let (journal, recovery) = Journal::resume_opts(&path, &h, 1).unwrap();
+        let stats = recovery.compaction.unwrap();
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(recovery.entries.len(), 1);
+        assert_eq!(recovery.entries[0].index, 0);
+        assert_eq!(journal.file_len(), std::fs::metadata(&path).unwrap().len());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -36,6 +36,15 @@
 //!   corruption, deadline expiries and DMA faults; retry-with-backoff
 //!   under a budget; a consecutive-failure [`CircuitBreaker`]; worker
 //!   respawn on panic. See DESIGN.md §7.
+//! * [`obs`] / [`status`] — the observability layer: a lock-cheap
+//!   [`Tracer`] (span ring buffer + per-stage latency histograms,
+//!   off by default), the [`Obs`] hub publishing live stats and
+//!   admission headroom, and a dependency-free HTTP/1.1
+//!   [`StatusServer`] exposing `/healthz`, `/stats` and `/trace`
+//!   (`cfserve --status-port`). Journal files past a size threshold
+//!   are compacted — superseded/failed records dropped, checksummed
+//!   framing preserved — on resume and during live runs. See
+//!   DESIGN.md §8.
 //!
 //! # Example
 //!
@@ -66,17 +75,26 @@ pub mod fault;
 pub mod job;
 pub mod journal;
 pub mod manifest;
+pub mod obs;
 pub mod scheduler;
 pub mod serve;
 pub mod stats;
+pub mod status;
 pub mod supervisor;
 pub(crate) mod sync;
 
 pub use cache::{report_checksum, CacheKey, CacheLookup, PlanCache};
 pub use fault::{FaultPlan, FaultSite, FaultSpec};
 pub use job::{JobError, JobHandle, JobOptions};
-pub use journal::{JobEntry, Journal, JournalError, Record, RecordError, RunHeader};
+pub use journal::{
+    CompactionStats, JobEntry, Journal, JournalError, Record, RecordError, RunHeader,
+};
+pub use obs::{LatencyHistogram, Obs, SpanEvent, SpanKind, Stage, Tracer};
 pub use scheduler::{ExecResult, LoadPolicy, Runtime, RuntimeConfig, SimResult};
-pub use serve::{JobOutput, JobRecord, JournalOptions, ServeError, ServeOptions, ServeReport};
+pub use serve::{
+    JobOutput, JobRecord, JournalOptions, ServeError, ServeOptions, ServeReport,
+    DEFAULT_COMPACT_THRESHOLD,
+};
 pub use stats::{RuntimeStats, StatsSnapshot, WorkerSnapshot};
+pub use status::StatusServer;
 pub use supervisor::{next_retry, BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};

@@ -1,0 +1,517 @@
+//! Observability: span tracing, per-stage latency histograms and the
+//! publication hub the HTTP status server reads from.
+//!
+//! The runtime's hot paths are instrumented with **span events** — job
+//! submit/start/retry/settle, cache hit/miss/corrupt, admission-control
+//! sheds, journal append/compact — emitted into a bounded ring buffer,
+//! plus **latency histograms** (power-of-two microsecond buckets) for the
+//! per-stage durations that matter when profiling a serving instance:
+//! queue wait, job run, cache lookup, retry backoff, journal append.
+//!
+//! Everything is **off by default and lock-cheap when off**: a disabled
+//! [`Tracer`] reduces every instrumentation site to one relaxed atomic
+//! load, details are built lazily (closures, not eager `format!`), and
+//! the ring buffer holds the last `capacity` events, dropping the oldest
+//! under pressure (the drop count is itself observable).
+//!
+//! [`Obs`] ties a tracer to the live [`RuntimeStats`] registry and
+//! [`LoadPolicy`] of a run so the [`status`](crate::status) HTTP server
+//! can answer `/healthz`, `/stats` and `/trace` while the run is in
+//! flight. See DESIGN.md §8.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::scheduler::LoadPolicy;
+use crate::serve::json_str;
+use crate::stats::RuntimeStats;
+use crate::sync;
+
+/// What happened, at the granularity the trace ring records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A job was accepted into the submission queue.
+    JobSubmit,
+    /// A worker dequeued a job and is about to run it.
+    JobStart,
+    /// A supervised attempt failed transiently and will be retried.
+    JobRetry,
+    /// A job reached a terminal outcome (ok or error).
+    JobSettle,
+    /// A verified plan-cache hit.
+    CacheHit,
+    /// A plan-cache miss.
+    CacheMiss,
+    /// A cache entry failed its checksum and was evicted.
+    CacheCorrupt,
+    /// Admission control rejected a submission.
+    Shed,
+    /// One record was durably appended to the serve journal.
+    JournalAppend,
+    /// The serve journal was compacted (rewritten without dead records).
+    JournalCompact,
+}
+
+impl SpanKind {
+    /// The event's stable wire name (kebab-case, used in `/trace` JSON
+    /// and the `--trace` timeline).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::JobSubmit => "job-submit",
+            SpanKind::JobStart => "job-start",
+            SpanKind::JobRetry => "job-retry",
+            SpanKind::JobSettle => "job-settle",
+            SpanKind::CacheHit => "cache-hit",
+            SpanKind::CacheMiss => "cache-miss",
+            SpanKind::CacheCorrupt => "cache-corrupt",
+            SpanKind::Shed => "shed",
+            SpanKind::JournalAppend => "journal-append",
+            SpanKind::JournalCompact => "journal-compact",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
+    /// Monotonic sequence number (gaps mean ring-buffer drops).
+    pub seq: u64,
+    /// When the event happened, relative to tracer creation.
+    pub at: Duration,
+    /// What happened.
+    pub kind: SpanKind,
+    /// The stable token the event is about: a job's submission id, a
+    /// cache key digest, or 0 when no token applies.
+    pub token: u64,
+    /// Short free-form context (`"limit=in-flight"`, `"ok=true"`, …).
+    pub detail: String,
+    /// The duration the event closes over (queue wait for `JobStart`,
+    /// busy time for `JobSettle`, backoff for `JobRetry`, …).
+    pub duration: Option<Duration>,
+}
+
+impl SpanEvent {
+    /// Renders the event as one `/trace` JSON object.
+    pub fn render_json(&self) -> String {
+        let duration = match self.duration {
+            Some(d) => format!("{:?}", d.as_secs_f64()),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"seq\":{},\"at_s\":{:?},\"kind\":{},\"token\":{},\"detail\":{},\"duration_s\":{duration}}}",
+            self.seq,
+            self.at.as_secs_f64(),
+            json_str(self.kind.name()),
+            self.token,
+            json_str(&self.detail),
+        )
+    }
+}
+
+/// The instrumented pipeline stages with latency histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Submission → worker pickup.
+    QueueWait = 0,
+    /// Worker job-body execution.
+    Run = 1,
+    /// Plan-cache lookup (including checksum verification).
+    CacheLookup = 2,
+    /// Supervised retry backoff sleeps.
+    RetryBackoff = 3,
+    /// Journal record write + fsync.
+    JournalAppend = 4,
+}
+
+/// Every [`Stage`], in histogram-slot order.
+pub const STAGES: [Stage; 5] =
+    [Stage::QueueWait, Stage::Run, Stage::CacheLookup, Stage::RetryBackoff, Stage::JournalAppend];
+
+impl Stage {
+    /// The stage's stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::QueueWait => "queue_wait",
+            Stage::Run => "run",
+            Stage::CacheLookup => "cache_lookup",
+            Stage::RetryBackoff => "retry_backoff",
+            Stage::JournalAppend => "journal_append",
+        }
+    }
+}
+
+/// Histogram bucket count: bucket `i` counts durations in
+/// `[2^i, 2^(i+1))` microseconds (bucket 0 also catches sub-microsecond
+/// samples), so 30 buckets span 1 µs to ~18 minutes.
+pub const HISTOGRAM_BUCKETS: usize = 30;
+
+/// A lock-free power-of-two latency histogram over microseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    total_micros: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one sample.
+    pub fn observe(&self, d: Duration) {
+        let micros = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket =
+            (64 - micros.leading_zeros() as usize).saturating_sub(1).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded sample durations.
+    pub fn total(&self) -> Duration {
+        Duration::from_micros(self.total_micros.load(Ordering::Relaxed))
+    }
+
+    /// Renders the histogram as one JSON object; `buckets[i]` counts
+    /// samples in `[2^i, 2^(i+1))` µs, trailing zero buckets trimmed.
+    pub fn render_json(&self) -> String {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let last = counts.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+        let buckets: Vec<String> = counts[..last].iter().map(u64::to_string).collect();
+        format!(
+            "{{\"count\":{},\"total_us\":{},\"buckets\":[{}]}}",
+            self.count(),
+            self.total_micros.load(Ordering::Relaxed),
+            buckets.join(","),
+        )
+    }
+}
+
+/// The span recorder: a bounded event ring plus per-stage histograms.
+///
+/// Construct one per run ([`Tracer::new`]) and share it via `Arc` through
+/// [`RuntimeConfig::tracer`](crate::RuntimeConfig); a
+/// [`Tracer::disabled`] instance makes every instrumentation site a
+/// single relaxed atomic load.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: AtomicBool,
+    started: Instant,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    capacity: usize,
+    ring: Mutex<VecDeque<SpanEvent>>,
+    histograms: [LatencyHistogram; STAGES.len()],
+}
+
+impl Tracer {
+    /// An enabled tracer retaining the last `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            enabled: AtomicBool::new(true),
+            started: Instant::now(),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::new()),
+            histograms: std::array::from_fn(|_| LatencyHistogram::default()),
+        }
+    }
+
+    /// A disabled tracer: every record/observe is a cheap no-op.
+    pub fn disabled() -> Self {
+        let tracer = Tracer::new(1);
+        tracer.set_enabled(false);
+        tracer
+    }
+
+    /// Whether events are being recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off at runtime.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Records one span event. `detail` is only invoked when the tracer
+    /// is enabled, so callers can pass a closing-over `format!` closure
+    /// without paying for it on the disabled path.
+    pub fn record(
+        &self,
+        kind: SpanKind,
+        token: u64,
+        duration: Option<Duration>,
+        detail: impl FnOnce() -> String,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        let event = SpanEvent {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            at: self.started.elapsed(),
+            kind,
+            token,
+            detail: detail(),
+            duration,
+        };
+        let mut ring = sync::lock(&self.ring);
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// Records a latency sample for `stage`.
+    pub fn observe(&self, stage: Stage, d: Duration) {
+        if !self.enabled() {
+            return;
+        }
+        self.histograms[stage as usize].observe(d);
+    }
+
+    /// The histogram for `stage`.
+    pub fn histogram(&self, stage: Stage) -> &LatencyHistogram {
+        &self.histograms[stage as usize]
+    }
+
+    /// Events dropped from the ring under pressure.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The most recent `limit` events, oldest first.
+    pub fn recent(&self, limit: usize) -> Vec<SpanEvent> {
+        let ring = sync::lock(&self.ring);
+        let skip = ring.len().saturating_sub(limit);
+        ring.iter().skip(skip).cloned().collect()
+    }
+
+    /// Renders the `/trace` payload: recent events plus every stage's
+    /// histogram.
+    pub fn render_json(&self, limit: usize) -> String {
+        let events: Vec<String> = self.recent(limit).iter().map(SpanEvent::render_json).collect();
+        let histograms: Vec<String> = STAGES
+            .iter()
+            .map(|&s| format!("{}:{}", json_str(s.name()), self.histogram(s).render_json()))
+            .collect();
+        format!(
+            "{{\"dropped\":{},\"events\":[{}],\"histograms\":{{{}}}}}",
+            self.dropped(),
+            events.join(","),
+            histograms.join(","),
+        )
+    }
+
+    /// Renders the span timeline as human-readable text (one event per
+    /// line, for `cfrun --trace`).
+    pub fn render_timeline(&self) -> String {
+        let mut out = String::new();
+        for e in self.recent(usize::MAX) {
+            let duration = match e.duration {
+                Some(d) => format!(" [{d:.3?}]"),
+                None => String::new(),
+            };
+            let detail = if e.detail.is_empty() { String::new() } else { format!(" {}", e.detail) };
+            out.push_str(&format!(
+                "+{:>11.6}s {:<15} #{}{}{}\n",
+                e.at.as_secs_f64(),
+                e.kind.name(),
+                e.token,
+                detail,
+                duration,
+            ));
+        }
+        let dropped = self.dropped();
+        if dropped > 0 {
+            out.push_str(&format!("({dropped} earlier event(s) dropped from the ring)\n"));
+        }
+        out
+    }
+}
+
+/// What a run publishes for the status server: its live stats registry
+/// and the admission-control limits that define overload.
+#[derive(Debug, Clone)]
+struct RuntimeView {
+    stats: Arc<RuntimeStats>,
+    load: LoadPolicy,
+}
+
+/// The observability hub: one shared [`Tracer`] plus the live runtime
+/// view a serve run publishes once its pool exists.
+///
+/// Built by the caller (`cfserve --status-port` constructs one, hands it
+/// to both the [`status`](crate::status) server and
+/// [`ServeOptions::obs`](crate::ServeOptions)), so the HTTP server can
+/// answer before, during and after the run itself.
+#[derive(Debug)]
+pub struct Obs {
+    tracer: Arc<Tracer>,
+    runtime: Mutex<Option<RuntimeView>>,
+}
+
+impl Obs {
+    /// A hub with an enabled tracer retaining `capacity` events.
+    pub fn new(capacity: usize) -> Arc<Obs> {
+        Arc::new(Obs { tracer: Arc::new(Tracer::new(capacity)), runtime: Mutex::new(None) })
+    }
+
+    /// The hub's tracer.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// Publishes a runtime's live stats and load limits; called by the
+    /// serve engine as soon as its pool is constructed.
+    pub fn publish(&self, stats: Arc<RuntimeStats>, load: LoadPolicy) {
+        *sync::lock(&self.runtime) = Some(RuntimeView { stats, load });
+    }
+
+    /// Whether a runtime has published yet.
+    pub fn published(&self) -> bool {
+        sync::lock(&self.runtime).is_some()
+    }
+
+    /// The `/healthz` response: `(healthy, body)`. Healthy means a load
+    /// balancer may route new work here: the run is either unlimited or
+    /// has admission headroom left. `healthy == false` maps to HTTP 503.
+    pub fn healthz(&self) -> (bool, String) {
+        let Some(view) = sync::lock(&self.runtime).clone() else {
+            return (true, "{\"status\":\"starting\"}".to_string());
+        };
+        let snap = view.stats.snapshot();
+        let load = view.load;
+        let inflight_full = load.max_in_flight > 0 && snap.in_flight >= load.max_in_flight as u64;
+        let bytes_full =
+            load.max_queued_bytes > 0 && snap.queued_bytes >= load.max_queued_bytes as u64;
+        let overloaded = inflight_full || bytes_full;
+        let headroom = if load.max_in_flight > 0 {
+            (load.max_in_flight as u64).saturating_sub(snap.in_flight).to_string()
+        } else {
+            "null".to_string()
+        };
+        let body = format!(
+            "{{\"status\":{},\"in_flight\":{},\"max_in_flight\":{},\"headroom\":{headroom},\"queued_bytes\":{},\"max_queued_bytes\":{},\"uptime_s\":{:?}}}",
+            if overloaded { "\"overloaded\"" } else { "\"ok\"" },
+            snap.in_flight,
+            load.max_in_flight,
+            snap.queued_bytes,
+            load.max_queued_bytes,
+            snap.uptime.as_secs_f64(),
+        );
+        (!overloaded, body)
+    }
+
+    /// The `/stats` response: `(ready, body)` — the live
+    /// [`StatsSnapshot`](crate::StatsSnapshot) as JSON once a runtime has
+    /// published, a `"starting"` placeholder (HTTP 503) before that.
+    pub fn stats_json(&self) -> (bool, String) {
+        match sync::lock(&self.runtime).clone() {
+            Some(view) => (true, view.stats.snapshot().render_json()),
+            None => (false, "{\"status\":\"starting\"}".to_string()),
+        }
+    }
+
+    /// The `/trace` response body.
+    pub fn trace_json(&self, limit: usize) -> String {
+        self.tracer.render_json(limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        t.record(SpanKind::JobSubmit, 1, None, || unreachable!("detail built while disabled"));
+        t.observe(Stage::Run, Duration::from_millis(5));
+        assert!(t.recent(10).is_empty());
+        assert_eq!(t.histogram(Stage::Run).count(), 0);
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_events() {
+        let t = Tracer::new(3);
+        for i in 0..5u64 {
+            t.record(SpanKind::JobSubmit, i, None, String::new);
+        }
+        let events: Vec<u64> = t.recent(10).iter().map(|e| e.token).collect();
+        assert_eq!(events, vec![2, 3, 4]);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.recent(1).len(), 1);
+        assert_eq!(t.recent(1)[0].token, 4);
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two_micros() {
+        let h = LatencyHistogram::default();
+        h.observe(Duration::from_micros(0)); // bucket 0
+        h.observe(Duration::from_micros(1)); // bucket 0
+        h.observe(Duration::from_micros(3)); // bucket 1
+        h.observe(Duration::from_micros(1000)); // bucket 9 (512..1024 µs → 1000 ∈ [2^9, 2^10))
+        assert_eq!(h.count(), 4);
+        let json = h.render_json();
+        assert!(json.starts_with("{\"count\":4"), "{json}");
+        assert!(json.contains("\"buckets\":[2,1,0,0,0,0,0,0,0,1]"), "{json}");
+    }
+
+    #[test]
+    fn trace_json_and_timeline_render() {
+        let t = Tracer::new(8);
+        t.record(SpanKind::CacheHit, 42, Some(Duration::from_micros(7)), || "key=abc".to_string());
+        t.observe(Stage::CacheLookup, Duration::from_micros(7));
+        let json = t.render_json(10);
+        assert!(json.contains("\"kind\":\"cache-hit\""), "{json}");
+        assert!(json.contains("\"token\":42"), "{json}");
+        assert!(json.contains("\"cache_lookup\":{\"count\":1"), "{json}");
+        let timeline = t.render_timeline();
+        assert!(timeline.contains("cache-hit"), "{timeline}");
+        assert!(timeline.contains("key=abc"), "{timeline}");
+    }
+
+    #[test]
+    fn obs_healthz_transitions() {
+        let obs = Obs::new(8);
+        let (ok, body) = obs.healthz();
+        assert!(ok);
+        assert!(body.contains("starting"), "{body}");
+        assert!(!obs.published());
+
+        let stats = Arc::new(RuntimeStats::new(1));
+        obs.publish(Arc::clone(&stats), LoadPolicy::max_in_flight(2));
+        let (ok, body) = obs.healthz();
+        assert!(ok, "{body}");
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"headroom\":2"), "{body}");
+
+        stats.in_flight.store(2, Ordering::Relaxed);
+        let (ok, body) = obs.healthz();
+        assert!(!ok, "{body}");
+        assert!(body.contains("\"status\":\"overloaded\""), "{body}");
+        assert!(body.contains("\"headroom\":0"), "{body}");
+
+        let (ready, stats_body) = obs.stats_json();
+        assert!(ready);
+        assert!(stats_body.contains("\"in_flight\":2"), "{stats_body}");
+    }
+}

@@ -47,6 +47,7 @@ use cf_tensor::{Memory, Shape};
 use crate::cache::{CacheKey, CacheLookup, PlanCache};
 use crate::fault::{FaultPlan, FaultSite};
 use crate::job::{JobError, JobHandle, JobOptions};
+use crate::obs::{SpanKind, Stage, Tracer};
 use crate::stats::RuntimeStats;
 use crate::supervisor::{panic_message, BreakerConfig, CircuitBreaker, RetryPolicy, Supervisor};
 use crate::sync;
@@ -68,6 +69,8 @@ pub struct RuntimeConfig {
     pub fault_plan: Option<FaultPlan>,
     /// Admission-control limits (unlimited by default).
     pub load: LoadPolicy,
+    /// Shared span tracer (`None` = tracing disabled, near-zero cost).
+    pub tracer: Option<Arc<Tracer>>,
 }
 
 impl Default for RuntimeConfig {
@@ -80,6 +83,7 @@ impl Default for RuntimeConfig {
             breaker: BreakerConfig::default(),
             fault_plan: None,
             load: LoadPolicy::default(),
+            tracer: None,
         }
     }
 }
@@ -176,15 +180,14 @@ struct PoolInner {
     not_full: Condvar,
     queue_capacity: usize,
     load: LoadPolicy,
-    /// Jobs accepted into the queue and not yet terminal.
-    in_flight: AtomicU64,
-    /// Estimated bytes of work sitting in the queue (not yet started).
-    queued_bytes: AtomicU64,
     /// Construction time — the origin of the run-level deadline budget.
     started: Instant,
     cache: PlanCache,
     inflight: Mutex<HashMap<CacheKey, Arc<Inflight>>>,
-    stats: RuntimeStats,
+    /// Shared so an [`Obs`](crate::Obs) hub can read the live counters
+    /// (including the in-flight/queued-bytes gauges) from other threads.
+    stats: Arc<RuntimeStats>,
+    tracer: Arc<Tracer>,
     supervisor: Supervisor,
     next_id: AtomicU64,
 }
@@ -273,22 +276,23 @@ impl Runtime {
     /// Builds the pool and starts its workers.
     pub fn new(config: RuntimeConfig) -> Self {
         let workers = config.workers.max(1);
+        let tracer = config.tracer.unwrap_or_else(|| Arc::new(Tracer::disabled()));
         let inner = Arc::new(PoolInner {
             queue: Mutex::new(QueueState { jobs: VecDeque::new(), closed: false }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             queue_capacity: config.queue_capacity.max(1),
             load: config.load,
-            in_flight: AtomicU64::new(0),
-            queued_bytes: AtomicU64::new(0),
             started: Instant::now(),
-            cache: PlanCache::new(config.cache_capacity),
+            cache: PlanCache::with_tracer(config.cache_capacity, Arc::clone(&tracer)),
             inflight: Mutex::new(HashMap::new()),
-            stats: RuntimeStats::new(workers),
+            stats: Arc::new(RuntimeStats::new(workers)),
+            tracer: Arc::clone(&tracer),
             supervisor: Supervisor {
                 policy: config.retry,
                 breaker: CircuitBreaker::new(config.breaker),
                 plan: config.fault_plan,
+                tracer,
             },
             next_id: AtomicU64::new(0),
         });
@@ -319,6 +323,18 @@ impl Runtime {
         &self.inner.stats
     }
 
+    /// The live counters registry as a shared handle, for publishing to
+    /// an [`Obs`](crate::Obs) hub that outlives this borrow.
+    pub fn stats_arc(&self) -> Arc<RuntimeStats> {
+        Arc::clone(&self.inner.stats)
+    }
+
+    /// The span tracer this pool records into (a disabled instance when
+    /// none was configured).
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.inner.tracer
+    }
+
     /// The shared plan/report cache.
     pub fn cache(&self) -> &PlanCache {
         &self.inner.cache
@@ -331,12 +347,12 @@ impl Runtime {
 
     /// Accepted-but-unfinished jobs right now (the in-flight gauge).
     pub fn in_flight(&self) -> usize {
-        self.inner.in_flight.load(Ordering::Relaxed) as usize
+        self.inner.stats.in_flight.load(Ordering::Relaxed) as usize
     }
 
     /// Estimated bytes of queued, not-yet-started work right now.
     pub fn queued_bytes(&self) -> usize {
-        self.inner.queued_bytes.load(Ordering::Relaxed) as usize
+        self.inner.stats.queued_bytes.load(Ordering::Relaxed) as usize
     }
 
     /// Submits an arbitrary closure job (blocking while the queue is
@@ -493,9 +509,9 @@ impl Runtime {
             q.closed = true;
             if discard_queued {
                 for job in q.jobs.drain(..) {
-                    self.inner.queued_bytes.fetch_sub(job.cost as u64, Ordering::Relaxed);
+                    self.inner.stats.queued_bytes.fetch_sub(job.cost as u64, Ordering::Relaxed);
                     (job.run)(Disposition::Shutdown);
-                    self.inner.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    self.inner.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
                 }
             }
             self.inner.not_empty.notify_all();
@@ -561,8 +577,8 @@ impl Runtime {
         if load.max_in_flight == 0 && load.max_queued_bytes == 0 {
             return Ok(());
         }
-        let in_flight = self.inner.in_flight.load(Ordering::Relaxed) as usize;
-        let queued_bytes = self.inner.queued_bytes.load(Ordering::Relaxed) as usize;
+        let in_flight = self.inner.stats.in_flight.load(Ordering::Relaxed) as usize;
+        let queued_bytes = self.inner.stats.queued_bytes.load(Ordering::Relaxed) as usize;
         let limit = if load.max_in_flight > 0 && in_flight >= load.max_in_flight {
             "in-flight"
         } else if load.max_queued_bytes > 0 && queued_bytes + cost > load.max_queued_bytes {
@@ -599,6 +615,8 @@ impl Runtime {
         // overloaded pool answers immediately, it does not stall callers.
         if let Err(shed) = self.admit(opts.cost_bytes) {
             self.inner.stats.shed_jobs.fetch_add(1, Ordering::Relaxed);
+            let detail = shed.to_string();
+            self.inner.tracer.record(SpanKind::Shed, id, None, move || detail);
             shared.complete(Err(shed.clone()));
             return (handle, Err(shed));
         }
@@ -656,9 +674,10 @@ impl Runtime {
         }
         q.jobs.push_back(job);
         drop(q);
-        self.inner.in_flight.fetch_add(1, Ordering::Relaxed);
-        self.inner.queued_bytes.fetch_add(cost as u64, Ordering::Relaxed);
+        self.inner.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.queued_bytes.fetch_add(cost as u64, Ordering::Relaxed);
         self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.tracer.record(SpanKind::JobSubmit, id, None, || format!("cost_bytes={cost}"));
         self.inner.not_empty.notify_one();
         (handle, Ok(()))
     }
@@ -784,33 +803,40 @@ fn worker_loop(inner: &PoolInner, worker_index: usize) {
         };
         let Some(job) = job else { return };
         inner.not_full.notify_one();
-        inner.queued_bytes.fetch_sub(job.cost as u64, Ordering::Relaxed);
-        inner
-            .stats
-            .queue_wait_nanos
-            .fetch_add(job.enqueued.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        inner.stats.queued_bytes.fetch_sub(job.cost as u64, Ordering::Relaxed);
+        let queue_wait = job.enqueued.elapsed();
+        inner.stats.queue_wait_nanos.fetch_add(queue_wait.as_nanos() as u64, Ordering::Relaxed);
+        inner.tracer.observe(Stage::QueueWait, queue_wait);
 
         if job.cancelled.load(Ordering::SeqCst) {
             (job.run)(Disposition::Cancelled);
-            inner.in_flight.fetch_sub(1, Ordering::Relaxed);
+            inner.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
             inner.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            inner.tracer.record(SpanKind::JobSettle, job.id, None, || "cancelled".to_string());
             continue;
         }
         if let Some(deadline) = job.deadline {
             let now = Instant::now();
             if now > deadline {
                 (job.run)(Disposition::Expired { late_by: now - deadline });
-                inner.in_flight.fetch_sub(1, Ordering::Relaxed);
+                inner.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
                 inner.stats.expired.fetch_add(1, Ordering::Relaxed);
+                inner.tracer.record(SpanKind::JobSettle, job.id, None, || "expired".to_string());
                 continue;
             }
         }
         let id = job.id;
+        inner
+            .tracer
+            .record(SpanKind::JobStart, id, Some(queue_wait), || format!("worker={worker_index}"));
         let t0 = Instant::now();
         let ran = (job.run)(Disposition::Run);
-        inner.in_flight.fetch_sub(1, Ordering::Relaxed);
+        inner.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        let busy = t0.elapsed();
         if let Some(ok) = ran {
-            inner.stats.record_run(worker_index, t0.elapsed(), ok);
+            inner.stats.record_run(worker_index, busy, ok);
+            inner.tracer.observe(Stage::Run, busy);
+            inner.tracer.record(SpanKind::JobSettle, id, Some(busy), || format!("ok={ok}"));
         }
         // Worker-kill injection: panic the loop *after* the job handle
         // resolved, exercising the respawn path without stranding

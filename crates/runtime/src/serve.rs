@@ -27,9 +27,13 @@ use crate::fault::{fnv1a, FaultPlan};
 use crate::job::{JobError, JobHandle, JobOptions};
 use crate::journal::{JobEntry, Journal, JournalError, RunHeader, JOURNAL_VERSION};
 use crate::manifest::{self, JobKind, JobSpec, ManifestError};
+use crate::obs::{Obs, SpanKind, Stage, Tracer};
 use crate::scheduler::{ExecResult, LoadPolicy, Runtime, RuntimeConfig, SimResult};
 use crate::stats::StatsSnapshot;
 use crate::supervisor::{next_retry, BreakerConfig, RetryPolicy};
+
+/// Default [`JournalOptions::compact_threshold`]: 1 MiB.
+pub const DEFAULT_COMPACT_THRESHOLD: u64 = 1 << 20;
 
 /// Where to journal a serve run, and whether to resume from it.
 #[derive(Debug, Clone)]
@@ -39,6 +43,22 @@ pub struct JournalOptions {
     /// Resume: verify the journal's header against the current run, skip
     /// jobs it already records and replay their outcomes.
     pub resume: bool,
+    /// Compact the journal — rewrite it without failed entries and torn
+    /// tails — once its on-disk size reaches this many bytes, both on
+    /// resume and live after appends (0 disables;
+    /// [`DEFAULT_COMPACT_THRESHOLD`] by default).
+    pub compact_threshold: u64,
+}
+
+impl JournalOptions {
+    /// Journal to `path` (fresh run, default compaction threshold).
+    pub fn at(path: impl Into<PathBuf>) -> Self {
+        JournalOptions {
+            path: path.into(),
+            resume: false,
+            compact_threshold: DEFAULT_COMPACT_THRESHOLD,
+        }
+    }
 }
 
 /// How to run a manifest.
@@ -62,6 +82,11 @@ pub struct ServeOptions {
     /// many jobs have settled, leaving the journal exactly as a process
     /// crash at that point would. Test/ops hook; `None` in production.
     pub abort_after_jobs: Option<usize>,
+    /// Observability hub: when set, the run records spans into the hub's
+    /// tracer and publishes its live stats + load limits so the HTTP
+    /// status server can answer `/healthz`, `/stats` and `/trace` while
+    /// the run is in flight.
+    pub obs: Option<Arc<Obs>>,
 }
 
 impl Default for ServeOptions {
@@ -75,6 +100,7 @@ impl Default for ServeOptions {
             journal: None,
             load: LoadPolicy::default(),
             abort_after_jobs: None,
+            obs: None,
         }
     }
 }
@@ -274,6 +300,10 @@ struct RunState<'a> {
     journal: Option<Journal>,
     abort_after: Option<usize>,
     settled_fresh: usize,
+    tracer: Arc<Tracer>,
+    compact_threshold: u64,
+    compactions: u64,
+    bytes_reclaimed: u64,
 }
 
 impl RunState<'_> {
@@ -292,6 +322,7 @@ impl RunState<'_> {
     ) -> Result<(), ServeError> {
         if let Some(journal) = &mut self.journal {
             let job = &self.flat[index];
+            let t0 = Instant::now();
             journal.append(&JobEntry {
                 index: index as u64,
                 label: job.label.clone(),
@@ -299,6 +330,22 @@ impl RunState<'_> {
                 mode: job.mode,
                 outcome: outcome.clone().map_err(|e| e.to_string()),
             })?;
+            let elapsed = t0.elapsed();
+            self.tracer.observe(Stage::JournalAppend, elapsed);
+            let ok = outcome.is_ok();
+            self.tracer.record(SpanKind::JournalAppend, index as u64, Some(elapsed), || {
+                format!("ok={ok}")
+            });
+            if let Some(stats) = journal.maybe_compact(self.compact_threshold)? {
+                self.compactions += 1;
+                self.bytes_reclaimed += stats.reclaimed();
+                self.tracer.record(SpanKind::JournalCompact, index as u64, None, || {
+                    format!(
+                        "live bytes {}->{} dropped={}",
+                        stats.bytes_before, stats.bytes_after, stats.dropped
+                    )
+                });
+            }
         }
         self.outcomes[index] = Some(outcome);
         self.settled_fresh += 1;
@@ -357,13 +404,30 @@ pub fn serve_specs(specs: &[JobSpec], opts: &ServeOptions) -> Result<ServeReport
         }
     }
 
+    let tracer = match &opts.obs {
+        Some(obs) => Arc::clone(obs.tracer()),
+        None => Arc::new(Tracer::disabled()),
+    };
+
     // Journal setup before any job runs: a resume that fails header
     // verification must abort without submitting anything.
     let header = compute_run_header(&flat, opts);
     let mut replayed: HashMap<u64, JobEntry> = HashMap::new();
+    let mut resume_compactions = 0u64;
+    let mut resume_reclaimed = 0u64;
     let journal = match &opts.journal {
         Some(j) if j.resume => {
-            let (journal, recovery) = Journal::resume(&j.path, &header)?;
+            let (journal, recovery) = Journal::resume_opts(&j.path, &header, j.compact_threshold)?;
+            if let Some(stats) = recovery.compaction {
+                resume_compactions = 1;
+                resume_reclaimed = stats.reclaimed();
+                tracer.record(SpanKind::JournalCompact, 0, None, || {
+                    format!(
+                        "resume bytes {}->{} dropped={}",
+                        stats.bytes_before, stats.bytes_after, stats.dropped
+                    )
+                });
+            }
             for entry in recovery.entries {
                 replayed.insert(entry.index, entry);
             }
@@ -380,8 +444,14 @@ pub fn serve_specs(specs: &[JobSpec], opts: &ServeOptions) -> Result<ServeReport
         breaker: opts.breaker.clone(),
         fault_plan: opts.fault_plan.clone(),
         load: opts.load,
+        tracer: Some(Arc::clone(&tracer)),
         ..Default::default()
     });
+    // Publish the live counters and load limits so a status server can
+    // answer /healthz and /stats while the run is in flight.
+    if let Some(obs) = &opts.obs {
+        obs.publish(runtime.stats_arc(), runtime.load_policy());
+    }
     let workers = runtime.worker_count();
     let t0 = Instant::now();
 
@@ -392,6 +462,10 @@ pub fn serve_specs(specs: &[JobSpec], opts: &ServeOptions) -> Result<ServeReport
         journal,
         abort_after: opts.abort_after_jobs,
         settled_fresh: 0,
+        tracer,
+        compact_threshold: opts.journal.as_ref().map_or(0, |j| j.compact_threshold),
+        compactions: 0,
+        bytes_reclaimed: 0,
     };
 
     // Submit in manifest order and join in submission order, so both the
@@ -470,6 +544,14 @@ pub fn serve_specs(specs: &[JobSpec], opts: &ServeOptions) -> Result<ServeReport
     if let Some(journal) = &state.journal {
         runtime.stats().journal_bytes.fetch_add(journal.bytes_appended(), Ordering::Relaxed);
     }
+    runtime
+        .stats()
+        .journal_compactions
+        .fetch_add(resume_compactions + state.compactions, Ordering::Relaxed);
+    runtime
+        .stats()
+        .journal_bytes_reclaimed
+        .fetch_add(resume_reclaimed + state.bytes_reclaimed, Ordering::Relaxed);
     let stats = runtime.stats().snapshot();
     runtime.shutdown();
 

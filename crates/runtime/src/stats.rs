@@ -48,12 +48,20 @@ pub struct RuntimeStats {
     pub resumed_jobs: AtomicU64,
     /// Bytes appended to the serve journal this run.
     pub journal_bytes: AtomicU64,
+    /// Times the serve journal was compacted (resume + live).
+    pub journal_compactions: AtomicU64,
+    /// Bytes reclaimed from the serve journal by compaction.
+    pub journal_bytes_reclaimed: AtomicU64,
     /// Faults the [`FaultPlan`](crate::FaultPlan) injected.
     pub faults_injected: AtomicU64,
     /// Worker loops respawned after an escaped panic.
     pub worker_respawns: AtomicU64,
     /// Total nanoseconds jobs waited in the queue before starting.
     pub queue_wait_nanos: AtomicU64,
+    /// Gauge: jobs accepted into the queue and not yet terminal.
+    pub in_flight: AtomicU64,
+    /// Gauge: estimated bytes of queued, not-yet-started work.
+    pub queued_bytes: AtomicU64,
     /// Per-worker slots, fixed at pool construction.
     pub workers: Vec<WorkerStats>,
     started: Instant,
@@ -76,9 +84,13 @@ impl RuntimeStats {
             shed_jobs: AtomicU64::new(0),
             resumed_jobs: AtomicU64::new(0),
             journal_bytes: AtomicU64::new(0),
+            journal_compactions: AtomicU64::new(0),
+            journal_bytes_reclaimed: AtomicU64::new(0),
             faults_injected: AtomicU64::new(0),
             worker_respawns: AtomicU64::new(0),
             queue_wait_nanos: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            queued_bytes: AtomicU64::new(0),
             workers: (0..workers).map(|_| WorkerStats::default()).collect(),
             started: Instant::now(),
         }
@@ -120,9 +132,13 @@ impl RuntimeStats {
             shed_jobs: self.shed_jobs.load(Ordering::Relaxed),
             resumed_jobs: self.resumed_jobs.load(Ordering::Relaxed),
             journal_bytes: self.journal_bytes.load(Ordering::Relaxed),
+            journal_compactions: self.journal_compactions.load(Ordering::Relaxed),
+            journal_bytes_reclaimed: self.journal_bytes_reclaimed.load(Ordering::Relaxed),
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
             worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
             queue_wait: Duration::from_nanos(self.queue_wait_nanos.load(Ordering::Relaxed)),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            queued_bytes: self.queued_bytes.load(Ordering::Relaxed),
             uptime: self.started.elapsed(),
             per_worker,
         }
@@ -158,12 +174,20 @@ pub struct StatsSnapshot {
     pub resumed_jobs: u64,
     /// Bytes appended to the serve journal this run.
     pub journal_bytes: u64,
+    /// Times the serve journal was compacted (resume + live).
+    pub journal_compactions: u64,
+    /// Bytes reclaimed from the serve journal by compaction.
+    pub journal_bytes_reclaimed: u64,
     /// Faults injected by the fault plan.
     pub faults_injected: u64,
     /// Worker loops respawned after an escaped panic.
     pub worker_respawns: u64,
     /// Cumulative queue waiting time across jobs.
     pub queue_wait: Duration,
+    /// Gauge at snapshot time: accepted-but-unfinished jobs.
+    pub in_flight: u64,
+    /// Gauge at snapshot time: estimated bytes of queued work.
+    pub queued_bytes: u64,
     /// Time since the runtime started.
     pub uptime: Duration,
     /// Per-worker job/busy counters.
@@ -222,7 +246,7 @@ impl StatsSnapshot {
             .map(|w| format!("{{\"jobs\":{},\"busy_s\":{:?}}}", w.jobs, w.busy.as_secs_f64()))
             .collect();
         format!(
-            "{{\"submitted\":{},\"completed\":{},\"failed\":{},\"cancelled\":{},\"expired\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_corruptions\":{},\"retries\":{},\"shed_breaker\":{},\"shed_jobs\":{},\"resumed_jobs\":{},\"journal_bytes\":{},\"faults_injected\":{},\"worker_respawns\":{},\"queue_wait_s\":{:?},\"uptime_s\":{:?},\"workers\":[{}]}}",
+            "{{\"submitted\":{},\"completed\":{},\"failed\":{},\"cancelled\":{},\"expired\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_corruptions\":{},\"retries\":{},\"shed_breaker\":{},\"shed_jobs\":{},\"resumed_jobs\":{},\"journal_bytes\":{},\"journal_compactions\":{},\"journal_bytes_reclaimed\":{},\"faults_injected\":{},\"worker_respawns\":{},\"queue_wait_s\":{:?},\"in_flight\":{},\"queued_bytes\":{},\"uptime_s\":{:?},\"workers\":[{}]}}",
             self.submitted,
             self.completed,
             self.failed,
@@ -236,9 +260,13 @@ impl StatsSnapshot {
             self.shed_jobs,
             self.resumed_jobs,
             self.journal_bytes,
+            self.journal_compactions,
+            self.journal_bytes_reclaimed,
             self.faults_injected,
             self.worker_respawns,
             self.queue_wait.as_secs_f64(),
+            self.in_flight,
+            self.queued_bytes,
             self.uptime.as_secs_f64(),
             workers.join(","),
         )
@@ -277,11 +305,19 @@ mod tests {
         stats.shed_jobs.fetch_add(2, Ordering::Relaxed);
         stats.resumed_jobs.fetch_add(3, Ordering::Relaxed);
         stats.journal_bytes.fetch_add(512, Ordering::Relaxed);
+        stats.journal_compactions.fetch_add(1, Ordering::Relaxed);
+        stats.journal_bytes_reclaimed.fetch_add(128, Ordering::Relaxed);
+        stats.in_flight.fetch_add(4, Ordering::Relaxed);
+        stats.queued_bytes.fetch_add(64, Ordering::Relaxed);
         let json = stats.snapshot().render_json();
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
         assert!(json.contains("\"shed_jobs\":2"), "{json}");
         assert!(json.contains("\"resumed_jobs\":3"), "{json}");
         assert!(json.contains("\"journal_bytes\":512"), "{json}");
+        assert!(json.contains("\"journal_compactions\":1"), "{json}");
+        assert!(json.contains("\"journal_bytes_reclaimed\":128"), "{json}");
+        assert!(json.contains("\"in_flight\":4"), "{json}");
+        assert!(json.contains("\"queued_bytes\":64"), "{json}");
         assert!(json.contains("\"workers\":[{"), "{json}");
     }
 

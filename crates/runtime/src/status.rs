@@ -1,0 +1,222 @@
+//! A minimal, dependency-free HTTP/1.1 status server over an [`Obs`]
+//! hub.
+//!
+//! Serves exactly three JSON endpoints on a loopback listener:
+//!
+//! | route      | payload | status |
+//! |------------|---------|--------|
+//! | `/healthz` | liveness + admission headroom | `200` with headroom, `503` when overloaded |
+//! | `/stats`   | the live [`StatsSnapshot`](crate::StatsSnapshot) JSON | `200` once a run published, `503 "starting"` before |
+//! | `/trace`   | recent span events + per-stage latency histograms | `200` |
+//!
+//! Every response is `Connection: close` with an exact `Content-Length`,
+//! so `curl` and load-balancer probes need no keep-alive handling. The
+//! accept loop runs on one background thread, polls non-blockingly and
+//! shuts down when the server is dropped — it never outlives the run it
+//! observes. This is a *status* server, not a web server: it binds
+//! 127.0.0.1 only, reads at most one request head per connection and
+//! never parses bodies. See DESIGN.md §8.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::obs::Obs;
+
+/// Events returned by `/trace` per request.
+const TRACE_LIMIT: usize = 256;
+
+/// How long the accept loop sleeps when no connection is pending.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Per-connection read/write timeout: a stalled probe must not wedge
+/// the accept loop.
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// The status HTTP server (see the module docs).
+#[derive(Debug)]
+pub struct StatusServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl StatusServer {
+    /// Binds `127.0.0.1:port` (`port` 0 picks a free port — read it back
+    /// via [`local_addr`](StatusServer::local_addr)) and starts the
+    /// accept loop on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Any socket bind/configure failure, unchanged.
+    pub fn bind(port: u16, obs: Arc<Obs>) -> std::io::Result<StatusServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let shutdown = Arc::clone(&shutdown);
+            thread::Builder::new()
+                .name("cf-status-server".to_string())
+                .spawn(move || accept_loop(&listener, &obs, &shutdown))?
+        };
+        Ok(StatusServer { addr, shutdown, thread: Some(thread) })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins its thread (also done on drop).
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for StatusServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, obs: &Obs, shutdown: &AtomicBool) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // One slow or malformed probe must not kill the loop:
+                // per-connection errors are dropped with the connection.
+                let _ = serve_connection(stream, obs);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// Reads one request head and writes one JSON response.
+fn serve_connection(mut stream: TcpStream, obs: &Obs) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    stream.set_nonblocking(false)?;
+
+    // Read until the end of the request head (or a sane cap); the
+    // request line is all the router needs.
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 8192 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    // Probes may send query strings (`/healthz?probe=lb`); route on the
+    // path alone.
+    let path = target.split('?').next().unwrap_or(target);
+
+    let (status, body) = if method != "GET" {
+        ("405 Method Not Allowed", "{\"error\":\"only GET is supported\"}".to_string())
+    } else {
+        match path {
+            "/healthz" => {
+                let (healthy, body) = obs.healthz();
+                (if healthy { "200 OK" } else { "503 Service Unavailable" }, body)
+            }
+            "/stats" => {
+                let (ready, body) = obs.stats_json();
+                (if ready { "200 OK" } else { "503 Service Unavailable" }, body)
+            }
+            "/trace" => ("200 OK", obs.trace_json(TRACE_LIMIT)),
+            _ => (
+                "404 Not Found",
+                "{\"error\":\"not found\",\"routes\":[\"/healthz\",\"/stats\",\"/trace\"]}"
+                    .to_string(),
+            ),
+        }
+    };
+
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::LoadPolicy;
+    use crate::stats::RuntimeStats;
+
+    /// A blocking one-shot HTTP GET against a local address.
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        let status = head.lines().next().unwrap().to_string();
+        (status, body.to_string())
+    }
+
+    #[test]
+    fn routes_health_stats_trace_and_404() {
+        let obs = Obs::new(64);
+        let server = StatusServer::bind(0, Arc::clone(&obs)).unwrap();
+        let addr = server.local_addr();
+
+        // Before any run publishes: healthz is permissive, stats is 503.
+        let (status, body) = http_get(addr, "/healthz");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("starting"), "{body}");
+        let (status, body) = http_get(addr, "/stats");
+        assert!(status.contains("503"), "{status}");
+        assert!(body.contains("starting"), "{body}");
+
+        // After a publish: stats serves the snapshot, healthz headroom.
+        let stats = Arc::new(RuntimeStats::new(1));
+        stats.submitted.fetch_add(5, Ordering::Relaxed);
+        obs.publish(Arc::clone(&stats), LoadPolicy::max_in_flight(3));
+        let (status, body) = http_get(addr, "/stats");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"submitted\":5"), "{body}");
+        let (status, body) = http_get(addr, "/healthz");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"headroom\":3"), "{body}");
+
+        // Overload flips healthz to 503.
+        stats.in_flight.fetch_add(3, Ordering::Relaxed);
+        let (status, body) = http_get(addr, "/healthz");
+        assert!(status.contains("503"), "{status}");
+        assert!(body.contains("overloaded"), "{body}");
+
+        let (status, body) = http_get(addr, "/trace?limit=ignored");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"events\""), "{body}");
+
+        let (status, body) = http_get(addr, "/nope");
+        assert!(status.contains("404"), "{status}");
+        assert!(body.contains("/healthz"), "{body}");
+
+        server.shutdown();
+    }
+}

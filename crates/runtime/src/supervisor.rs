@@ -3,7 +3,8 @@
 //!
 //! Simulation and functional-execution jobs are pure functions of their
 //! inputs, so a failed attempt can be re-run safely. The scheduler wraps
-//! those job bodies in [`supervise`]: each attempt that fails with a
+//! those job bodies in `Supervisor::supervise`: each attempt that fails
+//! with a
 //! *transient* error (a panic, an injected fault, a transient DMA error)
 //! is retried up to [`RetryPolicy::max_retries`] times, sleeping an
 //! exponentially growing, deterministically jittered backoff between
@@ -24,8 +25,10 @@ use std::time::{Duration, Instant};
 
 use crate::fault::{FaultPlan, FaultSite};
 use crate::job::JobError;
+use crate::obs::{SpanKind, Stage, Tracer};
 use crate::stats::RuntimeStats;
 use crate::sync;
+use std::sync::Arc;
 
 /// Retry policy for supervised (idempotent) jobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -233,6 +236,7 @@ pub(crate) struct Supervisor {
     pub(crate) policy: RetryPolicy,
     pub(crate) breaker: CircuitBreaker,
     pub(crate) plan: Option<FaultPlan>,
+    pub(crate) tracer: Arc<Tracer>,
 }
 
 impl Supervisor {
@@ -283,6 +287,10 @@ impl Supervisor {
                             next_retry(&self.policy, failures, started.elapsed(), jitter)
                         {
                             stats.retries.fetch_add(1, Ordering::Relaxed);
+                            self.tracer.observe(Stage::RetryBackoff, backoff);
+                            self.tracer.record(SpanKind::JobRetry, token, Some(backoff), || {
+                                format!("attempt={attempt} error={e}")
+                            });
                             if !backoff.is_zero() {
                                 std::thread::sleep(backoff);
                             }

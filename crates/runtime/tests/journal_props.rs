@@ -6,8 +6,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use cf_runtime::journal::{
-    encode_record, parse_record, scan_valid_prefix, JobEntry, Journal, Record, RunHeader,
-    JOURNAL_VERSION,
+    compact_image, encode_record, parse_record, scan_valid_prefix, JobEntry, Journal, Record,
+    RunHeader, JOURNAL_VERSION,
 };
 use cf_runtime::JobOutput;
 use proptest::prelude::*;
@@ -184,6 +184,55 @@ proptest! {
         let (again, len_again) = scan_valid_prefix(&torn[..valid_len as usize], jobs);
         prop_assert_eq!(again.len(), records.len());
         prop_assert_eq!(len_again, valid_len);
+    }
+
+    /// Compacting a journal image never changes what a resume replays:
+    /// the successful entries (the merged report's journaled half) come
+    /// out of the compacted image identical and in order, failed entries
+    /// are dropped for a fresh retry, and compaction is idempotent.
+    #[test]
+    fn compaction_replays_the_same_merged_outcomes(
+        entries in prop::collection::vec(
+            (prop::collection::vec(0usize..CHARS.len(), 0..8), 0u8..3),
+            1..10,
+        ),
+    ) {
+        let jobs = entries.len() as u64;
+        let mut image = encode_record(&Record::Header(header(jobs))).into_bytes();
+        image.push(b'\n');
+        for (i, (label_idx, sel)) in entries.iter().enumerate() {
+            let e = entry(
+                i as u64, label_idx, &[2, 3], *sel == 1, *sel,
+                (0.5, 0.25, 1.0, 0.75, 2.0), 16, i as u64,
+            );
+            image.extend_from_slice(encode_record(&Record::Job(e)).as_bytes());
+            image.push(b'\n');
+        }
+
+        let (original, _) = scan_valid_prefix(&image, jobs);
+        let ok_entries: Vec<&Record> = original[1..]
+            .iter()
+            .filter(|r| matches!(r, Record::Job(j) if j.outcome.is_ok()))
+            .collect();
+        let failed = original.len() - 1 - ok_entries.len();
+
+        let (compacted, stats) = compact_image(&image, jobs);
+        prop_assert_eq!(stats.dropped as usize, failed);
+        prop_assert_eq!(stats.bytes_before as usize, image.len());
+        prop_assert_eq!(stats.bytes_after as usize, compacted.len());
+        prop_assert!(compacted.len() <= image.len());
+
+        // The compacted image replays to exactly the successful entries.
+        let (replayed, valid_len) = scan_valid_prefix(&compacted, jobs);
+        prop_assert_eq!(valid_len as usize, compacted.len(), "compacted image must be fully valid");
+        prop_assert!(matches!(replayed[0], Record::Header(_)));
+        let replayed_jobs: Vec<&Record> = replayed[1..].iter().collect();
+        prop_assert_eq!(replayed_jobs, ok_entries);
+
+        // Idempotent: compacting a compacted image is the identity.
+        let (twice, stats2) = compact_image(&compacted, jobs);
+        prop_assert_eq!(twice, compacted);
+        prop_assert_eq!(stats2.dropped, 0);
     }
 }
 

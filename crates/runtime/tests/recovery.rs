@@ -85,8 +85,24 @@ fn crash_then_resume(
     path: &std::path::Path,
     abort_after: usize,
 ) -> cf_runtime::ServeReport {
+    crash_then_resume_ct(text, base, path, abort_after, 0)
+}
+
+/// [`crash_then_resume`] with an explicit compaction threshold applied
+/// to the resume leg (0 disables compaction).
+fn crash_then_resume_ct(
+    text: &str,
+    base: &ServeOptions,
+    path: &std::path::Path,
+    abort_after: usize,
+    compact_threshold: u64,
+) -> cf_runtime::ServeReport {
     let crash_opts = ServeOptions {
-        journal: Some(JournalOptions { path: path.to_path_buf(), resume: false }),
+        journal: Some(JournalOptions {
+            path: path.to_path_buf(),
+            resume: false,
+            compact_threshold: 0,
+        }),
         abort_after_jobs: Some(abort_after),
         ..base.clone()
     };
@@ -96,7 +112,7 @@ fn crash_then_resume(
     }
 
     let resume_opts = ServeOptions {
-        journal: Some(JournalOptions { path: path.to_path_buf(), resume: true }),
+        journal: Some(JournalOptions { path: path.to_path_buf(), resume: true, compact_threshold }),
         ..base.clone()
     };
     serve_manifest(text, &resume_opts).unwrap_or_else(|e| panic!("resume: {e}"))
@@ -152,7 +168,7 @@ fn resume_onto_a_different_manifest_or_seed_is_refused() {
     let base = ServeOptions { workers: 2, ..Default::default() };
     let path = journal_path("mismatch");
     let crash_opts = ServeOptions {
-        journal: Some(JournalOptions { path: path.clone(), resume: false }),
+        journal: Some(JournalOptions { path: path.clone(), resume: false, compact_threshold: 0 }),
         abort_after_jobs: Some(3),
         ..base.clone()
     };
@@ -164,7 +180,11 @@ fn resume_onto_a_different_manifest_or_seed_is_refused() {
         serve_manifest(
             manifest,
             &ServeOptions {
-                journal: Some(JournalOptions { path: path.clone(), resume: true }),
+                journal: Some(JournalOptions {
+                    path: path.clone(),
+                    resume: true,
+                    compact_threshold: 0,
+                }),
                 ..opts.clone()
             },
         )
@@ -200,7 +220,7 @@ fn torn_journal_tail_is_recovered_not_fatal() {
 
     let path = journal_path("torn");
     let crash_opts = ServeOptions {
-        journal: Some(JournalOptions { path: path.clone(), resume: false }),
+        journal: Some(JournalOptions { path: path.clone(), resume: false, compact_threshold: 0 }),
         abort_after_jobs: Some(5),
         ..base.clone()
     };
@@ -216,7 +236,11 @@ fn torn_journal_tail_is_recovered_not_fatal() {
     let resumed = serve_manifest(
         &text,
         &ServeOptions {
-            journal: Some(JournalOptions { path: path.clone(), resume: true }),
+            journal: Some(JournalOptions {
+                path: path.clone(),
+                resume: true,
+                compact_threshold: 0,
+            }),
             ..base.clone()
         },
     )
@@ -316,4 +340,98 @@ fn terminal_shed_lands_in_the_failure_summary() {
     assert!(report.stats.shed_jobs >= 2, "initial try and the retry both shed");
     let line = render_record_json(record);
     assert!(line.contains("\"ok\":false") && line.contains("job shed"), "{line}");
+}
+
+#[test]
+fn resume_onto_a_truncated_header_reports_the_byte_offset() {
+    // A crash can tear the very first journal write: the file ends
+    // mid-way through the run-identity header, before any newline.
+    let text = "workload=matmul order=64 repeat=2\n";
+    let path = journal_path("torn-header");
+    let torn = b"{\"crc\":\"7d61aa00bb11cc22\",\"rec\":{\"type\":\"header\",\"vers";
+    std::fs::write(&path, torn).unwrap();
+
+    let opts = ServeOptions {
+        workers: 1,
+        journal: Some(JournalOptions { path: path.clone(), resume: true, compact_threshold: 0 }),
+        ..Default::default()
+    };
+    match serve_manifest(text, &opts) {
+        Err(ServeError::Journal(e @ JournalError::TruncatedHeader { offset, .. })) => {
+            assert_eq!(offset, torn.len() as u64, "offset must be where the file ends");
+            let msg = e.to_string();
+            assert!(msg.contains("truncated run-identity header"), "{msg}");
+            assert!(msg.contains(&format!("byte offset {}", torn.len())), "{msg}");
+        }
+        other => panic!("expected TruncatedHeader, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_compaction_is_byte_identical_and_counted() {
+    let text = manifest_text();
+    let base = ServeOptions { workers: 4, ..Default::default() };
+    let clean = serve_manifest(&text, &base).unwrap_or_else(|e| panic!("clean: {e}"));
+
+    // Threshold of 1 byte: any journaled prefix triggers compaction on
+    // resume, and the live run keeps compacting whenever failed entries
+    // leave reclaimable bytes behind.
+    let path = journal_path("compact-clean");
+    let resumed = crash_then_resume_ct(&text, &base, &path, 7, 1);
+
+    assert_eq!(resumed.stats.resumed_jobs, 7);
+    assert_eq!(resumed.failures(), 0);
+    assert!(
+        resumed.stats.journal_compactions >= 1,
+        "resume past the threshold must compact (got {})",
+        resumed.stats.journal_compactions
+    );
+    assert_eq!(rendered(&resumed), rendered(&clean), "compaction must not change the report");
+
+    // The compacted file is still a valid journal: resuming again (all
+    // jobs already journaled) replays every record byte-identically.
+    let replayed = serve_manifest(
+        &text,
+        &ServeOptions {
+            journal: Some(JournalOptions {
+                path: path.clone(),
+                resume: true,
+                compact_threshold: 1,
+            }),
+            ..base.clone()
+        },
+    )
+    .unwrap_or_else(|e| panic!("second resume: {e}"));
+    assert_eq!(replayed.stats.resumed_jobs as usize, replayed.records.len());
+    assert_eq!(rendered(&replayed), rendered(&clean));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn compaction_under_chaos_stays_byte_identical() {
+    let text = manifest_text();
+    let specs = manifest::parse_manifest(&text).unwrap_or_else(|e| panic!("parse: {e}"));
+    let seed = chaos_seed(&specs);
+
+    let clean = serve_manifest(&text, &ServeOptions { workers: 4, ..Default::default() })
+        .unwrap_or_else(|e| panic!("clean: {e}"));
+    let base = ServeOptions {
+        workers: 4,
+        retry: chaos_retry(),
+        fault_plan: Some(FaultPlan::new(seed, FaultSpec::chaos())),
+        ..Default::default()
+    };
+    let path = journal_path("compact-chaos");
+    let resumed = crash_then_resume_ct(&text, &base, &path, 9, 1);
+
+    assert_eq!(resumed.stats.resumed_jobs, 9, "seed {seed}");
+    assert_eq!(resumed.failures(), 0, "seed {seed}");
+    assert!(resumed.stats.journal_compactions >= 1, "seed {seed}");
+    assert_eq!(
+        rendered(&resumed),
+        rendered(&clean),
+        "compaction under injected faults must not change the merged report (seed {seed})"
+    );
+    std::fs::remove_file(&path).ok();
 }

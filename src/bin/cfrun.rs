@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cfrun <program.cfasm> [--machine f1|f100|embedded|tiny] [--exec] [--timeline N]
-//!       [--deadline-budget MS]
+//!       [--deadline-budget MS] [--trace]
 //! ```
 //!
 //! By default the program is performance-simulated; `--exec` additionally
@@ -13,28 +13,50 @@
 //! timeline, exec) only starts while budget remains, so an overstaying
 //! run degrades to the phases it completed instead of running away.
 //!
+//! `--trace` routes the simulate/exec phases through a single-worker
+//! cf-runtime pool with span tracing enabled and prints the span
+//! timeline (submit, start, cache hit/miss, settle, with per-stage
+//! durations) to stderr after the run — the same spans `cfserve
+//! --status-port` exposes at `/trace`. Outputs on stdout are unchanged.
+//!
 //! Exit codes: `0` success, `2` bad arguments (including an unknown
 //! machine name), `3` the program failed to load or parse, `4` the
 //! simulation or execution itself failed or the deadline budget ran out.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cambricon_f::core::Machine;
 use cambricon_f::isa::parse_program;
 use cambricon_f::runtime::manifest::{machine_by_name, MACHINE_NAMES};
+use cambricon_f::runtime::obs::Tracer;
+use cambricon_f::runtime::{Runtime, RuntimeConfig};
 use cambricon_f::tensor::{gen::DataGen, Memory, Shape};
 
 const EXIT_BAD_ARGS: u8 = 2;
 const EXIT_VALIDATION: u8 = 3;
 const EXIT_JOB_FAILED: u8 = 4;
 
+/// Span-ring capacity for `--trace` (two phases of one program fit with
+/// room to spare).
+const TRACE_CAPACITY: usize = 1024;
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cfrun <program.cfasm> [--machine f1|f100|embedded|tiny] [--exec] [--timeline N] \\\n\
-         \x20            [--deadline-budget MS]"
+         \x20            [--deadline-budget MS] [--trace]"
     );
     ExitCode::from(EXIT_BAD_ARGS)
+}
+
+/// Shuts the traced pool down and prints the span timeline to stderr.
+/// No-op without `--trace`.
+fn dump_trace(trace: Option<(Runtime, Arc<Tracer>)>) {
+    if let Some((runtime, tracer)) = trace {
+        runtime.shutdown();
+        eprint!("{}", tracer.render_timeline());
+    }
 }
 
 /// Whether budget remains to start `phase`; prints the skip message when
@@ -61,6 +83,7 @@ fn main() -> ExitCode {
     let mut do_exec = false;
     let mut timeline_depth: Option<usize> = None;
     let mut deadline_budget: Option<Duration> = None;
+    let mut trace = false;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -69,6 +92,7 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--exec" => do_exec = true,
+            "--trace" => trace = true,
             "--timeline" => match it.next().and_then(|d| d.parse().ok()) {
                 Some(d) => timeline_depth = Some(d),
                 None => return usage(),
@@ -96,7 +120,7 @@ fn main() -> ExitCode {
         }
     };
     let program = match parse_program(&text) {
-        Ok(p) => p,
+        Ok(p) => Arc::new(p),
         Err(e) => {
             eprintln!("cfrun: {path}: parse error: {e}");
             return ExitCode::from(EXIT_VALIDATION);
@@ -109,12 +133,36 @@ fn main() -> ExitCode {
         cfg.name
     );
 
+    // With --trace, simulate/exec go through a single-worker cf-runtime
+    // pool whose tracer records span events; stdout is unchanged.
+    let trace_pool = if trace {
+        let tracer = Arc::new(Tracer::new(TRACE_CAPACITY));
+        tracer.set_enabled(true);
+        let runtime = Runtime::new(RuntimeConfig {
+            workers: 1,
+            tracer: Some(Arc::clone(&tracer)),
+            ..Default::default()
+        });
+        Some((runtime, tracer))
+    } else {
+        None
+    };
+
     let t0 = Instant::now();
-    let machine = Machine::new(cfg);
+    let machine = Machine::new(cfg.clone());
     if !budget_left(t0, deadline_budget, "simulation") {
+        dump_trace(trace_pool);
         return ExitCode::from(EXIT_JOB_FAILED);
     }
-    match machine.simulate(&program) {
+    let simulated = match &trace_pool {
+        Some((runtime, _)) => runtime
+            .submit_simulate(cfg.clone(), Arc::clone(&program))
+            .join()
+            .map(|sim| sim.report)
+            .map_err(|e| e.to_string()),
+        None => machine.simulate(&program).map(Arc::new).map_err(|e| e.to_string()),
+    };
+    match simulated {
         Ok(report) => {
             println!(
                 "simulated: {:.3} ms | {:.3} Tops attained ({:.1}% of peak) | root intensity {:.1} ops/B | root traffic {:.3} MB",
@@ -127,12 +175,14 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("cfrun: simulation failed: {e}");
+            dump_trace(trace_pool);
             return ExitCode::from(EXIT_JOB_FAILED);
         }
     }
 
     if let Some(depth) = timeline_depth {
         if !budget_left(t0, deadline_budget, "timeline") {
+            dump_trace(trace_pool);
             return ExitCode::from(EXIT_JOB_FAILED);
         }
         match machine.timeline(&program, depth) {
@@ -143,17 +193,28 @@ fn main() -> ExitCode {
 
     if do_exec {
         if !budget_left(t0, deadline_budget, "functional execution") {
+            dump_trace(trace_pool);
             return ExitCode::from(EXIT_JOB_FAILED);
         }
-        let mut mem = Memory::new(program.extern_elems() as usize);
-        let data = DataGen::new(0xCAFE).uniform(
-            Shape::new(vec![program.extern_elems() as usize]),
-            -1.0,
-            1.0,
-        );
-        mem.as_mut_slice().copy_from_slice(data.data());
-        if let Err(e) = machine.run(&program, &mut mem) {
+        let elems = program.extern_elems() as usize;
+        let mut mem = Memory::new(elems);
+        // The traced pool seeds inputs identically (DataGen 0xCAFE), so
+        // both paths print the same symbols.
+        let ran = match &trace_pool {
+            Some((runtime, _)) => runtime
+                .submit_exec(cfg.clone(), Arc::clone(&program), 0xCAFE)
+                .join()
+                .map(|res| mem.as_mut_slice().copy_from_slice(&res.memory))
+                .map_err(|e| e.to_string()),
+            None => {
+                let data = DataGen::new(0xCAFE).uniform(Shape::new(vec![elems]), -1.0, 1.0);
+                mem.as_mut_slice().copy_from_slice(data.data());
+                machine.run(&program, &mut mem).map_err(|e| e.to_string())
+            }
+        };
+        if let Err(e) = ran {
             eprintln!("cfrun: functional execution failed: {e}");
+            dump_trace(trace_pool);
             return ExitCode::from(EXIT_JOB_FAILED);
         }
         for (name, region) in program.symbols().iter().rev().take(3).rev() {
@@ -161,6 +222,7 @@ fn main() -> ExitCode {
                 Ok(t) => t,
                 Err(e) => {
                     eprintln!("cfrun: cannot read back symbol `{name}`: {e}");
+                    dump_trace(trace_pool);
                     return ExitCode::from(EXIT_JOB_FAILED);
                 }
             };
@@ -168,5 +230,6 @@ fn main() -> ExitCode {
             println!("{name} {} = [{}…]", region.shape(), preview.join(", "));
         }
     }
+    dump_trace(trace_pool);
     ExitCode::SUCCESS
 }

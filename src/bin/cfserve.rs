@@ -4,8 +4,8 @@
 //! ```text
 //! cfserve <manifest> [--workers N] [--cache-capacity N] [--no-cache]
 //!         [--retries N] [--fault-seed S] [--fault-spec SPEC]
-//!         [--journal PATH] [--resume] [--max-inflight N]
-//!         [--stats-json PATH]
+//!         [--journal PATH] [--resume] [--compact-threshold BYTES]
+//!         [--max-inflight N] [--stats-json PATH] [--status-port N]
 //! ```
 //!
 //! The manifest grammar is documented in `cf_runtime::manifest` (one job
@@ -20,9 +20,19 @@
 //! checksummed JSONL); after a crash, the same command line plus
 //! `--resume` skips the journaled jobs and merges their recorded
 //! outputs, producing stdout byte-identical to an uninterrupted run.
+//! Journals past `--compact-threshold BYTES` (default 1 MiB, `0`
+//! disables) are compacted in place: superseded and failed records are
+//! dropped, the run-identity header and checksummed framing are
+//! preserved, and the merged report is unchanged.
 //! `--max-inflight N` sheds over-capacity submissions immediately
 //! instead of queueing them unboundedly. `--stats-json PATH` dumps the
 //! final runtime counters as one JSON object.
+//!
+//! `--status-port N` starts a loopback HTTP/1.1 status server (port `0`
+//! picks a free port, printed to stderr) serving `GET /healthz` (200
+//! with admission headroom, 503 when overloaded), `GET /stats` (the
+//! live runtime-stats JSON) and `GET /trace` (recent span events +
+//! per-stage latency histograms) while the run is in flight.
 //!
 //! Exit codes: `0` all jobs succeeded, `2` bad arguments, `3` manifest
 //! or journal validation failed — including resume onto a different
@@ -33,10 +43,17 @@ use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use std::sync::Arc;
+
+use cambricon_f::runtime::obs::Obs;
 use cambricon_f::runtime::serve::{
-    render_record_json, serve_manifest, JournalOptions, ServeOptions,
+    render_record_json, serve_manifest, JournalOptions, ServeOptions, DEFAULT_COMPACT_THRESHOLD,
 };
+use cambricon_f::runtime::status::StatusServer;
 use cambricon_f::runtime::{FaultPlan, FaultSpec, RetryPolicy};
+
+/// Span-ring capacity behind `--status-port`'s `/trace` endpoint.
+const TRACE_CAPACITY: usize = 4096;
 
 const EXIT_BAD_ARGS: u8 = 2;
 const EXIT_VALIDATION: u8 = 3;
@@ -46,7 +63,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: cfserve <manifest> [--workers N] [--cache-capacity N] [--no-cache] \\\n\
          \x20              [--retries N] [--fault-seed S] [--fault-spec SPEC] \\\n\
-         \x20              [--journal PATH] [--resume] [--max-inflight N] [--stats-json PATH]"
+         \x20              [--journal PATH] [--resume] [--compact-threshold BYTES] \\\n\
+         \x20              [--max-inflight N] [--stats-json PATH] [--status-port N]"
     );
     eprintln!("manifest lines: workload=<name>|program=<file.cfasm> \\");
     eprintln!("    [machine=f1|f100|embedded|tiny] [mode=simulate|exec] [seed=N]");
@@ -68,7 +86,9 @@ fn main() -> ExitCode {
     let mut fault_spec: Option<FaultSpec> = None;
     let mut journal_path: Option<String> = None;
     let mut resume = false;
+    let mut compact_threshold = DEFAULT_COMPACT_THRESHOLD;
     let mut stats_json: Option<String> = None;
+    let mut status_port: Option<u16> = None;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -77,6 +97,14 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--resume" => resume = true,
+            "--compact-threshold" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => compact_threshold = n,
+                None => return usage(),
+            },
+            "--status-port" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => status_port = Some(n),
+                None => return usage(),
+            },
             "--max-inflight" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => opts.load.max_in_flight = n,
                 None => return usage(),
@@ -118,12 +146,35 @@ fn main() -> ExitCode {
         opts.fault_plan = Some(FaultPlan::new(fault_seed.unwrap_or(0), spec));
     }
     match journal_path {
-        Some(path) => opts.journal = Some(JournalOptions { path: path.into(), resume }),
+        Some(path) => {
+            opts.journal = Some(JournalOptions { path: path.into(), resume, compact_threshold });
+        }
         None if resume => {
             eprintln!("cfserve: --resume requires --journal PATH");
             return usage();
         }
         None => {}
+    }
+
+    // Bind the status server before the run starts so probes can watch
+    // the whole lifecycle; the bound port goes to stderr immediately.
+    let mut _status_server = None;
+    if let Some(port) = status_port {
+        let obs = Obs::new(TRACE_CAPACITY);
+        match StatusServer::bind(port, Arc::clone(&obs)) {
+            Ok(server) => {
+                eprintln!(
+                    "cfserve: status on http://{} (GET /healthz /stats /trace)",
+                    server.local_addr()
+                );
+                _status_server = Some(server);
+                opts.obs = Some(obs);
+            }
+            Err(e) => {
+                eprintln!("cfserve: cannot bind status port {port}: {e}");
+                return ExitCode::from(EXIT_BAD_ARGS);
+            }
+        }
     }
 
     let text = match std::fs::read_to_string(manifest_path) {
@@ -178,8 +229,12 @@ fn main() -> ExitCode {
     );
     if snap.shed_jobs > 0 || snap.resumed_jobs > 0 || snap.journal_bytes > 0 {
         eprintln!(
-            "cfserve: durability | {} resumed from journal, {} journal bytes written, {} submissions shed",
-            snap.resumed_jobs, snap.journal_bytes, snap.shed_jobs,
+            "cfserve: durability | {} resumed from journal, {} journal bytes written, {} compaction(s) reclaimed {} bytes, {} submissions shed",
+            snap.resumed_jobs,
+            snap.journal_bytes,
+            snap.journal_compactions,
+            snap.journal_bytes_reclaimed,
+            snap.shed_jobs,
         );
     }
     for (i, w) in snap.per_worker.iter().enumerate() {
