@@ -1,7 +1,7 @@
 //! `bench_gate` — the CI performance gate over the cf-runtime service
 //! layer.
 //!
-//! Measures three headline numbers, writes them to `BENCH_runtime.json`
+//! Measures four headline numbers, writes them to `BENCH_runtime.json`
 //! (the artifact CI uploads) and compares the cache-effectiveness
 //! number against a committed baseline:
 //!
@@ -14,6 +14,9 @@
 //!   through `serve_manifest`, end to end (informational).
 //! * `replay_records_per_s` — `scan_valid_prefix` over a synthetic
 //!   5000-record journal image (informational).
+//! * `profile_overhead` — `simulate_profiled` wall time over plain
+//!   `simulate` for the same program (informational; the *disabled*
+//!   profiler costs one branch and is covered by the gated number).
 //!
 //! ```text
 //! bench_gate [--out PATH] [--baseline PATH] [--write-baseline]
@@ -31,13 +34,14 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use cf_core::MachineConfig;
+use cf_core::{Machine, MachineConfig};
 use cf_runtime::journal::{encode_record, scan_valid_prefix, JOURNAL_VERSION};
 use cf_runtime::serve::serve_manifest;
 use cf_runtime::{
     JobEntry, JobOptions, JobOutput, Record, RunHeader, Runtime, RuntimeConfig, ServeOptions,
 };
 use cf_workloads::nets;
+use serde_json::{Map, Serialize, Value};
 
 /// Cached-simulate iterations (cheap: microseconds each).
 const CACHED_ITERS: u32 = 200;
@@ -45,6 +49,12 @@ const CACHED_ITERS: u32 = 200;
 const UNCACHED_ITERS: u32 = 8;
 /// Synthetic journal records for the replay-rate measurement.
 const REPLAY_RECORDS: u64 = 5000;
+/// Profiled-vs-plain simulate iterations for the overhead measurement.
+const PROFILE_ITERS: u32 = 6;
+/// Hottest-signature budget passed to `simulate_profiled` (matches the
+/// serve default order of magnitude; the top-N heap is O(log N) per
+/// memo event either way).
+const PROFILE_TOP_SIGNATURES: usize = 16;
 /// Gate threshold: fail when cached_speedup < this fraction of baseline.
 const GATE_FRACTION: f64 = 0.8;
 /// Headroom applied by `--write-baseline` (baseline = measured / 2).
@@ -55,14 +65,38 @@ fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
 }
 
-/// Extracts `"key":<number>` from a flat JSON object — enough for our
-/// own baseline file, no dependency needed.
-fn json_f64(text: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let start = text.find(&needle)? + needle.len();
-    let rest = &text[start..];
-    let end = rest.find([',', '}'])?;
-    rest[..end].trim().parse().ok()
+/// The `BENCH_runtime.json` artifact (also the baseline-file schema).
+struct GateReport {
+    cached_speedup: f64,
+    cached_us: f64,
+    uncached_us: f64,
+    serve_jobs_per_s: f64,
+    replay_records_per_s: f64,
+    profile_overhead: f64,
+}
+
+/// Rounds to two decimals so the committed baseline diffs stay readable.
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+impl Serialize for GateReport {
+    fn to_value(&self) -> Value {
+        let mut obj = Map::new();
+        obj.insert("cached_speedup", round2(self.cached_speedup));
+        obj.insert("cached_us", round2(self.cached_us));
+        obj.insert("uncached_us", round2(self.uncached_us));
+        obj.insert("serve_jobs_per_s", round2(self.serve_jobs_per_s));
+        obj.insert("replay_records_per_s", self.replay_records_per_s.round());
+        obj.insert("profile_overhead", round2(self.profile_overhead));
+        Value::Object(obj)
+    }
+}
+
+/// Extracts the gated number from a baseline file (parsed as real JSON;
+/// older baselines without the newer informational fields still work).
+fn baseline_speedup(text: &str) -> Option<f64> {
+    serde_json::from_str(text).ok()?.get("cached_speedup")?.as_f64()
 }
 
 fn measure_cached_speedup() -> (f64, f64, f64) {
@@ -151,12 +185,25 @@ fn measure_replay_rate() -> f64 {
     records.len() as f64 / wall.as_secs_f64()
 }
 
-fn render_json(speedup: f64, cached_s: f64, uncached_s: f64, serve: f64, replay: f64) -> String {
-    format!(
-        "{{\"cached_speedup\":{speedup:.2},\"cached_us\":{:.2},\"uncached_us\":{:.2},\"serve_jobs_per_s\":{serve:.2},\"replay_records_per_s\":{replay:.0}}}\n",
-        cached_s * 1e6,
-        uncached_s * 1e6,
-    )
+/// Profiled-vs-plain simulate wall-time ratio on the direct (uncached)
+/// path. ~1.0x means the profiler's bookkeeping is in the noise.
+fn measure_profile_overhead() -> f64 {
+    let program = nets::matmul_program(512);
+    let machine = Machine::new(MachineConfig::cambricon_f1());
+    machine.simulate(&program).expect("warmup simulate");
+
+    let t0 = Instant::now();
+    for _ in 0..PROFILE_ITERS {
+        machine.simulate(&program).expect("plain simulate");
+    }
+    let plain = t0.elapsed().max(Duration::from_nanos(1));
+
+    let t0 = Instant::now();
+    for _ in 0..PROFILE_ITERS {
+        machine.simulate_profiled(&program, PROFILE_TOP_SIGNATURES).expect("profiled simulate");
+    }
+    let profiled = t0.elapsed();
+    profiled.as_secs_f64() / plain.as_secs_f64()
 }
 
 fn main() -> ExitCode {
@@ -206,8 +253,18 @@ fn main() -> ExitCode {
     eprintln!("bench_gate: serve throughput {serve:.1} jobs/s");
     let replay = measure_replay_rate();
     eprintln!("bench_gate: journal replay {replay:.0} records/s");
+    let profile_overhead = measure_profile_overhead();
+    eprintln!("bench_gate: simulate_profiled overhead {profile_overhead:.2}x of plain simulate");
 
-    let json = render_json(speedup, cached_s, uncached_s, serve, replay);
+    let report = GateReport {
+        cached_speedup: speedup,
+        cached_us: cached_s * 1e6,
+        uncached_us: uncached_s * 1e6,
+        serve_jobs_per_s: serve,
+        replay_records_per_s: replay,
+        profile_overhead,
+    };
+    let json = serde_json::to_string(&report) + "\n";
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("bench_gate: cannot write {}: {e}", out.display());
         return ExitCode::FAILURE;
@@ -215,13 +272,15 @@ fn main() -> ExitCode {
     eprintln!("bench_gate: wrote {}", out.display());
 
     if write_baseline {
-        let json = render_json(
-            speedup * BASELINE_HEADROOM,
-            cached_s / BASELINE_HEADROOM,
-            uncached_s * BASELINE_HEADROOM,
-            serve * BASELINE_HEADROOM,
-            replay * BASELINE_HEADROOM,
-        );
+        let conservative = GateReport {
+            cached_speedup: speedup * BASELINE_HEADROOM,
+            cached_us: cached_s * 1e6 / BASELINE_HEADROOM,
+            uncached_us: uncached_s * 1e6 * BASELINE_HEADROOM,
+            serve_jobs_per_s: serve * BASELINE_HEADROOM,
+            replay_records_per_s: replay * BASELINE_HEADROOM,
+            profile_overhead,
+        };
+        let json = serde_json::to_string(&conservative) + "\n";
         if let Some(dir) = baseline.parent() {
             if let Err(e) = std::fs::create_dir_all(dir) {
                 eprintln!("bench_gate: cannot create {}: {e}", dir.display());
@@ -243,7 +302,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let Some(base_speedup) = json_f64(&text, "cached_speedup") else {
+    let Some(base_speedup) = baseline_speedup(&text) else {
         eprintln!("bench_gate: baseline {} has no cached_speedup", baseline.display());
         return ExitCode::FAILURE;
     };

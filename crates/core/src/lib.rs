@@ -51,6 +51,7 @@ mod machine;
 pub mod memory;
 pub mod perf;
 pub mod plan;
+pub mod profile;
 pub mod stats;
 pub mod timeline;
 pub mod ttt;
@@ -58,4 +59,5 @@ pub mod ttt;
 pub use config::{LeafSpec, LevelSpec, MachineConfig, OptFlags};
 pub use error::CoreError;
 pub use machine::{Machine, PerfReport};
+pub use profile::{LevelProfile, PipeStage, ProfileReport, SignatureProfile, StageSeconds};
 pub use stats::{LevelStats, Stats};

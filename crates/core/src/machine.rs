@@ -101,17 +101,40 @@ impl Machine {
     pub fn simulate(&self, program: &Program) -> Result<PerfReport, CoreError> {
         let sim = PerfSim::new(&self.config);
         let out = sim.simulate(program)?;
+        Ok(self.report_of(out))
+    }
+
+    /// Simulates `program` with profiling on, additionally returning the
+    /// per-level / per-signature attribution with the `top` hottest
+    /// signatures (see [`crate::profile`]). Timing results are identical
+    /// to [`Machine::simulate`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning errors.
+    pub fn simulate_profiled(
+        &self,
+        program: &Program,
+        top: usize,
+    ) -> Result<(PerfReport, crate::profile::ProfileReport), CoreError> {
+        let sim = PerfSim::with_profiling(&self.config);
+        let out = sim.simulate(program)?;
+        let profile = sim.profile_report(out.makespan, top).unwrap_or_default();
+        Ok((self.report_of(out), profile))
+    }
+
+    fn report_of(&self, out: crate::perf::NodeOutcome) -> PerfReport {
         let ops = out.stats.total_ops();
         let attained = if out.makespan > 0.0 { ops as f64 / out.makespan } else { 0.0 };
         let traffic = out.stats.root_traffic_bytes();
-        Ok(PerfReport {
+        PerfReport {
             makespan_seconds: out.makespan,
             steady_seconds: out.steady,
             attained_ops: attained,
             peak_fraction: attained / self.config.peak_ops(),
             root_intensity: if traffic > 0 { ops as f64 / traffic as f64 } else { f64::INFINITY },
             stats: out.stats,
-        })
+        }
     }
 
     /// Extracts a Figure-13-style execution timeline, recursing

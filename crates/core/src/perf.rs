@@ -30,6 +30,7 @@ use cf_ops::cost;
 use cf_tensor::Region;
 
 use crate::plan::{NodePlan, Planner, Space, Step};
+use crate::profile::{ProfileReport, ProfileState};
 use crate::stats::Stats;
 use crate::{CoreError, MachineConfig};
 
@@ -66,6 +67,8 @@ pub struct StageTimes {
 /// Absolute schedule of one step (used by the timeline extractor).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StepSchedule {
+    /// ID interval (the decoder is a serial resource from t=0).
+    pub id: (f64, f64),
     /// LD interval.
     pub ld: (f64, f64),
     /// EX interval.
@@ -81,6 +84,8 @@ pub struct StepSchedule {
 pub struct PerfSim<'a> {
     planner: Planner<'a>,
     cache: RefCell<HashMap<Key, Rc<NodeOutcome>>>,
+    /// Opt-in attribution state; `None` keeps the hot path to one branch.
+    profile: Option<RefCell<ProfileState>>,
 }
 
 #[derive(Debug, PartialEq, Eq, Hash)]
@@ -127,7 +132,22 @@ impl PerfSim<'_> {
 impl<'a> PerfSim<'a> {
     /// A simulator over `cfg`.
     pub fn new(cfg: &'a MachineConfig) -> Self {
-        PerfSim { planner: Planner::new(cfg), cache: RefCell::new(HashMap::new()) }
+        PerfSim { planner: Planner::new(cfg), cache: RefCell::new(HashMap::new()), profile: None }
+    }
+
+    /// A simulator over `cfg` with per-level/per-signature profiling on.
+    pub fn with_profiling(cfg: &'a MachineConfig) -> Self {
+        PerfSim {
+            planner: Planner::new(cfg),
+            cache: RefCell::new(HashMap::new()),
+            profile: Some(RefCell::new(ProfileState::default())),
+        }
+    }
+
+    /// The accumulated profile with the `top` hottest signatures, or
+    /// `None` when the simulator was built without profiling.
+    pub fn profile_report(&self, makespan_s: f64, top: usize) -> Option<ProfileReport> {
+        self.profile.as_ref().map(|p| p.borrow().report(makespan_s, top))
     }
 
     fn cfg(&self) -> &MachineConfig {
@@ -159,10 +179,19 @@ impl<'a> PerfSim<'a> {
     ) -> Result<Rc<NodeOutcome>, CoreError> {
         let key = Key::new(level, inst, resident, shared);
         if let Some(hit) = self.cache.borrow().get(&key) {
+            if let Some(p) = &self.profile {
+                p.borrow_mut().record_hit(level, inst, resident, shared);
+            }
             return Ok(Rc::clone(hit));
+        }
+        if let Some(p) = &self.profile {
+            p.borrow_mut().begin_compute();
         }
         let plan = self.planner.plan_instruction(level, inst, false)?;
         let outcome = Rc::new(self.time_plan(level, &plan, resident, shared, Some(inst))?);
+        if let Some(p) = &self.profile {
+            p.borrow_mut().end_compute(level, inst, resident, shared, &outcome);
+        }
         self.cache.borrow_mut().insert(key, Rc::clone(&outcome));
         Ok(outcome)
     }
@@ -295,6 +324,10 @@ impl<'a> PerfSim<'a> {
                     slot_first[slot] = false;
                 } else if opts.concat {
                     slot_full[slot] += outcome.steady;
+                    if let Some(p) = &self.profile {
+                        p.borrow_mut()
+                            .record_concat_saved(level, outcome.makespan - outcome.steady);
+                    }
                 } else {
                     slot_full[slot] += outcome.makespan;
                 }
@@ -385,6 +418,24 @@ impl<'a> PerfSim<'a> {
         incoming: Option<&Instruction>,
     ) -> Result<NodeOutcome, CoreError> {
         let (times, stats) = self.stage_times_of_plan(level, plan, resident, shared, incoming)?;
+        if let Some(p) = &self.profile {
+            let own_bytes = stats.levels.first().map(|l| l.dma_bytes).unwrap_or(0);
+            // Step-level concatenation: steps without a RAW hazard admit
+            // their EX at steady spacing (mirrors schedule_pipeline).
+            let mut saved = 0.0;
+            if self.cfg().opts.concat {
+                for (i, t) in times.iter().enumerate() {
+                    if i > 0 && !plan.steps[i].raw_dep_prev {
+                        saved += (t.ex_full - t.ex_steady.min(t.ex_full)).max(0.0);
+                    }
+                }
+            }
+            let mut state = p.borrow_mut();
+            state.record_plan(level, &times, own_bytes);
+            if saved > 0.0 {
+                state.record_concat_saved(level, saved);
+            }
+        }
         let (schedule, makespan) = schedule_pipeline(plan, &times, self.cfg().opts.concat);
         let _ = schedule;
         let steady = steady_of(&times);
@@ -454,6 +505,7 @@ pub(crate) fn schedule_pipeline(
     let mut makespan = 0.0f64;
     for i in 0..n {
         let t = &times[i];
+        let id_start = id_end;
         id_end += t.id;
         let mut ld_start = id_end.max(dma_free);
         if plan.steps[i].raw_dep_prev && i > 0 {
@@ -479,6 +531,7 @@ pub(crate) fn schedule_pipeline(
         let wb_end = wb_start + t.wb;
         dma_free = wb_end;
         sched[i] = StepSchedule {
+            id: (id_start, id_end),
             ld: (ld_start, ld_end),
             ex: (ex_start, ex_end),
             rd: (rd_start, rd_end),

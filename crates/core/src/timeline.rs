@@ -9,6 +9,7 @@ use cf_isa::Program;
 
 use crate::perf::{schedule_pipeline, PerfSim};
 use crate::plan::Step;
+use crate::profile::PipeStage;
 use crate::{CoreError, MachineConfig};
 
 /// Kind of activity in a timeline interval.
@@ -33,11 +34,32 @@ pub struct Event {
     pub end: f64,
 }
 
+/// One pipeline-stage interval of one step at one level — the fine
+/// companion to the coarse DMA/compute [`Event`]s, consumed by the
+/// Chrome-trace exporter ([`crate::profile::chrome_trace_events`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageSpan {
+    /// Hierarchy level (0 = top).
+    pub level: usize,
+    /// Pipeline stage.
+    pub stage: PipeStage,
+    /// Interval start in seconds.
+    pub start: f64,
+    /// Interval end in seconds.
+    pub end: f64,
+}
+
 /// A per-level Gantt chart of one program execution.
 #[derive(Debug, Clone, Default)]
 pub struct Timeline {
-    /// Coalesced busy intervals, grouped by level in emission order.
+    /// Coalesced busy intervals, grouped by level. Within one
+    /// (level, kind) the intervals are non-overlapping and sorted —
+    /// overlaps from clamping and representative-child drift are merged
+    /// during extraction.
     pub events: Vec<Event>,
+    /// Per-step pipeline-stage intervals (uncoalesced, capped at the
+    /// extraction event limit).
+    pub stages: Vec<StageSpan>,
     /// Total execution time.
     pub makespan: f64,
 }
@@ -86,11 +108,18 @@ impl Timeline {
 
 struct Recorder {
     events: Vec<Event>,
+    stages: Vec<StageSpan>,
     coalesce: f64,
     max_events: usize,
 }
 
 impl Recorder {
+    fn push_stage(&mut self, level: usize, stage: PipeStage, start: f64, end: f64) {
+        if end > start && self.stages.len() < self.max_events {
+            self.stages.push(StageSpan { level, stage, start, end });
+        }
+    }
+
     fn push(&mut self, level: usize, kind: EventKind, start: f64, end: f64) {
         if end <= start {
             return;
@@ -125,11 +154,16 @@ pub fn extract_timeline(
 ) -> Result<Timeline, CoreError> {
     let sim = PerfSim::new(cfg);
     let root_outcome = sim.simulate(program)?;
-    let mut rec =
-        Recorder { events: Vec::new(), coalesce: root_outcome.makespan / 2000.0, max_events };
+    let mut rec = Recorder {
+        events: Vec::new(),
+        stages: Vec::new(),
+        coalesce: root_outcome.makespan / 2000.0,
+        max_events,
+    };
     let plan = sim.planner().plan_root(program.instructions(), program.extern_elems())?;
     let makespan = walk(&sim, 0, &plan, &[], &[], None, 0.0, max_depth, &mut rec)?;
     let mut events = rec.events;
+    let mut stages = rec.stages;
     // Representative-child recursion can drift slightly past the parent's
     // concatenated EX window; clamp to the makespan for presentation.
     for e in &mut events {
@@ -137,12 +171,41 @@ pub fn extract_timeline(
         e.end = e.end.min(makespan);
     }
     events.retain(|e| e.end > e.start);
-    events.sort_by(|a, b| {
-        (a.level, a.start.total_cmp(&b.start))
-            .partial_cmp(&(b.level, b.start.total_cmp(&a.start)))
-            .unwrap_or(std::cmp::Ordering::Equal)
+    for s in &mut stages {
+        s.start = s.start.min(makespan);
+        s.end = s.end.min(makespan);
+    }
+    stages.retain(|s| s.end > s.start);
+    stages.sort_by(|a, b| {
+        (a.level, a.stage.index())
+            .cmp(&(b.level, b.stage.index()))
+            .then(a.start.total_cmp(&b.start))
     });
-    Ok(Timeline { events, makespan })
+    // Merge overlaps within each (level, kind) so every row is a clean
+    // sequence of disjoint intervals (clamping and drift can overlap).
+    events.sort_by(|a, b| {
+        (a.level, kind_rank(a.kind))
+            .cmp(&(b.level, kind_rank(b.kind)))
+            .then(a.start.total_cmp(&b.start))
+    });
+    let mut merged: Vec<Event> = Vec::with_capacity(events.len());
+    for e in events {
+        match merged.last_mut() {
+            Some(m) if m.level == e.level && m.kind == e.kind && e.start <= m.end => {
+                m.end = m.end.max(e.end);
+            }
+            _ => merged.push(e),
+        }
+    }
+    merged.sort_by(|a, b| a.level.cmp(&b.level).then(a.start.total_cmp(&b.start)));
+    Ok(Timeline { events: merged, stages, makespan })
+}
+
+fn kind_rank(kind: EventKind) -> u8 {
+    match kind {
+        EventKind::Dma => 0,
+        EventKind::Compute => 1,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -160,6 +223,11 @@ fn walk(
     let (times, _) = sim.stage_times_of_plan(level, plan, resident, shared, incoming)?;
     let (sched, makespan) = schedule_pipeline(plan, &times, sim.planner().config().opts.concat);
     for (step, s) in plan.steps.iter().zip(&sched) {
+        rec.push_stage(level, PipeStage::Id, t0 + s.id.0, t0 + s.id.1);
+        rec.push_stage(level, PipeStage::Ld, t0 + s.ld.0, t0 + s.ld.1);
+        rec.push_stage(level, PipeStage::Ex, t0 + s.ex.0, t0 + s.ex.1);
+        rec.push_stage(level, PipeStage::Rd, t0 + s.rd.0, t0 + s.rd.1);
+        rec.push_stage(level, PipeStage::Wb, t0 + s.wb.0, t0 + s.wb.1);
         rec.push(level, EventKind::Dma, t0 + s.ld.0, t0 + s.ld.1);
         rec.push(level, EventKind::Dma, t0 + s.wb.0, t0 + s.wb.1);
         if has_local_compute(step) {

@@ -1,0 +1,86 @@
+//! Property tests for the execution-timeline extractor: after the
+//! extraction-time coalescing pass, every `(level, kind)` row is a
+//! sorted sequence of disjoint intervals inside the makespan, and the
+//! timeline's makespan agrees with the performance simulator's — the
+//! Gantt chart and the headline number must tell the same story.
+
+use cf_core::timeline::EventKind;
+use cf_core::{Machine, MachineConfig};
+use cf_isa::Program;
+use cf_isa::{Opcode, ProgramBuilder};
+use proptest::prelude::*;
+
+/// A small random-shaped program: elementwise → matmul → activation,
+/// the same mix the equivalence properties use.
+fn program(rows: usize, cols: usize, with_act: bool) -> Program {
+    let mut b = ProgramBuilder::new();
+    let x = b.alloc("x", vec![rows, cols]);
+    let y = b.alloc("y", vec![rows, cols]);
+    let z = b.apply(Opcode::Mul1D, [x, y]).unwrap();
+    let w = b.alloc("w", vec![cols, rows]);
+    let mm = b.apply(Opcode::MatMul, [z[0], w]).unwrap();
+    if with_act {
+        b.apply(Opcode::Act1D, [mm[0]]).unwrap();
+    }
+    b.build()
+}
+
+fn machine_for(choice: u8) -> MachineConfig {
+    match choice % 3 {
+        0 => MachineConfig::cambricon_f1(),
+        1 => MachineConfig::cambricon_f_embedded(),
+        _ => MachineConfig::tiny(3, 2, 1 << 20),
+    }
+}
+
+proptest! {
+    #[test]
+    fn coalesced_rows_are_disjoint_and_sorted(
+        rows in 2usize..48,
+        cols in 2usize..48,
+        with_act in any::<bool>(),
+        machine in 0u8..3,
+        depth in 1usize..4,
+    ) {
+        let cfg = machine_for(machine);
+        let tl = Machine::new(cfg).timeline(&program(rows, cols, with_act), depth).unwrap();
+        prop_assert!(tl.makespan > 0.0);
+        let max_level = tl.events.iter().map(|e| e.level).max().unwrap_or(0);
+        for level in 0..=max_level {
+            for kind in [EventKind::Dma, EventKind::Compute] {
+                let row: Vec<_> =
+                    tl.level_events(level).filter(|e| e.kind == kind).collect();
+                for e in &row {
+                    prop_assert!(e.end > e.start, "degenerate interval at L{level}");
+                    prop_assert!(e.start >= 0.0 && e.end <= tl.makespan + 1e-12,
+                        "interval outside makespan at L{level}");
+                }
+                for pair in row.windows(2) {
+                    prop_assert!(pair[0].end <= pair[1].start + 1e-15,
+                        "L{level} {kind:?} overlap: [{:.3e},{:.3e}) then [{:.3e},{:.3e})",
+                        pair[0].start, pair[0].end, pair[1].start, pair[1].end);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timeline_makespan_matches_perf_sim(
+        rows in 2usize..48,
+        cols in 2usize..48,
+        with_act in any::<bool>(),
+        machine in 0u8..3,
+        depth in 1usize..4,
+    ) {
+        let cfg = machine_for(machine);
+        let program = program(rows, cols, with_act);
+        let machine = Machine::new(cfg);
+        let report = machine.simulate(&program).unwrap();
+        let tl = machine.timeline(&program, depth).unwrap();
+        let rel = (tl.makespan - report.makespan_seconds).abs()
+            / report.makespan_seconds.max(f64::MIN_POSITIVE);
+        prop_assert!(rel < 1e-9,
+            "timeline {:.6e}s vs simulate {:.6e}s (rel err {rel:.3e})",
+            tl.makespan, report.makespan_seconds);
+    }
+}

@@ -40,7 +40,9 @@
 //!   [`Tracer`] (span ring buffer + per-stage latency histograms,
 //!   off by default), the [`Obs`] hub publishing live stats and
 //!   admission headroom, and a dependency-free HTTP/1.1
-//!   [`StatusServer`] exposing `/healthz`, `/stats` and `/trace`
+//!   [`StatusServer`] exposing `/healthz`, `/stats`, `/trace` and a
+//!   Prometheus `/metrics` text exposition ([`metrics`], with simulator
+//!   profile aggregates from `profile=true` manifest jobs)
 //!   (`cfserve --status-port`). Journal files past a size threshold
 //!   are compacted — superseded/failed records dropped, checksummed
 //!   framing preserved — on resume and during live runs. See
@@ -75,6 +77,7 @@ pub mod fault;
 pub mod job;
 pub mod journal;
 pub mod manifest;
+pub mod metrics;
 pub mod obs;
 pub mod scheduler;
 pub mod serve;
@@ -89,8 +92,8 @@ pub use job::{JobError, JobHandle, JobOptions};
 pub use journal::{
     CompactionStats, JobEntry, Journal, JournalError, Record, RecordError, RunHeader,
 };
-pub use obs::{LatencyHistogram, Obs, SpanEvent, SpanKind, Stage, Tracer};
-pub use scheduler::{ExecResult, LoadPolicy, Runtime, RuntimeConfig, SimResult};
+pub use obs::{LatencyHistogram, Obs, ProfileAgg, SpanEvent, SpanKind, Stage, Tracer};
+pub use scheduler::{ExecResult, LoadPolicy, ProfiledSimResult, Runtime, RuntimeConfig, SimResult};
 pub use serve::{
     JobOutput, JobRecord, JournalOptions, ServeError, ServeOptions, ServeReport,
     DEFAULT_COMPACT_THRESHOLD,

@@ -15,7 +15,12 @@
 //! `seed=` (exec input seeding, default `0xCAFE` like `cfrun`),
 //! `batch=` (net workloads), `order=` (matmul), `size=small|paper`
 //! (ML workloads), `repeat=` (submit the job N times — the repeats are
-//! what the plan cache answers), `label=` (output tag).
+//! what the plan cache answers), `label=` (output tag),
+//! `profile=true|false` (run the per-level/per-stage simulator profiler
+//! on this job and fold the attribution into `/metrics`; simulate-mode
+//! only, bypasses the plan cache), `trace_json=PATH` (also write the
+//! profiled job's Chrome Trace Event JSON to `PATH`; implies
+//! `profile=true`).
 
 use std::fmt;
 
@@ -86,6 +91,11 @@ pub struct JobSpec {
     pub source: ProgramSource,
     /// How many copies of this job to submit.
     pub repeat: usize,
+    /// Run the simulator profiler on this job (simulate mode only; the
+    /// job bypasses the plan cache so the attribution is real).
+    pub profile: bool,
+    /// Write the profiled job's Chrome Trace Event JSON here.
+    pub trace_json: Option<String>,
 }
 
 /// Manifest parsing/resolution errors, with 1-based line numbers.
@@ -256,6 +266,8 @@ fn parse_line(line: &str, line_no: usize) -> Result<JobSpec, ManifestError> {
     let mut size = "small".to_string();
     let mut repeat: usize = 1;
     let mut label: Option<String> = None;
+    let mut profile = false;
+    let mut trace_json: Option<String> = None;
 
     for token in line.split_whitespace() {
         let Some((key, value)) = token.split_once('=') else {
@@ -277,6 +289,14 @@ fn parse_line(line: &str, line_no: usize) -> Result<JobSpec, ManifestError> {
             "batch" => batch = value.parse().map_err(|_| bad(key, value))?,
             "order" => order = value.parse().map_err(|_| bad(key, value))?,
             "repeat" => repeat = value.parse().map_err(|_| bad(key, value))?,
+            "profile" => {
+                profile = match value {
+                    "true" | "1" => true,
+                    "false" | "0" => false,
+                    other => return Err(bad(key, other)),
+                }
+            }
+            "trace_json" => trace_json = Some(value.to_string()),
             _ => return Err(ManifestError::UnknownKey { key: key.to_string(), line: line_no }),
         }
     }
@@ -316,7 +336,25 @@ fn parse_line(line: &str, line_no: usize) -> Result<JobSpec, ManifestError> {
         }
         _ => return Err(ManifestError::BadSource { line: line_no }),
     };
-    Ok(JobSpec { label: label.unwrap_or(default_label), machine, kind, source, repeat })
+    // Asking for a per-job trace without profiling would silently write
+    // nothing; make `trace_json=` imply `profile=true`.
+    let profile = profile || trace_json.is_some();
+    if profile && kind != JobKind::Simulate {
+        return Err(ManifestError::BadValue {
+            key: "profile".to_string(),
+            value: "exec".to_string(),
+            line: line_no,
+        });
+    }
+    Ok(JobSpec {
+        label: label.unwrap_or(default_label),
+        machine,
+        kind,
+        source,
+        repeat,
+        profile,
+        trace_json,
+    })
 }
 
 /// Materialises a job's program (reads and parses the file, or runs the
@@ -470,6 +508,30 @@ mod tests {
     fn exec_mode_carries_seed() {
         let jobs = parse_manifest("workload=knn mode=exec seed=7\n").unwrap();
         assert_eq!(jobs[0].kind, JobKind::Exec { seed: 7 });
+    }
+
+    #[test]
+    fn profile_and_trace_json_parse() {
+        let jobs = parse_manifest("workload=matmul order=64\n").unwrap();
+        assert!(!jobs[0].profile && jobs[0].trace_json.is_none());
+
+        let jobs = parse_manifest("workload=matmul order=64 profile=true\n").unwrap();
+        assert!(jobs[0].profile);
+
+        // trace_json implies profile.
+        let jobs = parse_manifest("workload=matmul order=64 trace_json=/tmp/t.json\n").unwrap();
+        assert!(jobs[0].profile);
+        assert_eq!(jobs[0].trace_json.as_deref(), Some("/tmp/t.json"));
+
+        assert_eq!(
+            parse_manifest("workload=matmul profile=maybe\n").unwrap_err().reason(),
+            &ManifestError::BadValue { key: "profile".into(), value: "maybe".into(), line: 1 }
+        );
+        // Profiling is a simulate-mode concept.
+        assert_eq!(
+            parse_manifest("workload=knn mode=exec profile=1\n").unwrap_err().reason(),
+            &ManifestError::BadValue { key: "profile".into(), value: "exec".into(), line: 1 }
+        );
     }
 
     #[test]

@@ -19,10 +19,13 @@
 //! can answer `/healthz`, `/stats` and `/trace` while the run is in
 //! flight. See DESIGN.md §8.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+use cf_core::profile::{PipeStage, ProfileReport, TRACE_PID_RUNTIME};
+use serde_json::{Map, Value};
 
 use crate::scheduler::LoadPolicy;
 use crate::serve::json_str;
@@ -181,6 +184,13 @@ impl LatencyHistogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Point-in-time per-bucket counts; slot `i` counts samples in
+    /// `[2^i, 2^(i+1))` µs (the Prometheus exporter accumulates these
+    /// into cumulative `le` buckets).
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
     /// Sum of all recorded sample durations.
     pub fn total(&self) -> Duration {
         Duration::from_micros(self.total_micros.load(Ordering::Relaxed))
@@ -216,6 +226,35 @@ pub struct Tracer {
     capacity: usize,
     ring: Mutex<VecDeque<SpanEvent>>,
     histograms: [LatencyHistogram; STAGES.len()],
+    profile: Mutex<ProfileStore>,
+}
+
+/// Aggregated simulator attribution for one (machine, level), summed
+/// over every profiled job of a run (see
+/// [`ProfileReport`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileAgg {
+    /// Machine configuration name the jobs ran on.
+    pub machine: String,
+    /// Hierarchy level (0 = root).
+    pub level: usize,
+    /// Busy seconds per pipeline stage, indexed by
+    /// [`PipeStage::index`].
+    pub stage_seconds: [f64; 5],
+    /// Parent-link traffic in bytes.
+    pub traffic_bytes: u64,
+    /// Memoization-table hits.
+    pub memo_hits: u64,
+    /// Memoization-table misses.
+    pub memo_misses: u64,
+    /// Seconds saved by pipeline concatenating.
+    pub concat_saved_s: f64,
+}
+
+#[derive(Debug, Default)]
+struct ProfileStore {
+    jobs: BTreeMap<String, u64>,
+    levels: BTreeMap<(String, usize), ProfileAgg>,
 }
 
 impl Tracer {
@@ -229,6 +268,7 @@ impl Tracer {
             capacity: capacity.max(1),
             ring: Mutex::new(VecDeque::new()),
             histograms: std::array::from_fn(|_| LatencyHistogram::default()),
+            profile: Mutex::new(ProfileStore::default()),
         }
     }
 
@@ -295,6 +335,92 @@ impl Tracer {
     /// Events dropped from the ring under pressure.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Folds one profiled job's simulator attribution into the
+    /// per-(machine, level) aggregate exported on `/metrics`.
+    pub fn absorb_profile(&self, machine: &str, report: &ProfileReport) {
+        let mut store = sync::lock(&self.profile);
+        *store.jobs.entry(machine.to_string()).or_insert(0) += 1;
+        for l in &report.levels {
+            let agg = store.levels.entry((machine.to_string(), l.level)).or_insert_with(|| {
+                ProfileAgg { machine: machine.to_string(), level: l.level, ..ProfileAgg::default() }
+            });
+            for stage in PipeStage::ALL {
+                agg.stage_seconds[stage.index()] += l.seconds.get(stage);
+            }
+            agg.traffic_bytes += l.traffic_bytes;
+            agg.memo_hits += l.memo_hits;
+            agg.memo_misses += l.memo_misses;
+            agg.concat_saved_s += l.concat_saved_s;
+        }
+    }
+
+    /// The profile aggregate: profiled-job counts per machine, plus the
+    /// per-(machine, level) rows in deterministic order.
+    pub fn profile_aggregate(&self) -> (Vec<(String, u64)>, Vec<ProfileAgg>) {
+        let store = sync::lock(&self.profile);
+        (
+            store.jobs.iter().map(|(m, &n)| (m.clone(), n)).collect(),
+            store.levels.values().cloned().collect(),
+        )
+    }
+
+    /// Renders the recent span ring as Chrome Trace Events on the
+    /// runtime process track (pid [`TRACE_PID_RUNTIME`]): spans with a
+    /// closed-over duration become complete (`ph:"X"`) events ending at
+    /// their record time, the rest become instants (`ph:"i"`). Tracks
+    /// split by subsystem: jobs, cache, journal.
+    pub fn chrome_events(&self) -> Vec<Value> {
+        fn base(name: &str, ph: &str, tid: u64, ts_us: f64, e: &SpanEvent) -> Map {
+            let mut m = Map::new();
+            m.insert("name", name);
+            m.insert("cat", "runtime");
+            m.insert("ph", ph);
+            m.insert("ts", ts_us);
+            m.insert("pid", TRACE_PID_RUNTIME);
+            m.insert("tid", tid);
+            let mut args = Map::new();
+            args.insert("token", e.token);
+            if !e.detail.is_empty() {
+                args.insert("detail", e.detail.as_str());
+            }
+            m.insert("args", Value::Object(args));
+            m
+        }
+        let mut out = vec![
+            cf_core::profile::trace_process_name(TRACE_PID_RUNTIME, "cf-runtime"),
+            cf_core::profile::trace_thread_name(TRACE_PID_RUNTIME, 0, "jobs"),
+            cf_core::profile::trace_thread_name(TRACE_PID_RUNTIME, 1, "cache"),
+            cf_core::profile::trace_thread_name(TRACE_PID_RUNTIME, 2, "journal"),
+        ];
+        for e in self.recent(usize::MAX) {
+            let tid = match e.kind {
+                SpanKind::JobSubmit
+                | SpanKind::JobStart
+                | SpanKind::JobRetry
+                | SpanKind::JobSettle
+                | SpanKind::Shed => 0,
+                SpanKind::CacheHit | SpanKind::CacheMiss | SpanKind::CacheCorrupt => 1,
+                SpanKind::JournalAppend | SpanKind::JournalCompact => 2,
+            };
+            let at_us = e.at.as_secs_f64() * 1e6;
+            let v = match e.duration {
+                Some(d) if d > Duration::ZERO => {
+                    let dur_us = d.as_secs_f64() * 1e6;
+                    let mut m = base(e.kind.name(), "X", tid, (at_us - dur_us).max(0.0), &e);
+                    m.insert("dur", dur_us.min(at_us));
+                    Value::Object(m)
+                }
+                _ => {
+                    let mut m = base(e.kind.name(), "i", tid, at_us, &e);
+                    m.insert("s", "t");
+                    Value::Object(m)
+                }
+            };
+            out.push(v);
+        }
+        out
     }
 
     /// The most recent `limit` events, oldest first.
@@ -366,17 +492,33 @@ struct RuntimeView {
 pub struct Obs {
     tracer: Arc<Tracer>,
     runtime: Mutex<Option<RuntimeView>>,
+    instance: Mutex<String>,
 }
 
 impl Obs {
     /// A hub with an enabled tracer retaining `capacity` events.
     pub fn new(capacity: usize) -> Arc<Obs> {
-        Arc::new(Obs { tracer: Arc::new(Tracer::new(capacity)), runtime: Mutex::new(None) })
+        Arc::new(Obs {
+            tracer: Arc::new(Tracer::new(capacity)),
+            runtime: Mutex::new(None),
+            instance: Mutex::new("cf-serve".to_string()),
+        })
     }
 
     /// The hub's tracer.
     pub fn tracer(&self) -> &Arc<Tracer> {
         &self.tracer
+    }
+
+    /// Sets the `instance` label value stamped on every `/metrics`
+    /// series (`cfserve --instance`).
+    pub fn set_instance(&self, name: &str) {
+        *sync::lock(&self.instance) = name.to_string();
+    }
+
+    /// The configured `instance` label value.
+    pub fn instance(&self) -> String {
+        sync::lock(&self.instance).clone()
     }
 
     /// Publishes a runtime's live stats and load limits; called by the
@@ -425,9 +567,30 @@ impl Obs {
     /// published, a `"starting"` placeholder (HTTP 503) before that.
     pub fn stats_json(&self) -> (bool, String) {
         match sync::lock(&self.runtime).clone() {
-            Some(view) => (true, view.stats.snapshot().render_json()),
+            Some(view) => {
+                let mut snap = view.stats.snapshot();
+                snap.spans_dropped = self.tracer.dropped();
+                (true, snap.render_json())
+            }
             None => (false, "{\"status\":\"starting\"}".to_string()),
         }
+    }
+
+    /// The `/metrics` response body: Prometheus text exposition over the
+    /// live stats snapshot, stage latency histograms and simulator
+    /// profile aggregate. Always renders (families without a published
+    /// runtime simply omit their samples).
+    pub fn metrics(&self) -> String {
+        let view = sync::lock(&self.runtime).clone();
+        let (snap, load) = match view {
+            Some(view) => {
+                let mut snap = view.stats.snapshot();
+                snap.spans_dropped = self.tracer.dropped();
+                (Some(snap), Some(view.load))
+            }
+            None => (None, None),
+        };
+        crate::metrics::render(&self.instance(), snap.as_ref(), load, &self.tracer)
     }
 
     /// The `/trace` response body.

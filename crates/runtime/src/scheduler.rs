@@ -203,6 +203,19 @@ pub struct SimResult {
     pub key: CacheKey,
 }
 
+/// Outcome of a profiled simulation job
+/// ([`Runtime::submit_simulate_profiled_checked`]).
+#[derive(Debug, Clone)]
+pub struct ProfiledSimResult {
+    /// The performance report (identical to the unprofiled one).
+    pub report: Arc<PerfReport>,
+    /// The simulator's per-level / per-signature attribution.
+    pub profile: Arc<cf_core::ProfileReport>,
+    /// The cache key identifying the job (the job itself bypasses the
+    /// cache so the attribution reflects a real planner run).
+    pub key: CacheKey,
+}
+
 /// Outcome of a functional-execution job.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecResult {
@@ -424,6 +437,30 @@ impl Runtime {
         let bypass = opts.bypass_cache;
         self.submit_supervised(opts, move |id, _attempt| {
             simulate_once(&inner, &machine, &program, bypass, id)
+        })
+    }
+
+    /// Submits a **profiled** performance simulation: timing identical to
+    /// [`submit_simulate`](Runtime::submit_simulate) but also returning
+    /// the simulator's per-level/per-stage attribution with the `top`
+    /// hottest instruction signatures. Always bypasses the plan cache —
+    /// a cached report carries no fresh attribution — and is counted as
+    /// a cache miss for neither side. Same admission-control reporting
+    /// as [`submit_simulate_checked`](Runtime::submit_simulate_checked).
+    pub fn submit_simulate_profiled_checked(
+        &self,
+        opts: JobOptions,
+        machine: MachineConfig,
+        program: Arc<Program>,
+        top: usize,
+    ) -> (JobHandle<ProfiledSimResult>, Result<(), JobError>) {
+        let opts = self.charge_default_cost(opts, &program);
+        self.submit_supervised(opts, move |_id, _attempt| {
+            let key = CacheKey::new(&machine, &program);
+            let (report, profile) = Machine::new(machine.clone())
+                .simulate_profiled(&program, top)
+                .map_err(JobError::Sim)?;
+            Ok(ProfiledSimResult { report: Arc::new(report), profile: Arc::new(profile), key })
         })
     }
 

@@ -18,9 +18,10 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use cf_core::MachineConfig;
+use cf_core::{Machine, MachineConfig, PerfReport};
 use cf_isa::Program;
 use cf_tensor::fingerprint::StableHasher;
+use serde_json::Value;
 
 use crate::cache::CacheKey;
 use crate::fault::{fnv1a, FaultPlan};
@@ -28,7 +29,9 @@ use crate::job::{JobError, JobHandle, JobOptions};
 use crate::journal::{JobEntry, Journal, JournalError, RunHeader, JOURNAL_VERSION};
 use crate::manifest::{self, JobKind, JobSpec, ManifestError};
 use crate::obs::{Obs, SpanKind, Stage, Tracer};
-use crate::scheduler::{ExecResult, LoadPolicy, Runtime, RuntimeConfig, SimResult};
+use crate::scheduler::{
+    ExecResult, LoadPolicy, ProfiledSimResult, Runtime, RuntimeConfig, SimResult,
+};
 use crate::stats::StatsSnapshot;
 use crate::supervisor::{next_retry, BreakerConfig, RetryPolicy};
 
@@ -119,6 +122,13 @@ pub enum ServeError {
         /// abort.
         journaled: usize,
     },
+    /// Writing a `trace_json=` per-job Chrome trace file failed.
+    Trace {
+        /// The requested output path.
+        path: String,
+        /// The underlying message.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -129,6 +139,9 @@ impl std::fmt::Display for ServeError {
             ServeError::Aborted { journaled } => {
                 write!(f, "run aborted by crash drill after {journaled} job(s)")
             }
+            ServeError::Trace { path, message } => {
+                write!(f, "trace file `{path}`: {message}")
+            }
         }
     }
 }
@@ -138,7 +151,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Manifest(e) => Some(e),
             ServeError::Journal(e) => Some(e),
-            ServeError::Aborted { .. } => None,
+            ServeError::Aborted { .. } | ServeError::Trace { .. } => None,
         }
     }
 }
@@ -222,8 +235,13 @@ impl ServeReport {
 
 enum Pending {
     Sim(JobHandle<SimResult>),
+    SimProfiled(JobHandle<ProfiledSimResult>),
     Exec(JobHandle<ExecResult>),
 }
+
+/// Hottest-signature count profiled serve jobs keep (the aggregate on
+/// `/metrics` is per level, so the signature list only bounds memory).
+const PROFILE_TOP_SIGNATURES: usize = 16;
 
 /// One fully-resolved job of the expanded (repeat-flattened) run.
 struct FlatJob {
@@ -233,6 +251,8 @@ struct FlatJob {
     machine: MachineConfig,
     program: Arc<Program>,
     kind: JobKind,
+    profile: bool,
+    trace_json: Option<String>,
 }
 
 /// Derives the run-identity header the journal binds to: a fingerprint
@@ -269,19 +289,25 @@ fn compute_run_header(flat: &[FlatJob], opts: &ServeOptions) -> RunHeader {
     }
 }
 
+/// The deterministic simulate-job payload of a performance report
+/// (shared by the plain and profiled paths, so their records match).
+fn sim_output(r: &PerfReport) -> JobOutput {
+    JobOutput::Sim {
+        makespan_s: r.makespan_seconds,
+        steady_s: r.steady_seconds,
+        attained_tops: r.attained_ops / 1e12,
+        peak_fraction: r.peak_fraction,
+        root_intensity: r.root_intensity,
+    }
+}
+
 /// Joins one pending handle into the deterministic job output.
+/// Profiled handles are settled in [`RunState::settle`] instead (they
+/// also feed the tracer's profile aggregate).
 fn join_pending(pending: Pending) -> Result<JobOutput, JobError> {
     match pending {
-        Pending::Sim(h) => h.join().map(|sim| {
-            let r = &sim.report;
-            JobOutput::Sim {
-                makespan_s: r.makespan_seconds,
-                steady_s: r.steady_seconds,
-                attained_tops: r.attained_ops / 1e12,
-                peak_fraction: r.peak_fraction,
-                root_intensity: r.root_intensity,
-            }
-        }),
+        Pending::Sim(h) => h.join().map(|sim| sim_output(&sim.report)),
+        Pending::SimProfiled(h) => h.join().map(|sim| sim_output(&sim.report)),
         Pending::Exec(h) => h.join().map(|exec| {
             let mut hasher = StableHasher::new();
             for v in &exec.memory {
@@ -310,9 +336,29 @@ impl RunState<'_> {
     /// Joins and records one freshly-run job, journaling it durably
     /// before the outcome becomes visible in the report (write-ahead
     /// order), then fires the crash drill if its countdown reached zero.
+    ///
+    /// Profiled jobs additionally fold their attribution into the
+    /// tracer's `/metrics` aggregate and, when `trace_json=` asked for
+    /// it, write the per-job Chrome trace file.
     fn settle(&mut self, index: usize, pending: Pending) -> Result<(), ServeError> {
-        let outcome = join_pending(pending);
-        self.record(index, outcome)
+        let (outcome, profiled_ok) = match pending {
+            Pending::SimProfiled(h) => {
+                let joined = h.join();
+                let ok = joined.is_ok();
+                if let Ok(sim) = &joined {
+                    self.tracer.absorb_profile(&self.flat[index].machine_name, &sim.profile);
+                }
+                (joined.map(|sim| sim_output(&sim.report)), ok)
+            }
+            other => (join_pending(other), false),
+        };
+        self.record(index, outcome)?;
+        if profiled_ok {
+            if let Some(path) = &self.flat[index].trace_json {
+                write_job_trace(path, &self.flat[index], &self.tracer)?;
+            }
+        }
+        Ok(())
     }
 
     fn record(
@@ -400,6 +446,8 @@ pub fn serve_specs(specs: &[JobSpec], opts: &ServeOptions) -> Result<ServeReport
                 machine: machine.clone(),
                 program: Arc::clone(&program),
                 kind: spec.kind,
+                profile: spec.profile,
+                trace_json: spec.trace_json.clone(),
             });
         }
     }
@@ -487,6 +535,15 @@ pub fn serve_specs(specs: &[JobSpec], opts: &ServeOptions) -> Result<ServeReport
         let first_try = Instant::now();
         loop {
             let (handle, admitted) = match job.kind {
+                JobKind::Simulate if job.profile => {
+                    let (h, a) = runtime.submit_simulate_profiled_checked(
+                        JobOptions::default(),
+                        job.machine.clone(),
+                        Arc::clone(&job.program),
+                        PROFILE_TOP_SIGNATURES,
+                    );
+                    (Pending::SimProfiled(h), a)
+                }
                 JobKind::Simulate => {
                     let (h, a) = runtime.submit_simulate_checked(
                         JobOptions::default(),
@@ -552,7 +609,8 @@ pub fn serve_specs(specs: &[JobSpec], opts: &ServeOptions) -> Result<ServeReport
         .stats()
         .journal_bytes_reclaimed
         .fetch_add(resume_reclaimed + state.bytes_reclaimed, Ordering::Relaxed);
-    let stats = runtime.stats().snapshot();
+    let mut stats = runtime.stats().snapshot();
+    stats.spans_dropped = state.tracer.dropped();
     runtime.shutdown();
 
     let records = state
@@ -570,6 +628,22 @@ pub fn serve_specs(specs: &[JobSpec], opts: &ServeOptions) -> Result<ServeReport
         })
         .collect();
     Ok(ServeReport { records, stats, workers, wall })
+}
+
+/// Writes one profiled job's Chrome Trace Event JSON: the simulation
+/// timeline (coarse per-level DMA/compute tracks plus fine pipeline-
+/// stage tracks) merged with the runtime tracer's span tracks into one
+/// `chrome://tracing`-loadable array.
+fn write_job_trace(path: &str, job: &FlatJob, tracer: &Tracer) -> Result<(), ServeError> {
+    let err = |message: String| ServeError::Trace { path: path.to_string(), message };
+    let depth = job.machine.levels.len().max(1);
+    let tl = Machine::new(job.machine.clone())
+        .timeline(&job.program, depth)
+        .map_err(|e| err(e.to_string()))?;
+    let mut events = cf_core::profile::chrome_trace_events(&job.machine, &tl);
+    events.extend(tracer.chrome_events());
+    std::fs::write(path, serde_json::to_string(&Value::Array(events)))
+        .map_err(|e| err(e.to_string()))
 }
 
 /// Escapes a string for a JSON value position.
@@ -666,6 +740,46 @@ mod tests {
         assert!(line.contains("\"ok\":false"), "{line}");
         assert!(line.contains("boom"), "{line}");
         assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+
+    #[test]
+    fn profiled_jobs_match_unprofiled_output_and_feed_the_aggregate() {
+        let obs = Obs::new(64);
+        let plain = serve_manifest("workload=matmul order=64\n", &quick_opts()).unwrap();
+        let profiled = serve_manifest(
+            "workload=matmul order=64 profile=true\n",
+            &ServeOptions { obs: Some(Arc::clone(&obs)), ..quick_opts() },
+        )
+        .unwrap();
+        // Profiling must not change the deterministic record.
+        assert_eq!(render_record_json(&plain.records[0]), render_record_json(&profiled.records[0]),);
+        let (jobs, rows) = obs.tracer().profile_aggregate();
+        assert_eq!(jobs, vec![("f1".to_string(), 1)]);
+        assert!(!rows.is_empty());
+        assert!(rows.iter().any(|r| r.stage_seconds.iter().sum::<f64>() > 0.0), "{rows:?}");
+    }
+
+    #[test]
+    fn trace_json_writes_a_chrome_trace_file() {
+        let dir = std::env::temp_dir().join(format!("cf-serve-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("job.trace.json");
+        let manifest = format!("workload=matmul order=64 trace_json={}\n", path.to_string_lossy());
+        let report = serve_manifest(&manifest, &quick_opts()).unwrap();
+        assert_eq!(report.failures(), 0);
+        let body = std::fs::read_to_string(&path).unwrap();
+        let v = serde_json::from_str(&body).unwrap_or_else(|e| panic!("{e}"));
+        let events = v.as_array().unwrap();
+        assert!(!events.is_empty());
+        // Every event is an object with ph/pid/tid/name.
+        for e in events {
+            let obj = e.as_object().unwrap();
+            assert!(obj.get("ph").and_then(Value::as_str).is_some(), "{e}");
+            assert!(obj.get("pid").and_then(Value::as_u64).is_some(), "{e}");
+            assert!(obj.get("tid").and_then(Value::as_u64).is_some(), "{e}");
+            assert!(obj.get("name").and_then(Value::as_str).is_some(), "{e}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -4,6 +4,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use serde_json::{Map, Serialize, Value};
+
 /// Per-worker counters (one slot per pool thread).
 #[derive(Debug, Default)]
 pub struct WorkerStats {
@@ -139,6 +141,7 @@ impl RuntimeStats {
             queue_wait: Duration::from_nanos(self.queue_wait_nanos.load(Ordering::Relaxed)),
             in_flight: self.in_flight.load(Ordering::Relaxed),
             queued_bytes: self.queued_bytes.load(Ordering::Relaxed),
+            spans_dropped: 0,
             uptime: self.started.elapsed(),
             per_worker,
         }
@@ -188,6 +191,12 @@ pub struct StatsSnapshot {
     pub in_flight: u64,
     /// Gauge at snapshot time: estimated bytes of queued work.
     pub queued_bytes: u64,
+    /// Span events dropped from the observability ring buffer under
+    /// pressure. [`RuntimeStats::snapshot`] sets this to 0 — the registry
+    /// does not own the tracer — and holders of both (the serve engine,
+    /// the `Obs` hub) overwrite it from
+    /// [`Tracer::dropped`](crate::obs::Tracer::dropped).
+    pub spans_dropped: u64,
     /// Time since the runtime started.
     pub uptime: Duration,
     /// Per-worker job/busy counters.
@@ -235,41 +244,53 @@ impl StatsSnapshot {
         self.per_worker.iter().map(|w| w.busy).sum()
     }
 
-    /// Renders the snapshot as one JSON object (for `--stats-json`).
+    /// Renders the snapshot as one JSON object (for `--stats-json` and
+    /// `/stats`) — [`Serialize::to_value`] printed compactly, so every
+    /// consumer shares one schema.
     ///
     /// Durations are seconds as JSON numbers; `shed_breaker` is the
     /// circuit-breaker shed count, `shed_jobs` the admission-control one.
     pub fn render_json(&self) -> String {
-        let workers: Vec<String> = self
-            .per_worker
-            .iter()
-            .map(|w| format!("{{\"jobs\":{},\"busy_s\":{:?}}}", w.jobs, w.busy.as_secs_f64()))
-            .collect();
-        format!(
-            "{{\"submitted\":{},\"completed\":{},\"failed\":{},\"cancelled\":{},\"expired\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_corruptions\":{},\"retries\":{},\"shed_breaker\":{},\"shed_jobs\":{},\"resumed_jobs\":{},\"journal_bytes\":{},\"journal_compactions\":{},\"journal_bytes_reclaimed\":{},\"faults_injected\":{},\"worker_respawns\":{},\"queue_wait_s\":{:?},\"in_flight\":{},\"queued_bytes\":{},\"uptime_s\":{:?},\"workers\":[{}]}}",
-            self.submitted,
-            self.completed,
-            self.failed,
-            self.cancelled,
-            self.expired,
-            self.cache_hits,
-            self.cache_misses,
-            self.cache_corruptions,
-            self.retries,
-            self.shed,
-            self.shed_jobs,
-            self.resumed_jobs,
-            self.journal_bytes,
-            self.journal_compactions,
-            self.journal_bytes_reclaimed,
-            self.faults_injected,
-            self.worker_respawns,
-            self.queue_wait.as_secs_f64(),
-            self.in_flight,
-            self.queued_bytes,
-            self.uptime.as_secs_f64(),
-            workers.join(","),
-        )
+        serde_json::to_string(self)
+    }
+}
+
+impl Serialize for WorkerSnapshot {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("jobs", self.jobs);
+        m.insert("busy_s", self.busy.as_secs_f64());
+        Value::Object(m)
+    }
+}
+
+impl Serialize for StatsSnapshot {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("submitted", self.submitted);
+        m.insert("completed", self.completed);
+        m.insert("failed", self.failed);
+        m.insert("cancelled", self.cancelled);
+        m.insert("expired", self.expired);
+        m.insert("cache_hits", self.cache_hits);
+        m.insert("cache_misses", self.cache_misses);
+        m.insert("cache_corruptions", self.cache_corruptions);
+        m.insert("retries", self.retries);
+        m.insert("shed_breaker", self.shed);
+        m.insert("shed_jobs", self.shed_jobs);
+        m.insert("resumed_jobs", self.resumed_jobs);
+        m.insert("journal_bytes", self.journal_bytes);
+        m.insert("journal_compactions", self.journal_compactions);
+        m.insert("journal_bytes_reclaimed", self.journal_bytes_reclaimed);
+        m.insert("faults_injected", self.faults_injected);
+        m.insert("worker_respawns", self.worker_respawns);
+        m.insert("spans_dropped", self.spans_dropped);
+        m.insert("queue_wait_s", self.queue_wait.as_secs_f64());
+        m.insert("in_flight", self.in_flight);
+        m.insert("queued_bytes", self.queued_bytes);
+        m.insert("uptime_s", self.uptime.as_secs_f64());
+        m.insert("workers", self.per_worker.to_value());
+        Value::Object(m)
     }
 }
 
@@ -319,6 +340,19 @@ mod tests {
         assert!(json.contains("\"in_flight\":4"), "{json}");
         assert!(json.contains("\"queued_bytes\":64"), "{json}");
         assert!(json.contains("\"workers\":[{"), "{json}");
+    }
+
+    #[test]
+    fn render_json_parses_and_carries_spans_dropped() {
+        let stats = RuntimeStats::new(2);
+        let mut snap = stats.snapshot();
+        snap.spans_dropped = 7;
+        let json = snap.render_json();
+        let v = serde_json::from_str(&json).unwrap_or_else(|e| panic!("{e}: {json}"));
+        assert_eq!(v.get("spans_dropped").and_then(Value::as_u64), Some(7));
+        assert_eq!(v.get("workers").and_then(Value::as_array).map(<[Value]>::len), Some(2));
+        assert!(v.get("queue_wait_s").and_then(Value::as_f64).is_some());
+        assert!(v.get("uptime_s").and_then(Value::as_f64).is_some());
     }
 
     #[test]

@@ -1,13 +1,14 @@
 //! A minimal, dependency-free HTTP/1.1 status server over an [`Obs`]
 //! hub.
 //!
-//! Serves exactly three JSON endpoints on a loopback listener:
+//! Serves exactly four endpoints on a loopback listener:
 //!
 //! | route      | payload | status |
 //! |------------|---------|--------|
 //! | `/healthz` | liveness + admission headroom | `200` with headroom, `503` when overloaded |
 //! | `/stats`   | the live [`StatsSnapshot`](crate::StatsSnapshot) JSON | `200` once a run published, `503 "starting"` before |
 //! | `/trace`   | recent span events + per-stage latency histograms | `200` |
+//! | `/metrics` | Prometheus text exposition (see [`metrics`](crate::metrics)) | `200`, always |
 //!
 //! Every response is `Connection: close` with an exact `Content-Length`,
 //! so `curl` and load-balancer probes need no keep-alive handling. The
@@ -132,29 +133,35 @@ fn serve_connection(mut stream: TcpStream, obs: &Obs) -> std::io::Result<()> {
     // path alone.
     let path = target.split('?').next().unwrap_or(target);
 
-    let (status, body) = if method != "GET" {
-        ("405 Method Not Allowed", "{\"error\":\"only GET is supported\"}".to_string())
+    const JSON: &str = "application/json";
+    // The content type Prometheus' text parser expects.
+    const PROM_TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+    let (status, content_type, body) = if method != "GET" {
+        ("405 Method Not Allowed", JSON, "{\"error\":\"only GET is supported\"}".to_string())
     } else {
         match path {
             "/healthz" => {
                 let (healthy, body) = obs.healthz();
-                (if healthy { "200 OK" } else { "503 Service Unavailable" }, body)
+                (if healthy { "200 OK" } else { "503 Service Unavailable" }, JSON, body)
             }
             "/stats" => {
                 let (ready, body) = obs.stats_json();
-                (if ready { "200 OK" } else { "503 Service Unavailable" }, body)
+                (if ready { "200 OK" } else { "503 Service Unavailable" }, JSON, body)
             }
-            "/trace" => ("200 OK", obs.trace_json(TRACE_LIMIT)),
+            "/trace" => ("200 OK", JSON, obs.trace_json(TRACE_LIMIT)),
+            "/metrics" => ("200 OK", PROM_TEXT, obs.metrics()),
             _ => (
                 "404 Not Found",
-                "{\"error\":\"not found\",\"routes\":[\"/healthz\",\"/stats\",\"/trace\"]}"
+                JSON,
+                "{\"error\":\"not found\",\"routes\":[\"/healthz\",\"/stats\",\"/trace\",\"/metrics\"]}"
                     .to_string(),
             ),
         }
     };
 
     let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len(),
     );
     stream.write_all(response.as_bytes())?;
@@ -213,9 +220,16 @@ mod tests {
         assert!(status.contains("200"), "{status}");
         assert!(body.contains("\"events\""), "{body}");
 
+        let (status, body) = http_get(addr, "/metrics");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("# TYPE cf_jobs_submitted_total counter"), "{body}");
+        assert!(body.contains("cf_jobs_submitted_total{instance=\"cf-serve\"} 5"), "{body}");
+        assert!(body.contains("cf_max_in_flight{instance=\"cf-serve\"} 3"), "{body}");
+
         let (status, body) = http_get(addr, "/nope");
         assert!(status.contains("404"), "{status}");
         assert!(body.contains("/healthz"), "{body}");
+        assert!(body.contains("/metrics"), "{body}");
 
         server.shutdown();
     }

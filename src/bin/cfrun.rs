@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cfrun <program.cfasm> [--machine f1|f100|embedded|tiny] [--exec] [--timeline N]
-//!       [--deadline-budget MS] [--trace]
+//!       [--deadline-budget MS] [--trace] [--profile] [--trace-json PATH]
 //! ```
 //!
 //! By default the program is performance-simulated; `--exec` additionally
@@ -18,6 +18,15 @@
 //! timeline (submit, start, cache hit/miss, settle, with per-stage
 //! durations) to stderr after the run — the same spans `cfserve
 //! --status-port` exposes at `/trace`. Outputs on stdout are unchanged.
+//!
+//! `--profile` runs the simulation with the deep profiler on and prints
+//! the per-level stage attribution and the hottest instruction
+//! signatures (the decomposition "flamegraph") after the headline
+//! numbers; timing results are identical to an unprofiled run.
+//! `--trace-json PATH` writes a Chrome Trace Event JSON file — the
+//! per-level DMA/compute timeline, the fine ID/LD/EX/RD/WB stage
+//! intervals and (with `--trace`) the runtime span tracks — loadable in
+//! `chrome://tracing` or Perfetto.
 //!
 //! Exit codes: `0` success, `2` bad arguments (including an unknown
 //! machine name), `3` the program failed to load or parse, `4` the
@@ -42,10 +51,13 @@ const EXIT_JOB_FAILED: u8 = 4;
 /// room to spare).
 const TRACE_CAPACITY: usize = 1024;
 
+/// Hottest-signature rows `--profile` prints.
+const PROFILE_TOP_SIGNATURES: usize = 10;
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cfrun <program.cfasm> [--machine f1|f100|embedded|tiny] [--exec] [--timeline N] \\\n\
-         \x20            [--deadline-budget MS] [--trace]"
+         \x20            [--deadline-budget MS] [--trace] [--profile] [--trace-json PATH]"
     );
     ExitCode::from(EXIT_BAD_ARGS)
 }
@@ -84,6 +96,8 @@ fn main() -> ExitCode {
     let mut timeline_depth: Option<usize> = None;
     let mut deadline_budget: Option<Duration> = None;
     let mut trace = false;
+    let mut profile = false;
+    let mut trace_json: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -93,6 +107,11 @@ fn main() -> ExitCode {
             },
             "--exec" => do_exec = true,
             "--trace" => trace = true,
+            "--profile" => profile = true,
+            "--trace-json" => match it.next() {
+                Some(p) => trace_json = Some(p.clone()),
+                None => return usage(),
+            },
             "--timeline" => match it.next().and_then(|d| d.parse().ok()) {
                 Some(d) => timeline_depth = Some(d),
                 None => return usage(),
@@ -154,16 +173,27 @@ fn main() -> ExitCode {
         dump_trace(trace_pool);
         return ExitCode::from(EXIT_JOB_FAILED);
     }
-    let simulated = match &trace_pool {
-        Some((runtime, _)) => runtime
-            .submit_simulate(cfg.clone(), Arc::clone(&program))
-            .join()
-            .map(|sim| sim.report)
-            .map_err(|e| e.to_string()),
-        None => machine.simulate(&program).map(Arc::new).map_err(|e| e.to_string()),
+    // --profile takes the direct simulate_profiled path (the pool's
+    // cached path cannot attribute anything fresh); timing is identical.
+    let simulated = if profile {
+        machine
+            .simulate_profiled(&program, PROFILE_TOP_SIGNATURES)
+            .map(|(report, prof)| (Arc::new(report), Some(prof)))
+            .map_err(|e| e.to_string())
+    } else {
+        match &trace_pool {
+            Some((runtime, _)) => runtime
+                .submit_simulate(cfg.clone(), Arc::clone(&program))
+                .join()
+                .map(|sim| (sim.report, None))
+                .map_err(|e| e.to_string()),
+            None => {
+                machine.simulate(&program).map(|r| (Arc::new(r), None)).map_err(|e| e.to_string())
+            }
+        }
     };
     match simulated {
-        Ok(report) => {
+        Ok((report, prof)) => {
             println!(
                 "simulated: {:.3} ms | {:.3} Tops attained ({:.1}% of peak) | root intensity {:.1} ops/B | root traffic {:.3} MB",
                 report.makespan_seconds * 1e3,
@@ -172,6 +202,9 @@ fn main() -> ExitCode {
                 report.root_intensity,
                 report.stats.root_traffic_bytes() as f64 / 1e6,
             );
+            if let Some(prof) = prof {
+                print!("{}", prof.render_table(&cfg));
+            }
         }
         Err(e) => {
             eprintln!("cfrun: simulation failed: {e}");
@@ -228,6 +261,37 @@ fn main() -> ExitCode {
             };
             let preview: Vec<String> = t.data().iter().take(6).map(|v| format!("{v:.4}")).collect();
             println!("{name} {} = [{}…]", region.shape(), preview.join(", "));
+        }
+    }
+
+    if let Some(path) = &trace_json {
+        if !budget_left(t0, deadline_budget, "trace export") {
+            dump_trace(trace_pool);
+            return ExitCode::from(EXIT_JOB_FAILED);
+        }
+        // Full hierarchy depth unless --timeline narrowed it.
+        let depth = timeline_depth.unwrap_or_else(|| cfg.depth());
+        match machine.timeline(&program, depth) {
+            Ok(tl) => {
+                let mut events = cambricon_f::core::profile::chrome_trace_events(&cfg, &tl);
+                if let Some((_, tracer)) = &trace_pool {
+                    events.extend(tracer.chrome_events());
+                }
+                let body = serde_json::to_string(&serde_json::Value::Array(events));
+                if let Err(e) = std::fs::write(path, body) {
+                    eprintln!("cfrun: cannot write {path}: {e}");
+                    dump_trace(trace_pool);
+                    return ExitCode::from(EXIT_JOB_FAILED);
+                }
+                eprintln!(
+                    "cfrun: wrote Chrome trace to {path} (load in chrome://tracing or Perfetto)"
+                );
+            }
+            Err(e) => {
+                eprintln!("cfrun: trace export failed: {e}");
+                dump_trace(trace_pool);
+                return ExitCode::from(EXIT_JOB_FAILED);
+            }
         }
     }
     dump_trace(trace_pool);

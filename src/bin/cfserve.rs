@@ -6,6 +6,7 @@
 //!         [--retries N] [--fault-seed S] [--fault-spec SPEC]
 //!         [--journal PATH] [--resume] [--compact-threshold BYTES]
 //!         [--max-inflight N] [--stats-json PATH] [--status-port N]
+//!         [--instance NAME]
 //! ```
 //!
 //! The manifest grammar is documented in `cf_runtime::manifest` (one job
@@ -31,8 +32,12 @@
 //! `--status-port N` starts a loopback HTTP/1.1 status server (port `0`
 //! picks a free port, printed to stderr) serving `GET /healthz` (200
 //! with admission headroom, 503 when overloaded), `GET /stats` (the
-//! live runtime-stats JSON) and `GET /trace` (recent span events +
-//! per-stage latency histograms) while the run is in flight.
+//! live runtime-stats JSON), `GET /trace` (recent span events +
+//! per-stage latency histograms) and `GET /metrics` (Prometheus text
+//! exposition: every runtime counter, stage-latency histograms and the
+//! simulator profile aggregate fed by `profile=true` manifest jobs)
+//! while the run is in flight. `--instance NAME` sets the `instance`
+//! label stamped on every `/metrics` series (default `cf-serve`).
 //!
 //! Exit codes: `0` all jobs succeeded, `2` bad arguments, `3` manifest
 //! or journal validation failed — including resume onto a different
@@ -64,11 +69,13 @@ fn usage() -> ExitCode {
         "usage: cfserve <manifest> [--workers N] [--cache-capacity N] [--no-cache] \\\n\
          \x20              [--retries N] [--fault-seed S] [--fault-spec SPEC] \\\n\
          \x20              [--journal PATH] [--resume] [--compact-threshold BYTES] \\\n\
-         \x20              [--max-inflight N] [--stats-json PATH] [--status-port N]"
+         \x20              [--max-inflight N] [--stats-json PATH] [--status-port N] \\\n\
+         \x20              [--instance NAME]"
     );
     eprintln!("manifest lines: workload=<name>|program=<file.cfasm> \\");
     eprintln!("    [machine=f1|f100|embedded|tiny] [mode=simulate|exec] [seed=N]");
     eprintln!("    [batch=N] [order=N] [size=small|paper] [repeat=N] [label=TAG]");
+    eprintln!("    [profile=true] [trace_json=PATH]");
     eprintln!("fault spec: comma-separated site=rate pairs, e.g.");
     eprintln!(
         "    panic=0.1,corrupt=0.05,latency=0.02,latency_ms=5,expire=0.01,mem=0.001,kill=0.005"
@@ -89,6 +96,7 @@ fn main() -> ExitCode {
     let mut compact_threshold = DEFAULT_COMPACT_THRESHOLD;
     let mut stats_json: Option<String> = None;
     let mut status_port: Option<u16> = None;
+    let mut instance: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -103,6 +111,10 @@ fn main() -> ExitCode {
             },
             "--status-port" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => status_port = Some(n),
+                None => return usage(),
+            },
+            "--instance" => match it.next() {
+                Some(n) => instance = Some(n.clone()),
                 None => return usage(),
             },
             "--max-inflight" => match it.next().and_then(|v| v.parse().ok()) {
@@ -161,10 +173,13 @@ fn main() -> ExitCode {
     let mut _status_server = None;
     if let Some(port) = status_port {
         let obs = Obs::new(TRACE_CAPACITY);
+        if let Some(name) = &instance {
+            obs.set_instance(name);
+        }
         match StatusServer::bind(port, Arc::clone(&obs)) {
             Ok(server) => {
                 eprintln!(
-                    "cfserve: status on http://{} (GET /healthz /stats /trace)",
+                    "cfserve: status on http://{} (GET /healthz /stats /trace /metrics)",
                     server.local_addr()
                 );
                 _status_server = Some(server);

@@ -1,0 +1,108 @@
+//! End-to-end test of `cfrun --trace-json`: run the real binary on the
+//! demo program, then round-trip the emitted file through the JSON
+//! parser and check it is a well-formed Chrome Trace Event array —
+//! every event carries `ph`/`pid`/`tid`/`name`, duration events carry
+//! `ts`/`dur`/`cat`, there is one level track per hierarchy level and
+//! (with `--trace`) the runtime span tracks are present too.
+
+use std::process::Command;
+
+use cambricon_f::core::profile::{TRACE_PID_LEVELS, TRACE_PID_RUNTIME, TRACE_PID_STAGES};
+use serde_json::Value;
+
+fn run_cfrun(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_cfrun"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("spawn cfrun")
+}
+
+fn field_u64(event: &Value, key: &str) -> Option<u64> {
+    event.get(key).and_then(Value::as_u64)
+}
+
+#[test]
+fn trace_json_is_a_wellformed_chrome_trace() {
+    let out_path = std::env::temp_dir().join(format!("cf-trace-{}.json", std::process::id()));
+    // --trace routes the simulate through the traced pool, so the
+    // export also carries the runtime span tracks.
+    let out =
+        run_cfrun(&["assets/demo.cfasm", "--trace", "--trace-json", out_path.to_str().unwrap()]);
+    assert!(out.status.success(), "cfrun failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("wrote Chrome trace"), "{stderr}");
+
+    let text = std::fs::read_to_string(&out_path).expect("read trace file");
+    std::fs::remove_file(&out_path).ok();
+    let root = serde_json::from_str(&text).expect("trace file is valid JSON");
+    let events = root.as_array().expect("top level is a JSON array");
+    assert!(!events.is_empty(), "trace has no events");
+
+    let mut level_tracks = std::collections::BTreeSet::new();
+    let mut stage_tracks = std::collections::BTreeSet::new();
+    let mut runtime_events = 0u64;
+    let mut duration_events = 0u64;
+    for event in events {
+        let ph = event.get("ph").and_then(Value::as_str).expect("event has ph");
+        let pid = field_u64(event, "pid").expect("event has pid");
+        let tid = field_u64(event, "tid").expect("event has tid");
+        assert!(event.get("name").and_then(Value::as_str).is_some(), "event has name");
+        match ph {
+            "X" => {
+                duration_events += 1;
+                let ts = event.get("ts").and_then(Value::as_f64).expect("X event has ts");
+                let dur = event.get("dur").and_then(Value::as_f64).expect("X event has dur");
+                assert!(ts >= 0.0 && dur >= 0.0, "negative ts/dur");
+                assert!(event.get("cat").and_then(Value::as_str).is_some(), "X event has cat");
+                match pid {
+                    TRACE_PID_LEVELS => {
+                        level_tracks.insert(tid);
+                    }
+                    TRACE_PID_STAGES => {
+                        stage_tracks.insert(tid);
+                    }
+                    TRACE_PID_RUNTIME => runtime_events += 1,
+                    other => panic!("unexpected pid {other}"),
+                }
+            }
+            "M" => {
+                // Metadata events name the tracks.
+                assert!(event.get("args").and_then(|a| a.get("name")).is_some());
+            }
+            "i" => {
+                assert!(event.get("ts").is_some(), "instant has ts");
+                if pid == TRACE_PID_RUNTIME {
+                    runtime_events += 1;
+                }
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert!(duration_events > 0, "no duration events");
+    // demo.cfasm on the default f1 machine exercises a multi-level
+    // hierarchy: one coarse track per level, stage tracks alongside.
+    assert!(level_tracks.len() >= 2, "want >=2 level tracks, got {level_tracks:?}");
+    assert!(!stage_tracks.is_empty(), "no pipeline-stage tracks");
+    // The traced pool recorded at least submit/settle spans.
+    assert!(runtime_events > 0, "no runtime span events despite --trace");
+}
+
+#[test]
+fn profile_run_exports_trace_without_runtime_tracks() {
+    let out_path = std::env::temp_dir().join(format!("cf-trace-plain-{}.json", std::process::id()));
+    let out =
+        run_cfrun(&["assets/demo.cfasm", "--profile", "--trace-json", out_path.to_str().unwrap()]);
+    assert!(out.status.success(), "cfrun failed: {}", String::from_utf8_lossy(&out.stderr));
+    // --profile prints the attribution table on stdout.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("profile on"), "{stdout}");
+
+    let text = std::fs::read_to_string(&out_path).expect("read trace file");
+    std::fs::remove_file(&out_path).ok();
+    let root = serde_json::from_str(&text).expect("valid JSON");
+    let events = root.as_array().expect("array");
+    assert!(!events.is_empty());
+    // Without --trace there is no pool, hence no runtime track.
+    assert!(events.iter().all(|e| e.get("pid").and_then(Value::as_u64) != Some(TRACE_PID_RUNTIME)));
+}
