@@ -11,6 +11,13 @@
 //! Functional-execution jobs are **not** cached here: their output depends
 //! on the contents of external memory, which is not part of the key (see
 //! DESIGN.md §6).
+//!
+//! The key also defines *identity* beyond the cache: concurrent
+//! simulations of the same key run once behind a single-flight guard in
+//! the scheduler, and the HTTP job API ([`api`](crate::api)) coalesces
+//! concurrently submitted identical specs by this key — one cold
+//! computation, N subscribers, each with its own durable job id (see
+//! DESIGN.md §9).
 
 use std::collections::HashMap;
 use std::sync::Mutex;

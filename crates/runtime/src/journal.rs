@@ -73,6 +73,18 @@ pub struct JobEntry {
     pub outcome: Result<JobOutput, String>,
 }
 
+/// One accepted-but-not-yet-finished job, as journaled by the HTTP job
+/// API *before* the job id is acknowledged to the client. The spec is
+/// the canonical manifest line the submission parsed to, so a resume
+/// can re-create and re-run the job under the same id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcceptedEntry {
+    /// The job id the client was (about to be) given.
+    pub index: u64,
+    /// The canonical manifest line of the accepted spec.
+    pub spec: String,
+}
+
 /// Any journal line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Record {
@@ -80,6 +92,9 @@ pub enum Record {
     Header(RunHeader),
     /// A finished job.
     Job(JobEntry),
+    /// A durably-accepted job the API has not yet finished (the
+    /// write-ahead half of the acceptance handshake).
+    Accepted(AcceptedEntry),
 }
 
 /// Why a single journal line did not parse.
@@ -215,6 +230,9 @@ pub fn encode_record(record: &Record) -> String {
                 Err(message) => format!("{head},\"ok\":false,\"error\":{}}}", json_str(message)),
             }
         }
+        Record::Accepted(a) => {
+            format!("{{\"type\":\"accept\",\"job\":{},\"spec\":{}}}", a.index, json_str(&a.spec))
+        }
     };
     format!("{{\"crc\":\"{:016x}\",\"rec\":{rec}}}", fnv1a(rec.as_bytes()))
 }
@@ -322,6 +340,14 @@ fn parse_rec_body(rec: &str) -> Result<Record, RecordError> {
         c.lit("}")?;
         c.end()?;
         Ok(Record::Job(JobEntry { index, label, machine, mode, outcome }))
+    } else if c.eat("accept\",") {
+        c.lit("\"job\":")?;
+        let index = c.u64()?;
+        c.lit(",\"spec\":")?;
+        let spec = c.string()?;
+        c.lit("}")?;
+        c.end()?;
+        Ok(Record::Accepted(AcceptedEntry { index, spec }))
     } else {
         Err(RecordError::Grammar("unknown record type"))
     }
@@ -453,16 +479,27 @@ impl CompactionStats {
 /// re-encoding of the run-identity header plus every *successful* job
 /// entry of the valid prefix, in order. Failed entries are dropped — on
 /// resume those jobs re-run instead of replaying the recorded failure —
-/// and so is any torn or out-of-contract tail. Idempotent: compacting a
-/// compacted image returns it byte-identically.
+/// and so is any torn or out-of-contract tail. Acceptance records are
+/// kept only while no successful completion for the same index exists
+/// (a still-owed job must survive the rewrite so resume can re-run it);
+/// once the completion is durable the accept is redundant and dropped.
+/// Idempotent: compacting a compacted image returns it byte-identically.
 pub fn compact_image(bytes: &[u8], jobs: u64) -> (Vec<u8>, CompactionStats) {
     let (records, valid_len) = scan_valid_prefix(bytes, jobs);
+    let settled: std::collections::HashSet<u64> = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Job(e) if e.outcome.is_ok() => Some(e.index),
+            _ => None,
+        })
+        .collect();
     let mut out = Vec::with_capacity(valid_len as usize);
     let mut dropped = 0u64;
     for record in &records {
         let keep = match record {
             Record::Header(_) => true,
             Record::Job(e) => e.outcome.is_ok(),
+            Record::Accepted(a) => !settled.contains(&a.index),
         };
         if keep {
             out.extend_from_slice(encode_record(record).as_bytes());
@@ -486,6 +523,10 @@ pub struct Recovery {
     /// compacted the journal, failed entries are dropped from here too
     /// (the file no longer records them, so those jobs re-run).
     pub entries: Vec<JobEntry>,
+    /// Durably-accepted jobs, in journal order. Entries whose index also
+    /// appears in [`Recovery::entries`] already finished; the rest are
+    /// journaled-but-unanswered and must be re-run by the resumer.
+    pub accepted: Vec<AcceptedEntry>,
     /// Bytes of torn/corrupt tail that were truncated away (0 for a
     /// cleanly-closed journal).
     pub truncated_bytes: u64,
@@ -505,8 +546,12 @@ pub struct Journal {
     jobs: u64,
     /// Current on-disk length.
     file_bytes: u64,
-    /// Bytes held by failed-entry lines — what compaction can give back.
+    /// Bytes held by failed-entry lines and by acceptance records whose
+    /// completion is durable — what compaction can give back.
     reclaimable: u64,
+    /// Line bytes of acceptance records not yet superseded by a
+    /// successful completion, keyed by job index.
+    pending_accepts: std::collections::HashMap<u64, u64>,
 }
 
 impl Journal {
@@ -530,6 +575,7 @@ impl Journal {
             jobs: header.jobs,
             file_bytes: 0,
             reclaimable: 0,
+            pending_accepts: std::collections::HashMap::new(),
         };
         journal.append_line(&encode_record(&Record::Header(header.clone())))?;
         Ok(journal)
@@ -589,48 +635,65 @@ impl Journal {
             }
         };
         check_header(&journaled, header)?;
-        let entries: Vec<JobEntry> = records
-            .map(|r| match r {
-                Record::Job(e) => e,
+        let mut entries: Vec<JobEntry> = Vec::new();
+        let mut accepted: Vec<AcceptedEntry> = Vec::new();
+        for r in records {
+            match r {
+                Record::Job(e) => entries.push(e),
+                Record::Accepted(a) => accepted.push(a),
                 // scan_valid_prefix admits a header only at line 1.
                 Record::Header(_) => unreachable!("header past line 1 survived the scan"),
-            })
-            .collect();
+            }
+        }
 
         let truncated_bytes = bytes.len() as u64 - valid_len;
         let file =
             OpenOptions::new().write(true).read(true).open(path).map_err(|e| io_err(path, &e))?;
         file.set_len(valid_len).map_err(|e| io_err(path, &e))?;
         file.sync_data().map_err(|e| io_err(path, &e))?;
-        let reclaimable = entries
+        let settled: std::collections::HashSet<u64> =
+            entries.iter().filter(|e| e.outcome.is_ok()).map(|e| e.index).collect();
+        // Journaled lines are canonical (we wrote them), so the
+        // re-encoding is exactly the on-disk line.
+        let failed_bytes: u64 = entries
             .iter()
             .filter(|e| e.outcome.is_err())
-            // Journaled lines are canonical (we wrote them), so the
-            // re-encoding is exactly the on-disk line.
             .map(|e| encode_record(&Record::Job(e.clone())).len() as u64 + 1)
             .sum();
+        let stale_accept_bytes: u64 = accepted
+            .iter()
+            .filter(|a| settled.contains(&a.index))
+            .map(|a| encode_record(&Record::Accepted((*a).clone())).len() as u64 + 1)
+            .sum();
+        let pending_accepts = accepted
+            .iter()
+            .filter(|a| !settled.contains(&a.index))
+            .map(|a| (a.index, encode_record(&Record::Accepted((*a).clone())).len() as u64 + 1))
+            .collect();
         let mut journal = Journal {
             file,
             path: path.to_path_buf(),
             bytes: 0,
             jobs: header.jobs,
             file_bytes: valid_len,
-            reclaimable,
+            reclaimable: failed_bytes + stale_accept_bytes,
+            pending_accepts,
         };
         journal.seek_end(valid_len)?;
-        let mut entries = entries;
         let compaction = if compact_threshold > 0 && journal.file_bytes >= compact_threshold {
             let stats = journal.compact()?;
             // The file no longer records the failed entries: drop them
             // from the recovery too, so the resumed run re-runs them
             // (and journals their fresh outcomes) instead of replaying
-            // failures the journal has forgotten.
+            // failures the journal has forgotten. Accepts that were
+            // settled successfully are gone from the file as well.
             entries.retain(|e| e.outcome.is_ok());
+            accepted.retain(|a| !settled.contains(&a.index));
             Some(stats)
         } else {
             None
         };
-        Ok((journal, Recovery { entries, truncated_bytes, compaction }))
+        Ok((journal, Recovery { entries, accepted, truncated_bytes, compaction }))
     }
 
     /// Rewrites the journal in place to its compacted form (see
@@ -697,7 +760,9 @@ impl Journal {
         Ok(())
     }
 
-    /// Durably appends one finished job (write + fsync).
+    /// Durably appends one finished job (write + fsync). A successful
+    /// completion supersedes any pending acceptance record for the same
+    /// index: the accept's bytes become reclaimable by compaction.
     ///
     /// # Errors
     ///
@@ -707,7 +772,23 @@ impl Journal {
         self.append_line(&line)?;
         if entry.outcome.is_err() {
             self.reclaimable += line.len() as u64 + 1;
+        } else if let Some(accept_bytes) = self.pending_accepts.remove(&entry.index) {
+            self.reclaimable += accept_bytes;
         }
+        Ok(())
+    }
+
+    /// Durably appends one acceptance record (write + fsync) — the
+    /// write-ahead half of the job API's acceptance handshake. Must
+    /// reach disk *before* the job id is acknowledged to the client.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on any filesystem failure.
+    pub fn append_accept(&mut self, accept: &AcceptedEntry) -> Result<(), JournalError> {
+        let line = encode_record(&Record::Accepted(accept.clone()));
+        self.append_line(&line)?;
+        self.pending_accepts.insert(accept.index, line.len() as u64 + 1);
         Ok(())
     }
 
@@ -799,12 +880,15 @@ fn first_line_error(bytes: &[u8]) -> RecordError {
 
 /// Scans the longest valid record prefix of a journal image: complete,
 /// checksum-verified lines with a header first and in-contract job
-/// records after (index `< jobs`, no repeats). Returns the records and
-/// the byte length of the valid prefix — everything past it (a torn
-/// final line after a crash, or a corrupted tail) is to be truncated.
+/// records after (index `< jobs`, no repeats — acceptance records keep
+/// their own index set, since a job may legitimately appear once as an
+/// accept and once as its completion). Returns the records and the byte
+/// length of the valid prefix — everything past it (a torn final line
+/// after a crash, or a corrupted tail) is to be truncated.
 pub fn scan_valid_prefix(bytes: &[u8], jobs: u64) -> (Vec<Record>, u64) {
     let mut records = Vec::new();
     let mut seen = std::collections::HashSet::new();
+    let mut seen_accepts = std::collections::HashSet::new();
     let mut valid_len = 0u64;
     let mut pos = 0usize;
     while pos < bytes.len() {
@@ -817,6 +901,7 @@ pub fn scan_valid_prefix(bytes: &[u8], jobs: u64) -> (Vec<Record>, u64) {
         let in_contract = match (&record, records.is_empty()) {
             (Record::Header(_), true) => true,
             (Record::Job(e), false) => e.index < jobs && seen.insert(e.index),
+            (Record::Accepted(a), false) => a.index < jobs && seen_accepts.insert(a.index),
             _ => false,
         };
         if !in_contract {
@@ -1054,6 +1139,75 @@ mod tests {
         assert_eq!(recovery.entries.len(), 1);
         assert_eq!(recovery.entries[0].index, 0);
         assert_eq!(journal.file_len(), std::fs::metadata(&path).unwrap().len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn accept_records_round_trip_and_scan() {
+        let accept = AcceptedEntry { index: 0, spec: "workload=matmul order=64 \"x\"\n".into() };
+        let line = encode_record(&Record::Accepted(accept.clone()));
+        assert_eq!(parse_record(&line).unwrap(), Record::Accepted(accept.clone()));
+
+        // Accept then completion for the same index is in contract; a
+        // repeated accept for the same index is not.
+        let h = encode_record(&Record::Header(header()));
+        let j0 = encode_record(&Record::Job(sim_entry(0)));
+        let image = format!("{h}\n{line}\n{j0}\n");
+        let (records, len) = scan_valid_prefix(image.as_bytes(), 3);
+        assert_eq!(records.len(), 3);
+        assert_eq!(len, image.len() as u64);
+        let dup = format!("{h}\n{line}\n{line}\n");
+        let (records, _) = scan_valid_prefix(dup.as_bytes(), 3);
+        assert_eq!(records.len(), 2);
+    }
+
+    #[test]
+    fn compaction_keeps_unanswered_accepts_and_drops_settled_ones() {
+        let settled = AcceptedEntry { index: 0, spec: "workload=matmul".into() };
+        let pending = AcceptedEntry { index: 1, spec: "workload=mlp3".into() };
+        let mut image = Vec::new();
+        for r in [
+            Record::Header(header()),
+            Record::Accepted(settled),
+            Record::Accepted(pending.clone()),
+            Record::Job(sim_entry(0)),
+        ] {
+            image.extend_from_slice(encode_record(&r).as_bytes());
+            image.push(b'\n');
+        }
+        let (compacted, stats) = compact_image(&image, 3);
+        assert_eq!(stats.dropped, 1, "only the settled accept drops");
+        let (records, _) = scan_valid_prefix(&compacted, 3);
+        assert_eq!(records.len(), 3);
+        assert!(records.iter().any(|r| matches!(r, Record::Accepted(a) if *a == pending)));
+        let (twice, stats2) = compact_image(&compacted, 3);
+        assert_eq!(twice, compacted);
+        assert_eq!(stats2.dropped, 0);
+    }
+
+    #[test]
+    fn resume_surfaces_pending_accepts_and_reclaims_settled_ones() {
+        let path = temp_path("accepts");
+        let h = header();
+        let mut journal = Journal::create(&path, &h).unwrap();
+        journal.append_accept(&AcceptedEntry { index: 0, spec: "workload=matmul".into() }).unwrap();
+        journal.append_accept(&AcceptedEntry { index: 1, spec: "workload=mlp3".into() }).unwrap();
+        assert_eq!(journal.reclaimable_bytes(), 0, "pending accepts are not reclaimable");
+        journal.append(&sim_entry(0)).unwrap();
+        assert!(journal.reclaimable_bytes() > 0, "a settled accept becomes reclaimable");
+        drop(journal);
+
+        let (_journal, recovery) = Journal::resume(&path, &h).unwrap();
+        assert_eq!(recovery.entries.len(), 1);
+        assert_eq!(recovery.accepted.len(), 2);
+        assert_eq!(recovery.accepted[1].index, 1);
+
+        // Compaction on resume drops the settled accept, keeps the other.
+        let (_journal, recovery) = Journal::resume_opts(&path, &h, 1).unwrap();
+        assert!(recovery.compaction.is_some());
+        assert_eq!(recovery.accepted.len(), 1);
+        assert_eq!(recovery.accepted[0].index, 1);
+        assert_eq!(recovery.accepted[0].spec, "workload=mlp3");
         std::fs::remove_file(&path).ok();
     }
 

@@ -40,13 +40,20 @@
 //!   [`Tracer`] (span ring buffer + per-stage latency histograms,
 //!   off by default), the [`Obs`] hub publishing live stats and
 //!   admission headroom, and a dependency-free HTTP/1.1
-//!   [`StatusServer`] exposing `/healthz`, `/stats`, `/trace` and a
-//!   Prometheus `/metrics` text exposition ([`metrics`], with simulator
-//!   profile aggregates from `profile=true` manifest jobs)
-//!   (`cfserve --status-port`). Journal files past a size threshold
-//!   are compacted — superseded/failed records dropped, checksummed
-//!   framing preserved — on resume and during live runs. See
-//!   DESIGN.md §8.
+//!   [`StatusServer`] exposing `/healthz`, `/stats`, `/trace`,
+//!   `/version` and a Prometheus `/metrics` text exposition
+//!   ([`metrics`], with simulator profile aggregates from
+//!   `profile=true` manifest jobs) (`cfserve --status-port`). Journal
+//!   files past a size threshold are compacted — superseded/failed
+//!   records dropped, checksummed framing preserved — on resume and
+//!   during live runs. See DESIGN.md §8.
+//! * [`api`] — the HTTP job subsystem behind `POST /jobs`: JSON job
+//!   specs accepted over the status listener, journaled durably
+//!   *before* the id is acknowledged, coalesced across requests by
+//!   plan-cache identity, shed at the front door under overload
+//!   (`503` + `Retry-After`), and streamed back from
+//!   `GET /jobs/<id>` byte-identically to the manifest serving path.
+//!   See DESIGN.md §9.
 //!
 //! # Example
 //!
@@ -71,6 +78,7 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod batch;
 pub mod cache;
 pub mod fault;
@@ -86,6 +94,7 @@ pub mod status;
 pub mod supervisor;
 pub(crate) mod sync;
 
+pub use api::{ApiResume, HttpParseError, HttpRequest, JobApi, JobWait, SubmitError, SubmitOk};
 pub use cache::{report_checksum, CacheKey, CacheLookup, PlanCache};
 pub use fault::{FaultPlan, FaultSite, FaultSpec};
 pub use job::{JobError, JobHandle, JobOptions};

@@ -69,6 +69,14 @@ fn fmt_f64(v: f64) -> String {
     format!("{v:?}")
 }
 
+/// The build identity stamped on `cf_build_info` and `/version`:
+/// `(crate version, git describe)`. The git half comes from the
+/// `CF_GIT_DESCRIBE` compile-time environment variable (injected by CI
+/// builds); `"unknown"` when the binary was built without it.
+pub fn build_info() -> (&'static str, &'static str) {
+    (env!("CARGO_PKG_VERSION"), option_env!("CF_GIT_DESCRIBE").unwrap_or("unknown"))
+}
+
 /// Renders the full `/metrics` payload.
 ///
 /// `snap` and `load` are `None` before a runtime has published (the
@@ -84,7 +92,7 @@ pub fn render(
     let inst: &[(&str, &str)] = &[("instance", instance)];
 
     // -- Runtime counters -------------------------------------------------
-    let counters: [(&'static str, &'static str, Option<u64>); 17] = [
+    let counters: [(&'static str, &'static str, Option<u64>); 21] = [
         ("cf_jobs_submitted_total", "Jobs accepted into the queue.", snap.map(|s| s.submitted)),
         ("cf_jobs_completed_total", "Jobs finished with Ok.", snap.map(|s| s.completed)),
         ("cf_jobs_failed_total", "Jobs finished with Err.", snap.map(|s| s.failed)),
@@ -137,6 +145,26 @@ pub fn render(
             "cf_worker_respawns_total",
             "Worker loops respawned after an escaped panic.",
             snap.map(|s| s.worker_respawns),
+        ),
+        (
+            "cf_api_accepted_total",
+            "Jobs accepted through the HTTP job API.",
+            snap.map(|s| s.api_accepted),
+        ),
+        (
+            "cf_api_shed_total",
+            "HTTP submissions shed at the front door with 503.",
+            snap.map(|s| s.api_shed),
+        ),
+        (
+            "cf_api_coalesced_total",
+            "HTTP submissions coalesced onto an identical in-flight job.",
+            snap.map(|s| s.api_coalesced),
+        ),
+        (
+            "cf_api_streamed_bytes_total",
+            "Result bytes streamed to HTTP clients by GET /jobs/<id>.",
+            snap.map(|s| s.api_streamed_bytes),
         ),
     ];
     for (name, help, value) in counters {
@@ -200,6 +228,16 @@ pub fn render(
             f.sample(inst, &v);
         }
     }
+    {
+        let mut f = Family::new(
+            &mut out,
+            "cf_build_info",
+            "gauge",
+            "Build identity of this instance (constant 1; version and git labels).",
+        );
+        let (version, git) = build_info();
+        f.sample(&[("instance", instance), ("version", version), ("git", git)], "1");
+    }
 
     // -- Per-worker counters ----------------------------------------------
     {
@@ -234,7 +272,7 @@ pub fn render(
     {
         out.push_str(concat!(
             "# HELP cf_stage_latency_seconds Runtime pipeline-stage latency ",
-            "(queue wait, run, cache lookup, retry backoff, journal append).\n",
+            "(queue wait, run, cache lookup, retry backoff, journal append, api request).\n",
             "# TYPE cf_stage_latency_seconds histogram\n",
         ));
         for &stage in &STAGES {
@@ -365,6 +403,23 @@ mod tests {
         assert!(body.contains("cf_spans_dropped_total{instance=\"t0\"} 0"), "{body}");
         // But stats counters have none.
         assert!(!body.contains("cf_jobs_submitted_total{"), "{body}");
+        // The api counter families are declared even without a snapshot.
+        for family in [
+            "cf_api_accepted_total",
+            "cf_api_shed_total",
+            "cf_api_coalesced_total",
+            "cf_api_streamed_bytes_total",
+        ] {
+            assert!(body.contains(&format!("# TYPE {family} counter")), "{family}:\n{body}");
+        }
+        // Build info always has its constant sample.
+        let (version, git) = build_info();
+        assert!(
+            body.contains(&format!(
+                "cf_build_info{{instance=\"t0\",version=\"{version}\",git=\"{git}\"}} 1"
+            )),
+            "{body}"
+        );
     }
 
     #[test]

@@ -55,6 +55,9 @@ pub enum SpanKind {
     JournalAppend,
     /// The serve journal was compacted (rewritten without dead records).
     JournalCompact,
+    /// One HTTP request completed its lifecycle on the job API / status
+    /// server (the closed-over duration is read → response write).
+    ApiRequest,
 }
 
 impl SpanKind {
@@ -72,6 +75,7 @@ impl SpanKind {
             SpanKind::Shed => "shed",
             SpanKind::JournalAppend => "journal-append",
             SpanKind::JournalCompact => "journal-compact",
+            SpanKind::ApiRequest => "api-request",
         }
     }
 }
@@ -126,11 +130,19 @@ pub enum Stage {
     RetryBackoff = 3,
     /// Journal record write + fsync.
     JournalAppend = 4,
+    /// HTTP request lifecycle on the job API / status server.
+    ApiRequest = 5,
 }
 
 /// Every [`Stage`], in histogram-slot order.
-pub const STAGES: [Stage; 5] =
-    [Stage::QueueWait, Stage::Run, Stage::CacheLookup, Stage::RetryBackoff, Stage::JournalAppend];
+pub const STAGES: [Stage; 6] = [
+    Stage::QueueWait,
+    Stage::Run,
+    Stage::CacheLookup,
+    Stage::RetryBackoff,
+    Stage::JournalAppend,
+    Stage::ApiRequest,
+];
 
 impl Stage {
     /// The stage's stable wire name.
@@ -141,6 +153,7 @@ impl Stage {
             Stage::CacheLookup => "cache_lookup",
             Stage::RetryBackoff => "retry_backoff",
             Stage::JournalAppend => "journal_append",
+            Stage::ApiRequest => "api_request",
         }
     }
 }
@@ -370,7 +383,7 @@ impl Tracer {
     /// runtime process track (pid [`TRACE_PID_RUNTIME`]): spans with a
     /// closed-over duration become complete (`ph:"X"`) events ending at
     /// their record time, the rest become instants (`ph:"i"`). Tracks
-    /// split by subsystem: jobs, cache, journal.
+    /// split by subsystem: jobs, cache, journal, api.
     pub fn chrome_events(&self) -> Vec<Value> {
         fn base(name: &str, ph: &str, tid: u64, ts_us: f64, e: &SpanEvent) -> Map {
             let mut m = Map::new();
@@ -393,6 +406,7 @@ impl Tracer {
             cf_core::profile::trace_thread_name(TRACE_PID_RUNTIME, 0, "jobs"),
             cf_core::profile::trace_thread_name(TRACE_PID_RUNTIME, 1, "cache"),
             cf_core::profile::trace_thread_name(TRACE_PID_RUNTIME, 2, "journal"),
+            cf_core::profile::trace_thread_name(TRACE_PID_RUNTIME, 3, "api"),
         ];
         for e in self.recent(usize::MAX) {
             let tid = match e.kind {
@@ -403,6 +417,7 @@ impl Tracer {
                 | SpanKind::Shed => 0,
                 SpanKind::CacheHit | SpanKind::CacheMiss | SpanKind::CacheCorrupt => 1,
                 SpanKind::JournalAppend | SpanKind::JournalCompact => 2,
+                SpanKind::ApiRequest => 3,
             };
             let at_us = e.at.as_secs_f64() * 1e6;
             let v = match e.duration {
@@ -492,6 +507,7 @@ struct RuntimeView {
 pub struct Obs {
     tracer: Arc<Tracer>,
     runtime: Mutex<Option<RuntimeView>>,
+    api: Mutex<Option<Arc<crate::api::JobApi>>>,
     instance: Mutex<String>,
 }
 
@@ -501,6 +517,7 @@ impl Obs {
         Arc::new(Obs {
             tracer: Arc::new(Tracer::new(capacity)),
             runtime: Mutex::new(None),
+            api: Mutex::new(None),
             instance: Mutex::new("cf-serve".to_string()),
         })
     }
@@ -530,6 +547,17 @@ impl Obs {
     /// Whether a runtime has published yet.
     pub fn published(&self) -> bool {
         sync::lock(&self.runtime).is_some()
+    }
+
+    /// Publishes the HTTP job API so the status server can route
+    /// `POST /jobs` and `GET /jobs/<id>` to it.
+    pub fn publish_api(&self, api: Arc<crate::api::JobApi>) {
+        *sync::lock(&self.api) = Some(api);
+    }
+
+    /// The published job API, if any.
+    pub fn api(&self) -> Option<Arc<crate::api::JobApi>> {
+        sync::lock(&self.api).clone()
     }
 
     /// The `/healthz` response: `(healthy, body)`. Healthy means a load

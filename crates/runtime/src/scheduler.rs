@@ -368,6 +368,21 @@ impl Runtime {
         self.inner.stats.queued_bytes.load(Ordering::Relaxed) as usize
     }
 
+    /// Whether a submission of `cost_bytes` would pass [`LoadPolicy`]
+    /// admission control *right now* — the front-door check the HTTP job
+    /// API runs before journaling an acceptance. Advisory: the gauges can
+    /// move between this check and the actual submission, so submitters
+    /// that must not race still use the `_checked` variants.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::Shed`] naming the exhausted limit and the gauge values
+    /// that tripped it. Does **not** count toward `shed_jobs` (nothing
+    /// was submitted).
+    pub fn check_admission(&self, cost_bytes: usize) -> Result<(), JobError> {
+        self.admit(cost_bytes)
+    }
+
     /// Submits an arbitrary closure job (blocking while the queue is
     /// full). Used for batch sweeps and the experiment harness.
     ///

@@ -290,8 +290,9 @@ fn compute_run_header(flat: &[FlatJob], opts: &ServeOptions) -> RunHeader {
 }
 
 /// The deterministic simulate-job payload of a performance report
-/// (shared by the plain and profiled paths, so their records match).
-fn sim_output(r: &PerfReport) -> JobOutput {
+/// (shared by the plain and profiled paths — and by the HTTP job API —
+/// so their records match byte-for-byte).
+pub(crate) fn sim_output(r: &PerfReport) -> JobOutput {
     JobOutput::Sim {
         makespan_s: r.makespan_seconds,
         steady_s: r.steady_seconds,
@@ -301,6 +302,16 @@ fn sim_output(r: &PerfReport) -> JobOutput {
     }
 }
 
+/// The deterministic exec-job payload of a final memory image (shared by
+/// the manifest path and the HTTP job API, so their records match).
+pub(crate) fn exec_output(memory: &[f32]) -> JobOutput {
+    let mut hasher = StableHasher::new();
+    for v in memory {
+        hasher.write_f32(*v);
+    }
+    JobOutput::Exec { elems: memory.len(), memory_hash: hasher.finish() }
+}
+
 /// Joins one pending handle into the deterministic job output.
 /// Profiled handles are settled in [`RunState::settle`] instead (they
 /// also feed the tracer's profile aggregate).
@@ -308,13 +319,7 @@ fn join_pending(pending: Pending) -> Result<JobOutput, JobError> {
     match pending {
         Pending::Sim(h) => h.join().map(|sim| sim_output(&sim.report)),
         Pending::SimProfiled(h) => h.join().map(|sim| sim_output(&sim.report)),
-        Pending::Exec(h) => h.join().map(|exec| {
-            let mut hasher = StableHasher::new();
-            for v in &exec.memory {
-                hasher.write_f32(*v);
-            }
-            JobOutput::Exec { elems: exec.memory.len(), memory_hash: hasher.finish() }
-        }),
+        Pending::Exec(h) => h.join().map(|exec| exec_output(&exec.memory)),
     }
 }
 
@@ -424,6 +429,45 @@ pub fn serve_manifest(text: &str, opts: &ServeOptions) -> Result<ServeReport, Se
 /// Machine-/program-resolution and journal failures; see
 /// [`serve_manifest`].
 pub fn serve_specs(specs: &[JobSpec], opts: &ServeOptions) -> Result<ServeReport, ServeError> {
+    let tracer = match &opts.obs {
+        Some(obs) => Arc::clone(obs.tracer()),
+        None => Arc::new(Tracer::disabled()),
+    };
+    let runtime = Runtime::new(RuntimeConfig {
+        workers: opts.workers,
+        cache_capacity: opts.cache_capacity,
+        retry: opts.retry.clone(),
+        breaker: opts.breaker.clone(),
+        fault_plan: opts.fault_plan.clone(),
+        load: opts.load,
+        tracer: Some(tracer),
+        ..Default::default()
+    });
+    // Publish the live counters and load limits so a status server can
+    // answer /healthz and /stats while the run is in flight.
+    if let Some(obs) = &opts.obs {
+        obs.publish(runtime.stats_arc(), runtime.load_policy());
+    }
+    let result = serve_specs_on(specs, opts, &runtime);
+    runtime.shutdown();
+    result
+}
+
+/// [`serve_specs`] on an externally-owned runtime: the caller constructs
+/// the pool (and publishes it to its [`Obs`] hub), this function only
+/// submits/joins/journals, and the pool stays alive afterwards — the
+/// shape `cfserve --listen` needs to share one pool (and one stats
+/// registry) between the manifest run and the HTTP job API.
+///
+/// # Errors
+///
+/// Machine-/program-resolution and journal failures; see
+/// [`serve_manifest`].
+pub fn serve_specs_on(
+    specs: &[JobSpec],
+    opts: &ServeOptions,
+    runtime: &Runtime,
+) -> Result<ServeReport, ServeError> {
     // Resolve every program and machine up front (shared across repeats
     // via Arc) so validation errors abort before any job runs.
     let mut flat: Vec<FlatJob> = Vec::new();
@@ -452,10 +496,7 @@ pub fn serve_specs(specs: &[JobSpec], opts: &ServeOptions) -> Result<ServeReport
         }
     }
 
-    let tracer = match &opts.obs {
-        Some(obs) => Arc::clone(obs.tracer()),
-        None => Arc::new(Tracer::disabled()),
-    };
+    let tracer = Arc::clone(runtime.tracer());
 
     // Journal setup before any job runs: a resume that fails header
     // verification must abort without submitting anything.
@@ -485,21 +526,6 @@ pub fn serve_specs(specs: &[JobSpec], opts: &ServeOptions) -> Result<ServeReport
         None => None,
     };
 
-    let runtime = Runtime::new(RuntimeConfig {
-        workers: opts.workers,
-        cache_capacity: opts.cache_capacity,
-        retry: opts.retry.clone(),
-        breaker: opts.breaker.clone(),
-        fault_plan: opts.fault_plan.clone(),
-        load: opts.load,
-        tracer: Some(Arc::clone(&tracer)),
-        ..Default::default()
-    });
-    // Publish the live counters and load limits so a status server can
-    // answer /healthz and /stats while the run is in flight.
-    if let Some(obs) = &opts.obs {
-        obs.publish(runtime.stats_arc(), runtime.load_policy());
-    }
     let workers = runtime.worker_count();
     let t0 = Instant::now();
 
@@ -611,7 +637,6 @@ pub fn serve_specs(specs: &[JobSpec], opts: &ServeOptions) -> Result<ServeReport
         .fetch_add(resume_reclaimed + state.bytes_reclaimed, Ordering::Relaxed);
     let mut stats = runtime.stats().snapshot();
     stats.spans_dropped = state.tracer.dropped();
-    runtime.shutdown();
 
     let records = state
         .outcomes

@@ -58,6 +58,14 @@ pub struct RuntimeStats {
     pub faults_injected: AtomicU64,
     /// Worker loops respawned after an escaped panic.
     pub worker_respawns: AtomicU64,
+    /// Jobs accepted through the HTTP job API (`POST /jobs`).
+    pub api_accepted: AtomicU64,
+    /// HTTP submissions shed at the front door with 503.
+    pub api_shed: AtomicU64,
+    /// HTTP submissions coalesced onto an identical in-flight job.
+    pub api_coalesced: AtomicU64,
+    /// Result bytes streamed to HTTP clients by `GET /jobs/<id>`.
+    pub api_streamed_bytes: AtomicU64,
     /// Total nanoseconds jobs waited in the queue before starting.
     pub queue_wait_nanos: AtomicU64,
     /// Gauge: jobs accepted into the queue and not yet terminal.
@@ -90,6 +98,10 @@ impl RuntimeStats {
             journal_bytes_reclaimed: AtomicU64::new(0),
             faults_injected: AtomicU64::new(0),
             worker_respawns: AtomicU64::new(0),
+            api_accepted: AtomicU64::new(0),
+            api_shed: AtomicU64::new(0),
+            api_coalesced: AtomicU64::new(0),
+            api_streamed_bytes: AtomicU64::new(0),
             queue_wait_nanos: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
             queued_bytes: AtomicU64::new(0),
@@ -138,6 +150,10 @@ impl RuntimeStats {
             journal_bytes_reclaimed: self.journal_bytes_reclaimed.load(Ordering::Relaxed),
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
             worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
+            api_accepted: self.api_accepted.load(Ordering::Relaxed),
+            api_shed: self.api_shed.load(Ordering::Relaxed),
+            api_coalesced: self.api_coalesced.load(Ordering::Relaxed),
+            api_streamed_bytes: self.api_streamed_bytes.load(Ordering::Relaxed),
             queue_wait: Duration::from_nanos(self.queue_wait_nanos.load(Ordering::Relaxed)),
             in_flight: self.in_flight.load(Ordering::Relaxed),
             queued_bytes: self.queued_bytes.load(Ordering::Relaxed),
@@ -185,6 +201,14 @@ pub struct StatsSnapshot {
     pub faults_injected: u64,
     /// Worker loops respawned after an escaped panic.
     pub worker_respawns: u64,
+    /// Jobs accepted through the HTTP job API.
+    pub api_accepted: u64,
+    /// HTTP submissions shed at the front door with 503.
+    pub api_shed: u64,
+    /// HTTP submissions coalesced onto an identical in-flight job.
+    pub api_coalesced: u64,
+    /// Result bytes streamed to HTTP clients.
+    pub api_streamed_bytes: u64,
     /// Cumulative queue waiting time across jobs.
     pub queue_wait: Duration,
     /// Gauge at snapshot time: accepted-but-unfinished jobs.
@@ -284,6 +308,10 @@ impl Serialize for StatsSnapshot {
         m.insert("journal_bytes_reclaimed", self.journal_bytes_reclaimed);
         m.insert("faults_injected", self.faults_injected);
         m.insert("worker_respawns", self.worker_respawns);
+        m.insert("api_accepted", self.api_accepted);
+        m.insert("api_shed", self.api_shed);
+        m.insert("api_coalesced", self.api_coalesced);
+        m.insert("api_streamed_bytes", self.api_streamed_bytes);
         m.insert("spans_dropped", self.spans_dropped);
         m.insert("queue_wait_s", self.queue_wait.as_secs_f64());
         m.insert("in_flight", self.in_flight);
@@ -330,9 +358,17 @@ mod tests {
         stats.journal_bytes_reclaimed.fetch_add(128, Ordering::Relaxed);
         stats.in_flight.fetch_add(4, Ordering::Relaxed);
         stats.queued_bytes.fetch_add(64, Ordering::Relaxed);
+        stats.api_accepted.fetch_add(5, Ordering::Relaxed);
+        stats.api_shed.fetch_add(1, Ordering::Relaxed);
+        stats.api_coalesced.fetch_add(2, Ordering::Relaxed);
+        stats.api_streamed_bytes.fetch_add(256, Ordering::Relaxed);
         let json = stats.snapshot().render_json();
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
         assert!(json.contains("\"shed_jobs\":2"), "{json}");
+        assert!(json.contains("\"api_accepted\":5"), "{json}");
+        assert!(json.contains("\"api_shed\":1"), "{json}");
+        assert!(json.contains("\"api_coalesced\":2"), "{json}");
+        assert!(json.contains("\"api_streamed_bytes\":256"), "{json}");
         assert!(json.contains("\"resumed_jobs\":3"), "{json}");
         assert!(json.contains("\"journal_bytes\":512"), "{json}");
         assert!(json.contains("\"journal_compactions\":1"), "{json}");

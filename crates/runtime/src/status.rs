@@ -1,31 +1,41 @@
-//! A minimal, dependency-free HTTP/1.1 status server over an [`Obs`]
-//! hub.
+//! A minimal, dependency-free HTTP/1.1 server over an [`Obs`] hub:
+//! read-only status endpoints plus the job-ingestion API.
 //!
-//! Serves exactly four endpoints on a loopback listener:
+//! | route               | method | payload | status |
+//! |---------------------|--------|---------|--------|
+//! | `/healthz`          | GET    | liveness + admission headroom | `200`, `503` when overloaded |
+//! | `/stats`            | GET    | the live [`StatsSnapshot`](crate::StatsSnapshot) JSON | `200` once a run published, `503 "starting"` before |
+//! | `/trace`            | GET    | recent span events + per-stage latency histograms | `200` |
+//! | `/metrics`          | GET    | Prometheus text exposition (see [`crate::metrics`]) | `200`, always |
+//! | `/version`          | GET    | crate version + git describe | `200`, always |
+//! | `/jobs`             | POST   | JSON job spec (object or array) → `{"id":…}` | `202`, `400`, `413`, `503` + `Retry-After` |
+//! | `/jobs/<id>`        | GET    | the finished record (blocking long-poll, `?timeout_s=`) | `200`, `202` still running, `404` |
+//! | `/jobs/<id>/status` | GET    | non-blocking job status JSON | `200`, `404` |
 //!
-//! | route      | payload | status |
-//! |------------|---------|--------|
-//! | `/healthz` | liveness + admission headroom | `200` with headroom, `503` when overloaded |
-//! | `/stats`   | the live [`StatsSnapshot`](crate::StatsSnapshot) JSON | `200` once a run published, `503 "starting"` before |
-//! | `/trace`   | recent span events + per-stage latency histograms | `200` |
-//! | `/metrics` | Prometheus text exposition (see [`metrics`](crate::metrics)) | `200`, always |
-//!
-//! Every response is `Connection: close` with an exact `Content-Length`,
-//! so `curl` and load-balancer probes need no keep-alive handling. The
-//! accept loop runs on one background thread, polls non-blockingly and
-//! shuts down when the server is dropped — it never outlives the run it
-//! observes. This is a *status* server, not a web server: it binds
-//! 127.0.0.1 only, reads at most one request head per connection and
-//! never parses bodies. See DESIGN.md §8.
+//! Every response carries an exact `Content-Length` and
+//! `Connection: close` — errors included — so `curl` and load-balancer
+//! probes need no keep-alive handling. A wrong method on a known route
+//! answers `405` with an `Allow` header instead of a silent drop;
+//! malformed request heads answer `400`; a `Content-Length` beyond the
+//! configured bound answers `413` before the body is read (see
+//! [`api::parse_request`]). The accept loop runs on one background
+//! thread and hands each connection to its own thread, so a long-poll
+//! on `GET /jobs/<id>` never blocks probes. Each request records one
+//! [`SpanKind::ApiRequest`] span and a [`Stage::ApiRequest`] latency
+//! sample on the hub's tracer. The server binds 127.0.0.1 only. See
+//! DESIGN.md §8–9.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::obs::Obs;
+use crate::api::{self, HttpParseError, HttpRequest, JobWait, SubmitError, SubmitOk};
+use crate::metrics;
+use crate::obs::{Obs, SpanKind, Stage};
+use crate::serve::json_str;
 
 /// Events returned by `/trace` per request.
 const TRACE_LIMIT: usize = 256;
@@ -33,11 +43,24 @@ const TRACE_LIMIT: usize = 256;
 /// How long the accept loop sleeps when no connection is pending.
 const POLL_INTERVAL: Duration = Duration::from_millis(10);
 
-/// Per-connection read/write timeout: a stalled probe must not wedge
-/// the accept loop.
+/// Per-read/write socket timeout: a stalled peer must not wedge a
+/// connection thread forever.
 const IO_TIMEOUT: Duration = Duration::from_millis(500);
 
-/// The status HTTP server (see the module docs).
+/// Total time a client gets to deliver one complete request.
+const READ_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Default `GET /jobs/<id>` long-poll patience.
+const DEFAULT_POLL: Duration = Duration::from_secs(30);
+
+/// Upper bound a client can raise the long-poll to via `?timeout_s=`.
+const MAX_POLL_SECS: u64 = 120;
+
+const JSON: &str = "application/json";
+/// The content type Prometheus' text parser expects.
+const PROM_TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// The status-and-jobs HTTP server (see the module docs).
 #[derive(Debug)]
 pub struct StatusServer {
     addr: SocketAddr,
@@ -73,6 +96,7 @@ impl StatusServer {
     }
 
     /// Stops the accept loop and joins its thread (also done on drop).
+    /// Connection threads already serving a request finish on their own.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -91,13 +115,23 @@ impl Drop for StatusServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, obs: &Obs, shutdown: &AtomicBool) {
+fn accept_loop(listener: &TcpListener, obs: &Arc<Obs>, shutdown: &AtomicBool) {
+    let seq = Arc::new(AtomicU64::new(0));
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                // One slow or malformed probe must not kill the loop:
-                // per-connection errors are dropped with the connection.
-                let _ = serve_connection(stream, obs);
+                // One thread per connection: a long-poll on /jobs/<id>
+                // must not block probes. One slow or malformed peer must
+                // not kill the loop: per-connection errors are dropped
+                // with the connection.
+                let obs = Arc::clone(obs);
+                let token = seq.fetch_add(1, Ordering::Relaxed);
+                let spawned = thread::Builder::new().name(format!("cf-status-conn-{token}")).spawn(
+                    move || {
+                        let _ = serve_connection(stream, &obs, token);
+                    },
+                );
+                drop(spawned);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 thread::sleep(POLL_INTERVAL);
@@ -107,82 +141,278 @@ fn accept_loop(listener: &TcpListener, obs: &Obs, shutdown: &AtomicBool) {
     }
 }
 
-/// Reads one request head and writes one JSON response.
-fn serve_connection(mut stream: TcpStream, obs: &Obs) -> std::io::Result<()> {
+/// One response, ready to serialize.
+struct Response {
+    status: &'static str,
+    content_type: &'static str,
+    /// `Allow` header for 405s.
+    allow: Option<&'static str>,
+    /// `Retry-After` seconds for 503 sheds.
+    retry_after: Option<u64>,
+    body: String,
+}
+
+impl Response {
+    fn json(status: &'static str, body: String) -> Response {
+        Response { status, content_type: JSON, allow: None, retry_after: None, body }
+    }
+
+    fn error(status: &'static str, message: &str) -> Response {
+        Response::json(status, format!("{{\"error\":{}}}", json_str(message)))
+    }
+}
+
+/// Reads one complete request, routes it, writes one response.
+fn serve_connection(mut stream: TcpStream, obs: &Arc<Obs>, token: u64) -> std::io::Result<()> {
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
     stream.set_nonblocking(false)?;
 
-    // Read until the end of the request head (or a sane cap); the
-    // request line is all the router needs.
-    let mut buf = Vec::with_capacity(512);
-    let mut chunk = [0u8; 512];
-    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 8192 {
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(_) => break,
+    let max_body = obs.api().map_or(api::DEFAULT_MAX_BODY_BYTES, |a| a.max_body());
+    let t0 = Instant::now();
+    let (request, response) = match read_request(&mut stream, max_body) {
+        Ok(Some(request)) => {
+            let response = route(&request, obs);
+            (Some(request), response)
         }
-    }
-    let head = String::from_utf8_lossy(&buf);
-    let request_line = head.lines().next().unwrap_or("");
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let target = parts.next().unwrap_or("");
-    // Probes may send query strings (`/healthz?probe=lb`); route on the
-    // path alone.
-    let path = target.split('?').next().unwrap_or(target);
-
-    const JSON: &str = "application/json";
-    // The content type Prometheus' text parser expects.
-    const PROM_TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
-
-    let (status, content_type, body) = if method != "GET" {
-        ("405 Method Not Allowed", JSON, "{\"error\":\"only GET is supported\"}".to_string())
-    } else {
-        match path {
-            "/healthz" => {
-                let (healthy, body) = obs.healthz();
-                (if healthy { "200 OK" } else { "503 Service Unavailable" }, JSON, body)
-            }
-            "/stats" => {
-                let (ready, body) = obs.stats_json();
-                (if ready { "200 OK" } else { "503 Service Unavailable" }, JSON, body)
-            }
-            "/trace" => ("200 OK", JSON, obs.trace_json(TRACE_LIMIT)),
-            "/metrics" => ("200 OK", PROM_TEXT, obs.metrics()),
-            _ => (
-                "404 Not Found",
-                JSON,
-                "{\"error\":\"not found\",\"routes\":[\"/healthz\",\"/stats\",\"/trace\",\"/metrics\"]}"
-                    .to_string(),
-            ),
-        }
+        // Empty connect-and-close probe: nothing to answer.
+        Ok(None) => return Ok(()),
+        Err(e) => (None, Response::error(e.status(), &e.to_string())),
     };
 
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len(),
+    let tracer = obs.tracer();
+    tracer.observe(Stage::ApiRequest, t0.elapsed());
+    tracer.record(SpanKind::ApiRequest, token, Some(t0.elapsed()), || match &request {
+        Some(r) => format!("{} {} -> {}", r.method, r.path(), response.status),
+        None => format!("unparsed -> {}", response.status),
+    });
+
+    let mut head = format!(
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        response.content_type,
+        response.body.len(),
     );
-    stream.write_all(response.as_bytes())?;
+    if let Some(allow) = response.allow {
+        head.push_str(&format!("Allow: {allow}\r\n"));
+    }
+    if let Some(secs) = response.retry_after {
+        head.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
     stream.flush()
+}
+
+/// Accumulates socket reads through [`api::parse_request`] until one
+/// request completes. `Ok(None)` is a connection with no request at all
+/// (a port probe); a truncated or overlong request is a parse error the
+/// caller answers with 400/413 rather than silently dropping.
+fn read_request(
+    stream: &mut TcpStream,
+    max_body: usize,
+) -> Result<Option<HttpRequest>, HttpParseError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let deadline = Instant::now() + READ_DEADLINE;
+    loop {
+        if let Some(request) = api::parse_request(&buf, max_body)? {
+            return Ok(Some(request));
+        }
+        if Instant::now() > deadline {
+            return Err(HttpParseError::BadRequestLine);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) if buf.is_empty() => return Ok(None),
+            Ok(0) => return Err(HttpParseError::BadRequestLine),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) if buf.is_empty() => return Ok(None),
+            Err(_) => return Err(HttpParseError::BadRequestLine),
+        }
+    }
+}
+
+fn route(request: &HttpRequest, obs: &Arc<Obs>) -> Response {
+    let path = request.path();
+    match path {
+        "/healthz" | "/stats" | "/trace" | "/metrics" | "/version" => {
+            if request.method != "GET" {
+                let mut r = Response::error("405 Method Not Allowed", "only GET is supported");
+                r.allow = Some("GET");
+                return r;
+            }
+            match path {
+                "/healthz" => {
+                    let (healthy, body) = obs.healthz();
+                    Response::json(if healthy { "200 OK" } else { "503 Service Unavailable" }, body)
+                }
+                "/stats" => {
+                    let (ready, body) = obs.stats_json();
+                    Response::json(if ready { "200 OK" } else { "503 Service Unavailable" }, body)
+                }
+                "/trace" => Response::json("200 OK", obs.trace_json(TRACE_LIMIT)),
+                "/version" => {
+                    let (version, git) = metrics::build_info();
+                    Response::json(
+                        "200 OK",
+                        format!(
+                            "{{\"name\":\"cf-serve\",\"version\":{},\"git\":{}}}",
+                            json_str(version),
+                            json_str(git),
+                        ),
+                    )
+                }
+                _ => Response {
+                    status: "200 OK",
+                    content_type: PROM_TEXT,
+                    allow: None,
+                    retry_after: None,
+                    body: obs.metrics(),
+                },
+            }
+        }
+        "/jobs" => route_submit(request, obs),
+        _ => match path.strip_prefix("/jobs/") {
+            Some(rest) => route_job(request, rest, obs),
+            None => Response::json(
+                "404 Not Found",
+                "{\"error\":\"not found\",\"routes\":[\"/healthz\",\"/stats\",\"/trace\",\
+                 \"/metrics\",\"/version\",\"/jobs\",\"/jobs/<id>\",\"/jobs/<id>/status\"]}"
+                    .to_string(),
+            ),
+        },
+    }
+}
+
+/// `POST /jobs`: validate, journal the accept, answer the id.
+fn route_submit(request: &HttpRequest, obs: &Arc<Obs>) -> Response {
+    if request.method != "POST" {
+        let mut r = Response::error("405 Method Not Allowed", "submit jobs with POST");
+        r.allow = Some("POST");
+        return r;
+    }
+    let Some(api) = obs.api() else {
+        return Response::error(
+            "503 Service Unavailable",
+            "job api disabled (start cfserve with --status-port and a journal)",
+        );
+    };
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return Response::error("400 Bad Request", "body is not UTF-8");
+    };
+    match api.submit_body(body) {
+        Ok(SubmitOk::One(id)) => Response::json("202 Accepted", format!("{{\"id\":{id}}}")),
+        Ok(SubmitOk::Many(ids)) => {
+            let ids = ids.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+            Response::json("202 Accepted", format!("{{\"ids\":[{ids}]}}"))
+        }
+        Err(SubmitError::Bad(message)) => Response::error("400 Bad Request", &message),
+        Err(SubmitError::Shed { retry_after_s, message }) => {
+            let mut r = Response::json(
+                "503 Service Unavailable",
+                format!("{{\"error\":{},\"retry_after_s\":{retry_after_s}}}", json_str(&message)),
+            );
+            r.retry_after = Some(retry_after_s);
+            r
+        }
+        Err(SubmitError::Journal(message)) => {
+            Response::error("500 Internal Server Error", &message)
+        }
+    }
+}
+
+/// `GET /jobs/<id>` (long-poll) and `GET /jobs/<id>/status`.
+fn route_job(request: &HttpRequest, rest: &str, obs: &Arc<Obs>) -> Response {
+    if request.method != "GET" {
+        let mut r = Response::error("405 Method Not Allowed", "poll jobs with GET");
+        r.allow = Some("GET");
+        return r;
+    }
+    let Some(api) = obs.api() else {
+        return Response::error("503 Service Unavailable", "job api disabled");
+    };
+    let (id_part, status_only) = match rest.strip_suffix("/status") {
+        Some(id_part) => (id_part, true),
+        None => (rest, false),
+    };
+    let Ok(id) = id_part.parse::<u64>() else {
+        return Response::error("400 Bad Request", "job id must be an unsigned integer");
+    };
+    if status_only {
+        return match api.status_json(id) {
+            Some(body) => Response::json("200 OK", body),
+            None => Response::error("404 Not Found", "no such job"),
+        };
+    }
+    let timeout = poll_timeout(request);
+    match api.wait(id, timeout) {
+        Some(JobWait::Done(record)) => {
+            api.note_streamed(record.len() as u64);
+            Response::json("200 OK", record)
+        }
+        Some(JobWait::Running(status)) => Response::json("202 Accepted", status),
+        None => Response::error("404 Not Found", "no such job"),
+    }
+}
+
+/// The long-poll patience: `?timeout_s=N` clamped to `0..=120`,
+/// [`DEFAULT_POLL`] without one.
+fn poll_timeout(request: &HttpRequest) -> Duration {
+    let Some(query) = request.query() else { return DEFAULT_POLL };
+    for pair in query.split('&') {
+        if let Some(value) = pair.strip_prefix("timeout_s=") {
+            if let Ok(secs) = value.parse::<u64>() {
+                return Duration::from_secs(secs.min(MAX_POLL_SECS));
+            }
+        }
+    }
+    DEFAULT_POLL
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheduler::LoadPolicy;
+    use crate::api::JobApi;
+    use crate::scheduler::{LoadPolicy, Runtime, RuntimeConfig};
     use crate::stats::RuntimeStats;
 
-    /// A blocking one-shot HTTP GET against a local address.
-    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    /// A blocking one-shot HTTP exchange against a local address. Write
+    /// and read errors are tolerated: a server rejecting an oversized
+    /// body responds (and closes) while the client is still sending, so
+    /// the tail of the write may hit a reset — the response that made it
+    /// through is still what the test wants.
+    fn http(addr: SocketAddr, raw: &str) -> (String, String, String) {
         let mut stream = TcpStream::connect(addr).unwrap();
-        write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
-        let mut response = String::new();
-        stream.read_to_string(&mut response).unwrap();
+        let _ = stream.write_all(raw.as_bytes());
+        let mut bytes = Vec::new();
+        let mut chunk = [0u8; 1024];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => bytes.extend_from_slice(&chunk[..n]),
+            }
+        }
+        let response = String::from_utf8_lossy(&bytes).to_string();
         let (head, body) = response.split_once("\r\n\r\n").unwrap();
         let status = head.lines().next().unwrap().to_string();
-        (status, body.to_string())
+        (status, head.to_string(), body.to_string())
+    }
+
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let (status, _, body) =
+            http(addr, &format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n"));
+        (status, body)
+    }
+
+    fn http_post(addr: SocketAddr, path: &str, body: &str) -> (String, String, String) {
+        http(
+            addr,
+            &format!(
+                "POST {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        )
     }
 
     #[test]
@@ -229,8 +459,128 @@ mod tests {
         let (status, body) = http_get(addr, "/nope");
         assert!(status.contains("404"), "{status}");
         assert!(body.contains("/healthz"), "{body}");
-        assert!(body.contains("/metrics"), "{body}");
+        assert!(body.contains("/version"), "{body}");
+        assert!(body.contains("/jobs"), "{body}");
 
+        server.shutdown();
+    }
+
+    #[test]
+    fn version_and_method_not_allowed() {
+        let obs = Obs::new(64);
+        let server = StatusServer::bind(0, Arc::clone(&obs)).unwrap();
+        let addr = server.local_addr();
+
+        let (status, body) = http_get(addr, "/version");
+        assert!(status.contains("200"), "{status}");
+        let (version, git) = metrics::build_info();
+        assert!(body.contains(&format!("\"version\":\"{version}\"")), "{body}");
+        assert!(body.contains(&format!("\"git\":\"{git}\"")), "{body}");
+
+        for path in ["/healthz", "/stats", "/trace", "/metrics", "/version"] {
+            let (status, head, body) = http_post(addr, path, "{}");
+            assert!(status.contains("405"), "{path}: {status}");
+            assert!(head.contains("Allow: GET"), "{path}: {head}");
+            assert!(head.contains("Content-Length:"), "{path}: {head}");
+            assert!(head.contains("Connection: close"), "{path}: {head}");
+            assert!(body.contains("error"), "{path}: {body}");
+        }
+
+        // Malformed request line: 400, not a silent drop.
+        let (status, _, body) = http(addr, "garbage\r\n\r\n");
+        assert!(status.contains("400"), "{status}");
+        assert!(body.contains("malformed"), "{body}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn jobs_over_http_submit_poll_and_shed() {
+        let obs = Obs::new(64);
+        let runtime = Arc::new(Runtime::new(RuntimeConfig { workers: 1, ..Default::default() }));
+        let api = JobApi::new(Arc::clone(&runtime), 4096);
+        obs.publish(runtime.stats_arc(), runtime.load_policy());
+        obs.publish_api(Arc::clone(&api));
+        let server = StatusServer::bind(0, Arc::clone(&obs)).unwrap();
+        let addr = server.local_addr();
+
+        // Submit, long-poll the record, check status.
+        let (status, _, body) = http_post(
+            addr,
+            "/jobs",
+            r#"{"workload":"matmul","order":32,"machine":"tiny","label":"http"}"#,
+        );
+        assert!(status.contains("202"), "{status}: {body}");
+        assert_eq!(body, "{\"id\":0}");
+        let (status, body) = http_get(addr, "/jobs/0?timeout_s=60");
+        assert!(status.contains("200"), "{status}: {body}");
+        assert!(body.starts_with("{\"job\":0,\"label\":\"http\""), "{body}");
+        assert!(body.contains("\"ok\":true"), "{body}");
+        let (status, body) = http_get(addr, "/jobs/0/status");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"state\":\"done\""), "{body}");
+        let (status, _) = http_get(addr, "/jobs/7");
+        assert!(status.contains("404"), "{status}");
+        let streamed = runtime.stats().api_streamed_bytes.load(Ordering::Relaxed);
+        assert!(streamed > 0, "streamed bytes not accounted");
+
+        // Malformed spec: 400. Oversized body: 413 from the header alone.
+        let (status, _, body) = http_post(addr, "/jobs", r#"{"workload":"nope"}"#);
+        assert!(status.contains("400"), "{status}: {body}");
+        let big = "x".repeat(5000);
+        let (status, _, _) = http_post(addr, "/jobs", &big);
+        assert!(status.contains("413"), "{status}");
+
+        // Wrong method on /jobs and /jobs/<id>.
+        let (status, head, _) = http(addr, "DELETE /jobs HTTP/1.1\r\n\r\n");
+        assert!(status.contains("405"), "{status}");
+        assert!(head.contains("Allow: POST"), "{head}");
+        let (status, head, _) = http(addr, "DELETE /jobs/0 HTTP/1.1\r\n\r\n");
+        assert!(status.contains("405"), "{status}");
+        assert!(head.contains("Allow: GET"), "{head}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn overloaded_submissions_shed_with_retry_after() {
+        let obs = Obs::new(64);
+        let runtime = Arc::new(Runtime::new(RuntimeConfig {
+            workers: 1,
+            load: LoadPolicy::max_in_flight(1),
+            ..Default::default()
+        }));
+        let api = JobApi::new(Arc::clone(&runtime), 4096);
+        obs.publish(runtime.stats_arc(), runtime.load_policy());
+        obs.publish_api(Arc::clone(&api));
+        let server = StatusServer::bind(0, Arc::clone(&obs)).unwrap();
+        let addr = server.local_addr();
+
+        // Fill the only admission slot, then submit over HTTP.
+        let (hold_tx, hold_rx) = std::sync::mpsc::channel::<()>();
+        let blocker = runtime.submit_task(move || {
+            let _ = hold_rx.recv();
+        });
+        let (status, head, body) =
+            http_post(addr, "/jobs", r#"{"workload":"matmul","order":32,"machine":"tiny"}"#);
+        assert!(status.contains("503"), "{status}: {body}");
+        assert!(head.contains("Retry-After:"), "{head}");
+        assert!(body.contains("retry_after_s"), "{body}");
+        assert_eq!(runtime.stats().api_shed.load(Ordering::Relaxed), 1);
+        hold_tx.send(()).unwrap();
+        blocker.join().unwrap();
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn jobs_without_a_published_api_are_503() {
+        let obs = Obs::new(64);
+        let server = StatusServer::bind(0, Arc::clone(&obs)).unwrap();
+        let addr = server.local_addr();
+        let (status, _, body) = http_post(addr, "/jobs", "{}");
+        assert!(status.contains("503"), "{status}");
+        assert!(body.contains("disabled"), "{body}");
         server.shutdown();
     }
 }

@@ -1,0 +1,153 @@
+//! Property tests for the job API's incremental HTTP request parser:
+//! any well-formed request parses identically no matter how the bytes
+//! are torn across reads, header obs-folding joins values, bodies honor
+//! the configured bound (oversized declared lengths fail before the
+//! body arrives, zero-length bodies are fine), and arbitrary garbage is
+//! a typed error or "need more" — never a panic.
+
+use cf_runtime::api::{parse_request, HttpParseError};
+use proptest::prelude::*;
+
+/// Characters header values and bodies are built from: plain ASCII,
+/// bytes that look like framing (`\r`-free — a raw CR inside a value
+/// would change the head structure), and multi-byte UTF-8.
+const VALUE_CHARS: &[char] = &['a', 'Z', '0', ' ', '_', '"', ':', '/', 'é', '界', ';', '='];
+
+fn value_from(indices: &[usize]) -> String {
+    let s: String = indices.iter().map(|&i| VALUE_CHARS[i % VALUE_CHARS.len()]).collect();
+    s.trim().to_string()
+}
+
+/// Token characters for paths: no whitespace, no `?`.
+const PATH_CHARS: &[char] = &['a', 'b', 'z', '0', '9', '.', '-', '_', '/'];
+
+fn path_from(indices: &[usize]) -> String {
+    let tail: String = indices.iter().map(|&i| PATH_CHARS[i % PATH_CHARS.len()]).collect();
+    format!("/{tail}")
+}
+
+proptest! {
+    /// A well-formed request parses to the same result from the full
+    /// buffer and from every torn prefix: prefixes are `Ok(None)`
+    /// ("read more"), the complete buffer parses exactly, and trailing
+    /// extra bytes don't leak into the body.
+    #[test]
+    fn torn_reads_converge_to_the_same_parse(
+        path_idx in prop::collection::vec(0usize..64, 0..12),
+        header_count in 0usize..4,
+        value_idx in prop::collection::vec(0usize..64, 0..10),
+        body in prop::collection::vec(any::<u8>(), 0..200),
+        post in any::<bool>(),
+        cut in 0usize..400,
+    ) {
+        let method = if post { "POST" } else { "GET" };
+        let path = path_from(&path_idx);
+        let value = value_from(&value_idx);
+        let mut raw = format!("{method} {path} HTTP/1.1\r\n");
+        for i in 0..header_count {
+            raw.push_str(&format!("X-H{i}: {value}\r\n"));
+        }
+        raw.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+        let mut bytes = raw.into_bytes();
+        bytes.extend_from_slice(&body);
+
+        let full = parse_request(&bytes, 4096).expect("well-formed").expect("complete");
+        prop_assert_eq!(&full.method, method);
+        prop_assert_eq!(full.path(), path.as_str());
+        prop_assert_eq!(&full.body, &body);
+        for i in 0..header_count {
+            prop_assert_eq!(full.header(&format!("x-h{i}")), Some(value.as_str()));
+        }
+
+        // Any torn prefix asks for more bytes; nothing errors, nothing
+        // parses early.
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        prop_assert_eq!(parse_request(&bytes[..cut], 4096).expect("prefix"), None);
+
+        // Extra trailing bytes (a pipelined next request) do not leak
+        // into this request's body.
+        bytes.extend_from_slice(b"GET / HTTP/1.1\r\n\r\n");
+        let again = parse_request(&bytes, 4096).expect("well-formed").expect("complete");
+        prop_assert_eq!(&again.body, &body);
+    }
+
+    /// Folded continuation lines join into the previous header's value
+    /// with single spaces, regardless of how many folds and which
+    /// whitespace leads them.
+    #[test]
+    fn header_folding_joins_values(
+        parts in prop::collection::vec(prop::collection::vec(0usize..64, 1..6), 1..5),
+        tabs in any::<bool>(),
+    ) {
+        let rendered: Vec<String> = parts
+            .iter()
+            .map(|p| {
+                let v = value_from(p);
+                if v.is_empty() { "v".to_string() } else { v }
+            })
+            .collect();
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        raw.push_str(&format!("X-Folded: {}\r\n", rendered[0]));
+        for part in &rendered[1..] {
+            raw.push_str(if tabs { "\t" } else { "  " });
+            raw.push_str(part);
+            raw.push_str("\r\n");
+        }
+        raw.push_str("\r\n");
+        let req = parse_request(raw.as_bytes(), 4096).expect("parses").expect("complete");
+        let joined = rendered.join(" ");
+        prop_assert_eq!(req.header("x-folded"), Some(joined.as_str()));
+    }
+
+    /// A declared Content-Length over the bound fails with the typed
+    /// 413 error from the head alone — before any body bytes arrive —
+    /// and at or under the bound it parses once the body is complete.
+    #[test]
+    fn body_bound_is_enforced_from_the_header(
+        declared in 0u64..10_000,
+        max in 0usize..4096,
+    ) {
+        let head = format!("POST /jobs HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n");
+        let parsed = parse_request(head.as_bytes(), max);
+        if declared > max as u64 {
+            prop_assert_eq!(
+                parsed,
+                Err(HttpParseError::BodyTooLarge { length: declared, max })
+            );
+        } else {
+            // Head alone: need the body. With the body: complete.
+            prop_assert_eq!(parsed, Ok(None));
+            let mut bytes = head.into_bytes();
+            bytes.extend(vec![b'x'; declared as usize]);
+            let req = parse_request(&bytes, max).expect("parses").expect("complete");
+            prop_assert_eq!(req.body.len() as u64, declared);
+        }
+    }
+
+    /// Arbitrary garbage never panics: every outcome is a typed error
+    /// or "need more bytes".
+    #[test]
+    fn garbage_is_typed_errors_not_panics(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+        let _ = parse_request(&bytes, 1024);
+    }
+
+    /// Malformed request lines are errors, not silent acceptance:
+    /// lowercase methods, missing parts and relative targets all fail.
+    #[test]
+    fn malformed_request_lines_are_rejected(
+        variant in 0u8..4,
+        path_idx in prop::collection::vec(0usize..64, 0..8),
+    ) {
+        let path = path_from(&path_idx);
+        let line = match variant {
+            0 => format!("get {path} HTTP/1.1"),
+            1 => format!("GET {path}"),
+            2 => format!("GET {} HTTP/1.1", path.trim_start_matches('/')),
+            _ => format!("GET {path} FTP/1.1"),
+        };
+        // Variant 2 with an empty tail would produce "GET  HTTP/1.1",
+        // still malformed (empty target) — every variant must fail.
+        let raw = format!("{line}\r\n\r\n");
+        prop_assert_eq!(parse_request(raw.as_bytes(), 1024), Err(HttpParseError::BadRequestLine));
+    }
+}

@@ -2,11 +2,11 @@
 //! cf-runtime pool, streaming JSON-lines results.
 //!
 //! ```text
-//! cfserve <manifest> [--workers N] [--cache-capacity N] [--no-cache]
+//! cfserve <manifest>|- [--workers N] [--cache-capacity N] [--no-cache]
 //!         [--retries N] [--fault-seed S] [--fault-spec SPEC]
 //!         [--journal PATH] [--resume] [--compact-threshold BYTES]
 //!         [--max-inflight N] [--stats-json PATH] [--status-port N]
-//!         [--instance NAME]
+//!         [--instance NAME] [--listen] [--max-body-bytes N]
 //! ```
 //!
 //! The manifest grammar is documented in `cf_runtime::manifest` (one job
@@ -29,20 +29,30 @@
 //! instead of queueing them unboundedly. `--stats-json PATH` dumps the
 //! final runtime counters as one JSON object.
 //!
-//! `--status-port N` starts a loopback HTTP/1.1 status server (port `0`
-//! picks a free port, printed to stderr) serving `GET /healthz` (200
-//! with admission headroom, 503 when overloaded), `GET /stats` (the
-//! live runtime-stats JSON), `GET /trace` (recent span events +
-//! per-stage latency histograms) and `GET /metrics` (Prometheus text
-//! exposition: every runtime counter, stage-latency histograms and the
-//! simulator profile aggregate fed by `profile=true` manifest jobs)
-//! while the run is in flight. `--instance NAME` sets the `instance`
-//! label stamped on every `/metrics` series (default `cf-serve`).
+//! `--status-port N` starts a loopback HTTP/1.1 server (port `0` picks
+//! a free port, printed to stderr) serving `GET /healthz`, `/stats`,
+//! `/trace`, `/metrics` (Prometheus text exposition) and `/version` —
+//! plus the **job API**: `POST /jobs` accepts a JSON job spec (the same
+//! fields as one manifest line), journals the acceptance durably
+//! *before* acknowledging the id, and `GET /jobs/<id>` long-polls the
+//! finished record (byte-identical to the record the same manifest line
+//! would produce). With `--status-port`, the manifest run and the job
+//! API share one worker pool and one stats registry, so `cf_api_*`
+//! counters land on the same `/metrics` page. The API's write-ahead
+//! journal lives at `<--journal PATH>.api`; `--resume` replays it —
+//! completed jobs answer from disk, journaled-but-unanswered accepts
+//! re-run under their original ids. A manifest of `-` serves the API
+//! only (requires `--status-port`); `--listen` keeps serving the API
+//! after the manifest run finishes. `--max-body-bytes N` bounds request
+//! bodies (413 beyond it; default 1 MiB). `--instance NAME` sets the
+//! `instance` label stamped on every `/metrics` series (default
+//! `cf-serve`).
 //!
 //! Exit codes: `0` all jobs succeeded, `2` bad arguments, `3` manifest
 //! or journal validation failed — including resume onto a different
 //! manifest or fault seed — (nothing ran), `4` at least one job
-//! ultimately failed (after retries).
+//! ultimately failed (after retries). In `--listen` / API-only mode the
+//! process serves until killed.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -50,12 +60,15 @@ use std::time::Instant;
 
 use std::sync::Arc;
 
+use cambricon_f::runtime::api::{JobApi, DEFAULT_MAX_BODY_BYTES};
+use cambricon_f::runtime::manifest;
 use cambricon_f::runtime::obs::Obs;
 use cambricon_f::runtime::serve::{
-    render_record_json, serve_manifest, JournalOptions, ServeOptions, DEFAULT_COMPACT_THRESHOLD,
+    render_record_json, serve_manifest, serve_specs_on, JournalOptions, ServeOptions, ServeReport,
+    DEFAULT_COMPACT_THRESHOLD,
 };
 use cambricon_f::runtime::status::StatusServer;
-use cambricon_f::runtime::{FaultPlan, FaultSpec, RetryPolicy};
+use cambricon_f::runtime::{FaultPlan, FaultSpec, RetryPolicy, Runtime, RuntimeConfig};
 
 /// Span-ring capacity behind `--status-port`'s `/trace` endpoint.
 const TRACE_CAPACITY: usize = 4096;
@@ -66,12 +79,13 @@ const EXIT_JOB_FAILED: u8 = 4;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cfserve <manifest> [--workers N] [--cache-capacity N] [--no-cache] \\\n\
+        "usage: cfserve <manifest>|- [--workers N] [--cache-capacity N] [--no-cache] \\\n\
          \x20              [--retries N] [--fault-seed S] [--fault-spec SPEC] \\\n\
          \x20              [--journal PATH] [--resume] [--compact-threshold BYTES] \\\n\
          \x20              [--max-inflight N] [--stats-json PATH] [--status-port N] \\\n\
-         \x20              [--instance NAME]"
+         \x20              [--instance NAME] [--listen] [--max-body-bytes N]"
     );
+    eprintln!("manifest `-` serves the HTTP job API only (requires --status-port)");
     eprintln!("manifest lines: workload=<name>|program=<file.cfasm> \\");
     eprintln!("    [machine=f1|f100|embedded|tiny] [mode=simulate|exec] [seed=N]");
     eprintln!("    [batch=N] [order=N] [size=small|paper] [repeat=N] [label=TAG]");
@@ -83,11 +97,83 @@ fn usage() -> ExitCode {
     ExitCode::from(EXIT_BAD_ARGS)
 }
 
+/// Streams the report's records to stdout and its summaries to stderr;
+/// `Err` carries the exit code.
+fn emit_report(
+    report: &ServeReport,
+    wall: std::time::Duration,
+    stats_json: Option<&str>,
+) -> Result<(), ExitCode> {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for record in &report.records {
+        if writeln!(out, "{}", render_record_json(record)).is_err() {
+            return Err(ExitCode::from(EXIT_JOB_FAILED));
+        }
+    }
+    drop(out);
+
+    let snap = &report.stats;
+    let submitted = report.records.len();
+    eprintln!(
+        "cfserve: {submitted} jobs in {:.3}s on {} worker(s) | cache {} hits / {} misses ({:.0}% hit rate) | mean queue wait {:.3}ms",
+        wall.as_secs_f64(),
+        report.workers,
+        snap.cache_hits,
+        snap.cache_misses,
+        snap.cache_hit_rate() * 100.0,
+        if submitted > 0 {
+            snap.queue_wait.as_secs_f64() * 1e3 / submitted as f64
+        } else {
+            0.0
+        },
+    );
+    eprintln!(
+        "cfserve: resilience | {} retries, {} corrupt cache hits healed, {} faults injected, {} worker respawns, {} shed",
+        snap.retries, snap.cache_corruptions, snap.faults_injected, snap.worker_respawns, snap.shed,
+    );
+    if snap.shed_jobs > 0 || snap.resumed_jobs > 0 || snap.journal_bytes > 0 {
+        eprintln!(
+            "cfserve: durability | {} resumed from journal, {} journal bytes written, {} compaction(s) reclaimed {} bytes, {} submissions shed",
+            snap.resumed_jobs,
+            snap.journal_bytes,
+            snap.journal_compactions,
+            snap.journal_bytes_reclaimed,
+            snap.shed_jobs,
+        );
+    }
+    for (i, w) in snap.per_worker.iter().enumerate() {
+        eprintln!("cfserve:   worker {i}: {} job(s), {:.3}s busy", w.jobs, w.busy.as_secs_f64());
+    }
+
+    if let Some(path) = stats_json {
+        if let Err(e) = std::fs::write(path, snap.render_json() + "\n") {
+            eprintln!("cfserve: cannot write {path}: {e}");
+            return Err(ExitCode::from(EXIT_JOB_FAILED));
+        }
+    }
+
+    let failures = report.failures();
+    if failures > 0 {
+        eprintln!("cfserve: {failures} job(s) failed:");
+        for r in report.failed_records() {
+            let err = match &r.outcome {
+                Err(e) => e.to_string(),
+                Ok(_) => continue,
+            };
+            eprintln!("cfserve:   job {} ({}): {err}", r.index, r.label);
+        }
+        return Err(ExitCode::from(EXIT_JOB_FAILED));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(manifest_path) = args.first().filter(|a| !a.starts_with("--")) else {
+    let Some(manifest_path) = args.first().filter(|a| !a.starts_with("--") || *a == "-") else {
         return usage();
     };
+    let api_only = manifest_path == "-";
     let mut opts = ServeOptions::default();
     let mut fault_seed: Option<u64> = None;
     let mut fault_spec: Option<FaultSpec> = None;
@@ -97,6 +183,8 @@ fn main() -> ExitCode {
     let mut stats_json: Option<String> = None;
     let mut status_port: Option<u16> = None;
     let mut instance: Option<String> = None;
+    let mut listen = false;
+    let mut max_body_bytes = DEFAULT_MAX_BODY_BYTES;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -105,6 +193,7 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--resume" => resume = true,
+            "--listen" => listen = true,
             "--compact-threshold" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => compact_threshold = n,
                 None => return usage(),
@@ -119,6 +208,10 @@ fn main() -> ExitCode {
             },
             "--max-inflight" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => opts.load.max_in_flight = n,
+                None => return usage(),
+            },
+            "--max-body-bytes" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => max_body_bytes = n,
                 None => return usage(),
             },
             "--stats-json" => match it.next() {
@@ -157,7 +250,7 @@ fn main() -> ExitCode {
         let spec = fault_spec.unwrap_or_else(FaultSpec::chaos);
         opts.fault_plan = Some(FaultPlan::new(fault_seed.unwrap_or(0), spec));
     }
-    match journal_path {
+    match &journal_path {
         Some(path) => {
             opts.journal = Some(JournalOptions { path: path.into(), resume, compact_threshold });
         }
@@ -167,10 +260,18 @@ fn main() -> ExitCode {
         }
         None => {}
     }
+    if (api_only || listen) && status_port.is_none() {
+        eprintln!("cfserve: manifest `-` / --listen require --status-port");
+        return usage();
+    }
 
     // Bind the status server before the run starts so probes can watch
-    // the whole lifecycle; the bound port goes to stderr immediately.
+    // the whole lifecycle. The bound address is announced on stderr only
+    // after the job API is published below, so a client that scrapes the
+    // announce line can POST /jobs immediately.
     let mut _status_server = None;
+    let mut obs_handle: Option<Arc<Obs>> = None;
+    let mut status_addr = None;
     if let Some(port) = status_port {
         let obs = Obs::new(TRACE_CAPACITY);
         if let Some(name) = &instance {
@@ -178,11 +279,9 @@ fn main() -> ExitCode {
         }
         match StatusServer::bind(port, Arc::clone(&obs)) {
             Ok(server) => {
-                eprintln!(
-                    "cfserve: status on http://{} (GET /healthz /stats /trace /metrics)",
-                    server.local_addr()
-                );
+                status_addr = Some(server.local_addr());
                 _status_server = Some(server);
+                obs_handle = Some(Arc::clone(&obs));
                 opts.obs = Some(obs);
             }
             Err(e) => {
@@ -192,19 +291,105 @@ fn main() -> ExitCode {
         }
     }
 
-    let text = match std::fs::read_to_string(manifest_path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cfserve: cannot read {manifest_path}: {e}");
-            return ExitCode::from(EXIT_VALIDATION);
+    let text = if api_only {
+        String::new()
+    } else {
+        match std::fs::read_to_string(manifest_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cfserve: cannot read {manifest_path}: {e}");
+                return ExitCode::from(EXIT_VALIDATION);
+            }
         }
     };
-    if text.lines().all(|l| l.split('#').next().unwrap_or("").trim().is_empty()) {
+    if !api_only && text.lines().all(|l| l.split('#').next().unwrap_or("").trim().is_empty()) {
         eprintln!("cfserve: {manifest_path}: no jobs");
         return ExitCode::from(EXIT_VALIDATION);
     }
 
     let t0 = Instant::now();
+    if let Some(obs) = obs_handle {
+        // Shared-runtime path: the manifest run and the HTTP job API use
+        // one pool, one plan cache and one stats registry, so /metrics
+        // tells a single story (cf_api_* included) and coalescing spans
+        // both ingestion paths.
+        let runtime = Arc::new(Runtime::new(RuntimeConfig {
+            workers: opts.workers,
+            cache_capacity: opts.cache_capacity,
+            retry: opts.retry.clone(),
+            breaker: opts.breaker.clone(),
+            fault_plan: opts.fault_plan.clone(),
+            load: opts.load,
+            tracer: Some(Arc::clone(obs.tracer())),
+            ..Default::default()
+        }));
+        obs.publish(runtime.stats_arc(), runtime.load_policy());
+
+        // The API's write-ahead journal rides next to the manifest's.
+        let api = match &journal_path {
+            Some(path) => {
+                let api_path = std::path::PathBuf::from(format!("{path}.api"));
+                match JobApi::with_journal(
+                    Arc::clone(&runtime),
+                    &api_path,
+                    resume,
+                    compact_threshold,
+                    max_body_bytes,
+                ) {
+                    Ok((api, summary)) => {
+                        if summary.replayed > 0 || summary.resubmitted > 0 {
+                            eprintln!(
+                                "cfserve: api journal | {} job(s) replayed, {} accepted job(s) re-run",
+                                summary.replayed, summary.resubmitted,
+                            );
+                        }
+                        api
+                    }
+                    Err(e) => {
+                        eprintln!("cfserve: api journal {}: {e}", api_path.display());
+                        return ExitCode::from(EXIT_VALIDATION);
+                    }
+                }
+            }
+            None => JobApi::new(Arc::clone(&runtime), max_body_bytes),
+        };
+        obs.publish_api(api);
+        if let Some(addr) = status_addr {
+            eprintln!(
+                "cfserve: status on http://{addr} (GET /healthz /stats /trace /metrics /version, POST /jobs)"
+            );
+        }
+
+        let mut exit = ExitCode::SUCCESS;
+        if !api_only {
+            let specs = match manifest::parse_manifest(&text) {
+                Ok(specs) => specs,
+                Err(e) => {
+                    eprintln!("cfserve: {manifest_path}: {e}");
+                    return ExitCode::from(EXIT_VALIDATION);
+                }
+            };
+            let report = match serve_specs_on(&specs, &opts, &runtime) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("cfserve: {manifest_path}: {e}");
+                    return ExitCode::from(EXIT_VALIDATION);
+                }
+            };
+            if let Err(code) = emit_report(&report, t0.elapsed(), stats_json.as_deref()) {
+                exit = code;
+            }
+        }
+        if api_only || listen {
+            eprintln!("cfserve: serving the job API until killed (POST /jobs)");
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        return exit;
+    }
+
+    // No status server: the classic one-shot manifest path.
     let report = match serve_manifest(&text, &opts) {
         Ok(r) => r,
         Err(e) => {
@@ -212,68 +397,8 @@ fn main() -> ExitCode {
             return ExitCode::from(EXIT_VALIDATION);
         }
     };
-
-    let stdout = std::io::stdout();
-    let mut out = stdout.lock();
-    for record in &report.records {
-        if writeln!(out, "{}", render_record_json(record)).is_err() {
-            return ExitCode::from(EXIT_JOB_FAILED);
-        }
+    match emit_report(&report, t0.elapsed(), stats_json.as_deref()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(code) => code,
     }
-    drop(out);
-
-    let wall = t0.elapsed();
-    let snap = &report.stats;
-    let submitted = report.records.len();
-    eprintln!(
-        "cfserve: {submitted} jobs in {:.3}s on {} worker(s) | cache {} hits / {} misses ({:.0}% hit rate) | mean queue wait {:.3}ms",
-        wall.as_secs_f64(),
-        report.workers,
-        snap.cache_hits,
-        snap.cache_misses,
-        snap.cache_hit_rate() * 100.0,
-        if submitted > 0 {
-            snap.queue_wait.as_secs_f64() * 1e3 / submitted as f64
-        } else {
-            0.0
-        },
-    );
-    eprintln!(
-        "cfserve: resilience | {} retries, {} corrupt cache hits healed, {} faults injected, {} worker respawns, {} shed",
-        snap.retries, snap.cache_corruptions, snap.faults_injected, snap.worker_respawns, snap.shed,
-    );
-    if snap.shed_jobs > 0 || snap.resumed_jobs > 0 || snap.journal_bytes > 0 {
-        eprintln!(
-            "cfserve: durability | {} resumed from journal, {} journal bytes written, {} compaction(s) reclaimed {} bytes, {} submissions shed",
-            snap.resumed_jobs,
-            snap.journal_bytes,
-            snap.journal_compactions,
-            snap.journal_bytes_reclaimed,
-            snap.shed_jobs,
-        );
-    }
-    for (i, w) in snap.per_worker.iter().enumerate() {
-        eprintln!("cfserve:   worker {i}: {} job(s), {:.3}s busy", w.jobs, w.busy.as_secs_f64());
-    }
-
-    if let Some(path) = &stats_json {
-        if let Err(e) = std::fs::write(path, snap.render_json() + "\n") {
-            eprintln!("cfserve: cannot write {path}: {e}");
-            return ExitCode::from(EXIT_JOB_FAILED);
-        }
-    }
-
-    let failures = report.failures();
-    if failures > 0 {
-        eprintln!("cfserve: {failures} job(s) failed:");
-        for r in report.failed_records() {
-            let err = match &r.outcome {
-                Err(e) => e.to_string(),
-                Ok(_) => continue,
-            };
-            eprintln!("cfserve:   job {} ({}): {err}", r.index, r.label);
-        }
-        return ExitCode::from(EXIT_JOB_FAILED);
-    }
-    ExitCode::SUCCESS
 }
