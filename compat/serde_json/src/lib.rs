@@ -658,7 +658,7 @@ mod tests {
 
     #[test]
     fn floats_round_trip_via_debug_formatting() {
-        for x in [0.0, 1.0, 25.55, 1e-9, 1234.5678901234, f64::MIN_POSITIVE, 3.141592653589793] {
+        for x in [0.0, 1.0, 25.55, 1e-9, 1234.5678901234, f64::MIN_POSITIVE, std::f64::consts::PI] {
             let text = Value::from(x).to_string();
             let back = from_str(&text).unwrap().as_f64().unwrap();
             assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {text}");

@@ -38,7 +38,7 @@
 
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -255,7 +255,9 @@ pub enum SubmitError {
     /// Admission control shed the job at the front door (`503`).
     Shed {
         /// Suggested `Retry-After` seconds, derived from how far past
-        /// its limit the pool is (clamped to `1..=30`).
+        /// its limit the pool is (clamped to `1..=30`), then jittered
+        /// into the upper half of that window so shed clients don't
+        /// retry in a thundering herd.
         retry_after_s: u64,
         /// The shed rendering (limit, in-flight count, queued bytes).
         message: String,
@@ -815,6 +817,23 @@ impl JobApi {
         let st = sync::lock(&self.state);
         st.jobs.get(&id).map(|job| render_status(id, job))
     }
+
+    /// Accepted API jobs that have not settled yet (the drain path
+    /// waits for this to reach zero before exiting).
+    pub fn pending(&self) -> usize {
+        let st = sync::lock(&self.state);
+        st.jobs.values().filter(|job| job.outcome.is_none()).count()
+    }
+
+    /// Forces the API journal to durable storage (a no-op without one).
+    /// Appends fsync record-by-record already; drain calls this as a
+    /// final barrier before the process exits.
+    pub fn sync_journal(&self) {
+        let mut st = sync::lock(&self.state);
+        if let Some(journal) = st.journal.as_mut() {
+            let _ = journal.sync();
+        }
+    }
 }
 
 /// Renders a settled job byte-identically to the manifest serving path:
@@ -853,10 +872,12 @@ fn render_status(id: u64, job: &ApiJob) -> String {
 
 /// Maps an admission failure to a 503 with a `Retry-After` derived from
 /// headroom: how many multiples of the limit are outstanding, clamped
-/// to `1..=30` seconds.
+/// to `1..=30` seconds and then jittered (see [`jittered_retry_after`])
+/// so a crowd of shed clients — or a router fanning retries across a
+/// fleet — does not come back in lockstep.
 fn shed_error(runtime: &Runtime, e: JobError) -> SubmitError {
     let load = runtime.load_policy();
-    let retry_after_s = match &e {
+    let nominal = match &e {
         JobError::Shed { limit, in_flight, queued_bytes } => {
             let ratio = if *limit == "queued-bytes" {
                 *queued_bytes / load.max_queued_bytes.max(1)
@@ -867,7 +888,67 @@ fn shed_error(runtime: &Runtime, e: JobError) -> SubmitError {
         }
         _ => 1,
     };
-    SubmitError::Shed { retry_after_s, message: e.to_string() }
+    SubmitError::Shed {
+        retry_after_s: jittered_retry_after(nominal, shed_salt()),
+        message: e.to_string(),
+    }
+}
+
+/// Jitters a nominal `Retry-After` into `[⌈nominal/2⌉, nominal]`: never
+/// later than the headroom-derived suggestion (so the contract that
+/// values stay within `1..=30` holds), never more than halved (so an
+/// overloaded pool still gets breathing room), and spread across the
+/// window by an FNV hash of `salt`.
+fn jittered_retry_after(nominal: u64, salt: u64) -> u64 {
+    let nominal = nominal.max(1);
+    let lo = nominal.div_ceil(2);
+    lo + fnv1a(&salt.to_le_bytes()) % (nominal - lo + 1)
+}
+
+/// A per-process jitter salt: a monotone counter XORed with the clock's
+/// subsecond nanoseconds, so concurrent shed responses — and separate
+/// processes shed at the same instant — land on different values.
+fn shed_salt() -> u64 {
+    static SHED_SALT: AtomicU64 = AtomicU64::new(0);
+    let n = SHED_SALT.fetch_add(1, Ordering::Relaxed);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::from(d.subsec_nanos()))
+        .unwrap_or(0);
+    n ^ nanos
+}
+
+/// The fleet-routing fingerprint of a `POST /jobs` body: the plan-cache
+/// identity `(machine fingerprint, program hash)` folded to one `u64`
+/// (exactly [`CacheKey::digest`](crate::cache::CacheKey::digest)), so a
+/// router shards jobs onto the backend whose plan cache is already warm
+/// for that machine × program pair. Array submissions route by their
+/// first element (all-or-nothing batches stay on one backend);
+/// non-coalescible jobs (exec mode, profiled) fold the machine
+/// fingerprint with the canonical line's content hash; anything that
+/// does not parse falls back to a content hash of the raw body, so
+/// routing is total — invalid specs still map onto a backend, which
+/// answers with the authoritative 400.
+pub fn routing_fingerprint(body: &str) -> u64 {
+    let fallback = || fnv1a(body.as_bytes());
+    let Ok(value) = serde_json::from_str(body) else {
+        return fallback();
+    };
+    let first = match value.as_array() {
+        Some([first, ..]) => first.clone(),
+        Some([]) => return fallback(),
+        None => value,
+    };
+    let Ok(line) = canonical_line(&first) else {
+        return fallback();
+    };
+    let Ok(job) = parse_spec_line(&line) else {
+        return fallback();
+    };
+    match job.coalesce_key {
+        Some((machine, program)) => machine ^ program.rotate_left(32),
+        None => job.machine.fingerprint() ^ fnv1a(line.as_bytes()).rotate_left(32),
+    }
 }
 
 /// Clones a parsed job (the program is `Arc`-shared, so this is cheap);
@@ -1088,6 +1169,64 @@ mod tests {
             let err = canonical_line(&v).unwrap_err();
             assert!(err.contains(needle), "{spec}: {err}");
         }
+    }
+
+    // -- shed jitter and routing --------------------------------------------
+
+    #[test]
+    fn jittered_retry_after_stays_in_the_upper_half_window() {
+        for nominal in 1..=30u64 {
+            let lo = nominal.div_ceil(2);
+            for salt in 0..64u64 {
+                let v = jittered_retry_after(nominal, salt);
+                assert!((lo..=nominal).contains(&v), "nominal {nominal} salt {salt} -> {v}");
+            }
+        }
+        // Degenerate nominals still answer at least one second.
+        assert_eq!(jittered_retry_after(0, 7), 1);
+    }
+
+    #[test]
+    fn jittered_retry_after_actually_spreads() {
+        let values: std::collections::HashSet<u64> =
+            (0..256u64).map(|salt| jittered_retry_after(30, salt)).collect();
+        // 30 seconds gives a [15, 30] window; the hash should hit most
+        // of it rather than collapsing to one value.
+        assert!(values.len() >= 8, "only {} distinct values", values.len());
+    }
+
+    #[test]
+    fn routing_fingerprint_matches_plan_cache_identity() {
+        let a = routing_fingerprint(r#"{"workload":"matmul","order":32,"machine":"tiny"}"#);
+        let b = routing_fingerprint(r#"{"order":32,"machine":"tiny","workload":"matmul"}"#);
+        assert_eq!(a, b, "key order must not change the route");
+        let c = routing_fingerprint(r#"{"workload":"matmul","order":64,"machine":"tiny"}"#);
+        assert_ne!(a, c, "different programs must be able to shard apart");
+        // Labels ride along without moving the job off its warm cache.
+        let d =
+            routing_fingerprint(r#"{"workload":"matmul","order":32,"machine":"tiny","label":"x"}"#);
+        assert_eq!(a, d);
+    }
+
+    #[test]
+    fn routing_fingerprint_is_total() {
+        // Arrays route by first element, matching the object route.
+        let single = routing_fingerprint(r#"{"workload":"matmul","order":32,"machine":"tiny"}"#);
+        let batch = routing_fingerprint(
+            r#"[{"workload":"matmul","order":32,"machine":"tiny"},{"workload":"mlp3","batch":1,"machine":"tiny"}]"#,
+        );
+        assert_eq!(single, batch);
+        // Garbage still routes (content hash), deterministically.
+        assert_eq!(routing_fingerprint("not json"), routing_fingerprint("not json"));
+        assert_eq!(routing_fingerprint("[]"), routing_fingerprint("[]"));
+        // Non-coalescible (exec) jobs still get a machine-dependent route.
+        let exec = routing_fingerprint(
+            r#"{"workload":"kmeans","size":"small","mode":"exec","seed":42,"machine":"tiny"}"#,
+        );
+        let exec2 = routing_fingerprint(
+            r#"{"seed":42,"size":"small","machine":"tiny","mode":"exec","workload":"kmeans"}"#,
+        );
+        assert_eq!(exec, exec2);
     }
 
     // -- JobApi -------------------------------------------------------------

@@ -792,6 +792,17 @@ impl Journal {
         Ok(())
     }
 
+    /// Forces journal bytes to durable storage. Appends already fsync
+    /// record-by-record, so this is a final barrier for drain paths that
+    /// must not exit with anything buffered.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on any filesystem failure.
+    pub fn sync(&mut self) -> Result<(), JournalError> {
+        self.file.sync_data().map_err(|e| io_err(&self.path, &e))
+    }
+
     fn append_line(&mut self, line: &str) -> Result<(), JournalError> {
         self.file
             .write_all(line.as_bytes())

@@ -54,6 +54,15 @@
 //!   (`503` + `Retry-After`), and streamed back from
 //!   `GET /jobs/<id>` byte-identically to the manifest serving path.
 //!   See DESIGN.md §9.
+//! * [`router`] — the fleet layer: a consistent-hash [`Router`] front
+//!   door (`cfrouter`) sharding jobs by plan-cache fingerprint across
+//!   N `cfserve` backends, with a background health prober
+//!   (eject/readmit), failover to ring replicas with bounded backoff,
+//!   hedged duplicates past a latency quantile, per-backend circuit
+//!   breakers, and fleet-aggregated `/metrics`; `cfserve` pairs it with
+//!   a graceful drain path (SIGTERM / `POST /drain`). One fleet is one
+//!   more fractal level, with the router as the parent node. See
+//!   DESIGN.md §10.
 //!
 //! # Example
 //!
@@ -87,6 +96,7 @@ pub mod journal;
 pub mod manifest;
 pub mod metrics;
 pub mod obs;
+pub mod router;
 pub mod scheduler;
 pub mod serve;
 pub mod stats;
@@ -102,11 +112,12 @@ pub use journal::{
     CompactionStats, JobEntry, Journal, JournalError, Record, RecordError, RunHeader,
 };
 pub use obs::{LatencyHistogram, Obs, ProfileAgg, SpanEvent, SpanKind, Stage, Tracer};
+pub use router::{BackendHealth, Ring, Router, RouterConfig, RouterServer};
 pub use scheduler::{ExecResult, LoadPolicy, ProfiledSimResult, Runtime, RuntimeConfig, SimResult};
 pub use serve::{
     JobOutput, JobRecord, JournalOptions, ServeError, ServeOptions, ServeReport,
     DEFAULT_COMPACT_THRESHOLD,
 };
-pub use stats::{RuntimeStats, StatsSnapshot, WorkerSnapshot};
+pub use stats::{RouterStats, RuntimeStats, StatsSnapshot, WorkerSnapshot};
 pub use status::StatusServer;
 pub use supervisor::{next_retry, BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};

@@ -81,11 +81,15 @@ pub fn build_info() -> (&'static str, &'static str) {
 ///
 /// `snap` and `load` are `None` before a runtime has published (the
 /// families are still declared, just sample-less); `tracer`-derived
-/// series (histograms, span drops, profile aggregate) always render.
+/// series (histograms, span drops, profile aggregate) always render, as
+/// does the `cf_draining` gauge (`draining` is process state, not
+/// runtime state — a router reads it to tell planned removal from
+/// overload).
 pub fn render(
     instance: &str,
     snap: Option<&StatsSnapshot>,
     load: Option<LoadPolicy>,
+    draining: bool,
     tracer: &Tracer,
 ) -> String {
     let mut out = String::with_capacity(16 * 1024);
@@ -195,7 +199,12 @@ pub fn render(
     }
 
     // -- Gauges -----------------------------------------------------------
-    let gauges: [(&'static str, &'static str, Option<String>); 5] = [
+    let gauges: [(&'static str, &'static str, Option<String>); 6] = [
+        (
+            "cf_draining",
+            "1 while the instance is draining (stopped admitting, finishing in-flight work).",
+            Some(if draining { "1" } else { "0" }.to_string()),
+        ),
         (
             "cf_in_flight",
             "Jobs accepted into the queue and not yet terminal.",
@@ -269,16 +278,21 @@ pub fn render(
     }
 
     // -- Stage latency histograms -----------------------------------------
+    let mut stage_totals: Vec<u64> = Vec::with_capacity(STAGES.len());
     {
         out.push_str(concat!(
             "# HELP cf_stage_latency_seconds Runtime pipeline-stage latency ",
             "(queue wait, run, cache lookup, retry backoff, journal append, api request).\n",
             "# TYPE cf_stage_latency_seconds histogram\n",
         ));
+        // One bucket snapshot per stage: `+Inf` and `_count` are both
+        // derived from it, so the exposition stays internally
+        // consistent even while workers are observing concurrently
+        // (reading `count()` separately could disagree with the
+        // buckets mid-run).
         for &stage in &STAGES {
             let h = tracer.histogram(stage);
             let counts = h.bucket_counts();
-            let total = h.count();
             let mut cumulative = 0u64;
             for (i, &c) in counts.iter().enumerate().take(HISTOGRAM_BUCKETS) {
                 cumulative += c;
@@ -295,11 +309,12 @@ pub fn render(
                 &mut out,
                 "cf_stage_latency_seconds_bucket",
                 &[("instance", instance), ("stage", stage.name()), ("le", "+Inf")],
-                &total.to_string(),
+                &cumulative.to_string(),
             );
+            stage_totals.push(cumulative);
         }
     }
-    for &stage in &STAGES {
+    for (&stage, &total) in STAGES.iter().zip(&stage_totals) {
         let h = tracer.histogram(stage);
         let labels: &[(&str, &str)] = &[("instance", instance), ("stage", stage.name())];
         sample_line(
@@ -308,7 +323,7 @@ pub fn render(
             labels,
             &fmt_f64(h.total().as_secs_f64()),
         );
-        sample_line(&mut out, "cf_stage_latency_seconds_count", labels, &h.count().to_string());
+        sample_line(&mut out, "cf_stage_latency_seconds_count", labels, &total.to_string());
     }
 
     // -- Simulator profile aggregate ---------------------------------------
@@ -388,7 +403,7 @@ mod tests {
     #[test]
     fn renders_every_family_without_a_snapshot() {
         let tracer = Tracer::new(8);
-        let body = render("t0", None, None, &tracer);
+        let body = render("t0", None, None, false, &tracer);
         for family in [
             "cf_jobs_submitted_total",
             "cf_spans_dropped_total",
@@ -420,6 +435,16 @@ mod tests {
             )),
             "{body}"
         );
+        // cf_draining is process state: sampled even without a snapshot.
+        assert!(body.contains("cf_draining{instance=\"t0\"} 0"), "{body}");
+    }
+
+    #[test]
+    fn draining_gauge_follows_the_flag() {
+        let tracer = Tracer::new(8);
+        let body = render("t0", None, None, true, &tracer);
+        assert!(body.contains("# TYPE cf_draining gauge"), "{body}");
+        assert!(body.contains("cf_draining{instance=\"t0\"} 1"), "{body}");
     }
 
     #[test]
@@ -428,7 +453,7 @@ mod tests {
         tracer.observe(Stage::Run, Duration::from_micros(3)); // bucket 1
         tracer.observe(Stage::Run, Duration::from_micros(3));
         tracer.observe(Stage::Run, Duration::from_micros(1000)); // bucket 9
-        let body = render("t0", None, None, &tracer);
+        let body = render("t0", None, None, false, &tracer);
         // [2^1, 2^2) µs bucket upper bound is 4 µs = 4e-6 s.
         assert!(
             body.contains(
@@ -478,7 +503,7 @@ mod tests {
             Err(e) => panic!("{e}"),
         };
         tracer.absorb_profile("Cambricon-F1", &report);
-        let body = render("t0", None, None, &tracer);
+        let body = render("t0", None, None, false, &tracer);
         assert!(
             body.contains("cf_profile_jobs_total{instance=\"t0\",machine=\"Cambricon-F1\"} 1"),
             "{body}"
@@ -503,7 +528,7 @@ mod tests {
         tracer.record(SpanKind::JobSubmit, 1, None, String::new);
         tracer.record(SpanKind::JobSubmit, 2, None, String::new);
         tracer.record(SpanKind::JobSubmit, 3, None, String::new); // drops one
-        let body = render("a\"b\\c\nd", None, None, &tracer);
+        let body = render("a\"b\\c\nd", None, None, false, &tracer);
         assert!(body.contains("instance=\"a\\\"b\\\\c\\nd\""), "{body}");
         assert!(body.contains("cf_spans_dropped_total{instance=\"a\\\"b\\\\c\\nd\"} 1"), "{body}");
     }

@@ -509,6 +509,10 @@ pub struct Obs {
     runtime: Mutex<Option<RuntimeView>>,
     api: Mutex<Option<Arc<crate::api::JobApi>>>,
     instance: Mutex<String>,
+    /// Set by the drain path (SIGTERM / `POST /drain`): the instance
+    /// stops admitting work and `/healthz` flips to `"draining"` so a
+    /// router treats the removal as planned rather than as failure.
+    draining: AtomicBool,
 }
 
 impl Obs {
@@ -519,7 +523,21 @@ impl Obs {
             runtime: Mutex::new(None),
             api: Mutex::new(None),
             instance: Mutex::new("cf-serve".to_string()),
+            draining: AtomicBool::new(false),
         })
+    }
+
+    /// Flips the hub into draining: `/healthz` answers 503 with
+    /// `"status":"draining"`, `POST /jobs` refuses new work, and the
+    /// `cf_draining` gauge reads 1. Irreversible for the process
+    /// lifetime — drain ends in exit.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has been requested.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
     }
 
     /// The hub's tracer.
@@ -562,10 +580,16 @@ impl Obs {
 
     /// The `/healthz` response: `(healthy, body)`. Healthy means a load
     /// balancer may route new work here: the run is either unlimited or
-    /// has admission headroom left. `healthy == false` maps to HTTP 503.
+    /// has admission headroom left, and no drain has begun.
+    /// `healthy == false` maps to HTTP 503; the body's `status` field
+    /// distinguishes `"draining"` (planned removal — a router drops the
+    /// backend without counting a failure) from `"overloaded"`
+    /// (transient pressure — retry later).
     pub fn healthz(&self) -> (bool, String) {
+        let draining = self.draining();
         let Some(view) = sync::lock(&self.runtime).clone() else {
-            return (true, "{\"status\":\"starting\"}".to_string());
+            let status = if draining { "draining" } else { "starting" };
+            return (!draining, format!("{{\"status\":\"{status}\"}}"));
         };
         let snap = view.stats.snapshot();
         let load = view.load;
@@ -578,16 +602,22 @@ impl Obs {
         } else {
             "null".to_string()
         };
+        let status = if draining {
+            "\"draining\""
+        } else if overloaded {
+            "\"overloaded\""
+        } else {
+            "\"ok\""
+        };
         let body = format!(
-            "{{\"status\":{},\"in_flight\":{},\"max_in_flight\":{},\"headroom\":{headroom},\"queued_bytes\":{},\"max_queued_bytes\":{},\"uptime_s\":{:?}}}",
-            if overloaded { "\"overloaded\"" } else { "\"ok\"" },
+            "{{\"status\":{status},\"draining\":{draining},\"in_flight\":{},\"max_in_flight\":{},\"headroom\":{headroom},\"queued_bytes\":{},\"max_queued_bytes\":{},\"uptime_s\":{:?}}}",
             snap.in_flight,
             load.max_in_flight,
             snap.queued_bytes,
             load.max_queued_bytes,
             snap.uptime.as_secs_f64(),
         );
-        (!overloaded, body)
+        (!overloaded && !draining, body)
     }
 
     /// The `/stats` response: `(ready, body)` — the live
@@ -618,7 +648,7 @@ impl Obs {
             }
             None => (None, None),
         };
-        crate::metrics::render(&self.instance(), snap.as_ref(), load, &self.tracer)
+        crate::metrics::render(&self.instance(), snap.as_ref(), load, self.draining(), &self.tracer)
     }
 
     /// The `/trace` response body.
@@ -704,5 +734,33 @@ mod tests {
         let (ready, stats_body) = obs.stats_json();
         assert!(ready);
         assert!(stats_body.contains("\"in_flight\":2"), "{stats_body}");
+    }
+
+    #[test]
+    fn obs_drain_beats_overload_and_starting() {
+        // Draining before a runtime publishes still reads as draining.
+        let obs = Obs::new(8);
+        obs.begin_drain();
+        let (ok, body) = obs.healthz();
+        assert!(!ok, "{body}");
+        assert!(body.contains("\"status\":\"draining\""), "{body}");
+
+        // Draining with headroom left: still draining, still 503 —
+        // planned removal is not the same signal as overload.
+        let obs = Obs::new(8);
+        let stats = Arc::new(RuntimeStats::new(1));
+        obs.publish(Arc::clone(&stats), LoadPolicy::max_in_flight(2));
+        assert!(!obs.draining());
+        obs.begin_drain();
+        assert!(obs.draining());
+        let (ok, body) = obs.healthz();
+        assert!(!ok, "{body}");
+        assert!(body.contains("\"status\":\"draining\""), "{body}");
+        assert!(body.contains("\"draining\":true"), "{body}");
+        assert!(!body.contains("overloaded"), "{body}");
+
+        // The gauge follows the flag in the exposition.
+        let metrics = obs.metrics();
+        assert!(metrics.contains("cf_draining 1"), "{metrics}");
     }
 }

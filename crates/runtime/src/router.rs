@@ -1,0 +1,1537 @@
+//! `cfrouter` — a fault-tolerant HTTP front door over a fleet of
+//! `cfserve` backends: one more fractal level, with the router as the
+//! parent node.
+//!
+//! Jobs are **consistent-hashed by plan-cache fingerprint** (the
+//! `(machine fingerprint, program hash)` identity from
+//! [`crate::cache::CacheKey`], extracted from the `POST /jobs` body by
+//! [`api::routing_fingerprint`]) onto a [`Ring`] of backends, so every
+//! instance's plan cache stays warm for its own key range. Robustness
+//! is the headline:
+//!
+//! * a **health prober** polls each backend's `/healthz` on a background
+//!   thread, ejecting instances that answer `503` or time out
+//!   ([`BackendHealth::Ejected`]) and re-admitting them after
+//!   consecutive successes; a backend reporting `"draining"` is treated
+//!   as *planned removal* ([`BackendHealth::Draining`]), not failure;
+//! * failed or ejected-backend requests **fail over** to the next ring
+//!   replica with bounded retries and jittered exponential backoff
+//!   (reusing [`next_retry`]); a job whose owner died mid-run is
+//!   resubmitted from the router's retained spec, so its record still
+//!   streams — byte-identical, because records are deterministic;
+//! * submissions slower than a **latency quantile** (p95 over the
+//!   router's own submit histogram, floored by
+//!   [`RouterConfig::hedge_floor`]) get one **hedged duplicate** to the
+//!   next replica: first answer wins, the loser's connection is shut
+//!   down;
+//! * a per-backend **circuit breaker** (the
+//!   [`supervisor`](crate::supervisor) state machine) stops hammering a
+//!   dying instance between probe passes.
+//!
+//! The router's own endpoints: `/healthz` (healthy while ≥ 1 backend is
+//! routable), `/stats` (the [`RouterStats`] counters plus the live
+//! backend table), `/ring` (the routing table), and `/metrics` — every
+//! backend's Prometheus exposition merged into one fleet view (the
+//! per-backend `instance` label keeps series distinct) plus the
+//! router's own `cf_router_*` series. `POST /jobs`,
+//! `GET /jobs/<id>` and `GET /jobs/<id>/status` proxy to the owning
+//! backend with the backend-local job id translated to the router's
+//! fleet-wide id, so a client cannot tell the fleet from one big
+//! instance. See DESIGN.md §10.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::api::{self, HttpRequest};
+use crate::fault::fnv1a;
+use crate::obs::LatencyHistogram;
+use crate::serve::json_str;
+use crate::stats::RouterStats;
+use crate::supervisor::{next_retry, BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
+use crate::sync;
+
+/// How long the accept loop sleeps when no connection is pending.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Per-read/write socket timeout on *client* connections.
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Total time a client gets to deliver one complete request.
+const READ_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Minimum submit-latency samples before the hedge threshold trusts the
+/// histogram's quantile over the configured floor.
+const HEDGE_MIN_SAMPLES: u64 = 20;
+
+/// The quantile a submission must exceed before it is hedged.
+const HEDGE_QUANTILE: f64 = 0.95;
+
+// ---------------------------------------------------------------------------
+// Consistent-hash ring
+// ---------------------------------------------------------------------------
+
+/// A consistent-hash ring over backend indices: each backend owns
+/// [`vnodes`](Ring::vnodes) pseudo-random points on a `u64` circle, and
+/// a key belongs to the first point at or after its hash. Removing one
+/// backend only remaps the keys that backend owned (its points vanish;
+/// everyone else's stay put) — the minimal-disruption property the ring
+/// proptests pin down.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    vnodes: usize,
+    backends: usize,
+    /// `(point, backend index)`, sorted by point.
+    points: Vec<(u64, usize)>,
+}
+
+impl Ring {
+    /// A ring over `names` with `vnodes` points per backend (minimum 1).
+    /// Points derive from the backend *name*, so the same name owns the
+    /// same arc regardless of which other backends exist.
+    pub fn new(names: &[String], vnodes: usize) -> Ring {
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(names.len() * vnodes);
+        for (i, name) in names.iter().enumerate() {
+            for v in 0..vnodes {
+                points.push((fnv1a(format!("{name}#{v}").as_bytes()), i));
+            }
+        }
+        points.sort_unstable();
+        Ring { vnodes, backends: names.len(), points }
+    }
+
+    /// Points per backend.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// The sorted `(point, backend index)` table (the `/ring` payload).
+    pub fn points(&self) -> &[(u64, usize)] {
+        &self.points
+    }
+
+    /// Re-spreads a fingerprint over the point space (fingerprints are
+    /// already hashes, but XOR-folded ones cluster; one more FNV pass
+    /// decorrelates them from the vnode points).
+    fn spread(key: u64) -> u64 {
+        fnv1a(&key.to_le_bytes())
+    }
+
+    /// The backend that owns `key` (`None` for an empty ring).
+    pub fn primary(&self, key: u64) -> Option<usize> {
+        self.replicas(key).first().copied()
+    }
+
+    /// Every backend in ring-walk order from `key`'s point: the owner
+    /// first, then each distinct successor — the failover order.
+    pub fn replicas(&self, key: u64) -> Vec<usize> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let h = Self::spread(key);
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let mut seen = vec![false; self.backends];
+        let mut out = Vec::with_capacity(self.backends);
+        for i in 0..self.points.len() {
+            let (_, b) = self.points[(start + i) % self.points.len()];
+            if !seen[b] {
+                seen[b] = true;
+                out.push(b);
+                if out.len() == self.backends {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend state
+// ---------------------------------------------------------------------------
+
+/// A backend's routable state, as maintained by the health prober.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendHealth {
+    /// Routable: answering `/healthz` with 200.
+    Up,
+    /// Ejected after consecutive probe failures (503 / timeout);
+    /// re-admitted after consecutive successes.
+    Ejected,
+    /// Reported `"draining"`: planned removal, not failure. No new work
+    /// is routed here, but in-flight polls may still complete.
+    Draining,
+}
+
+impl BackendHealth {
+    /// The state's stable wire name (`/stats`, `/metrics`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendHealth::Up => "up",
+            BackendHealth::Ejected => "ejected",
+            BackendHealth::Draining => "draining",
+        }
+    }
+}
+
+/// What one `/healthz` probe observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Probe {
+    Ok,
+    Draining,
+    Failed,
+}
+
+#[derive(Debug)]
+struct Backend {
+    addr: String,
+    health: BackendHealth,
+    consecutive_failures: u32,
+    consecutive_successes: u32,
+    breaker: CircuitBreaker,
+}
+
+impl Backend {
+    fn new(addr: String, breaker: BreakerConfig) -> Backend {
+        Backend {
+            addr,
+            health: BackendHealth::Up,
+            consecutive_failures: 0,
+            consecutive_successes: 0,
+            breaker: CircuitBreaker::new(breaker),
+        }
+    }
+
+    /// Folds one probe observation into the health state machine.
+    /// Returns `(ejected, readmitted)` transitions for the counters.
+    fn note_probe(&mut self, probe: Probe, eject_after: u32, readmit_after: u32) -> (bool, bool) {
+        match probe {
+            Probe::Ok => {
+                self.consecutive_failures = 0;
+                self.consecutive_successes += 1;
+                if self.health != BackendHealth::Up && self.consecutive_successes >= readmit_after {
+                    self.health = BackendHealth::Up;
+                    self.breaker.record_success();
+                    return (false, true);
+                }
+            }
+            Probe::Draining => {
+                // Planned removal: not a failure, but not routable.
+                self.consecutive_failures = 0;
+                self.consecutive_successes = 0;
+                self.health = BackendHealth::Draining;
+            }
+            Probe::Failed => {
+                self.consecutive_successes = 0;
+                self.consecutive_failures += 1;
+                if self.health != BackendHealth::Ejected && self.consecutive_failures >= eject_after
+                {
+                    self.health = BackendHealth::Ejected;
+                    return (true, false);
+                }
+            }
+        }
+        (false, false)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Router configuration
+// ---------------------------------------------------------------------------
+
+/// Construction parameters for a [`Router`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Backend `host:port` status addresses, in ring order.
+    pub backends: Vec<String>,
+    /// Consistent-hash points per backend (default 64).
+    pub vnodes: usize,
+    /// Health-probe cadence (default 250 ms).
+    pub probe_interval: Duration,
+    /// Per-probe connect/read timeout (default 500 ms).
+    pub probe_timeout: Duration,
+    /// Consecutive probe failures that eject a backend (default 2).
+    pub eject_after: u32,
+    /// Consecutive probe successes that re-admit one (default 3).
+    pub readmit_after: u32,
+    /// Failover retry budget and backoff for proxied requests.
+    pub retry: RetryPolicy,
+    /// Hedge a submission after this long even while the latency
+    /// histogram is cold; `ZERO` disables hedging (default 250 ms).
+    pub hedge_floor: Duration,
+    /// Per-backend circuit-breaker thresholds (default: open after 4
+    /// consecutive request failures for 1 s).
+    pub breaker: BreakerConfig,
+    /// Proxy connect timeout (default 500 ms).
+    pub connect_timeout: Duration,
+    /// Proxy read timeout; must exceed the longest `/jobs/<id>`
+    /// long-poll (default 150 s).
+    pub read_timeout: Duration,
+    /// Client request-body bound, as on `cfserve` (default 1 MiB).
+    pub max_body: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            backends: Vec::new(),
+            vnodes: 64,
+            probe_interval: Duration::from_millis(250),
+            probe_timeout: Duration::from_millis(500),
+            eject_after: 2,
+            readmit_after: 3,
+            retry: RetryPolicy {
+                max_retries: 6,
+                base_backoff: Duration::from_millis(25),
+                max_backoff: Duration::from_millis(400),
+                total_deadline: None,
+            },
+            hedge_floor: Duration::from_millis(250),
+            breaker: BreakerConfig { failure_threshold: 4, open_for: Duration::from_secs(1) },
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Duration::from_secs(150),
+            max_body: api::DEFAULT_MAX_BODY_BYTES,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HTTP plumbing (client side)
+// ---------------------------------------------------------------------------
+
+/// One parsed backend reply.
+#[derive(Debug, Clone)]
+struct Reply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Reply {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+    }
+}
+
+/// A handle the hedging path uses to abort the losing request: the
+/// in-flight stream is registered here, and `cancel` shuts it down so
+/// the loser unblocks instead of riding out its read timeout.
+#[derive(Debug, Default)]
+struct CancelSlot {
+    stream: Mutex<Option<TcpStream>>,
+    cancelled: AtomicBool,
+}
+
+impl CancelSlot {
+    fn arm(&self, stream: &TcpStream) {
+        let clone = stream.try_clone().ok();
+        *sync::lock(&self.stream) = clone;
+        if self.cancelled.load(Ordering::SeqCst) {
+            self.cancel();
+        }
+    }
+
+    fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+        if let Some(s) = sync::lock(&self.stream).take() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// One blocking HTTP/1.1 exchange against `addr` (the peer closes the
+/// connection after its response, which frames the body).
+fn http_exchange(
+    addr: &str,
+    raw: &[u8],
+    connect_timeout: Duration,
+    read_timeout: Duration,
+    cancel: Option<&CancelSlot>,
+) -> std::io::Result<Reply> {
+    let sock: SocketAddr = addr.parse().map_err(|e| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{addr}: {e}"))
+    })?;
+    let mut stream = TcpStream::connect_timeout(&sock, connect_timeout)?;
+    stream.set_read_timeout(Some(read_timeout))?;
+    stream.set_write_timeout(Some(connect_timeout))?;
+    if let Some(slot) = cancel {
+        slot.arm(&stream);
+    }
+    stream.write_all(raw)?;
+    let mut bytes = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => bytes.extend_from_slice(&chunk[..n]),
+            Err(e) => {
+                if bytes.is_empty() {
+                    return Err(e);
+                }
+                break;
+            }
+        }
+    }
+    parse_reply(&bytes)
+}
+
+fn parse_reply(bytes: &[u8]) -> std::io::Result<Reply> {
+    let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+    let head_end =
+        bytes.windows(4).position(|w| w == b"\r\n\r\n").ok_or_else(|| bad("truncated reply"))?;
+    let head = std::str::from_utf8(&bytes[..head_end]).map_err(|_| bad("non-UTF-8 reply head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty reply"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.to_string(), v.trim().to_string()))
+        .collect();
+    Ok(Reply { status, headers, body: bytes[head_end + 4..].to_vec() })
+}
+
+/// Maps a relayed backend status code to a status line the router can
+/// answer with (unknown codes degrade to 502).
+fn status_line(code: u16) -> &'static str {
+    match code {
+        200 => "200 OK",
+        202 => "202 Accepted",
+        400 => "400 Bad Request",
+        404 => "404 Not Found",
+        405 => "405 Method Not Allowed",
+        413 => "413 Payload Too Large",
+        500 => "500 Internal Server Error",
+        503 => "503 Service Unavailable",
+        _ => "502 Bad Gateway",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The router
+// ---------------------------------------------------------------------------
+
+/// Where an accepted job lives: enough to proxy polls and to resubmit
+/// the job elsewhere if its backend dies.
+#[derive(Debug, Clone)]
+struct JobRoute {
+    /// The single-job spec body, retained for failover resubmission.
+    spec: String,
+    /// The ring fingerprint the job was routed by.
+    fingerprint: u64,
+    /// Owning backend index.
+    backend: usize,
+    /// The job's id *on that backend* (backend-local ids are translated
+    /// to fleet-wide router ids at the edge).
+    backend_id: u64,
+}
+
+/// One response from the router, ready to serialize.
+struct RouterResponse {
+    status: &'static str,
+    content_type: &'static str,
+    retry_after: Option<u64>,
+    allow: Option<&'static str>,
+    body: String,
+}
+
+impl RouterResponse {
+    fn json(status: &'static str, body: String) -> RouterResponse {
+        RouterResponse {
+            status,
+            content_type: "application/json",
+            retry_after: None,
+            allow: None,
+            body,
+        }
+    }
+
+    fn error(status: &'static str, message: &str) -> RouterResponse {
+        RouterResponse::json(status, format!("{{\"error\":{}}}", json_str(message)))
+    }
+}
+
+/// The shard router (see the module docs). Construct with
+/// [`Router::new`], serve with [`RouterServer::bind`], and start the
+/// health prober with [`Router::start_prober`].
+#[derive(Debug)]
+pub struct Router {
+    config: RouterConfig,
+    ring: Ring,
+    backends: Mutex<Vec<Backend>>,
+    jobs: Mutex<HashMap<u64, JobRoute>>,
+    next_id: AtomicU64,
+    stats: RouterStats,
+    submit_latency: LatencyHistogram,
+    shutdown: Arc<AtomicBool>,
+    prober: Mutex<Option<thread::JoinHandle<()>>>,
+}
+
+impl Router {
+    /// A router over `config.backends` (at least one required).
+    pub fn new(config: RouterConfig) -> Arc<Router> {
+        let ring = Ring::new(&config.backends, config.vnodes);
+        let backends = config
+            .backends
+            .iter()
+            .map(|a| Backend::new(a.clone(), config.breaker.clone()))
+            .collect();
+        Arc::new(Router {
+            ring,
+            backends: Mutex::new(backends),
+            jobs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+            stats: RouterStats::default(),
+            submit_latency: LatencyHistogram::default(),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            prober: Mutex::new(None),
+            config,
+        })
+    }
+
+    /// The router's counters.
+    pub fn stats(&self) -> &RouterStats {
+        &self.stats
+    }
+
+    /// The consistent-hash ring.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// Starts the background health prober (idempotent).
+    pub fn start_prober(self: &Arc<Self>) {
+        let mut slot = sync::lock(&self.prober);
+        if slot.is_some() {
+            return;
+        }
+        let router = Arc::clone(self);
+        let shutdown = Arc::clone(&self.shutdown);
+        let spawned =
+            thread::Builder::new().name("cf-router-prober".to_string()).spawn(move || {
+                while !shutdown.load(Ordering::SeqCst) {
+                    router.probe_once();
+                    let mut slept = Duration::ZERO;
+                    while slept < router.config.probe_interval && !shutdown.load(Ordering::SeqCst) {
+                        let step = POLL_INTERVAL.min(router.config.probe_interval - slept);
+                        thread::sleep(step);
+                        slept += step;
+                    }
+                }
+            });
+        if let Ok(handle) = spawned {
+            *slot = Some(handle);
+        }
+    }
+
+    /// Stops the prober thread (also done when a [`RouterServer`] shuts
+    /// down).
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = sync::lock(&self.prober).take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Runs one health-probe pass over every backend (the prober thread
+    /// calls this on its cadence; tests call it directly).
+    pub fn probe_once(&self) {
+        let addrs: Vec<(usize, String)> = {
+            let backends = sync::lock(&self.backends);
+            backends.iter().enumerate().map(|(i, b)| (i, b.addr.clone())).collect()
+        };
+        for (idx, addr) in addrs {
+            let raw = b"GET /healthz HTTP/1.1\r\nHost: cfrouter\r\nConnection: close\r\n\r\n";
+            let reply = http_exchange(
+                &addr,
+                raw,
+                self.config.probe_timeout,
+                self.config.probe_timeout,
+                None,
+            );
+            let probe = match reply {
+                Ok(r) if r.status == 200 => Probe::Ok,
+                Ok(r) if String::from_utf8_lossy(&r.body).contains("\"status\":\"draining\"") => {
+                    Probe::Draining
+                }
+                _ => Probe::Failed,
+            };
+            if probe == Probe::Failed {
+                self.stats.probe_failures.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut backends = sync::lock(&self.backends);
+            if let Some(b) = backends.get_mut(idx) {
+                let (ejected, readmitted) =
+                    b.note_probe(probe, self.config.eject_after, self.config.readmit_after);
+                if ejected {
+                    self.stats.ejections.fetch_add(1, Ordering::Relaxed);
+                }
+                if readmitted {
+                    self.stats.readmissions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Whether new work may be routed to backend `idx` right now:
+    /// healthy per the prober *and* admitted by its circuit breaker.
+    fn routable(&self, idx: usize) -> bool {
+        let backends = sync::lock(&self.backends);
+        match backends.get(idx) {
+            Some(b) => b.health == BackendHealth::Up && b.breaker.allow(),
+            None => false,
+        }
+    }
+
+    fn backend_addr(&self, idx: usize) -> String {
+        let backends = sync::lock(&self.backends);
+        backends.get(idx).map(|b| b.addr.clone()).unwrap_or_default()
+    }
+
+    fn note_request_outcome(&self, idx: usize, ok: bool) {
+        let backends = sync::lock(&self.backends);
+        if let Some(b) = backends.get(idx) {
+            if ok {
+                b.breaker.record_success();
+            } else {
+                b.breaker.record_failure();
+            }
+        }
+    }
+
+    /// The candidate order for `fingerprint`: ring replicas with the
+    /// routable ones first (relative ring order preserved in both
+    /// halves), so failover prefers live backends but can still try a
+    /// possibly-recovered one as a last resort.
+    fn candidates(&self, fingerprint: u64) -> Vec<usize> {
+        let order = self.ring.replicas(fingerprint);
+        let (alive, dead): (Vec<usize>, Vec<usize>) =
+            order.into_iter().partition(|&i| self.routable(i));
+        let mut out = alive;
+        out.extend(dead);
+        out
+    }
+
+    /// The current hedge threshold: the p95 of observed submit latencies
+    /// once enough samples exist, floored by `hedge_floor`.
+    fn hedge_threshold(&self) -> Duration {
+        let floor = self.config.hedge_floor;
+        let count = self.submit_latency.count();
+        if count < HEDGE_MIN_SAMPLES {
+            return floor;
+        }
+        let counts = self.submit_latency.bucket_counts();
+        let target = (count as f64 * HEDGE_QUANTILE).ceil() as u64;
+        let mut cumulative = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                let micros = 1u64 << (i + 1).min(63);
+                return Duration::from_micros(micros).max(floor);
+            }
+        }
+        floor
+    }
+
+    /// Sends `raw` to `primary`, hedging one duplicate to `secondary`
+    /// if no answer arrives within the hedge threshold. First answer
+    /// wins; the loser's stream is shut down.
+    fn exchange_hedged(
+        &self,
+        primary: usize,
+        secondary: Option<usize>,
+        raw: Vec<u8>,
+    ) -> (usize, std::io::Result<Reply>) {
+        let threshold = self.hedge_threshold();
+        let (tx, rx) = mpsc::channel::<(usize, std::io::Result<Reply>, Arc<CancelSlot>)>();
+        let fire = |idx: usize, raw: Vec<u8>, tx: mpsc::Sender<_>| {
+            let addr = self.backend_addr(idx);
+            let connect = self.config.connect_timeout;
+            let read = self.config.read_timeout;
+            let slot = Arc::new(CancelSlot::default());
+            let thread_slot = Arc::clone(&slot);
+            let thread_tx = tx.clone();
+            let spawned =
+                thread::Builder::new().name("cf-router-proxy".to_string()).spawn(move || {
+                    let reply = http_exchange(&addr, &raw, connect, read, Some(&thread_slot));
+                    let _ = thread_tx.send((idx, reply, thread_slot));
+                });
+            if spawned.is_err() {
+                let refused = std::io::Error::other("proxy thread spawn failed");
+                let _ = tx.send((idx, Err(refused), slot));
+            }
+        };
+
+        fire(primary, raw.clone(), tx.clone());
+        let hedge_target = match secondary {
+            Some(s) if !threshold.is_zero() && s != primary => Some(s),
+            _ => None,
+        };
+        let first = match hedge_target {
+            Some(s) => match rx.recv_timeout(threshold) {
+                Ok(first) => Ok(first),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    self.stats.hedges.fetch_add(1, Ordering::Relaxed);
+                    fire(s, raw, tx.clone());
+                    rx.recv().map_err(|_| ())
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => Err(()),
+            },
+            None => rx.recv().map_err(|_| ()),
+        };
+        drop(tx);
+        let Ok((idx, reply, _slot)) = first else {
+            let lost = std::io::Error::other("proxy channel lost");
+            return (primary, Err(lost));
+        };
+        // A hedged duplicate that loses gets cancelled so it does not
+        // ride out its full read timeout against the slow backend.
+        if let Ok((loser_idx, loser_reply, loser_slot)) = rx.try_recv() {
+            drop((loser_idx, loser_reply));
+            loser_slot.cancel();
+        } else if hedge_target.is_some() {
+            // The loser is still in flight: shut its stream down. A
+            // dedicated drainer reaps the channel so the send never
+            // blocks (it is unbounded anyway — this is belt and braces).
+            thread::spawn(move || while rx.recv().map(|(_, _, s)| s.cancel()).is_ok() {});
+        }
+        if idx != primary {
+            self.stats.hedge_wins.fetch_add(1, Ordering::Relaxed);
+        }
+        (idx, reply)
+    }
+
+    /// Deterministic backoff jitter for failover attempt `attempt` of
+    /// `key` (no RNG dependency; reproduces under test).
+    fn failover_jitter(key: u64, attempt: u32) -> f64 {
+        let h = fnv1a(&(key ^ u64::from(attempt)).to_le_bytes());
+        (h % 1024) as f64 / 1024.0
+    }
+
+    // -- POST /jobs ---------------------------------------------------------
+
+    /// Routes a `POST /jobs` body: consistent-hash, forward with
+    /// failover + hedging, translate backend ids to router ids.
+    fn submit(&self, body: &[u8]) -> RouterResponse {
+        let Ok(text) = std::str::from_utf8(body) else {
+            return RouterResponse::error("400 Bad Request", "body is not UTF-8");
+        };
+        let fingerprint = api::routing_fingerprint(text);
+        let raw = format!(
+            "POST /jobs HTTP/1.1\r\nHost: cfrouter\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{text}",
+            body.len()
+        )
+        .into_bytes();
+
+        let t0 = Instant::now();
+        let started = Instant::now();
+        let mut failures = 0u32;
+        loop {
+            let candidates = self.candidates(fingerprint);
+            let Some(&target) = candidates.get(failures as usize % candidates.len().max(1)) else {
+                return RouterResponse::error("502 Bad Gateway", "no backends configured");
+            };
+            let hedge = candidates.iter().copied().find(|&c| c != target && self.routable(c));
+            let (winner, reply) = self.exchange_hedged(target, hedge, raw.clone());
+            let error = match reply {
+                Ok(r) if r.status == 202 => {
+                    self.note_request_outcome(winner, true);
+                    self.submit_latency.observe(t0.elapsed());
+                    return self.accept(text, fingerprint, winner, &r);
+                }
+                Ok(r) if r.status == 400 || r.status == 413 => {
+                    // The spec itself is bad: every backend would agree.
+                    self.note_request_outcome(winner, true);
+                    return relay(&r);
+                }
+                Ok(r) => {
+                    // 503 (shed / draining) or 5xx: try the next replica.
+                    self.note_request_outcome(winner, false);
+                    relay(&r)
+                }
+                Err(e) => {
+                    self.note_request_outcome(winner, false);
+                    RouterResponse::error(
+                        "502 Bad Gateway",
+                        &format!("backend {}: {e}", self.backend_addr(winner)),
+                    )
+                }
+            };
+            failures += 1;
+            let jitter = Self::failover_jitter(fingerprint, failures);
+            match next_retry(&self.config.retry, failures, started.elapsed(), jitter) {
+                Some(backoff) => {
+                    self.stats.failovers.fetch_add(1, Ordering::Relaxed);
+                    thread::sleep(backoff);
+                }
+                // Budget exhausted: the last error is the answer.
+                None => return error,
+            }
+        }
+    }
+
+    /// Books an accepted submission: allocate fleet-wide ids, retain
+    /// per-job specs for failover, answer with the translated ids.
+    fn accept(
+        &self,
+        body: &str,
+        fingerprint: u64,
+        backend: usize,
+        reply: &Reply,
+    ) -> RouterResponse {
+        let text = String::from_utf8_lossy(&reply.body);
+        let Ok(value) = serde_json::from_str(&text) else {
+            return RouterResponse::error("502 Bad Gateway", "unparseable backend accept");
+        };
+        // Per-element specs: an array submission retains each element as
+        // its own resubmittable body.
+        let specs: Vec<String> = match serde_json::from_str(body) {
+            Ok(parsed) => match parsed.as_array() {
+                Some(items) => items.iter().map(|v| v.to_string()).collect(),
+                None => vec![body.to_string()],
+            },
+            Err(_) => vec![body.to_string()],
+        };
+        let backend_ids: Vec<u64> = if let Some(id) = value.get("id").and_then(|v| v.as_u64()) {
+            vec![id]
+        } else if let Some(ids) = value.get("ids").and_then(|v| v.as_array()) {
+            ids.iter().filter_map(|v| v.as_u64()).collect()
+        } else {
+            return RouterResponse::error("502 Bad Gateway", "backend accept carries no id");
+        };
+        let base = self.next_id.fetch_add(backend_ids.len() as u64, Ordering::Relaxed);
+        {
+            let mut jobs = sync::lock(&self.jobs);
+            for (offset, &backend_id) in backend_ids.iter().enumerate() {
+                let spec = specs.get(offset).cloned().unwrap_or_else(|| body.to_string());
+                jobs.insert(
+                    base + offset as u64,
+                    JobRoute { spec, fingerprint, backend, backend_id },
+                );
+            }
+        }
+        self.stats.routed.fetch_add(backend_ids.len() as u64, Ordering::Relaxed);
+        let body = if backend_ids.len() == 1 && value.get("id").is_some() {
+            format!("{{\"id\":{base}}}")
+        } else {
+            let ids: Vec<String> =
+                (0..backend_ids.len() as u64).map(|o| (base + o).to_string()).collect();
+            format!("{{\"ids\":[{}]}}", ids.join(","))
+        };
+        RouterResponse::json("202 Accepted", body)
+    }
+
+    // -- GET /jobs/<id>[/status] --------------------------------------------
+
+    /// Proxies a job poll to the owning backend, translating ids both
+    /// ways; a dead owner triggers resubmission to the next replica.
+    fn poll(&self, rid: u64, status_only: bool, query: Option<&str>) -> RouterResponse {
+        let started = Instant::now();
+        let mut failures = 0u32;
+        loop {
+            let Some(route) = sync::lock(&self.jobs).get(&rid).cloned() else {
+                return RouterResponse::error("404 Not Found", "no such job");
+            };
+            let suffix = if status_only { "/status" } else { "" };
+            let q = query.map(|q| format!("?{q}")).unwrap_or_default();
+            let raw = format!(
+                "GET /jobs/{}{suffix}{q} HTTP/1.1\r\nHost: cfrouter\r\nConnection: close\r\n\r\n",
+                route.backend_id
+            )
+            .into_bytes();
+            let addr = self.backend_addr(route.backend);
+            let reply = http_exchange(
+                &addr,
+                &raw,
+                self.config.connect_timeout,
+                self.config.read_timeout,
+                None,
+            );
+            match reply {
+                Ok(r) if r.status == 200 || r.status == 202 => {
+                    self.note_request_outcome(route.backend, true);
+                    if r.status == 200 && !status_only {
+                        self.stats.records_streamed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return translate_ids(&r, route.backend_id, rid, status_only);
+                }
+                Ok(r) if r.status == 400 => {
+                    self.note_request_outcome(route.backend, true);
+                    return relay(&r);
+                }
+                // 404 (restarted backend lost the job), 5xx, or a dead
+                // connection: the owner cannot answer — fail over.
+                Ok(_) | Err(_) => self.note_request_outcome(route.backend, false),
+            }
+            failures += 1;
+            let jitter = Self::failover_jitter(route.fingerprint ^ rid, failures);
+            let Some(backoff) = next_retry(&self.config.retry, failures, started.elapsed(), jitter)
+            else {
+                return RouterResponse::error(
+                    "502 Bad Gateway",
+                    &format!("job {rid}: backend {addr} unreachable and failover exhausted"),
+                );
+            };
+            thread::sleep(backoff);
+            if let Some((backend, backend_id)) = self.resubmit(&route) {
+                self.stats.failovers.fetch_add(1, Ordering::Relaxed);
+                let mut jobs = sync::lock(&self.jobs);
+                if let Some(r) = jobs.get_mut(&rid) {
+                    r.backend = backend;
+                    r.backend_id = backend_id;
+                }
+            }
+        }
+    }
+
+    /// Resubmits a lost job's retained spec to the next live replica
+    /// (skipping the dead owner); simulation is deterministic, so the
+    /// re-run's record is byte-identical to the one the dead backend
+    /// would have produced.
+    fn resubmit(&self, route: &JobRoute) -> Option<(usize, u64)> {
+        let candidates: Vec<usize> = self
+            .candidates(route.fingerprint)
+            .into_iter()
+            .filter(|&c| c != route.backend && self.routable(c))
+            .collect();
+        for target in candidates {
+            let raw = format!(
+                "POST /jobs HTTP/1.1\r\nHost: cfrouter\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                route.spec.len(),
+                route.spec
+            )
+            .into_bytes();
+            let addr = self.backend_addr(target);
+            let reply = http_exchange(
+                &addr,
+                &raw,
+                self.config.connect_timeout,
+                self.config.read_timeout,
+                None,
+            );
+            match reply {
+                Ok(r) if r.status == 202 => {
+                    self.note_request_outcome(target, true);
+                    let text = String::from_utf8_lossy(&r.body);
+                    let id = serde_json::from_str(&text)
+                        .ok()
+                        .and_then(|v: serde_json::Value| v.get("id").and_then(|i| i.as_u64()));
+                    if let Some(id) = id {
+                        return Some((target, id));
+                    }
+                }
+                Ok(_) | Err(_) => self.note_request_outcome(target, false),
+            }
+        }
+        None
+    }
+
+    // -- Router-local endpoints ---------------------------------------------
+
+    /// The router's `/healthz`: healthy while at least one backend is
+    /// routable.
+    fn healthz(&self) -> RouterResponse {
+        let backends = sync::lock(&self.backends);
+        let mut up = 0usize;
+        let mut draining = 0usize;
+        let mut ejected = 0usize;
+        for b in backends.iter() {
+            match b.health {
+                BackendHealth::Up => up += 1,
+                BackendHealth::Draining => draining += 1,
+                BackendHealth::Ejected => ejected += 1,
+            }
+        }
+        let healthy = up > 0;
+        let body = format!(
+            "{{\"status\":{},\"backends\":{},\"up\":{up},\"draining\":{draining},\"ejected\":{ejected}}}",
+            if healthy { "\"ok\"" } else { "\"no-backends\"" },
+            backends.len(),
+        );
+        RouterResponse::json(if healthy { "200 OK" } else { "503 Service Unavailable" }, body)
+    }
+
+    /// The router's `/stats`: counters plus the live backend table.
+    pub fn stats_json(&self) -> String {
+        let backends = sync::lock(&self.backends);
+        let jobs = sync::lock(&self.jobs);
+        let mut per_backend = vec![0u64; backends.len()];
+        for route in jobs.values() {
+            if let Some(n) = per_backend.get_mut(route.backend) {
+                *n += 1;
+            }
+        }
+        let rows: Vec<String> = backends
+            .iter()
+            .zip(&per_backend)
+            .map(|(b, &n)| {
+                let breaker = match b.breaker.state() {
+                    BreakerState::Closed => "closed",
+                    BreakerState::Open => "open",
+                    BreakerState::HalfOpen => "half-open",
+                };
+                format!(
+                    "{{\"addr\":{},\"health\":{},\"breaker\":{},\"jobs\":{n},\"consecutive_failures\":{},\"consecutive_successes\":{}}}",
+                    json_str(&b.addr),
+                    json_str(b.health.name()),
+                    json_str(breaker),
+                    b.consecutive_failures,
+                    b.consecutive_successes,
+                )
+            })
+            .collect();
+        let s = &self.stats;
+        format!(
+            "{{\"routed\":{},\"records_streamed\":{},\"failovers\":{},\"hedges\":{},\"hedge_wins\":{},\"ejections\":{},\"readmissions\":{},\"probe_failures\":{},\"jobs\":{},\"backends\":[{}]}}",
+            s.routed.load(Ordering::Relaxed),
+            s.records_streamed.load(Ordering::Relaxed),
+            s.failovers.load(Ordering::Relaxed),
+            s.hedges.load(Ordering::Relaxed),
+            s.hedge_wins.load(Ordering::Relaxed),
+            s.ejections.load(Ordering::Relaxed),
+            s.readmissions.load(Ordering::Relaxed),
+            s.probe_failures.load(Ordering::Relaxed),
+            jobs.len(),
+            rows.join(","),
+        )
+    }
+
+    /// The `/ring` routing table: vnode count, backend list, and every
+    /// `(point, backend)` pair in ring order.
+    pub fn ring_json(&self) -> String {
+        let backends = sync::lock(&self.backends);
+        let names: Vec<String> = backends.iter().map(|b| json_str(&b.addr)).collect();
+        let points: Vec<String> = self
+            .ring
+            .points()
+            .iter()
+            .map(|&(p, b)| format!("{{\"point\":{p},\"backend\":{b}}}"))
+            .collect();
+        format!(
+            "{{\"vnodes\":{},\"backends\":[{}],\"points\":[{}]}}",
+            self.ring.vnodes(),
+            names.join(","),
+            points.join(","),
+        )
+    }
+
+    /// The aggregated `/metrics` body: every live backend's exposition
+    /// merged (comment headers kept once — the renderer is
+    /// schema-stable, so families align), plus the router's own
+    /// `cf_router_*` series.
+    pub fn metrics(&self) -> String {
+        let addrs: Vec<String> = {
+            let backends = sync::lock(&self.backends);
+            backends.iter().map(|b| b.addr.clone()).collect()
+        };
+        let (tx, rx) = mpsc::channel::<(usize, Option<String>)>();
+        let mut expected = 0usize;
+        for (i, addr) in addrs.iter().enumerate() {
+            let tx = tx.clone();
+            let addr = addr.clone();
+            let connect = self.config.connect_timeout;
+            let read = self.config.probe_timeout.max(Duration::from_secs(2));
+            let spawned =
+                thread::Builder::new().name("cf-router-scrape".to_string()).spawn(move || {
+                    let raw =
+                        b"GET /metrics HTTP/1.1\r\nHost: cfrouter\r\nConnection: close\r\n\r\n";
+                    let body = http_exchange(&addr, raw, connect, read, None)
+                        .ok()
+                        .filter(|r| r.status == 200)
+                        .map(|r| String::from_utf8_lossy(&r.body).to_string());
+                    let _ = tx.send((i, body));
+                });
+            if spawned.is_ok() {
+                expected += 1;
+            }
+        }
+        drop(tx);
+        let mut bodies: Vec<(usize, String)> = Vec::new();
+        for _ in 0..expected {
+            if let Ok((i, Some(body))) = rx.recv() {
+                bodies.push((i, body));
+            }
+        }
+        bodies.sort_by_key(|&(i, _)| i);
+        let mut out = String::with_capacity(32 * 1024);
+        for (n, (_, body)) in bodies.iter().enumerate() {
+            if n == 0 {
+                out.push_str(body);
+            } else {
+                for line in body.lines().filter(|l| !l.starts_with('#')) {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
+        out.push_str(&self.own_metrics());
+        out
+    }
+
+    /// The router's own `cf_router_*` series.
+    fn own_metrics(&self) -> String {
+        let s = &self.stats;
+        let counters: [(&str, &str, u64); 8] = [
+            (
+                "cf_router_routed_total",
+                "Jobs accepted and routed to a backend.",
+                s.routed.load(Ordering::Relaxed),
+            ),
+            (
+                "cf_router_records_streamed_total",
+                "Finished records streamed through the router.",
+                s.records_streamed.load(Ordering::Relaxed),
+            ),
+            (
+                "cf_router_failovers_total",
+                "Requests failed over to another ring replica.",
+                s.failovers.load(Ordering::Relaxed),
+            ),
+            (
+                "cf_router_hedges_total",
+                "Hedged duplicate requests fired past the latency quantile.",
+                s.hedges.load(Ordering::Relaxed),
+            ),
+            (
+                "cf_router_hedge_wins_total",
+                "Hedged duplicates that answered first.",
+                s.hedge_wins.load(Ordering::Relaxed),
+            ),
+            (
+                "cf_router_ejections_total",
+                "Backends ejected by the health prober.",
+                s.ejections.load(Ordering::Relaxed),
+            ),
+            (
+                "cf_router_readmissions_total",
+                "Ejected backends re-admitted after consecutive healthy probes.",
+                s.readmissions.load(Ordering::Relaxed),
+            ),
+            (
+                "cf_router_probe_failures_total",
+                "Health probes that failed (503 / timeout / connect error).",
+                s.probe_failures.load(Ordering::Relaxed),
+            ),
+        ];
+        let mut out = String::with_capacity(2048);
+        for (name, help, value) in counters {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"));
+        }
+        out.push_str(concat!(
+            "# HELP cf_router_backend_up Backend routability as seen by the prober ",
+            "(1 = up, 0 = ejected or draining).\n",
+            "# TYPE cf_router_backend_up gauge\n",
+        ));
+        let backends = sync::lock(&self.backends);
+        for b in backends.iter() {
+            out.push_str(&format!(
+                "cf_router_backend_up{{backend=\"{}\",state=\"{}\"}} {}\n",
+                b.addr.replace('"', ""),
+                b.health.name(),
+                u8::from(b.health == BackendHealth::Up),
+            ));
+        }
+        out
+    }
+
+    // -- Request dispatch ---------------------------------------------------
+
+    /// Routes one parsed client request (the [`RouterServer`] accept
+    /// loop calls this per connection).
+    pub fn handle(&self, request: &HttpRequest) -> (String, String) {
+        let response = self.dispatch(request);
+        let mut head = format!(
+            "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            response.status,
+            response.content_type,
+            response.body.len(),
+        );
+        if let Some(allow) = response.allow {
+            head.push_str(&format!("Allow: {allow}\r\n"));
+        }
+        if let Some(secs) = response.retry_after {
+            head.push_str(&format!("Retry-After: {secs}\r\n"));
+        }
+        head.push_str("\r\n");
+        (head, response.body)
+    }
+
+    fn dispatch(&self, request: &HttpRequest) -> RouterResponse {
+        let path = request.path();
+        match path {
+            "/healthz" | "/stats" | "/ring" | "/metrics" => {
+                if request.method != "GET" {
+                    let mut r =
+                        RouterResponse::error("405 Method Not Allowed", "only GET is supported");
+                    r.allow = Some("GET");
+                    return r;
+                }
+                match path {
+                    "/healthz" => self.healthz(),
+                    "/stats" => RouterResponse::json("200 OK", self.stats_json()),
+                    "/ring" => RouterResponse::json("200 OK", self.ring_json()),
+                    _ => RouterResponse {
+                        status: "200 OK",
+                        content_type: "text/plain; version=0.0.4; charset=utf-8",
+                        retry_after: None,
+                        allow: None,
+                        body: self.metrics(),
+                    },
+                }
+            }
+            "/jobs" => {
+                if request.method != "POST" {
+                    let mut r =
+                        RouterResponse::error("405 Method Not Allowed", "submit jobs with POST");
+                    r.allow = Some("POST");
+                    return r;
+                }
+                self.submit(&request.body)
+            }
+            _ => match path.strip_prefix("/jobs/") {
+                Some(rest) => {
+                    if request.method != "GET" {
+                        let mut r =
+                            RouterResponse::error("405 Method Not Allowed", "poll jobs with GET");
+                        r.allow = Some("GET");
+                        return r;
+                    }
+                    let (id_part, status_only) = match rest.strip_suffix("/status") {
+                        Some(id_part) => (id_part, true),
+                        None => (rest, false),
+                    };
+                    match id_part.parse::<u64>() {
+                        Ok(id) => self.poll(id, status_only, request.query()),
+                        Err(_) => RouterResponse::error(
+                            "400 Bad Request",
+                            "job id must be an unsigned integer",
+                        ),
+                    }
+                }
+                None => RouterResponse::json(
+                    "404 Not Found",
+                    "{\"error\":\"not found\",\"routes\":[\"/healthz\",\"/stats\",\"/ring\",\
+                     \"/metrics\",\"/jobs\",\"/jobs/<id>\",\"/jobs/<id>/status\"]}"
+                        .to_string(),
+                ),
+            },
+        }
+    }
+}
+
+/// Relays a backend response verbatim (status, body, `Retry-After`).
+fn relay(reply: &Reply) -> RouterResponse {
+    let mut r = RouterResponse::json(
+        status_line(reply.status),
+        String::from_utf8_lossy(&reply.body).to_string(),
+    );
+    if let Some(after) = reply.header("retry-after").and_then(|v| v.parse().ok()) {
+        r.retry_after = Some(after);
+    }
+    r
+}
+
+/// Rewrites the backend-local id in a poll response to the router's
+/// fleet-wide id: records lead with `{"job":N,`, status JSON with
+/// `{"id":N,` — both exact prefixes of the deterministic renderers.
+fn translate_ids(reply: &Reply, backend_id: u64, rid: u64, status_only: bool) -> RouterResponse {
+    let body = String::from_utf8_lossy(&reply.body).to_string();
+    let rewritten = if reply.status == 200 && !status_only {
+        let from = format!("{{\"job\":{backend_id},");
+        let to = format!("{{\"job\":{rid},");
+        if body.starts_with(&from) {
+            body.replacen(&from, &to, 1)
+        } else {
+            body
+        }
+    } else {
+        let from = format!("{{\"id\":{backend_id},");
+        let to = format!("{{\"id\":{rid},");
+        if body.starts_with(&from) {
+            body.replacen(&from, &to, 1)
+        } else {
+            body
+        }
+    };
+    RouterResponse::json(status_line(reply.status), rewritten)
+}
+
+// ---------------------------------------------------------------------------
+// The router's HTTP server
+// ---------------------------------------------------------------------------
+
+/// The router's HTTP/1.1 listener: the same dependency-free
+/// thread-per-connection loop as [`crate::StatusServer`], dispatching
+/// into [`Router::handle`]. Binds 127.0.0.1 only.
+#[derive(Debug)]
+pub struct RouterServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<thread::JoinHandle<()>>,
+    router: Arc<Router>,
+}
+
+impl RouterServer {
+    /// Binds `127.0.0.1:port` (0 picks a free port), starts the accept
+    /// loop and the router's health prober.
+    ///
+    /// # Errors
+    ///
+    /// Any socket bind/configure failure, unchanged.
+    pub fn bind(port: u16, router: Arc<Router>) -> std::io::Result<RouterServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        router.start_prober();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let router = Arc::clone(&router);
+            thread::Builder::new()
+                .name("cf-router-server".to_string())
+                .spawn(move || accept_loop(&listener, &router, &shutdown))?
+        };
+        Ok(RouterServer { addr, shutdown, thread: Some(thread), router })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and the prober, joining both threads (also
+    /// done on drop).
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.thread.take() {
+            let _ = handle.join();
+        }
+        self.router.stop();
+    }
+}
+
+impl Drop for RouterServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, router: &Arc<Router>, shutdown: &AtomicBool) {
+    let seq = AtomicU64::new(0);
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let router = Arc::clone(router);
+                let token = seq.fetch_add(1, Ordering::Relaxed);
+                let spawned = thread::Builder::new().name(format!("cf-router-conn-{token}")).spawn(
+                    move || {
+                        let _ = serve_connection(stream, &router);
+                    },
+                );
+                drop(spawned);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
+            Err(_) => thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, router: &Arc<Router>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let deadline = Instant::now() + READ_DEADLINE;
+    let request = loop {
+        match api::parse_request(&buf, router.config.max_body) {
+            Ok(Some(request)) => break Ok(request),
+            Ok(None) => {}
+            Err(e) => break Err(e),
+        }
+        if Instant::now() > deadline {
+            break Err(api::HttpParseError::BadRequestLine);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) if buf.is_empty() => return Ok(()),
+            Ok(0) | Err(_) => break Err(api::HttpParseError::BadRequestLine),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    };
+    let (head, body) = match request {
+        Ok(request) => router.handle(&request),
+        Err(e) => {
+            let body = format!("{{\"error\":{}}}", json_str(&e.to_string()));
+            let head = format!(
+                "HTTP/1.1 {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                e.status(),
+                body.len(),
+            );
+            (head, body)
+        }
+    };
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 9100 + i)).collect()
+    }
+
+    #[test]
+    fn ring_is_deterministic_and_covers_all_backends() {
+        let ring = Ring::new(&names(3), 64);
+        assert_eq!(ring.points().len(), 3 * 64);
+        for key in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF] {
+            let a = ring.replicas(key);
+            let b = ring.replicas(key);
+            assert_eq!(a, b);
+            assert_eq!(a.len(), 3, "{a:?}");
+            let mut sorted = a.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2], "replicas must be distinct: {a:?}");
+        }
+    }
+
+    #[test]
+    fn removing_a_backend_keeps_surviving_assignments() {
+        let all = names(4);
+        let ring = Ring::new(&all, 64);
+        let survivors: Vec<String> = all.iter().filter(|n| *n != &all[2]).cloned().collect();
+        let smaller = Ring::new(&survivors, 64);
+        for key in 0..500u64 {
+            let before = match ring.primary(key) {
+                Some(b) => b,
+                None => panic!("empty ring"),
+            };
+            let after = match smaller.primary(key) {
+                Some(b) => b,
+                None => panic!("empty ring"),
+            };
+            if before != 2 {
+                assert_eq!(&all[before], &survivors[after], "key {key} moved needlessly");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_transitions_eject_and_readmit() {
+        let mut b = Backend::new(
+            "127.0.0.1:1".to_string(),
+            BreakerConfig { failure_threshold: 2, open_for: Duration::from_millis(10) },
+        );
+        assert_eq!(b.health, BackendHealth::Up);
+        assert_eq!(b.note_probe(Probe::Failed, 2, 3), (false, false));
+        assert_eq!(b.health, BackendHealth::Up);
+        assert_eq!(b.note_probe(Probe::Failed, 2, 3), (true, false));
+        assert_eq!(b.health, BackendHealth::Ejected);
+        // Two successes are not enough at readmit_after = 3.
+        assert_eq!(b.note_probe(Probe::Ok, 2, 3), (false, false));
+        assert_eq!(b.note_probe(Probe::Ok, 2, 3), (false, false));
+        assert_eq!(b.health, BackendHealth::Ejected);
+        assert_eq!(b.note_probe(Probe::Ok, 2, 3), (false, true));
+        assert_eq!(b.health, BackendHealth::Up);
+        // Draining is planned removal: no ejection counted.
+        assert_eq!(b.note_probe(Probe::Draining, 2, 3), (false, false));
+        assert_eq!(b.health, BackendHealth::Draining);
+        // A draining backend that stops answering ends up ejected.
+        assert_eq!(b.note_probe(Probe::Failed, 2, 3), (false, false));
+        assert_eq!(b.note_probe(Probe::Failed, 2, 3), (true, false));
+        assert_eq!(b.health, BackendHealth::Ejected);
+    }
+
+    #[test]
+    fn reply_parsing_and_status_mapping() {
+        let reply = parse_reply(
+            b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 7\r\nContent-Length: 2\r\n\r\n{}",
+        );
+        let reply = match reply {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        };
+        assert_eq!(reply.status, 503);
+        assert_eq!(reply.header("retry-after"), Some("7"));
+        assert_eq!(reply.body, b"{}");
+        assert_eq!(status_line(202), "202 Accepted");
+        assert_eq!(status_line(999), "502 Bad Gateway");
+        assert!(parse_reply(b"HTTP/1.1 200").is_err());
+    }
+
+    #[test]
+    fn id_translation_rewrites_exact_prefixes_only() {
+        let record = Reply {
+            status: 200,
+            headers: Vec::new(),
+            body: b"{\"job\":3,\"label\":\"x\",\"ok\":true}".to_vec(),
+        };
+        let out = translate_ids(&record, 3, 17, false);
+        assert_eq!(out.body, "{\"job\":17,\"label\":\"x\",\"ok\":true}");
+        let status = Reply {
+            status: 202,
+            headers: Vec::new(),
+            body: b"{\"id\":0,\"state\":\"running\"}".to_vec(),
+        };
+        let out = translate_ids(&status, 0, 5, false);
+        assert_eq!(out.body, "{\"id\":5,\"state\":\"running\"}");
+        // A body whose prefix does not match is left alone.
+        let odd = Reply { status: 200, headers: Vec::new(), body: b"{\"jobs\":3}".to_vec() };
+        let out = translate_ids(&odd, 3, 17, false);
+        assert_eq!(out.body, "{\"jobs\":3}");
+    }
+
+    #[test]
+    fn hedge_threshold_floors_then_tracks_the_quantile() {
+        let router = Router::new(RouterConfig {
+            backends: names(2),
+            hedge_floor: Duration::from_millis(10),
+            ..RouterConfig::default()
+        });
+        assert_eq!(router.hedge_threshold(), Duration::from_millis(10));
+        // 30 fast samples: p95 lands in a low bucket, clamped up to the floor.
+        for _ in 0..30 {
+            router.submit_latency.observe(Duration::from_micros(64));
+        }
+        assert_eq!(router.hedge_threshold(), Duration::from_millis(10));
+        // A slow tail drags the p95 above the floor.
+        for _ in 0..300 {
+            router.submit_latency.observe(Duration::from_millis(80));
+        }
+        assert!(router.hedge_threshold() >= Duration::from_millis(80));
+    }
+
+    #[test]
+    fn router_healthz_reflects_backend_states() {
+        let router = Router::new(RouterConfig { backends: names(2), ..RouterConfig::default() });
+        let r = router.healthz();
+        assert_eq!(r.status, "200 OK");
+        assert!(r.body.contains("\"up\":2"), "{}", r.body);
+        {
+            let mut backends = sync::lock(&router.backends);
+            backends[0].health = BackendHealth::Ejected;
+            backends[1].health = BackendHealth::Draining;
+        }
+        let r = router.healthz();
+        assert_eq!(r.status, "503 Service Unavailable");
+        assert!(r.body.contains("\"no-backends\""), "{}", r.body);
+        assert!(r.body.contains("\"draining\":1"), "{}", r.body);
+        let stats = router.stats_json();
+        assert!(stats.contains("\"health\":\"ejected\""), "{stats}");
+        assert!(stats.contains("\"health\":\"draining\""), "{stats}");
+    }
+}

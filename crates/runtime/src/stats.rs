@@ -227,6 +227,30 @@ pub struct StatsSnapshot {
     pub per_worker: Vec<WorkerSnapshot>,
 }
 
+/// Counters for one [`Router`](crate::router::Router) instance — the
+/// fleet-level analogue of [`RuntimeStats`]. All monotonically
+/// increasing atomics; the router renders them into its `/stats` JSON
+/// and `cf_router_*` Prometheus series.
+#[derive(Debug, Default)]
+pub struct RouterStats {
+    /// Jobs accepted and routed to a backend.
+    pub routed: AtomicU64,
+    /// Finished records streamed back through the router.
+    pub records_streamed: AtomicU64,
+    /// Requests failed over to another ring replica.
+    pub failovers: AtomicU64,
+    /// Hedged duplicate requests fired past the latency quantile.
+    pub hedges: AtomicU64,
+    /// Hedged duplicates that answered before the primary.
+    pub hedge_wins: AtomicU64,
+    /// Backends ejected by the health prober.
+    pub ejections: AtomicU64,
+    /// Ejected backends re-admitted after consecutive healthy probes.
+    pub readmissions: AtomicU64,
+    /// Health probes that failed (503 / timeout / connect error).
+    pub probe_failures: AtomicU64,
+}
+
 /// One worker's share of a [`StatsSnapshot`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkerSnapshot {

@@ -11,6 +11,7 @@
 //! | `/jobs`             | POST   | JSON job spec (object or array) → `{"id":…}` | `202`, `400`, `413`, `503` + `Retry-After` |
 //! | `/jobs/<id>`        | GET    | the finished record (blocking long-poll, `?timeout_s=`) | `200`, `202` still running, `404` |
 //! | `/jobs/<id>/status` | GET    | non-blocking job status JSON | `200`, `404` |
+//! | `/drain`            | POST   | begin graceful drain: stop admitting, finish in-flight, flip `/healthz` to `"draining"` | `200` |
 //!
 //! Every response carries an exact `Content-Length` and
 //! `Connection: close` — errors included — so `curl` and load-balancer
@@ -273,16 +274,32 @@ fn route(request: &HttpRequest, obs: &Arc<Obs>) -> Response {
             }
         }
         "/jobs" => route_submit(request, obs),
+        "/drain" => route_drain(request, obs),
         _ => match path.strip_prefix("/jobs/") {
             Some(rest) => route_job(request, rest, obs),
             None => Response::json(
                 "404 Not Found",
                 "{\"error\":\"not found\",\"routes\":[\"/healthz\",\"/stats\",\"/trace\",\
-                 \"/metrics\",\"/version\",\"/jobs\",\"/jobs/<id>\",\"/jobs/<id>/status\"]}"
+                 \"/metrics\",\"/version\",\"/jobs\",\"/jobs/<id>\",\"/jobs/<id>/status\",\
+                 \"/drain\"]}"
                     .to_string(),
             ),
         },
     }
+}
+
+/// `POST /drain`: flip the hub into draining. The serve loop (cfserve)
+/// watches [`Obs::draining`], finishes in-flight work, fsyncs the
+/// journal and exits; this handler only initiates and reports.
+fn route_drain(request: &HttpRequest, obs: &Arc<Obs>) -> Response {
+    if request.method != "POST" {
+        let mut r = Response::error("405 Method Not Allowed", "initiate a drain with POST");
+        r.allow = Some("POST");
+        return r;
+    }
+    obs.begin_drain();
+    let pending = obs.api().map_or("null".to_string(), |api| api.pending().to_string());
+    Response::json("200 OK", format!("{{\"status\":\"draining\",\"pending\":{pending}}}"))
 }
 
 /// `POST /jobs`: validate, journal the accept, answer the id.
@@ -291,6 +308,12 @@ fn route_submit(request: &HttpRequest, obs: &Arc<Obs>) -> Response {
         let mut r = Response::error("405 Method Not Allowed", "submit jobs with POST");
         r.allow = Some("POST");
         return r;
+    }
+    if obs.draining() {
+        return Response::json(
+            "503 Service Unavailable",
+            "{\"error\":\"draining\",\"status\":\"draining\"}".to_string(),
+        );
     }
     let Some(api) = obs.api() else {
         return Response::error(
@@ -569,6 +592,46 @@ mod tests {
         assert_eq!(runtime.stats().api_shed.load(Ordering::Relaxed), 1);
         hold_tx.send(()).unwrap();
         blocker.join().unwrap();
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn drain_flips_healthz_and_refuses_submissions() {
+        let obs = Obs::new(64);
+        let runtime = Arc::new(Runtime::new(RuntimeConfig { workers: 1, ..Default::default() }));
+        let api = JobApi::new(Arc::clone(&runtime), 4096);
+        obs.publish(runtime.stats_arc(), runtime.load_policy());
+        obs.publish_api(Arc::clone(&api));
+        let server = StatusServer::bind(0, Arc::clone(&obs)).unwrap();
+        let addr = server.local_addr();
+
+        // GET on /drain is a 405 — a probe must not trigger a drain.
+        let (status, head, _) = http(addr, "GET /drain HTTP/1.1\r\n\r\n");
+        assert!(status.contains("405"), "{status}");
+        assert!(head.contains("Allow: POST"), "{head}");
+        assert!(!obs.draining());
+
+        // Initiate: 200 with the pending count, healthz flips to
+        // draining (distinct from overloaded), submissions refuse.
+        let (status, _, body) = http_post(addr, "/drain", "");
+        assert!(status.contains("200"), "{status}: {body}");
+        assert!(body.contains("\"status\":\"draining\""), "{body}");
+        assert!(body.contains("\"pending\":0"), "{body}");
+        assert!(obs.draining());
+        let (status, body) = http_get(addr, "/healthz");
+        assert!(status.contains("503"), "{status}");
+        assert!(body.contains("\"status\":\"draining\""), "{body}");
+        assert!(!body.contains("overloaded"), "{body}");
+        let (status, _, body) =
+            http_post(addr, "/jobs", r#"{"workload":"matmul","order":32,"machine":"tiny"}"#);
+        assert!(status.contains("503"), "{status}");
+        assert!(body.contains("draining"), "{body}");
+
+        // Already-submitted jobs still poll fine; metrics report the gauge.
+        let (status, body) = http_get(addr, "/metrics");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("cf_draining{instance=\"cf-serve\"} 1"), "{body}");
 
         server.shutdown();
     }

@@ -1,0 +1,109 @@
+//! Property tests for the consistent-hash [`Ring`] behind `cfrouter`:
+//! load stays within a bounded factor of the mean for any backend count
+//! and key population, and removing one backend remaps *only* the keys
+//! that lived on it — every other key keeps its assignment (the
+//! minimal-disruption property that keeps surviving plan caches warm
+//! through an ejection).
+
+use cf_runtime::router::Ring;
+use proptest::prelude::*;
+
+/// Deterministic key stream: an LCG seeded per test case, so shrinking
+/// stays reproducible without pulling `proptest` byte vectors of keys.
+fn keys(seed: u64, n: usize) -> Vec<u64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        })
+        .collect()
+}
+
+fn names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("10.0.0.{i}:81{i:02}")).collect()
+}
+
+proptest! {
+    /// With the default 64 vnodes, no backend's share of a large key
+    /// population strays past loose bounds around the mean: at most
+    /// 2x the mean, at least a quarter of it. (Consistent hashing is
+    /// not perfectly uniform; the bound is what the router relies on —
+    /// no backend starved, none doubled-up beyond recovery.)
+    #[test]
+    fn load_imbalance_is_bounded(
+        backends in 2usize..9,
+        seed in any::<u64>(),
+    ) {
+        let names = names(backends);
+        let ring = Ring::new(&names, 64);
+        let population = 4096usize;
+        let mut counts = vec![0usize; backends];
+        for key in keys(seed, population) {
+            counts[ring.primary(key).unwrap()] += 1;
+        }
+        let mean = population / backends;
+        for (i, &count) in counts.iter().enumerate() {
+            prop_assert!(
+                count <= mean * 2,
+                "backend {i} overloaded: {count} keys vs mean {mean}"
+            );
+            prop_assert!(
+                count >= mean / 4,
+                "backend {i} starved: {count} keys vs mean {mean}"
+            );
+        }
+    }
+
+    /// Removing one backend is minimally disruptive: every key that was
+    /// NOT on the removed backend maps to the same surviving backend
+    /// (compared by name — indices shift when the list shrinks).
+    #[test]
+    fn removing_a_backend_remaps_only_its_keys(
+        backends in 2usize..9,
+        removed in 0usize..9,
+        seed in any::<u64>(),
+    ) {
+        let removed = removed % backends;
+        let all = names(backends);
+        let survivors: Vec<String> =
+            all.iter().enumerate().filter(|&(i, _)| i != removed).map(|(_, n)| n.clone()).collect();
+        let before = Ring::new(&all, 64);
+        let after = Ring::new(&survivors, 64);
+        let mut moved = 0usize;
+        for key in keys(seed, 1024) {
+            let owner_before = &all[before.primary(key).unwrap()];
+            let owner_after = &survivors[after.primary(key).unwrap()];
+            if owner_before == &all[removed] {
+                moved += 1;
+                prop_assert!(owner_after != &all[removed]);
+            } else {
+                prop_assert_eq!(
+                    owner_before, owner_after,
+                    "key {} moved off a surviving backend", key
+                );
+            }
+        }
+        // Sanity: the removed backend's keys exist and were remapped
+        // (its expected share of 1024 keys is far above zero).
+        prop_assert!(moved > 0, "removed backend owned no keys out of 1024");
+    }
+
+    /// Failover order ([`Ring::replicas`]) starts at the primary, never
+    /// repeats a backend, and covers the whole fleet.
+    #[test]
+    fn replica_walk_is_a_permutation_starting_at_the_primary(
+        backends in 1usize..9,
+        key in any::<u64>(),
+    ) {
+        let names = names(backends);
+        let ring = Ring::new(&names, 64);
+        let replicas = ring.replicas(key);
+        prop_assert_eq!(replicas.len(), backends);
+        prop_assert_eq!(Some(replicas[0]), ring.primary(key));
+        let mut sorted = replicas.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), backends);
+    }
+}

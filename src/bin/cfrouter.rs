@@ -1,0 +1,146 @@
+//! `cfrouter` — a fault-tolerant shard router over a fleet of `cfserve`
+//! backends.
+//!
+//! ```text
+//! cfrouter --backend HOST:PORT [--backend HOST:PORT ...] [--port N]
+//!          [--vnodes N] [--probe-interval-ms N] [--probe-timeout-ms N]
+//!          [--eject-after N] [--readmit-after N] [--failover-retries N]
+//!          [--hedge-after-ms N] [--breaker-failures N]
+//!          [--breaker-open-ms N] [--max-body-bytes N]
+//! ```
+//!
+//! Jobs POSTed to the router's `/jobs` are consistent-hashed by
+//! plan-cache fingerprint (machine × program identity) onto the backend
+//! whose plan cache is already warm for that key range, and polled back
+//! through `GET /jobs/<id>` under fleet-wide ids — a client cannot tell
+//! the fleet from one big `cfserve`. A background prober watches every
+//! backend's `/healthz`, ejecting failed instances (`--eject-after`
+//! consecutive failed probes) and re-admitting them after
+//! `--readmit-after` consecutive healthy ones; backends answering
+//! `"draining"` are removed as *planned* — no failure counted. Failed
+//! requests fail over to the next ring replica with bounded, jittered
+//! backoff (`--failover-retries`); submissions slower than the observed
+//! p95 (floored by `--hedge-after-ms`; `0` disables hedging) fire one
+//! hedged duplicate and the first answer wins; per-backend circuit
+//! breakers (`--breaker-failures` / `--breaker-open-ms`) stop hammering
+//! a dying instance between probes. `GET /metrics` merges every
+//! backend's Prometheus exposition (distinct `instance` labels) with
+//! the router's own `cf_router_*` series; `GET /stats` and `GET /ring`
+//! expose the counters and the routing table. The listener binds
+//! 127.0.0.1 only. See DESIGN.md §10.
+//!
+//! Exit codes: `0` clean shutdown, `2` bad arguments.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use cambricon_f::runtime::api::DEFAULT_MAX_BODY_BYTES;
+use cambricon_f::runtime::router::{Router, RouterConfig, RouterServer};
+use cambricon_f::runtime::{BreakerConfig, RetryPolicy};
+
+const EXIT_BAD_ARGS: u8 = 2;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cfrouter --backend HOST:PORT [--backend HOST:PORT ...] [--port N] \\\n\
+         \x20               [--vnodes N] [--probe-interval-ms N] [--probe-timeout-ms N] \\\n\
+         \x20               [--eject-after N] [--readmit-after N] [--failover-retries N] \\\n\
+         \x20               [--hedge-after-ms N] [--breaker-failures N] \\\n\
+         \x20               [--breaker-open-ms N] [--max-body-bytes N]"
+    );
+    eprintln!("each --backend is one cfserve --status-port address, e.g. 127.0.0.1:8100");
+    ExitCode::from(EXIT_BAD_ARGS)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = RouterConfig::default();
+    let mut port: u16 = 0;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--backend" => match it.next() {
+                Some(addr) => config.backends.push(addr.clone()),
+                None => return usage(),
+            },
+            "--port" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => port = n,
+                None => return usage(),
+            },
+            "--vnodes" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.vnodes = n,
+                None => return usage(),
+            },
+            "--probe-interval-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.probe_interval = Duration::from_millis(n),
+                None => return usage(),
+            },
+            "--probe-timeout-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.probe_timeout = Duration::from_millis(n),
+                None => return usage(),
+            },
+            "--eject-after" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.eject_after = n,
+                None => return usage(),
+            },
+            "--readmit-after" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.readmit_after = n,
+                None => return usage(),
+            },
+            "--failover-retries" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => {
+                    config.retry = RetryPolicy { max_retries: n, ..config.retry };
+                }
+                None => return usage(),
+            },
+            "--hedge-after-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.hedge_floor = Duration::from_millis(n),
+                None => return usage(),
+            },
+            "--breaker-failures" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => {
+                    config.breaker = BreakerConfig { failure_threshold: n, ..config.breaker };
+                }
+                None => return usage(),
+            },
+            "--breaker-open-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => {
+                    config.breaker =
+                        BreakerConfig { open_for: Duration::from_millis(n), ..config.breaker };
+                }
+                None => return usage(),
+            },
+            "--max-body-bytes" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.max_body = n,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if config.backends.is_empty() {
+        eprintln!("cfrouter: at least one --backend HOST:PORT is required");
+        return usage();
+    }
+    if config.max_body == 0 {
+        config.max_body = DEFAULT_MAX_BODY_BYTES;
+    }
+
+    let backends = config.backends.len();
+    let router = Router::new(config);
+    let server = match RouterServer::bind(port, router) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cfrouter: cannot bind port {port}: {e}");
+            return ExitCode::from(EXIT_BAD_ARGS);
+        }
+    };
+    eprintln!(
+        "cfrouter: routing {backends} backend(s) on http://{} (GET /healthz /stats /ring /metrics, POST /jobs)",
+        server.local_addr(),
+    );
+    // Serve until killed: the accept loop and the prober run on
+    // background threads; this thread just keeps the process alive.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

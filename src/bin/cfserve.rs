@@ -48,11 +48,19 @@
 //! `instance` label stamped on every `/metrics` series (default
 //! `cf-serve`).
 //!
+//! **Graceful drain.** In `--listen` / API-only mode, `SIGTERM` or
+//! `POST /drain` begins a drain: `/healthz` flips to 503
+//! `"status":"draining"` (so a router treats the removal as planned,
+//! not failed), new `POST /jobs` submissions are refused, in-flight
+//! jobs run to completion and stay pollable, the API journal is
+//! fsync'd, and the process exits 0. Rolling restarts behind `cfrouter`
+//! lose nothing.
+//!
 //! Exit codes: `0` all jobs succeeded, `2` bad arguments, `3` manifest
 //! or journal validation failed — including resume onto a different
 //! manifest or fault seed — (nothing ran), `4` at least one job
 //! ultimately failed (after retries). In `--listen` / API-only mode the
-//! process serves until killed.
+//! process serves until killed or drained.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -72,6 +80,44 @@ use cambricon_f::runtime::{FaultPlan, FaultSpec, RetryPolicy, Runtime, RuntimeCo
 
 /// Span-ring capacity behind `--status-port`'s `/trace` endpoint.
 const TRACE_CAPACITY: usize = 4096;
+
+/// How often the listen loop polls for a drain request.
+const DRAIN_POLL: std::time::Duration = std::time::Duration::from_millis(100);
+
+/// How often the drain path re-checks the pending-job count.
+const DRAIN_SETTLE_POLL: std::time::Duration = std::time::Duration::from_millis(25);
+
+/// SIGTERM-to-drain plumbing: the handler only flips an atomic (the one
+/// operation that is async-signal-safe), and the listen loop polls it.
+/// Declared against libc's `signal` directly — std already links libc on
+/// unix, so this needs no new dependency.
+#[cfg(unix)]
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_term(_sig: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    /// Routes SIGTERM into the drain flag instead of immediate death.
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+        }
+    }
+
+    /// Whether a SIGTERM has arrived since [`install`].
+    pub fn requested() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
 
 const EXIT_BAD_ARGS: u8 = 2;
 const EXIT_VALIDATION: u8 = 3;
@@ -353,10 +399,10 @@ fn main() -> ExitCode {
             }
             None => JobApi::new(Arc::clone(&runtime), max_body_bytes),
         };
-        obs.publish_api(api);
+        obs.publish_api(Arc::clone(&api));
         if let Some(addr) = status_addr {
             eprintln!(
-                "cfserve: status on http://{addr} (GET /healthz /stats /trace /metrics /version, POST /jobs)"
+                "cfserve: status on http://{addr} (GET /healthz /stats /trace /metrics /version, POST /jobs /drain)"
             );
         }
 
@@ -381,9 +427,30 @@ fn main() -> ExitCode {
             }
         }
         if api_only || listen {
-            eprintln!("cfserve: serving the job API until killed (POST /jobs)");
+            #[cfg(unix)]
+            sigterm::install();
+            eprintln!(
+                "cfserve: serving the job API until killed or drained (POST /jobs, POST /drain)"
+            );
             loop {
-                std::thread::sleep(std::time::Duration::from_secs(3600));
+                std::thread::sleep(DRAIN_POLL);
+                #[cfg(unix)]
+                if sigterm::requested() {
+                    obs.begin_drain();
+                }
+                if obs.draining() {
+                    // Graceful drain: stop admitting (the status server
+                    // already refuses POST /jobs), let in-flight jobs
+                    // settle — they stay pollable throughout — then make
+                    // the journal durable and exit cleanly.
+                    eprintln!("cfserve: draining ({} job(s) pending)", api.pending());
+                    while api.pending() > 0 {
+                        std::thread::sleep(DRAIN_SETTLE_POLL);
+                    }
+                    api.sync_journal();
+                    eprintln!("cfserve: drained; exiting");
+                    return exit;
+                }
             }
         }
         return exit;
