@@ -220,7 +220,9 @@ impl FaultPlan {
 }
 
 /// SplitMix64-style finalizing mix: uniformly scrambles `state ⊕ value`.
-fn mix(state: u64, value: u64) -> u64 {
+/// Shared with [`crate::netfault`] so wire-fault decisions draw from the
+/// same family of stateless hashes as job faults.
+pub(crate) fn mix(state: u64, value: u64) -> u64 {
     let mut z = state ^ value.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

@@ -63,6 +63,16 @@
 //!   a graceful drain path (SIGTERM / `POST /drain`). One fleet is one
 //!   more fractal level, with the router as the parent node. See
 //!   DESIGN.md §10.
+//! * [`netfault`] — deterministic *network* chaos paired with
+//!   end-to-end record integrity: a seeded [`NetFaultPlan`] (the wire
+//!   sibling of [`FaultPlan`]) injects connect refusals, stalls,
+//!   slow-loris trickle, mid-body tears, garbage status lines and
+//!   single-byte corruption — either in-process behind the router's
+//!   [`Connector`] seam or as a standalone byte-level [`FaultProxy`]
+//!   (`cfrouter --fault-proxy`). Backends stamp every response with an
+//!   `X-CF-Digest` header and every record with a digest field
+//!   ([`serve::verify_record_json`]); the router rejects mismatches and
+//!   quarantines repeat offenders. See DESIGN.md §11.
 //!
 //! # Example
 //!
@@ -95,6 +105,7 @@ pub mod job;
 pub mod journal;
 pub mod manifest;
 pub mod metrics;
+pub mod netfault;
 pub mod obs;
 pub mod router;
 pub mod scheduler;
@@ -111,8 +122,13 @@ pub use job::{JobError, JobHandle, JobOptions};
 pub use journal::{
     CompactionStats, JobEntry, Journal, JournalError, Record, RecordError, RunHeader,
 };
+pub use netfault::{
+    FaultConnector, FaultProxy, NetFault, NetFaultPlan, NetFaultSite, NetFaultSpec,
+};
 pub use obs::{LatencyHistogram, Obs, ProfileAgg, SpanEvent, SpanKind, Stage, Tracer};
-pub use router::{BackendHealth, Ring, Router, RouterConfig, RouterServer};
+pub use router::{
+    BackendHealth, CancelSlot, Connector, Ring, Router, RouterConfig, RouterServer, TcpConnector,
+};
 pub use scheduler::{ExecResult, LoadPolicy, ProfiledSimResult, Runtime, RuntimeConfig, SimResult};
 pub use serve::{
     JobOutput, JobRecord, JournalOptions, ServeError, ServeOptions, ServeReport,

@@ -26,7 +26,17 @@
 //!   down;
 //! * a per-backend **circuit breaker** (the
 //!   [`supervisor`](crate::supervisor) state machine) stops hammering a
-//!   dying instance between probe passes.
+//!   dying instance between probe passes;
+//! * every backend response is **integrity-checked** before the router
+//!   trusts it: the `X-CF-Digest` header over the body, plus the
+//!   per-record digest field on streamed records (see
+//!   [`crate::serve::verify_record_json`]). A mismatch counts as a
+//!   failure (`cf_router_corrupt_responses`), feeds the breaker, and
+//!   fails over; repeated corruption moves the backend to
+//!   [`BackendHealth::Quarantined`] — answering probes but untrusted —
+//!   until the quarantine window elapses. All backend traffic flows
+//!   through the [`Connector`] seam, so the seeded
+//!   [`crate::netfault`] chaos layer can stand in for a lying network.
 //!
 //! The router's own endpoints: `/healthz` (healthy while ≥ 1 backend is
 //! routable), `/stats` (the [`RouterStats`] counters plus the live
@@ -49,8 +59,9 @@ use std::time::{Duration, Instant};
 
 use crate::api::{self, HttpRequest};
 use crate::fault::fnv1a;
+use crate::netfault::{FaultConnector, NetFaultPlan};
 use crate::obs::LatencyHistogram;
-use crate::serve::json_str;
+use crate::serve::{json_str, verify_record_json};
 use crate::stats::RouterStats;
 use crate::supervisor::{next_retry, BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
 use crate::sync;
@@ -166,25 +177,32 @@ pub enum BackendHealth {
     /// Reported `"draining"`: planned removal, not failure. No new work
     /// is routed here, but in-flight polls may still complete.
     Draining,
+    /// Quarantined after repeated *corrupt* responses (digest mismatch):
+    /// the backend answers probes — it is not dead — but its data cannot
+    /// be trusted, so no work routes here until the quarantine window
+    /// elapses **and** probes stay healthy.
+    Quarantined,
 }
 
 impl BackendHealth {
-    /// The state's stable wire name (`/stats`, `/metrics`).
+    /// The state's stable wire name (`/stats`, `/ring`, `/metrics`).
     pub fn name(self) -> &'static str {
         match self {
             BackendHealth::Up => "up",
             BackendHealth::Ejected => "ejected",
             BackendHealth::Draining => "draining",
+            BackendHealth::Quarantined => "quarantined",
         }
     }
 }
 
-/// What one `/healthz` probe observed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// What one `/healthz` probe observed (`Failed` retains the error text
+/// for the `/stats` backend table).
+#[derive(Debug, Clone, PartialEq, Eq)]
 enum Probe {
     Ok,
     Draining,
-    Failed,
+    Failed(String),
 }
 
 #[derive(Debug)]
@@ -193,6 +211,15 @@ struct Backend {
     health: BackendHealth,
     consecutive_failures: u32,
     consecutive_successes: u32,
+    /// Digest-mismatch streak; `quarantine_after` of these while `Up`
+    /// moves the backend to [`BackendHealth::Quarantined`].
+    consecutive_corruptions: u32,
+    /// When the quarantine started (release is time- *and* probe-gated).
+    quarantined_at: Option<Instant>,
+    /// Last probe failure, kept sticky across recovery so an ejection is
+    /// debuggable from `/stats` after the backend comes back.
+    last_probe_error: Option<String>,
+    last_probe_error_at: Option<Instant>,
     breaker: CircuitBreaker,
 }
 
@@ -203,21 +230,40 @@ impl Backend {
             health: BackendHealth::Up,
             consecutive_failures: 0,
             consecutive_successes: 0,
+            consecutive_corruptions: 0,
+            quarantined_at: None,
+            last_probe_error: None,
+            last_probe_error_at: None,
             breaker: CircuitBreaker::new(breaker),
         }
     }
 
     /// Folds one probe observation into the health state machine.
     /// Returns `(ejected, readmitted)` transitions for the counters.
-    fn note_probe(&mut self, probe: Probe, eject_after: u32, readmit_after: u32) -> (bool, bool) {
+    fn note_probe(
+        &mut self,
+        probe: Probe,
+        eject_after: u32,
+        readmit_after: u32,
+        quarantine_for: Duration,
+    ) -> (bool, bool) {
         match probe {
             Probe::Ok => {
                 self.consecutive_failures = 0;
                 self.consecutive_successes += 1;
                 if self.health != BackendHealth::Up && self.consecutive_successes >= readmit_after {
-                    self.health = BackendHealth::Up;
-                    self.breaker.record_success();
-                    return (false, true);
+                    // A quarantined backend additionally sits out its
+                    // full window: healthy probes alone do not prove the
+                    // data path is trustworthy again.
+                    let held = self.health == BackendHealth::Quarantined
+                        && self.quarantined_at.is_some_and(|t| t.elapsed() < quarantine_for);
+                    if !held {
+                        self.health = BackendHealth::Up;
+                        self.quarantined_at = None;
+                        self.consecutive_corruptions = 0;
+                        self.breaker.record_success();
+                        return (false, true);
+                    }
                 }
             }
             Probe::Draining => {
@@ -225,13 +271,21 @@ impl Backend {
                 self.consecutive_failures = 0;
                 self.consecutive_successes = 0;
                 self.health = BackendHealth::Draining;
+                self.quarantined_at = None;
             }
-            Probe::Failed => {
+            Probe::Failed(error) => {
+                self.last_probe_error = Some(error);
+                self.last_probe_error_at = Some(Instant::now());
                 self.consecutive_successes = 0;
                 self.consecutive_failures += 1;
                 if self.health != BackendHealth::Ejected && self.consecutive_failures >= eject_after
                 {
+                    // Ejection supersedes quarantine: the backend is no
+                    // longer answering at all, so the corruption
+                    // evidence resets with the stronger verdict.
                     self.health = BackendHealth::Ejected;
+                    self.quarantined_at = None;
+                    self.consecutive_corruptions = 0;
                     return (true, false);
                 }
             }
@@ -274,6 +328,15 @@ pub struct RouterConfig {
     pub read_timeout: Duration,
     /// Client request-body bound, as on `cfserve` (default 1 MiB).
     pub max_body: usize,
+    /// Consecutive corrupt (digest-mismatch) responses that quarantine a
+    /// backend (default 3).
+    pub quarantine_after: u32,
+    /// Minimum time a quarantined backend sits out before healthy probes
+    /// can re-admit it (default 5 s).
+    pub quarantine_for: Duration,
+    /// Seeded wire-fault plan decorating the dialer (chaos testing);
+    /// `None` dials straight TCP.
+    pub netfault: Option<NetFaultPlan>,
 }
 
 impl Default for RouterConfig {
@@ -296,6 +359,9 @@ impl Default for RouterConfig {
             connect_timeout: Duration::from_millis(500),
             read_timeout: Duration::from_secs(150),
             max_body: api::DEFAULT_MAX_BODY_BYTES,
+            quarantine_after: 3,
+            quarantine_for: Duration::from_secs(5),
+            netfault: None,
         }
     }
 }
@@ -320,9 +386,11 @@ impl Reply {
 
 /// A handle the hedging path uses to abort the losing request: the
 /// in-flight stream is registered here, and `cancel` shuts it down so
-/// the loser unblocks instead of riding out its read timeout.
+/// the loser unblocks instead of riding out its read timeout. Public
+/// only because it appears in the [`Connector`] seam's signature; a
+/// fault decorator just passes it through to the real dialer.
 #[derive(Debug, Default)]
-struct CancelSlot {
+pub struct CancelSlot {
     stream: Mutex<Option<TcpStream>>,
     cancelled: AtomicBool,
 }
@@ -344,40 +412,69 @@ impl CancelSlot {
     }
 }
 
-/// One blocking HTTP/1.1 exchange against `addr` (the peer closes the
-/// connection after its response, which frames the body).
-fn http_exchange(
-    addr: &str,
-    raw: &[u8],
-    connect_timeout: Duration,
-    read_timeout: Duration,
-    cancel: Option<&CancelSlot>,
-) -> std::io::Result<Reply> {
-    let sock: SocketAddr = addr.parse().map_err(|e| {
-        std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{addr}: {e}"))
-    })?;
-    let mut stream = TcpStream::connect_timeout(&sock, connect_timeout)?;
-    stream.set_read_timeout(Some(read_timeout))?;
-    stream.set_write_timeout(Some(connect_timeout))?;
-    if let Some(slot) = cancel {
-        slot.arm(&stream);
-    }
-    stream.write_all(raw)?;
-    let mut bytes = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 4096];
-    loop {
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => bytes.extend_from_slice(&chunk[..n]),
-            Err(e) => {
-                if bytes.is_empty() {
-                    return Err(e);
+/// The router's wire seam: one blocking HTTP/1.1 exchange returning the
+/// **raw response bytes** (parsing happens above the seam, so a
+/// decorator — [`crate::netfault::FaultConnector`] — can refuse, delay,
+/// tear, garble, or corrupt at the byte level exactly like a real
+/// network would).
+pub trait Connector: Send + Sync + std::fmt::Debug {
+    /// Dials `addr`, writes `raw`, reads the response to EOF (the peer
+    /// closes the connection after its response, which frames the
+    /// body). `cancel`, when present, lets a hedging caller abort the
+    /// exchange mid-flight.
+    ///
+    /// # Errors
+    ///
+    /// Connect/read/write failures, unchanged from the socket layer.
+    fn exchange(
+        &self,
+        addr: &str,
+        raw: &[u8],
+        connect_timeout: Duration,
+        read_timeout: Duration,
+        cancel: Option<&CancelSlot>,
+    ) -> std::io::Result<Vec<u8>>;
+}
+
+/// The real dialer: plain blocking TCP, no faults.
+#[derive(Debug, Default)]
+pub struct TcpConnector;
+
+impl Connector for TcpConnector {
+    fn exchange(
+        &self,
+        addr: &str,
+        raw: &[u8],
+        connect_timeout: Duration,
+        read_timeout: Duration,
+        cancel: Option<&CancelSlot>,
+    ) -> std::io::Result<Vec<u8>> {
+        let sock: SocketAddr = addr.parse().map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{addr}: {e}"))
+        })?;
+        let mut stream = TcpStream::connect_timeout(&sock, connect_timeout)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_write_timeout(Some(connect_timeout))?;
+        if let Some(slot) = cancel {
+            slot.arm(&stream);
+        }
+        stream.write_all(raw)?;
+        let mut bytes = Vec::with_capacity(1024);
+        let mut chunk = [0u8; 4096];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => bytes.extend_from_slice(&chunk[..n]),
+                Err(e) => {
+                    if bytes.is_empty() {
+                        return Err(e);
+                    }
+                    break;
                 }
-                break;
             }
         }
+        Ok(bytes)
     }
-    parse_reply(&bytes)
 }
 
 fn parse_reply(bytes: &[u8]) -> std::io::Result<Reply> {
@@ -387,16 +484,46 @@ fn parse_reply(bytes: &[u8]) -> std::io::Result<Reply> {
     let head = std::str::from_utf8(&bytes[..head_end]).map_err(|_| bad("non-UTF-8 reply head"))?;
     let mut lines = head.split("\r\n");
     let status_line = lines.next().ok_or_else(|| bad("empty reply"))?;
+    // A real peer always leads with the protocol version; anything else
+    // is line noise (a garbled status line must not parse as a reply).
+    if !status_line.starts_with("HTTP/") {
+        return Err(bad("malformed status line"));
+    }
     let status: u16 = status_line
         .split(' ')
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad("malformed status line"))?;
-    let headers = lines
+    let headers: Vec<(String, String)> = lines
         .filter_map(|l| l.split_once(':'))
         .map(|(n, v)| (n.to_string(), v.trim().to_string()))
         .collect();
-    Ok(Reply { status, headers, body: bytes[head_end + 4..].to_vec() })
+    let mut body = bytes[head_end + 4..].to_vec();
+    // Read-to-EOF framing cannot tell a complete body from a torn one
+    // on its own — hold the peer to its declared Content-Length.
+    if let Some(declared) = headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        if body.len() < declared {
+            return Err(bad("torn reply: body shorter than Content-Length"));
+        }
+        body.truncate(declared);
+    }
+    Ok(Reply { status, headers, body })
+}
+
+/// Whether the reply's `X-CF-Digest` header (when present) matches its
+/// body bytes. Replies without the header pass — the check is for peers
+/// that stamp it (every `cfserve` does).
+fn digest_ok(reply: &Reply) -> bool {
+    match reply.header("x-cf-digest") {
+        Some(h) => {
+            u64::from_str_radix(h.trim(), 16).map(|d| d == fnv1a(&reply.body)).unwrap_or(false)
+        }
+        None => true,
+    }
 }
 
 /// Maps a relayed backend status code to a status line the router can
@@ -473,10 +600,13 @@ pub struct Router {
     submit_latency: LatencyHistogram,
     shutdown: Arc<AtomicBool>,
     prober: Mutex<Option<thread::JoinHandle<()>>>,
+    connector: Arc<dyn Connector>,
 }
 
 impl Router {
-    /// A router over `config.backends` (at least one required).
+    /// A router over `config.backends` (at least one required). A
+    /// `config.netfault` plan decorates the dialer with seeded wire
+    /// faults (chaos testing — see [`crate::netfault`]).
     pub fn new(config: RouterConfig) -> Arc<Router> {
         let ring = Ring::new(&config.backends, config.vnodes);
         let backends = config
@@ -484,6 +614,10 @@ impl Router {
             .iter()
             .map(|a| Backend::new(a.clone(), config.breaker.clone()))
             .collect();
+        let connector: Arc<dyn Connector> = match &config.netfault {
+            Some(plan) => Arc::new(FaultConnector::new(Arc::new(TcpConnector), plan.clone())),
+            None => Arc::new(TcpConnector),
+        };
         Arc::new(Router {
             ring,
             backends: Mutex::new(backends),
@@ -493,8 +627,22 @@ impl Router {
             submit_latency: LatencyHistogram::default(),
             shutdown: Arc::new(AtomicBool::new(false)),
             prober: Mutex::new(None),
+            connector,
             config,
         })
+    }
+
+    /// One HTTP exchange through the router's [`Connector`].
+    fn exchange(
+        &self,
+        addr: &str,
+        raw: &[u8],
+        connect_timeout: Duration,
+        read_timeout: Duration,
+        cancel: Option<&CancelSlot>,
+    ) -> std::io::Result<Reply> {
+        let bytes = self.connector.exchange(addr, raw, connect_timeout, read_timeout, cancel)?;
+        parse_reply(&bytes)
     }
 
     /// The router's counters.
@@ -550,7 +698,7 @@ impl Router {
         };
         for (idx, addr) in addrs {
             let raw = b"GET /healthz HTTP/1.1\r\nHost: cfrouter\r\nConnection: close\r\n\r\n";
-            let reply = http_exchange(
+            let reply = self.exchange(
                 &addr,
                 raw,
                 self.config.probe_timeout,
@@ -562,15 +710,20 @@ impl Router {
                 Ok(r) if String::from_utf8_lossy(&r.body).contains("\"status\":\"draining\"") => {
                     Probe::Draining
                 }
-                _ => Probe::Failed,
+                Ok(r) => Probe::Failed(format!("healthz answered {}", r.status)),
+                Err(e) => Probe::Failed(e.to_string()),
             };
-            if probe == Probe::Failed {
+            if matches!(probe, Probe::Failed(_)) {
                 self.stats.probe_failures.fetch_add(1, Ordering::Relaxed);
             }
             let mut backends = sync::lock(&self.backends);
             if let Some(b) = backends.get_mut(idx) {
-                let (ejected, readmitted) =
-                    b.note_probe(probe, self.config.eject_after, self.config.readmit_after);
+                let (ejected, readmitted) = b.note_probe(
+                    probe,
+                    self.config.eject_after,
+                    self.config.readmit_after,
+                    self.config.quarantine_for,
+                );
                 if ejected {
                     self.stats.ejections.fetch_add(1, Ordering::Relaxed);
                 }
@@ -597,12 +750,35 @@ impl Router {
     }
 
     fn note_request_outcome(&self, idx: usize, ok: bool) {
-        let backends = sync::lock(&self.backends);
-        if let Some(b) = backends.get(idx) {
+        let mut backends = sync::lock(&self.backends);
+        if let Some(b) = backends.get_mut(idx) {
             if ok {
                 b.breaker.record_success();
+                // An intact, verified response clears the corruption
+                // streak: quarantine needs *consecutive* evidence.
+                b.consecutive_corruptions = 0;
             } else {
                 b.breaker.record_failure();
+            }
+        }
+    }
+
+    /// Books one corrupt (digest-mismatch) response from backend `idx`:
+    /// counts it, feeds the circuit breaker, and — past
+    /// `quarantine_after` consecutive corruptions while `Up` — moves
+    /// the backend to [`BackendHealth::Quarantined`].
+    fn note_corruption(&self, idx: usize) {
+        self.stats.corrupt_responses.fetch_add(1, Ordering::Relaxed);
+        let mut backends = sync::lock(&self.backends);
+        if let Some(b) = backends.get_mut(idx) {
+            b.breaker.record_failure();
+            b.consecutive_corruptions = b.consecutive_corruptions.saturating_add(1);
+            if b.health == BackendHealth::Up
+                && b.consecutive_corruptions >= self.config.quarantine_after
+            {
+                b.health = BackendHealth::Quarantined;
+                b.quarantined_at = Some(Instant::now());
+                self.stats.quarantines.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -656,12 +832,15 @@ impl Router {
             let addr = self.backend_addr(idx);
             let connect = self.config.connect_timeout;
             let read = self.config.read_timeout;
+            let connector = Arc::clone(&self.connector);
             let slot = Arc::new(CancelSlot::default());
             let thread_slot = Arc::clone(&slot);
             let thread_tx = tx.clone();
             let spawned =
                 thread::Builder::new().name("cf-router-proxy".to_string()).spawn(move || {
-                    let reply = http_exchange(&addr, &raw, connect, read, Some(&thread_slot));
+                    let reply = connector
+                        .exchange(&addr, &raw, connect, read, Some(&thread_slot))
+                        .and_then(|bytes| parse_reply(&bytes));
                     let _ = thread_tx.send((idx, reply, thread_slot));
                 });
             if spawned.is_err() {
@@ -739,18 +918,37 @@ impl Router {
             let Some(&target) = candidates.get(failures as usize % candidates.len().max(1)) else {
                 return RouterResponse::error("502 Bad Gateway", "no backends configured");
             };
-            let hedge = candidates.iter().copied().find(|&c| c != target && self.routable(c));
+            let hedge = hedge_pick(&candidates, target, |c| self.routable(c));
             let (winner, reply) = self.exchange_hedged(target, hedge, raw.clone());
             let error = match reply {
-                Ok(r) if r.status == 202 => {
-                    self.note_request_outcome(winner, true);
-                    self.submit_latency.observe(t0.elapsed());
-                    return self.accept(text, fingerprint, winner, &r);
+                Ok(r) if r.status == 202 && digest_ok(&r) => {
+                    match self.accept(text, fingerprint, winner, &r) {
+                        Ok(response) => {
+                            self.note_request_outcome(winner, true);
+                            self.submit_latency.observe(t0.elapsed());
+                            return response;
+                        }
+                        // An accept body the router cannot book is as
+                        // bad as a corrupt one: fail over.
+                        Err(response) => {
+                            self.note_request_outcome(winner, false);
+                            response
+                        }
+                    }
                 }
-                Ok(r) if r.status == 400 || r.status == 413 => {
+                Ok(r) if (r.status == 400 || r.status == 413) && digest_ok(&r) => {
                     // The spec itself is bad: every backend would agree.
                     self.note_request_outcome(winner, true);
                     return relay(&r);
+                }
+                Ok(r) if !digest_ok(&r) => {
+                    // The reply does not match its own digest: the wire
+                    // (or the backend) is lying. Never trust it.
+                    self.note_corruption(winner);
+                    RouterResponse::error(
+                        "502 Bad Gateway",
+                        &format!("backend {}: corrupt response", self.backend_addr(winner)),
+                    )
                 }
                 Ok(r) => {
                     // 503 (shed / draining) or 5xx: try the next replica.
@@ -780,16 +978,18 @@ impl Router {
 
     /// Books an accepted submission: allocate fleet-wide ids, retain
     /// per-job specs for failover, answer with the translated ids.
+    /// `Err` carries the response for an accept body the router cannot
+    /// book — the caller treats it as a backend failure and fails over.
     fn accept(
         &self,
         body: &str,
         fingerprint: u64,
         backend: usize,
         reply: &Reply,
-    ) -> RouterResponse {
+    ) -> Result<RouterResponse, RouterResponse> {
         let text = String::from_utf8_lossy(&reply.body);
         let Ok(value) = serde_json::from_str(&text) else {
-            return RouterResponse::error("502 Bad Gateway", "unparseable backend accept");
+            return Err(RouterResponse::error("502 Bad Gateway", "unparseable backend accept"));
         };
         // Per-element specs: an array submission retains each element as
         // its own resubmittable body.
@@ -805,7 +1005,7 @@ impl Router {
         } else if let Some(ids) = value.get("ids").and_then(|v| v.as_array()) {
             ids.iter().filter_map(|v| v.as_u64()).collect()
         } else {
-            return RouterResponse::error("502 Bad Gateway", "backend accept carries no id");
+            return Err(RouterResponse::error("502 Bad Gateway", "backend accept carries no id"));
         };
         let base = self.next_id.fetch_add(backend_ids.len() as u64, Ordering::Relaxed);
         {
@@ -826,7 +1026,7 @@ impl Router {
                 (0..backend_ids.len() as u64).map(|o| (base + o).to_string()).collect();
             format!("{{\"ids\":[{}]}}", ids.join(","))
         };
-        RouterResponse::json("202 Accepted", body)
+        Ok(RouterResponse::json("202 Accepted", body))
     }
 
     // -- GET /jobs/<id>[/status] --------------------------------------------
@@ -848,7 +1048,7 @@ impl Router {
             )
             .into_bytes();
             let addr = self.backend_addr(route.backend);
-            let reply = http_exchange(
+            let reply = self.exchange(
                 &addr,
                 &raw,
                 self.config.connect_timeout,
@@ -856,16 +1056,26 @@ impl Router {
                 None,
             );
             match reply {
-                Ok(r) if r.status == 200 || r.status == 202 => {
+                Ok(r)
+                    if (r.status == 200 || r.status == 202)
+                        && self.reply_intact(&r, &route, status_only) =>
+                {
                     self.note_request_outcome(route.backend, true);
                     if r.status == 200 && !status_only {
                         self.stats.records_streamed.fetch_add(1, Ordering::Relaxed);
                     }
                     return translate_ids(&r, route.backend_id, rid, status_only);
                 }
-                Ok(r) if r.status == 400 => {
+                Ok(r) if r.status == 400 && digest_ok(&r) => {
                     self.note_request_outcome(route.backend, true);
                     return relay(&r);
+                }
+                // A digest mismatch (header or record field) means the
+                // payload cannot be trusted: count it, feed the
+                // quarantine state machine, and fail over — the corrupt
+                // bytes never reach the client.
+                Ok(r) if !self.reply_intact(&r, &route, status_only) => {
+                    self.note_corruption(route.backend);
                 }
                 // 404 (restarted backend lost the job), 5xx, or a dead
                 // connection: the owner cannot answer — fail over.
@@ -892,6 +1102,21 @@ impl Router {
         }
     }
 
+    /// Whether a poll reply survives both integrity checks: the
+    /// `X-CF-Digest` response header over the whole body, and — for a
+    /// streamed record — the per-record digest field, bound to the
+    /// backend-local id the router expects.
+    fn reply_intact(&self, reply: &Reply, route: &JobRoute, status_only: bool) -> bool {
+        if !digest_ok(reply) {
+            return false;
+        }
+        if reply.status == 200 && !status_only {
+            let body = String::from_utf8_lossy(&reply.body);
+            return verify_record_json(body.trim_end_matches('\n'), Some(route.backend_id));
+        }
+        true
+    }
+
     /// Resubmits a lost job's retained spec to the next live replica
     /// (skipping the dead owner); simulation is deterministic, so the
     /// re-run's record is byte-identical to the one the dead backend
@@ -910,7 +1135,7 @@ impl Router {
             )
             .into_bytes();
             let addr = self.backend_addr(target);
-            let reply = http_exchange(
+            let reply = self.exchange(
                 &addr,
                 &raw,
                 self.config.connect_timeout,
@@ -918,6 +1143,7 @@ impl Router {
                 None,
             );
             match reply {
+                Ok(r) if r.status == 202 && !digest_ok(&r) => self.note_corruption(target),
                 Ok(r) if r.status == 202 => {
                     self.note_request_outcome(target, true);
                     let text = String::from_utf8_lossy(&r.body);
@@ -943,16 +1169,18 @@ impl Router {
         let mut up = 0usize;
         let mut draining = 0usize;
         let mut ejected = 0usize;
+        let mut quarantined = 0usize;
         for b in backends.iter() {
             match b.health {
                 BackendHealth::Up => up += 1,
                 BackendHealth::Draining => draining += 1,
                 BackendHealth::Ejected => ejected += 1,
+                BackendHealth::Quarantined => quarantined += 1,
             }
         }
         let healthy = up > 0;
         let body = format!(
-            "{{\"status\":{},\"backends\":{},\"up\":{up},\"draining\":{draining},\"ejected\":{ejected}}}",
+            "{{\"status\":{},\"backends\":{},\"up\":{up},\"draining\":{draining},\"ejected\":{ejected},\"quarantined\":{quarantined}}}",
             if healthy { "\"ok\"" } else { "\"no-backends\"" },
             backends.len(),
         );
@@ -978,19 +1206,25 @@ impl Router {
                     BreakerState::Open => "open",
                     BreakerState::HalfOpen => "half-open",
                 };
+                let (probe_error, probe_error_age) = match (&b.last_probe_error, b.last_probe_error_at)
+                {
+                    (Some(e), Some(at)) => (json_str(e), at.elapsed().as_secs().to_string()),
+                    _ => ("null".to_string(), "null".to_string()),
+                };
                 format!(
-                    "{{\"addr\":{},\"health\":{},\"breaker\":{},\"jobs\":{n},\"consecutive_failures\":{},\"consecutive_successes\":{}}}",
+                    "{{\"addr\":{},\"health\":{},\"breaker\":{},\"jobs\":{n},\"consecutive_failures\":{},\"consecutive_successes\":{},\"consecutive_corruptions\":{},\"last_probe_error\":{probe_error},\"last_probe_error_age_s\":{probe_error_age}}}",
                     json_str(&b.addr),
                     json_str(b.health.name()),
                     json_str(breaker),
                     b.consecutive_failures,
                     b.consecutive_successes,
+                    b.consecutive_corruptions,
                 )
             })
             .collect();
         let s = &self.stats;
         format!(
-            "{{\"routed\":{},\"records_streamed\":{},\"failovers\":{},\"hedges\":{},\"hedge_wins\":{},\"ejections\":{},\"readmissions\":{},\"probe_failures\":{},\"jobs\":{},\"backends\":[{}]}}",
+            "{{\"routed\":{},\"records_streamed\":{},\"failovers\":{},\"hedges\":{},\"hedge_wins\":{},\"ejections\":{},\"readmissions\":{},\"probe_failures\":{},\"corrupt_responses\":{},\"quarantines\":{},\"jobs\":{},\"backends\":[{}]}}",
             s.routed.load(Ordering::Relaxed),
             s.records_streamed.load(Ordering::Relaxed),
             s.failovers.load(Ordering::Relaxed),
@@ -999,16 +1233,28 @@ impl Router {
             s.ejections.load(Ordering::Relaxed),
             s.readmissions.load(Ordering::Relaxed),
             s.probe_failures.load(Ordering::Relaxed),
+            s.corrupt_responses.load(Ordering::Relaxed),
+            s.quarantines.load(Ordering::Relaxed),
             jobs.len(),
             rows.join(","),
         )
     }
 
-    /// The `/ring` routing table: vnode count, backend list, and every
-    /// `(point, backend)` pair in ring order.
+    /// The `/ring` routing table: vnode count, the backend list with
+    /// each instance's live health state, and every `(point, backend)`
+    /// pair in ring order.
     pub fn ring_json(&self) -> String {
         let backends = sync::lock(&self.backends);
-        let names: Vec<String> = backends.iter().map(|b| json_str(&b.addr)).collect();
+        let names: Vec<String> = backends
+            .iter()
+            .map(|b| {
+                format!(
+                    "{{\"addr\":{},\"health\":{}}}",
+                    json_str(&b.addr),
+                    json_str(b.health.name())
+                )
+            })
+            .collect();
         let points: Vec<String> = self
             .ring
             .points()
@@ -1032,22 +1278,30 @@ impl Router {
             let backends = sync::lock(&self.backends);
             backends.iter().map(|b| b.addr.clone()).collect()
         };
-        let (tx, rx) = mpsc::channel::<(usize, Option<String>)>();
+        let (tx, rx) = mpsc::channel::<(usize, Option<String>, bool)>();
         let mut expected = 0usize;
         for (i, addr) in addrs.iter().enumerate() {
             let tx = tx.clone();
             let addr = addr.clone();
+            let connector = Arc::clone(&self.connector);
             let connect = self.config.connect_timeout;
             let read = self.config.probe_timeout.max(Duration::from_secs(2));
             let spawned =
                 thread::Builder::new().name("cf-router-scrape".to_string()).spawn(move || {
                     let raw =
                         b"GET /metrics HTTP/1.1\r\nHost: cfrouter\r\nConnection: close\r\n\r\n";
-                    let body = http_exchange(&addr, raw, connect, read, None)
+                    let reply = connector
+                        .exchange(&addr, raw, connect, read, None)
+                        .and_then(|bytes| parse_reply(&bytes))
                         .ok()
-                        .filter(|r| r.status == 200)
+                        .filter(|r| r.status == 200);
+                    // A scraped exposition failing its digest is dropped
+                    // from the merge, exactly like an unreachable one.
+                    let corrupt = reply.as_ref().is_some_and(|r| !digest_ok(r));
+                    let body = reply
+                        .filter(digest_ok)
                         .map(|r| String::from_utf8_lossy(&r.body).to_string());
-                    let _ = tx.send((i, body));
+                    let _ = tx.send((i, body, corrupt));
                 });
             if spawned.is_ok() {
                 expected += 1;
@@ -1056,8 +1310,11 @@ impl Router {
         drop(tx);
         let mut bodies: Vec<(usize, String)> = Vec::new();
         for _ in 0..expected {
-            if let Ok((i, Some(body))) = rx.recv() {
-                bodies.push((i, body));
+            match rx.recv() {
+                Ok((i, Some(body), _)) => bodies.push((i, body)),
+                Ok((i, None, true)) => self.note_corruption(i),
+                Ok((_, None, false)) => {}
+                Err(_) => break,
             }
         }
         bodies.sort_by_key(|&(i, _)| i);
@@ -1079,7 +1336,7 @@ impl Router {
     /// The router's own `cf_router_*` series.
     fn own_metrics(&self) -> String {
         let s = &self.stats;
-        let counters: [(&str, &str, u64); 8] = [
+        let counters: [(&str, &str, u64); 10] = [
             (
                 "cf_router_routed_total",
                 "Jobs accepted and routed to a backend.",
@@ -1120,6 +1377,16 @@ impl Router {
                 "Health probes that failed (503 / timeout / connect error).",
                 s.probe_failures.load(Ordering::Relaxed),
             ),
+            (
+                "cf_router_corrupt_responses",
+                "Backend responses rejected for a digest mismatch (header or record field).",
+                s.corrupt_responses.load(Ordering::Relaxed),
+            ),
+            (
+                "cf_router_quarantines_total",
+                "Backends quarantined after repeated corrupt responses.",
+                s.quarantines.load(Ordering::Relaxed),
+            ),
         ];
         let mut out = String::with_capacity(2048);
         for (name, help, value) in counters {
@@ -1127,7 +1394,7 @@ impl Router {
         }
         out.push_str(concat!(
             "# HELP cf_router_backend_up Backend routability as seen by the prober ",
-            "(1 = up, 0 = ejected or draining).\n",
+            "(1 = up, 0 = ejected, draining or quarantined).\n",
             "# TYPE cf_router_backend_up gauge\n",
         ));
         let backends = sync::lock(&self.backends);
@@ -1148,11 +1415,14 @@ impl Router {
     /// loop calls this per connection).
     pub fn handle(&self, request: &HttpRequest) -> (String, String) {
         let response = self.dispatch(request);
+        // The router stamps its own responses too, so a client can hold
+        // the whole chain (backend → router → client) to one check.
         let mut head = format!(
-            "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\nX-CF-Digest: {:016x}\r\n",
             response.status,
             response.content_type,
             response.body.len(),
+            fnv1a(response.body.as_bytes()),
         );
         if let Some(allow) = response.allow {
             head.push_str(&format!("Allow: {allow}\r\n"));
@@ -1224,6 +1494,23 @@ impl Router {
                 ),
             },
         }
+    }
+}
+
+/// Picks the hedge target for `target` from the ring candidates: `None`
+/// unless at least two **live** (routable) backends exist — with a lone
+/// live backend the duplicate would land on the very instance already
+/// serving the primary, a pure waste.
+fn hedge_pick(
+    candidates: &[usize],
+    target: usize,
+    routable: impl Fn(usize) -> bool,
+) -> Option<usize> {
+    let live: Vec<usize> = candidates.iter().copied().filter(|&c| routable(c)).collect();
+    if live.len() > 1 {
+        live.into_iter().find(|&c| c != target)
+    } else {
+        None
     }
 }
 
@@ -1430,30 +1717,139 @@ mod tests {
         }
     }
 
+    fn failed() -> Probe {
+        Probe::Failed("connection refused".to_string())
+    }
+
     #[test]
     fn probe_transitions_eject_and_readmit() {
+        let q = Duration::ZERO;
         let mut b = Backend::new(
             "127.0.0.1:1".to_string(),
             BreakerConfig { failure_threshold: 2, open_for: Duration::from_millis(10) },
         );
         assert_eq!(b.health, BackendHealth::Up);
-        assert_eq!(b.note_probe(Probe::Failed, 2, 3), (false, false));
+        assert_eq!(b.note_probe(failed(), 2, 3, q), (false, false));
         assert_eq!(b.health, BackendHealth::Up);
-        assert_eq!(b.note_probe(Probe::Failed, 2, 3), (true, false));
+        assert_eq!(b.note_probe(failed(), 2, 3, q), (true, false));
         assert_eq!(b.health, BackendHealth::Ejected);
+        // The failure that ejected the backend stays visible afterwards.
+        assert_eq!(b.last_probe_error.as_deref(), Some("connection refused"));
         // Two successes are not enough at readmit_after = 3.
-        assert_eq!(b.note_probe(Probe::Ok, 2, 3), (false, false));
-        assert_eq!(b.note_probe(Probe::Ok, 2, 3), (false, false));
+        assert_eq!(b.note_probe(Probe::Ok, 2, 3, q), (false, false));
+        assert_eq!(b.note_probe(Probe::Ok, 2, 3, q), (false, false));
         assert_eq!(b.health, BackendHealth::Ejected);
-        assert_eq!(b.note_probe(Probe::Ok, 2, 3), (false, true));
+        assert_eq!(b.note_probe(Probe::Ok, 2, 3, q), (false, true));
         assert_eq!(b.health, BackendHealth::Up);
+        assert_eq!(b.last_probe_error.as_deref(), Some("connection refused"));
         // Draining is planned removal: no ejection counted.
-        assert_eq!(b.note_probe(Probe::Draining, 2, 3), (false, false));
+        assert_eq!(b.note_probe(Probe::Draining, 2, 3, q), (false, false));
         assert_eq!(b.health, BackendHealth::Draining);
         // A draining backend that stops answering ends up ejected.
-        assert_eq!(b.note_probe(Probe::Failed, 2, 3), (false, false));
-        assert_eq!(b.note_probe(Probe::Failed, 2, 3), (true, false));
+        assert_eq!(b.note_probe(failed(), 2, 3, q), (false, false));
+        assert_eq!(b.note_probe(failed(), 2, 3, q), (true, false));
         assert_eq!(b.health, BackendHealth::Ejected);
+    }
+
+    #[test]
+    fn quarantine_requires_consecutive_corruptions_and_sits_out_its_window() {
+        let router = Router::new(RouterConfig {
+            backends: names(2),
+            quarantine_after: 3,
+            quarantine_for: Duration::from_millis(40),
+            ..RouterConfig::default()
+        });
+        // Two corruptions, then a good response: streak resets.
+        router.note_corruption(0);
+        router.note_corruption(0);
+        router.note_request_outcome(0, true);
+        router.note_corruption(0);
+        router.note_corruption(0);
+        assert!(router.routable(0), "streak of 2 must not quarantine at threshold 3");
+        router.note_corruption(0);
+        {
+            let backends = sync::lock(&router.backends);
+            assert_eq!(backends[0].health, BackendHealth::Quarantined);
+        }
+        assert!(!router.routable(0));
+        assert_eq!(router.stats.quarantines.load(Ordering::Relaxed), 1);
+        assert_eq!(router.stats.corrupt_responses.load(Ordering::Relaxed), 5);
+        // Healthy probes inside the window do not release the backend...
+        {
+            let mut backends = sync::lock(&router.backends);
+            for _ in 0..3 {
+                backends[0].note_probe(Probe::Ok, 2, 3, Duration::from_millis(40));
+            }
+            assert_eq!(backends[0].health, BackendHealth::Quarantined);
+        }
+        // ...but once it elapses, the next healthy probe does.
+        thread::sleep(Duration::from_millis(45));
+        {
+            let mut backends = sync::lock(&router.backends);
+            assert_eq!(
+                backends[0].note_probe(Probe::Ok, 2, 3, Duration::from_millis(40)),
+                (false, true)
+            );
+            assert_eq!(backends[0].health, BackendHealth::Up);
+            assert_eq!(backends[0].consecutive_corruptions, 0);
+        }
+        // The transition is visible in /stats, /ring and /healthz.
+        router.note_corruption(1);
+        router.note_corruption(1);
+        router.note_corruption(1);
+        let stats = router.stats_json();
+        assert!(stats.contains("\"health\":\"quarantined\""), "{stats}");
+        assert!(stats.contains("\"quarantines\":2"), "{stats}");
+        let ring = router.ring_json();
+        assert!(ring.contains("\"health\":\"quarantined\""), "{ring}");
+        let h = router.healthz();
+        assert!(h.body.contains("\"quarantined\":1"), "{}", h.body);
+    }
+
+    #[test]
+    fn hedge_pick_skips_lone_live_backend() {
+        // Two live backends: hedge to the other one.
+        assert_eq!(hedge_pick(&[0, 1, 2], 0, |c| c < 2), Some(1));
+        // Only the primary is live: no hedge — the duplicate would land
+        // on the same instance.
+        assert_eq!(hedge_pick(&[0, 1, 2], 0, |c| c == 0), None);
+        // Nothing live at all: no hedge either.
+        assert_eq!(hedge_pick(&[0, 1, 2], 0, |_| false), None);
+        // Primary dead, two live replicas: hedge picks a live one.
+        assert_eq!(hedge_pick(&[0, 1, 2], 0, |c| c > 0), Some(1));
+    }
+
+    #[test]
+    fn parse_reply_rejects_garbage_and_torn_bodies() {
+        // Garbled status line: not a reply at all.
+        assert!(parse_reply(b"GARBAGE! 200 OK\r\nContent-Length: 2\r\n\r\n{}").is_err());
+        // Body shorter than the declared Content-Length: torn.
+        assert!(parse_reply(b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\n{}").is_err());
+        // Trailing bytes past Content-Length are dropped, not trusted.
+        let r = match parse_reply(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\n{}junk") {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        };
+        assert_eq!(r.body, b"{}");
+    }
+
+    #[test]
+    fn digest_header_verifies_the_body() {
+        let body = b"{\"id\":0}".to_vec();
+        let good = Reply {
+            status: 202,
+            headers: vec![("X-CF-Digest".to_string(), format!("{:016x}", fnv1a(&body)))],
+            body: body.clone(),
+        };
+        assert!(digest_ok(&good));
+        let bad = Reply {
+            status: 202,
+            headers: vec![("X-CF-Digest".to_string(), format!("{:016x}", fnv1a(&body) ^ 1))],
+            body: body.clone(),
+        };
+        assert!(!digest_ok(&bad));
+        let unstamped = Reply { status: 202, headers: Vec::new(), body };
+        assert!(digest_ok(&unstamped), "plain upstreams without the header still pass");
     }
 
     #[test]

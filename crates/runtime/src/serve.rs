@@ -693,16 +693,20 @@ pub fn json_str(s: &str) -> String {
 /// Renders one record as the JSON-lines object `cfserve` prints.
 ///
 /// Carries only deterministic fields; float formatting uses `{:?}`, which
-/// round-trips exactly.
+/// round-trips exactly. The trailing `digest` field is the FNV-1a of the
+/// *core* — every byte between `{"job":N,` and `,"digest"` — so the
+/// record carries its own end-to-end integrity check
+/// ([`verify_record_json`]). The id is deliberately excluded: the fleet
+/// router rewrites backend-local ids to fleet-wide ones at the edge, and
+/// that rewrite must not invalidate the digest.
 pub fn render_record_json(record: &JobRecord) -> String {
     let head = format!(
-        "{{\"job\":{},\"label\":{},\"machine\":{},\"mode\":{}",
-        record.index,
+        "\"label\":{},\"machine\":{},\"mode\":{}",
         json_str(&record.label),
         json_str(&record.machine),
         json_str(record.mode),
     );
-    match &record.outcome {
+    let core = match &record.outcome {
         Ok(JobOutput::Sim {
             makespan_s,
             steady_s,
@@ -711,13 +715,56 @@ pub fn render_record_json(record: &JobRecord) -> String {
             root_intensity,
         }) => {
             format!(
-                "{head},\"ok\":true,\"makespan_s\":{makespan_s:?},\"steady_s\":{steady_s:?},\"attained_tops\":{attained_tops:?},\"peak_fraction\":{peak_fraction:?},\"root_intensity\":{root_intensity:?}}}"
+                "{head},\"ok\":true,\"makespan_s\":{makespan_s:?},\"steady_s\":{steady_s:?},\"attained_tops\":{attained_tops:?},\"peak_fraction\":{peak_fraction:?},\"root_intensity\":{root_intensity:?}"
             )
         }
         Ok(JobOutput::Exec { elems, memory_hash }) => {
-            format!("{head},\"ok\":true,\"elems\":{elems},\"memory_hash\":\"{memory_hash:016x}\"}}")
+            format!("{head},\"ok\":true,\"elems\":{elems},\"memory_hash\":\"{memory_hash:016x}\"")
         }
-        Err(e) => format!("{head},\"ok\":false,\"error\":{}}}", json_str(&e.to_string())),
+        Err(e) => format!("{head},\"ok\":false,\"error\":{}", json_str(&e.to_string())),
+    };
+    format!("{{\"job\":{},{core},\"digest\":\"{:016x}\"}}", record.index, fnv1a(core.as_bytes()))
+}
+
+/// Checks a rendered record line against its embedded `digest` field
+/// (and, when `expected_id` is given, against the leading `{"job":N,`
+/// id). Any single-byte change to the core is detected — FNV-1a's
+/// xor-and-odd-multiply steps are bijections, so flips never cancel at
+/// fixed length. Returns `false` for anything that is not a well-formed
+/// digest-stamped record.
+pub fn verify_record_json(line: &str, expected_id: Option<u64>) -> bool {
+    let Some(rest) = line.strip_prefix("{\"job\":") else {
+        return false;
+    };
+    let Some(comma) = rest.find(',') else {
+        return false;
+    };
+    let (id_part, tail) = rest.split_at(comma);
+    if id_part.is_empty() || !id_part.bytes().all(|b| b.is_ascii_digit()) {
+        return false;
+    }
+    if let Some(expected) = expected_id {
+        if id_part.parse::<u64>() != Ok(expected) {
+            return false;
+        }
+    }
+    let tail = &tail[1..];
+    // `json_str` escapes quotes inside values, so this marker can only
+    // be the structural field — rfind keeps it out of the digest's core.
+    let Some(marker) = tail.rfind(",\"digest\":\"") else {
+        return false;
+    };
+    let core = &tail[..marker];
+    let suffix = &tail[marker + ",\"digest\":\"".len()..];
+    let Some(hex) = suffix.strip_suffix("\"}") else {
+        return false;
+    };
+    if hex.len() != 16 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return false;
+    }
+    match u64::from_str_radix(hex, 16) {
+        Ok(digest) => digest == fnv1a(core.as_bytes()),
+        Err(_) => false,
     }
 }
 
@@ -765,6 +812,41 @@ mod tests {
         assert!(line.contains("\"ok\":false"), "{line}");
         assert!(line.contains("boom"), "{line}");
         assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(verify_record_json(&line, Some(1)), "{line}");
+    }
+
+    #[test]
+    fn record_digest_round_trips_and_flags_any_flip() {
+        let record = JobRecord {
+            index: 7,
+            label: "chaos".into(),
+            machine: "f1".into(),
+            mode: "simulate",
+            outcome: Ok(JobOutput::Exec { elems: 4096, memory_hash: 0xDEAD_BEEF }),
+        };
+        let line = render_record_json(&record);
+        assert!(line.contains(",\"digest\":\""), "{line}");
+        assert!(verify_record_json(&line, None), "{line}");
+        assert!(verify_record_json(&line, Some(7)), "{line}");
+        // The wrong id fails even though the digest (which excludes the
+        // id, so the router's rewrite survives) still matches.
+        assert!(!verify_record_json(&line, Some(8)), "{line}");
+        let rewritten = line.replacen("{\"job\":7,", "{\"job\":123,", 1);
+        assert!(verify_record_json(&rewritten, Some(123)), "id rewrite keeps the digest valid");
+        // Any single-byte corruption of the core is caught.
+        let bytes = line.as_bytes();
+        let core_start = "{\"job\":7,".len();
+        let core_end = line.rfind(",\"digest\":\"").unwrap();
+        for at in core_start..core_end {
+            let mut mutated = bytes.to_vec();
+            mutated[at] ^= 0x01;
+            let mutated = String::from_utf8_lossy(&mutated).to_string();
+            assert!(!verify_record_json(&mutated, Some(7)), "flip at {at} undetected: {mutated}");
+        }
+        // Junk is rejected, not panicked on.
+        assert!(!verify_record_json("", None));
+        assert!(!verify_record_json("{\"job\":7}", None));
+        assert!(!verify_record_json("{\"job\":7,\"ok\":true,\"digest\":\"xyz\"}", None));
     }
 
     #[test]

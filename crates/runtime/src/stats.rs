@@ -249,6 +249,12 @@ pub struct RouterStats {
     pub readmissions: AtomicU64,
     /// Health probes that failed (503 / timeout / connect error).
     pub probe_failures: AtomicU64,
+    /// Backend responses rejected for a digest mismatch — the
+    /// `X-CF-Digest` header or the per-record digest field. Corrupt
+    /// payloads never reach a client; they count here and fail over.
+    pub corrupt_responses: AtomicU64,
+    /// Backends moved to `quarantined` after repeated corrupt responses.
+    pub quarantines: AtomicU64,
 }
 
 /// One worker's share of a [`StatsSnapshot`].

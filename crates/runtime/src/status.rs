@@ -34,6 +34,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use crate::api::{self, HttpParseError, HttpRequest, JobWait, SubmitError, SubmitOk};
+use crate::fault::fnv1a;
 use crate::metrics;
 use crate::obs::{Obs, SpanKind, Stage};
 use crate::serve::json_str;
@@ -188,11 +189,15 @@ fn serve_connection(mut stream: TcpStream, obs: &Arc<Obs>, token: u64) -> std::i
         None => format!("unparsed -> {}", response.status),
     });
 
+    // Every response carries an FNV-1a digest of its body so a
+    // downstream router (or any client) can reject bytes the wire
+    // mangled in flight — see `cf_runtime::netfault` and DESIGN.md §11.
     let mut head = format!(
-        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\nX-CF-Digest: {:016x}\r\n",
         response.status,
         response.content_type,
         response.body.len(),
+        fnv1a(response.body.as_bytes()),
     );
     if let Some(allow) = response.allow {
         head.push_str(&format!("Allow: {allow}\r\n"));

@@ -4,9 +4,16 @@
 //! to the fault-free run with every job succeeding — retries mask the
 //! panics, checksum verification masks the corruption.
 
+use std::sync::Mutex;
 use std::time::Duration;
 
 use cf_runtime::manifest::{self, JobKind, JobSpec};
+
+/// Serializes the two tests: each runs multiple 4-worker serve runs,
+/// and overlapping them on a small machine can starve a repeated job's
+/// first instance long enough that the repeat no longer hits the cache
+/// — changing which fault decisions get drawn at all.
+static SERIAL: Mutex<()> = Mutex::new(());
 use cf_runtime::serve::{render_record_json, serve_manifest, ServeOptions};
 use cf_runtime::{CacheKey, FaultPlan, FaultSite, FaultSpec, RetryPolicy};
 
@@ -56,6 +63,7 @@ fn chaos_seed(specs: &[JobSpec]) -> (u64, u64) {
 
 #[test]
 fn chaos_run_is_byte_identical_to_fault_free_run() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let text = manifest_text();
     let specs = manifest::parse_manifest(&text).unwrap_or_else(|e| panic!("parse: {e}"));
     let (seed, jobs) = chaos_seed(&specs);
@@ -94,6 +102,7 @@ fn chaos_run_is_byte_identical_to_fault_free_run() {
 
 #[test]
 fn chaos_run_reproduces_exactly_with_same_seed() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let text = manifest_text();
     let specs = manifest::parse_manifest(&text).unwrap_or_else(|e| panic!("parse: {e}"));
     let (seed, _) = chaos_seed(&specs);
