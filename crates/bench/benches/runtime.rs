@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 
-use cf_core::MachineConfig;
+use cf_core::{Machine, MachineConfig};
 use cf_runtime::{JobOptions, Runtime, RuntimeConfig};
 use cf_workloads::nets;
 
@@ -41,6 +41,22 @@ fn bench_runtime(c: &mut Criterion) {
             .join()
             .unwrap()
         })
+    });
+
+    // The cold simulator alone — no pool, no queue, no cache — so the
+    // planner-side optimisations (shape memo, arena, inline shapes) are
+    // measured without the service round-trip.
+    c.bench_function("simulate_cold_direct", |bench| {
+        let machine = Machine::new(MachineConfig::cambricon_f1());
+        bench.iter(|| machine.simulate(black_box(&programs[0])).unwrap())
+    });
+
+    // Same, through the parallel cold path with a 4-thread budget (the
+    // report is byte-identical; the fan-out only pays off on multi-op
+    // programs, so this also tracks its overhead on a single-op one).
+    c.bench_function("simulate_cold_parallel4", |bench| {
+        let machine = Machine::new(MachineConfig::cambricon_f1());
+        bench.iter(|| machine.simulate_parallel(black_box(&programs[0]), 4).unwrap())
     });
 
     // Batch throughput: the same 8-job repeated mix on a cold 1-worker

@@ -7,9 +7,15 @@
 //!
 //! * `cached_speedup` — mean uncached simulate latency over mean cached
 //!   simulate latency for the same `(machine, program)` key. This is
-//!   the number the plan cache exists to produce, so it is the gated
-//!   one: the gate **fails when it regresses more than 20%** below the
-//!   committed baseline (`current < 0.8 × baseline`).
+//!   the number the plan cache exists to produce, so it is gated: the
+//!   gate **fails when it regresses more than 20%** below the committed
+//!   baseline (`current < 0.8 × baseline`).
+//! * `uncached_us` — mean *cold* simulate latency (cache bypassed, full
+//!   planner + model run). The cold path carries its own optimisations
+//!   (shape memo, plan arena, parallel fan-out), so it is **also
+//!   gated**: the gate fails when the measured latency exceeds the
+//!   baseline's as-written value (headroom undone) by more than 20%
+//!   (`current > 1.2 × baseline / headroom`).
 //! * `serve_jobs_per_s` — the 19-job `assets/serve.jobs` manifest
 //!   through `serve_manifest`, end to end (informational).
 //! * `replay_records_per_s` — `scan_valid_prefix` over a synthetic
@@ -57,6 +63,10 @@ const PROFILE_ITERS: u32 = 6;
 const PROFILE_TOP_SIGNATURES: usize = 16;
 /// Gate threshold: fail when cached_speedup < this fraction of baseline.
 const GATE_FRACTION: f64 = 0.8;
+/// Cold-latency gate: fail when measured uncached latency exceeds the
+/// baseline's at-write-time measurement (its committed value with the
+/// `BASELINE_HEADROOM` undone) by more than this factor.
+const COLD_GATE_FACTOR: f64 = 1.2;
 /// Headroom applied by `--write-baseline` (baseline = measured / 2).
 const BASELINE_HEADROOM: f64 = 0.5;
 
@@ -93,10 +103,10 @@ impl Serialize for GateReport {
     }
 }
 
-/// Extracts the gated number from a baseline file (parsed as real JSON;
+/// Extracts a gated number from a baseline file (parsed as real JSON;
 /// older baselines without the newer informational fields still work).
-fn baseline_speedup(text: &str) -> Option<f64> {
-    serde_json::from_str(text).ok()?.get("cached_speedup")?.as_f64()
+fn baseline_field(text: &str, field: &str) -> Option<f64> {
+    serde_json::from_str(text).ok()?.get(field)?.as_f64()
 }
 
 fn measure_cached_speedup() -> (f64, f64, f64) {
@@ -302,10 +312,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let Some(base_speedup) = baseline_speedup(&text) else {
+    let Some(base_speedup) = baseline_field(&text, "cached_speedup") else {
         eprintln!("bench_gate: baseline {} has no cached_speedup", baseline.display());
         return ExitCode::FAILURE;
     };
+    let mut failed = false;
     let floor = base_speedup * GATE_FRACTION;
     if speedup < floor {
         eprintln!(
@@ -313,12 +324,38 @@ fn main() -> ExitCode {
              (baseline {base_speedup:.1}x, gate at {:.0}%)",
             GATE_FRACTION * 100.0,
         );
-        return ExitCode::FAILURE;
+        failed = true;
+    } else {
+        eprintln!(
+            "bench_gate: PASS — cached_speedup {speedup:.1}x >= {floor:.1}x \
+             (baseline {base_speedup:.1}x, gate at {:.0}%)",
+            GATE_FRACTION * 100.0,
+        );
     }
-    eprintln!(
-        "bench_gate: PASS — cached_speedup {speedup:.1}x >= {floor:.1}x \
-         (baseline {base_speedup:.1}x, gate at {:.0}%)",
-        GATE_FRACTION * 100.0,
-    );
-    ExitCode::SUCCESS
+    // Cold-latency gate. Older baselines predate the field; skip then.
+    if let Some(base_uncached) = baseline_field(&text, "uncached_us") {
+        let uncached_us = uncached_s * 1e6;
+        let ceiling = base_uncached / BASELINE_HEADROOM * COLD_GATE_FACTOR;
+        if uncached_us > ceiling {
+            eprintln!(
+                "bench_gate: FAIL — cold simulate {uncached_us:.1}µs is above {ceiling:.1}µs \
+                 (baseline {base_uncached:.1}µs, headroom undone, +{:.0}% allowed)",
+                (COLD_GATE_FACTOR - 1.0) * 100.0,
+            );
+            failed = true;
+        } else {
+            eprintln!(
+                "bench_gate: PASS — cold simulate {uncached_us:.1}µs <= {ceiling:.1}µs \
+                 (baseline {base_uncached:.1}µs, headroom undone, +{:.0}% allowed)",
+                (COLD_GATE_FACTOR - 1.0) * 100.0,
+            );
+        }
+    } else {
+        eprintln!("bench_gate: baseline has no uncached_us; cold gate skipped");
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

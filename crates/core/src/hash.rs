@@ -1,0 +1,95 @@
+//! A small multiplicative hasher for the simulator's hot lookup tables.
+//!
+//! The outcome cache and the shape memo probe on every subtree visit; the
+//! default SipHash costs more than the probes themselves. Keys are
+//! internal (never attacker-controlled), so a fast non-cryptographic mix
+//! is appropriate. Collisions only cost an extra equality check — both
+//! tables compare keys exactly.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Rotate-xor-multiply word hasher (the rustc `FxHash` construction).
+#[derive(Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_word(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(buf) ^ rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_word(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` plugging [`FxHasher`] into `HashMap`.
+pub(crate) type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_inputs_distinct_hashes() {
+        let h = |words: &[u64]| {
+            let mut hh = FxHasher::default();
+            for &w in words {
+                hh.write_u64(w);
+            }
+            hh.finish()
+        };
+        assert_ne!(h(&[1, 2]), h(&[2, 1]));
+        assert_ne!(h(&[0]), h(&[0, 0]));
+    }
+
+    #[test]
+    fn byte_and_word_paths_are_deterministic() {
+        let mut a = FxHasher::default();
+        a.write(b"hello world tail");
+        let mut b = FxHasher::default();
+        b.write(b"hello world tail");
+        assert_eq!(a.finish(), b.finish());
+    }
+}

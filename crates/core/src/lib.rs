@@ -42,12 +42,15 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod arena;
 mod config;
 mod error;
 pub mod exec;
 pub mod fault;
+mod hash;
 pub mod inspect;
 mod machine;
+pub mod memo;
 pub mod memory;
 pub mod perf;
 pub mod plan;

@@ -104,6 +104,27 @@ impl Machine {
         Ok(self.report_of(out))
     }
 
+    /// Simulates `program` with unique cold subtrees fanned out across up
+    /// to `threads` worker threads (`threads <= 1` runs sequentially),
+    /// additionally returning the cold-path instrumentation counters. The
+    /// report is byte-identical to [`Machine::simulate`] — the parallel
+    /// pass only pre-computes outcome-cache entries the sequential walk
+    /// would produce anyway.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning errors.
+    pub fn simulate_parallel(
+        &self,
+        program: &Program,
+        threads: usize,
+    ) -> Result<(PerfReport, crate::perf::ColdStats), CoreError> {
+        let sim = PerfSim::new(&self.config);
+        let out = sim.simulate_parallel(program, threads)?;
+        let cold = sim.cold_stats();
+        Ok((self.report_of(out), cold))
+    }
+
     /// Simulates `program` with profiling on, additionally returning the
     /// per-level / per-signature attribution with the `top` hottest
     /// signatures (see [`crate::profile`]). Timing results are identical

@@ -29,6 +29,9 @@ use cf_isa::{Instruction, Program};
 use cf_ops::cost;
 use cf_tensor::Region;
 
+use crate::arena::PlanArena;
+use crate::hash::FxBuildHasher;
+use crate::memo::PlanMemo;
 use crate::plan::{NodePlan, Planner, Space, Step};
 use crate::profile::{ProfileReport, ProfileState};
 use crate::stats::Stats;
@@ -83,18 +86,42 @@ pub struct StepSchedule {
 #[derive(Debug)]
 pub struct PerfSim<'a> {
     planner: Planner<'a>,
-    cache: RefCell<HashMap<Key, Rc<NodeOutcome>>>,
+    cache: RefCell<HashMap<Key, Rc<NodeOutcome>, FxBuildHasher>>,
+    /// Shape-level split memo shared by every plan of this run.
+    plan_memo: PlanMemo,
+    /// Pooled plan buffers, refilled as timed plans are retired.
+    arena: PlanArena,
+    /// Subtree simulations fanned out by [`PerfSim::simulate_parallel`].
+    parallel_tasks: std::cell::Cell<u64>,
     /// Opt-in attribution state; `None` keeps the hot path to one branch.
     profile: Option<RefCell<ProfileState>>,
+}
+
+/// Cold-path instrumentation of one simulation run. Deliberately *not*
+/// part of [`crate::PerfReport`]: the optimized and naive paths must
+/// produce byte-identical reports, and these counters differ by design.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ColdStats {
+    /// Split decisions served from the shape memo.
+    pub shape_memo_hits: u64,
+    /// Split decisions computed (and cached).
+    pub shape_memo_misses: u64,
+    /// High-water bytes of plan buffers retained by the arena.
+    pub arena_bytes: u64,
+    /// Subtree simulations fanned out to worker threads
+    /// (0 on the sequential path).
+    pub parallel_tasks: u64,
 }
 
 #[derive(Debug, PartialEq, Eq, Hash)]
 struct Key {
     level: usize,
     op: cf_isa::Opcode,
-    params: String,
-    in_dims: Vec<Vec<usize>>,
-    out_dims: Vec<Vec<usize>>,
+    params: [u64; 8],
+    /// Operand shapes flattened as `input count, (rank, dims…)*` with
+    /// inputs before outputs — injective, and two allocations cheaper per
+    /// cache probe than nested per-operand vectors.
+    dims: Vec<u64>,
     resident: u32,
     shared: Vec<u32>,
 }
@@ -105,12 +132,19 @@ fn mask(bits: &[bool]) -> u32 {
 
 impl Key {
     fn new(level: usize, inst: &Instruction, resident: &[bool], shared: &[u32]) -> Self {
+        let operands = inst.inputs.len() + inst.outputs.len();
+        let mut dims = Vec::with_capacity(1 + 5 * operands);
+        dims.push(inst.inputs.len() as u64);
+        for r in inst.inputs.iter().chain(&inst.outputs) {
+            let d = r.shape().dims();
+            dims.push(d.len() as u64);
+            dims.extend(d.iter().map(|&x| x as u64));
+        }
         Key {
             level,
             op: inst.op,
-            params: format!("{:?}", inst.params),
-            in_dims: inst.inputs.iter().map(|r| r.shape().dims().to_vec()).collect(),
-            out_dims: inst.outputs.iter().map(|r| r.shape().dims().to_vec()).collect(),
+            params: inst.params.stable_bits(),
+            dims,
             resident: mask(resident),
             shared: shared.to_vec(),
         }
@@ -132,14 +166,39 @@ impl PerfSim<'_> {
 impl<'a> PerfSim<'a> {
     /// A simulator over `cfg`.
     pub fn new(cfg: &'a MachineConfig) -> Self {
-        PerfSim { planner: Planner::new(cfg), cache: RefCell::new(HashMap::new()), profile: None }
+        PerfSim {
+            planner: Planner::new(cfg),
+            cache: RefCell::new(HashMap::default()),
+            plan_memo: PlanMemo::new(),
+            arena: PlanArena::new(),
+            parallel_tasks: std::cell::Cell::new(0),
+            profile: None,
+        }
+    }
+
+    /// The naive reference simulator: no shape memo, no buffer reuse —
+    /// the planner recomputes every split from the real operand
+    /// addresses. Differential tests compare its output (which must be
+    /// byte-identical) against [`PerfSim::new`].
+    pub fn naive(cfg: &'a MachineConfig) -> Self {
+        PerfSim {
+            planner: Planner::new(cfg),
+            cache: RefCell::new(HashMap::default()),
+            plan_memo: PlanMemo::disabled(),
+            arena: PlanArena::new(),
+            parallel_tasks: std::cell::Cell::new(0),
+            profile: None,
+        }
     }
 
     /// A simulator over `cfg` with per-level/per-signature profiling on.
     pub fn with_profiling(cfg: &'a MachineConfig) -> Self {
         PerfSim {
             planner: Planner::new(cfg),
-            cache: RefCell::new(HashMap::new()),
+            cache: RefCell::new(HashMap::default()),
+            plan_memo: PlanMemo::new(),
+            arena: PlanArena::new(),
+            parallel_tasks: std::cell::Cell::new(0),
             profile: Some(RefCell::new(ProfileState::default())),
         }
     }
@@ -147,7 +206,22 @@ impl<'a> PerfSim<'a> {
     /// The accumulated profile with the `top` hottest signatures, or
     /// `None` when the simulator was built without profiling.
     pub fn profile_report(&self, makespan_s: f64, top: usize) -> Option<ProfileReport> {
-        self.profile.as_ref().map(|p| p.borrow().report(makespan_s, top))
+        self.profile.as_ref().map(|p| {
+            let mut report = p.borrow().report(makespan_s, top);
+            report.shape_memo_hits = self.plan_memo.hits();
+            report.shape_memo_misses = self.plan_memo.misses();
+            report
+        })
+    }
+
+    /// Cold-path counters accumulated so far.
+    pub fn cold_stats(&self) -> ColdStats {
+        ColdStats {
+            shape_memo_hits: self.plan_memo.hits(),
+            shape_memo_misses: self.plan_memo.misses(),
+            arena_bytes: self.arena.high_water_bytes(),
+            parallel_tasks: self.parallel_tasks.get(),
+        }
     }
 
     fn cfg(&self) -> &MachineConfig {
@@ -161,8 +235,113 @@ impl<'a> PerfSim<'a> {
     ///
     /// Propagates planning errors.
     pub fn simulate(&self, program: &Program) -> Result<NodeOutcome, CoreError> {
-        let plan = self.planner.plan_root(program.instructions(), program.extern_elems())?;
-        self.time_plan(0, &plan, &[], &[], None)
+        let plan = self.planner.plan_root_with(
+            program.instructions(),
+            program.extern_elems(),
+            &self.plan_memo,
+            &self.arena,
+        )?;
+        let out = self.time_plan(0, &plan, &[], &[], None)?;
+        self.recycle(plan);
+        Ok(out)
+    }
+
+    /// Returns a consumed plan's buffers to the arena.
+    fn recycle(&self, plan: NodePlan) {
+        self.arena.put_steps(plan.steps);
+    }
+
+    /// [`PerfSim::simulate`] with the cold subtree work fanned out across
+    /// up to `threads` worker threads.
+    ///
+    /// The root plan exposes the program's level-1 frontier; each *unique*
+    /// uncached child signature is simulated on a worker with its own
+    /// fresh [`PerfSim`], and the results are used to [`PerfSim::warm`]
+    /// this simulator's outcome cache. The final sequential walk then
+    /// finds every frontier subtree already cached. The merge is
+    /// deterministic: an outcome is a pure function of `(config, level,
+    /// signature, masks)`, so a warmed entry is bit-identical to what the
+    /// sequential walk would have computed, and the walk order itself
+    /// never changes. A worker that fails merely skips warming — the
+    /// sequential walk recomputes (and re-reports) the failure
+    /// deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning errors.
+    pub fn simulate_parallel(
+        &self,
+        program: &Program,
+        threads: usize,
+    ) -> Result<NodeOutcome, CoreError> {
+        let plan = self.planner.plan_root_with(
+            program.instructions(),
+            program.extern_elems(),
+            &self.plan_memo,
+            &self.arena,
+        )?;
+        if threads >= 2 {
+            // Unique uncached level-1 signatures, in first-appearance order.
+            let mut seen: std::collections::HashSet<Key, FxBuildHasher> =
+                std::collections::HashSet::default();
+            let mut tasks: Vec<&crate::plan::ChildInst> = Vec::new();
+            for step in &plan.steps {
+                for child in &step.child_insts {
+                    let key =
+                        Key::new(1, &child.inst, &child.resident_inputs, &child.shared_inputs);
+                    if self.cache.borrow().contains_key(&key) {
+                        continue;
+                    }
+                    if seen.insert(key) {
+                        tasks.push(child);
+                    }
+                }
+            }
+            if tasks.len() >= 2 {
+                let cfg = self.cfg();
+                let workers = threads.min(tasks.len());
+                // Round-robin so similar-cost neighbours spread out.
+                let mut chunks: Vec<Vec<&crate::plan::ChildInst>> = vec![Vec::new(); workers];
+                for (i, t) in tasks.iter().enumerate() {
+                    chunks[i % workers].push(t);
+                }
+                let results: Vec<Vec<Option<NodeOutcome>>> = std::thread::scope(|s| {
+                    let handles: Vec<_> = chunks
+                        .iter()
+                        .map(|chunk| {
+                            s.spawn(move || {
+                                let sim = PerfSim::new(cfg);
+                                chunk
+                                    .iter()
+                                    .map(|c| {
+                                        sim.time_incoming(
+                                            1,
+                                            &c.inst,
+                                            &c.resident_inputs,
+                                            &c.shared_inputs,
+                                        )
+                                        .ok()
+                                        .map(|rc| (*rc).clone())
+                                    })
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap_or_default()).collect()
+                });
+                for (chunk, outs) in chunks.iter().zip(results) {
+                    for (c, out) in chunk.iter().zip(outs) {
+                        if let Some(o) = out {
+                            self.warm(1, &c.inst, &c.resident_inputs, &c.shared_inputs, o);
+                            self.parallel_tasks.set(self.parallel_tasks.get() + 1);
+                        }
+                    }
+                }
+            }
+        }
+        let out = self.time_plan(0, &plan, &[], &[], None)?;
+        self.recycle(plan);
+        Ok(out)
     }
 
     /// Simulates one parent-space instruction arriving at `level`.
@@ -187,13 +366,33 @@ impl<'a> PerfSim<'a> {
         if let Some(p) = &self.profile {
             p.borrow_mut().begin_compute();
         }
-        let plan = self.planner.plan_instruction(level, inst, false)?;
+        let plan =
+            self.planner.plan_instruction_with(level, inst, false, &self.plan_memo, &self.arena)?;
         let outcome = Rc::new(self.time_plan(level, &plan, resident, shared, Some(inst))?);
+        self.recycle(plan);
         if let Some(p) = &self.profile {
             p.borrow_mut().end_compute(level, inst, resident, shared, &outcome);
         }
         self.cache.borrow_mut().insert(key, Rc::clone(&outcome));
         Ok(outcome)
+    }
+
+    /// Pre-populates the outcome memo with an externally computed subtree
+    /// result (the parallel cold path computes unique signatures on worker
+    /// threads, then warms the main simulator's cache with them). Sound
+    /// because an outcome is a pure function of `(config, level,
+    /// instruction signature, masks)` — a warmed entry is exactly what a
+    /// sequential walk would have computed and cached.
+    pub fn warm(
+        &self,
+        level: usize,
+        inst: &Instruction,
+        resident: &[bool],
+        shared: &[u32],
+        outcome: NodeOutcome,
+    ) {
+        let key = Key::new(level, inst, resident, shared);
+        self.cache.borrow_mut().entry(key).or_insert_with(|| Rc::new(outcome));
     }
 
     /// The planner in use (for timeline extraction).
@@ -674,6 +873,29 @@ mod tests {
             &mm,
         );
         assert!((b0.0 - b1.0).abs() / b0.0 < 0.05);
+    }
+
+    #[test]
+    fn parallel_simulate_is_bit_identical_and_fans_out() {
+        // Several distinct-shape instructions so the level-1 frontier has
+        // multiple unique signatures to fan out.
+        let mut b = ProgramBuilder::new();
+        for n in [256usize, 384, 512] {
+            let a = b.alloc(&format!("a{n}"), vec![n, n]);
+            let w = b.alloc(&format!("w{n}"), vec![n, n]);
+            b.apply(Opcode::MatMul, [a, w]).unwrap();
+        }
+        let p = b.build();
+        let cfg = MachineConfig::cambricon_f1();
+        let seq = PerfSim::new(&cfg);
+        let seq_out = seq.simulate(&p).unwrap();
+        let par = PerfSim::new(&cfg);
+        let par_out = par.simulate_parallel(&p, 4).unwrap();
+        assert_eq!(seq_out.makespan.to_bits(), par_out.makespan.to_bits());
+        assert_eq!(seq_out.steady.to_bits(), par_out.steady.to_bits());
+        assert_eq!(seq_out.stats, par_out.stats);
+        assert!(par.cold_stats().parallel_tasks >= 2, "frontier should fan out");
+        assert_eq!(seq.cold_stats().parallel_tasks, 0);
     }
 
     #[test]

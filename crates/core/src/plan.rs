@@ -18,6 +18,8 @@ use cf_ops::cost;
 use cf_ops::fractal::{ReduceKind, SplitOutcome};
 use cf_tensor::{Region, Shape, ELEM_BYTES};
 
+use crate::arena::PlanArena;
+use crate::memo::{self, MemoKind, PlanMemo};
 use crate::memory::SegmentedAllocator;
 use crate::ttt::Ttt;
 use crate::{CoreError, MachineConfig};
@@ -173,21 +175,45 @@ impl<'a> Planner<'a> {
     }
 
     /// Extra local bytes a PD split of `inst` would need for partials.
-    fn pd_partial_bytes(&self, level: usize, inst: &Instruction) -> u64 {
+    ///
+    /// Fast path on the memoized route: [`Planner::parallel_split_raw`]
+    /// produces a `Direct` outcome (zero partials) exactly when the
+    /// two-way direct split of the whole instruction succeeds — the
+    /// halving loop only ever keeps going from that seed — so the full
+    /// grid never needs to be built just to learn the partial footprint.
+    /// Only the reduce fallback's partials must be sized for real.
+    fn pd_partial_bytes(&self, level: usize, inst: &Instruction, mm: &PlanMemo) -> u64 {
         let fanout = self.cfg.fanout_at(level);
         if fanout == 0 || inst.op == Opcode::Merge1D {
             return 0;
         }
-        match self.parallel_split(inst, fanout) {
-            Some(SplitOutcome::Reduce { pieces, .. }) => {
-                pieces.iter().flat_map(|p| p.partial_shapes.iter()).map(Shape::bytes).sum()
-            }
-            _ => 0,
+        if !mm.is_enabled() {
+            return match self.parallel_split_raw(inst, fanout, mm) {
+                Some(SplitOutcome::Reduce { pieces, .. }) => {
+                    pieces.iter().flat_map(|p| p.partial_shapes.iter()).map(Shape::bytes).sum()
+                }
+                _ => 0,
+            };
         }
+        if fanout >= 2 {
+            if let Some(SplitOutcome::Direct(pieces)) = self.direct_split(inst, 2, mm) {
+                if pieces.len() >= 2 {
+                    return 0;
+                }
+            }
+        }
+        let kind = MemoKind::PdFallback { n: fanout };
+        if let Some(bytes) = mm.lookup(inst, kind, memo::partial_bytes_of) {
+            return bytes;
+        }
+        let outcome = self.parallel_split_raw(&memo::canonical(inst), fanout, mm);
+        let bytes = memo::partial_bytes_of(&outcome);
+        mm.insert(inst, kind, outcome);
+        bytes
     }
 
     /// Bytes of local staging one step of `sd` needs.
-    fn step_footprint(&self, level: usize, sd: &SdInst) -> u64 {
+    fn step_footprint(&self, level: usize, sd: &SdInst, mm: &PlanMemo) -> u64 {
         if sd.inst.op == Opcode::Merge1D {
             return 0; // streams through the node
         }
@@ -200,7 +226,7 @@ impl<'a> Planner<'a> {
             .filter(|(_, s)| **s == Space::Parent)
             .map(|(r, _)| r.bytes())
             .sum();
-        staged + self.pd_partial_bytes(level, &sd.inst)
+        staged + self.pd_partial_bytes(level, &sd.inst, mm)
     }
 
     /// Sequential decomposition: split `sd` until each piece fits one
@@ -216,6 +242,7 @@ impl<'a> Planner<'a> {
         parity: bool,
         out: &mut Vec<SdItem>,
         resident_base: bool,
+        mm: &PlanMemo,
     ) -> Result<(), CoreError> {
         let cap = if resident_base {
             // Root operands are already resident in the global memory: only
@@ -225,9 +252,9 @@ impl<'a> Planner<'a> {
             self.seg_cap_bytes(level)
         };
         let footprint = if resident_base {
-            self.pd_partial_bytes(level, &sd.inst)
+            self.pd_partial_bytes(level, &sd.inst, mm)
         } else {
-            self.step_footprint(level, &sd)
+            self.step_footprint(level, &sd, mm)
         };
         if footprint <= cap {
             out.push(SdItem::Inst(sd));
@@ -241,7 +268,7 @@ impl<'a> Planner<'a> {
         // partials and for the `g(·)` work, and are infeasible when the
         // partials exceed the remaining static segment.
         let static_avail = alloc.static_remaining() * ELEM_BYTES;
-        let Some(outcome) = self.choose_sd_split(level, &sd.inst, static_avail) else {
+        let Some(outcome) = self.choose_sd_split(level, &sd.inst, static_avail, mm) else {
             return Err(CoreError::CapacityExceeded { level, needed: footprint, available: cap });
         };
         match outcome {
@@ -252,7 +279,7 @@ impl<'a> Planner<'a> {
                         input_space: sd.input_space.clone(),
                         output_space: sd.output_space.clone(),
                     };
-                    self.sd_rec(level, piece_sd, alloc, base, parity, out, resident_base)?;
+                    self.sd_rec(level, piece_sd, alloc, base, parity, out, resident_base, mm)?;
                 }
             }
             SplitOutcome::Reduce { pieces, kind }
@@ -288,7 +315,7 @@ impl<'a> Planner<'a> {
                         input_space: sd.input_space.clone(),
                         output_space: vec![Space::Local],
                     };
-                    self.sd_rec(level, piece_sd, alloc, base, parity, out, resident_base)?;
+                    self.sd_rec(level, piece_sd, alloc, base, parity, out, resident_base, mm)?;
                     if i > 0 {
                         out.push(SdItem::Reduce(ReduceStep {
                             kind,
@@ -350,7 +377,7 @@ impl<'a> Planner<'a> {
                         input_space: sd.input_space.clone(),
                         output_space: vec![Space::Local; regions.len()],
                     };
-                    self.sd_rec(level, piece_sd, alloc, base, parity, out, resident_base)?;
+                    self.sd_rec(level, piece_sd, alloc, base, parity, out, resident_base, mm)?;
                 }
                 // SD-level reductions stream partials (local) into the
                 // destination (usually parent space).
@@ -410,7 +437,30 @@ impl<'a> Planner<'a> {
     /// SD's axis choice: a two-way split minimising byte overhead plus the
     /// byte-equivalent of the reduction work; reductions whose partials
     /// would overflow the static segment are infeasible.
+    ///
+    /// Memoized on the canonical instruction (plus level and static
+    /// headroom, which both influence the choice) and rebased on a hit.
     fn choose_sd_split(
+        &self,
+        level: usize,
+        inst: &Instruction,
+        static_avail_bytes: u64,
+        mm: &PlanMemo,
+    ) -> Option<SplitOutcome> {
+        if !mm.is_enabled() {
+            return self.choose_sd_split_raw(level, inst, static_avail_bytes);
+        }
+        let kind = MemoKind::Sd { level, static_avail: static_avail_bytes };
+        if let Some(cached) = mm.lookup(inst, kind, |v| v.as_ref().map(|c| memo::rebase(c, inst))) {
+            return cached;
+        }
+        let outcome = self.choose_sd_split_raw(level, &memo::canonical(inst), static_avail_bytes);
+        let rebased = outcome.as_ref().map(|c| memo::rebase(c, inst));
+        mm.insert(inst, kind, outcome);
+        rebased
+    }
+
+    fn choose_sd_split_raw(
         &self,
         level: usize,
         inst: &Instruction,
@@ -508,6 +558,22 @@ impl<'a> Planner<'a> {
         best.map(|(_, o)| o)
     }
 
+    /// Multi-axis parallel split filling up to `n` slots, memoized on the
+    /// canonical instruction and rebased on a hit.
+    fn parallel_split(&self, inst: &Instruction, n: usize, mm: &PlanMemo) -> Option<SplitOutcome> {
+        if !mm.is_enabled() {
+            return self.parallel_split_raw(inst, n, mm);
+        }
+        let kind = MemoKind::Parallel { n };
+        if let Some(cached) = mm.lookup(inst, kind, |v| v.as_ref().map(|c| memo::rebase(c, inst))) {
+            return cached;
+        }
+        let outcome = self.parallel_split_raw(&memo::canonical(inst), n, mm);
+        let rebased = outcome.as_ref().map(|c| memo::rebase(c, inst));
+        mm.insert(inst, kind, outcome);
+        rebased
+    }
+
     /// Multi-axis parallel split filling up to `n` slots.
     ///
     /// Builds a balanced grid by repeatedly halving every piece along its
@@ -515,7 +581,12 @@ impl<'a> Planner<'a> {
     /// grows), so each FFU receives a compact, high-intensity tile. When no
     /// direct axis exists at all, falls back to an `n`-way output-dependent
     /// split whose partials the reduction controller combines.
-    fn parallel_split(&self, inst: &Instruction, n: usize) -> Option<SplitOutcome> {
+    fn parallel_split_raw(
+        &self,
+        inst: &Instruction,
+        n: usize,
+        mm: &PlanMemo,
+    ) -> Option<SplitOutcome> {
         if n < 2 {
             return None;
         }
@@ -524,7 +595,7 @@ impl<'a> Planner<'a> {
             let mut next = Vec::with_capacity(pieces.len() * 2);
             let mut progressed = false;
             for piece in &pieces {
-                match choose_direct_split(piece, 2) {
+                match self.direct_split(piece, 2, mm) {
                     Some(SplitOutcome::Direct(sub)) if sub.len() >= 2 => {
                         progressed = true;
                         next.extend(sub);
@@ -541,6 +612,27 @@ impl<'a> Planner<'a> {
             return Some(SplitOutcome::Direct(pieces));
         }
         self.choose_pd_split(inst, n)
+    }
+
+    /// [`choose_direct_split`], memoized: the halving recursion above
+    /// revisits the same piece shape many times per grid.
+    fn direct_split(
+        &self,
+        inst: &Instruction,
+        parts: usize,
+        mm: &PlanMemo,
+    ) -> Option<SplitOutcome> {
+        if !mm.is_enabled() {
+            return choose_direct_split(inst, parts);
+        }
+        let kind = MemoKind::Direct { parts };
+        if let Some(cached) = mm.lookup(inst, kind, |v| v.as_ref().map(|c| memo::rebase(c, inst))) {
+            return cached;
+        }
+        let outcome = choose_direct_split(&memo::canonical(inst), parts);
+        let rebased = outcome.as_ref().map(|c| memo::rebase(c, inst));
+        mm.insert(inst, kind, outcome);
+        rebased
     }
 
     /// Whether an instruction should run on this node's LFU rather than be
@@ -587,6 +679,20 @@ impl<'a> Planner<'a> {
         inst: &Instruction,
         parity: bool,
     ) -> Result<NodePlan, CoreError> {
+        self.plan_instruction_with(level, inst, parity, &PlanMemo::new(), &PlanArena::new())
+    }
+
+    /// [`Planner::plan_instruction`] against caller-owned memoization and
+    /// arena state, so split decisions and buffers are shared across many
+    /// plans (the performance simulator keeps both for a whole run).
+    pub fn plan_instruction_with(
+        &self,
+        level: usize,
+        inst: &Instruction,
+        parity: bool,
+        memo: &PlanMemo,
+        arena: &PlanArena,
+    ) -> Result<NodePlan, CoreError> {
         let mem_elems = self.cfg.mem_bytes_at(level) / ELEM_BYTES;
         let mut alloc = SegmentedAllocator::new(mem_elems);
         let mut items = Vec::new();
@@ -598,8 +704,9 @@ impl<'a> Planner<'a> {
             parity,
             &mut items,
             false,
+            memo,
         )?;
-        self.build_steps(level, items, alloc, 0)
+        self.build_steps(level, items, alloc, 0, memo, arena)
     }
 
     /// Plans the whole program at the root, whose operands are resident in
@@ -615,6 +722,22 @@ impl<'a> Planner<'a> {
         instructions: &[Instruction],
         scratch_base: u64,
     ) -> Result<NodePlan, CoreError> {
+        self.plan_root_with(instructions, scratch_base, &PlanMemo::new(), &PlanArena::new())
+    }
+
+    /// [`Planner::plan_root`] against caller-owned memoization and arena
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Planner::plan_instruction`].
+    pub fn plan_root_with(
+        &self,
+        instructions: &[Instruction],
+        scratch_base: u64,
+        memo: &PlanMemo,
+        arena: &PlanArena,
+    ) -> Result<NodePlan, CoreError> {
         // The global memory the program lives in is the root node's memory
         // (§3.1): the root itself only needs allocator headroom for PD
         // partials, placed in scratch space above the program footprint.
@@ -628,18 +751,20 @@ impl<'a> Planner<'a> {
             // Operands are already local.
             sd.input_space = vec![Space::Local; sd.inst.inputs.len()];
             sd.output_space = vec![Space::Local; sd.inst.outputs.len()];
-            self.sd_rec(0, sd, &mut alloc, scratch_base, i % 2 == 1, &mut items, true)?;
+            self.sd_rec(0, sd, &mut alloc, scratch_base, i % 2 == 1, &mut items, true, memo)?;
         }
-        self.build_steps(0, items, alloc, scratch_base)
+        self.build_steps(0, items, alloc, scratch_base, memo, arena)
     }
 
     /// DD + PD + RC over the SD item list.
     fn build_steps(
         &self,
         level: usize,
-        items: Vec<SdItem>,
+        mut items: Vec<SdItem>,
         mut alloc: SegmentedAllocator,
         base: u64,
+        memo: &PlanMemo,
+        arena: &PlanArena,
     ) -> Result<NodePlan, CoreError> {
         let opts = self.cfg.opts;
         let is_leaf = self.cfg.is_leaf(level);
@@ -648,14 +773,15 @@ impl<'a> Planner<'a> {
         // segments can keep alive between two of its FISA cycles.
         let child_resident_cap = self.cfg.mem_bytes_at(level + 1) / 8;
         let mut ttt = Ttt::new();
-        let mut steps: Vec<Step> = Vec::with_capacity(items.len());
+        let mut steps: Vec<Step> = arena.take_steps();
+        steps.reserve(items.len());
         // FISA cycles advance on instruction steps only: reduce steps
         // allocate no recycled memory, so counting them would let a
         // still-valid TTT record's segment be recycled under it.
         let mut inst_cycle = 0usize;
 
-        for item in items {
-            let mut step = Step::default();
+        for item in items.drain(..) {
+            let mut step = arena.take_step();
             match item {
                 SdItem::Reduce(r) => {
                     // SD-level reduction: partial regions are already
@@ -677,7 +803,7 @@ impl<'a> Planner<'a> {
                     ttt.invalidate_local_range(seg_lo + base, seg_hi + base);
                     // --- DD: bind local addresses -----------------------
                     let mut local_inputs = Vec::with_capacity(sd.inst.inputs.len());
-                    let mut loads = Vec::new();
+                    let mut loads = std::mem::take(&mut step.loads);
                     let mut elided = 0u64;
                     for (region, space) in sd.inst.inputs.iter().zip(&sd.input_space) {
                         match space {
@@ -698,7 +824,7 @@ impl<'a> Planner<'a> {
                         }
                     }
                     let mut local_outputs = Vec::with_capacity(sd.inst.outputs.len());
-                    let mut stores = Vec::new();
+                    let mut stores = std::mem::take(&mut step.stores);
                     for (region, space) in sd.inst.outputs.iter().zip(&sd.output_space) {
                         match space {
                             Space::Local => local_outputs.push(region.clone()),
@@ -736,7 +862,7 @@ impl<'a> Planner<'a> {
                     if is_leaf || self.route_to_lfu(level, &local_inst) {
                         step.local_exec = Some(local_inst);
                     } else {
-                        match self.parallel_split(&local_inst, fanout.max(1)) {
+                        match self.parallel_split(&local_inst, fanout.max(1), memo) {
                             Some(SplitOutcome::Direct(pieces)) => {
                                 step.child_insts =
                                     annotate_pieces(pieces, &steps, opts.ttt, child_resident_cap);
@@ -838,12 +964,19 @@ fn annotate_pieces(
     max_resident_bytes: u64,
 ) -> Vec<ChildInst> {
     // Share count per (input index, region): how many sibling pieces read
-    // the identical region.
-    let mut counts: std::collections::HashMap<(usize, &Region), u32> =
-        std::collections::HashMap::new();
+    // the identical region. Pieces are few (at most the fan-out), so a
+    // linear probe per input position beats hashing whole regions — the
+    // offset comparison rejects distinct regions on the first word.
+    let mut groups: Vec<Vec<(&Region, u32)>> = Vec::new();
     for p in &pieces {
         for (i, r) in p.inputs.iter().enumerate() {
-            *counts.entry((i, r)).or_insert(0) += 1;
+            if groups.len() <= i {
+                groups.resize_with(i + 1, Vec::new);
+            }
+            match groups[i].iter_mut().find(|(g, _)| *g == r) {
+                Some((_, c)) => *c += 1,
+                None => groups[i].push((r, 1)),
+            }
         }
     }
     let shared: Vec<Vec<u32>> = pieces
@@ -852,7 +985,7 @@ fn annotate_pieces(
             p.inputs
                 .iter()
                 .enumerate()
-                .map(|(i, r)| counts.get(&(i, r)).copied().unwrap_or(1))
+                .map(|(i, r)| groups[i].iter().find(|(g, _)| *g == r).map(|(_, c)| *c).unwrap_or(1))
                 .collect()
         })
         .collect();

@@ -179,6 +179,11 @@ pub struct ProfileReport {
     pub levels: Vec<LevelProfile>,
     /// Hottest signatures by inclusive time, descending.
     pub signatures: Vec<SignatureProfile>,
+    /// Split decisions the planner served from the shape-level memo
+    /// (cold-path optimisation; see [`crate::memo`]).
+    pub shape_memo_hits: u64,
+    /// Split decisions the planner computed and cached.
+    pub shape_memo_misses: u64,
 }
 
 impl ProfileReport {
@@ -201,11 +206,14 @@ impl ProfileReport {
     pub fn render_table(&self, cfg: &MachineConfig) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "profile on {}: makespan {:.6e} s, memo {} hit / {} miss, concat saved {:.3e} s\n",
+            "profile on {}: makespan {:.6e} s, memo {} hit / {} miss, shape memo {} hit / {} \
+             miss, concat saved {:.3e} s\n",
             cfg.name,
             self.makespan_s,
             self.memo_hits(),
             self.memo_misses(),
+            self.shape_memo_hits,
+            self.shape_memo_misses,
             self.concat_saved_s(),
         ));
         out.push_str(
@@ -492,7 +500,7 @@ impl ProfileState {
                 .then_with(|| a.detail.cmp(&b.detail))
         });
         signatures.truncate(top);
-        ProfileReport { makespan_s, levels, signatures }
+        ProfileReport { makespan_s, levels, signatures, shape_memo_hits: 0, shape_memo_misses: 0 }
     }
 }
 

@@ -212,6 +212,37 @@ impl OpParams {
         }
     }
 
+    /// A stable, injective integer encoding of the parameters, suitable
+    /// for hashing and exact equality in memoization keys. Float fields
+    /// are compared by bit pattern, so two parameter values encode
+    /// equally if and only if they are byte-identical.
+    pub fn stable_bits(&self) -> [u64; 8] {
+        let pad = |p: Pad| ((p.before as u64) << 32) | (p.after as u64 & 0xffff_ffff);
+        match self {
+            OpParams::None => [0; 8],
+            OpParams::Conv(c) => {
+                [1, c.stride as u64, pad(c.pads[0]), pad(c.pads[1]), pad(c.pads[2]), 0, 0, 0]
+            }
+            OpParams::Pool(p) => {
+                [2, p.kh as u64, p.kw as u64, p.stride as u64, pad(p.pads[0]), pad(p.pads[1]), 0, 0]
+            }
+            OpParams::Lrn(l) => [
+                3,
+                l.size as u64,
+                l.alpha.to_bits() as u64,
+                l.beta.to_bits() as u64,
+                l.k.to_bits() as u64,
+                0,
+                0,
+                0,
+            ],
+            OpParams::Act(k) => [4, *k as u64, 0, 0, 0, 0, 0, 0],
+            OpParams::Count(c) => {
+                [5, c.value.to_bits() as u64, c.tol.to_bits() as u64, 0, 0, 0, 0, 0]
+            }
+        }
+    }
+
     /// The count attributes, or defaults if absent.
     ///
     /// # Panics

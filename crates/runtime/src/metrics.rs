@@ -96,7 +96,7 @@ pub fn render(
     let inst: &[(&str, &str)] = &[("instance", instance)];
 
     // -- Runtime counters -------------------------------------------------
-    let counters: [(&'static str, &'static str, Option<u64>); 21] = [
+    let counters: [(&'static str, &'static str, Option<u64>); 24] = [
         ("cf_jobs_submitted_total", "Jobs accepted into the queue.", snap.map(|s| s.submitted)),
         ("cf_jobs_completed_total", "Jobs finished with Ok.", snap.map(|s| s.completed)),
         ("cf_jobs_failed_total", "Jobs finished with Err.", snap.map(|s| s.failed)),
@@ -139,6 +139,21 @@ pub fn render(
             "cf_journal_bytes_reclaimed_total",
             "Bytes reclaimed from the serve journal by compaction.",
             snap.map(|s| s.journal_bytes_reclaimed),
+        ),
+        (
+            "cf_cold_simulate_memo_hits_total",
+            "Shape-memo hits across cold (uncached) simulations.",
+            snap.map(|s| s.cold_memo_hits),
+        ),
+        (
+            "cf_cold_simulate_memo_misses_total",
+            "Shape-memo misses across cold (uncached) simulations.",
+            snap.map(|s| s.cold_memo_misses),
+        ),
+        (
+            "cf_cold_simulate_parallel_tasks_total",
+            "Cold subtrees fanned out to extra threads by parallel simulation.",
+            snap.map(|s| s.cold_parallel_tasks),
         ),
         (
             "cf_faults_injected_total",
@@ -199,7 +214,7 @@ pub fn render(
     }
 
     // -- Gauges -----------------------------------------------------------
-    let gauges: [(&'static str, &'static str, Option<String>); 6] = [
+    let gauges: [(&'static str, &'static str, Option<String>); 7] = [
         (
             "cf_draining",
             "1 while the instance is draining (stopped admitting, finishing in-flight work).",
@@ -214,6 +229,11 @@ pub fn render(
             "cf_queued_bytes",
             "Estimated bytes of queued, not-yet-started work.",
             snap.map(|s| s.queued_bytes.to_string()),
+        ),
+        (
+            "cf_cold_simulate_arena_bytes",
+            "High-water plan-buffer bytes retained by any one cold simulation's arena.",
+            snap.map(|s| s.cold_arena_bytes.to_string()),
         ),
         (
             "cf_uptime_seconds",
@@ -424,6 +444,9 @@ mod tests {
             "cf_api_shed_total",
             "cf_api_coalesced_total",
             "cf_api_streamed_bytes_total",
+            "cf_cold_simulate_memo_hits_total",
+            "cf_cold_simulate_memo_misses_total",
+            "cf_cold_simulate_parallel_tasks_total",
         ] {
             assert!(body.contains(&format!("# TYPE {family} counter")), "{family}:\n{body}");
         }

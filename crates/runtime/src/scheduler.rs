@@ -753,8 +753,7 @@ fn simulate_once(
 ) -> Result<SimResult, JobError> {
     let key = CacheKey::new(machine, program);
     if bypass || inner.cache.capacity() == 0 {
-        let report =
-            Arc::new(Machine::new(machine.clone()).simulate(program).map_err(JobError::Sim)?);
+        let report = Arc::new(cold_simulate(inner, machine, program)?);
         return Ok(SimResult { report, cache_hit: false, key });
     }
     loop {
@@ -794,8 +793,7 @@ fn simulate_once(
                 return Ok(SimResult { report, cache_hit: true, key });
             }
             // Simulate, fill, release the waiters (guard drop).
-            let report =
-                Arc::new(Machine::new(machine.clone()).simulate(program).map_err(JobError::Sim)?);
+            let report = Arc::new(cold_simulate(inner, machine, program)?);
             inner.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
             fill_cache(inner, key, &report);
             return Ok(SimResult { report, cache_hit: false, key });
@@ -807,6 +805,25 @@ fn simulate_once(
         // Loop to re-check the cache: if the leader failed, this job
         // takes over as the next leader.
     }
+}
+
+/// One *cold* (uncached) planner run: simulates through
+/// [`Machine::simulate_parallel`] so a large job's unique cold subtrees
+/// fan out across the pool's thread budget, and folds the planner's
+/// shape-memo / arena / fan-out instrumentation into [`RuntimeStats`].
+/// The report is byte-identical to a sequential `Machine::simulate` —
+/// the parallel pass only pre-warms the outcome cache — so cache fills
+/// and single-flight followers observe the exact same value either way.
+fn cold_simulate(
+    inner: &PoolInner,
+    machine: &MachineConfig,
+    program: &Program,
+) -> Result<PerfReport, JobError> {
+    let threads = inner.stats.workers.len();
+    let (report, cold) =
+        Machine::new(machine.clone()).simulate_parallel(program, threads).map_err(JobError::Sim)?;
+    inner.stats.record_cold(&cold);
+    Ok(report)
 }
 
 /// Fills the cache for `key`, corrupting the stored checksum when the

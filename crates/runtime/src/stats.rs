@@ -54,6 +54,17 @@ pub struct RuntimeStats {
     pub journal_compactions: AtomicU64,
     /// Bytes reclaimed from the serve journal by compaction.
     pub journal_bytes_reclaimed: AtomicU64,
+    /// Shape-memo hits accumulated across cold (cache-miss / bypass)
+    /// simulations — split decisions served from the planner's shape
+    /// memo instead of recomputed.
+    pub cold_memo_hits: AtomicU64,
+    /// Shape-memo misses across cold simulations (decisions computed).
+    pub cold_memo_misses: AtomicU64,
+    /// High-water bytes of plan buffers retained by any one cold
+    /// simulation's arena (a maximum, not a sum).
+    pub cold_arena_bytes: AtomicU64,
+    /// Cold subtrees fanned out to extra threads by parallel simulation.
+    pub cold_parallel_tasks: AtomicU64,
     /// Faults the [`FaultPlan`](crate::FaultPlan) injected.
     pub faults_injected: AtomicU64,
     /// Worker loops respawned after an escaped panic.
@@ -96,6 +107,10 @@ impl RuntimeStats {
             journal_bytes: AtomicU64::new(0),
             journal_compactions: AtomicU64::new(0),
             journal_bytes_reclaimed: AtomicU64::new(0),
+            cold_memo_hits: AtomicU64::new(0),
+            cold_memo_misses: AtomicU64::new(0),
+            cold_arena_bytes: AtomicU64::new(0),
+            cold_parallel_tasks: AtomicU64::new(0),
             faults_injected: AtomicU64::new(0),
             worker_respawns: AtomicU64::new(0),
             api_accepted: AtomicU64::new(0),
@@ -108,6 +123,16 @@ impl RuntimeStats {
             workers: (0..workers).map(|_| WorkerStats::default()).collect(),
             started: Instant::now(),
         }
+    }
+
+    /// Folds one cold simulation's planner instrumentation into the
+    /// registry: hits/misses/fan-out accumulate, arena bytes keep the
+    /// maximum (it is a per-run high-water mark, not a flow).
+    pub(crate) fn record_cold(&self, cold: &cf_core::perf::ColdStats) {
+        self.cold_memo_hits.fetch_add(cold.shape_memo_hits, Ordering::Relaxed);
+        self.cold_memo_misses.fetch_add(cold.shape_memo_misses, Ordering::Relaxed);
+        self.cold_arena_bytes.fetch_max(cold.arena_bytes, Ordering::Relaxed);
+        self.cold_parallel_tasks.fetch_add(cold.parallel_tasks, Ordering::Relaxed);
     }
 
     /// Records one finished job body on worker `worker`.
@@ -148,6 +173,10 @@ impl RuntimeStats {
             journal_bytes: self.journal_bytes.load(Ordering::Relaxed),
             journal_compactions: self.journal_compactions.load(Ordering::Relaxed),
             journal_bytes_reclaimed: self.journal_bytes_reclaimed.load(Ordering::Relaxed),
+            cold_memo_hits: self.cold_memo_hits.load(Ordering::Relaxed),
+            cold_memo_misses: self.cold_memo_misses.load(Ordering::Relaxed),
+            cold_arena_bytes: self.cold_arena_bytes.load(Ordering::Relaxed),
+            cold_parallel_tasks: self.cold_parallel_tasks.load(Ordering::Relaxed),
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
             worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
             api_accepted: self.api_accepted.load(Ordering::Relaxed),
@@ -197,6 +226,14 @@ pub struct StatsSnapshot {
     pub journal_compactions: u64,
     /// Bytes reclaimed from the serve journal by compaction.
     pub journal_bytes_reclaimed: u64,
+    /// Shape-memo hits across cold simulations.
+    pub cold_memo_hits: u64,
+    /// Shape-memo misses across cold simulations.
+    pub cold_memo_misses: u64,
+    /// High-water arena bytes of any one cold simulation.
+    pub cold_arena_bytes: u64,
+    /// Cold subtrees fanned out to extra threads.
+    pub cold_parallel_tasks: u64,
     /// Faults injected by the fault plan.
     pub faults_injected: u64,
     /// Worker loops respawned after an escaped panic.
@@ -336,6 +373,10 @@ impl Serialize for StatsSnapshot {
         m.insert("journal_bytes", self.journal_bytes);
         m.insert("journal_compactions", self.journal_compactions);
         m.insert("journal_bytes_reclaimed", self.journal_bytes_reclaimed);
+        m.insert("cold_memo_hits", self.cold_memo_hits);
+        m.insert("cold_memo_misses", self.cold_memo_misses);
+        m.insert("cold_arena_bytes", self.cold_arena_bytes);
+        m.insert("cold_parallel_tasks", self.cold_parallel_tasks);
         m.insert("faults_injected", self.faults_injected);
         m.insert("worker_respawns", self.worker_respawns);
         m.insert("api_accepted", self.api_accepted);
@@ -392,6 +433,18 @@ mod tests {
         stats.api_shed.fetch_add(1, Ordering::Relaxed);
         stats.api_coalesced.fetch_add(2, Ordering::Relaxed);
         stats.api_streamed_bytes.fetch_add(256, Ordering::Relaxed);
+        stats.record_cold(&cf_core::perf::ColdStats {
+            shape_memo_hits: 9,
+            shape_memo_misses: 4,
+            arena_bytes: 1024,
+            parallel_tasks: 3,
+        });
+        stats.record_cold(&cf_core::perf::ColdStats {
+            shape_memo_hits: 1,
+            shape_memo_misses: 1,
+            arena_bytes: 512, // smaller high-water: the max must stick
+            parallel_tasks: 0,
+        });
         let json = stats.snapshot().render_json();
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
         assert!(json.contains("\"shed_jobs\":2"), "{json}");
@@ -403,6 +456,10 @@ mod tests {
         assert!(json.contains("\"journal_bytes\":512"), "{json}");
         assert!(json.contains("\"journal_compactions\":1"), "{json}");
         assert!(json.contains("\"journal_bytes_reclaimed\":128"), "{json}");
+        assert!(json.contains("\"cold_memo_hits\":10"), "{json}");
+        assert!(json.contains("\"cold_memo_misses\":5"), "{json}");
+        assert!(json.contains("\"cold_arena_bytes\":1024"), "{json}");
+        assert!(json.contains("\"cold_parallel_tasks\":3"), "{json}");
         assert!(json.contains("\"in_flight\":4"), "{json}");
         assert!(json.contains("\"queued_bytes\":64"), "{json}");
         assert!(json.contains("\"workers\":[{"), "{json}");

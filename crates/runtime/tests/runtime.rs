@@ -78,6 +78,28 @@ fn bypass_cache_skips_lookup_and_fill() {
 }
 
 #[test]
+fn cold_simulation_populates_cold_counters_and_stays_identical() {
+    // A multi-op program so the parallel cold path has a frontier to fan
+    // out; 4 workers so Machine::simulate_parallel gets a thread budget.
+    let rt = small_runtime(4);
+    let program = Arc::new(nets::build_program(&nets::mlp3(), 1).unwrap());
+    let cfg = MachineConfig::cambricon_f1();
+
+    let direct = Machine::new(cfg.clone()).simulate(&program).unwrap();
+    let cold = rt.submit_simulate(cfg, Arc::clone(&program)).join().unwrap();
+    assert!(!cold.cache_hit);
+    assert_eq!(*cold.report, direct, "parallel cold path must match sequential");
+
+    let snap = rt.stats().snapshot();
+    assert!(snap.cold_memo_misses > 0, "planner must have computed splits");
+    assert!(snap.cold_memo_hits > 0, "self-similar siblings must hit the shape memo");
+    assert!(snap.cold_arena_bytes > 0, "arena high-water must be recorded");
+    let json = snap.render_json();
+    assert!(json.contains("\"cold_memo_hits\":"), "{json}");
+    assert!(json.contains("\"cold_parallel_tasks\":"), "{json}");
+}
+
+#[test]
 fn concurrent_simulation_matches_sequential_byte_for_byte() {
     let jobs = workload_mix();
 

@@ -1,0 +1,154 @@
+//! Inline-first storage for tiny fixed-rank sequences.
+//!
+//! Shapes and strides are the most-cloned values in the whole simulator:
+//! every fractal split produces piece regions, and every plan step clones
+//! regions into loads, stores and child instructions. Real FISA operands
+//! are rank ≤ 4 (NCHW at worst), so storing dims and strides inline turns
+//! those clones into stack copies. Higher ranks spill to the heap and stay
+//! correct, just slower.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Rank threshold under which elements live on the stack.
+pub(crate) const INLINE_RANK: usize = 4;
+
+/// A vector of at most a few `Copy` elements, stored inline when short.
+///
+/// Equality, ordering and hashing are over the logical element slice, so
+/// an inline value and a spilled value with the same contents are
+/// indistinguishable.
+#[derive(Clone)]
+pub(crate) enum InlineVec<T: Copy + Default> {
+    /// Up to [`INLINE_RANK`] elements on the stack.
+    Inline {
+        /// Number of live elements in `buf`.
+        len: u8,
+        /// Element storage; slots at `len..` are unused padding.
+        buf: [T; INLINE_RANK],
+    },
+    /// Spill storage for longer sequences.
+    Heap(Vec<T>),
+}
+
+impl<T: Copy + Default> InlineVec<T> {
+    pub(crate) fn from_slice(s: &[T]) -> Self {
+        if s.len() <= INLINE_RANK {
+            let mut buf = [T::default(); INLINE_RANK];
+            buf[..s.len()].copy_from_slice(s);
+            InlineVec::Inline { len: s.len() as u8, buf }
+        } else {
+            InlineVec::Heap(s.to_vec())
+        }
+    }
+
+    pub(crate) fn from_vec(v: Vec<T>) -> Self {
+        if v.len() <= INLINE_RANK {
+            Self::from_slice(&v)
+        } else {
+            InlineVec::Heap(v)
+        }
+    }
+
+    /// `len` default-valued elements.
+    pub(crate) fn zeroed(len: usize) -> Self {
+        if len <= INLINE_RANK {
+            InlineVec::Inline { len: len as u8, buf: [T::default(); INLINE_RANK] }
+        } else {
+            InlineVec::Heap(vec![T::default(); len])
+        }
+    }
+
+    pub(crate) fn as_slice(&self) -> &[T] {
+        match self {
+            InlineVec::Inline { len, buf } => &buf[..*len as usize],
+            InlineVec::Heap(v) => v,
+        }
+    }
+
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [T] {
+        match self {
+            InlineVec::Inline { len, buf } => &mut buf[..*len as usize],
+            InlineVec::Heap(v) => v,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            InlineVec::Inline { len, .. } => *len as usize,
+            InlineVec::Heap(v) => v.len(),
+        }
+    }
+}
+
+impl<T: Copy + Default> Default for InlineVec<T> {
+    fn default() -> Self {
+        InlineVec::Inline { len: 0, buf: [T::default(); INLINE_RANK] }
+    }
+}
+
+impl<T: Copy + Default + PartialEq> PartialEq for InlineVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq> Eq for InlineVec<T> {}
+
+impl<T: Copy + Default + Hash> Hash for InlineVec<T> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl<T: Copy + Default + PartialOrd> PartialOrd for InlineVec<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.as_slice().partial_cmp(other.as_slice())
+    }
+}
+
+impl<T: Copy + Default + Ord> Ord for InlineVec<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl<T: Copy + Default + fmt::Debug> fmt::Debug for InlineVec<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_and_heap_compare_equal_by_contents() {
+        let a: InlineVec<u64> = InlineVec::from_slice(&[1, 2, 3]);
+        let b: InlineVec<u64> = InlineVec::Heap(vec![1, 2, 3]);
+        assert_eq!(a, b);
+        let mut ha = std::collections::hash_map::DefaultHasher::new();
+        let mut hb = std::collections::hash_map::DefaultHasher::new();
+        use std::hash::Hasher as _;
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn long_sequences_spill() {
+        let v: Vec<usize> = (0..INLINE_RANK + 3).collect();
+        let iv = InlineVec::from_vec(v.clone());
+        assert!(matches!(iv, InlineVec::Heap(_)));
+        assert_eq!(iv.as_slice(), &v[..]);
+        assert_eq!(iv.len(), v.len());
+    }
+
+    #[test]
+    fn zeroed_and_mutate() {
+        let mut iv: InlineVec<u64> = InlineVec::zeroed(3);
+        iv.as_mut_slice()[1] = 7;
+        assert_eq!(iv.as_slice(), &[0, 7, 0]);
+    }
+}

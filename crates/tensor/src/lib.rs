@@ -26,6 +26,7 @@
 mod error;
 pub mod fingerprint;
 pub mod gen;
+mod inline;
 mod memory;
 mod region;
 mod shape;

@@ -1,3 +1,4 @@
+use crate::inline::InlineVec;
 use crate::{Shape, TensorError};
 
 /// A strided view into a linear `f32` memory.
@@ -23,14 +24,14 @@ use crate::{Shape, TensorError};
 pub struct Region {
     offset: u64,
     shape: Shape,
-    strides: Vec<u64>,
+    strides: InlineVec<u64>,
 }
 
 impl Region {
     /// A row-major (contiguous) region of `shape` starting at element
     /// `offset`.
     pub fn contiguous(offset: u64, shape: Shape) -> Self {
-        let strides = shape.row_major_strides();
+        let strides = shape.row_major_strides_inline();
         Region { offset, shape, strides }
     }
 
@@ -41,12 +42,25 @@ impl Region {
     /// Panics if `strides.len() != shape.rank()`.
     pub fn strided(offset: u64, shape: Shape, strides: Vec<u64>) -> Self {
         assert_eq!(strides.len(), shape.rank(), "stride/rank mismatch");
-        Region { offset, shape, strides }
+        Region { offset, shape, strides: InlineVec::from_vec(strides) }
     }
 
     /// Element offset of the first element.
     pub fn offset(&self) -> u64 {
         self.offset
+    }
+
+    /// The same view translated `delta` elements forward in memory.
+    ///
+    /// Slicing is translation-invariant, so a region derived from a
+    /// zero-based operand can be rebased onto the operand's real address
+    /// by translating it by the operand's offset.
+    pub fn translated(&self, delta: u64) -> Self {
+        Region {
+            offset: self.offset + delta,
+            shape: self.shape.clone(),
+            strides: self.strides.clone(),
+        }
     }
 
     /// The region's shape.
@@ -56,7 +70,7 @@ impl Region {
 
     /// Per-axis strides in elements.
     pub fn strides(&self) -> &[u64] {
-        &self.strides
+        self.strides.as_slice()
     }
 
     /// Number of elements in the region.
@@ -71,7 +85,7 @@ impl Region {
 
     /// Whether the region is dense row-major (a single contiguous block).
     pub fn is_contiguous(&self) -> bool {
-        self.strides == self.shape.row_major_strides()
+        self.strides == self.shape.row_major_strides_inline()
     }
 
     /// Address of the last element the region touches (inclusive).
@@ -81,7 +95,7 @@ impl Region {
                 .shape
                 .dims()
                 .iter()
-                .zip(&self.strides)
+                .zip(self.strides.as_slice())
                 .map(|(&d, &s)| (d as u64 - 1) * s)
                 .sum::<u64>()
     }
@@ -108,7 +122,7 @@ impl Region {
             });
         }
         Ok(Region {
-            offset: self.offset + start as u64 * self.strides[axis],
+            offset: self.offset + start as u64 * self.strides.as_slice()[axis],
             shape: self.shape.with_dim(axis, len)?,
             strides: self.strides.clone(),
         })
@@ -140,16 +154,17 @@ impl Region {
     /// runs, in row-major order. This is the inner loop of every DMA copy.
     pub fn for_each_run(&self, mut f: impl FnMut(u64, usize)) {
         let rank = self.shape.rank();
+        let strides = self.strides.as_slice();
         // The innermost axis forms a contiguous run only when its stride is 1;
         // otherwise it is emitted as element-sized runs.
         let inner_len = self.shape.dim(rank - 1);
-        let inner_stride = self.strides[rank - 1];
+        let inner_stride = strides[rank - 1];
         let outer_rank = rank - 1;
         let mut idx = vec![0usize; outer_rank];
         loop {
             let mut addr = self.offset;
             for (i, &ix) in idx.iter().enumerate() {
-                addr += ix as u64 * self.strides[i];
+                addr += ix as u64 * strides[i];
             }
             if inner_stride == 1 {
                 f(addr, inner_len);

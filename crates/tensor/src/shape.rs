@@ -1,5 +1,6 @@
 use std::fmt;
 
+use crate::inline::InlineVec;
 use crate::TensorError;
 
 /// A tensor shape: an ordered list of dimension extents.
@@ -20,8 +21,8 @@ use crate::TensorError;
 /// // ceil-sized chunks: 6 elements in chunks of 2 need only 3 pieces.
 /// assert_eq!(parts.iter().map(|p| p.dim(1)).collect::<Vec<_>>(), vec![2, 2, 2]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
-pub struct Shape(Vec<usize>);
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Shape(InlineVec<usize>);
 
 impl Shape {
     /// Creates a shape from its dimension extents.
@@ -32,18 +33,18 @@ impl Shape {
     /// FISA programs and allowing them would complicate split arithmetic.
     pub fn new(dims: Vec<usize>) -> Self {
         assert!(dims.iter().all(|&d| d > 0), "zero-sized dimension in shape {dims:?}");
-        Shape(dims)
+        Shape(InlineVec::from_vec(dims))
     }
 
     /// Shape of a scalar (rank-1, one element). FISA models scalars as
     /// single-element vectors so every operand is a tensor.
     pub fn scalar() -> Self {
-        Shape(vec![1])
+        Shape(InlineVec::from_slice(&[1]))
     }
 
     /// The dimension extents.
     pub fn dims(&self) -> &[usize] {
-        &self.0
+        self.0.as_slice()
     }
 
     /// Number of dimensions.
@@ -57,12 +58,12 @@ impl Shape {
     ///
     /// Panics if `axis >= self.rank()`.
     pub fn dim(&self, axis: usize) -> usize {
-        self.0[axis]
+        self.dims()[axis]
     }
 
     /// Total number of elements.
     pub fn numel(&self) -> u64 {
-        self.0.iter().map(|&d| d as u64).product()
+        self.dims().iter().map(|&d| d as u64).product()
     }
 
     /// Total size in bytes at `f32` precision.
@@ -72,11 +73,22 @@ impl Shape {
 
     /// Row-major (C-order) strides, in elements.
     pub fn row_major_strides(&self) -> Vec<u64> {
-        let mut strides = vec![1u64; self.rank()];
-        for i in (0..self.rank().saturating_sub(1)).rev() {
-            strides[i] = strides[i + 1] * self.0[i + 1] as u64;
+        self.row_major_strides_inline().as_slice().to_vec()
+    }
+
+    /// [`Shape::row_major_strides`] without the heap round-trip.
+    pub(crate) fn row_major_strides_inline(&self) -> InlineVec<u64> {
+        let rank = self.rank();
+        let mut sv = InlineVec::zeroed(rank);
+        let s = sv.as_mut_slice();
+        let dims = self.dims();
+        if rank > 0 {
+            s[rank - 1] = 1;
+            for i in (0..rank - 1).rev() {
+                s[i] = s[i + 1] * dims[i + 1] as u64;
+            }
         }
-        strides
+        sv
     }
 
     /// Returns a copy with dimension `axis` replaced by `extent`.
@@ -93,7 +105,7 @@ impl Shape {
             return Err(TensorError::EmptySplit);
         }
         let mut dims = self.0.clone();
-        dims[axis] = extent;
+        dims.as_mut_slice()[axis] = extent;
         Ok(Shape(dims))
     }
 
@@ -115,7 +127,7 @@ impl Shape {
             .into_iter()
             .map(|(_, len)| {
                 let mut dims = self.0.clone();
-                dims[axis] = len;
+                dims.as_mut_slice()[axis] = len;
                 Shape(dims)
             })
             .collect())
@@ -138,7 +150,7 @@ impl Shape {
         if parts == 0 {
             return Err(TensorError::EmptySplit);
         }
-        let extent = self.0[axis];
+        let extent = self.dims()[axis];
         let chunk = extent.div_ceil(parts);
         let mut out = Vec::new();
         let mut start = 0;
@@ -151,10 +163,16 @@ impl Shape {
     }
 }
 
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Shape").field(&self.dims()).finish()
+    }
+}
+
 impl fmt::Display for Shape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for (i, d) in self.0.iter().enumerate() {
+        for (i, d) in self.dims().iter().enumerate() {
             if i > 0 {
                 write!(f, "x")?;
             }
@@ -178,7 +196,7 @@ impl From<&[usize]> for Shape {
 
 impl AsRef<[usize]> for Shape {
     fn as_ref(&self) -> &[usize] {
-        &self.0
+        self.dims()
     }
 }
 
