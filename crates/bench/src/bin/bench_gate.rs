@@ -5,13 +5,14 @@
 //! (the artifact CI uploads) and compares the cache-effectiveness
 //! number against a committed baseline:
 //!
-//! * `cached_speedup` — mean uncached simulate latency over mean cached
-//!   simulate latency for the same `(machine, program)` key. This is
+//! * `cached_speedup` — best-case (per-iteration minimum) uncached
+//!   simulate latency over best-case cached simulate latency for the
+//!   same `(machine, program)` key. This is
 //!   the number the plan cache exists to produce, so it is gated: the
 //!   gate **fails when it regresses more than 20%** below the committed
 //!   baseline (`current < 0.8 × baseline`).
-//! * `uncached_us` — mean *cold* simulate latency (cache bypassed, full
-//!   planner + model run). The cold path carries its own optimisations
+//! * `uncached_us` — best-case *cold* simulate latency (cache bypassed,
+//!   full planner + model run). The cold path carries its own optimisations
 //!   (shape memo, plan arena, parallel fan-out), so it is **also
 //!   gated**: the gate fails when the measured latency exceeds the
 //!   baseline's as-written value (headroom undone) by more than 20%
@@ -51,8 +52,9 @@ use serde_json::{Map, Serialize, Value};
 
 /// Cached-simulate iterations (cheap: microseconds each).
 const CACHED_ITERS: u32 = 200;
-/// Uncached-simulate iterations (each runs the full planner + model).
-const UNCACHED_ITERS: u32 = 8;
+/// Uncached-simulate iterations (each runs the full planner + model;
+/// enough samples for the minimum to escape scheduler noise).
+const UNCACHED_ITERS: u32 = 16;
 /// Synthetic journal records for the replay-rate measurement.
 const REPLAY_RECORDS: u64 = 5000;
 /// Profiled-vs-plain simulate iterations for the overhead measurement.
@@ -118,24 +120,31 @@ fn measure_cached_speedup() -> (f64, f64, f64) {
         .join()
         .expect("warmup simulate");
 
-    let t0 = Instant::now();
+    // Both latencies take the per-iteration *minimum*, not the mean: on
+    // a shared CI runner, interference (host contention, timer wakeups,
+    // frequency drift) is strictly additive, so the minimum is the
+    // stable estimate of what the code actually costs and the gate
+    // doesn't flake when a neighbour steals the core mid-run.
+    let mut cached = Duration::MAX;
     for _ in 0..CACHED_ITERS {
+        let t0 = Instant::now();
         runtime
             .submit_simulate(MachineConfig::cambricon_f1(), Arc::clone(&program))
             .join()
             .expect("cached simulate");
+        cached = cached.min(t0.elapsed());
     }
-    let cached = t0.elapsed() / CACHED_ITERS;
 
     let opts = JobOptions { bypass_cache: true, ..Default::default() };
-    let t0 = Instant::now();
+    let mut uncached = Duration::MAX;
     for _ in 0..UNCACHED_ITERS {
+        let t0 = Instant::now();
         runtime
             .submit_simulate_opts(opts, MachineConfig::cambricon_f1(), Arc::clone(&program))
             .join()
             .expect("uncached simulate");
+        uncached = uncached.min(t0.elapsed());
     }
-    let uncached = t0.elapsed() / UNCACHED_ITERS;
     (uncached.as_secs_f64() / cached.as_secs_f64(), cached.as_secs_f64(), uncached.as_secs_f64())
 }
 

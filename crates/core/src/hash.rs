@@ -9,12 +9,20 @@
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// Rotate-xor-multiply word hasher (the rustc `FxHash` construction).
-#[derive(Default)]
 pub(crate) struct FxHasher {
     hash: u64,
 }
 
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Default for FxHasher {
+    // Starting from the (nonzero) seed rather than 0 keeps zero words
+    // non-degenerate: from 0, every all-zero input would fold to 0
+    // regardless of length.
+    fn default() -> Self {
+        FxHasher { hash: SEED }
+    }
+}
 
 impl FxHasher {
     #[inline]

@@ -217,15 +217,28 @@ impl OpParams {
     /// are compared by bit pattern, so two parameter values encode
     /// equally if and only if they are byte-identical.
     pub fn stable_bits(&self) -> [u64; 8] {
-        let pad = |p: Pad| ((p.before as u64) << 32) | (p.after as u64 & 0xffff_ffff);
         match self {
             OpParams::None => [0; 8],
-            OpParams::Conv(c) => {
-                [1, c.stride as u64, pad(c.pads[0]), pad(c.pads[1]), pad(c.pads[2]), 0, 0, 0]
-            }
-            OpParams::Pool(p) => {
-                [2, p.kh as u64, p.kw as u64, p.stride as u64, pad(p.pads[0]), pad(p.pads[1]), 0, 0]
-            }
+            OpParams::Conv(c) => [
+                1,
+                c.stride as u64,
+                c.pads[0].before as u64,
+                c.pads[0].after as u64,
+                c.pads[1].before as u64,
+                c.pads[1].after as u64,
+                c.pads[2].before as u64,
+                c.pads[2].after as u64,
+            ],
+            OpParams::Pool(p) => [
+                2,
+                p.kh as u64,
+                p.kw as u64,
+                p.stride as u64,
+                p.pads[0].before as u64,
+                p.pads[0].after as u64,
+                p.pads[1].before as u64,
+                p.pads[1].after as u64,
+            ],
             OpParams::Lrn(l) => [
                 3,
                 l.size as u64,

@@ -34,7 +34,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -190,6 +190,10 @@ struct PoolInner {
     tracer: Arc<Tracer>,
     supervisor: Supervisor,
     next_id: AtomicU64,
+    /// Cold simulations currently running; divides the parallel-simulate
+    /// thread budget so N concurrent cold jobs share the pool instead of
+    /// each fanning out to the full worker count.
+    cold_inflight: AtomicUsize,
 }
 
 /// Outcome of a cached simulation job.
@@ -308,6 +312,7 @@ impl Runtime {
                 tracer,
             },
             next_id: AtomicU64::new(0),
+            cold_inflight: AtomicUsize::new(0),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -819,7 +824,20 @@ fn cold_simulate(
     machine: &MachineConfig,
     program: &Program,
 ) -> Result<PerfReport, JobError> {
-    let threads = inner.stats.workers.len();
+    // Split the thread budget across concurrent cold simulations: each
+    // runs on a worker thread already, so N distinct-key cold jobs each
+    // fanning out to the full worker count would spawn ~N^2 scoped
+    // threads under a cold burst. The guard decrements even if the
+    // planner panics (the worker loop respawns).
+    struct ColdGuard<'a>(&'a AtomicUsize);
+    impl Drop for ColdGuard<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    let in_flight = inner.cold_inflight.fetch_add(1, Ordering::Relaxed) + 1;
+    let _guard = ColdGuard(&inner.cold_inflight);
+    let threads = (inner.stats.workers.len() / in_flight).max(1);
     let (report, cold) =
         Machine::new(machine.clone()).simulate_parallel(program, threads).map_err(JobError::Sim)?;
     inner.stats.record_cold(&cold);
