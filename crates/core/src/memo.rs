@@ -106,7 +106,7 @@ impl PlanMemo {
         self.misses.get()
     }
 
-    /// Table probes ([`lookup`](Self::lookup) calls). Every probe must
+    /// Table probes (`lookup` calls). Every probe must
     /// end as exactly one hit or one computed-and-inserted miss, so
     /// `probes() == hits() + misses()` once planning completes — the
     /// reconciliation invariant the property tests check.

@@ -50,9 +50,11 @@ use crate::fault::fnv1a;
 use crate::job::{JobError, JobOptions};
 use crate::journal::{AcceptedEntry, JobEntry, Journal, JournalError, RunHeader, JOURNAL_VERSION};
 use crate::manifest::{self, JobKind};
+use crate::obs::{SpanKind, Tracer};
 use crate::scheduler::Runtime;
 use crate::serve::{exec_output, json_str, render_record_json, sim_output, JobOutput, JobRecord};
 use crate::sync;
+use crate::trace::{Attribution, TraceContext, TOTAL_KEY};
 
 /// Default request-body bound (`cfserve --max-body-bytes`).
 pub const DEFAULT_MAX_BODY_BYTES: usize = 1 << 20;
@@ -339,6 +341,37 @@ struct ApiJob {
     /// Coalesced subscriber ids to settle when this (leader) job
     /// finishes.
     followers: Vec<u64>,
+    /// This job's distributed trace context (a per-job child of the
+    /// `X-CF-Trace` request context), echoed on every response about
+    /// the job.
+    trace: Option<TraceContext>,
+    /// When the accept was acknowledged (attribution time base).
+    accepted_at: Instant,
+    /// Accept → scheduler-admission microseconds.
+    admission_us: u64,
+    /// The scheduler job id this API job ran under — the span-ring
+    /// token its queue/run/retry durations are recorded against.
+    sched_token: Option<u64>,
+    /// The encoded latency [`Attribution`], computed once at settle
+    /// time and served as the `X-CF-Attribution` response header.
+    attribution: Option<String>,
+}
+
+impl ApiJob {
+    fn new(label: String, machine: String, mode: &'static str) -> ApiJob {
+        ApiJob {
+            label,
+            machine,
+            mode,
+            outcome: None,
+            followers: Vec::new(),
+            trace: None,
+            accepted_at: Instant::now(),
+            admission_us: 0,
+            sched_token: None,
+            attribution: None,
+        }
+    }
 }
 
 struct ApiState {
@@ -432,16 +465,9 @@ impl JobApi {
             let (journal, recovery) = Journal::resume_opts(path, &header, compact_threshold)?;
             for entry in recovery.entries {
                 next_id = next_id.max(entry.index + 1);
-                jobs.insert(
-                    entry.index,
-                    ApiJob {
-                        label: entry.label,
-                        machine: entry.machine,
-                        mode: entry.mode,
-                        outcome: Some(entry.outcome),
-                        followers: Vec::new(),
-                    },
-                );
+                let mut job = ApiJob::new(entry.label, entry.machine, entry.mode);
+                job.outcome = Some(entry.outcome);
+                jobs.insert(entry.index, job);
             }
             summary.replayed = jobs.len();
             for accept in recovery.accepted {
@@ -478,16 +504,10 @@ impl JobApi {
                         let mut st = sync::lock(&api.state);
                         st.jobs.insert(
                             accept.index,
-                            ApiJob {
-                                label: job.label.clone(),
-                                machine: job.machine_name.clone(),
-                                mode: job.mode,
-                                outcome: None,
-                                followers: Vec::new(),
-                            },
+                            ApiJob::new(job.label.clone(), job.machine_name.clone(), job.mode),
                         );
                     }
-                    api.run_job(accept.index, job);
+                    api.run_job(accept.index, job, None);
                 }
                 Err(message) => {
                     // The journaled spec no longer parses (foreign edit,
@@ -496,16 +516,10 @@ impl JobApi {
                     let mut st = sync::lock(&api.state);
                     st.jobs.insert(
                         accept.index,
-                        ApiJob {
-                            label: "unparsed".to_string(),
-                            machine: "unknown".to_string(),
-                            mode: "simulate",
-                            outcome: None,
-                            followers: Vec::new(),
-                        },
+                        ApiJob::new("unparsed".to_string(), "unknown".to_string(), "simulate"),
                     );
                     drop(st);
-                    api.complete(accept.index, Err(message));
+                    api.complete(accept.index, Err(message), None);
                 }
             }
         }
@@ -538,6 +552,23 @@ impl JobApi {
     ///
     /// See [`SubmitError`]; each variant maps to one HTTP status.
     pub fn submit_body(self: &Arc<Self>, body: &str) -> Result<SubmitOk, SubmitError> {
+        self.submit_body_traced(body, None)
+    }
+
+    /// [`submit_body`](JobApi::submit_body) under a distributed trace:
+    /// every accepted job gets its own child span of `trace` (so a
+    /// multi-job array fans out into per-job spans of one request
+    /// context), attached to the runtime's tracer for span joining and
+    /// echoed back as the job's `X-CF-Trace`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SubmitError`]; each variant maps to one HTTP status.
+    pub fn submit_body_traced(
+        self: &Arc<Self>,
+        body: &str,
+        trace: Option<TraceContext>,
+    ) -> Result<SubmitOk, SubmitError> {
         let value: serde_json::Value = serde_json::from_str(body)
             .map_err(|e| SubmitError::Bad(format!("invalid JSON: {e}")))?;
         if let Some(items) = value.as_array() {
@@ -550,10 +581,10 @@ impl JobApi {
                     .map_err(|e| SubmitError::Bad(format!("jobs[{i}]: {e}")))?;
                 parsed.push(job);
             }
-            self.submit_parsed_batch(parsed).map(SubmitOk::Many)
+            self.submit_parsed_batch(parsed, trace).map(SubmitOk::Many)
         } else {
             let job = parse_spec_value(&value).map_err(SubmitError::Bad)?;
-            self.submit_parsed_batch(vec![job]).map(|ids| SubmitOk::One(ids[0]))
+            self.submit_parsed_batch(vec![job], trace).map(|ids| SubmitOk::One(ids[0]))
         }
     }
 
@@ -566,6 +597,7 @@ impl JobApi {
     fn submit_parsed_batch(
         self: &Arc<Self>,
         parsed: Vec<ParsedJob>,
+        trace: Option<TraceContext>,
     ) -> Result<Vec<u64>, SubmitError> {
         // Shed before journaling: the whole batch is admitted or none of
         // it is (a partial accept would ack ids the pool cannot take).
@@ -576,8 +608,9 @@ impl JobApi {
         }
 
         let mut ids = Vec::with_capacity(parsed.len());
-        // (id, job) pairs that did not coalesce and must actually run.
-        let mut fresh: Vec<(u64, ParsedJob)> = Vec::new();
+        // (id, job, trace) triples that did not coalesce and must
+        // actually run.
+        let mut fresh: Vec<(u64, ParsedJob, Option<TraceContext>)> = Vec::new();
         {
             let mut st = sync::lock(&self.state);
             // Durability before acknowledgement: every accept is on disk
@@ -602,16 +635,11 @@ impl JobApi {
                     st.jobs.get(&leader).filter(|j| j.outcome.is_none())?;
                     Some(leader)
                 });
-                st.jobs.insert(
-                    id,
-                    ApiJob {
-                        label: job.label.clone(),
-                        machine: job.machine_name.clone(),
-                        mode: job.mode,
-                        outcome: None,
-                        followers: Vec::new(),
-                    },
-                );
+                let job_trace = trace.map(|t| t.child());
+                let mut tracked =
+                    ApiJob::new(job.label.clone(), job.machine_name.clone(), job.mode);
+                tracked.trace = job_trace;
+                st.jobs.insert(id, tracked);
                 let stats = self.runtime.stats();
                 stats.api_accepted.fetch_add(1, Ordering::Relaxed);
                 match live_leader {
@@ -625,7 +653,7 @@ impl JobApi {
                         if let Some(key) = job.coalesce_key {
                             st.leaders.insert(key, id);
                         }
-                        fresh.push((id, job));
+                        fresh.push((id, job, job_trace));
                     }
                 }
                 ids.push(id);
@@ -636,7 +664,7 @@ impl JobApi {
         // submit individually (exec jobs, profiled jobs, lone machines).
         let keys: Vec<(u64, bool)> = fresh
             .iter()
-            .map(|(_, j)| (j.machine.fingerprint(), j.kind == JobKind::Simulate && !j.profile))
+            .map(|(_, j, _)| (j.machine.fingerprint(), j.kind == JobKind::Simulate && !j.profile))
             .collect();
         for group in crate::batch::group_compatible(&keys) {
             if group.len() > 1 {
@@ -647,19 +675,36 @@ impl JobApi {
                 let handles = self.runtime.simulate_batch(specs);
                 for (&i, handle) in group.iter().zip(handles) {
                     let id = fresh[i].0;
+                    // The batch path has no per-job JobOptions seam, so
+                    // the trace attaches directly by scheduler token.
+                    if let Some(ctx) = fresh[i].2 {
+                        self.runtime.tracer().attach(handle.id(), ctx);
+                    }
+                    self.note_scheduled(id, handle.id());
                     self.spawn_completion(id, move || {
-                        handle.join().map(|sim| sim_output(&sim.report))
+                        handle.join().map(|sim| (sim_output(&sim.report), Some(sim.cache_hit)))
                     });
                 }
             } else {
                 for &i in &group {
                     let id = fresh[i].0;
                     let job = clone_job(&fresh[i].1);
-                    self.run_job(id, job);
+                    self.run_job(id, job, fresh[i].2);
                 }
             }
         }
         Ok(ids)
+    }
+
+    /// Records that API job `id` was admitted to the scheduler as
+    /// `token`: the span-ring key its stage durations are mined under,
+    /// and the end of the accept → admission window.
+    fn note_scheduled(&self, id: u64, token: u64) {
+        let mut st = sync::lock(&self.state);
+        if let Some(job) = st.jobs.get_mut(&id) {
+            job.sched_token = Some(token);
+            job.admission_us = duration_us(job.accepted_at.elapsed());
+        }
     }
 
     /// Submits one job to the runtime and spawns its completion thread.
@@ -667,32 +712,37 @@ impl JobApi {
     /// between that check and this submit is absorbed with a few
     /// retries, after which the shed becomes the job's terminal outcome
     /// (the accept is durable, so the id must settle either way).
-    fn run_job(self: &Arc<Self>, id: u64, job: ParsedJob) {
+    fn run_job(self: &Arc<Self>, id: u64, job: ParsedJob, trace: Option<TraceContext>) {
         let mut attempt = 0u32;
+        let opts = JobOptions { trace, ..Default::default() };
         loop {
             let admitted = match job.kind {
                 JobKind::Simulate if job.profile => {
                     let (h, admitted) = self.runtime.submit_simulate_profiled_checked(
-                        JobOptions::default(),
+                        opts,
                         job.machine.clone(),
                         Arc::clone(&job.program),
                         PROFILE_TOP_SIGNATURES,
                     );
                     if admitted.is_ok() {
-                        self.spawn_completion(id, move || h.join().map(|p| sim_output(&p.report)));
+                        self.note_scheduled(id, h.id());
+                        self.spawn_completion(id, move || {
+                            h.join().map(|p| (sim_output(&p.report), None))
+                        });
                         return;
                     }
                     admitted
                 }
                 JobKind::Simulate => {
                     let (h, admitted) = self.runtime.submit_simulate_checked(
-                        JobOptions::default(),
+                        opts,
                         job.machine.clone(),
                         Arc::clone(&job.program),
                     );
                     if admitted.is_ok() {
+                        self.note_scheduled(id, h.id());
                         self.spawn_completion(id, move || {
-                            h.join().map(|sim| sim_output(&sim.report))
+                            h.join().map(|sim| (sim_output(&sim.report), Some(sim.cache_hit)))
                         });
                         return;
                     }
@@ -700,14 +750,15 @@ impl JobApi {
                 }
                 JobKind::Exec { seed } => {
                     let (h, admitted) = self.runtime.submit_exec_checked(
-                        JobOptions::default(),
+                        opts,
                         job.machine.clone(),
                         Arc::clone(&job.program),
                         seed,
                     );
                     if admitted.is_ok() {
+                        self.note_scheduled(id, h.id());
                         self.spawn_completion(id, move || {
-                            h.join().map(|exec| exec_output(&exec.memory))
+                            h.join().map(|exec| (exec_output(&exec.memory), None))
                         });
                         return;
                     }
@@ -721,7 +772,7 @@ impl JobApi {
                     std::thread::sleep(Duration::from_millis(1));
                 }
                 Err(e) => {
-                    self.complete(id, Err(e.to_string()));
+                    self.complete(id, Err(e.to_string()), None);
                     return;
                 }
             }
@@ -729,30 +780,45 @@ impl JobApi {
     }
 
     /// Joins `join` on a background thread and settles job `id` (and its
-    /// coalesced followers) with the outcome.
+    /// coalesced followers) with the outcome. The closure's second slot
+    /// reports whether the result came from the plan cache (when the
+    /// path knows), feeding the attribution's `cached` flag.
     fn spawn_completion<F>(self: &Arc<Self>, id: u64, join: F)
     where
-        F: FnOnce() -> Result<JobOutput, JobError> + Send + 'static,
+        F: FnOnce() -> Result<(JobOutput, Option<bool>), JobError> + Send + 'static,
     {
         let api = Arc::clone(self);
-        let spawned =
-            std::thread::Builder::new().name(format!("cf-api-job-{id}")).spawn(move || {
-                let outcome = join().map_err(|e| e.to_string());
-                api.complete(id, outcome);
-            });
+        let spawned = std::thread::Builder::new().name(format!("cf-api-job-{id}")).spawn(
+            move || match join() {
+                Ok((output, cached)) => api.complete(id, Ok(output), cached),
+                Err(e) => api.complete(id, Err(e.to_string()), None),
+            },
+        );
         if spawned.is_err() {
-            self.complete(id, Err("completion thread spawn failed".to_string()));
+            self.complete(id, Err("completion thread spawn failed".to_string()), None);
         }
     }
 
-    /// Settles job `id` and every coalesced follower: journal the
+    /// Settles job `id` and every coalesced follower: compute the
+    /// latency attribution from the job's own spans, journal the
     /// completion records, store the outcome, wake long-pollers.
-    fn complete(&self, id: u64, outcome: Result<JobOutput, String>) {
+    fn complete(&self, id: u64, outcome: Result<JobOutput, String>, cached: Option<bool>) {
+        let tracer = Arc::clone(self.runtime.tracer());
         let mut st = sync::lock(&self.state);
+        let leader_token = st.jobs.get(&id).and_then(|job| job.sched_token);
         let Some(entry) = ({
             let job = st.jobs.get_mut(&id);
             job.map(|job| {
                 job.outcome = Some(outcome.clone());
+                if job.trace.is_some() {
+                    job.attribution = Some(render_attribution(
+                        &tracer,
+                        job.accepted_at,
+                        job.admission_us,
+                        job.sched_token,
+                        cached,
+                    ));
+                }
                 JobEntry {
                     index: id,
                     label: job.label.clone(),
@@ -773,6 +839,18 @@ impl JobApi {
         for fid in followers {
             let follower_entry = st.jobs.get_mut(&fid).map(|f| {
                 f.outcome = Some(outcome.clone());
+                if f.trace.is_some() {
+                    // Coalesced followers rode the leader's computation:
+                    // their stage durations are the leader's spans, their
+                    // wait is their own accept window.
+                    f.attribution = Some(render_attribution(
+                        &tracer,
+                        f.accepted_at,
+                        f.admission_us,
+                        leader_token,
+                        cached,
+                    ));
+                }
                 JobEntry {
                     index: fid,
                     label: f.label.clone(),
@@ -787,6 +865,20 @@ impl JobApi {
         }
         drop(st);
         self.done.notify_all();
+    }
+
+    /// The distributed trace context job `id` runs under, if any.
+    pub fn trace_of(&self, id: u64) -> Option<TraceContext> {
+        let st = sync::lock(&self.state);
+        st.jobs.get(&id).and_then(|job| job.trace)
+    }
+
+    /// The encoded latency attribution of a settled job (the
+    /// `X-CF-Attribution` header value); `None` while running or when
+    /// the job was not traced.
+    pub fn attribution_of(&self, id: u64) -> Option<String> {
+        let st = sync::lock(&self.state);
+        st.jobs.get(&id).and_then(|job| job.attribution.clone())
     }
 
     /// Long-polls job `id` up to `timeout`: the finished record when it
@@ -854,6 +946,56 @@ fn render_done(id: u64, job: &ApiJob) -> String {
         mode: job.mode,
         outcome,
     })
+}
+
+fn duration_us(d: Duration) -> u64 {
+    d.as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+/// Computes a settled job's latency [`Attribution`] from its own spans:
+/// `total_us` is the measured accept → settle wall time; `queue_us`,
+/// `run_us` and `retry_us` are mined from the span ring by scheduler
+/// token; `other_us` is the unattributed remainder, so the execution
+/// components sum to `total_us` exactly. With tracing disabled the
+/// mined stages read 0 and `other_us` absorbs the whole window — the
+/// sum contract still holds.
+fn render_attribution(
+    tracer: &Tracer,
+    accepted_at: Instant,
+    admission_us: u64,
+    sched_token: Option<u64>,
+    cached: Option<bool>,
+) -> String {
+    let mut total_us = duration_us(accepted_at.elapsed());
+    let (mut queue_us, mut run_us, mut retry_us) = (0u64, 0u64, 0u64);
+    if let Some(token) = sched_token {
+        for e in tracer.recent(usize::MAX) {
+            if e.token != token {
+                continue;
+            }
+            let us = e.duration.map_or(0, duration_us);
+            match e.kind {
+                SpanKind::JobStart => queue_us = us,
+                SpanKind::JobSettle => run_us = us,
+                SpanKind::JobRetry => retry_us += us,
+                _ => {}
+            }
+        }
+    }
+    let parts =
+        admission_us.saturating_add(queue_us).saturating_add(run_us).saturating_add(retry_us);
+    total_us = total_us.max(parts);
+    let mut a = Attribution::new();
+    a.push(TOTAL_KEY, total_us);
+    a.push("admission_us", admission_us);
+    a.push("queue_us", queue_us);
+    a.push("run_us", run_us);
+    a.push("retry_us", retry_us);
+    a.push("other_us", total_us - parts);
+    if let Some(cached) = cached {
+        a.push("cached", u64::from(cached));
+    }
+    a.encode()
 }
 
 fn render_status(id: u64, job: &ApiJob) -> String {
@@ -1250,6 +1392,58 @@ mod tests {
         assert!(record.contains("\"makespan_s\""), "{record}");
         assert!(api.status_json(id).unwrap().contains("\"state\":\"done\""));
         assert!(api.wait(99, Duration::ZERO).is_none());
+    }
+
+    #[test]
+    fn traced_submit_attaches_contexts_and_attributes_latency() {
+        let runtime = Arc::new(Runtime::new(RuntimeConfig {
+            workers: 1,
+            tracer: Some(Arc::new(Tracer::new(64))),
+            ..Default::default()
+        }));
+        let api = JobApi::new(Arc::clone(&runtime), DEFAULT_MAX_BODY_BYTES);
+        let root = TraceContext::mint();
+        let ok = api
+            .submit_body_traced(r#"{"workload":"matmul","order":32,"machine":"tiny"}"#, Some(root))
+            .unwrap();
+        let SubmitOk::One(id) = ok else { panic!("{ok:?}") };
+
+        // The job got its own child span of the request context.
+        let ctx = api.trace_of(id).unwrap();
+        assert_eq!(ctx.trace_id, root.trace_id);
+        assert_eq!(ctx.parent, Some(root.span_id));
+
+        let JobWait::Done(_) = api.wait(id, Duration::from_secs(30)).unwrap() else {
+            panic!("timed out")
+        };
+        let attribution = api.attribution_of(id).unwrap();
+        let a = Attribution::parse(&attribution).unwrap();
+        assert_eq!(a.execution_sum_us(), a.total_us(), "{attribution}");
+        assert!(a.get("queue_us").is_some(), "{attribution}");
+        assert_eq!(a.get("cached"), Some(0), "cold run: {attribution}");
+
+        // The scheduler attached the per-job context, so a trace-filtered
+        // /trace render joins the job's events. The settle event lands
+        // moments after the join wakes, so poll briefly.
+        let mut json = String::new();
+        for _ in 0..500 {
+            json = runtime.tracer().render_json_filtered(100, None, Some(root.trace_id));
+            if json.contains("\"kind\":\"job-settle\"") {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(json.contains("\"kind\":\"job-settle\""), "{json}");
+
+        // Untraced submissions carry no context and no attribution.
+        let SubmitOk::One(plain) =
+            api.submit_body(r#"{"workload":"matmul","order":48,"machine":"tiny"}"#).unwrap()
+        else {
+            panic!()
+        };
+        api.wait(plain, Duration::from_secs(30)).unwrap();
+        assert!(api.trace_of(plain).is_none());
+        assert!(api.attribution_of(plain).is_none());
     }
 
     #[test]

@@ -215,6 +215,11 @@ pub struct JobOptions {
     /// simulate/exec submit paths fill in the program's external-memory
     /// footprint.
     pub cost_bytes: usize,
+    /// The distributed trace context this job runs under, if any: the
+    /// scheduler attaches it to the run's [`Tracer`](crate::Tracer) so
+    /// the job's span-ring events join the fleet-wide trace (see
+    /// [`trace`](crate::trace)).
+    pub trace: Option<crate::trace::TraceContext>,
 }
 
 impl JobOptions {

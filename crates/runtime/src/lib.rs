@@ -73,6 +73,13 @@
 //!   `X-CF-Digest` header and every record with a digest field
 //!   ([`serve::verify_record_json`]); the router rejects mismatches and
 //!   quarantines repeat offenders. See DESIGN.md §11.
+//! * [`trace`] — fleet-wide distributed tracing: the router mints a
+//!   [`TraceContext`] per accepted job and propagates it as the
+//!   `X-CF-Trace` header; backends attach it to their span ring so
+//!   `GET /trace/<trace-id>` on the router can assemble one merged,
+//!   causally-ordered Chrome trace across every process, and finished
+//!   records carry an [`Attribution`] latency breakdown feeding the
+//!   router's `cf_slo_*` burn-rate series. See DESIGN.md §16.
 //!
 //! # Example
 //!
@@ -114,6 +121,7 @@ pub mod stats;
 pub mod status;
 pub mod supervisor;
 pub(crate) mod sync;
+pub mod trace;
 
 pub use api::{ApiResume, HttpParseError, HttpRequest, JobApi, JobWait, SubmitError, SubmitOk};
 pub use cache::{report_checksum, CacheKey, CacheLookup, PlanCache};
@@ -137,3 +145,4 @@ pub use serve::{
 pub use stats::{RouterStats, RuntimeStats, StatsSnapshot, WorkerSnapshot};
 pub use status::StatusServer;
 pub use supervisor::{next_retry, BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
+pub use trace::{Attribution, TraceContext, ATTRIBUTION_HEADER, TRACE_HEADER};

@@ -212,6 +212,15 @@ pub fn render(
         );
         f.sample(inst, &tracer.dropped().to_string());
     }
+    {
+        let mut f = Family::new(
+            &mut out,
+            "cf_trace_attached_total",
+            "counter",
+            "Jobs attached to a distributed trace context.",
+        );
+        f.sample(inst, &tracer.attached_total().to_string());
+    }
 
     // -- Gauges -----------------------------------------------------------
     let gauges: [(&'static str, &'static str, Option<String>); 7] = [
@@ -434,8 +443,9 @@ mod tests {
             assert!(body.contains(&format!("# TYPE {family} ")), "{family} missing:\n{body}");
             assert!(body.contains(&format!("# HELP {family} ")), "{family} missing:\n{body}");
         }
-        // No snapshot → spans counter still has a sample.
+        // No snapshot → tracer-derived counters still have samples.
         assert!(body.contains("cf_spans_dropped_total{instance=\"t0\"} 0"), "{body}");
+        assert!(body.contains("cf_trace_attached_total{instance=\"t0\"} 0"), "{body}");
         // But stats counters have none.
         assert!(!body.contains("cf_jobs_submitted_total{"), "{body}");
         // The api counter families are declared even without a snapshot.

@@ -19,7 +19,7 @@
 //! can answer `/healthz`, `/stats` and `/trace` while the run is in
 //! flight. See DESIGN.md §8.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -31,6 +31,7 @@ use crate::scheduler::LoadPolicy;
 use crate::serve::json_str;
 use crate::stats::RuntimeStats;
 use crate::sync;
+use crate::trace::TraceContext;
 
 /// What happened, at the granularity the trace ring records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +79,58 @@ impl SpanKind {
             SpanKind::ApiRequest => "api-request",
         }
     }
+}
+
+/// Whether this kind's token is a scheduler job id (the namespace
+/// [`Tracer::attach`] registers trace contexts under). Cache events
+/// carry cache-key digests and compactions carry no token, so joining
+/// those to a trace by token would be meaningless.
+fn job_scoped(kind: SpanKind) -> bool {
+    matches!(
+        kind,
+        SpanKind::JobSubmit
+            | SpanKind::JobStart
+            | SpanKind::JobRetry
+            | SpanKind::JobSettle
+            | SpanKind::JournalAppend
+    )
+}
+
+/// The histogram stage whose duration this kind closes over, if any.
+fn stage_of(kind: SpanKind) -> Option<Stage> {
+    match kind {
+        SpanKind::JobStart => Some(Stage::QueueWait),
+        SpanKind::JobSettle => Some(Stage::Run),
+        SpanKind::CacheHit | SpanKind::CacheMiss | SpanKind::CacheCorrupt => {
+            Some(Stage::CacheLookup)
+        }
+        SpanKind::JobRetry => Some(Stage::RetryBackoff),
+        SpanKind::JournalAppend => Some(Stage::JournalAppend),
+        SpanKind::ApiRequest => Some(Stage::ApiRequest),
+        SpanKind::JobSubmit | SpanKind::JournalCompact | SpanKind::Shed => None,
+    }
+}
+
+/// `GET /trace?stage=` matching: accepts either the event's kind wire
+/// name (`job-settle`) or the stage name whose histogram the event
+/// feeds (`run`).
+fn kind_matches_stage(kind: SpanKind, want: &str) -> bool {
+    kind.name() == want || stage_of(kind).is_some_and(|s| s.name() == want)
+}
+
+/// Renders one event, annotated with `trace`/`span`/`parent` hex fields
+/// when a [`TraceContext`] is attached to its token.
+fn render_event_json(e: &SpanEvent, ctx: Option<TraceContext>) -> String {
+    let mut s = e.render_json();
+    if let Some(c) = ctx {
+        s.pop();
+        s.push_str(&format!(",\"trace\":\"{:032x}\",\"span\":\"{:016x}\"", c.trace_id, c.span_id));
+        if let Some(p) = c.parent {
+            s.push_str(&format!(",\"parent\":\"{p:016x}\""));
+        }
+        s.push('}');
+    }
+    s
 }
 
 /// One recorded event.
@@ -240,6 +293,18 @@ pub struct Tracer {
     ring: Mutex<VecDeque<SpanEvent>>,
     histograms: [LatencyHistogram; STAGES.len()],
     profile: Mutex<ProfileStore>,
+    attached: AtomicU64,
+    contexts: Mutex<ContextStore>,
+}
+
+/// Bounded token → [`TraceContext`] registry: joins span-ring events to
+/// the distributed trace they belong to at *render* time, so attaching
+/// a context costs nothing on the event-record hot path. Holds the most
+/// recent `capacity` attachments (insertion order, oldest evicted).
+#[derive(Debug, Default)]
+struct ContextStore {
+    map: HashMap<u64, TraceContext>,
+    order: VecDeque<u64>,
 }
 
 /// Aggregated simulator attribution for one (machine, level), summed
@@ -282,6 +347,8 @@ impl Tracer {
             ring: Mutex::new(VecDeque::new()),
             histograms: std::array::from_fn(|_| LatencyHistogram::default()),
             profile: Mutex::new(ProfileStore::default()),
+            attached: AtomicU64::new(0),
+            contexts: Mutex::new(ContextStore::default()),
         }
     }
 
@@ -348,6 +415,39 @@ impl Tracer {
     /// Events dropped from the ring under pressure.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Attaches a distributed [`TraceContext`] to `token` (a scheduler
+    /// job id), so every span-ring event recorded under that token can
+    /// be joined to its trace at render time. No-op when the tracer is
+    /// disabled — the instrumentation-site cost stays one relaxed load.
+    /// The registry is bounded at ring capacity; oldest attachments are
+    /// evicted first.
+    pub fn attach(&self, token: u64, ctx: TraceContext) {
+        if !self.enabled() {
+            return;
+        }
+        self.attached.fetch_add(1, Ordering::Relaxed);
+        let mut store = sync::lock(&self.contexts);
+        if store.map.insert(token, ctx).is_none() {
+            store.order.push_back(token);
+        }
+        while store.order.len() > self.capacity {
+            if let Some(old) = store.order.pop_front() {
+                store.map.remove(&old);
+            }
+        }
+    }
+
+    /// The trace context attached to `token`, if any.
+    pub fn context_for(&self, token: u64) -> Option<TraceContext> {
+        sync::lock(&self.contexts).map.get(&token).copied()
+    }
+
+    /// Total contexts ever attached (exported as
+    /// `cf_trace_attached_total`).
+    pub fn attached_total(&self) -> u64 {
+        self.attached.load(Ordering::Relaxed)
     }
 
     /// Folds one profiled job's simulator attribution into the
@@ -446,17 +546,51 @@ impl Tracer {
     }
 
     /// Renders the `/trace` payload: recent events plus every stage's
-    /// histogram.
+    /// histogram. Note `seq` gaps between consecutive events mean the
+    /// ring dropped events under pressure (the top-level `dropped`
+    /// count says how many over the run's lifetime).
     pub fn render_json(&self, limit: usize) -> String {
-        let events: Vec<String> = self.recent(limit).iter().map(SpanEvent::render_json).collect();
+        self.render_json_filtered(limit, None, None)
+    }
+
+    /// [`render_json`](Tracer::render_json) with the `GET /trace` query
+    /// filters applied: `stage` keeps only events of that wire kind
+    /// (and only that stage's histogram), `trace` keeps only events
+    /// whose token has a matching attached [`TraceContext`]. Filters
+    /// run *before* the `limit` cut, so a filtered query still returns
+    /// up to `limit` matching events. Matching events are annotated
+    /// with `trace`/`span`/`parent` hex fields.
+    pub fn render_json_filtered(
+        &self,
+        limit: usize,
+        stage: Option<&str>,
+        trace: Option<u128>,
+    ) -> String {
+        let mut rendered: Vec<String> = Vec::new();
+        for e in self.recent(usize::MAX) {
+            if let Some(want) = stage {
+                if !kind_matches_stage(e.kind, want) {
+                    continue;
+                }
+            }
+            let ctx = if job_scoped(e.kind) { self.context_for(e.token) } else { None };
+            if let Some(want) = trace {
+                if ctx.map(|c| c.trace_id) != Some(want) {
+                    continue;
+                }
+            }
+            rendered.push(render_event_json(&e, ctx));
+        }
+        let skip = rendered.len().saturating_sub(limit);
+        let events = rendered[skip..].join(",");
         let histograms: Vec<String> = STAGES
             .iter()
+            .filter(|s| stage.is_none_or(|want| s.name() == want))
             .map(|&s| format!("{}:{}", json_str(s.name()), self.histogram(s).render_json()))
             .collect();
         format!(
-            "{{\"dropped\":{},\"events\":[{}],\"histograms\":{{{}}}}}",
+            "{{\"dropped\":{},\"events\":[{events}],\"histograms\":{{{}}}}}",
             self.dropped(),
-            events.join(","),
             histograms.join(","),
         )
     }
@@ -655,6 +789,18 @@ impl Obs {
     pub fn trace_json(&self, limit: usize) -> String {
         self.tracer.render_json(limit)
     }
+
+    /// The `/trace` response body with query filters
+    /// (`?limit=&stage=&trace=`) applied — see
+    /// [`Tracer::render_json_filtered`].
+    pub fn trace_json_filtered(
+        &self,
+        limit: usize,
+        stage: Option<&str>,
+        trace: Option<u128>,
+    ) -> String {
+        self.tracer.render_json_filtered(limit, stage, trace)
+    }
 }
 
 #[cfg(test)]
@@ -762,5 +908,58 @@ mod tests {
         // The gauge follows the flag in the exposition.
         let metrics = obs.metrics();
         assert!(metrics.contains("cf_draining 1"), "{metrics}");
+    }
+
+    #[test]
+    fn attach_joins_events_to_traces_at_render_time() {
+        let t = Tracer::new(8);
+        let ctx = crate::trace::TraceContext::mint().child();
+        t.attach(7, ctx);
+        assert_eq!(t.context_for(7), Some(ctx));
+        assert_eq!(t.attached_total(), 1);
+        t.record(SpanKind::JobStart, 7, Some(Duration::from_micros(3)), String::new);
+        t.record(SpanKind::JobStart, 8, None, String::new); // no context
+        t.record(SpanKind::CacheHit, 7, None, String::new); // digest namespace
+
+        // Unfiltered render annotates the attached event only.
+        let json = t.render_json(10);
+        assert!(json.contains(&format!("\"trace\":\"{:032x}\"", ctx.trace_id)), "{json}");
+        assert!(json.contains(&format!("\"span\":\"{:016x}\"", ctx.span_id)), "{json}");
+        let parent = ctx.parent.unwrap_or(0);
+        assert!(json.contains(&format!("\"parent\":\"{parent:016x}\"")), "{json}");
+
+        // Trace filter keeps only the joined job event.
+        let json = t.render_json_filtered(10, None, Some(ctx.trace_id));
+        assert_eq!(json.matches("\"kind\":").count(), 1, "{json}");
+        assert!(json.contains("\"kind\":\"job-start\""), "{json}");
+
+        // Stage filter accepts stage names and kind names alike, and
+        // narrows the histogram section.
+        let by_stage = t.render_json_filtered(10, Some("queue_wait"), None);
+        assert_eq!(by_stage.matches("\"kind\":").count(), 2, "{by_stage}");
+        assert!(!by_stage.contains("\"cache_lookup\""), "{by_stage}");
+        let by_kind = t.render_json_filtered(10, Some("cache-hit"), None);
+        assert!(by_kind.contains("\"kind\":\"cache-hit\""), "{by_kind}");
+
+        // An unknown trace id matches nothing.
+        let none = t.render_json_filtered(10, None, Some(0xDEAD));
+        assert!(none.contains("\"events\":[]"), "{none}");
+    }
+
+    #[test]
+    fn disabled_tracer_ignores_attach_and_registry_is_bounded() {
+        let t = Tracer::disabled();
+        t.attach(1, crate::trace::TraceContext::mint());
+        assert_eq!(t.context_for(1), None);
+        assert_eq!(t.attached_total(), 0);
+
+        let t = Tracer::new(2);
+        for token in 0..4u64 {
+            t.attach(token, crate::trace::TraceContext::mint());
+        }
+        assert_eq!(t.context_for(0), None, "oldest attachments evict first");
+        assert_eq!(t.context_for(1), None);
+        assert!(t.context_for(2).is_some());
+        assert!(t.context_for(3).is_some());
     }
 }

@@ -49,7 +49,7 @@
 //! fleet-wide id, so a client cannot tell the fleet from one big
 //! instance. See DESIGN.md §10.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -65,6 +65,7 @@ use crate::serve::{json_str, verify_record_json};
 use crate::stats::RouterStats;
 use crate::supervisor::{next_retry, BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
 use crate::sync;
+use crate::trace::{Attribution, TraceContext, ATTRIBUTION_HEADER, TRACE_HEADER};
 
 /// How long the accept loop sleeps when no connection is pending.
 const POLL_INTERVAL: Duration = Duration::from_millis(10);
@@ -81,6 +82,14 @@ const HEDGE_MIN_SAMPLES: u64 = 20;
 
 /// The quantile a submission must exceed before it is hedged.
 const HEDGE_QUANTILE: f64 = 0.95;
+
+/// Router-side span retention: the most recent spans kept for
+/// `GET /trace/<trace-id>` assembly (old spans fall off the front).
+const ROUTER_SPAN_CAP: usize = 4096;
+
+/// Bucket count of each SLO burn-rate window ring (60 × 5 s = 5 m,
+/// 60 × 60 s = 1 h).
+const SLO_SLOTS: usize = 60;
 
 // ---------------------------------------------------------------------------
 // Consistent-hash ring
@@ -221,6 +230,12 @@ struct Backend {
     last_probe_error: Option<String>,
     last_probe_error_at: Option<Instant>,
     breaker: CircuitBreaker,
+    /// Hedged races this backend answered first (as primary or as the
+    /// hedged duplicate's target).
+    hedges_won: u64,
+    /// Hedged races where this backend's in-flight request was cancelled
+    /// because the other side answered first.
+    hedges_cancelled: u64,
 }
 
 impl Backend {
@@ -235,6 +250,8 @@ impl Backend {
             last_probe_error: None,
             last_probe_error_at: None,
             breaker: CircuitBreaker::new(breaker),
+            hedges_won: 0,
+            hedges_cancelled: 0,
         }
     }
 
@@ -337,6 +354,17 @@ pub struct RouterConfig {
     /// Seeded wire-fault plan decorating the dialer (chaos testing);
     /// `None` dials straight TCP.
     pub netfault: Option<NetFaultPlan>,
+    /// End-to-end latency target for SLO accounting: a streamed record
+    /// counts *good* when its attributed latency (backend `total_us`
+    /// plus router submit network and backoff overhead — poll wait
+    /// excluded, since it depends on client timing) is within the
+    /// target. `None` disables SLO accounting (the `cf_slo_*` families
+    /// are still declared, sample-less).
+    pub slo_target: Option<Duration>,
+    /// The SLO objective: the fraction of records that must be good
+    /// (default 0.99). A burn rate of 1.0 means bad records arrive at
+    /// exactly the rate that exhausts the error budget on schedule.
+    pub slo_objective: f64,
 }
 
 impl Default for RouterConfig {
@@ -362,6 +390,8 @@ impl Default for RouterConfig {
             quarantine_after: 3,
             quarantine_for: Duration::from_secs(5),
             netfault: None,
+            slo_target: None,
+            slo_objective: 0.99,
         }
     }
 }
@@ -526,6 +556,192 @@ fn digest_ok(reply: &Reply) -> bool {
     }
 }
 
+/// One resolved (possibly hedged) submit attempt: which backend
+/// answered first, under which attempt trace context and cause, fired
+/// when, with what reply.
+struct AttemptReply {
+    backend: usize,
+    ctx: TraceContext,
+    cause: &'static str,
+    fired_at: Instant,
+    reply: std::io::Result<Reply>,
+}
+
+/// The raw `POST /jobs` request for one attempt, stamped with the
+/// attempt's trace context so the backend's per-job spans parent to it.
+fn submit_raw(text: &str, ctx: TraceContext) -> Vec<u8> {
+    format!(
+        "POST /jobs HTTP/1.1\r\nHost: cfrouter\r\n{TRACE_HEADER}: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{text}",
+        ctx.encode(),
+        text.len(),
+    )
+    .into_bytes()
+}
+
+/// One backend `/trace` event that belongs to the requested trace:
+/// decoded just far enough to merge (times in µs on the *backend's*
+/// clock — rebased into the parent attempt's window at render time).
+struct BackendTraceEvent {
+    kind: String,
+    detail: String,
+    at_us: u64,
+    duration_us: Option<u64>,
+    span: u64,
+    parent: Option<u64>,
+}
+
+/// Decodes a backend `/trace` body, keeping only events stamped with
+/// `trace_id`. `None` when the body is not the expected JSON shape.
+fn parse_backend_trace(body: &str, trace_id: u128) -> Option<Vec<BackendTraceEvent>> {
+    let value = serde_json::from_str(body).ok()?;
+    let events = value.get("events")?.as_array()?;
+    let want = format!("{trace_id:032x}");
+    let mut out = Vec::new();
+    for e in events {
+        if e.get("trace").and_then(|t| t.as_str()) != Some(want.as_str()) {
+            continue;
+        }
+        let Some(span) =
+            e.get("span").and_then(|s| s.as_str()).and_then(|s| u64::from_str_radix(s, 16).ok())
+        else {
+            continue;
+        };
+        let parent =
+            e.get("parent").and_then(|p| p.as_str()).and_then(|p| u64::from_str_radix(p, 16).ok());
+        let at_us =
+            e.get("at_s").and_then(|v| v.as_f64()).map(|s| (s * 1e6).max(0.0) as u64).unwrap_or(0);
+        let duration_us =
+            e.get("duration_s").and_then(|v| v.as_f64()).map(|s| (s * 1e6).max(0.0) as u64);
+        out.push(BackendTraceEvent {
+            kind: e.get("kind").and_then(|k| k.as_str()).unwrap_or("event").to_string(),
+            detail: e.get("detail").and_then(|d| d.as_str()).unwrap_or("").to_string(),
+            at_us,
+            duration_us,
+            span,
+            parent,
+        });
+    }
+    Some(out)
+}
+
+/// Renders the merged Chrome-trace document: router spans on pid 0
+/// (dispatch on tid 0, each attempt on its own lane — hedge races
+/// overlap in time, so they must not share one), then each backend's
+/// events on pid `i + 1`, grouped under the attempt span that caused
+/// them. Backend timestamps are offsets from a different clock, so
+/// each group is re-based into its attempt's `[start, start + dur)`
+/// window and clamped to keep parent/child intervals strictly nested.
+fn render_merged_trace(
+    trace_id: u128,
+    router_spans: &[RouterSpan],
+    scraped: &[(usize, Vec<BackendTraceEvent>)],
+    addrs: &[String],
+) -> String {
+    use cf_core::profile::{trace_complete_event, trace_process_name, trace_thread_name};
+    use serde_json::{Map, Value};
+
+    let mut evs: Vec<Value> = Vec::new();
+    evs.push(trace_process_name(0, "cfrouter"));
+    let mut router_end = 0u64;
+    let mut attempt_windows: HashMap<u64, (u64, u64, &'static str)> = HashMap::new();
+    let mut next_tid = 1u64;
+    for s in router_spans {
+        let tid = if s.name == "dispatch" {
+            evs.push(trace_thread_name(0, 0, "dispatch"));
+            0
+        } else {
+            let tid = next_tid;
+            next_tid += 1;
+            evs.push(trace_thread_name(0, tid, &format!("attempt {tid}")));
+            attempt_windows.insert(s.span_id, (s.start_us, s.dur_us.max(2), s.cause));
+            tid
+        };
+        let mut args = Map::new();
+        args.insert("cause", s.cause);
+        args.insert("outcome", s.outcome);
+        args.insert("span", format!("{:016x}", s.span_id));
+        if let Some(p) = s.parent {
+            args.insert("parent", format!("{p:016x}"));
+        }
+        if let Some(b) = s.backend {
+            args.insert("backend", b as u64);
+        }
+        let mut ev = trace_complete_event(
+            &format!("{} ({})", s.name, s.cause),
+            "router",
+            0,
+            tid,
+            s.start_us as f64,
+            s.dur_us.max(1) as f64,
+        );
+        if let Value::Object(m) = &mut ev {
+            m.insert("args", Value::Object(args));
+        }
+        evs.push(ev);
+        router_end = router_end.max(s.start_us + s.dur_us.max(1));
+    }
+
+    for &(i, ref events) in scraped {
+        if events.is_empty() {
+            continue;
+        }
+        let pid = i as u64 + 1;
+        let addr = addrs.get(i).map(String::as_str).unwrap_or("?");
+        evs.push(trace_process_name(pid, &format!("cfserve {addr}")));
+        // Group this backend's events by the router attempt span they
+        // parent to; events with no (known) parent merge into one
+        // "unparented" group after the router's own timeline.
+        let mut groups: HashMap<Option<u64>, Vec<&BackendTraceEvent>> = HashMap::new();
+        for e in events {
+            let key = e.parent.filter(|p| attempt_windows.contains_key(p));
+            groups.entry(key).or_default().push(e);
+        }
+        let mut keys: Vec<Option<u64>> = groups.keys().copied().collect();
+        keys.sort_unstable();
+        let mut tid = 0u64;
+        for key in keys {
+            let Some(group) = groups.get(&key) else { continue };
+            let min_at = group.iter().map(|e| e.at_us).min().unwrap_or(0);
+            let (base, limit) = match key.and_then(|p| attempt_windows.get(&p)) {
+                Some(&(wstart, wdur, cause)) => {
+                    // The attempt box re-rendered on the backend's pid,
+                    // so its children visually nest under it.
+                    evs.push(trace_complete_event(
+                        &format!("attempt ({cause})"),
+                        "backend",
+                        pid,
+                        tid,
+                        wstart as f64,
+                        wdur as f64,
+                    ));
+                    (wstart + 1, wstart + wdur - 1)
+                }
+                None => (router_end + 10, u64::MAX),
+            };
+            for e in group {
+                let ts = base.saturating_add(e.at_us - min_at).min(limit);
+                let mut args = Map::new();
+                args.insert("detail", e.detail.as_str());
+                args.insert("span", format!("{:016x}", e.span));
+                if let Some(p) = e.parent {
+                    args.insert("parent", format!("{p:016x}"));
+                }
+                if let Some(d) = e.duration_us {
+                    args.insert("duration_us", d);
+                }
+                let mut ev = trace_complete_event(&e.kind, "backend", pid, tid, ts as f64, 0.0);
+                if let Value::Object(m) = &mut ev {
+                    m.insert("args", Value::Object(args));
+                }
+                evs.push(ev);
+            }
+            tid += 1;
+        }
+    }
+
+    format!("{{\"trace\":\"{trace_id:032x}\",\"traceEvents\":{}}}", Value::Array(evs))
+}
+
 /// Maps a relayed backend status code to a status line the router can
 /// answer with (unknown codes degrade to 502).
 fn status_line(code: u16) -> &'static str {
@@ -540,6 +756,135 @@ fn status_line(code: u16) -> &'static str {
         503 => "503 Service Unavailable",
         _ => "502 Bad Gateway",
     }
+}
+
+// ---------------------------------------------------------------------------
+// Distributed-trace spans and SLO accounting
+// ---------------------------------------------------------------------------
+
+/// One router-side span: the dispatch of a submission, or a single
+/// attempt against one backend (primary, hedge, failover, resubmit).
+/// Retained in a bounded ring for `GET /trace/<trace-id>` assembly.
+#[derive(Debug, Clone)]
+struct RouterSpan {
+    trace_id: u128,
+    span_id: u64,
+    parent: Option<u64>,
+    /// `"dispatch"` (the whole routed submission) or `"attempt"` (one
+    /// exchange against one backend).
+    name: &'static str,
+    /// Why the span exists: `"submit"` for dispatch; `"primary"`,
+    /// `"hedge"`, `"eject-failover"`, `"corrupt-failover"` or
+    /// `"resubmit"` for attempts.
+    cause: &'static str,
+    /// Target backend index (attempts only).
+    backend: Option<usize>,
+    /// Start offset, µs since the router started.
+    start_us: u64,
+    dur_us: u64,
+    /// `"ok"`, `"failed"`, or `"cancelled"` (a hedged race's loser).
+    outcome: &'static str,
+}
+
+/// One burn-rate window bucket (`slot` disambiguates ring reuse: a
+/// bucket whose slot is stale belongs to a previous revolution and is
+/// reset on the next write, ignored on reads outside the window).
+#[derive(Debug, Clone, Copy, Default)]
+struct SloBucket {
+    slot: u64,
+    good: u64,
+    bad: u64,
+}
+
+/// SLO accounting over streamed records: lifetime good/bad counters
+/// plus two bucket rings for the 5-minute (60 × 5 s) and 1-hour
+/// (60 × 60 s) burn-rate windows. Burn rate is
+/// `(bad_w / total_w) / (1 − objective)` over the window — the rate at
+/// which the error budget is being spent, 1.0 meaning "on schedule to
+/// exhaust it exactly".
+#[derive(Debug)]
+struct SloTracker {
+    target: Duration,
+    objective: f64,
+    good: AtomicU64,
+    bad: AtomicU64,
+    w5m: Mutex<[SloBucket; SLO_SLOTS]>,
+    w1h: Mutex<[SloBucket; SLO_SLOTS]>,
+}
+
+impl SloTracker {
+    fn new(target: Duration, objective: f64) -> SloTracker {
+        SloTracker {
+            target,
+            // An objective of 1.0 would make every burn rate infinite;
+            // clamp just below so the math stays finite.
+            objective: objective.clamp(0.0, 0.999_999),
+            good: AtomicU64::new(0),
+            bad: AtomicU64::new(0),
+            w5m: Mutex::new([SloBucket::default(); SLO_SLOTS]),
+            w1h: Mutex::new([SloBucket::default(); SLO_SLOTS]),
+        }
+    }
+
+    /// Books one streamed record at router-uptime `uptime`.
+    fn record(&self, latency: Duration, uptime: Duration) {
+        let good = latency <= self.target;
+        if good {
+            self.good.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.bad.fetch_add(1, Ordering::Relaxed);
+        }
+        Self::bump(&self.w5m, uptime.as_secs() / 5, good);
+        Self::bump(&self.w1h, uptime.as_secs() / 60, good);
+    }
+
+    fn bump(ring: &Mutex<[SloBucket; SLO_SLOTS]>, slot: u64, good: bool) {
+        let mut ring = sync::lock(ring);
+        let b = &mut ring[(slot as usize) % SLO_SLOTS];
+        if b.slot != slot {
+            *b = SloBucket { slot, good: 0, bad: 0 };
+        }
+        if good {
+            b.good += 1;
+        } else {
+            b.bad += 1;
+        }
+    }
+
+    fn window(ring: &Mutex<[SloBucket; SLO_SLOTS]>, now_slot: u64) -> (u64, u64) {
+        let ring = sync::lock(ring);
+        let lo = now_slot.saturating_sub(SLO_SLOTS as u64 - 1);
+        ring.iter()
+            .filter(|b| b.slot >= lo && b.slot <= now_slot)
+            .fold((0, 0), |(g, bd), b| (g + b.good, bd + b.bad))
+    }
+
+    fn burn_rate(&self, ring: &Mutex<[SloBucket; SLO_SLOTS]>, now_slot: u64) -> f64 {
+        let (good, bad) = Self::window(ring, now_slot);
+        let total = good + bad;
+        let allowed = 1.0 - self.objective;
+        if total == 0 {
+            return 0.0;
+        }
+        (bad as f64 / total as f64) / allowed
+    }
+
+    /// Lifetime error budget remaining, 1.0 (untouched) → 0.0 (spent).
+    fn budget_remaining(&self) -> f64 {
+        let good = self.good.load(Ordering::Relaxed);
+        let bad = self.bad.load(Ordering::Relaxed);
+        let total = good + bad;
+        if total == 0 {
+            return 1.0;
+        }
+        let allowed = (1.0 - self.objective) * total as f64;
+        (1.0 - bad as f64 / allowed).clamp(0.0, 1.0)
+    }
+}
+
+/// `Duration` → whole µs, saturating (the span/attribution unit).
+fn dur_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
 // ---------------------------------------------------------------------------
@@ -559,6 +904,16 @@ struct JobRoute {
     /// The job's id *on that backend* (backend-local ids are translated
     /// to fleet-wide router ids at the edge).
     backend_id: u64,
+    /// The submission's root trace context — the router's dispatch
+    /// span; every attempt (and the backend's per-job span) descends
+    /// from it.
+    trace: TraceContext,
+    /// When the router accepted the submission (attribution clock).
+    accepted_at: Instant,
+    /// Submit-exchange time (dial + transfer + backend accept), µs.
+    net_submit_us: u64,
+    /// Failover/backoff sleeps attributed to this job so far, µs.
+    backoff_us: u64,
 }
 
 /// One response from the router, ready to serialize.
@@ -567,6 +922,10 @@ struct RouterResponse {
     content_type: &'static str,
     retry_after: Option<u64>,
     allow: Option<&'static str>,
+    /// Extra response headers (`X-CF-Trace`, `X-CF-Attribution`) —
+    /// trace identity and latency attribution ride as headers only, so
+    /// relayed record bodies stay byte-identical to the backend's.
+    extra: Vec<(&'static str, String)>,
     body: String,
 }
 
@@ -577,6 +936,7 @@ impl RouterResponse {
             content_type: "application/json",
             retry_after: None,
             allow: None,
+            extra: Vec::new(),
             body,
         }
     }
@@ -601,6 +961,12 @@ pub struct Router {
     shutdown: Arc<AtomicBool>,
     prober: Mutex<Option<thread::JoinHandle<()>>>,
     connector: Arc<dyn Connector>,
+    /// The router's span clock zero (span offsets are µs since this).
+    started: Instant,
+    /// Bounded ring of router-side spans for trace assembly.
+    spans: Mutex<VecDeque<RouterSpan>>,
+    /// SLO accounting, when a target is configured.
+    slo: Option<SloTracker>,
 }
 
 impl Router {
@@ -618,6 +984,7 @@ impl Router {
             Some(plan) => Arc::new(FaultConnector::new(Arc::new(TcpConnector), plan.clone())),
             None => Arc::new(TcpConnector),
         };
+        let slo = config.slo_target.map(|t| SloTracker::new(t, config.slo_objective));
         Arc::new(Router {
             ring,
             backends: Mutex::new(backends),
@@ -628,6 +995,9 @@ impl Router {
             shutdown: Arc::new(AtomicBool::new(false)),
             prober: Mutex::new(None),
             connector,
+            started: Instant::now(),
+            spans: Mutex::new(VecDeque::new()),
+            slo,
             config,
         })
     }
@@ -653,6 +1023,38 @@ impl Router {
     /// The consistent-hash ring.
     pub fn ring(&self) -> &Ring {
         &self.ring
+    }
+
+    /// Appends one span to the bounded store (oldest falls off).
+    fn record_span(&self, span: RouterSpan) {
+        let mut spans = sync::lock(&self.spans);
+        if spans.len() >= ROUTER_SPAN_CAP {
+            spans.pop_front();
+        }
+        spans.push_back(span);
+    }
+
+    /// Records one finished attempt span against `backend` (fired at
+    /// `fired_at`, ending now).
+    fn record_attempt(
+        &self,
+        ctx: TraceContext,
+        cause: &'static str,
+        backend: usize,
+        fired_at: Instant,
+        outcome: &'static str,
+    ) {
+        self.record_span(RouterSpan {
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent: ctx.parent,
+            name: "attempt",
+            cause,
+            backend: Some(backend),
+            start_us: dur_us(fired_at.duration_since(self.started)),
+            dur_us: dur_us(fired_at.elapsed()),
+            outcome,
+        });
     }
 
     /// Starts the background health prober (idempotent).
@@ -817,15 +1219,20 @@ impl Router {
         floor
     }
 
-    /// Sends `raw` to `primary`, hedging one duplicate to `secondary`
-    /// if no answer arrives within the hedge threshold. First answer
-    /// wins; the loser's stream is shut down.
+    /// Fires one submit attempt at `primary` — with its own child trace
+    /// context, so the backend's spans parent to this attempt — hedging
+    /// one duplicate to `secondary` if no answer arrives within the
+    /// hedge threshold. First answer wins; the loser's stream is shut
+    /// down, its span recorded as `cancelled`, and the hedge outcome
+    /// booked on both backends' counters.
     fn exchange_hedged(
         &self,
+        root: TraceContext,
+        cause: &'static str,
         primary: usize,
         secondary: Option<usize>,
-        raw: Vec<u8>,
-    ) -> (usize, std::io::Result<Reply>) {
+        text: &str,
+    ) -> AttemptReply {
         let threshold = self.hedge_threshold();
         let (tx, rx) = mpsc::channel::<(usize, std::io::Result<Reply>, Arc<CancelSlot>)>();
         let fire = |idx: usize, raw: Vec<u8>, tx: mpsc::Sender<_>| {
@@ -849,17 +1256,22 @@ impl Router {
             }
         };
 
-        fire(primary, raw.clone(), tx.clone());
+        let primary_ctx = root.child();
+        let primary_fired = Instant::now();
+        fire(primary, submit_raw(text, primary_ctx), tx.clone());
         let hedge_target = match secondary {
             Some(s) if !threshold.is_zero() && s != primary => Some(s),
             _ => None,
         };
+        let mut hedge_fired: Option<(usize, TraceContext, Instant)> = None;
         let first = match hedge_target {
             Some(s) => match rx.recv_timeout(threshold) {
                 Ok(first) => Ok(first),
                 Err(mpsc::RecvTimeoutError::Timeout) => {
                     self.stats.hedges.fetch_add(1, Ordering::Relaxed);
-                    fire(s, raw, tx.clone());
+                    let hedge_ctx = root.child();
+                    hedge_fired = Some((s, hedge_ctx, Instant::now()));
+                    fire(s, submit_raw(text, hedge_ctx), tx.clone());
                     rx.recv().map_err(|_| ())
                 }
                 Err(mpsc::RecvTimeoutError::Disconnected) => Err(()),
@@ -869,23 +1281,56 @@ impl Router {
         drop(tx);
         let Ok((idx, reply, _slot)) = first else {
             let lost = std::io::Error::other("proxy channel lost");
-            return (primary, Err(lost));
+            return AttemptReply {
+                backend: primary,
+                ctx: primary_ctx,
+                cause,
+                fired_at: primary_fired,
+                reply: Err(lost),
+            };
         };
         // A hedged duplicate that loses gets cancelled so it does not
         // ride out its full read timeout against the slow backend.
         if let Ok((loser_idx, loser_reply, loser_slot)) = rx.try_recv() {
             drop((loser_idx, loser_reply));
             loser_slot.cancel();
-        } else if hedge_target.is_some() {
+        } else if hedge_fired.is_some() {
             // The loser is still in flight: shut its stream down. A
             // dedicated drainer reaps the channel so the send never
             // blocks (it is unbounded anyway — this is belt and braces).
             thread::spawn(move || while rx.recv().map(|(_, _, s)| s.cancel()).is_ok() {});
         }
+        // Resolve the race: the loser's span closes as `cancelled`,
+        // and the per-backend hedge outcome lands on both sides.
+        let (ctx, win_cause, fired_at) = match hedge_fired {
+            Some((hedge_idx, hedge_ctx, hedge_at)) => {
+                let (loser_idx, loser_ctx, loser_cause, loser_at) = if idx == primary {
+                    (hedge_idx, hedge_ctx, "hedge", hedge_at)
+                } else {
+                    (primary, primary_ctx, cause, primary_fired)
+                };
+                self.record_attempt(loser_ctx, loser_cause, loser_idx, loser_at, "cancelled");
+                {
+                    let mut backends = sync::lock(&self.backends);
+                    if let Some(b) = backends.get_mut(idx) {
+                        b.hedges_won += 1;
+                    }
+                    if let Some(b) = backends.get_mut(loser_idx) {
+                        b.hedges_cancelled += 1;
+                    }
+                }
+                if idx == primary {
+                    (primary_ctx, cause, primary_fired)
+                } else {
+                    (hedge_ctx, "hedge", hedge_at)
+                }
+            }
+            None => (primary_ctx, cause, primary_fired),
+        };
         if idx != primary {
             self.stats.hedge_wins.fetch_add(1, Ordering::Relaxed);
         }
-        (idx, reply)
+        AttemptReply { backend: idx, ctx, cause: win_cause, fired_at, reply }
     }
 
     /// Deterministic backoff jitter for failover attempt `attempt` of
@@ -898,33 +1343,64 @@ impl Router {
     // -- POST /jobs ---------------------------------------------------------
 
     /// Routes a `POST /jobs` body: consistent-hash, forward with
-    /// failover + hedging, translate backend ids to router ids.
-    fn submit(&self, body: &[u8]) -> RouterResponse {
+    /// failover + hedging, translate backend ids to router ids. The
+    /// whole dispatch becomes the trace's root router span — parented
+    /// to the client's context when one was propagated in — and the
+    /// response echoes the root on `X-CF-Trace`.
+    fn submit(&self, body: &[u8], client: Option<TraceContext>) -> RouterResponse {
+        let root = match client {
+            Some(c) => c.child(),
+            None => TraceContext::mint(),
+        };
+        let t0 = Instant::now();
+        let mut response = self.submit_routed(body, root, t0);
+        self.record_span(RouterSpan {
+            trace_id: root.trace_id,
+            span_id: root.span_id,
+            parent: root.parent,
+            name: "dispatch",
+            cause: "submit",
+            backend: None,
+            start_us: dur_us(t0.duration_since(self.started)),
+            dur_us: dur_us(t0.elapsed()),
+            outcome: if response.status.starts_with("202") { "ok" } else { "failed" },
+        });
+        response.extra.push((TRACE_HEADER, root.encode()));
+        response
+    }
+
+    /// The submit failover loop under the dispatch span `root`.
+    fn submit_routed(&self, body: &[u8], root: TraceContext, t0: Instant) -> RouterResponse {
         let Ok(text) = std::str::from_utf8(body) else {
             return RouterResponse::error("400 Bad Request", "body is not UTF-8");
         };
         let fingerprint = api::routing_fingerprint(text);
-        let raw = format!(
-            "POST /jobs HTTP/1.1\r\nHost: cfrouter\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{text}",
-            body.len()
-        )
-        .into_bytes();
-
-        let t0 = Instant::now();
         let started = Instant::now();
         let mut failures = 0u32;
+        let mut cause: &'static str = "primary";
+        let mut backoff_total = Duration::ZERO;
         loop {
             let candidates = self.candidates(fingerprint);
             let Some(&target) = candidates.get(failures as usize % candidates.len().max(1)) else {
                 return RouterResponse::error("502 Bad Gateway", "no backends configured");
             };
             let hedge = hedge_pick(&candidates, target, |c| self.routable(c));
-            let (winner, reply) = self.exchange_hedged(target, hedge, raw.clone());
-            let error = match reply {
+            let attempt = self.exchange_hedged(root, cause, target, hedge, text);
+            let winner = attempt.backend;
+            let (error, next_cause) = match attempt.reply {
                 Ok(r) if r.status == 202 && digest_ok(&r) => {
-                    match self.accept(text, fingerprint, winner, &r) {
+                    let booked =
+                        self.accept(text, fingerprint, winner, &r, root, t0, dur_us(backoff_total));
+                    match booked {
                         Ok(response) => {
                             self.note_request_outcome(winner, true);
+                            self.record_attempt(
+                                attempt.ctx,
+                                attempt.cause,
+                                winner,
+                                attempt.fired_at,
+                                "ok",
+                            );
                             self.submit_latency.observe(t0.elapsed());
                             return response;
                         }
@@ -932,43 +1408,49 @@ impl Router {
                         // bad as a corrupt one: fail over.
                         Err(response) => {
                             self.note_request_outcome(winner, false);
-                            response
+                            (response, "eject-failover")
                         }
                     }
                 }
                 Ok(r) if (r.status == 400 || r.status == 413) && digest_ok(&r) => {
                     // The spec itself is bad: every backend would agree.
                     self.note_request_outcome(winner, true);
+                    self.record_attempt(attempt.ctx, attempt.cause, winner, attempt.fired_at, "ok");
                     return relay(&r);
                 }
                 Ok(r) if !digest_ok(&r) => {
                     // The reply does not match its own digest: the wire
                     // (or the backend) is lying. Never trust it.
                     self.note_corruption(winner);
-                    RouterResponse::error(
+                    let error = RouterResponse::error(
                         "502 Bad Gateway",
                         &format!("backend {}: corrupt response", self.backend_addr(winner)),
-                    )
+                    );
+                    (error, "corrupt-failover")
                 }
                 Ok(r) => {
                     // 503 (shed / draining) or 5xx: try the next replica.
                     self.note_request_outcome(winner, false);
-                    relay(&r)
+                    (relay(&r), "eject-failover")
                 }
                 Err(e) => {
                     self.note_request_outcome(winner, false);
-                    RouterResponse::error(
+                    let error = RouterResponse::error(
                         "502 Bad Gateway",
                         &format!("backend {}: {e}", self.backend_addr(winner)),
-                    )
+                    );
+                    (error, "eject-failover")
                 }
             };
+            self.record_attempt(attempt.ctx, attempt.cause, winner, attempt.fired_at, "failed");
+            cause = next_cause;
             failures += 1;
             let jitter = Self::failover_jitter(fingerprint, failures);
             match next_retry(&self.config.retry, failures, started.elapsed(), jitter) {
                 Some(backoff) => {
                     self.stats.failovers.fetch_add(1, Ordering::Relaxed);
                     thread::sleep(backoff);
+                    backoff_total += backoff;
                 }
                 // Budget exhausted: the last error is the answer.
                 None => return error,
@@ -980,12 +1462,16 @@ impl Router {
     /// per-job specs for failover, answer with the translated ids.
     /// `Err` carries the response for an accept body the router cannot
     /// book — the caller treats it as a backend failure and fails over.
+    #[allow(clippy::too_many_arguments)]
     fn accept(
         &self,
         body: &str,
         fingerprint: u64,
         backend: usize,
         reply: &Reply,
+        root: TraceContext,
+        accepted_at: Instant,
+        backoff_us: u64,
     ) -> Result<RouterResponse, RouterResponse> {
         let text = String::from_utf8_lossy(&reply.body);
         let Ok(value) = serde_json::from_str(&text) else {
@@ -1014,7 +1500,16 @@ impl Router {
                 let spec = specs.get(offset).cloned().unwrap_or_else(|| body.to_string());
                 jobs.insert(
                     base + offset as u64,
-                    JobRoute { spec, fingerprint, backend, backend_id },
+                    JobRoute {
+                        spec,
+                        fingerprint,
+                        backend,
+                        backend_id,
+                        trace: root,
+                        accepted_at,
+                        net_submit_us: dur_us(accepted_at.elapsed()),
+                        backoff_us,
+                    },
                 );
             }
         }
@@ -1064,7 +1559,22 @@ impl Router {
                     if r.status == 200 && !status_only {
                         self.stats.records_streamed.fetch_add(1, Ordering::Relaxed);
                     }
-                    return translate_ids(&r, route.backend_id, rid, status_only);
+                    let mut response = translate_ids(&r, route.backend_id, rid, status_only);
+                    // Trace/attribution ride only as headers, never in
+                    // the record body: byte-identity is preserved.
+                    if let Some(trace) = r.header(TRACE_HEADER) {
+                        response.extra.push((TRACE_HEADER, trace.to_string()));
+                    }
+                    if r.status == 200 {
+                        if let Some(attr) =
+                            r.header(ATTRIBUTION_HEADER).and_then(Attribution::parse)
+                        {
+                            response
+                                .extra
+                                .push((ATTRIBUTION_HEADER, self.finish_attribution(&route, attr)));
+                        }
+                    }
+                    return response;
                 }
                 Ok(r) if r.status == 400 && digest_ok(&r) => {
                     self.note_request_outcome(route.backend, true);
@@ -1091,6 +1601,14 @@ impl Router {
                 );
             };
             thread::sleep(backoff);
+            {
+                // Retry backoff is the client's time too: accrue it so
+                // the final attribution can name it.
+                let mut jobs = sync::lock(&self.jobs);
+                if let Some(r) = jobs.get_mut(&rid) {
+                    r.backoff_us = r.backoff_us.saturating_add(dur_us(backoff));
+                }
+            }
             if let Some((backend, backend_id)) = self.resubmit(&route) {
                 self.stats.failovers.fetch_add(1, Ordering::Relaxed);
                 let mut jobs = sync::lock(&self.jobs);
@@ -1117,6 +1635,47 @@ impl Router {
         true
     }
 
+    /// Extends a backend's attribution with the router-side components
+    /// (submit network time, poll-side residue, retry backoff), folds
+    /// the result into the `/stats` aggregates, and classifies the job
+    /// against the SLO. Returns the encoded header value.
+    ///
+    /// `net_poll_us` is the residue of the router-observed wall clock
+    /// (accept → record streamed) not covered by the backend's own
+    /// `total_us`, the submit dial, or backoff sleeps — so the full
+    /// component sum equals the router's end-to-end measurement.
+    fn finish_attribution(&self, route: &JobRoute, mut attr: Attribution) -> String {
+        let total = attr.total_us();
+        let router_total = dur_us(route.accepted_at.elapsed());
+        let net_poll = router_total
+            .saturating_sub(total)
+            .saturating_sub(route.net_submit_us)
+            .saturating_sub(route.backoff_us);
+        attr.push("net_submit_us", route.net_submit_us);
+        attr.push("net_poll_us", net_poll);
+        attr.push("backoff_us", route.backoff_us);
+        self.stats.attr_records.fetch_add(1, Ordering::Relaxed);
+        self.stats.attr_total_us.fetch_add(total, Ordering::Relaxed);
+        self.stats
+            .attr_admission_us
+            .fetch_add(attr.get("admission_us").unwrap_or(0), Ordering::Relaxed);
+        self.stats.attr_queue_us.fetch_add(attr.get("queue_us").unwrap_or(0), Ordering::Relaxed);
+        self.stats.attr_run_us.fetch_add(attr.get("run_us").unwrap_or(0), Ordering::Relaxed);
+        self.stats
+            .attr_net_us
+            .fetch_add(route.net_submit_us.saturating_add(net_poll), Ordering::Relaxed);
+        self.stats.attr_backoff_us.fetch_add(route.backoff_us, Ordering::Relaxed);
+        if let Some(slo) = &self.slo {
+            // SLO latency: backend execution + submit dial + backoff.
+            // Poll wait is excluded — it measures the client's polling
+            // cadence, not the fleet's service quality.
+            let latency =
+                total.saturating_add(route.net_submit_us).saturating_add(route.backoff_us);
+            slo.record(Duration::from_micros(latency), self.started.elapsed());
+        }
+        attr.encode()
+    }
+
     /// Resubmits a lost job's retained spec to the next live replica
     /// (skipping the dead owner); simulation is deterministic, so the
     /// re-run's record is byte-identical to the one the dead backend
@@ -1128,12 +1687,11 @@ impl Router {
             .filter(|&c| c != route.backend && self.routable(c))
             .collect();
         for target in candidates {
-            let raw = format!(
-                "POST /jobs HTTP/1.1\r\nHost: cfrouter\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
-                route.spec.len(),
-                route.spec
-            )
-            .into_bytes();
+            // Each resubmission attempt is its own child span under
+            // the job's dispatch span, cause "resubmit".
+            let ctx = route.trace.child();
+            let fired_at = Instant::now();
+            let raw = submit_raw(&route.spec, ctx);
             let addr = self.backend_addr(target);
             let reply = self.exchange(
                 &addr,
@@ -1143,7 +1701,10 @@ impl Router {
                 None,
             );
             match reply {
-                Ok(r) if r.status == 202 && !digest_ok(&r) => self.note_corruption(target),
+                Ok(r) if r.status == 202 && !digest_ok(&r) => {
+                    self.note_corruption(target);
+                    self.record_attempt(ctx, "resubmit", target, fired_at, "failed");
+                }
                 Ok(r) if r.status == 202 => {
                     self.note_request_outcome(target, true);
                     let text = String::from_utf8_lossy(&r.body);
@@ -1151,10 +1712,15 @@ impl Router {
                         .ok()
                         .and_then(|v: serde_json::Value| v.get("id").and_then(|i| i.as_u64()));
                     if let Some(id) = id {
+                        self.record_attempt(ctx, "resubmit", target, fired_at, "ok");
                         return Some((target, id));
                     }
+                    self.record_attempt(ctx, "resubmit", target, fired_at, "failed");
                 }
-                Ok(_) | Err(_) => self.note_request_outcome(target, false),
+                Ok(_) | Err(_) => {
+                    self.note_request_outcome(target, false);
+                    self.record_attempt(ctx, "resubmit", target, fired_at, "failed");
+                }
             }
         }
         None
@@ -1212,19 +1778,31 @@ impl Router {
                     _ => ("null".to_string(), "null".to_string()),
                 };
                 format!(
-                    "{{\"addr\":{},\"health\":{},\"breaker\":{},\"jobs\":{n},\"consecutive_failures\":{},\"consecutive_successes\":{},\"consecutive_corruptions\":{},\"last_probe_error\":{probe_error},\"last_probe_error_age_s\":{probe_error_age}}}",
+                    "{{\"addr\":{},\"health\":{},\"breaker\":{},\"jobs\":{n},\"consecutive_failures\":{},\"consecutive_successes\":{},\"consecutive_corruptions\":{},\"hedges_won\":{},\"hedges_cancelled\":{},\"last_probe_error\":{probe_error},\"last_probe_error_age_s\":{probe_error_age}}}",
                     json_str(&b.addr),
                     json_str(b.health.name()),
                     json_str(breaker),
                     b.consecutive_failures,
                     b.consecutive_successes,
                     b.consecutive_corruptions,
+                    b.hedges_won,
+                    b.hedges_cancelled,
                 )
             })
             .collect();
         let s = &self.stats;
+        let attribution = format!(
+            "{{\"records\":{},\"total_us\":{},\"admission_us\":{},\"queue_us\":{},\"run_us\":{},\"net_us\":{},\"backoff_us\":{}}}",
+            s.attr_records.load(Ordering::Relaxed),
+            s.attr_total_us.load(Ordering::Relaxed),
+            s.attr_admission_us.load(Ordering::Relaxed),
+            s.attr_queue_us.load(Ordering::Relaxed),
+            s.attr_run_us.load(Ordering::Relaxed),
+            s.attr_net_us.load(Ordering::Relaxed),
+            s.attr_backoff_us.load(Ordering::Relaxed),
+        );
         format!(
-            "{{\"routed\":{},\"records_streamed\":{},\"failovers\":{},\"hedges\":{},\"hedge_wins\":{},\"ejections\":{},\"readmissions\":{},\"probe_failures\":{},\"corrupt_responses\":{},\"quarantines\":{},\"jobs\":{},\"backends\":[{}]}}",
+            "{{\"routed\":{},\"records_streamed\":{},\"failovers\":{},\"hedges\":{},\"hedge_wins\":{},\"ejections\":{},\"readmissions\":{},\"probe_failures\":{},\"corrupt_responses\":{},\"quarantines\":{},\"jobs\":{},\"spans\":{},\"attribution\":{attribution},\"backends\":[{}]}}",
             s.routed.load(Ordering::Relaxed),
             s.records_streamed.load(Ordering::Relaxed),
             s.failovers.load(Ordering::Relaxed),
@@ -1236,6 +1814,7 @@ impl Router {
             s.corrupt_responses.load(Ordering::Relaxed),
             s.quarantines.load(Ordering::Relaxed),
             jobs.len(),
+            sync::lock(&self.spans).len(),
             rows.join(","),
         )
     }
@@ -1267,6 +1846,69 @@ impl Router {
             names.join(","),
             points.join(","),
         )
+    }
+
+    /// Assembles the fleet-wide trace for `trace_id`: the router's own
+    /// spans plus matching spans scraped from every backend's `/trace`,
+    /// merged into one Chrome-trace (`traceEvents`) document. The
+    /// router is pid 0; each backend is pid `i + 1`. Backend events are
+    /// re-based into their parent attempt's router-clock window (their
+    /// `at_s` stamps are relative to the *backend's* tracer birth, a
+    /// different clock), preserving order and strict nesting.
+    pub fn trace_json(&self, trace_id: u128) -> String {
+        let router_spans: Vec<RouterSpan> =
+            sync::lock(&self.spans).iter().filter(|s| s.trace_id == trace_id).cloned().collect();
+        let addrs: Vec<String> = {
+            let backends = sync::lock(&self.backends);
+            backends.iter().map(|b| b.addr.clone()).collect()
+        };
+        // Scrape every backend in parallel, mirroring `metrics()`: a
+        // corrupt or unreachable instance is simply absent from the
+        // merge.
+        let (tx, rx) = mpsc::channel::<(usize, Option<String>, bool)>();
+        let mut expected = 0usize;
+        for (i, addr) in addrs.iter().enumerate() {
+            let tx = tx.clone();
+            let addr = addr.clone();
+            let connector = Arc::clone(&self.connector);
+            let connect = self.config.connect_timeout;
+            let read = self.config.probe_timeout.max(Duration::from_secs(2));
+            let spawned =
+                thread::Builder::new().name("cf-router-scrape".to_string()).spawn(move || {
+                    let raw = format!(
+                        "GET /trace?trace={trace_id:032x}&limit=4096 HTTP/1.1\r\nHost: cfrouter\r\nConnection: close\r\n\r\n"
+                    );
+                    let reply = connector
+                        .exchange(&addr, raw.as_bytes(), connect, read, None)
+                        .and_then(|bytes| parse_reply(&bytes))
+                        .ok()
+                        .filter(|r| r.status == 200);
+                    let corrupt = reply.as_ref().is_some_and(|r| !digest_ok(r));
+                    let body = reply
+                        .filter(digest_ok)
+                        .map(|r| String::from_utf8_lossy(&r.body).to_string());
+                    let _ = tx.send((i, body, corrupt));
+                });
+            if spawned.is_ok() {
+                expected += 1;
+            }
+        }
+        drop(tx);
+        let mut scraped: Vec<(usize, Vec<BackendTraceEvent>)> = Vec::new();
+        for _ in 0..expected {
+            match rx.recv() {
+                Ok((i, Some(body), _)) => {
+                    if let Some(events) = parse_backend_trace(&body, trace_id) {
+                        scraped.push((i, events));
+                    }
+                }
+                Ok((i, None, true)) => self.note_corruption(i),
+                Ok((_, None, false)) => {}
+                Err(_) => break,
+            }
+        }
+        scraped.sort_by_key(|&(i, _)| i);
+        render_merged_trace(trace_id, &router_spans, &scraped, &addrs)
     }
 
     /// The aggregated `/metrics` body: every live backend's exposition
@@ -1406,7 +2048,67 @@ impl Router {
                 u8::from(b.health == BackendHealth::Up),
             ));
         }
+        drop(backends);
+        self.slo_metrics(&mut out);
         out
+    }
+
+    /// Appends the `cf_slo_*` families. HELP/TYPE lines are always
+    /// emitted so dashboards can discover the series; samples appear
+    /// only when an SLO target is configured (`--slo-ms`).
+    fn slo_metrics(&self, out: &mut String) {
+        let slo = self.slo.as_ref();
+        let uptime = self.started.elapsed();
+        let series: [(&str, &str, &str, Option<String>); 7] = [
+            (
+                "cf_slo_good_total",
+                "counter",
+                "Finished jobs whose SLO latency met the target.",
+                slo.map(|s| s.good.load(Ordering::Relaxed).to_string()),
+            ),
+            (
+                "cf_slo_bad_total",
+                "counter",
+                "Finished jobs whose SLO latency missed the target.",
+                slo.map(|s| s.bad.load(Ordering::Relaxed).to_string()),
+            ),
+            (
+                "cf_slo_error_budget_remaining",
+                "gauge",
+                "Fraction of the error budget still unspent (1 = untouched, 0 = exhausted).",
+                slo.map(|s| format!("{:?}", s.budget_remaining())),
+            ),
+            (
+                "cf_slo_burn_rate_5m",
+                "gauge",
+                "Error-budget burn rate over the trailing 5 minutes (1 = burning exactly at budget).",
+                slo.map(|s| format!("{:?}", s.burn_rate(&s.w5m, uptime.as_secs() / 5))),
+            ),
+            (
+                "cf_slo_burn_rate_1h",
+                "gauge",
+                "Error-budget burn rate over the trailing hour (1 = burning exactly at budget).",
+                slo.map(|s| format!("{:?}", s.burn_rate(&s.w1h, uptime.as_secs() / 60))),
+            ),
+            (
+                "cf_slo_target_seconds",
+                "gauge",
+                "Configured SLO latency target.",
+                slo.map(|s| format!("{:?}", s.target.as_secs_f64())),
+            ),
+            (
+                "cf_slo_objective",
+                "gauge",
+                "Configured SLO availability objective (e.g. 0.99).",
+                slo.map(|s| format!("{:?}", s.objective)),
+            ),
+        ];
+        for (name, kind, help, sample) in series {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+            if let Some(value) = sample {
+                out.push_str(&format!("{name} {value}\n"));
+            }
+        }
     }
 
     // -- Request dispatch ---------------------------------------------------
@@ -1429,6 +2131,9 @@ impl Router {
         }
         if let Some(secs) = response.retry_after {
             head.push_str(&format!("Retry-After: {secs}\r\n"));
+        }
+        for (name, value) in &response.extra {
+            head.push_str(&format!("{name}: {value}\r\n"));
         }
         head.push_str("\r\n");
         (head, response.body)
@@ -1453,6 +2158,7 @@ impl Router {
                         content_type: "text/plain; version=0.0.4; charset=utf-8",
                         retry_after: None,
                         allow: None,
+                        extra: Vec::new(),
                         body: self.metrics(),
                     },
                 }
@@ -1464,35 +2170,77 @@ impl Router {
                     r.allow = Some("POST");
                     return r;
                 }
-                self.submit(&request.body)
+                // A client-supplied trace context parents the router's
+                // dispatch span; a malformed one is the client's bug
+                // and gets a 400, not a silent re-mint.
+                let client = match request.header(TRACE_HEADER) {
+                    Some(h) => match TraceContext::parse(h) {
+                        Ok(c) => Some(c),
+                        Err(e) => {
+                            return RouterResponse::error(
+                                "400 Bad Request",
+                                &format!("malformed {TRACE_HEADER} header: {e}"),
+                            );
+                        }
+                    },
+                    None => None,
+                };
+                self.submit(&request.body, client)
             }
-            _ => match path.strip_prefix("/jobs/") {
+            _ => match path.strip_prefix("/trace/") {
                 Some(rest) => {
                     if request.method != "GET" {
-                        let mut r =
-                            RouterResponse::error("405 Method Not Allowed", "poll jobs with GET");
+                        let mut r = RouterResponse::error(
+                            "405 Method Not Allowed",
+                            "fetch traces with GET",
+                        );
                         r.allow = Some("GET");
                         return r;
                     }
-                    let (id_part, status_only) = match rest.strip_suffix("/status") {
-                        Some(id_part) => (id_part, true),
-                        None => (rest, false),
-                    };
-                    match id_part.parse::<u64>() {
-                        Ok(id) => self.poll(id, status_only, request.query()),
-                        Err(_) => RouterResponse::error(
+                    match u128::from_str_radix(rest, 16) {
+                        Ok(id) if rest.len() <= 32 && id != 0 => {
+                            RouterResponse::json("200 OK", self.trace_json(id))
+                        }
+                        _ => RouterResponse::error(
                             "400 Bad Request",
-                            "job id must be an unsigned integer",
+                            "trace id must be 1-32 hex digits, nonzero",
                         ),
                     }
                 }
-                None => RouterResponse::json(
-                    "404 Not Found",
-                    "{\"error\":\"not found\",\"routes\":[\"/healthz\",\"/stats\",\"/ring\",\
-                     \"/metrics\",\"/jobs\",\"/jobs/<id>\",\"/jobs/<id>/status\"]}"
-                        .to_string(),
-                ),
+                None => self.dispatch_jobs(request, path),
             },
+        }
+    }
+
+    /// The `/jobs/<id>` poll routes plus the 404 fallthrough.
+    fn dispatch_jobs(&self, request: &HttpRequest, path: &str) -> RouterResponse {
+        match path.strip_prefix("/jobs/") {
+            Some(rest) => {
+                if request.method != "GET" {
+                    let mut r =
+                        RouterResponse::error("405 Method Not Allowed", "poll jobs with GET");
+                    r.allow = Some("GET");
+                    return r;
+                }
+                let (id_part, status_only) = match rest.strip_suffix("/status") {
+                    Some(id_part) => (id_part, true),
+                    None => (rest, false),
+                };
+                match id_part.parse::<u64>() {
+                    Ok(id) => self.poll(id, status_only, request.query()),
+                    Err(_) => RouterResponse::error(
+                        "400 Bad Request",
+                        "job id must be an unsigned integer",
+                    ),
+                }
+            }
+            None => RouterResponse::json(
+                "404 Not Found",
+                "{\"error\":\"not found\",\"routes\":[\"/healthz\",\"/stats\",\"/ring\",\
+                 \"/metrics\",\"/jobs\",\"/jobs/<id>\",\"/jobs/<id>/status\",\
+                 \"/trace/<trace-id>\"]}"
+                    .to_string(),
+            ),
         }
     }
 }
@@ -1929,5 +2677,108 @@ mod tests {
         let stats = router.stats_json();
         assert!(stats.contains("\"health\":\"ejected\""), "{stats}");
         assert!(stats.contains("\"health\":\"draining\""), "{stats}");
+    }
+
+    #[test]
+    fn slo_tracker_burn_rate_and_budget() {
+        let slo = SloTracker::new(Duration::from_millis(100), 0.99);
+        // 99 good + 1 bad at a 99% objective: budget exactly spent,
+        // 5m burn rate exactly 1.0.
+        for i in 0..100u64 {
+            let latency =
+                if i == 0 { Duration::from_millis(200) } else { Duration::from_millis(10) };
+            slo.record(latency, Duration::from_secs(i / 10));
+        }
+        assert_eq!(slo.good.load(Ordering::Relaxed), 99);
+        assert_eq!(slo.bad.load(Ordering::Relaxed), 1);
+        let burn = slo.burn_rate(&slo.w5m, 9 / 5);
+        assert!((burn - 1.0).abs() < 1e-9, "burn={burn}");
+        let budget = slo.budget_remaining();
+        assert!(budget.abs() < 1e-9, "budget={budget}");
+        // An empty window burns nothing; an untouched tracker has a
+        // full budget.
+        let fresh = SloTracker::new(Duration::from_millis(100), 0.99);
+        assert_eq!(fresh.burn_rate(&fresh.w5m, 0), 0.0);
+        assert_eq!(fresh.budget_remaining(), 1.0);
+        // Old slots age out of the 5-minute window: book one bad job
+        // at slot 0, look 60+ slots later.
+        let aged = SloTracker::new(Duration::from_millis(100), 0.99);
+        aged.record(Duration::from_millis(200), Duration::ZERO);
+        assert!(aged.burn_rate(&aged.w5m, 0) > 0.0);
+        assert_eq!(aged.burn_rate(&aged.w5m, 100), 0.0);
+    }
+
+    #[test]
+    fn submit_raw_stamps_the_trace_header() {
+        let ctx = TraceContext::mint();
+        let raw = submit_raw("{\"x\":1}", ctx);
+        let text = String::from_utf8(raw).unwrap();
+        assert!(text.starts_with("POST /jobs HTTP/1.1\r\n"), "{text}");
+        assert!(text.contains(&format!("{TRACE_HEADER}: {}\r\n", ctx.encode())), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"x\":1}"), "{text}");
+    }
+
+    #[test]
+    fn merged_trace_nests_backend_events_inside_attempt_windows() {
+        let root = TraceContext::mint();
+        let attempt = root.child();
+        let spans = vec![
+            RouterSpan {
+                trace_id: root.trace_id,
+                span_id: attempt.span_id,
+                parent: attempt.parent,
+                name: "attempt",
+                cause: "primary",
+                backend: Some(0),
+                start_us: 100,
+                dur_us: 5_000,
+                outcome: "ok",
+            },
+            RouterSpan {
+                trace_id: root.trace_id,
+                span_id: root.span_id,
+                parent: None,
+                name: "dispatch",
+                cause: "submit",
+                backend: None,
+                start_us: 50,
+                dur_us: 6_000,
+                outcome: "ok",
+            },
+        ];
+        let events = vec![BackendTraceEvent {
+            kind: "job-settle".to_string(),
+            detail: "job 0".to_string(),
+            at_us: 777,
+            duration_us: Some(42),
+            span: attempt.span_id + 1,
+            parent: Some(attempt.span_id),
+        }];
+        let addrs = vec!["127.0.0.1:9000".to_string()];
+        let body = render_merged_trace(root.trace_id, &spans, &[(0usize, events)], &addrs);
+        let parsed = serde_json::from_str(&body).expect("merged trace parses");
+        assert_eq!(
+            parsed.get("trace").and_then(|t| t.as_str()),
+            Some(format!("{:032x}", root.trace_id).as_str())
+        );
+        let evs = parsed.get("traceEvents").and_then(|e| e.as_array()).expect("traceEvents");
+        // The backend's settle event lands strictly inside its
+        // attempt's [100, 5100) window, on the backend's pid 1.
+        let settle = evs
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("job-settle"))
+            .expect("settle event present");
+        assert_eq!(settle.get("pid").and_then(|p| p.as_u64()), Some(1));
+        let ts = settle.get("ts").and_then(|t| t.as_f64()).expect("ts");
+        assert!(ts > 100.0 && ts < 5_100.0, "ts={ts}");
+        // The attempt window is re-rendered on the backend pid so the
+        // children nest under a visible parent box.
+        assert!(
+            evs.iter().any(|e| {
+                e.get("pid").and_then(|p| p.as_u64()) == Some(1)
+                    && e.get("name").and_then(|n| n.as_str()) == Some("attempt (primary)")
+            }),
+            "{body}"
+        );
     }
 }

@@ -663,6 +663,11 @@ impl Runtime {
         F: FnOnce(u64) -> Result<T, JobError> + Send + 'static,
     {
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        // Attached before admission control so even a shed outcome is
+        // joinable to its distributed trace (no-op when tracing is off).
+        if let Some(ctx) = opts.trace {
+            self.inner.tracer.attach(id, ctx);
+        }
         let (handle, shared) = JobHandle::<T>::new(id);
         // The queue entry shares the handle's cancel flag so workers can
         // observe cancellation without knowing `T`.

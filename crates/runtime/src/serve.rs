@@ -699,6 +699,12 @@ pub fn json_str(s: &str) -> String {
 /// ([`verify_record_json`]). The id is deliberately excluded: the fleet
 /// router rewrites backend-local ids to fleet-wide ones at the edge, and
 /// that rewrite must not invalidate the digest.
+///
+/// Trace context and latency attribution are likewise **never** part of
+/// the record body — they ride only as HTTP response headers
+/// (`X-CF-Trace`, `X-CF-Attribution`), because they vary run-to-run
+/// while the record must stay byte-identical across replays, failovers
+/// and resubmissions.
 pub fn render_record_json(record: &JobRecord) -> String {
     let head = format!(
         "\"label\":{},\"machine\":{},\"mode\":{}",

@@ -292,6 +292,22 @@ pub struct RouterStats {
     pub corrupt_responses: AtomicU64,
     /// Backends moved to `quarantined` after repeated corrupt responses.
     pub quarantines: AtomicU64,
+    /// Finished records that carried an `X-CF-Attribution` breakdown
+    /// (the denominator for the `attr_*` sums below).
+    pub attr_records: AtomicU64,
+    /// Sum of backend-reported end-to-end job time (`total_us`).
+    pub attr_total_us: AtomicU64,
+    /// Sum of backend admission-control time (`admission_us`).
+    pub attr_admission_us: AtomicU64,
+    /// Sum of backend queue-wait time (`queue_us`).
+    pub attr_queue_us: AtomicU64,
+    /// Sum of backend simulate/execute time (`run_us`).
+    pub attr_run_us: AtomicU64,
+    /// Sum of router-measured network time (submit + poll dials and
+    /// transfers, `net_*_us` — overhead outside the backend's total).
+    pub attr_net_us: AtomicU64,
+    /// Sum of router-side retry/resubmit backoff sleeps (`backoff_us`).
+    pub attr_backoff_us: AtomicU64,
 }
 
 /// One worker's share of a [`StatsSnapshot`].

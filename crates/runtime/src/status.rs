@@ -5,7 +5,7 @@
 //! |---------------------|--------|---------|--------|
 //! | `/healthz`          | GET    | liveness + admission headroom | `200`, `503` when overloaded |
 //! | `/stats`            | GET    | the live [`StatsSnapshot`](crate::StatsSnapshot) JSON | `200` once a run published, `503 "starting"` before |
-//! | `/trace`            | GET    | recent span events + per-stage latency histograms | `200` |
+//! | `/trace`            | GET    | recent span events + per-stage latency histograms; `?limit=N` caps events, `?stage=` filters by stage/kind name, `?trace=<hex>` filters to one distributed trace | `200` |
 //! | `/metrics`          | GET    | Prometheus text exposition (see [`crate::metrics`]) | `200`, always |
 //! | `/version`          | GET    | crate version + git describe | `200`, always |
 //! | `/jobs`             | POST   | JSON job spec (object or array) → `{"id":…}` | `202`, `400`, `413`, `503` + `Retry-After` |
@@ -25,6 +25,18 @@
 //! [`SpanKind::ApiRequest`] span and a [`Stage::ApiRequest`] latency
 //! sample on the hub's tracer. The server binds 127.0.0.1 only. See
 //! DESIGN.md §8–9.
+//!
+//! **Distributed tracing.** `POST /jobs` reads the `X-CF-Trace` request
+//! header (minting a fresh root context when absent — a lone backend
+//! traces like a fleet member) and echoes the context on the `202`;
+//! `GET /jobs/<id>` echoes it again and adds the `X-CF-Attribution`
+//! latency breakdown once the record is done. Both ride as *headers*
+//! only — record bodies stay byte-identical across fleet shapes. In
+//! `/trace` responses, each event's `seq` is the tracer's monotonic
+//! record counter: a gap between consecutive events means the bounded
+//! span ring dropped the missing events under pressure (the top-level
+//! `dropped` field counts them for the run's lifetime). See
+//! DESIGN.md §16.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -38,6 +50,7 @@ use crate::fault::fnv1a;
 use crate::metrics;
 use crate::obs::{Obs, SpanKind, Stage};
 use crate::serve::json_str;
+use crate::trace::{TraceContext, ATTRIBUTION_HEADER, TRACE_HEADER};
 
 /// Events returned by `/trace` per request.
 const TRACE_LIMIT: usize = 256;
@@ -151,12 +164,21 @@ struct Response {
     allow: Option<&'static str>,
     /// `Retry-After` seconds for 503 sheds.
     retry_after: Option<u64>,
+    /// Extra response headers (`X-CF-Trace`, `X-CF-Attribution`, …).
+    extra: Vec<(&'static str, String)>,
     body: String,
 }
 
 impl Response {
     fn json(status: &'static str, body: String) -> Response {
-        Response { status, content_type: JSON, allow: None, retry_after: None, body }
+        Response {
+            status,
+            content_type: JSON,
+            allow: None,
+            retry_after: None,
+            extra: Vec::new(),
+            body,
+        }
     }
 
     fn error(status: &'static str, message: &str) -> Response {
@@ -204,6 +226,9 @@ fn serve_connection(mut stream: TcpStream, obs: &Arc<Obs>, token: u64) -> std::i
     }
     if let Some(secs) = response.retry_after {
         head.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    for (name, value) in &response.extra {
+        head.push_str(&format!("{name}: {value}\r\n"));
     }
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
@@ -257,7 +282,13 @@ fn route(request: &HttpRequest, obs: &Arc<Obs>) -> Response {
                     let (ready, body) = obs.stats_json();
                     Response::json(if ready { "200 OK" } else { "503 Service Unavailable" }, body)
                 }
-                "/trace" => Response::json("200 OK", obs.trace_json(TRACE_LIMIT)),
+                "/trace" => {
+                    let (limit, stage, trace) = trace_query(request);
+                    Response::json(
+                        "200 OK",
+                        obs.trace_json_filtered(limit, stage.as_deref(), trace),
+                    )
+                }
                 "/version" => {
                     let (version, git) = metrics::build_info();
                     Response::json(
@@ -274,6 +305,7 @@ fn route(request: &HttpRequest, obs: &Arc<Obs>) -> Response {
                     content_type: PROM_TEXT,
                     allow: None,
                     retry_after: None,
+                    extra: Vec::new(),
                     body: obs.metrics(),
                 },
             }
@@ -329,11 +361,27 @@ fn route_submit(request: &HttpRequest, obs: &Arc<Obs>) -> Response {
     let Ok(body) = std::str::from_utf8(&request.body) else {
         return Response::error("400 Bad Request", "body is not UTF-8");
     };
-    match api.submit_body(body) {
-        Ok(SubmitOk::One(id)) => Response::json("202 Accepted", format!("{{\"id\":{id}}}")),
+    // Join the fleet trace the caller propagated (a router's attempt
+    // span), or mint a root context so a lone backend traces the same
+    // way a fleet member does. The context is echoed on the 202.
+    let trace = match request.header(TRACE_HEADER) {
+        Some(value) => match TraceContext::parse(value) {
+            Ok(ctx) => ctx,
+            Err(e) => return Response::error("400 Bad Request", &e.to_string()),
+        },
+        None => TraceContext::mint(),
+    };
+    match api.submit_body_traced(body, Some(trace)) {
+        Ok(SubmitOk::One(id)) => {
+            let mut r = Response::json("202 Accepted", format!("{{\"id\":{id}}}"));
+            r.extra.push((TRACE_HEADER, trace.encode()));
+            r
+        }
         Ok(SubmitOk::Many(ids)) => {
             let ids = ids.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
-            Response::json("202 Accepted", format!("{{\"ids\":[{ids}]}}"))
+            let mut r = Response::json("202 Accepted", format!("{{\"ids\":[{ids}]}}"));
+            r.extra.push((TRACE_HEADER, trace.encode()));
+            r
         }
         Err(SubmitError::Bad(message)) => Response::error("400 Bad Request", &message),
         Err(SubmitError::Shed { retry_after_s, message }) => {
@@ -374,14 +422,61 @@ fn route_job(request: &HttpRequest, rest: &str, obs: &Arc<Obs>) -> Response {
         };
     }
     let timeout = poll_timeout(request);
+    // The job's trace context and (once settled) latency attribution
+    // ride as response *headers*: record bodies must stay byte-identical
+    // to a fleet-less run (clients digest-verify them).
+    let trace_header = api.trace_of(id).map(|ctx| ctx.encode());
     match api.wait(id, timeout) {
         Some(JobWait::Done(record)) => {
             api.note_streamed(record.len() as u64);
-            Response::json("200 OK", record)
+            let mut r = Response::json("200 OK", record);
+            if let Some(value) = trace_header {
+                r.extra.push((TRACE_HEADER, value));
+            }
+            if let Some(attribution) = api.attribution_of(id) {
+                r.extra.push((ATTRIBUTION_HEADER, attribution));
+            }
+            r
         }
-        Some(JobWait::Running(status)) => Response::json("202 Accepted", status),
+        Some(JobWait::Running(status)) => {
+            let mut r = Response::json("202 Accepted", status);
+            if let Some(value) = trace_header {
+                r.extra.push((TRACE_HEADER, value));
+            }
+            r
+        }
         None => Response::error("404 Not Found", "no such job"),
     }
+}
+
+/// The `GET /trace` query filters: `?limit=N` (events returned;
+/// non-numeric values fall back to [`TRACE_LIMIT`]), `?stage=name`
+/// (stage or kind wire name) and `?trace=hex` (a distributed trace id,
+/// up to 32 hex digits). Unknown parameters are ignored.
+fn trace_query(request: &HttpRequest) -> (usize, Option<String>, Option<u128>) {
+    let mut limit = TRACE_LIMIT;
+    let mut stage = None;
+    let mut trace = None;
+    if let Some(query) = request.query() {
+        for pair in query.split('&') {
+            if let Some(value) = pair.strip_prefix("limit=") {
+                if let Ok(n) = value.parse::<usize>() {
+                    limit = n;
+                }
+            } else if let Some(value) = pair.strip_prefix("stage=") {
+                if !value.is_empty() {
+                    stage = Some(value.to_string());
+                }
+            } else if let Some(value) = pair.strip_prefix("trace=") {
+                if (1..=32).contains(&value.len()) {
+                    if let Ok(id) = u128::from_str_radix(value, 16) {
+                        trace = Some(id);
+                    }
+                }
+            }
+        }
+    }
+    (limit, stage, trace)
 }
 
 /// The long-poll patience: `?timeout_s=N` clamped to `0..=120`,
@@ -566,6 +661,89 @@ mod tests {
         let (status, head, _) = http(addr, "DELETE /jobs/0 HTTP/1.1\r\n\r\n");
         assert!(status.contains("405"), "{status}");
         assert!(head.contains("Allow: GET"), "{head}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn submit_echoes_trace_context_and_attribution_headers() {
+        let obs = Obs::new(64);
+        let runtime = Arc::new(Runtime::new(RuntimeConfig {
+            workers: 1,
+            tracer: Some(Arc::clone(obs.tracer())),
+            ..Default::default()
+        }));
+        let api = JobApi::new(Arc::clone(&runtime), 4096);
+        obs.publish(runtime.stats_arc(), runtime.load_policy());
+        obs.publish_api(Arc::clone(&api));
+        let server = StatusServer::bind(0, Arc::clone(&obs)).unwrap();
+        let addr = server.local_addr();
+
+        // A propagated X-CF-Trace context is echoed verbatim on the 202.
+        let ctx = crate::trace::TraceContext::mint();
+        let spec = r#"{"workload":"matmul","order":32,"machine":"tiny"}"#;
+        let (status, head, body) = http(
+            addr,
+            &format!(
+                "POST /jobs HTTP/1.1\r\nHost: l\r\nX-CF-Trace: {}\r\nContent-Length: {}\r\n\r\n{spec}",
+                ctx.encode(),
+                spec.len(),
+            ),
+        );
+        assert!(status.contains("202"), "{status}: {body}");
+        assert!(head.contains(&format!("X-CF-Trace: {}", ctx.encode())), "{head}");
+
+        // The finished poll carries the per-job child context plus the
+        // attribution breakdown — as headers; the body is unchanged.
+        let (status, head, body) =
+            http(addr, "GET /jobs/0?timeout_s=60 HTTP/1.1\r\nHost: l\r\n\r\n");
+        assert!(status.contains("200"), "{status}: {body}");
+        assert!(head.contains(&format!("X-CF-Trace: {:032x}-", ctx.trace_id)), "{head}");
+        assert!(head.contains(&format!("-{:016x}\r\n", ctx.span_id)), "child parent: {head}");
+        let attribution = head
+            .lines()
+            .find_map(|l| l.strip_prefix("X-CF-Attribution: "))
+            .unwrap_or_else(|| panic!("no attribution header in {head}"));
+        let a = crate::trace::Attribution::parse(attribution).unwrap();
+        assert_eq!(a.execution_sum_us(), a.total_us(), "{attribution}");
+        assert!(!body.contains("total_us="), "attribution must not leak into the body");
+        assert!(body.starts_with("{\"job\":0,"), "{body}");
+
+        // A malformed header is a 400, not a panic or a silent drop.
+        let (status, _, body) = http(
+            addr,
+            &format!(
+                "POST /jobs HTTP/1.1\r\nHost: l\r\nX-CF-Trace: garbage\r\nContent-Length: {}\r\n\r\n{spec}",
+                spec.len(),
+            ),
+        );
+        assert!(status.contains("400"), "{status}: {body}");
+
+        // Without the header the backend mints its own root context.
+        let (status, head, _) = http_post(addr, "/jobs", spec);
+        assert!(status.contains("202"), "{status}");
+        assert!(head.contains("X-CF-Trace: "), "{head}");
+
+        // /trace?trace= narrows to this trace's events (the settle event
+        // lands moments after the poll returns, so retry briefly).
+        let mut body = String::new();
+        for _ in 0..500 {
+            let (_, b) = http_get(addr, &format!("/trace?trace={:032x}", ctx.trace_id));
+            body = b;
+            if body.contains("job-settle") {
+                break;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert!(body.contains("\"kind\":\"job-settle\""), "{body}");
+        assert!(body.contains(&format!("\"trace\":\"{:032x}\"", ctx.trace_id)), "{body}");
+
+        // ?stage= narrows events and histograms; ?limit= caps events.
+        let (_, body) = http_get(addr, "/trace?stage=run");
+        assert!(body.contains("\"run\":{\"count\""), "{body}");
+        assert!(!body.contains("\"cache_lookup\""), "{body}");
+        let (_, body) = http_get(addr, "/trace?limit=1");
+        assert_eq!(body.matches("\"kind\":").count(), 1, "{body}");
 
         server.shutdown();
     }

@@ -1,0 +1,126 @@
+//! Property tests for the distributed-trace wire format
+//! (`cf_runtime::trace`): the `X-CF-Trace` header encode/parse
+//! round-trips exactly for every valid context, parsing is
+//! case-insensitive on input while encoding stays lowercase, child
+//! contexts chain correctly, malformed headers are rejected (never
+//! panicking, never half-parsing), and the `X-CF-Attribution`
+//! component list survives its own encode/parse round-trip.
+
+use cf_runtime::trace::{Attribution, TraceContext};
+use proptest::prelude::*;
+
+/// A nonzero `u128` trace id assembled from two `u64` halves (the
+/// compat `proptest` has no `u128` `Arbitrary`).
+fn trace_id(hi: u64, lo: u64) -> u128 {
+    (((hi as u128) << 64) | lo as u128) | 1
+}
+
+proptest! {
+    /// encode → parse is the identity for every valid context, with
+    /// and without a parent span.
+    #[test]
+    fn header_round_trips(
+        hi in any::<u64>(),
+        lo in any::<u64>(),
+        span in any::<u64>(),
+        parent in any::<u64>(),
+        with_parent in any::<bool>(),
+    ) {
+        let ctx = TraceContext {
+            trace_id: trace_id(hi, lo),
+            span_id: span | 1,
+            parent: if with_parent { Some(parent | 1) } else { None },
+        };
+        let encoded = ctx.encode();
+        let parsed = TraceContext::parse(&encoded);
+        prop_assert_eq!(parsed, Ok(ctx), "header {}", encoded);
+        // The wire form is lowercase hex, but parsing accepts either
+        // case — a proxy uppercasing headers must not break the chain.
+        prop_assert_eq!(&encoded, &encoded.to_ascii_lowercase());
+        prop_assert_eq!(TraceContext::parse(&encoded.to_ascii_uppercase()), Ok(ctx));
+    }
+
+    /// `child()` stays in the same trace, parents to the caller's span,
+    /// and never mints a zero span id — and the child's header also
+    /// round-trips.
+    #[test]
+    fn child_contexts_chain(
+        hi in any::<u64>(),
+        lo in any::<u64>(),
+        span in any::<u64>(),
+    ) {
+        let root = TraceContext {
+            trace_id: trace_id(hi, lo),
+            span_id: span | 1,
+            parent: None,
+        };
+        let child = root.child();
+        prop_assert_eq!(child.trace_id, root.trace_id);
+        prop_assert_eq!(child.parent, Some(root.span_id));
+        prop_assert!(child.span_id != 0);
+        prop_assert_eq!(TraceContext::parse(&child.encode()), Ok(child));
+    }
+
+    /// Malformed headers never panic and never parse: wrong segment
+    /// counts, oversized fields, zero ids, and non-hex bytes are all
+    /// rejected.
+    #[test]
+    fn malformed_headers_are_rejected(
+        hi in any::<u64>(),
+        lo in any::<u64>(),
+        span in any::<u64>(),
+        junk in proptest::collection::vec(any::<u8>(), 0..48usize),
+    ) {
+        let t = trace_id(hi, lo);
+        let s = span | 1;
+        // `{:Nx}` width is a minimum, not a truncation — shift the
+        // value down so the short forms really are short.
+        let mut nonhex = format!("{t:032x}-{s:016x}");
+        nonhex.replace_range(0..1, "g");
+        let bad = [
+            String::new(),
+            format!("{t:032x}"),                          // span missing
+            format!("{t:032x}-{s:016x}-{s:016x}-{s:016x}"), // too many parts
+            format!("{:031x}-{s:016x}", t >> 4),          // short trace id
+            format!("0{t:032x}-{s:016x}"),                // long trace id
+            format!("{t:032x}-{:015x}", s >> 4),          // short span id
+            format!("{t:032x}-0{s:016x}"),                // long span id
+            format!("{:032x}-{s:016x}", 0u128),           // zero trace id
+            format!("{t:032x}-{:016x}", 0u64),            // zero span id
+            format!("{t:032x}-{s:016x}-{:016x}", 0u64),   // zero parent
+            nonhex,                                       // non-hex byte
+        ];
+        for input in &bad {
+            prop_assert!(
+                TraceContext::parse(input).is_err(),
+                "accepted malformed header {:?}", input
+            );
+        }
+        // Arbitrary bytes (lossily stringified) must never panic; any
+        // accepted parse must re-encode to a canonical header that
+        // parses back to the same context.
+        let wild = String::from_utf8_lossy(&junk).to_string();
+        if let Ok(ctx) = TraceContext::parse(&wild) {
+            prop_assert_eq!(TraceContext::parse(&ctx.encode()), Ok(ctx));
+        }
+    }
+
+    /// The attribution component list round-trips through its header
+    /// form: names and values survive in order.
+    #[test]
+    fn attribution_round_trips(
+        values in proptest::collection::vec(any::<u64>(), 1..6usize),
+    ) {
+        let mut attr = Attribution::new();
+        for (i, &v) in values.iter().enumerate() {
+            attr.push(&format!("part{i}_us"), v);
+        }
+        let encoded = attr.encode();
+        let parsed = Attribution::parse(&encoded).expect("canonical form parses");
+        let before: Vec<(String, u64)> =
+            attr.iter().map(|(k, v)| (k.to_string(), v)).collect();
+        let after: Vec<(String, u64)> =
+            parsed.iter().map(|(k, v)| (k.to_string(), v)).collect();
+        prop_assert_eq!(before, after, "header {}", encoded);
+    }
+}

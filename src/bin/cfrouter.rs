@@ -9,6 +9,7 @@
 //!          [--breaker-open-ms N] [--max-body-bytes N]
 //!          [--quarantine-after N] [--quarantine-ms N]
 //!          [--netfault-seed N] [--netfault-spec SPEC]
+//!          [--slo-ms N] [--slo-objective F]
 //! cfrouter --fault-proxy HOST:PORT [--port N] --netfault-seed N
 //!          --netfault-spec SPEC
 //! cfrouter --help
@@ -44,6 +45,17 @@
 //! labels) with the router's own `cf_router_*` series; `GET /stats` and
 //! `GET /ring` expose the counters and the routing table. The listener
 //! binds 127.0.0.1 only. See DESIGN.md §10 and §11.
+//!
+//! **Tracing and SLOs.** Every accepted job gets a distributed trace
+//! context (`X-CF-Trace` response header; a client-supplied header
+//! parents the router's spans); `GET /trace/<trace-id>` merges the
+//! router's dispatch/attempt spans with matching spans scraped from
+//! every backend into one Chrome-trace JSON document. Finished records
+//! carry an `X-CF-Attribution` latency breakdown. `--slo-ms N` sets a
+//! latency target and turns on the `cf_slo_*` metric families
+//! (good/bad counters, error-budget remaining, 5m/1h burn rates);
+//! `--slo-objective F` sets the availability objective (default 0.99).
+//! See DESIGN.md §16.
 //!
 //! Exit codes: `0` clean shutdown, `2` bad arguments.
 
@@ -96,6 +108,11 @@ fn help() -> ExitCode {
          \x20 --breaker-failures N     consecutive failures that open a breaker (default {brk_fail})\n\
          \x20 --breaker-open-ms N      how long an open breaker rejects (default {brk_open})\n\
          \n\
+         tracing and SLOs:\n\
+         \x20 --slo-ms N               per-job latency target; enables the cf_slo_* series\n\
+         \x20                          (default off; latency = backend total + submit dial + backoff)\n\
+         \x20 --slo-objective F        availability objective in [0,1) (default {slo_obj})\n\
+         \n\
          integrity and chaos:\n\
          \x20 --quarantine-after N     consecutive corrupt responses that quarantine (default {q_after})\n\
          \x20 --quarantine-ms N        minimum quarantine window (default {q_ms})\n\
@@ -118,6 +135,7 @@ fn help() -> ExitCode {
         brk_open = d.breaker.open_for.as_millis(),
         q_after = d.quarantine_after,
         q_ms = d.quarantine_for.as_millis(),
+        slo_obj = d.slo_objective,
     );
     ExitCode::SUCCESS
 }
@@ -196,6 +214,14 @@ fn main() -> ExitCode {
                 Some(n) => config.quarantine_for = Duration::from_millis(n),
                 None => return usage(),
             },
+            "--slo-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.slo_target = Some(Duration::from_millis(n)),
+                None => return usage(),
+            },
+            "--slo-objective" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(f) if (0.0..1.0).contains(&f) => config.slo_objective = f,
+                _ => return usage(),
+            },
             "--netfault-seed" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => netfault_seed = n,
                 None => return usage(),
@@ -262,7 +288,7 @@ fn main() -> ExitCode {
     };
     let chaos_note = if chaos { ", netfault on" } else { "" };
     eprintln!(
-        "cfrouter: routing {backends} backend(s) on http://{} (GET /healthz /stats /ring /metrics, POST /jobs{chaos_note})",
+        "cfrouter: routing {backends} backend(s) on http://{} (GET /healthz /stats /ring /metrics /trace/<trace-id>, POST /jobs{chaos_note})",
         server.local_addr(),
     );
     // Serve until killed: the accept loop and the prober run on

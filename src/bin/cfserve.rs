@@ -214,6 +214,18 @@ fn emit_report(
     Ok(())
 }
 
+/// One-line visibility for span-ring overflow: a dropped span means a
+/// trace scraped later may be missing events (a `seq` gap marks the
+/// spot), which is silent data loss for whoever reads the merged trace.
+fn warn_dropped_spans(obs: &Obs) {
+    let dropped = obs.tracer().dropped();
+    if dropped > 0 {
+        eprintln!(
+            "cfserve: warning: {dropped} span(s) dropped from the /trace ring (capacity {TRACE_CAPACITY}); merged traces may have seq gaps"
+        );
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(manifest_path) = args.first().filter(|a| !a.starts_with("--") || *a == "-") else {
@@ -448,11 +460,13 @@ fn main() -> ExitCode {
                         std::thread::sleep(DRAIN_SETTLE_POLL);
                     }
                     api.sync_journal();
+                    warn_dropped_spans(&obs);
                     eprintln!("cfserve: drained; exiting");
                     return exit;
                 }
             }
         }
+        warn_dropped_spans(&obs);
         return exit;
     }
 
